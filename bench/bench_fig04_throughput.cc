@@ -1,0 +1,11 @@
+// Figure 4: mean throughput per pattern family for (a) order-based and
+// (b) tree-based plan-generation algorithms.
+
+#include "harness.h"
+
+int main() {
+  using namespace cepjoin::bench;
+  PrintHeader("Figure 4", "throughput by pattern type (higher is better)");
+  RunFamilyFigure("Figure 4", Metric::kThroughput);
+  return 0;
+}

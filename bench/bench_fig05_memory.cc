@@ -1,0 +1,11 @@
+// Figure 5: mean peak memory per pattern family for (a) order-based and
+// (b) tree-based plan-generation algorithms.
+
+#include "harness.h"
+
+int main() {
+  using namespace cepjoin::bench;
+  PrintHeader("Figure 5", "memory consumption by pattern type (lower is better)");
+  RunFamilyFigure("Figure 5", Metric::kMemory);
+  return 0;
+}

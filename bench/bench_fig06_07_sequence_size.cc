@@ -1,0 +1,12 @@
+// Figures 6 & 7: throughput and memory versus pattern size for the pure
+// sequence pattern set.
+
+#include "harness.h"
+
+int main() {
+  using namespace cepjoin::bench;
+  PrintHeader("Figures 6/7", "sequence patterns: metrics vs pattern size");
+  RunSizeSweepFigure("Fig 6/7", cepjoin::PatternFamily::kSequence,
+                     {3, 4, 5, 6, 7});
+  return 0;
+}

@@ -1,0 +1,12 @@
+// Figures 8 & 9: throughput and memory versus pattern size for sequences
+// with one negated event.
+
+#include "harness.h"
+
+int main() {
+  using namespace cepjoin::bench;
+  PrintHeader("Figures 8/9", "negation patterns: metrics vs pattern size");
+  RunSizeSweepFigure("Fig 8/9", cepjoin::PatternFamily::kNegation,
+                     {3, 4, 5, 6, 7});
+  return 0;
+}

@@ -1,0 +1,12 @@
+// Figures 10 & 11: throughput and memory versus pattern size for
+// conjunction (AND) patterns.
+
+#include "harness.h"
+
+int main() {
+  using namespace cepjoin::bench;
+  PrintHeader("Figures 10/11", "conjunction patterns: metrics vs pattern size");
+  RunSizeSweepFigure("Fig 10/11", cepjoin::PatternFamily::kConjunction,
+                     {3, 4, 5, 6, 7});
+  return 0;
+}

@@ -1,0 +1,12 @@
+// Figures 12 & 13: throughput and memory versus pattern size for
+// sequences with one Kleene-closed event ("iteration patterns").
+
+#include "harness.h"
+
+int main() {
+  using namespace cepjoin::bench;
+  PrintHeader("Figures 12/13", "Kleene patterns: metrics vs pattern size");
+  RunSizeSweepFigure("Fig 12/13", cepjoin::PatternFamily::kKleene,
+                     {3, 4, 5, 6, 7});
+  return 0;
+}

@@ -1,0 +1,12 @@
+// Figures 14 & 15: throughput and memory versus pattern size for
+// composite patterns — disjunctions of three sequences.
+
+#include "harness.h"
+
+int main() {
+  using namespace cepjoin::bench;
+  PrintHeader("Figures 14/15", "disjunction patterns: metrics vs pattern size");
+  RunSizeSweepFigure("Fig 14/15", cepjoin::PatternFamily::kDisjunction,
+                     {3, 4, 5, 6, 7});
+  return 0;
+}

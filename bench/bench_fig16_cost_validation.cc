@@ -1,0 +1,123 @@
+// Figure 16: cost-model validation. Plans of widely varying cost are
+// executed on the stream; throughput must anti-correlate with plan cost
+// (roughly 1/x^c) and peak memory must grow roughly linearly with cost.
+
+#include <cmath>
+
+#include "harness.h"
+
+namespace cepjoin {
+namespace bench {
+namespace {
+
+struct Sample {
+  double cost = 0.0;
+  double throughput = 0.0;
+  double memory = 0.0;
+};
+
+std::vector<double> Ranks(const std::vector<double>& xs) {
+  std::vector<size_t> idx(xs.size());
+  for (size_t i = 0; i < xs.size(); ++i) idx[i] = i;
+  std::sort(idx.begin(), idx.end(),
+            [&](size_t a, size_t b) { return xs[a] < xs[b]; });
+  std::vector<double> ranks(xs.size());
+  for (size_t r = 0; r < idx.size(); ++r) ranks[idx[r]] = static_cast<double>(r);
+  return ranks;
+}
+
+double PearsonCorrelation(const std::vector<double>& xs,
+                          const std::vector<double>& ys) {
+  double mx = 0, my = 0;
+  size_t n = xs.size();
+  for (size_t i = 0; i < n; ++i) {
+    mx += xs[i];
+    my += ys[i];
+  }
+  mx /= n;
+  my /= n;
+  double sxy = 0, sxx = 0, syy = 0;
+  for (size_t i = 0; i < n; ++i) {
+    sxy += (xs[i] - mx) * (ys[i] - my);
+    sxx += (xs[i] - mx) * (xs[i] - mx);
+    syy += (ys[i] - my) * (ys[i] - my);
+  }
+  return sxy / std::sqrt(sxx * syy + 1e-30);
+}
+
+void Run() {
+  const BenchEnv& env = Env();
+  // 60 order-based and 60 tree-based plans (the paper's counts): mixed
+  // pattern families and sizes, all plan-generation algorithms.
+  std::vector<Sample> order_samples;
+  std::vector<Sample> tree_samples;
+  std::vector<PatternFamily> families = {PatternFamily::kSequence,
+                                         PatternFamily::kConjunction};
+  int per_cell = std::max(1, static_cast<int>(2 * Scale()));
+  for (PatternFamily family : families) {
+    for (int size : {3, 4, 5}) {
+      for (int k = 0; k < per_cell; ++k) {
+        PatternGenConfig pg;
+        pg.family = family;
+        pg.size = size;
+        pg.window = WindowFor(family);
+        pg.seed = 7000 + k + size * 17 +
+                  static_cast<uint64_t>(family) * 131;
+        SimplePattern pattern = GeneratePattern(env.universe, pg)[0];
+        CostFunction cost = MakeCostFunction(
+            pattern, env.collector.CollectForPattern(pattern), 0.0);
+        for (const std::string& algorithm : PaperOrderAlgorithms()) {
+          EnginePlan plan = MakePlan(algorithm, cost);
+          RunResult result = Execute(pattern, plan, env.universe.stream);
+          order_samples.push_back(
+              {plan.cost, result.throughput_eps,
+               static_cast<double>(result.peak_bytes)});
+        }
+        for (const std::string& algorithm : PaperTreeAlgorithms()) {
+          EnginePlan plan = MakePlan(algorithm, cost);
+          RunResult result = Execute(pattern, plan, env.universe.stream);
+          tree_samples.push_back({plan.cost, result.throughput_eps,
+                                  static_cast<double>(result.peak_bytes)});
+        }
+      }
+    }
+  }
+
+  auto report = [](const char* label, const std::vector<Sample>& samples) {
+    Table table({"plan#", "cost", "throughput[ev/s]", "peak_mem[B]"});
+    std::vector<double> log_cost, log_tp, mem, cost_lin;
+    for (size_t i = 0; i < samples.size(); ++i) {
+      table.AddRow({std::to_string(i), FormatSi(samples[i].cost),
+                    FormatSi(samples[i].throughput),
+                    FormatSi(samples[i].memory)});
+      log_cost.push_back(std::log(samples[i].cost + 1.0));
+      log_tp.push_back(std::log(samples[i].throughput + 1.0));
+      cost_lin.push_back(samples[i].cost);
+      mem.push_back(samples[i].memory);
+    }
+    std::printf("\n%s plans (%zu):\n", label, samples.size());
+    table.Print();
+    std::printf("corr(log cost, log throughput)  = %.3f  (expect strongly "
+                "negative)\n",
+                PearsonCorrelation(log_cost, log_tp));
+    std::printf("corr(cost, peak memory)         = %.3f  (expect "
+                "positive)\n",
+                PearsonCorrelation(cost_lin, mem));
+    std::printf("rank-corr(cost, peak memory)    = %.3f  (expect strongly "
+                "positive)\n",
+                PearsonCorrelation(Ranks(cost_lin), Ranks(mem)));
+  };
+  report("order-based", order_samples);
+  report("tree-based", tree_samples);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace cepjoin
+
+int main() {
+  cepjoin::bench::PrintHeader(
+      "Figure 16", "throughput & memory as functions of plan cost");
+  cepjoin::bench::Run();
+  return 0;
+}

@@ -1,0 +1,120 @@
+// Figure 17: plan generation for large patterns (sizes 3–22), cost-only.
+// (a) normalized plan cost: cost of the EFREQ plan divided by the cost of
+//     the algorithm's plan (higher is better), averaged per size;
+// (b) plan-generation time, growing exponentially for the DP algorithms.
+//
+// DP-B is O(3^n) (the paper measured >50 hours at n=22); we cap it at
+// n<=13 by default so the binary terminates in seconds — the exponential
+// trend is already unambiguous there.
+
+#include "harness.h"
+
+#include "common/rng.h"
+
+namespace cepjoin {
+namespace bench {
+namespace {
+
+void Run() {
+  std::vector<int> sizes = {3, 5, 7, 9, 11, 13, 16, 19, 22};
+  std::vector<std::string> algorithms = {"GREEDY", "II-GREEDY", "DP-LD",
+                                         "KBZ",    "ZSTREAM",   "ZSTREAM-ORD",
+                                         "DP-B"};
+  int dpb_cap = 13;
+  int dpld_cap = 22;
+
+  // Patterns larger than the symbol universe need synthetic statistics;
+  // mirror the paper by sampling rates/selectivities from the measured
+  // stock distributions.
+  Rng rng(424242);
+  Table cost_table([&] {
+    std::vector<std::string> headers = {"size"};
+    for (const auto& a : algorithms) headers.push_back(a);
+    return headers;
+  }());
+  Table time_table([&] {
+    std::vector<std::string> headers = {"size"};
+    for (const auto& a : algorithms) headers.push_back(a + "[ms]");
+    return headers;
+  }());
+
+  int repeats = std::max(1, static_cast<int>(2 * Scale()));
+  for (int size : sizes) {
+    std::vector<double> norm_sum(algorithms.size(), 0.0);
+    std::vector<double> time_sum(algorithms.size(), 0.0);
+    std::vector<int> counted(algorithms.size(), 0);
+    for (int rep = 0; rep < repeats; ++rep) {
+      // Heterogeneous statistics in the paper's measured ranges: rates
+      // spanning 1-45 ev/s (log-uniform) and predicate selectivities down
+      // to 0.002 on ~a third of the pairs, plus the ts-order 0.5 factor.
+      PatternStats stats(size);
+      for (int i = 0; i < size; ++i) {
+        stats.set_rate(i, std::exp(rng.UniformReal(std::log(1.0),
+                                                   std::log(45.0))));
+        for (int j = i + 1; j < size; ++j) {
+          double sel = 0.5;
+          if (rng.Bernoulli(0.35)) {
+            sel *= std::exp(
+                rng.UniformReal(std::log(0.002), std::log(0.9)));
+          }
+          stats.set_sel(i, j, sel);
+        }
+      }
+      CostFunction cost(stats, 1.0);
+      // Normalize against the worst algorithm (EFREQ) within each plan
+      // class. Tree costs additionally subtract the plan-independent
+      // leaf-sum term so the ratio measures the plan-dependent
+      // (internal-node PM) component — at the paper's W·r scale the leaf
+      // terms are negligible and this matches their normalization.
+      double leaf_sum = 0.0;
+      for (int i = 0; i < size; ++i) leaf_sum += cost.LeafCost(i);
+      OrderPlan efreq_plan = MakeOrderOptimizer("EFREQ")->Optimize(cost);
+      double efreq_order = cost.OrderCost(efreq_plan);
+      double efreq_tree =
+          cost.TreeCost(TreePlan::LeftDeep(efreq_plan)) - leaf_sum;
+      for (size_t a = 0; a < algorithms.size(); ++a) {
+        const std::string& name = algorithms[a];
+        if (name == "DP-B" && size > dpb_cap) continue;
+        if ((name == "DP-LD") && size > dpld_cap) continue;
+        EnginePlan plan = MakePlan(name, cost);
+        double ratio =
+            plan.kind == EnginePlan::Kind::kOrder
+                ? efreq_order / plan.cost
+                : efreq_tree / std::max(plan.cost - leaf_sum, 1e-12);
+        norm_sum[a] += ratio;
+        time_sum[a] += plan.generation_seconds * 1e3;
+        ++counted[a];
+      }
+    }
+    std::vector<std::string> cost_row = {std::to_string(size)};
+    std::vector<std::string> time_row = {std::to_string(size)};
+    for (size_t a = 0; a < algorithms.size(); ++a) {
+      if (counted[a] == 0) {
+        cost_row.push_back("-");
+        time_row.push_back("-");
+      } else {
+        cost_row.push_back(FormatDouble(norm_sum[a] / counted[a], 2));
+        time_row.push_back(FormatDouble(time_sum[a] / counted[a], 3));
+      }
+    }
+    cost_table.AddRow(cost_row);
+    time_table.AddRow(time_row);
+  }
+  std::printf("\n(a) normalized plan cost vs EFREQ (higher is better; '-' ="
+              " capped):\n");
+  cost_table.Print();
+  std::printf("\n(b) plan generation time in milliseconds (log-scale trend;"
+              " DP grows exponentially):\n");
+  time_table.Print();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace cepjoin
+
+int main() {
+  cepjoin::bench::PrintHeader("Figure 17",
+                              "large-pattern plan quality & generation time");
+  cepjoin::bench::Run();
+  return 0;
+}

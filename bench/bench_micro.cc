@@ -1,0 +1,120 @@
+// google-benchmark micro benchmarks: raw engine event rates, optimizer
+// runtimes, and cost-function evaluation throughput.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "engine/engine_factory.h"
+#include "metrics/runner.h"
+#include "optimizer/registry.h"
+#include "stats/collector.h"
+#include "workload/pattern_generator.h"
+#include "workload/stock_generator.h"
+
+namespace cepjoin {
+namespace {
+
+const StockUniverse& Universe() {
+  static const StockUniverse* universe = [] {
+    StockGeneratorConfig config;
+    config.num_symbols = 12;
+    config.max_rate = 10.0;
+    config.duration_seconds = 10.0;
+    return new StockUniverse(GenerateStockStream(config));
+  }();
+  return *universe;
+}
+
+const StatsCollector& Collector() {
+  static const StatsCollector* collector = [] {
+    return new StatsCollector(Universe().stream, Universe().registry.size());
+  }();
+  return *collector;
+}
+
+SimplePattern BenchPattern(PatternFamily family, int size) {
+  PatternGenConfig pg;
+  pg.family = family;
+  pg.size = size;
+  pg.window = 0.5;
+  pg.seed = 33;
+  return GeneratePattern(Universe(), pg)[0];
+}
+
+void BM_NfaEngineEventRate(benchmark::State& state) {
+  SimplePattern pattern =
+      BenchPattern(PatternFamily::kSequence, static_cast<int>(state.range(0)));
+  CostFunction cost(Collector().CollectForPattern(pattern), pattern.window());
+  EnginePlan plan = MakePlan("GREEDY", cost);
+  for (auto _ : state) {
+    RunResult result = Execute(pattern, plan, Universe().stream);
+    benchmark::DoNotOptimize(result.matches);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(Universe().stream.size()));
+}
+BENCHMARK(BM_NfaEngineEventRate)->Arg(3)->Arg(5);
+
+void BM_TreeEngineEventRate(benchmark::State& state) {
+  SimplePattern pattern =
+      BenchPattern(PatternFamily::kSequence, static_cast<int>(state.range(0)));
+  CostFunction cost(Collector().CollectForPattern(pattern), pattern.window());
+  EnginePlan plan = MakePlan("DP-B", cost);
+  for (auto _ : state) {
+    RunResult result = Execute(pattern, plan, Universe().stream);
+    benchmark::DoNotOptimize(result.matches);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(Universe().stream.size()));
+}
+BENCHMARK(BM_TreeEngineEventRate)->Arg(3)->Arg(5);
+
+void BM_Optimizer(benchmark::State& state, const char* name, int n) {
+  Rng rng(77);
+  PatternStats stats(n);
+  for (int i = 0; i < n; ++i) {
+    stats.set_rate(i, rng.UniformReal(1, 15));
+    for (int j = i + 1; j < n; ++j) {
+      stats.set_sel(i, j, rng.Bernoulli(0.4) ? rng.UniformReal(0.05, 0.9) : 1);
+    }
+  }
+  CostFunction cost(stats, 0.5);
+  if (IsTreeAlgorithm(name)) {
+    auto optimizer = MakeTreeOptimizer(name);
+    for (auto _ : state) {
+      benchmark::DoNotOptimize(optimizer->Optimize(cost));
+    }
+  } else {
+    auto optimizer = MakeOrderOptimizer(name);
+    for (auto _ : state) {
+      benchmark::DoNotOptimize(optimizer->Optimize(cost));
+    }
+  }
+}
+BENCHMARK_CAPTURE(BM_Optimizer, greedy_n10, "GREEDY", 10);
+BENCHMARK_CAPTURE(BM_Optimizer, ii_greedy_n10, "II-GREEDY", 10);
+BENCHMARK_CAPTURE(BM_Optimizer, dp_ld_n14, "DP-LD", 14);
+BENCHMARK_CAPTURE(BM_Optimizer, dp_b_n10, "DP-B", 10);
+BENCHMARK_CAPTURE(BM_Optimizer, zstream_n10, "ZSTREAM", 10);
+BENCHMARK_CAPTURE(BM_Optimizer, kbz_n10, "KBZ", 10);
+
+void BM_OrderCostEvaluation(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  Rng rng(5);
+  PatternStats stats(n);
+  for (int i = 0; i < n; ++i) {
+    stats.set_rate(i, rng.UniformReal(1, 15));
+    for (int j = i + 1; j < n; ++j) stats.set_sel(i, j, 0.3);
+  }
+  CostFunction cost(stats, 0.5);
+  OrderPlan plan = OrderPlan::Identity(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cost.OrderCost(plan));
+  }
+}
+BENCHMARK(BM_OrderCostEvaluation)->Arg(5)->Arg(10)->Arg(20);
+
+}  // namespace
+}  // namespace cepjoin
+
+BENCHMARK_MAIN();

@@ -1,0 +1,192 @@
+#include "harness.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+namespace cepjoin {
+namespace bench {
+
+double Scale() {
+  static const double scale = [] {
+    const char* env = std::getenv("CEPJOIN_BENCH_SCALE");
+    if (env == nullptr) return 1.0;
+    double value = std::atof(env);
+    return value > 0.0 ? value : 1.0;
+  }();
+  return scale;
+}
+
+const BenchEnv& Env() {
+  static const BenchEnv* env = [] {
+    StockGeneratorConfig config;
+    config.num_symbols = 16;
+    config.min_rate = 1.0;
+    config.max_rate = 15.0;
+    config.duration_seconds = 20.0 * Scale();
+    config.seed = 2024;
+    StockUniverse universe = GenerateStockStream(config);
+    StatsCollector collector(universe.stream, universe.registry.size());
+    return new BenchEnv{std::move(universe), std::move(collector)};
+  }();
+  return *env;
+}
+
+double WindowFor(PatternFamily family) {
+  switch (family) {
+    case PatternFamily::kKleene:
+      return 0.5;  // keeps the Kleene power set tractable
+    case PatternFamily::kConjunction:
+      return 0.8;  // AND lacks the 1/k! ordering factor; keep PM bounded
+    default:
+      return 1.0;
+  }
+}
+
+int PatternsPerPoint() {
+  int patterns = static_cast<int>(5 * Scale());
+  return patterns < 2 ? 2 : patterns;
+}
+
+RunAggregate RunPoint(const PointConfig& config) {
+  const BenchEnv& env = Env();
+  int patterns = config.patterns > 0 ? config.patterns : PatternsPerPoint();
+  double window = config.window > 0 ? config.window : WindowFor(config.family);
+  RunAggregate aggregate;
+  for (int k = 0; k < patterns; ++k) {
+    PatternGenConfig pg;
+    pg.family = config.family;
+    pg.size = config.size;
+    pg.window = window;
+    pg.strategy = config.strategy;
+    pg.seed = config.seed_base + static_cast<uint64_t>(k);
+    std::vector<SimplePattern> subpatterns =
+        GeneratePattern(env.universe, pg);
+    std::vector<EnginePlan> plans;
+    plans.reserve(subpatterns.size());
+    for (const SimplePattern& sub : subpatterns) {
+      CostFunction cost = MakeCostFunction(
+          sub, env.collector.CollectForPattern(sub), config.latency_alpha);
+      plans.push_back(MakePlan(config.algorithm, cost));
+    }
+    ExecuteOptions options;
+    options.min_measure_seconds = 0.05 * Scale();
+    aggregate.Add(
+        ExecuteDnf(subpatterns, plans, env.universe.stream, options));
+  }
+  aggregate.Finalize();
+  return aggregate;
+}
+
+PlanOnlyResult PlanPoint(const PointConfig& config) {
+  const BenchEnv& env = Env();
+  int patterns = config.patterns > 0 ? config.patterns : PatternsPerPoint();
+  double window = config.window > 0 ? config.window : WindowFor(config.family);
+  PlanOnlyResult result;
+  for (int k = 0; k < patterns; ++k) {
+    PatternGenConfig pg;
+    pg.family = config.family;
+    pg.size = config.size;
+    pg.window = window;
+    pg.seed = config.seed_base + static_cast<uint64_t>(k);
+    std::vector<SimplePattern> subpatterns =
+        GeneratePattern(env.universe, pg);
+    for (const SimplePattern& sub : subpatterns) {
+      CostFunction cost = MakeCostFunction(
+          sub, env.collector.CollectForPattern(sub), config.latency_alpha);
+      EnginePlan plan = MakePlan(config.algorithm, cost);
+      result.mean_cost += plan.cost;
+      result.mean_generation_seconds += plan.generation_seconds;
+    }
+  }
+  result.mean_cost /= patterns;
+  result.mean_generation_seconds /= patterns;
+  return result;
+}
+
+void PrintHeader(const std::string& figure, const std::string& title) {
+  std::printf("==========================================================\n");
+  std::printf("%s — %s\n", figure.c_str(), title.c_str());
+  std::printf("(paper: Kolchinsky & Schuster, VLDB'18; synthetic stock\n");
+  std::printf(" substrate per DESIGN.md; scale=%.2f via CEPJOIN_BENCH_SCALE)\n",
+              Scale());
+  std::printf("==========================================================\n");
+}
+
+namespace {
+
+double MetricOf(const RunAggregate& aggregate, Metric metric) {
+  return metric == Metric::kThroughput ? aggregate.throughput_eps
+                                       : aggregate.peak_bytes;
+}
+
+}  // namespace
+
+void RunFamilyFigure(const std::string& figure, Metric metric) {
+  const std::vector<int> sizes = {3, 4, 5};
+  for (bool tree : {false, true}) {
+    std::vector<std::string> algorithms =
+        tree ? PaperTreeAlgorithms() : PaperOrderAlgorithms();
+    std::printf("\n(%s) %s-based plan generation, mean over sizes 3-5:\n",
+                tree ? "b" : "a", tree ? "tree" : "order");
+    std::vector<std::string> headers = {"family"};
+    for (const std::string& a : algorithms) headers.push_back(a);
+    Table table(headers);
+    for (PatternFamily family : AllFamilies()) {
+      std::vector<std::string> row = {FamilyName(family)};
+      for (const std::string& algorithm : algorithms) {
+        RunAggregate total;
+        for (int size : sizes) {
+          PointConfig config;
+          config.family = family;
+          config.size = size;
+          config.algorithm = algorithm;
+          RunAggregate aggregate = RunPoint(config);
+          total.throughput_eps += aggregate.throughput_eps;
+          total.peak_bytes += aggregate.peak_bytes;
+          ++total.runs;
+        }
+        total.throughput_eps /= total.runs;
+        total.peak_bytes /= total.runs;
+        row.push_back(FormatSi(MetricOf(total, metric)));
+      }
+      table.AddRow(row);
+    }
+    table.Print();
+  }
+  std::printf("\nexpected shape: JQPG algorithms (GREEDY/II-*/DP-*) beat the "
+              "CEP-native TRIVIAL/EFREQ/ZSTREAM on every family; DP "
+              "variants best.\n");
+}
+
+void RunSizeSweepFigure(const std::string& figure, PatternFamily family,
+                        const std::vector<int>& sizes) {
+  for (Metric metric : {Metric::kThroughput, Metric::kMemory}) {
+    for (bool tree : {false, true}) {
+      std::vector<std::string> algorithms =
+          tree ? PaperTreeAlgorithms() : PaperOrderAlgorithms();
+      std::printf("\n%s %s, %s-based methods (%s):\n", figure.c_str(),
+                  metric == Metric::kThroughput ? "throughput [events/s]"
+                                                : "peak memory [bytes]",
+                  tree ? "tree" : "order", FamilyName(family));
+      std::vector<std::string> headers = {"size"};
+      for (const std::string& a : algorithms) headers.push_back(a);
+      Table table(headers);
+      for (int size : sizes) {
+        std::vector<std::string> row = {std::to_string(size)};
+        for (const std::string& algorithm : algorithms) {
+          PointConfig config;
+          config.family = family;
+          config.size = size;
+          config.algorithm = algorithm;
+          row.push_back(FormatSi(MetricOf(RunPoint(config), metric)));
+        }
+        table.AddRow(row);
+      }
+      table.Print();
+    }
+  }
+}
+
+}  // namespace bench
+}  // namespace cepjoin

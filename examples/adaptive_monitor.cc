@@ -1,0 +1,76 @@
+// Adaptive monitoring (Sec. 6.3): the stream's statistics drift halfway
+// through — a rare symbol becomes frequent and vice versa — and the
+// adaptive runtime re-optimizes its evaluation plan on the fly while
+// delivering exactly the same matches a static engine would.
+
+#include <cstdio>
+
+#include "adaptive/adaptive_runtime.h"
+#include "common/rng.h"
+#include "nfa/nfa_engine.h"
+
+using namespace cepjoin;
+
+int main() {
+  EventTypeRegistry registry;
+  TypeId a = registry.Register("A", {"v"});
+  TypeId b = registry.Register("B", {"v"});
+  TypeId c = registry.Register("C", {"v"});
+
+  // Build a drifting stream: A rare then frequent; C frequent then rare.
+  Rng rng(1234);
+  EventStream stream;
+  double ts = 0.0;
+  const double duration = 60.0;
+  while (ts < duration) {
+    ts += rng.UniformReal(0.002, 0.01);
+    bool first_half = ts < duration / 2;
+    double coin = rng.UniformReal(0, 1);
+    TypeId type = coin < 0.08 ? (first_half ? a : c)
+                  : coin < 0.5 ? b
+                               : (first_half ? c : a);
+    Event e;
+    e.type = type;
+    e.ts = ts;
+    e.attrs = {rng.UniformReal(-1, 1)};
+    stream.Append(e);
+  }
+
+  SimplePattern pattern = PatternBuilder(OperatorKind::kSeq, registry)
+                              .Event("A", "a")
+                              .Event("B", "b")
+                              .Event("C", "c")
+                              .Within(0.5)
+                              .Build();
+  std::printf("pattern: %s\n", pattern.Describe(&registry).c_str());
+  std::printf("stream: %zu events, statistics invert at t=%.0fs\n\n",
+              stream.size(), duration / 2);
+
+  // Static reference.
+  CollectingSink static_sink;
+  NfaEngine static_engine(pattern, OrderPlan::Identity(3), &static_sink);
+  for (const EventPtr& e : stream.events()) static_engine.OnEvent(e);
+  static_engine.Finish();
+
+  // Adaptive runtime.
+  CollectingSink adaptive_sink;
+  AdaptiveOptions options;
+  options.algorithm = "GREEDY";
+  options.evaluation_interval = 3.0;
+  options.stats_half_life = 4.0;
+  AdaptiveRuntime runtime(pattern, registry.size(), options, &adaptive_sink);
+  runtime.ProcessStream(stream);
+  runtime.Finish();
+
+  std::printf("adaptive: %d plan re-optimizations, final plan %s\n",
+              runtime.reoptimization_count(),
+              runtime.current_plan().Describe().c_str());
+  std::printf("matches: adaptive=%zu static=%zu (must be identical: %s)\n",
+              adaptive_sink.matches.size(), static_sink.matches.size(),
+              adaptive_sink.Fingerprints() == static_sink.Fingerprints()
+                  ? "yes"
+                  : "NO — BUG");
+  std::printf("peak partial matches under the adaptive runtime: %zu\n",
+              runtime.counters().peak_live_instances);
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Plan explorer: shows, for one pattern, the evaluation plan every
+// algorithm produces, its model-predicted cost, and measured runtime
+// metrics side by side — a miniature of the paper's whole evaluation.
+
+#include <cstdio>
+
+#include "api/cep_runtime.h"
+#include "metrics/runner.h"
+#include "metrics/table.h"
+#include "optimizer/registry.h"
+#include "workload/pattern_generator.h"
+#include "workload/stock_generator.h"
+
+using namespace cepjoin;
+
+int main(int argc, char** argv) {
+  int size = argc > 1 ? std::atoi(argv[1]) : 5;
+  if (size < 2 || size > 10) size = 5;
+
+  StockGeneratorConfig gen;
+  gen.num_symbols = 12;
+  gen.max_rate = 12.0;
+  gen.duration_seconds = 30.0;
+  StockUniverse universe = GenerateStockStream(gen);
+  StatsCollector collector(universe.stream, universe.registry.size());
+
+  PatternGenConfig pg;
+  pg.family = PatternFamily::kSequence;
+  pg.size = size;
+  pg.window = 0.8;
+  pg.seed = 11;
+  SimplePattern pattern = GeneratePattern(universe, pg)[0];
+  std::printf("pattern: %s\n\n", pattern.Describe(&universe.registry).c_str());
+
+  PatternStats stats = collector.CollectForPattern(pattern);
+  CostFunction cost = MakeCostFunction(pattern, stats, 0.0);
+
+  Table table({"algorithm", "class", "plan", "predicted cost",
+               "throughput[ev/s]", "peak partials", "matches"});
+  std::vector<std::string> algorithms = PaperOrderAlgorithms();
+  algorithms.push_back("KBZ");
+  for (const std::string& name : PaperTreeAlgorithms()) {
+    algorithms.push_back(name);
+  }
+  for (const std::string& name : algorithms) {
+    EnginePlan plan = MakePlan(name, cost);
+    RunResult result = Execute(pattern, plan, universe.stream);
+    table.AddRow({name, plan.kind == EnginePlan::Kind::kOrder ? "order" : "tree",
+                  plan.kind == EnginePlan::Kind::kOrder
+                      ? plan.order.Describe()
+                      : plan.tree.Describe(),
+                  FormatSi(plan.cost), FormatSi(result.throughput_eps),
+                  std::to_string(result.peak_instances),
+                  std::to_string(result.matches)});
+  }
+  table.Print();
+  std::printf("\nAll algorithms detect identical matches; only cost and "
+              "resource usage differ.\n");
+  return 0;
+}

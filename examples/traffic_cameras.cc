@@ -1,0 +1,69 @@
+// The paper's introductory example (Sec. 1): four traffic cameras A, B,
+// C, D report vehicle sightings; camera D transmits one frame for every
+// ten the others send. Detect SEQ(A, B, C, D) on the same vehicle.
+//
+// The point of the example: the trivial NFA order creates a partial
+// match per A-sighting, while a cost-based plan waits for the rare D
+// first ("Lazy NFA") — same matches, far fewer partial matches.
+
+#include <cstdio>
+
+#include "api/cep_runtime.h"
+#include "common/rng.h"
+#include "metrics/runner.h"
+
+using namespace cepjoin;
+
+int main() {
+  EventTypeRegistry registry;
+  for (const char* name : {"CamA", "CamB", "CamC", "CamD"}) {
+    registry.Register(name, {"vehicleID"});
+  }
+
+  // Simulate camera readings: cameras A, B, C at 10 frames/s, D at 1.
+  Rng rng(7);
+  EventStream stream;
+  double ts = 0.0;
+  int vehicles = 40;
+  while (ts < 120.0) {
+    ts += 0.02;
+    double coin = rng.UniformReal(0.0, 31.0);
+    TypeId camera = coin < 10 ? 0 : coin < 20 ? 1 : coin < 30 ? 2 : 3;
+    Event e;
+    e.type = camera;
+    e.ts = ts;
+    e.attrs = {static_cast<double>(rng.UniformInt(0, vehicles - 1))};
+    stream.Append(e);
+  }
+
+  SimplePattern pattern =
+      PatternBuilder(OperatorKind::kSeq, registry)
+          .Event("CamA", "a")
+          .Event("CamB", "b")
+          .Event("CamC", "c")
+          .Event("CamD", "d")
+          .Where("a", "vehicleID", CmpOp::kEq, "b", "vehicleID")
+          .Where("b", "vehicleID", CmpOp::kEq, "c", "vehicleID")
+          .Where("c", "vehicleID", CmpOp::kEq, "d", "vehicleID")
+          .Within(8.0)
+          .Build();
+  std::printf("pattern: %s\n\n", pattern.Describe(&registry).c_str());
+
+  StatsCollector collector(stream, registry.size());
+  PatternStats stats = collector.CollectForPattern(pattern);
+
+  for (const char* algorithm : {"TRIVIAL", "GREEDY", "DP-LD", "DP-B"}) {
+    CostFunction cost = MakeCostFunction(pattern, stats, 0.0);
+    EnginePlan plan = MakePlan(algorithm, cost);
+    RunResult result = Execute(pattern, plan, stream);
+    std::printf("%-8s plan %-24s matches=%llu peak partials=%zu "
+                "throughput=%.0f ev/s\n",
+                algorithm, plan.Describe().c_str(),
+                static_cast<unsigned long long>(result.matches),
+                result.peak_instances, result.throughput_eps);
+  }
+  std::printf("\nNote how every plan finds the same matches, and how the "
+              "out-of-order plans\n(which start with the rare camera D) "
+              "hold far fewer partial matches.\n");
+  return 0;
+}

@@ -1,0 +1,94 @@
+#include "adaptive/adaptive_runtime.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace cepjoin {
+
+void AdaptiveRuntime::DedupSink::OnMatch(const Match& match) {
+  std::string fp = match.Fingerprint();
+  if (!seen_.insert(fp).second) return;  // already reported by the old plan
+  by_time_.emplace_back(match.last_ts, fp);
+  if (inner_ != nullptr) inner_->OnMatch(match);
+}
+
+void AdaptiveRuntime::DedupSink::Evict(Timestamp horizon) {
+  while (!by_time_.empty() && by_time_.front().first < horizon) {
+    seen_.erase(by_time_.front().second);
+    by_time_.pop_front();
+  }
+}
+
+AdaptiveRuntime::AdaptiveRuntime(const SimplePattern& pattern,
+                                 size_t num_types,
+                                 const AdaptiveOptions& options,
+                                 MatchSink* sink)
+    : pattern_(pattern),
+      options_(options),
+      estimator_(num_types, options.stats_half_life),
+      dedup_(sink) {
+  // Until statistics accumulate, run the pattern's own order (TRIVIAL).
+  CostFunction bootstrap(PatternStats(pattern_.num_positive()),
+                         pattern_.window());
+  current_plan_ = MakePlan("TRIVIAL", bootstrap, options_.seed);
+  engine_ = BuildEngine(pattern_, current_plan_, &dedup_);
+}
+
+AdaptiveRuntime::~AdaptiveRuntime() = default;
+
+CostFunction AdaptiveRuntime::CurrentCostFunction() const {
+  PatternStats stats = estimator_.EstimateForPattern(pattern_);
+  CostSpec spec;
+  spec.model = pattern_.strategy() == SelectionStrategy::kSkipTillAny
+                   ? ThroughputModel::kAny
+                   : ThroughputModel::kNextMatch;
+  return CostFunction(stats, pattern_.window(), spec);
+}
+
+void AdaptiveRuntime::MaybeReoptimize(Timestamp now) {
+  next_evaluation_ = now + options_.evaluation_interval;
+  CostFunction cost = CurrentCostFunction();
+  EnginePlan fresh = MakePlan(options_.algorithm, cost, options_.seed);
+  double current_cost = current_plan_.kind == EnginePlan::Kind::kOrder
+                            ? cost.OrderCost(current_plan_.order)
+                            : cost.TreeCost(current_plan_.tree);
+  if (fresh.cost >= (1.0 - options_.improvement_threshold) * current_cost) {
+    return;
+  }
+  ++reoptimizations_;
+  current_plan_ = fresh;
+  std::unique_ptr<Engine> fresh_engine =
+      BuildEngine(pattern_, current_plan_, &dedup_);
+  // Warm the new engine by replaying the retained window so partial
+  // matches spanning the switch are rebuilt; the dedup sink suppresses
+  // matches the old engine already emitted.
+  replaying_ = true;
+  for (const EventPtr& e : window_history_) fresh_engine->OnEvent(e);
+  replaying_ = false;
+  engine_ = std::move(fresh_engine);
+}
+
+void AdaptiveRuntime::OnEvent(const EventPtr& e) {
+  CEPJOIN_CHECK(!replaying_);
+  estimator_.Observe(*e);
+  Timestamp horizon = e->ts - pattern_.window();
+  while (!window_history_.empty() && window_history_.front()->ts < horizon) {
+    window_history_.pop_front();
+  }
+  dedup_.Evict(horizon);
+  // Re-optimize before recording `e`: a freshly swapped engine is warmed
+  // with the history *preceding* this arrival and then receives `e`
+  // exactly once below.
+  if (e->ts >= next_evaluation_) MaybeReoptimize(e->ts);
+  window_history_.push_back(e);
+  engine_->OnEvent(e);
+}
+
+void AdaptiveRuntime::ProcessStream(const EventStream& stream) {
+  for (const EventPtr& e : stream.events()) OnEvent(e);
+}
+
+void AdaptiveRuntime::Finish() { engine_->Finish(); }
+
+}  // namespace cepjoin

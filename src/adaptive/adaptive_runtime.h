@@ -1,0 +1,85 @@
+#ifndef CEPJOIN_ADAPTIVE_ADAPTIVE_RUNTIME_H_
+#define CEPJOIN_ADAPTIVE_ADAPTIVE_RUNTIME_H_
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <unordered_set>
+
+#include "engine/engine_factory.h"
+#include "event/stream.h"
+#include "runtime/match.h"
+#include "stats/online_estimator.h"
+
+namespace cepjoin {
+
+/// Options for the adaptive runtime (Sec. 6.3, simplified from the
+/// companion paper [27]).
+struct AdaptiveOptions {
+  /// Plan-generation algorithm invoked on re-optimization.
+  std::string algorithm = "GREEDY";
+  /// Seconds between plan re-evaluations.
+  double evaluation_interval = 2.0;
+  /// Re-plan only when the fresh plan is at least this much cheaper than
+  /// the current plan re-costed under the fresh statistics (0.25 = 25%).
+  double improvement_threshold = 0.25;
+  /// Half-life of the online statistics estimator, seconds.
+  double stats_half_life = 10.0;
+  uint64_t seed = 7;
+};
+
+/// Adaptive CEP runtime: continuously estimates arrival rates and
+/// selectivities on-the-fly, periodically re-runs the plan generator, and
+/// hot-swaps the evaluation plan when the estimated gain crosses the
+/// threshold.
+///
+/// Plan switchover is exactly-once and complete: the new engine is warmed
+/// by replaying the retained window history (so partial matches spanning
+/// the switch are rebuilt), and a fingerprint dedup filter with a
+/// window-length retention suppresses re-emissions of matches the old
+/// plan already reported.
+class AdaptiveRuntime {
+ public:
+  AdaptiveRuntime(const SimplePattern& pattern, size_t num_types,
+                  const AdaptiveOptions& options, MatchSink* sink);
+  ~AdaptiveRuntime();
+
+  void OnEvent(const EventPtr& e);
+  void ProcessStream(const EventStream& stream);
+  void Finish();
+
+  int reoptimization_count() const { return reoptimizations_; }
+  const EnginePlan& current_plan() const { return current_plan_; }
+  const EngineCounters& counters() const { return engine_->counters(); }
+
+ private:
+  class DedupSink : public MatchSink {
+   public:
+    explicit DedupSink(MatchSink* inner) : inner_(inner) {}
+    void OnMatch(const Match& match) override;
+    void Evict(Timestamp horizon);
+
+   private:
+    MatchSink* inner_;
+    std::unordered_set<std::string> seen_;
+    std::deque<std::pair<Timestamp, std::string>> by_time_;
+  };
+
+  void MaybeReoptimize(Timestamp now);
+  CostFunction CurrentCostFunction() const;
+
+  SimplePattern pattern_;
+  AdaptiveOptions options_;
+  OnlineStatsEstimator estimator_;
+  DedupSink dedup_;
+  std::unique_ptr<Engine> engine_;
+  EnginePlan current_plan_;
+  std::deque<EventPtr> window_history_;
+  Timestamp next_evaluation_ = 0.0;
+  int reoptimizations_ = 0;
+  bool replaying_ = false;
+};
+
+}  // namespace cepjoin
+
+#endif  // CEPJOIN_ADAPTIVE_ADAPTIVE_RUNTIME_H_

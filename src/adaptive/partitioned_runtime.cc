@@ -1,0 +1,77 @@
+#include "adaptive/partitioned_runtime.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace cepjoin {
+
+PartitionedRuntime::PartitionedRuntime(const SimplePattern& pattern,
+                                       const EventStream& history,
+                                       size_t num_types,
+                                       const std::string& algorithm,
+                                       MatchSink* sink, uint64_t seed)
+    : pattern_(pattern),
+      algorithm_(algorithm),
+      sink_(sink),
+      seed_(seed),
+      global_stats_(pattern.num_positive()) {
+  CEPJOIN_CHECK(sink_ != nullptr);
+  // Split the history by partition and collect statistics per partition.
+  std::unordered_map<uint32_t, EventStream> by_partition;
+  for (const EventPtr& e : history.events()) {
+    Event copy = *e;
+    by_partition[e->partition].Append(std::move(copy));
+  }
+  for (const auto& [partition, stream] : by_partition) {
+    StatsCollector collector(stream, num_types);
+    partition_stats_.emplace(partition,
+                             collector.CollectForPattern(pattern_));
+  }
+  StatsCollector global(history, num_types);
+  global_stats_ = global.CollectForPattern(pattern_);
+}
+
+PartitionedRuntime::PartitionState& PartitionedRuntime::StateFor(
+    uint32_t partition) {
+  auto it = engines_.find(partition);
+  if (it != engines_.end()) return it->second;
+  auto stats_it = partition_stats_.find(partition);
+  const PatternStats& stats = stats_it != partition_stats_.end()
+                                  ? stats_it->second
+                                  : global_stats_;
+  CostFunction cost = MakeCostFunction(pattern_, stats, 0.0);
+  PartitionState state;
+  state.plan = MakePlan(algorithm_, cost, seed_);
+  state.engine = BuildEngine(pattern_, state.plan, sink_);
+  return engines_.emplace(partition, std::move(state)).first->second;
+}
+
+void PartitionedRuntime::OnEvent(const EventPtr& e) {
+  StateFor(e->partition).engine->OnEvent(e);
+}
+
+void PartitionedRuntime::ProcessStream(const EventStream& stream) {
+  for (const EventPtr& e : stream.events()) OnEvent(e);
+}
+
+void PartitionedRuntime::Finish() {
+  for (auto& [partition, state] : engines_) state.engine->Finish();
+}
+
+const EnginePlan& PartitionedRuntime::PlanFor(uint32_t partition) const {
+  auto it = engines_.find(partition);
+  CEPJOIN_CHECK(it != engines_.end())
+      << "no events seen for partition " << partition;
+  return it->second.plan;
+}
+
+EngineCounters PartitionedRuntime::TotalCounters() const {
+  EngineCounters total;
+  for (const auto& [partition, state] : engines_) {
+    total.Merge(state.engine->counters());
+  }
+  return total;
+}
+
+}  // namespace cepjoin

@@ -1,0 +1,67 @@
+#ifndef CEPJOIN_ADAPTIVE_PARTITIONED_RUNTIME_H_
+#define CEPJOIN_ADAPTIVE_PARTITIONED_RUNTIME_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/engine_factory.h"
+#include "event/stream.h"
+#include "runtime/match.h"
+#include "stats/collector.h"
+
+namespace cepjoin {
+
+/// Per-partition evaluation plans — the future-work direction Sec. 6.2
+/// sketches for partition contiguity: "unless the value distribution
+/// across the partitions remains unchanged ... the evaluation plan is to
+/// be generated on a per-partition basis".
+///
+/// The runtime assumes matches are partition-local (keyed streams: one
+/// vehicle, one ticker symbol group, ...). It splits the statistics
+/// stream by partition, runs the plan generator once per partition, and
+/// routes live events to the partition's own engine. Partitions whose
+/// statistics differ get different plans; the match set equals running
+/// the pattern on every partition's sub-stream independently.
+class PartitionedRuntime {
+ public:
+  /// `history` supplies per-partition statistics (the preprocessing
+  /// pass); partitions absent from the history fall back to global
+  /// statistics.
+  PartitionedRuntime(const SimplePattern& pattern, const EventStream& history,
+                     size_t num_types, const std::string& algorithm,
+                     MatchSink* sink, uint64_t seed = 7);
+
+  void OnEvent(const EventPtr& e);
+  void ProcessStream(const EventStream& stream);
+  void Finish();
+
+  /// Number of distinct partitions seen (== engines created).
+  size_t num_partitions() const { return engines_.size(); }
+  /// The plan serving one partition; aborts if the partition is unknown.
+  const EnginePlan& PlanFor(uint32_t partition) const;
+  /// Aggregated counters across partition engines.
+  EngineCounters TotalCounters() const;
+
+ private:
+  struct PartitionState {
+    EnginePlan plan;
+    std::unique_ptr<Engine> engine;
+  };
+
+  PartitionState& StateFor(uint32_t partition);
+
+  SimplePattern pattern_;
+  std::string algorithm_;
+  MatchSink* sink_;
+  uint64_t seed_;
+  // Per-partition plan-time statistics, precomputed from the history.
+  std::unordered_map<uint32_t, PatternStats> partition_stats_;
+  PatternStats global_stats_;
+  std::unordered_map<uint32_t, PartitionState> engines_;
+};
+
+}  // namespace cepjoin
+
+#endif  // CEPJOIN_ADAPTIVE_PARTITIONED_RUNTIME_H_

@@ -1,0 +1,43 @@
+#include "api/cep_runtime.h"
+
+#include <sstream>
+
+#include "common/check.h"
+
+namespace cepjoin {
+
+CepRuntime::CepRuntime(const SimplePattern& pattern, const PatternStats& stats,
+                       const RuntimeOptions& options, MatchSink* sink) {
+  subpatterns_ = {pattern};
+  CostFunction cost = MakeCostFunction(pattern, stats, options.latency_alpha);
+  plans_ = {MakePlan(options.algorithm, cost, options.seed)};
+  engine_ = BuildEngine(pattern, plans_[0], sink);
+}
+
+CepRuntime::CepRuntime(const NestedPattern& pattern,
+                       const StatsCollector& collector,
+                       const RuntimeOptions& options, MatchSink* sink) {
+  subpatterns_ = ToDnf(pattern);
+  CEPJOIN_CHECK(!subpatterns_.empty());
+  for (const SimplePattern& sub : subpatterns_) {
+    CostFunction cost = MakeCostFunction(sub, collector.CollectForPattern(sub),
+                                         options.latency_alpha);
+    plans_.push_back(MakePlan(options.algorithm, cost, options.seed));
+  }
+  engine_ = BuildDnfEngine(subpatterns_, plans_, sink);
+}
+
+void CepRuntime::ProcessStream(const EventStream& stream) {
+  for (const EventPtr& e : stream.events()) OnEvent(e);
+}
+
+std::string CepRuntime::DescribePlans() const {
+  std::ostringstream os;
+  for (size_t k = 0; k < plans_.size(); ++k) {
+    if (plans_.size() > 1) os << "subpattern " << k << ": ";
+    os << plans_[k].Describe() << " (cost " << plans_[k].cost << ")\n";
+  }
+  return os.str();
+}
+
+}  // namespace cepjoin

@@ -1,0 +1,67 @@
+#ifndef CEPJOIN_API_CEP_RUNTIME_H_
+#define CEPJOIN_API_CEP_RUNTIME_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/engine_factory.h"
+#include "event/stream.h"
+#include "pattern/nested.h"
+#include "pattern/pattern.h"
+#include "stats/collector.h"
+
+namespace cepjoin {
+
+/// Top-level configuration of a CepRuntime.
+struct RuntimeOptions {
+  /// Plan-generation algorithm: TRIVIAL, EFREQ, GREEDY, II-RANDOM,
+  /// II-GREEDY, DP-LD, KBZ (order plans / lazy NFA) or ZSTREAM,
+  /// ZSTREAM-ORD, DP-B (tree plans / tree engine).
+  std::string algorithm = "GREEDY";
+  /// Throughput–latency trade-off weight alpha (Sec. 6.1); 0 optimizes
+  /// throughput only.
+  double latency_alpha = 0.0;
+  uint64_t seed = 7;
+};
+
+/// The library facade: plans a pattern with a chosen algorithm and
+/// evaluates it over a stream.
+///
+///   StatsCollector collector(history, registry.size());
+///   CollectingSink sink;
+///   CepRuntime runtime(pattern, collector.CollectForPattern(pattern),
+///                      {.algorithm = "DP-LD"}, &sink);
+///   runtime.ProcessStream(live_stream);
+///   runtime.Finish();
+class CepRuntime {
+ public:
+  /// Simple pattern with pre-collected statistics.
+  CepRuntime(const SimplePattern& pattern, const PatternStats& stats,
+             const RuntimeOptions& options, MatchSink* sink);
+
+  /// Nested pattern: DNF decomposition (Sec. 5.4), one plan and one
+  /// sub-engine per conjunctive subpattern, union of matches.
+  CepRuntime(const NestedPattern& pattern, const StatsCollector& collector,
+             const RuntimeOptions& options, MatchSink* sink);
+
+  void OnEvent(const EventPtr& e) { engine_->OnEvent(e); }
+  void ProcessStream(const EventStream& stream);
+  void Finish() { engine_->Finish(); }
+
+  const EngineCounters& counters() const { return engine_->counters(); }
+  const std::vector<EnginePlan>& plans() const { return plans_; }
+  const std::vector<SimplePattern>& subpatterns() const {
+    return subpatterns_;
+  }
+  std::string DescribePlans() const;
+
+ private:
+  std::vector<SimplePattern> subpatterns_;
+  std::vector<EnginePlan> plans_;
+  std::unique_ptr<Engine> engine_;
+};
+
+}  // namespace cepjoin
+
+#endif  // CEPJOIN_API_CEP_RUNTIME_H_

@@ -1,0 +1,15 @@
+#include "common/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace cepjoin {
+
+void CheckFailed(const char* file, int line, const char* expr,
+                 const std::string& message) {
+  std::fprintf(stderr, "[cepjoin] CHECK failed at %s:%d: %s%s%s\n", file, line,
+               expr, message.empty() ? "" : " — ", message.c_str());
+  std::abort();
+}
+
+}  // namespace cepjoin

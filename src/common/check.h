@@ -1,0 +1,57 @@
+#ifndef CEPJOIN_COMMON_CHECK_H_
+#define CEPJOIN_COMMON_CHECK_H_
+
+#include <sstream>
+#include <string>
+
+namespace cepjoin {
+
+/// Aborts the process with a diagnostic message. Used for programmer errors
+/// (violated preconditions / internal invariants), never for data errors.
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr,
+                              const std::string& message);
+
+namespace internal_check {
+
+/// Stream-style message accumulator so call sites can write
+/// `CEPJOIN_CHECK(x > 0) << "x was " << x;`.
+class CheckMessageBuilder {
+ public:
+  CheckMessageBuilder(const char* file, int line, const char* expr)
+      : file_(file), line_(line), expr_(expr) {}
+  CheckMessageBuilder(const CheckMessageBuilder&) = delete;
+  CheckMessageBuilder& operator=(const CheckMessageBuilder&) = delete;
+  [[noreturn]] ~CheckMessageBuilder() {
+    CheckFailed(file_, line_, expr_, stream_.str());
+  }
+
+  template <typename T>
+  CheckMessageBuilder& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* expr_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_check
+}  // namespace cepjoin
+
+#define CEPJOIN_CHECK(condition)                                       \
+  if (condition) {                                                     \
+  } else                                                               \
+    ::cepjoin::internal_check::CheckMessageBuilder(__FILE__, __LINE__, \
+                                                   #condition)
+
+#define CEPJOIN_CHECK_EQ(a, b) CEPJOIN_CHECK((a) == (b))
+#define CEPJOIN_CHECK_NE(a, b) CEPJOIN_CHECK((a) != (b))
+#define CEPJOIN_CHECK_LT(a, b) CEPJOIN_CHECK((a) < (b))
+#define CEPJOIN_CHECK_LE(a, b) CEPJOIN_CHECK((a) <= (b))
+#define CEPJOIN_CHECK_GT(a, b) CEPJOIN_CHECK((a) > (b))
+#define CEPJOIN_CHECK_GE(a, b) CEPJOIN_CHECK((a) >= (b))
+
+#endif  // CEPJOIN_COMMON_CHECK_H_

@@ -1,0 +1,43 @@
+#ifndef CEPJOIN_COMMON_MATRIX_H_
+#define CEPJOIN_COMMON_MATRIX_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/check.h"
+
+namespace cepjoin {
+
+/// Small dense row-major matrix of doubles; used for selectivity matrices.
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+  Matrix(size_t rows, size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  double& At(size_t r, size_t c) {
+    CEPJOIN_CHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  double At(size_t r, size_t c) const {
+    CEPJOIN_CHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  bool operator==(const Matrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_ &&
+           data_ == other.data_;
+  }
+
+ private:
+  size_t rows_;
+  size_t cols_;
+  std::vector<double> data_;
+};
+
+}  // namespace cepjoin
+
+#endif  // CEPJOIN_COMMON_MATRIX_H_

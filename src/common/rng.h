@@ -1,0 +1,54 @@
+#ifndef CEPJOIN_COMMON_RNG_H_
+#define CEPJOIN_COMMON_RNG_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+
+namespace cepjoin {
+
+/// Seeded pseudo-random source used by the workload generators and the
+/// randomized optimizers. Thin wrapper over std::mt19937_64 so all call
+/// sites share one definition of the distributions we rely on.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
+  }
+
+  /// Uniform real in [lo, hi).
+  double UniformReal(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Standard normal scaled to the given mean / stddev.
+  double Normal(double mean, double stddev) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  /// Exponential with the given rate (events per second).
+  double Exponential(double rate) {
+    return std::exponential_distribution<double>(rate)(engine_);
+  }
+
+  bool Bernoulli(double p) {
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  template <typename It>
+  void Shuffle(It first, It last) {
+    std::shuffle(first, last, engine_);
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace cepjoin
+
+#endif  // CEPJOIN_COMMON_RNG_H_

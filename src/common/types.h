@@ -1,0 +1,24 @@
+#ifndef CEPJOIN_COMMON_TYPES_H_
+#define CEPJOIN_COMMON_TYPES_H_
+
+#include <cstdint>
+
+namespace cepjoin {
+
+/// Identifier of a registered event type (dense, 0-based).
+using TypeId = uint32_t;
+
+/// Index of an attribute within an event type's schema.
+using AttrId = uint32_t;
+
+/// Global arrival position of an event within a stream (0-based, unique).
+using EventSerial = uint64_t;
+
+/// Event timestamps and time windows are measured in seconds.
+using Timestamp = double;
+
+inline constexpr TypeId kInvalidTypeId = static_cast<TypeId>(-1);
+
+}  // namespace cepjoin
+
+#endif  // CEPJOIN_COMMON_TYPES_H_

@@ -1,0 +1,43 @@
+#include "cost/asi.h"
+
+#include "common/check.h"
+
+namespace cepjoin {
+
+AsiContext MakeAsiContext(const PatternStats& stats, Timestamp window,
+                          const std::vector<int>& parent) {
+  int n = stats.size();
+  CEPJOIN_CHECK_EQ(static_cast<int>(parent.size()), n);
+  AsiContext ctx;
+  ctx.factor.resize(n);
+  for (int i = 0; i < n; ++i) {
+    double sel_r = parent[i] >= 0 ? stats.sel(i, parent[i]) : 1.0;
+    ctx.factor[i] = window * stats.rate(i) * stats.sel(i, i) * sel_r;
+  }
+  return ctx;
+}
+
+double AsiC(const AsiContext& ctx, const std::vector<int>& seq) {
+  double total = 0.0;
+  double product = 1.0;
+  for (int slot : seq) {
+    product *= ctx.factor[slot];
+    total += product;
+  }
+  return total;
+}
+
+double AsiT(const AsiContext& ctx, const std::vector<int>& seq) {
+  double product = 1.0;
+  for (int slot : seq) product *= ctx.factor[slot];
+  return product;
+}
+
+double AsiRank(const AsiContext& ctx, const std::vector<int>& seq) {
+  CEPJOIN_CHECK(!seq.empty());
+  double c = AsiC(ctx, seq);
+  CEPJOIN_CHECK_GT(c, 0.0) << "rank undefined for zero-cost sequences";
+  return (AsiT(ctx, seq) - 1.0) / c;
+}
+
+}  // namespace cepjoin

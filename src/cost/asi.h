@@ -1,0 +1,42 @@
+#ifndef CEPJOIN_COST_ASI_H_
+#define CEPJOIN_COST_ASI_H_
+
+#include <vector>
+
+#include "stats/statistics.h"
+
+namespace cepjoin {
+
+/// Appendix A machinery: the auxiliary functions C(s), T(s) and the rank
+/// rank(s) = (T(s) − 1) / C(s) that witness the ASI property of
+/// Cost_ord^trpt for acyclic (tree-shaped) predicate graphs.
+///
+/// The context fixes, for each slot i, the factor W·r_i·selR_i, where
+/// selR_i is the selectivity of the single predicate linking i to the slot
+/// s preceding it on the rooted predicate tree (selR_root = 1). Unary
+/// selectivities fold into the factor. With these factors,
+/// Cost_ord^trpt(O) = C(O) for every order O that respects the precedence
+/// tree.
+struct AsiContext {
+  /// Per-slot factor W · r_i · sel_ii · selR_i.
+  std::vector<double> factor;
+};
+
+/// Builds the context for a rooted spanning tree of the predicate graph.
+/// `parent[i]` is i's parent slot (-1 for the root). Slots whose parent
+/// edge carries no predicate get selR = 1 (cross product).
+AsiContext MakeAsiContext(const PatternStats& stats, Timestamp window,
+                          const std::vector<int>& parent);
+
+/// C(s) = Σ_{k ≤ |s|} Π_{i ≤ k} factor[s_i];  C(ε) = 0.
+double AsiC(const AsiContext& ctx, const std::vector<int>& seq);
+
+/// T(s) = Π factor[s_i];  T(ε) = 1.
+double AsiT(const AsiContext& ctx, const std::vector<int>& seq);
+
+/// rank(s) = (T(s) − 1) / C(s); undefined (CHECK) for empty sequences.
+double AsiRank(const AsiContext& ctx, const std::vector<int>& seq);
+
+}  // namespace cepjoin
+
+#endif  // CEPJOIN_COST_ASI_H_

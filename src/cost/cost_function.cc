@@ -1,0 +1,125 @@
+#include "cost/cost_function.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.h"
+
+namespace cepjoin {
+
+CostFunction::CostFunction(const PatternStats& stats, Timestamp window,
+                           CostSpec spec)
+    : stats_(stats), window_(window), spec_(spec) {
+  CEPJOIN_CHECK_GT(window_, 0.0);
+  CEPJOIN_CHECK_LE(stats_.size(), 64);
+  CEPJOIN_CHECK(spec_.latency_anchor < stats_.size());
+}
+
+double CostFunction::LeafCost(int i) const { return window_ * stats_.rate(i); }
+
+double CostFunction::OrderSetCost(uint64_t mask) const {
+  double sel_product = 1.0;
+  int n = size();
+  for (int i = 0; i < n; ++i) {
+    if (!(mask >> i & 1)) continue;
+    sel_product *= stats_.sel(i, i);
+    for (int j = i + 1; j < n; ++j) {
+      if (mask >> j & 1) sel_product *= stats_.sel(i, j);
+    }
+  }
+  if (spec_.model == ThroughputModel::kNextMatch) {
+    // m[k] = W · min(r) · Π sel; the paper's Cost^next_ord sums W · m[k].
+    double min_rate = std::numeric_limits<double>::infinity();
+    for (int i = 0; i < n; ++i) {
+      if (mask >> i & 1) min_rate = std::min(min_rate, stats_.rate(i));
+    }
+    return window_ * window_ * min_rate * sel_product;
+  }
+  double product = sel_product;
+  for (int i = 0; i < n; ++i) {
+    if (mask >> i & 1) product *= window_ * stats_.rate(i);
+  }
+  return product;
+}
+
+double CostFunction::TreeNodeCost(uint64_t mask) const {
+  double sel_product = 1.0;
+  int n = size();
+  for (int i = 0; i < n; ++i) {
+    if (!(mask >> i & 1)) continue;
+    for (int j = i + 1; j < n; ++j) {
+      if (mask >> j & 1) sel_product *= stats_.sel(i, j);
+    }
+  }
+  if (spec_.model == ThroughputModel::kNextMatch) {
+    // PM(n) = W · min(r) · Π sel (Sec. 6.2).
+    double min_rate = std::numeric_limits<double>::infinity();
+    for (int i = 0; i < n; ++i) {
+      if (mask >> i & 1) min_rate = std::min(min_rate, stats_.rate(i));
+    }
+    return window_ * min_rate * sel_product;
+  }
+  double product = sel_product;
+  for (int i = 0; i < n; ++i) {
+    if (mask >> i & 1) product *= window_ * stats_.rate(i);
+  }
+  return product;
+}
+
+double CostFunction::OrderThroughputCost(const OrderPlan& plan) const {
+  CEPJOIN_CHECK_EQ(plan.size(), size());
+  double total = 0.0;
+  uint64_t mask = 0;
+  for (int k = 0; k < plan.size(); ++k) {
+    mask |= uint64_t{1} << plan.At(k);
+    total += OrderSetCost(mask);
+  }
+  return total;
+}
+
+double CostFunction::OrderLatencyCost(const OrderPlan& plan) const {
+  if (spec_.latency_anchor < 0) return 0.0;
+  // Cost^lat_ord = Σ_{Ti ∈ Succ_O(Tn)} W · r_i (Sec. 6.1).
+  double total = 0.0;
+  int anchor_step = plan.StepOf(spec_.latency_anchor);
+  for (int k = anchor_step + 1; k < plan.size(); ++k) {
+    total += LeafCost(plan.At(k));
+  }
+  return total;
+}
+
+double CostFunction::OrderCost(const OrderPlan& plan) const {
+  return OrderThroughputCost(plan) + spec_.latency_alpha * OrderLatencyCost(plan);
+}
+
+double CostFunction::TreeThroughputCost(const TreePlan& plan) const {
+  CEPJOIN_CHECK_EQ(plan.num_leaves(), size());
+  double total = 0.0;
+  for (int i = 0; i < size(); ++i) total += LeafCost(i);
+  for (int id : plan.internal_postorder()) {
+    total += TreeNodeCost(plan.node(id).mask);
+  }
+  return total;
+}
+
+double CostFunction::TreeLatencyCost(const TreePlan& plan) const {
+  if (spec_.latency_anchor < 0) return 0.0;
+  // Cost^lat_tree = Σ_{N ∈ Anc(Tn)} PM(sibling(N)) (Sec. 6.1): walking from
+  // Tn's leaf to the root, each step joins against the partial matches
+  // buffered at the sibling subtree.
+  double total = 0.0;
+  int node = plan.LeafOf(spec_.latency_anchor);
+  while (plan.node(node).parent >= 0) {
+    int sib = plan.Sibling(node);
+    const TreePlan::Node& s = plan.node(sib);
+    total += s.leaf_item >= 0 ? LeafCost(s.leaf_item) : TreeNodeCost(s.mask);
+    node = plan.node(node).parent;
+  }
+  return total;
+}
+
+double CostFunction::TreeCost(const TreePlan& plan) const {
+  return TreeThroughputCost(plan) + spec_.latency_alpha * TreeLatencyCost(plan);
+}
+
+}  // namespace cepjoin

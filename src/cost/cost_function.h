@@ -1,0 +1,77 @@
+#ifndef CEPJOIN_COST_COST_FUNCTION_H_
+#define CEPJOIN_COST_COST_FUNCTION_H_
+
+#include <cstdint>
+
+#include "plan/order_plan.h"
+#include "plan/tree_plan.h"
+#include "stats/statistics.h"
+
+namespace cepjoin {
+
+/// Which partial-match model the throughput component uses (Sec. 6.2):
+/// kAny      — skip-till-any-match, PM(k) = W^k · Π r · Π sel (Sec. 4.1);
+/// kNextMatch — skip-till-next-match, m[k] = W · min(r) · Π sel; the paper
+///              uses this model for the contiguity strategies as well.
+enum class ThroughputModel { kAny, kNextMatch };
+
+/// Full cost specification: throughput model plus the hybrid latency term
+/// Cost = Cost_trpt + alpha · Cost_lat (Sec. 6.1). `latency_anchor` is the
+/// slot whose event arrives last (Tn) — the pattern's final slot for SEQ,
+/// or the output profiler's most frequent last type for AND; -1 disables
+/// the latency term regardless of alpha.
+struct CostSpec {
+  ThroughputModel model = ThroughputModel::kAny;
+  double latency_alpha = 0.0;
+  int latency_anchor = -1;
+};
+
+/// Evaluates the paper's CPG cost functions over order-based and
+/// tree-based plans for one pattern's statistics. All optimizers consume
+/// plans solely through this interface, which is what makes JQPG
+/// algorithms directly applicable (they are "generally independent of the
+/// cost model", Sec. 6.1).
+class CostFunction {
+ public:
+  CostFunction(const PatternStats& stats, Timestamp window,
+               CostSpec spec = {});
+
+  int size() const { return stats_.size(); }
+  Timestamp window() const { return window_; }
+  double rate(int i) const { return stats_.rate(i); }
+  double sel(int i, int j) const { return stats_.sel(i, j); }
+  const CostSpec& spec() const { return spec_; }
+
+  /// Expected number of partial matches over the slot set `mask` under the
+  /// order-based model: this is PM(k) (resp. W·m[k]) for any prefix whose
+  /// slot set is `mask`. Includes unary selectivities.
+  double OrderSetCost(uint64_t mask) const;
+
+  /// Expected partial matches accumulated at an internal tree node whose
+  /// subtree covers `mask` (Sec. 4.2). Excludes unary selectivities, like
+  /// the paper's tree model.
+  double TreeNodeCost(uint64_t mask) const;
+
+  /// Expected partial matches at the leaf of slot i: W · r_i.
+  double LeafCost(int i) const;
+
+  /// Throughput component only: Cost_ord / Cost_ord^next.
+  double OrderThroughputCost(const OrderPlan& plan) const;
+  /// Latency component only: Cost_ord^lat (Sec. 6.1); 0 if no anchor.
+  double OrderLatencyCost(const OrderPlan& plan) const;
+  /// Hybrid total: throughput + alpha · latency.
+  double OrderCost(const OrderPlan& plan) const;
+
+  double TreeThroughputCost(const TreePlan& plan) const;
+  double TreeLatencyCost(const TreePlan& plan) const;
+  double TreeCost(const TreePlan& plan) const;
+
+ private:
+  PatternStats stats_;
+  Timestamp window_;
+  CostSpec spec_;
+};
+
+}  // namespace cepjoin
+
+#endif  // CEPJOIN_COST_COST_FUNCTION_H_

@@ -1,0 +1,80 @@
+#include "cost/join_cost.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace cepjoin {
+
+JoinQuery JoinQueryFromPattern(const PatternStats& stats, Timestamp window) {
+  int n = stats.size();
+  JoinQuery q;
+  q.cardinalities.resize(n);
+  q.f = Matrix(n, n, 1.0);
+  for (int i = 0; i < n; ++i) {
+    q.cardinalities[i] = window * stats.rate(i);
+    for (int j = 0; j < n; ++j) q.f.At(i, j) = stats.sel(i, j);
+  }
+  return q;
+}
+
+PatternFromJoinResult PatternFromJoinQuery(const JoinQuery& query) {
+  int n = query.size();
+  CEPJOIN_CHECK_GT(n, 0);
+  double window =
+      *std::max_element(query.cardinalities.begin(), query.cardinalities.end());
+  CEPJOIN_CHECK_GT(window, 0.0);
+  PatternStats stats(n);
+  for (int i = 0; i < n; ++i) {
+    stats.set_rate(i, query.cardinalities[i] / window);
+    for (int j = i; j < n; ++j) stats.set_sel(i, j, query.f.At(i, j));
+  }
+  return PatternFromJoinResult{stats, window};
+}
+
+double CostLDJ(const JoinQuery& query, const OrderPlan& order) {
+  CEPJOIN_CHECK_EQ(order.size(), query.size());
+  double total = 0.0;
+  double intermediate = 1.0;
+  for (int k = 0; k < order.size(); ++k) {
+    int rel = order.At(k);
+    // Join the next relation and apply its unary filter plus every
+    // predicate linking it to already-joined relations.
+    intermediate *= query.cardinalities[rel] * query.f.At(rel, rel);
+    for (int j = 0; j < k; ++j) {
+      intermediate *= query.f.At(order.At(j), rel);
+    }
+    total += intermediate;
+  }
+  return total;
+}
+
+double CostBJ(const JoinQuery& query, const TreePlan& tree) {
+  CEPJOIN_CHECK_EQ(tree.num_leaves(), query.size());
+  int n = query.size();
+  std::vector<double> result_size(tree.num_nodes(), 0.0);
+  double total = 0.0;
+  // Leaves first.
+  for (int i = 0; i < n; ++i) {
+    int leaf = tree.LeafOf(i);
+    result_size[leaf] = query.cardinalities[i];
+    total += result_size[leaf];
+  }
+  for (int id : tree.internal_postorder()) {
+    const TreePlan::Node& node = tree.node(id);
+    uint64_t lmask = tree.node(node.left).mask;
+    uint64_t rmask = tree.node(node.right).mask;
+    double f = 1.0;
+    for (int i = 0; i < n; ++i) {
+      if (!(lmask >> i & 1)) continue;
+      for (int j = 0; j < n; ++j) {
+        if (rmask >> j & 1) f *= query.f.At(i, j);
+      }
+    }
+    result_size[id] = result_size[node.left] * result_size[node.right] * f;
+    total += result_size[id];
+  }
+  return total;
+}
+
+}  // namespace cepjoin

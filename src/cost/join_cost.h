@@ -1,0 +1,46 @@
+#ifndef CEPJOIN_COST_JOIN_COST_H_
+#define CEPJOIN_COST_JOIN_COST_H_
+
+#include <vector>
+
+#include "common/matrix.h"
+#include "plan/order_plan.h"
+#include "plan/tree_plan.h"
+#include "stats/statistics.h"
+
+namespace cepjoin {
+
+/// A join query in the JQPG formulation (Sec. 3.2): relations R_1..R_n
+/// with cardinalities |R_i| and pairwise predicate selectivities f_ij
+/// (f_ij = 1 when no predicate links i and j; the diagonal holds unary
+/// filter selectivities).
+struct JoinQuery {
+  std::vector<double> cardinalities;
+  Matrix f;
+
+  int size() const { return static_cast<int>(cardinalities.size()); }
+};
+
+/// Theorem 1 reduction, CPG → JQPG: |R_i| = W · r_i, f = sel.
+JoinQuery JoinQueryFromPattern(const PatternStats& stats, Timestamp window);
+
+/// Theorem 1 reduction, JQPG → CPG: W = max |R_i|, r_i = |R_i| / W,
+/// sel = f.
+struct PatternFromJoinResult {
+  PatternStats stats;
+  Timestamp window;
+};
+PatternFromJoinResult PatternFromJoinQuery(const JoinQuery& query);
+
+/// Cost_LDJ (Sec. 4.1): C_1 = |R_i1| · f_{i1,i1}, then intermediate-result
+/// sizes of each two-way join in left-deep order. Unary selectivities are
+/// applied when their relation is joined, matching the paper's expansion.
+double CostLDJ(const JoinQuery& query, const OrderPlan& order);
+
+/// Cost_BJ (Sec. 4.2): Σ over tree nodes of the node's result size —
+/// |R_i| at leaves, |L| · |R| · f_{L,R} at internal nodes.
+double CostBJ(const JoinQuery& query, const TreePlan& tree);
+
+}  // namespace cepjoin
+
+#endif  // CEPJOIN_COST_JOIN_COST_H_

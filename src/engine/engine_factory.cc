@@ -1,0 +1,91 @@
+#include "engine/engine_factory.h"
+
+#include <chrono>
+#include <utility>
+
+#include "common/check.h"
+#include "engine/multi_engine.h"
+#include "nfa/nfa_engine.h"
+#include "optimizer/registry.h"
+#include "tree/tree_engine.h"
+
+namespace cepjoin {
+
+std::string EnginePlan::Describe() const {
+  return algorithm + " " +
+         (kind == Kind::kOrder ? order.Describe() : tree.Describe());
+}
+
+bool IsTreeAlgorithm(const std::string& algorithm) {
+  return algorithm == "ZSTREAM" || algorithm == "ZSTREAM-ORD" ||
+         algorithm == "DP-B";
+}
+
+EnginePlan MakePlan(const std::string& algorithm, const CostFunction& cost,
+                    uint64_t seed) {
+  EnginePlan plan;
+  plan.algorithm = algorithm;
+  auto start = std::chrono::steady_clock::now();
+  if (IsTreeAlgorithm(algorithm)) {
+    plan.kind = EnginePlan::Kind::kTree;
+    plan.tree = MakeTreeOptimizer(algorithm)->Optimize(cost);
+    plan.cost = cost.TreeCost(plan.tree);
+  } else {
+    plan.kind = EnginePlan::Kind::kOrder;
+    plan.order = MakeOrderOptimizer(algorithm, seed)->Optimize(cost);
+    plan.cost = cost.OrderCost(plan.order);
+  }
+  plan.generation_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return plan;
+}
+
+std::unique_ptr<Engine> BuildEngine(const SimplePattern& pattern,
+                                    const EnginePlan& plan, MatchSink* sink) {
+  if (plan.kind == EnginePlan::Kind::kOrder) {
+    return std::make_unique<NfaEngine>(pattern, plan.order, sink);
+  }
+  return std::make_unique<TreeEngine>(pattern, plan.tree, sink);
+}
+
+std::unique_ptr<Engine> BuildDnfEngine(
+    const std::vector<SimplePattern>& subpatterns,
+    const std::vector<EnginePlan>& plans, MatchSink* sink) {
+  CEPJOIN_CHECK_EQ(subpatterns.size(), plans.size());
+  CEPJOIN_CHECK(!subpatterns.empty());
+  std::vector<std::unique_ptr<Engine>> engines;
+  std::vector<std::unique_ptr<MatchSink>> sinks;
+  for (size_t k = 0; k < subpatterns.size(); ++k) {
+    auto tagging =
+        std::make_unique<SubpatternTaggingSink>(sink, static_cast<int>(k));
+    engines.push_back(BuildEngine(subpatterns[k], plans[k], tagging.get()));
+    sinks.push_back(std::move(tagging));
+  }
+  return std::make_unique<MultiEngine>(std::move(engines), std::move(sinks));
+}
+
+ThroughputModel ModelForStrategy(SelectionStrategy strategy) {
+  return strategy == SelectionStrategy::kSkipTillAny
+             ? ThroughputModel::kAny
+             : ThroughputModel::kNextMatch;
+}
+
+int DefaultLatencyAnchor(const SimplePattern& pattern) {
+  if (pattern.op() != OperatorKind::kSeq) return -1;
+  // Last positive slot in pattern order == temporally last event type.
+  return pattern.num_positive() - 1;
+}
+
+CostFunction MakeCostFunction(const SimplePattern& pattern,
+                              const PatternStats& stats,
+                              double latency_alpha) {
+  CostSpec spec;
+  spec.model = ModelForStrategy(pattern.strategy());
+  spec.latency_alpha = latency_alpha;
+  spec.latency_anchor =
+      latency_alpha > 0.0 ? DefaultLatencyAnchor(pattern) : -1;
+  return CostFunction(stats, pattern.window(), spec);
+}
+
+}  // namespace cepjoin

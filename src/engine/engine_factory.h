@@ -1,0 +1,68 @@
+#ifndef CEPJOIN_ENGINE_ENGINE_FACTORY_H_
+#define CEPJOIN_ENGINE_ENGINE_FACTORY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cost/cost_function.h"
+#include "pattern/pattern.h"
+#include "plan/order_plan.h"
+#include "plan/tree_plan.h"
+#include "runtime/engine.h"
+#include "runtime/match.h"
+
+namespace cepjoin {
+
+/// A generated evaluation plan of either class, plus bookkeeping the
+/// benches report (cost under the generating cost function, generation
+/// wall time).
+struct EnginePlan {
+  enum class Kind { kOrder, kTree };
+  Kind kind = Kind::kOrder;
+  OrderPlan order;
+  TreePlan tree;
+  double cost = 0.0;
+  double generation_seconds = 0.0;
+  std::string algorithm;
+
+  std::string Describe() const;
+};
+
+/// True if `algorithm` names a tree-based plan generator.
+bool IsTreeAlgorithm(const std::string& algorithm);
+
+/// Runs the named algorithm (order- or tree-based) on the cost function.
+EnginePlan MakePlan(const std::string& algorithm, const CostFunction& cost,
+                    uint64_t seed = 7);
+
+/// Builds the matching engine (lazy NFA for order plans, tree engine for
+/// tree plans) for a simple pattern.
+std::unique_ptr<Engine> BuildEngine(const SimplePattern& pattern,
+                                    const EnginePlan& plan, MatchSink* sink);
+
+/// Builds a MultiEngine over DNF subpatterns; plans[k] drives
+/// subpattern k, and matches arrive at `sink` tagged with k.
+std::unique_ptr<Engine> BuildDnfEngine(
+    const std::vector<SimplePattern>& subpatterns,
+    const std::vector<EnginePlan>& plans, MatchSink* sink);
+
+/// The throughput model matching a selection strategy (Sec. 6.2):
+/// skip-till-any uses the Sec. 4 model, everything else the
+/// skip-till-next model.
+ThroughputModel ModelForStrategy(SelectionStrategy strategy);
+
+/// Default latency anchor for a pattern (Sec. 6.1): the temporally last
+/// slot for SEQ patterns; -1 for AND patterns (callers may substitute an
+/// output-profiler estimate).
+int DefaultLatencyAnchor(const SimplePattern& pattern);
+
+/// Builds the cost function a pattern should be planned under: throughput
+/// model per its selection strategy (Sec. 6.2), hybrid latency term with
+/// the pattern's default anchor (Sec. 6.1).
+CostFunction MakeCostFunction(const SimplePattern& pattern,
+                              const PatternStats& stats, double latency_alpha);
+
+}  // namespace cepjoin
+
+#endif  // CEPJOIN_ENGINE_ENGINE_FACTORY_H_

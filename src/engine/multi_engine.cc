@@ -1,0 +1,33 @@
+#include "engine/multi_engine.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace cepjoin {
+
+MultiEngine::MultiEngine(std::vector<std::unique_ptr<Engine>> engines,
+                         std::vector<std::unique_ptr<MatchSink>> sinks)
+    : engines_(std::move(engines)), sinks_(std::move(sinks)) {
+  CEPJOIN_CHECK(!engines_.empty());
+}
+
+void MultiEngine::OnEvent(const EventPtr& e) {
+  for (auto& engine : engines_) engine->OnEvent(e);
+  RefreshCounters();
+}
+
+void MultiEngine::Finish() {
+  for (auto& engine : engines_) engine->Finish();
+  RefreshCounters();
+}
+
+void MultiEngine::RefreshCounters() {
+  EngineCounters merged;
+  // Preserve peaks recorded so far: per-subengine peaks do not decrease,
+  // so re-merging each step is monotone.
+  for (auto& engine : engines_) merged.Merge(engine->counters());
+  counters_ = merged;
+}
+
+}  // namespace cepjoin

@@ -1,0 +1,55 @@
+#ifndef CEPJOIN_ENGINE_MULTI_ENGINE_H_
+#define CEPJOIN_ENGINE_MULTI_ENGINE_H_
+
+#include <memory>
+#include <vector>
+
+#include "runtime/engine.h"
+#include "runtime/match.h"
+
+namespace cepjoin {
+
+/// Tags matches with the index of the DNF subpattern that produced them
+/// before forwarding (Sec. 5.4: "the returned result is the union of all
+/// subpattern matches").
+class SubpatternTaggingSink : public MatchSink {
+ public:
+  SubpatternTaggingSink(MatchSink* inner, int subpattern)
+      : inner_(inner), subpattern_(subpattern) {}
+
+  void OnMatch(const Match& match) override {
+    Match tagged = match;
+    tagged.subpattern = subpattern_;
+    inner_->OnMatch(tagged);
+  }
+
+ private:
+  MatchSink* inner_;
+  int subpattern_;
+};
+
+/// Runs one engine per DNF subpattern over the same stream and unions
+/// their matches. Counters aggregate across sub-engines.
+class MultiEngine : public Engine {
+ public:
+  /// `engines[k]` detects subpattern k; `sinks` own the tagging wrappers
+  /// the engines were built against.
+  MultiEngine(std::vector<std::unique_ptr<Engine>> engines,
+              std::vector<std::unique_ptr<MatchSink>> sinks);
+
+  void OnEvent(const EventPtr& e) override;
+  void Finish() override;
+
+  int num_subengines() const { return static_cast<int>(engines_.size()); }
+  const Engine& subengine(int k) const { return *engines_[k]; }
+
+ private:
+  void RefreshCounters();
+
+  std::vector<std::unique_ptr<Engine>> engines_;
+  std::vector<std::unique_ptr<MatchSink>> sinks_;
+};
+
+}  // namespace cepjoin
+
+#endif  // CEPJOIN_ENGINE_MULTI_ENGINE_H_

@@ -1,0 +1,41 @@
+#ifndef CEPJOIN_EVENT_EVENT_H_
+#define CEPJOIN_EVENT_EVENT_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/types.h"
+
+namespace cepjoin {
+
+/// A primitive event: one timestamped tuple of a registered event type.
+///
+/// Events are immutable once placed in a stream; engines share them via
+/// shared_ptr so partial matches can reference them without copying.
+struct Event {
+  /// Dense id of the event's type in the owning EventTypeRegistry.
+  TypeId type = kInvalidTypeId;
+  /// Global arrival position in the stream (unique, strictly increasing).
+  EventSerial serial = 0;
+  /// Partition this event belongs to (used by partition contiguity).
+  uint32_t partition = 0;
+  /// Arrival position within the partition (0-based, per-partition dense).
+  EventSerial partition_seq = 0;
+  /// Occurrence timestamp in seconds. Streams are ordered by `ts`.
+  Timestamp ts = 0.0;
+  /// Attribute values, positionally matching the type's schema.
+  std::vector<double> attrs;
+
+  double Attr(AttrId id) const { return attrs[id]; }
+};
+
+using EventPtr = std::shared_ptr<const Event>;
+
+/// Approximate heap footprint of one event, used by the memory metric.
+inline size_t ApproxEventBytes(const Event& e) {
+  return sizeof(Event) + e.attrs.capacity() * sizeof(double);
+}
+
+}  // namespace cepjoin
+
+#endif  // CEPJOIN_EVENT_EVENT_H_

@@ -1,0 +1,47 @@
+#include "event/event_type.h"
+
+#include "common/check.h"
+
+namespace cepjoin {
+
+TypeId EventTypeRegistry::Register(
+    const std::string& name, const std::vector<std::string>& attribute_names) {
+  auto it = by_name_.find(name);
+  if (it != by_name_.end()) {
+    const EventTypeInfo& existing = types_[it->second];
+    CEPJOIN_CHECK(existing.attribute_names == attribute_names)
+        << "type '" << name << "' re-registered with a different schema";
+    return it->second;
+  }
+  TypeId id = static_cast<TypeId>(types_.size());
+  types_.push_back(EventTypeInfo{id, name, attribute_names});
+  by_name_.emplace(name, id);
+  return id;
+}
+
+TypeId EventTypeRegistry::Require(const std::string& name) const {
+  TypeId id = Find(name);
+  CEPJOIN_CHECK(id != kInvalidTypeId) << "unknown event type '" << name << "'";
+  return id;
+}
+
+TypeId EventTypeRegistry::Find(const std::string& name) const {
+  auto it = by_name_.find(name);
+  return it == by_name_.end() ? kInvalidTypeId : it->second;
+}
+
+const EventTypeInfo& EventTypeRegistry::Info(TypeId id) const {
+  CEPJOIN_CHECK(id < types_.size());
+  return types_[id];
+}
+
+AttrId EventTypeRegistry::RequireAttr(TypeId id, const std::string& attr) const {
+  const EventTypeInfo& info = Info(id);
+  for (size_t i = 0; i < info.attribute_names.size(); ++i) {
+    if (info.attribute_names[i] == attr) return static_cast<AttrId>(i);
+  }
+  CEPJOIN_CHECK(false) << "type '" << info.name << "' has no attribute '"
+                       << attr << "'";
+}
+
+}  // namespace cepjoin

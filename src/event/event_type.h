@@ -1,0 +1,53 @@
+#ifndef CEPJOIN_EVENT_EVENT_TYPE_H_
+#define CEPJOIN_EVENT_EVENT_TYPE_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+
+namespace cepjoin {
+
+/// Schema of one event type: a name plus named attributes.
+struct EventTypeInfo {
+  TypeId id = kInvalidTypeId;
+  std::string name;
+  std::vector<std::string> attribute_names;
+};
+
+/// Registry mapping event type names to dense TypeIds and attribute schemas.
+///
+/// Every primitive event carries a well-defined type (Sec. 2.1 of the paper);
+/// the registry is the single source of truth for the type universe of a
+/// stream and its patterns.
+class EventTypeRegistry {
+ public:
+  EventTypeRegistry() = default;
+
+  /// Registers a type; returns its id. Registering an existing name with the
+  /// same schema returns the existing id; a conflicting schema is an error.
+  TypeId Register(const std::string& name,
+                  const std::vector<std::string>& attribute_names);
+
+  /// Returns the id for `name`; aborts if unknown.
+  TypeId Require(const std::string& name) const;
+
+  /// Returns the id for `name`, or kInvalidTypeId if unknown.
+  TypeId Find(const std::string& name) const;
+
+  const EventTypeInfo& Info(TypeId id) const;
+
+  /// Index of attribute `attr` within type `id`'s schema; aborts if missing.
+  AttrId RequireAttr(TypeId id, const std::string& attr) const;
+
+  size_t size() const { return types_.size(); }
+
+ private:
+  std::vector<EventTypeInfo> types_;
+  std::unordered_map<std::string, TypeId> by_name_;
+};
+
+}  // namespace cepjoin
+
+#endif  // CEPJOIN_EVENT_EVENT_TYPE_H_

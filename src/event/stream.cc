@@ -1,0 +1,36 @@
+#include "event/stream.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace cepjoin {
+
+void EventStream::Append(Event e) {
+  if (!events_.empty()) {
+    CEPJOIN_CHECK_GE(e.ts, events_.back()->ts)
+        << "streams must be appended in timestamp order";
+  }
+  e.serial = static_cast<EventSerial>(events_.size());
+  if (e.partition >= partition_next_seq_.size()) {
+    partition_next_seq_.resize(e.partition + 1, 0);
+  }
+  e.partition_seq = partition_next_seq_[e.partition]++;
+  if (e.type >= type_counts_.size()) {
+    type_counts_.resize(e.type + 1, 0);
+  }
+  ++type_counts_[e.type];
+  events_.push_back(std::make_shared<const Event>(std::move(e)));
+}
+
+Timestamp EventStream::end_ts() const {
+  return events_.empty() ? 0.0 : events_.back()->ts;
+}
+
+Timestamp EventStream::begin_ts() const {
+  return events_.empty() ? 0.0 : events_.front()->ts;
+}
+
+Timestamp EventStream::Duration() const { return end_ts() - begin_ts(); }
+
+}  // namespace cepjoin

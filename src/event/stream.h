@@ -1,0 +1,46 @@
+#ifndef CEPJOIN_EVENT_STREAM_H_
+#define CEPJOIN_EVENT_STREAM_H_
+
+#include <vector>
+
+#include "event/event.h"
+
+namespace cepjoin {
+
+/// A finite, timestamp-ordered event stream held in memory.
+///
+/// The paper replays a historical NASDAQ stream; this container plays the
+/// same role for our synthetic streams. Events are appended in timestamp
+/// order and receive their global serial automatically.
+class EventStream {
+ public:
+  EventStream() = default;
+
+  /// Appends an event. `e.ts` must be >= the previous event's timestamp;
+  /// serial and per-partition sequence numbers are assigned here.
+  void Append(Event e);
+
+  const std::vector<EventPtr>& events() const { return events_; }
+  size_t size() const { return events_.size(); }
+  bool empty() const { return events_.empty(); }
+  const EventPtr& operator[](size_t i) const { return events_[i]; }
+
+  /// Timestamp of the last event, or 0 for an empty stream.
+  Timestamp end_ts() const;
+  /// Timestamp of the first event, or 0 for an empty stream.
+  Timestamp begin_ts() const;
+  /// end_ts() - begin_ts().
+  Timestamp Duration() const;
+
+  /// Number of events of each type (indexed by TypeId; grows as needed).
+  const std::vector<size_t>& type_counts() const { return type_counts_; }
+
+ private:
+  std::vector<EventPtr> events_;
+  std::vector<size_t> type_counts_;
+  std::vector<EventSerial> partition_next_seq_;
+};
+
+}  // namespace cepjoin
+
+#endif  // CEPJOIN_EVENT_STREAM_H_

@@ -1,0 +1,29 @@
+#include "metrics/run_metrics.h"
+
+namespace cepjoin {
+
+void RunAggregate::Add(const RunResult& r) {
+  throughput_eps += r.throughput_eps;
+  peak_bytes += static_cast<double>(r.peak_bytes);
+  peak_instances += static_cast<double>(r.peak_instances);
+  mean_latency_events += r.mean_latency_events;
+  mean_latency_seconds += r.mean_latency_seconds;
+  plan_cost += r.plan_cost;
+  plan_generation_seconds += r.plan_generation_seconds;
+  matches += r.matches;
+  ++runs;
+}
+
+void RunAggregate::Finalize() {
+  if (runs == 0) return;
+  double n = static_cast<double>(runs);
+  throughput_eps /= n;
+  peak_bytes /= n;
+  peak_instances /= n;
+  mean_latency_events /= n;
+  mean_latency_seconds /= n;
+  plan_cost /= n;
+  plan_generation_seconds /= n;
+}
+
+}  // namespace cepjoin

@@ -1,0 +1,48 @@
+#ifndef CEPJOIN_METRICS_RUN_METRICS_H_
+#define CEPJOIN_METRICS_RUN_METRICS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace cepjoin {
+
+/// Measured outcome of replaying one stream through one engine —
+/// the quantities the paper's evaluation reports (Sec. 7.2): throughput
+/// (events/second), peak memory, and mean detection latency.
+struct RunResult {
+  double throughput_eps = 0.0;
+  double wall_seconds = 0.0;
+  uint64_t events = 0;
+  uint64_t matches = 0;
+  size_t peak_instances = 0;
+  size_t peak_buffered = 0;
+  size_t peak_bytes = 0;
+  double mean_latency_events = 0.0;
+  double mean_latency_seconds = 0.0;
+  /// Copied from the plan that drove the run.
+  double plan_cost = 0.0;
+  double plan_generation_seconds = 0.0;
+  std::string algorithm;
+};
+
+/// Aggregates results across patterns of one configuration (the paper
+/// averages each bar over the pattern set).
+struct RunAggregate {
+  double throughput_eps = 0.0;
+  double peak_bytes = 0.0;
+  double peak_instances = 0.0;
+  double mean_latency_events = 0.0;
+  double mean_latency_seconds = 0.0;
+  double plan_cost = 0.0;
+  double plan_generation_seconds = 0.0;
+  uint64_t matches = 0;
+  int runs = 0;
+
+  void Add(const RunResult& r);
+  /// Converts sums to means.
+  void Finalize();
+};
+
+}  // namespace cepjoin
+
+#endif  // CEPJOIN_METRICS_RUN_METRICS_H_

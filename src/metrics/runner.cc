@@ -1,0 +1,85 @@
+#include "metrics/runner.h"
+
+#include <chrono>
+#include <functional>
+#include <memory>
+
+#include "common/check.h"
+#include "runtime/match.h"
+
+namespace cepjoin {
+
+namespace {
+
+// Replays the stream through engines produced by `make_engine` (fresh per
+// repetition) until enough wall time accumulated for a stable rate.
+RunResult MeasuredReplay(
+    const std::function<std::unique_ptr<Engine>(CountingSink*)>& make_engine,
+    const EventStream& stream, const ExecuteOptions& options) {
+  RunResult result;
+  double wall_total = 0.0;
+  uint64_t events_total = 0;
+  int repeats = 0;
+  while (true) {
+    CountingSink sink;
+    std::unique_ptr<Engine> engine = make_engine(&sink);
+    auto start = std::chrono::steady_clock::now();
+    for (const EventPtr& e : stream.events()) {
+      engine->OnEvent(e);
+    }
+    engine->Finish();
+    wall_total += std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+    events_total += engine->counters().events_processed;
+    ++repeats;
+    if (repeats >= options.max_repeats ||
+        wall_total >= options.min_measure_seconds) {
+      const EngineCounters& counters = engine->counters();
+      result.matches = sink.count;
+      result.peak_instances = counters.peak_live_instances;
+      result.peak_buffered = counters.peak_buffered_events;
+      result.peak_bytes = counters.peak_total_bytes;
+      result.mean_latency_events = sink.MeanLatencyEvents();
+      result.mean_latency_seconds = sink.MeanLatencySeconds();
+      break;
+    }
+  }
+  result.wall_seconds = wall_total;
+  result.events = events_total;
+  result.throughput_eps =
+      wall_total > 0 ? static_cast<double>(events_total) / wall_total : 0.0;
+  return result;
+}
+
+}  // namespace
+
+RunResult Execute(const SimplePattern& pattern, const EnginePlan& plan,
+                  const EventStream& stream, const ExecuteOptions& options) {
+  RunResult result = MeasuredReplay(
+      [&](CountingSink* sink) { return BuildEngine(pattern, plan, sink); },
+      stream, options);
+  result.plan_cost = plan.cost;
+  result.plan_generation_seconds = plan.generation_seconds;
+  result.algorithm = plan.algorithm;
+  return result;
+}
+
+RunResult ExecuteDnf(const std::vector<SimplePattern>& subpatterns,
+                     const std::vector<EnginePlan>& plans,
+                     const EventStream& stream,
+                     const ExecuteOptions& options) {
+  RunResult result = MeasuredReplay(
+      [&](CountingSink* sink) {
+        return BuildDnfEngine(subpatterns, plans, sink);
+      },
+      stream, options);
+  for (const EnginePlan& p : plans) {
+    result.plan_cost += p.cost;  // disjunction cost: sum over subpatterns
+    result.plan_generation_seconds += p.generation_seconds;
+  }
+  result.algorithm = plans.empty() ? "" : plans.front().algorithm;
+  return result;
+}
+
+}  // namespace cepjoin

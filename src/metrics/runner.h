@@ -1,0 +1,32 @@
+#ifndef CEPJOIN_METRICS_RUNNER_H_
+#define CEPJOIN_METRICS_RUNNER_H_
+
+#include <vector>
+
+#include "engine/engine_factory.h"
+#include "event/stream.h"
+#include "metrics/run_metrics.h"
+
+namespace cepjoin {
+
+/// Measurement controls: the replay is repeated (with a fresh engine) up
+/// to `max_repeats` times until `min_measure_seconds` of wall time have
+/// accumulated, so short streams still produce stable throughput numbers.
+struct ExecuteOptions {
+  double min_measure_seconds = 0.0;  // 0: single replay
+  int max_repeats = 50;
+};
+
+/// Replays `stream` through an engine built for (pattern, plan), measuring
+/// wall-clock throughput, peak memory, matches, and mean latency.
+RunResult Execute(const SimplePattern& pattern, const EnginePlan& plan,
+                  const EventStream& stream, const ExecuteOptions& = {});
+
+/// Same for a DNF-decomposed pattern (one plan per subpattern).
+RunResult ExecuteDnf(const std::vector<SimplePattern>& subpatterns,
+                     const std::vector<EnginePlan>& plans,
+                     const EventStream& stream, const ExecuteOptions& = {});
+
+}  // namespace cepjoin
+
+#endif  // CEPJOIN_METRICS_RUNNER_H_

@@ -1,0 +1,70 @@
+#include "metrics/table.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace cepjoin {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void Table::AddRow(std::vector<std::string> cells) {
+  CEPJOIN_CHECK_EQ(cells.size(), headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::ToString() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      os << row[c];
+      if (c + 1 < row.size()) {
+        os << std::string(widths[c] - row[c].size() + 2, ' ');
+      }
+    }
+    os << "\n";
+  };
+  emit_row(headers_);
+  size_t total = 0;
+  for (size_t w : widths) total += w + 2;
+  os << std::string(total > 2 ? total - 2 : total, '-') << "\n";
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+void Table::Print() const { std::fputs(ToString().c_str(), stdout); }
+
+std::string FormatDouble(double value, int precision) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", precision, value);
+  return buffer;
+}
+
+std::string FormatSi(double value, int precision) {
+  const char* suffix = "";
+  double scaled = value;
+  if (value >= 1e9) {
+    scaled = value / 1e9;
+    suffix = "G";
+  } else if (value >= 1e6) {
+    scaled = value / 1e6;
+    suffix = "M";
+  } else if (value >= 1e3) {
+    scaled = value / 1e3;
+    suffix = "K";
+  }
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f%s", precision, scaled, suffix);
+  return buffer;
+}
+
+}  // namespace cepjoin

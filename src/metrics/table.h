@@ -1,0 +1,31 @@
+#ifndef CEPJOIN_METRICS_TABLE_H_
+#define CEPJOIN_METRICS_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace cepjoin {
+
+/// Console table with aligned columns — used by the bench binaries to
+/// print the rows/series each paper figure reports.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+  std::string ToString() const;
+  void Print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision double formatting ("12.34").
+std::string FormatDouble(double value, int precision = 2);
+/// Human-scaled formatting with K/M/G suffixes ("1.23M").
+std::string FormatSi(double value, int precision = 2);
+
+}  // namespace cepjoin
+
+#endif  // CEPJOIN_METRICS_TABLE_H_

@@ -1,0 +1,425 @@
+#include "nfa/nfa_engine.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+
+namespace cepjoin {
+
+// --- construction -----------------------------------------------------------
+
+NfaEngine::NfaEngine(const SimplePattern& pattern, const OrderPlan& plan,
+                     MatchSink* sink)
+    : cp_(pattern), plan_(plan), sink_(sink) {
+  CEPJOIN_CHECK(sink_ != nullptr);
+  int m = cp_.num_slots();
+  CEPJOIN_CHECK_EQ(plan_.size(), m)
+      << "order plan must cover exactly the positive slots";
+  step_pos_.resize(m);
+  for (int s = 0; s < m; ++s) {
+    int slot = plan_.At(s);
+    step_pos_[s] = cp_.slot_to_pos(slot);
+    if (slot == cp_.kleene_slot()) kleene_step_ = s;
+    steps_of_type_[cp_.pos_type(step_pos_[s])].push_back(s);
+  }
+  buffers_.resize(cp_.num_positions());
+  by_state_.resize(m + 1);
+  checks_at_state_.resize(m + 1);
+  for (const NegationSpec& neg : cp_.negations()) {
+    if (neg.trailing) {
+      trailing_checks_.push_back(&neg);
+      // Trailing checks also validate already-arrived candidates at
+      // completion time.
+      completion_checks_.push_back(&neg);
+      continue;
+    }
+    if (neg.leading_bounded) {
+      // The window-edge lower bound needs the final max_ts.
+      completion_checks_.push_back(&neg);
+      continue;
+    }
+    int ready = 0;
+    for (int dep : neg.dep_positions) {
+      int slot = cp_.pos_to_slot(dep);
+      CEPJOIN_CHECK_GE(slot, 0);
+      ready = std::max(ready, plan_.StepOf(slot) + 1);
+    }
+    checks_at_state_[ready].push_back(&neg);
+  }
+  next_match_ = cp_.strategy() == SelectionStrategy::kSkipTillNext;
+}
+
+// --- bound accessor over an instance ---------------------------------------
+
+namespace {
+
+class NfaBound : public BoundAccessor {
+ public:
+  NfaBound(const std::vector<int>& step_pos,
+           const std::vector<EventPtr>& events,
+           const std::vector<EventPtr>& kleene_extra, int kleene_pos)
+      : step_pos_(step_pos),
+        events_(events),
+        kleene_extra_(kleene_extra),
+        kleene_pos_(kleene_pos) {}
+
+  void ForEach(int pos,
+               const std::function<void(const Event&)>& fn) const override {
+    for (size_t s = 0; s < events_.size(); ++s) {
+      if (step_pos_[s] == pos) fn(*events_[s]);
+    }
+    if (pos == kleene_pos_) {
+      for (const EventPtr& e : kleene_extra_) fn(*e);
+    }
+  }
+
+ private:
+  const std::vector<int>& step_pos_;
+  const std::vector<EventPtr>& events_;
+  const std::vector<EventPtr>& kleene_extra_;
+  int kleene_pos_;
+};
+
+class MatchBound : public BoundAccessor {
+ public:
+  explicit MatchBound(const Match& match) : match_(match) {}
+
+  void ForEach(int pos,
+               const std::function<void(const Event&)>& fn) const override {
+    if (pos < 0 || pos >= static_cast<int>(match_.slots.size())) return;
+    for (const EventPtr& e : match_.slots[pos]) fn(*e);
+  }
+
+ private:
+  const Match& match_;
+};
+
+}  // namespace
+
+// --- event flow --------------------------------------------------------------
+
+void NfaEngine::OnEvent(const EventPtr& e) {
+  CEPJOIN_CHECK(e != nullptr);
+  ++counters_.events_processed;
+  arrival_start_ = std::chrono::steady_clock::now();
+  now_ = e->ts;
+  current_serial_ = e->serial;
+  if (++events_since_sweep_ >= kSweepEvery) Sweep();
+  ProcessPending(*e);
+  BufferEvent(e);
+  ExtendWithArrival(e);
+}
+
+void NfaEngine::Finish() {
+  for (PendingMatch& p : pending_) {
+    EmitMatch(std::move(p.match));
+  }
+  pending_.clear();
+}
+
+void NfaEngine::ProcessPending(const Event& e) {
+  if (pending_.empty()) return;
+  // Emit matches whose trailing window closed strictly before `e`.
+  size_t keep = 0;
+  for (size_t i = 0; i < pending_.size(); ++i) {
+    if (pending_[i].deadline < e.ts) {
+      EmitMatch(std::move(pending_[i].match));
+    } else {
+      if (keep != i) pending_[keep] = std::move(pending_[i]);
+      ++keep;
+    }
+  }
+  pending_.resize(keep);
+  // Kill survivors that `e` invalidates.
+  for (const NegationSpec* neg : trailing_checks_) {
+    if (cp_.pos_type(neg->neg_pos) != e.type) continue;
+    if (!cp_.conditions().EvalUnary(neg->neg_pos, e)) continue;
+    size_t kept = 0;
+    for (size_t i = 0; i < pending_.size(); ++i) {
+      MatchBound bound(pending_[i].match);
+      if (!cp_.NegationViolates(*neg, e, bound, pending_[i].min_ts,
+                                pending_[i].max_ts)) {
+        if (kept != i) pending_[kept] = std::move(pending_[i]);
+        ++kept;
+      }
+    }
+    pending_.resize(kept);
+  }
+}
+
+void NfaEngine::BufferEvent(const EventPtr& e) {
+  for (int pos : cp_.positions_of_type(e->type)) {
+    if (!cp_.conditions().EvalUnary(pos, *e)) continue;
+    buffers_[pos].push_back(e);
+    counters_.AddBuffered();
+  }
+}
+
+void NfaEngine::ExtendWithArrival(const EventPtr& e) {
+  // Snapshot list sizes: instances created during this arrival's cascades
+  // consume `e` (if at all) via their creation scans, never here.
+  std::vector<size_t> pre_size(by_state_.size());
+  for (size_t s = 0; s < by_state_.size(); ++s) pre_size[s] = by_state_[s].size();
+
+  auto it = steps_of_type_.find(e->type);
+  if (it != steps_of_type_.end()) {
+    for (int s : it->second) {
+      if (s == 0) {
+        Instance root;
+        if (TryExtend(root, 0, e, &root)) {
+          Cascade(std::move(root), 1);
+        }
+        continue;
+      }
+      for (size_t idx = 0; idx < pre_size[s]; ++idx) {
+        // Note: by_state_[s] may grow (Kleene absorption at this state),
+        // so re-index every iteration.
+        if (by_state_[s][idx].dead) continue;
+        Instance child;
+        if (TryExtend(by_state_[s][idx], s, e, &child)) {
+          if (next_match_) MarkDead(s, idx);
+          Cascade(std::move(child), s + 1);
+        }
+      }
+    }
+  }
+  // Kleene absorption by arrival: instances whose Kleene slot is filled
+  // and whose next step is not (state == kleene_step_ + 1) may branch.
+  if (kleene_step_ >= 0 &&
+      cp_.pos_type(step_pos_[kleene_step_]) == e->type && !next_match_) {
+    int ks = kleene_step_ + 1;
+    for (size_t idx = 0; idx < pre_size[ks]; ++idx) {
+      if (by_state_[ks][idx].dead) continue;
+      Instance child;
+      if (TryAbsorb(by_state_[ks][idx], e, &child)) {
+        Cascade(std::move(child), ks);
+      }
+    }
+  }
+}
+
+bool NfaEngine::TryExtend(const Instance& parent, int state, const EventPtr& e,
+                          Instance* child) const {
+  int pos = step_pos_[state];
+  if (!cp_.conditions().EvalUnary(pos, *e)) return false;
+  // Window feasibility.
+  Timestamp min_ts = state == 0 ? e->ts : std::min(parent.min_ts, e->ts);
+  Timestamp max_ts = state == 0 ? e->ts : std::max(parent.max_ts, e->ts);
+  if (max_ts - min_ts > cp_.window()) return false;
+  // No event fills two slots of one match.
+  for (const EventPtr& used : parent.events) {
+    if (used.get() == e.get()) return false;
+  }
+  for (const EventPtr& used : parent.kleene_extra) {
+    if (used.get() == e.get()) return false;
+  }
+  // Pairwise conditions against every bound slot (Kleene members too).
+  for (int j = 0; j < state; ++j) {
+    if (!cp_.conditions().EvalPair(step_pos_[j], pos, *parent.events[j], *e)) {
+      return false;
+    }
+  }
+  if (kleene_step_ >= 0 && kleene_step_ < state) {
+    int kpos = step_pos_[kleene_step_];
+    for (const EventPtr& member : parent.kleene_extra) {
+      if (!cp_.conditions().EvalPair(kpos, pos, *member, *e)) return false;
+    }
+  }
+  *child = parent;
+  child->events.push_back(e);
+  child->min_ts = min_ts;
+  child->max_ts = max_ts;
+  child->creation_serial = current_serial_;
+  child->dead = false;
+  if (state == kleene_step_) child->max_kleene_serial = e->serial;
+  return true;
+}
+
+bool NfaEngine::TryAbsorb(const Instance& parent, const EventPtr& e,
+                          Instance* child) const {
+  // Canonical subset enumeration: members join in increasing serial order.
+  if (e->serial <= parent.max_kleene_serial) return false;
+  int kpos = step_pos_[kleene_step_];
+  if (!cp_.conditions().EvalUnary(kpos, *e)) return false;
+  Timestamp min_ts = std::min(parent.min_ts, e->ts);
+  Timestamp max_ts = std::max(parent.max_ts, e->ts);
+  if (max_ts - min_ts > cp_.window()) return false;
+  for (const EventPtr& used : parent.events) {
+    if (used.get() == e.get()) return false;
+  }
+  for (const EventPtr& used : parent.kleene_extra) {
+    if (used.get() == e.get()) return false;
+  }
+  for (size_t j = 0; j < parent.events.size(); ++j) {
+    if (static_cast<int>(j) == kleene_step_) continue;
+    if (!cp_.conditions().EvalPair(step_pos_[j], kpos, *parent.events[j],
+                                   *e)) {
+      return false;
+    }
+  }
+  *child = parent;
+  child->kleene_extra.push_back(e);
+  child->min_ts = min_ts;
+  child->max_ts = max_ts;
+  child->creation_serial = current_serial_;
+  child->max_kleene_serial = e->serial;
+  child->dead = false;
+  return true;
+}
+
+bool NfaEngine::RunNegationChecks(const Instance& inst, int state) const {
+  if (checks_at_state_[state].empty()) return true;
+  NfaBound bound(step_pos_, inst.events, inst.kleene_extra,
+                 kleene_step_ >= 0 ? step_pos_[kleene_step_] : -1);
+  for (const NegationSpec* neg : checks_at_state_[state]) {
+    for (const EventPtr& candidate : buffers_[neg->neg_pos]) {
+      if (cp_.NegationViolates(*neg, *candidate, bound, inst.min_ts,
+                               inst.max_ts)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+void NfaEngine::Cascade(Instance&& inst, int state) {
+  if (!RunNegationChecks(inst, state)) return;
+  int m = NumSteps();
+  bool kleene_last = kleene_step_ == m - 1;
+  if (state == m) {
+    Complete(inst);
+    if (!kleene_last || next_match_) return;
+    // Keep completed instances so later Kleene members can still extend
+    // the final slot's set.
+  }
+  size_t idx = StoreInstance(state, std::move(inst));
+  // Work from a stable copy: cascades below may reallocate by_state_[state].
+  Instance local = by_state_[state][idx];
+
+  if (state < m) {
+    // Creation scan: consume buffered events for this step.
+    const std::deque<EventPtr>& buffer = buffers_[step_pos_[state]];
+    for (const EventPtr& b : buffer) {
+      Instance child;
+      if (TryExtend(local, state, b, &child)) {
+        if (next_match_) {
+          MarkDead(state, idx);
+          Cascade(std::move(child), state + 1);
+          return;
+        }
+        Cascade(std::move(child), state + 1);
+      }
+    }
+  }
+  // Kleene creation-absorption: grow the member set from buffered events
+  // newer than the current maximum member.
+  if (kleene_step_ >= 0 && state == kleene_step_ + 1 && !next_match_) {
+    const std::deque<EventPtr>& buffer = buffers_[step_pos_[kleene_step_]];
+    for (const EventPtr& b : buffer) {
+      Instance child;
+      if (TryAbsorb(local, b, &child)) {
+        Cascade(std::move(child), state);
+      }
+    }
+  }
+}
+
+void NfaEngine::Complete(const Instance& inst) {
+  Match match;
+  match.slots.resize(cp_.num_positions());
+  for (size_t s = 0; s < inst.events.size(); ++s) {
+    match.slots[step_pos_[s]].push_back(inst.events[s]);
+  }
+  if (kleene_step_ >= 0) {
+    for (const EventPtr& e : inst.kleene_extra) {
+      match.slots[step_pos_[kleene_step_]].push_back(e);
+    }
+  }
+  const Event* last = nullptr;
+  for (const auto& slot : match.slots) {
+    for (const EventPtr& e : slot) {
+      if (last == nullptr || e->ts > last->ts ||
+          (e->ts == last->ts && e->serial > last->serial)) {
+        last = e.get();
+      }
+    }
+  }
+  match.last_ts = last->ts;
+  match.last_event_serial = last->serial;
+  match.latency_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    arrival_start_)
+          .count();
+
+  // Completion-time negation checks (leading / window-bounded).
+  if (!completion_checks_.empty()) {
+    MatchBound bound(match);
+    for (const NegationSpec* neg : completion_checks_) {
+      for (const EventPtr& candidate : buffers_[neg->neg_pos]) {
+        if (cp_.NegationViolates(*neg, *candidate, bound, inst.min_ts,
+                                 inst.max_ts)) {
+          return;
+        }
+      }
+    }
+  }
+  if (!trailing_checks_.empty()) {
+    PendingMatch pending;
+    pending.match = std::move(match);
+    pending.min_ts = inst.min_ts;
+    pending.max_ts = inst.max_ts;
+    pending.deadline = inst.min_ts + cp_.window();
+    pending_.push_back(std::move(pending));
+    return;
+  }
+  EmitMatch(std::move(match));
+}
+
+void NfaEngine::EmitMatch(Match match) {
+  match.emit_serial = current_serial_;
+  ++counters_.matches_emitted;
+  sink_->OnMatch(match);
+}
+
+size_t NfaEngine::StoreInstance(int state, Instance&& inst) {
+  counters_.AddInstance(inst.ApproxBytes());
+  by_state_[state].push_back(std::move(inst));
+  return by_state_[state].size() - 1;
+}
+
+void NfaEngine::MarkDead(int state, size_t idx) {
+  Instance& inst = by_state_[state][idx];
+  if (!inst.dead) {
+    inst.dead = true;
+    counters_.RemoveInstance(inst.ApproxBytes());
+  }
+}
+
+void NfaEngine::Sweep() {
+  events_since_sweep_ = 0;
+  Timestamp horizon = now_ - cp_.window();
+  for (auto& buffer : buffers_) {
+    while (!buffer.empty() && buffer.front()->ts < horizon) {
+      buffer.pop_front();
+      counters_.RemoveBuffered();
+    }
+  }
+  for (auto& list : by_state_) {
+    size_t keep = 0;
+    for (size_t i = 0; i < list.size(); ++i) {
+      Instance& inst = list[i];
+      bool expired = inst.min_ts < horizon;
+      if (inst.dead || expired) {
+        if (!inst.dead) counters_.RemoveInstance(inst.ApproxBytes());
+        continue;
+      }
+      if (keep != i) list[keep] = std::move(list[i]);
+      ++keep;
+    }
+    list.resize(keep);
+  }
+  counters_.UpdatePeakBytes();
+}
+
+}  // namespace cepjoin

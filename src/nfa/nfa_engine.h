@@ -1,0 +1,131 @@
+#ifndef CEPJOIN_NFA_NFA_ENGINE_H_
+#define CEPJOIN_NFA_NFA_ENGINE_H_
+
+#include <chrono>
+#include <deque>
+#include <vector>
+
+#include "plan/order_plan.h"
+#include "runtime/compiled_pattern.h"
+#include "runtime/engine.h"
+#include "runtime/match.h"
+
+namespace cepjoin {
+
+/// Out-of-order lazy NFA (Sec. 2.2, after Kolchinsky et al. '15): a chain
+/// of m+1 states following an arbitrary order plan over the pattern's
+/// positive slots. Step s of the plan fills one slot; events that arrive
+/// before their step is reached are buffered and consumed when an
+/// instance reaches that step.
+///
+/// ## Exactly-once enumeration
+/// Every instance records the serial of the arrival being processed when
+/// it was created (`creation_serial`). Two extension paths exist for a
+/// candidate event e at step s of instance I:
+///   (a) creation scan — when I is created, it immediately consumes every
+///       buffered event of step s's type (serial ≤ I.creation_serial, not
+///       already in I);
+///   (b) arrival extension — a newly arriving e extends only instances
+///       with creation_serial < e.serial.
+/// For any (I, s, e) exactly one path applies: (a) iff e arrived no later
+/// than I's creation, (b) iff later — so each slot combination is
+/// enumerated exactly once. Kleene slots additionally require members to
+/// be absorbed in increasing serial order with the set frozen once the
+/// next step is filled, which makes each member *set* reachable by
+/// exactly one absorption sequence (DESIGN.md, "Kleene closure").
+///
+/// Negation follows Sec. 5.3: checks run at the earliest step where all
+/// guard slots are bound; leading/AND checks run at completion; trailing
+/// checks defer emission until the window closes (pending queue).
+///
+/// Selection strategies (Sec. 6.2): skip-till-any branches on every
+/// candidate; skip-till-next retires an instance after its first
+/// successful extension; the contiguity strategies are enforced through
+/// the rewritten adjacency predicates.
+class NfaEngine : public Engine {
+ public:
+  NfaEngine(const SimplePattern& pattern, const OrderPlan& plan,
+            MatchSink* sink);
+
+  void OnEvent(const EventPtr& e) override;
+  void Finish() override;
+
+  const CompiledPattern& compiled() const { return cp_; }
+  const OrderPlan& plan() const { return plan_; }
+
+ private:
+  struct Instance {
+    std::vector<EventPtr> events;        // by step index
+    std::vector<EventPtr> kleene_extra;  // Kleene members beyond the anchor
+    Timestamp min_ts = 0.0;
+    Timestamp max_ts = 0.0;
+    EventSerial creation_serial = 0;
+    EventSerial max_kleene_serial = 0;
+    bool dead = false;
+
+    size_t ApproxBytes() const {
+      return sizeof(Instance) +
+             (events.capacity() + kleene_extra.capacity()) * sizeof(EventPtr);
+    }
+  };
+
+  struct PendingMatch {
+    Match match;
+    Timestamp min_ts = 0.0;
+    Timestamp max_ts = 0.0;
+    Timestamp deadline = 0.0;
+  };
+
+  // --- construction-time topology ---
+  int NumSteps() const { return plan_.size(); }
+  int StepPos(int step) const { return step_pos_[step]; }
+
+  // --- event flow ---
+  void ProcessPending(const Event& e);
+  void BufferEvent(const EventPtr& e);
+  void ExtendWithArrival(const EventPtr& e);
+  /// Runs ready negation checks, stores the instance, performs creation
+  /// scans (next-step consumption + Kleene absorption), and recurses.
+  void Cascade(Instance&& inst, int state);
+  /// Returns true and fills `child` if `e` can fill step `state` of `parent`.
+  bool TryExtend(const Instance& parent, int state, const EventPtr& e,
+                 Instance* child) const;
+  bool TryAbsorb(const Instance& parent, const EventPtr& e,
+                 Instance* child) const;
+  bool RunNegationChecks(const Instance& inst, int state) const;
+  void Complete(const Instance& inst);
+  void EmitMatch(Match match);
+  void Sweep();
+
+  size_t StoreInstance(int state, Instance&& inst);
+  void MarkDead(int state, size_t idx);
+
+  CompiledPattern cp_;
+  OrderPlan plan_;
+  MatchSink* sink_;
+
+  std::vector<int> step_pos_;   // step -> pattern position
+  int kleene_step_ = -1;        // step filling the Kleene slot, -1 if none
+  // steps (by state index == step index) expecting each type
+  std::unordered_map<TypeId, std::vector<int>> steps_of_type_;
+  // negation checks to run when an instance *enters* a given state
+  std::vector<std::vector<const NegationSpec*>> checks_at_state_;
+  std::vector<const NegationSpec*> completion_checks_;
+  std::vector<const NegationSpec*> trailing_checks_;
+
+  std::vector<std::deque<EventPtr>> buffers_;      // per pattern position
+  std::vector<std::vector<Instance>> by_state_;    // states 1..m (and m)
+  std::vector<PendingMatch> pending_;
+
+  Timestamp now_ = 0.0;
+  EventSerial current_serial_ = 0;
+  std::chrono::steady_clock::time_point arrival_start_{};
+  uint64_t events_since_sweep_ = 0;
+  bool next_match_ = false;
+
+  static constexpr uint64_t kSweepEvery = 64;
+};
+
+}  // namespace cepjoin
+
+#endif  // CEPJOIN_NFA_NFA_ENGINE_H_

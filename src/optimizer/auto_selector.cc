@@ -1,0 +1,23 @@
+#include "optimizer/auto_selector.h"
+
+#include "optimizer/order_optimizers.h"
+#include "optimizer/registry.h"
+
+namespace cepjoin {
+
+std::string AutoOrderOptimizer::ChooseAlgorithm(
+    const CostFunction& cost) const {
+  if (cost.size() <= dp_threshold_) return "DP-LD";
+  QueryGraphInfo info = AnalyzeQueryGraph(cost);
+  if (info.acyclic && info.connected) return "KBZ";
+  return "II-GREEDY";
+}
+
+OrderPlan AutoOrderOptimizer::Optimize(const CostFunction& cost) const {
+  OrderPlan picked =
+      MakeOrderOptimizer(ChooseAlgorithm(cost), seed_)->Optimize(cost);
+  OrderPlan greedy = GreedyOrderOptimizer().Optimize(cost);
+  return cost.OrderCost(picked) <= cost.OrderCost(greedy) ? picked : greedy;
+}
+
+}  // namespace cepjoin

@@ -1,0 +1,42 @@
+#ifndef CEPJOIN_OPTIMIZER_AUTO_SELECTOR_H_
+#define CEPJOIN_OPTIMIZER_AUTO_SELECTOR_H_
+
+#include "optimizer/optimizer.h"
+#include "optimizer/query_graph.h"
+
+namespace cepjoin {
+
+/// AUTO (extension): picks a plan-generation algorithm from the pattern's
+/// size and predicate-graph topology, following Sec. 4.3's guidance:
+///
+/// * n ≤ `dp_threshold` — DP-LD (exact search is cheap; Fig. 17(b));
+/// * acyclic graphs beyond the threshold — KBZ (polynomial and exact in
+///   the cross-product-free space; for star queries the optimal bushy
+///   plan empirically equals the optimal left-deep plan [46], so a
+///   left-deep algorithm loses nothing);
+/// * everything else — II-GREEDY, the best
+///   optimization-time/plan-quality trade-off among the heuristics.
+///
+/// Always returns the cheaper of the topology pick and GREEDY, so AUTO
+/// never regresses below the greedy baseline.
+class AutoOrderOptimizer : public OrderOptimizer {
+ public:
+  explicit AutoOrderOptimizer(uint64_t seed = 7, int dp_threshold = 12)
+      : seed_(seed), dp_threshold_(dp_threshold) {}
+
+  std::string name() const override { return "AUTO"; }
+  bool is_jqpg() const override { return true; }
+  OrderPlan Optimize(const CostFunction& cost) const override;
+
+  /// The algorithm AUTO would delegate to for this cost function;
+  /// exposed for tests and for explain-style tooling.
+  std::string ChooseAlgorithm(const CostFunction& cost) const;
+
+ private:
+  uint64_t seed_;
+  int dp_threshold_;
+};
+
+}  // namespace cepjoin
+
+#endif  // CEPJOIN_OPTIMIZER_AUTO_SELECTOR_H_

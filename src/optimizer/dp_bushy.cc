@@ -1,0 +1,69 @@
+#include "optimizer/dp_bushy.h"
+
+#include <functional>
+#include <limits>
+#include <vector>
+
+#include "common/check.h"
+
+namespace cepjoin {
+
+TreePlan DpBushyOptimizer::Optimize(const CostFunction& cost) const {
+  int n = cost.size();
+  CEPJOIN_CHECK_LE(n, 20) << "DP-B is O(3^n); refusing n > 20";
+  size_t num_masks = size_t{1} << n;
+  const CostSpec& spec = cost.spec();
+  double alpha = spec.latency_anchor >= 0 ? spec.latency_alpha : 0.0;
+  uint64_t anchor_bit =
+      spec.latency_anchor >= 0 ? uint64_t{1} << spec.latency_anchor : 0;
+
+  // f[mask]: cheapest tree over `mask`, counting internal PM terms plus
+  // anchor-ancestor latency contributions inside the subtree. pm[mask] is
+  // the node PM used for sibling latency terms.
+  std::vector<double> f(num_masks, std::numeric_limits<double>::infinity());
+  std::vector<double> pm(num_masks, 0.0);
+  std::vector<uint64_t> best_split(num_masks, 0);
+
+  for (int i = 0; i < n; ++i) {
+    uint64_t m = uint64_t{1} << i;
+    f[m] = 0.0;  // leaf costs are plan-independent; added at the end
+    pm[m] = cost.LeafCost(i);
+  }
+  for (uint64_t mask = 1; mask < num_masks; ++mask) {
+    if (__builtin_popcountll(mask) < 2) continue;
+    pm[mask] = cost.TreeNodeCost(mask);
+    double best = std::numeric_limits<double>::infinity();
+    uint64_t best_s = 0;
+    // Enumerate unordered partitions: keep the half containing the lowest
+    // set bit as `s` to visit each split once.
+    uint64_t low = mask & (~mask + 1);
+    for (uint64_t s = (mask - 1) & mask; s > 0; s = (s - 1) & mask) {
+      if (!(s & low)) continue;
+      uint64_t t = mask ^ s;
+      double c = f[s] + f[t];
+      if (alpha > 0.0 && (mask & anchor_bit)) {
+        c += alpha * ((s & anchor_bit) ? pm[t] : pm[s]);
+      }
+      if (c < best) {
+        best = c;
+        best_s = s;
+      }
+    }
+    f[mask] = best + pm[mask];
+    best_split[mask] = best_s;
+  }
+
+  TreePlan::Builder builder;
+  std::function<int(uint64_t)> build = [&](uint64_t mask) -> int {
+    if (__builtin_popcountll(mask) == 1) {
+      return builder.AddLeaf(__builtin_ctzll(mask));
+    }
+    uint64_t s = best_split[mask];
+    int left = build(s);
+    int right = build(mask ^ s);
+    return builder.AddInternal(left, right);
+  };
+  return builder.Build(build(num_masks - 1));
+}
+
+}  // namespace cepjoin

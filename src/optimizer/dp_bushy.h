@@ -1,0 +1,21 @@
+#ifndef CEPJOIN_OPTIMIZER_DP_BUSHY_H_
+#define CEPJOIN_OPTIMIZER_DP_BUSHY_H_
+
+#include "optimizer/optimizer.h"
+
+namespace cepjoin {
+
+/// DP-B (JQPG, Selinger-style over subsets without the left-deep
+/// restriction): f(S) = PM(S) + min over partitions S = S₁ ⊎ S₂ of
+/// f(S₁) + f(S₂) (+ hybrid latency term). Cross products are allowed, as
+/// Sec. 4.3 requires for CPG. O(3ⁿ) time; guarded to n ≤ 20.
+class DpBushyOptimizer : public TreeOptimizer {
+ public:
+  std::string name() const override { return "DP-B"; }
+  bool is_jqpg() const override { return true; }
+  TreePlan Optimize(const CostFunction& cost) const override;
+};
+
+}  // namespace cepjoin
+
+#endif  // CEPJOIN_OPTIMIZER_DP_BUSHY_H_

@@ -1,0 +1,54 @@
+#include "optimizer/dp_left_deep.h"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "common/check.h"
+
+namespace cepjoin {
+
+OrderPlan DpLeftDeepOptimizer::Optimize(const CostFunction& cost) const {
+  int n = cost.size();
+  CEPJOIN_CHECK_LE(n, 24) << "DP-LD is exponential; refusing n > 24";
+  size_t num_masks = size_t{1} << n;
+  const CostSpec& spec = cost.spec();
+  double alpha = spec.latency_anchor >= 0 ? spec.latency_alpha : 0.0;
+
+  std::vector<double> f(num_masks, std::numeric_limits<double>::infinity());
+  std::vector<int8_t> last(num_masks, -1);
+  f[0] = 0.0;
+
+  for (uint64_t mask = 1; mask < num_masks; ++mask) {
+    double pm = cost.OrderSetCost(mask);
+    double best = std::numeric_limits<double>::infinity();
+    int8_t best_e = -1;
+    for (int e = 0; e < n; ++e) {
+      if (!(mask >> e & 1)) continue;
+      uint64_t prev = mask ^ (uint64_t{1} << e);
+      double c = f[prev];
+      if (alpha > 0.0 && e != spec.latency_anchor &&
+          (prev >> spec.latency_anchor & 1)) {
+        c += alpha * cost.LeafCost(e);
+      }
+      if (c < best) {
+        best = c;
+        best_e = static_cast<int8_t>(e);
+      }
+    }
+    f[mask] = best + pm;
+    last[mask] = best_e;
+  }
+
+  std::vector<int> order(n);
+  uint64_t mask = num_masks - 1;
+  for (int k = n - 1; k >= 0; --k) {
+    int e = last[mask];
+    CEPJOIN_CHECK_GE(e, 0);
+    order[k] = e;
+    mask ^= uint64_t{1} << e;
+  }
+  return OrderPlan(std::move(order));
+}
+
+}  // namespace cepjoin

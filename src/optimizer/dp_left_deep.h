@@ -1,0 +1,22 @@
+#ifndef CEPJOIN_OPTIMIZER_DP_LEFT_DEEP_H_
+#define CEPJOIN_OPTIMIZER_DP_LEFT_DEEP_H_
+
+#include "optimizer/optimizer.h"
+
+namespace cepjoin {
+
+/// DP-LD (JQPG, Selinger '79): exact dynamic programming over slot
+/// subsets, restricted to left-deep plans — i.e., orders. Exploits the
+/// fact that the PM term of a prefix depends only on the prefix's slot
+/// *set*:  f(S) = PM(S) + min_{e ∈ S} [ f(S∖{e}) + latency term ].
+/// O(2ⁿ·n) time, O(2ⁿ) space; guarded to n ≤ 24.
+class DpLeftDeepOptimizer : public OrderOptimizer {
+ public:
+  std::string name() const override { return "DP-LD"; }
+  bool is_jqpg() const override { return true; }
+  OrderPlan Optimize(const CostFunction& cost) const override;
+};
+
+}  // namespace cepjoin
+
+#endif  // CEPJOIN_OPTIMIZER_DP_LEFT_DEEP_H_

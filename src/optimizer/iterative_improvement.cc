@@ -1,0 +1,96 @@
+#include "optimizer/iterative_improvement.h"
+
+#include <numeric>
+#include <utility>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "optimizer/order_optimizers.h"
+
+namespace cepjoin {
+
+IterativeImprovementOptimizer::IterativeImprovementOptimizer(Start start,
+                                                             int restarts,
+                                                             uint64_t seed)
+    : start_(start), restarts_(restarts), seed_(seed) {
+  CEPJOIN_CHECK_GE(restarts, 1);
+}
+
+OrderPlan IterativeImprovementOptimizer::Descend(const CostFunction& cost,
+                                                 OrderPlan initial) {
+  std::vector<int> order = initial.order();
+  int n = static_cast<int>(order.size());
+  double current = cost.OrderCost(OrderPlan(order));
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    // swap moves
+    for (int i = 0; i < n && !improved; ++i) {
+      for (int j = i + 1; j < n && !improved; ++j) {
+        std::swap(order[i], order[j]);
+        double c = cost.OrderCost(OrderPlan(order));
+        if (c + 1e-12 < current) {
+          current = c;
+          improved = true;
+        } else {
+          std::swap(order[i], order[j]);
+        }
+      }
+    }
+    if (improved) continue;
+    // cycle moves: order[i] -> order[j] -> order[k] -> order[i]
+    for (int i = 0; i < n && !improved; ++i) {
+      for (int j = 0; j < n && !improved; ++j) {
+        if (j == i) continue;
+        for (int k = 0; k < n && !improved; ++k) {
+          if (k == i || k == j) continue;
+          int a = order[i], b = order[j], c3 = order[k];
+          order[j] = a;
+          order[k] = b;
+          order[i] = c3;
+          double c = cost.OrderCost(OrderPlan(order));
+          if (c + 1e-12 < current) {
+            current = c;
+            improved = true;
+          } else {
+            order[i] = a;
+            order[j] = b;
+            order[k] = c3;
+          }
+        }
+      }
+    }
+  }
+  return OrderPlan(std::move(order));
+}
+
+OrderPlan IterativeImprovementOptimizer::Optimize(
+    const CostFunction& cost) const {
+  int n = cost.size();
+  Rng rng(seed_);
+  OrderPlan best;
+  double best_cost = 0.0;
+  bool have_best = false;
+  auto consider = [&](OrderPlan start_plan) {
+    OrderPlan local = Descend(cost, std::move(start_plan));
+    double c = cost.OrderCost(local);
+    if (!have_best || c < best_cost) {
+      best = local;
+      best_cost = c;
+      have_best = true;
+    }
+  };
+  if (start_ == Start::kGreedy) {
+    consider(GreedyOrderOptimizer().Optimize(cost));
+  } else {
+    for (int r = 0; r < restarts_; ++r) {
+      std::vector<int> order(n);
+      std::iota(order.begin(), order.end(), 0);
+      rng.Shuffle(order.begin(), order.end());
+      consider(OrderPlan(std::move(order)));
+    }
+  }
+  return best;
+}
+
+}  // namespace cepjoin

@@ -1,0 +1,39 @@
+#ifndef CEPJOIN_OPTIMIZER_ITERATIVE_IMPROVEMENT_H_
+#define CEPJOIN_OPTIMIZER_ITERATIVE_IMPROVEMENT_H_
+
+#include "optimizer/optimizer.h"
+
+namespace cepjoin {
+
+/// Iterative Improvement (JQPG, Swami '89, Sec. 7.1): local search over
+/// the order space using the paper's two move kinds —
+///   swap(i, j):    exchange the slots at steps i and j;
+///   cycle(i, j, k): rotate the slots at steps i → j → k → i —
+/// descending until no move in the full neighbourhood improves the cost.
+///
+/// II-RANDOM restarts from random permutations; II-GREEDY descends once
+/// from the GREEDY plan.
+class IterativeImprovementOptimizer : public OrderOptimizer {
+ public:
+  enum class Start { kRandom, kGreedy };
+
+  IterativeImprovementOptimizer(Start start, int restarts, uint64_t seed);
+
+  std::string name() const override {
+    return start_ == Start::kRandom ? "II-RANDOM" : "II-GREEDY";
+  }
+  bool is_jqpg() const override { return true; }
+  OrderPlan Optimize(const CostFunction& cost) const override;
+
+  /// Descends from `initial` to a local minimum; exposed for tests.
+  static OrderPlan Descend(const CostFunction& cost, OrderPlan initial);
+
+ private:
+  Start start_;
+  int restarts_;
+  uint64_t seed_;
+};
+
+}  // namespace cepjoin
+
+#endif  // CEPJOIN_OPTIMIZER_ITERATIVE_IMPROVEMENT_H_

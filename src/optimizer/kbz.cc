@@ -1,0 +1,158 @@
+#include "optimizer/kbz.h"
+
+#include <algorithm>
+#include <functional>
+#include <limits>
+
+#include "common/check.h"
+#include "cost/asi.h"
+
+namespace cepjoin {
+
+namespace {
+
+// A maximal run of slots treated as an atomic unit during chain merging.
+struct Module {
+  std::vector<int> slots;
+  double c = 0.0;  // C(slots)
+  double t = 1.0;  // T(slots)
+
+  double rank() const {
+    // C > 0 for non-empty modules with positive factors.
+    return (t - 1.0) / c;
+  }
+};
+
+Module Fuse(const Module& a, const Module& b) {
+  Module out;
+  out.slots = a.slots;
+  out.slots.insert(out.slots.end(), b.slots.begin(), b.slots.end());
+  out.c = a.c + a.t * b.c;
+  out.t = a.t * b.t;
+  return out;
+}
+
+// Merges rank-ascending chains into one rank-ascending chain.
+std::vector<Module> RankMerge(std::vector<std::vector<Module>> chains) {
+  std::vector<Module> merged;
+  while (true) {
+    int best = -1;
+    for (size_t i = 0; i < chains.size(); ++i) {
+      if (chains[i].empty()) continue;
+      if (best < 0 || chains[i].front().rank() < chains[best].front().rank()) {
+        best = static_cast<int>(i);
+      }
+    }
+    if (best < 0) break;
+    merged.push_back(std::move(chains[best].front()));
+    chains[best].erase(chains[best].begin());
+  }
+  return merged;
+}
+
+}  // namespace
+
+OrderPlan KbzOptimizer::LinearizeTree(const CostFunction& cost,
+                                      const std::vector<int>& parent) {
+  int n = cost.size();
+  CEPJOIN_CHECK_EQ(static_cast<int>(parent.size()), n);
+  PatternStats stats(n);
+  for (int i = 0; i < n; ++i) {
+    stats.set_rate(i, cost.rate(i));
+    for (int j = i; j < n; ++j) stats.set_sel(i, j, cost.sel(i, j));
+  }
+  AsiContext ctx = MakeAsiContext(stats, cost.window(), parent);
+
+  std::vector<std::vector<int>> children(n);
+  int root = -1;
+  for (int i = 0; i < n; ++i) {
+    if (parent[i] < 0) {
+      CEPJOIN_CHECK_EQ(root, -1) << "precedence tree must have one root";
+      root = i;
+    } else {
+      children[parent[i]].push_back(i);
+    }
+  }
+  CEPJOIN_CHECK_GE(root, 0);
+
+  // Bottom-up linearization: each subtree becomes a rank-ascending chain
+  // of modules headed by its root; out-of-rank-order heads are fused
+  // (IKKBZ normalization).
+  std::function<std::vector<Module>(int)> linearize =
+      [&](int v) -> std::vector<Module> {
+    std::vector<std::vector<Module>> child_chains;
+    child_chains.reserve(children[v].size());
+    for (int c : children[v]) child_chains.push_back(linearize(c));
+    std::vector<Module> chain = RankMerge(std::move(child_chains));
+    Module head;
+    head.slots = {v};
+    head.c = ctx.factor[v];
+    head.t = ctx.factor[v];
+    while (!chain.empty() && chain.front().rank() < head.rank()) {
+      head = Fuse(head, chain.front());
+      chain.erase(chain.begin());
+    }
+    chain.insert(chain.begin(), std::move(head));
+    return chain;
+  };
+
+  std::vector<Module> chain = linearize(root);
+  std::vector<int> order;
+  order.reserve(n);
+  for (const Module& m : chain) {
+    order.insert(order.end(), m.slots.begin(), m.slots.end());
+  }
+  return OrderPlan(std::move(order));
+}
+
+std::vector<int> KbzOptimizer::SpanningTreeParents(const CostFunction& cost,
+                                                   int root) {
+  int n = cost.size();
+  // Prim's algorithm minimizing edge selectivity (most selective predicates
+  // first); slots with no predicate connection join via sel-1 edges.
+  std::vector<int> parent(n, -1);
+  std::vector<bool> in_tree(n, false);
+  std::vector<double> best_sel(n, std::numeric_limits<double>::infinity());
+  std::vector<int> best_from(n, root);
+  in_tree[root] = true;
+  for (int j = 0; j < n; ++j) {
+    if (j == root) continue;
+    best_sel[j] = cost.sel(root, j);
+    best_from[j] = root;
+  }
+  for (int step = 1; step < n; ++step) {
+    int pick = -1;
+    for (int j = 0; j < n; ++j) {
+      if (in_tree[j]) continue;
+      if (pick < 0 || best_sel[j] < best_sel[pick]) pick = j;
+    }
+    in_tree[pick] = true;
+    parent[pick] = best_from[pick];
+    for (int j = 0; j < n; ++j) {
+      if (in_tree[j]) continue;
+      if (cost.sel(pick, j) < best_sel[j]) {
+        best_sel[j] = cost.sel(pick, j);
+        best_from[j] = pick;
+      }
+    }
+  }
+  return parent;
+}
+
+OrderPlan KbzOptimizer::Optimize(const CostFunction& cost) const {
+  int n = cost.size();
+  OrderPlan best;
+  double best_cost = std::numeric_limits<double>::infinity();
+  for (int root = 0; root < n; ++root) {
+    OrderPlan candidate =
+        LinearizeTree(cost, SpanningTreeParents(cost, root));
+    double c = cost.OrderCost(candidate);
+    if (c < best_cost) {
+      best_cost = c;
+      best = candidate;
+    }
+  }
+  return best;
+}
+
+}  // namespace cepjoin

@@ -1,0 +1,43 @@
+#ifndef CEPJOIN_OPTIMIZER_KBZ_H_
+#define CEPJOIN_OPTIMIZER_KBZ_H_
+
+#include <vector>
+
+#include "optimizer/optimizer.h"
+
+namespace cepjoin {
+
+/// KBZ / IKKBZ (extension; Sec. 4.3): the polynomial-time join-ordering
+/// algorithm for acyclic query graphs under ASI cost functions
+/// (Ibaraki-Kameda '84, Krishnamurthy-Boral-Zaniolo '86), driven by the
+/// Appendix A rank function rank(s) = (T(s) − 1) / C(s).
+///
+/// For general (cyclic or disconnected) predicate graphs it first extracts
+/// a minimum-selectivity spanning tree, making it a heuristic exactly as
+/// Sec. 4.3 prescribes ("even when an exact polynomial algorithm is
+/// applicable to CPG, it ... can only be viewed as a heuristic" because
+/// cross products are excluded). Tries every root; returns the best order
+/// under the full cost function.
+class KbzOptimizer : public OrderOptimizer {
+ public:
+  std::string name() const override { return "KBZ"; }
+  bool is_jqpg() const override { return true; }
+  OrderPlan Optimize(const CostFunction& cost) const override;
+
+  /// The IKKBZ chain for one rooted precedence tree; exposed for tests.
+  /// `parent[i]` = i's parent slot, -1 for exactly one root. The returned
+  /// order respects the precedence tree and is optimal among such orders
+  /// for the ASI cost C(·).
+  static OrderPlan LinearizeTree(const CostFunction& cost,
+                                 const std::vector<int>& parent);
+
+  /// Minimum-selectivity spanning forest of the predicate graph, returned
+  /// as a parent vector rooted at `root` (components without a predicate
+  /// path to `root` attach to it with selectivity-1 edges).
+  static std::vector<int> SpanningTreeParents(const CostFunction& cost,
+                                              int root);
+};
+
+}  // namespace cepjoin
+
+#endif  // CEPJOIN_OPTIMIZER_KBZ_H_

@@ -1,0 +1,41 @@
+#ifndef CEPJOIN_OPTIMIZER_OPTIMIZER_H_
+#define CEPJOIN_OPTIMIZER_OPTIMIZER_H_
+
+#include <memory>
+#include <string>
+
+#include "cost/cost_function.h"
+
+namespace cepjoin {
+
+/// Generates an order-based evaluation plan minimizing the given cost
+/// function (order-based CPG, Sec. 3.1 / JQPG restricted to left-deep
+/// trees, Sec. 4.1).
+class OrderOptimizer {
+ public:
+  virtual ~OrderOptimizer() = default;
+  virtual std::string name() const = 0;
+  /// True for algorithms adapted from join query optimization, false for
+  /// CEP-native strategies — the axis the paper's evaluation compares.
+  virtual bool is_jqpg() const = 0;
+  virtual OrderPlan Optimize(const CostFunction& cost) const = 0;
+};
+
+/// Generates a tree-based evaluation plan (tree-based CPG / unrestricted
+/// JQPG, Sec. 4.2).
+class TreeOptimizer {
+ public:
+  virtual ~TreeOptimizer() = default;
+  virtual std::string name() const = 0;
+  virtual bool is_jqpg() const = 0;
+  virtual TreePlan Optimize(const CostFunction& cost) const = 0;
+};
+
+/// Marginal cost of appending slot `e` to a prefix whose slot set is
+/// `mask`: the new prefix's PM term plus the hybrid latency term.
+/// Shared by GREEDY and the DP algorithms.
+double OrderAppendCost(const CostFunction& cost, uint64_t mask, int e);
+
+}  // namespace cepjoin
+
+#endif  // CEPJOIN_OPTIMIZER_OPTIMIZER_H_

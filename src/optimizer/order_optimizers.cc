@@ -1,0 +1,57 @@
+#include "optimizer/order_optimizers.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace cepjoin {
+
+double OrderAppendCost(const CostFunction& cost, uint64_t mask, int e) {
+  double c = cost.OrderSetCost(mask | (uint64_t{1} << e));
+  const CostSpec& spec = cost.spec();
+  if (spec.latency_anchor >= 0 && spec.latency_alpha > 0.0 &&
+      (mask >> spec.latency_anchor & 1) && e != spec.latency_anchor) {
+    c += spec.latency_alpha * cost.LeafCost(e);
+  }
+  return c;
+}
+
+OrderPlan TrivialOptimizer::Optimize(const CostFunction& cost) const {
+  return OrderPlan::Identity(cost.size());
+}
+
+OrderPlan EventFrequencyOptimizer::Optimize(const CostFunction& cost) const {
+  std::vector<int> order(cost.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&cost](int a, int b) {
+    return cost.rate(a) < cost.rate(b);
+  });
+  return OrderPlan(std::move(order));
+}
+
+OrderPlan GreedyOrderOptimizer::Optimize(const CostFunction& cost) const {
+  int n = cost.size();
+  std::vector<int> order;
+  order.reserve(n);
+  uint64_t mask = 0;
+  for (int step = 0; step < n; ++step) {
+    int best = -1;
+    double best_cost = std::numeric_limits<double>::infinity();
+    for (int e = 0; e < n; ++e) {
+      if (mask >> e & 1) continue;
+      double c = OrderAppendCost(cost, mask, e);
+      if (c < best_cost) {
+        best_cost = c;
+        best = e;
+      }
+    }
+    CEPJOIN_CHECK_GE(best, 0);
+    order.push_back(best);
+    mask |= uint64_t{1} << best;
+  }
+  return OrderPlan(std::move(order));
+}
+
+}  // namespace cepjoin

@@ -1,0 +1,37 @@
+#ifndef CEPJOIN_OPTIMIZER_ORDER_OPTIMIZERS_H_
+#define CEPJOIN_OPTIMIZER_ORDER_OPTIMIZERS_H_
+
+#include "optimizer/optimizer.h"
+
+namespace cepjoin {
+
+/// TRIVIAL (CEP-native): the pattern's own slot order, as used by NFA
+/// engines without reordering (SASE, Cayuga).
+class TrivialOptimizer : public OrderOptimizer {
+ public:
+  std::string name() const override { return "TRIVIAL"; }
+  bool is_jqpg() const override { return false; }
+  OrderPlan Optimize(const CostFunction& cost) const override;
+};
+
+/// EFREQ (CEP-native): slots in ascending arrival-rate order, the strategy
+/// of PB-CED and the Lazy NFA.
+class EventFrequencyOptimizer : public OrderOptimizer {
+ public:
+  std::string name() const override { return "EFREQ"; }
+  bool is_jqpg() const override { return false; }
+  OrderPlan Optimize(const CostFunction& cost) const override;
+};
+
+/// GREEDY (JQPG, Swami '89): at each step append the slot minimizing the
+/// marginal cost of the extended prefix.
+class GreedyOrderOptimizer : public OrderOptimizer {
+ public:
+  std::string name() const override { return "GREEDY"; }
+  bool is_jqpg() const override { return true; }
+  OrderPlan Optimize(const CostFunction& cost) const override;
+};
+
+}  // namespace cepjoin
+
+#endif  // CEPJOIN_OPTIMIZER_ORDER_OPTIMIZERS_H_

@@ -1,0 +1,112 @@
+#include "optimizer/query_graph.h"
+
+#include <algorithm>
+#include <functional>
+#include <numeric>
+#include <sstream>
+#include <vector>
+
+namespace cepjoin {
+
+const char* QueryGraphTopologyName(QueryGraphTopology topology) {
+  switch (topology) {
+    case QueryGraphTopology::kNoPredicates:
+      return "no-predicates";
+    case QueryGraphTopology::kChain:
+      return "chain";
+    case QueryGraphTopology::kStar:
+      return "star";
+    case QueryGraphTopology::kTree:
+      return "tree";
+    case QueryGraphTopology::kClique:
+      return "clique";
+    case QueryGraphTopology::kCyclicGeneral:
+      return "cyclic";
+    case QueryGraphTopology::kDisconnected:
+      return "disconnected";
+  }
+  return "?";
+}
+
+std::string QueryGraphInfo::Describe() const {
+  std::ostringstream os;
+  os << QueryGraphTopologyName(topology) << " (" << num_slots << " slots, "
+     << num_edges << " predicate edges, "
+     << (connected ? "connected" : "disconnected") << ", "
+     << (acyclic ? "acyclic" : "cyclic") << ")";
+  return os.str();
+}
+
+QueryGraphInfo AnalyzeQueryGraph(const CostFunction& cost) {
+  int n = cost.size();
+  QueryGraphInfo info;
+  info.num_slots = n;
+
+  std::vector<int> parent(n);
+  std::iota(parent.begin(), parent.end(), 0);
+  std::function<int(int)> find = [&](int x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+
+  std::vector<int> degree(n, 0);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      if (cost.sel(i, j) == 1.0) continue;
+      ++info.num_edges;
+      ++degree[i];
+      ++degree[j];
+      int ri = find(i);
+      int rj = find(j);
+      if (ri == rj) {
+        info.acyclic = false;  // union of already-connected pair = cycle
+      } else {
+        parent[ri] = rj;
+      }
+    }
+  }
+  int components = 0;
+  for (int i = 0; i < n; ++i) {
+    if (find(i) == i) ++components;
+  }
+  info.connected = components == 1;
+
+  if (info.num_edges == 0) {
+    info.topology = n == 1 ? QueryGraphTopology::kChain
+                           : QueryGraphTopology::kNoPredicates;
+    return info;
+  }
+  if (!info.connected) {
+    info.topology = QueryGraphTopology::kDisconnected;
+    return info;
+  }
+  if (!info.acyclic) {
+    info.topology = info.num_edges == n * (n - 1) / 2
+                        ? QueryGraphTopology::kClique
+                        : QueryGraphTopology::kCyclicGeneral;
+    // A triangle is both a 3-clique and a cycle; prefer kClique (handled
+    // above by the edge count).
+    return info;
+  }
+  // Connected + acyclic: spanning tree. Chain iff max degree <= 2; star
+  // iff one hub of degree n-1 (n >= 3).
+  int max_degree = 0;
+  int hubs = 0;
+  for (int i = 0; i < n; ++i) {
+    max_degree = std::max(max_degree, degree[i]);
+    if (degree[i] == n - 1) ++hubs;
+  }
+  if (max_degree <= 2) {
+    info.topology = QueryGraphTopology::kChain;
+  } else if (hubs == 1 && info.num_edges == n - 1 && max_degree == n - 1) {
+    info.topology = QueryGraphTopology::kStar;
+  } else {
+    info.topology = QueryGraphTopology::kTree;
+  }
+  return info;
+}
+
+}  // namespace cepjoin

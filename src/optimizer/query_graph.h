@@ -1,0 +1,45 @@
+#ifndef CEPJOIN_OPTIMIZER_QUERY_GRAPH_H_
+#define CEPJOIN_OPTIMIZER_QUERY_GRAPH_H_
+
+#include <string>
+
+#include "cost/cost_function.h"
+
+namespace cepjoin {
+
+/// Query-graph topologies Sec. 4.3 singles out: chain and tree queries
+/// admit polynomial algorithms (KBZ/IKKBZ under ASI; [39] for bushy
+/// chains), and for star queries the optimal bushy plan empirically
+/// equals the optimal left-deep plan [46].
+enum class QueryGraphTopology {
+  kNoPredicates,  // no selective predicate at all (pure cross product)
+  kChain,
+  kStar,
+  kTree,          // acyclic, connected, neither chain nor star
+  kClique,
+  kCyclicGeneral, // connected with cycles, not a clique
+  kDisconnected,
+};
+
+const char* QueryGraphTopologyName(QueryGraphTopology topology);
+
+/// Structural facts about a pattern's predicate graph (vertices = slots,
+/// edges = slot pairs with selectivity != 1).
+struct QueryGraphInfo {
+  QueryGraphTopology topology = QueryGraphTopology::kNoPredicates;
+  int num_slots = 0;
+  int num_edges = 0;
+  bool connected = false;
+  /// True iff the graph (as a whole) contains no cycle — forests count.
+  bool acyclic = true;
+
+  std::string Describe() const;
+};
+
+/// Classifies the predicate graph induced by the cost function's
+/// selectivity matrix.
+QueryGraphInfo AnalyzeQueryGraph(const CostFunction& cost);
+
+}  // namespace cepjoin
+
+#endif  // CEPJOIN_OPTIMIZER_QUERY_GRAPH_H_

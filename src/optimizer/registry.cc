@@ -1,0 +1,50 @@
+#include "optimizer/registry.h"
+
+#include "common/check.h"
+#include "optimizer/auto_selector.h"
+#include "optimizer/dp_bushy.h"
+#include "optimizer/dp_left_deep.h"
+#include "optimizer/iterative_improvement.h"
+#include "optimizer/kbz.h"
+#include "optimizer/order_optimizers.h"
+#include "optimizer/simulated_annealing.h"
+#include "optimizer/tree_optimizers.h"
+
+namespace cepjoin {
+
+std::unique_ptr<OrderOptimizer> MakeOrderOptimizer(const std::string& name,
+                                                   uint64_t seed) {
+  if (name == "TRIVIAL") return std::make_unique<TrivialOptimizer>();
+  if (name == "EFREQ") return std::make_unique<EventFrequencyOptimizer>();
+  if (name == "GREEDY") return std::make_unique<GreedyOrderOptimizer>();
+  if (name == "II-RANDOM") {
+    return std::make_unique<IterativeImprovementOptimizer>(
+        IterativeImprovementOptimizer::Start::kRandom, /*restarts=*/4, seed);
+  }
+  if (name == "II-GREEDY") {
+    return std::make_unique<IterativeImprovementOptimizer>(
+        IterativeImprovementOptimizer::Start::kGreedy, /*restarts=*/1, seed);
+  }
+  if (name == "DP-LD") return std::make_unique<DpLeftDeepOptimizer>();
+  if (name == "KBZ") return std::make_unique<KbzOptimizer>();
+  if (name == "SA") return std::make_unique<SimulatedAnnealingOptimizer>(seed);
+  if (name == "AUTO") return std::make_unique<AutoOrderOptimizer>(seed);
+  CEPJOIN_CHECK(false) << "unknown order optimizer '" << name << "'";
+}
+
+std::unique_ptr<TreeOptimizer> MakeTreeOptimizer(const std::string& name) {
+  if (name == "ZSTREAM") return std::make_unique<ZStreamOptimizer>();
+  if (name == "ZSTREAM-ORD") return std::make_unique<ZStreamOrdOptimizer>();
+  if (name == "DP-B") return std::make_unique<DpBushyOptimizer>();
+  CEPJOIN_CHECK(false) << "unknown tree optimizer '" << name << "'";
+}
+
+std::vector<std::string> PaperOrderAlgorithms() {
+  return {"TRIVIAL", "EFREQ", "GREEDY", "II-RANDOM", "II-GREEDY", "DP-LD"};
+}
+
+std::vector<std::string> PaperTreeAlgorithms() {
+  return {"ZSTREAM", "ZSTREAM-ORD", "DP-B"};
+}
+
+}  // namespace cepjoin

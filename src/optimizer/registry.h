@@ -1,0 +1,29 @@
+#ifndef CEPJOIN_OPTIMIZER_REGISTRY_H_
+#define CEPJOIN_OPTIMIZER_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "optimizer/optimizer.h"
+
+namespace cepjoin {
+
+/// Creates an order-plan generator by name: TRIVIAL, EFREQ, GREEDY,
+/// II-RANDOM, II-GREEDY, DP-LD, KBZ, SA. Aborts on unknown names.
+std::unique_ptr<OrderOptimizer> MakeOrderOptimizer(const std::string& name,
+                                                   uint64_t seed = 7);
+
+/// Creates a tree-plan generator by name: ZSTREAM, ZSTREAM-ORD, DP-B.
+std::unique_ptr<TreeOptimizer> MakeTreeOptimizer(const std::string& name);
+
+/// The order algorithms the paper's evaluation compares (Sec. 7.1), in
+/// presentation order.
+std::vector<std::string> PaperOrderAlgorithms();
+
+/// The tree algorithms the paper's evaluation compares.
+std::vector<std::string> PaperTreeAlgorithms();
+
+}  // namespace cepjoin
+
+#endif  // CEPJOIN_OPTIMIZER_REGISTRY_H_

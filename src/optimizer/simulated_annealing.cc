@@ -1,0 +1,62 @@
+#include "optimizer/simulated_annealing.h"
+
+#include <cmath>
+#include <utility>
+
+#include "common/rng.h"
+#include "optimizer/order_optimizers.h"
+
+namespace cepjoin {
+
+OrderPlan SimulatedAnnealingOptimizer::Optimize(
+    const CostFunction& cost) const {
+  int n = cost.size();
+  OrderPlan start = GreedyOrderOptimizer().Optimize(cost);
+  if (n < 3) return start;
+  Rng rng(seed_);
+
+  std::vector<int> current = start.order();
+  double current_cost = cost.OrderCost(start);
+  std::vector<int> best = current;
+  double best_cost = current_cost;
+
+  double temperature =
+      options_.initial_temperature_factor * std::max(current_cost, 1e-12);
+  for (int step = 0; step < options_.temperature_steps; ++step) {
+    for (int move = 0; move < options_.moves_per_temperature; ++move) {
+      std::vector<int> candidate = current;
+      int i = static_cast<int>(rng.UniformInt(0, n - 1));
+      int j = static_cast<int>(rng.UniformInt(0, n - 2));
+      if (j >= i) ++j;
+      if (rng.Bernoulli(0.5)) {
+        std::swap(candidate[i], candidate[j]);
+      } else {
+        int k = static_cast<int>(rng.UniformInt(0, n - 1));
+        if (k == i || k == j) {
+          std::swap(candidate[i], candidate[j]);
+        } else {
+          // cycle move: order[i] -> order[j] -> order[k] -> order[i]
+          int a = candidate[i];
+          candidate[i] = candidate[k];
+          candidate[k] = candidate[j];
+          candidate[j] = a;
+        }
+      }
+      double candidate_cost = cost.OrderCost(OrderPlan(candidate));
+      double delta = candidate_cost - current_cost;
+      if (delta <= 0.0 ||
+          rng.UniformReal(0.0, 1.0) < std::exp(-delta / temperature)) {
+        current = std::move(candidate);
+        current_cost = candidate_cost;
+        if (current_cost < best_cost) {
+          best = current;
+          best_cost = current_cost;
+        }
+      }
+    }
+    temperature *= options_.cooling;
+  }
+  return OrderPlan(std::move(best));
+}
+
+}  // namespace cepjoin

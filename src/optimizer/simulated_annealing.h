@@ -1,0 +1,39 @@
+#ifndef CEPJOIN_OPTIMIZER_SIMULATED_ANNEALING_H_
+#define CEPJOIN_OPTIMIZER_SIMULATED_ANNEALING_H_
+
+#include "optimizer/optimizer.h"
+
+namespace cepjoin {
+
+/// SA (extension): simulated annealing over the order space — the
+/// randomized JQPG family the paper cites alongside iterative improvement
+/// (Ioannidis & Kang '90, Swami '89). Starts from the GREEDY plan, walks
+/// random swap/cycle neighbours, accepts uphill moves with probability
+/// exp(-delta / T) under a geometric cooling schedule, and returns the
+/// best plan visited (never worse than the greedy start).
+class SimulatedAnnealingOptimizer : public OrderOptimizer {
+ public:
+  struct Options {
+    double initial_temperature_factor = 0.1;  // T0 = factor · C(start)
+    double cooling = 0.9;
+    int moves_per_temperature = 64;
+    int temperature_steps = 40;
+  };
+
+  explicit SimulatedAnnealingOptimizer(uint64_t seed)
+      : seed_(seed), options_(Options()) {}
+  SimulatedAnnealingOptimizer(uint64_t seed, Options options)
+      : seed_(seed), options_(options) {}
+
+  std::string name() const override { return "SA"; }
+  bool is_jqpg() const override { return true; }
+  OrderPlan Optimize(const CostFunction& cost) const override;
+
+ private:
+  uint64_t seed_;
+  Options options_;
+};
+
+}  // namespace cepjoin
+
+#endif  // CEPJOIN_OPTIMIZER_SIMULATED_ANNEALING_H_

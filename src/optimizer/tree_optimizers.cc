@@ -1,0 +1,85 @@
+#include "optimizer/tree_optimizers.h"
+
+#include <functional>
+#include <limits>
+#include <vector>
+
+#include "common/check.h"
+#include "optimizer/order_optimizers.h"
+
+namespace cepjoin {
+
+TreePlan BestTreeForLeafOrder(const CostFunction& cost,
+                              const OrderPlan& leaf_order) {
+  int n = leaf_order.size();
+  CEPJOIN_CHECK_EQ(n, cost.size());
+  const CostSpec& spec = cost.spec();
+  double alpha = spec.latency_anchor >= 0 ? spec.latency_alpha : 0.0;
+
+  // dp[i][j]: min cost of a tree over leaves i..j (inclusive), counting
+  // internal-node PM terms and the latency contributions of ancestors of
+  // the anchor inside the interval. Leaf costs are plan-independent.
+  std::vector<std::vector<double>> dp(n, std::vector<double>(n, 0.0));
+  std::vector<std::vector<int>> split(n, std::vector<int>(n, -1));
+  std::vector<std::vector<uint64_t>> mask(n, std::vector<uint64_t>(n, 0));
+  std::vector<std::vector<bool>> has_anchor(n, std::vector<bool>(n, false));
+
+  for (int i = 0; i < n; ++i) {
+    int item = leaf_order.At(i);
+    mask[i][i] = uint64_t{1} << item;
+    has_anchor[i][i] = item == spec.latency_anchor;
+  }
+  // PM of a complete interval (as joined partial matches), used both for
+  // node costs and for the sibling term of the latency model.
+  auto interval_pm = [&](int i, int j) {
+    if (i == j) return cost.LeafCost(leaf_order.At(i));
+    return cost.TreeNodeCost(mask[i][j]);
+  };
+
+  for (int len = 2; len <= n; ++len) {
+    for (int i = 0; i + len - 1 < n; ++i) {
+      int j = i + len - 1;
+      mask[i][j] = mask[i][j - 1] | mask[j][j];
+      has_anchor[i][j] = has_anchor[i][j - 1] || has_anchor[j][j];
+      double node_pm = cost.TreeNodeCost(mask[i][j]);
+      double best = std::numeric_limits<double>::infinity();
+      int best_m = -1;
+      for (int m = i; m < j; ++m) {
+        double c = dp[i][m] + dp[m + 1][j] + node_pm;
+        if (alpha > 0.0) {
+          if (has_anchor[i][m]) {
+            c += alpha * interval_pm(m + 1, j);
+          } else if (has_anchor[m + 1][j]) {
+            c += alpha * interval_pm(i, m);
+          }
+        }
+        if (c < best) {
+          best = c;
+          best_m = m;
+        }
+      }
+      dp[i][j] = best;
+      split[i][j] = best_m;
+    }
+  }
+
+  TreePlan::Builder builder;
+  std::function<int(int, int)> build = [&](int i, int j) -> int {
+    if (i == j) return builder.AddLeaf(leaf_order.At(i));
+    int m = split[i][j];
+    int left = build(i, m);
+    int right = build(m + 1, j);
+    return builder.AddInternal(left, right);
+  };
+  return builder.Build(build(0, n - 1));
+}
+
+TreePlan ZStreamOptimizer::Optimize(const CostFunction& cost) const {
+  return BestTreeForLeafOrder(cost, OrderPlan::Identity(cost.size()));
+}
+
+TreePlan ZStreamOrdOptimizer::Optimize(const CostFunction& cost) const {
+  return BestTreeForLeafOrder(cost, GreedyOrderOptimizer().Optimize(cost));
+}
+
+}  // namespace cepjoin

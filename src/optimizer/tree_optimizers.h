@@ -1,0 +1,36 @@
+#ifndef CEPJOIN_OPTIMIZER_TREE_OPTIMIZERS_H_
+#define CEPJOIN_OPTIMIZER_TREE_OPTIMIZERS_H_
+
+#include "optimizer/optimizer.h"
+
+namespace cepjoin {
+
+/// The ZStream plan-generation core: for a *fixed* left-to-right leaf
+/// order, finds the cheapest binary tree by interval dynamic programming
+/// (O(n³)) — "iterating over all possible tree topologies for a given
+/// sequence of leaves" (Sec. 7.1). Includes the hybrid latency term.
+TreePlan BestTreeForLeafOrder(const CostFunction& cost,
+                              const OrderPlan& leaf_order);
+
+/// ZSTREAM (CEP-native, Mei & Madden '09): interval DP over the pattern's
+/// own leaf order. Cannot reorder leaves, so it misses plans like
+/// Fig. 3(c).
+class ZStreamOptimizer : public TreeOptimizer {
+ public:
+  std::string name() const override { return "ZSTREAM"; }
+  bool is_jqpg() const override { return false; }
+  TreePlan Optimize(const CostFunction& cost) const override;
+};
+
+/// ZSTREAM-ORD (hybrid, Sec. 7.1): first runs GREEDY to pick a good leaf
+/// order, then applies the ZStream interval DP on it.
+class ZStreamOrdOptimizer : public TreeOptimizer {
+ public:
+  std::string name() const override { return "ZSTREAM-ORD"; }
+  bool is_jqpg() const override { return true; }
+  TreePlan Optimize(const CostFunction& cost) const override;
+};
+
+}  // namespace cepjoin
+
+#endif  // CEPJOIN_OPTIMIZER_TREE_OPTIMIZERS_H_

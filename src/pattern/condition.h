@@ -1,0 +1,200 @@
+#ifndef CEPJOIN_PATTERN_CONDITION_H_
+#define CEPJOIN_PATTERN_CONDITION_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "event/event.h"
+
+namespace cepjoin {
+
+/// Comparison operators for attribute conditions.
+enum class CmpOp { kLt, kLe, kGt, kGe, kEq, kNe };
+
+const char* CmpOpName(CmpOp op);
+bool CmpApply(CmpOp op, double lhs, double rhs);
+
+/// A (at most pairwise) predicate between two pattern positions.
+///
+/// `left()` and `right()` are indices into the pattern's event list; a
+/// condition with left() == right() is a unary filter. Engines evaluate
+/// conditions as soon as both endpoints are bound (lazy-NFA style), so
+/// Eval must be pure.
+class Condition {
+ public:
+  Condition(int left, int right) : left_(left), right_(right) {}
+  virtual ~Condition() = default;
+
+  int left() const { return left_; }
+  int right() const { return right_; }
+  bool unary() const { return left_ == right_; }
+
+  /// Evaluates the condition with `l` bound to position left() and `r`
+  /// bound to position right(). For unary conditions both are the event.
+  virtual bool Eval(const Event& l, const Event& r) const = 0;
+
+  virtual std::string Describe() const = 0;
+
+  /// Analytic selectivity if known a priori, NaN if it must be measured
+  /// from data by the statistics collector.
+  virtual double DeclaredSelectivity() const;
+
+ private:
+  int left_;
+  int right_;
+};
+
+using ConditionPtr = std::shared_ptr<const Condition>;
+
+/// left.attr OP right.attr + offset  (binary attribute comparison).
+class AttrCompare : public Condition {
+ public:
+  AttrCompare(int left, AttrId left_attr, CmpOp op, int right, AttrId right_attr,
+              double offset = 0.0)
+      : Condition(left, right),
+        left_attr_(left_attr),
+        right_attr_(right_attr),
+        op_(op),
+        offset_(offset) {}
+
+  bool Eval(const Event& l, const Event& r) const override {
+    return CmpApply(op_, l.Attr(left_attr_), r.Attr(right_attr_) + offset_);
+  }
+  std::string Describe() const override;
+
+ private:
+  AttrId left_attr_;
+  AttrId right_attr_;
+  CmpOp op_;
+  double offset_;
+};
+
+/// event.attr OP constant  (unary filter).
+class AttrThreshold : public Condition {
+ public:
+  AttrThreshold(int pos, AttrId attr, CmpOp op, double constant)
+      : Condition(pos, pos), attr_(attr), op_(op), constant_(constant) {}
+
+  bool Eval(const Event& l, const Event&) const override {
+    return CmpApply(op_, l.Attr(attr_), constant_);
+  }
+  std::string Describe() const override;
+
+ private:
+  AttrId attr_;
+  CmpOp op_;
+  double constant_;
+};
+
+/// left.ts < right.ts — the temporal-order predicate the SEQ→AND rewrite
+/// introduces (Theorem 3). Declared selectivity 1/2 under the standard
+/// independence assumption.
+class TsOrder : public Condition {
+ public:
+  TsOrder(int left, int right) : Condition(left, right) {}
+
+  bool Eval(const Event& l, const Event& r) const override {
+    return l.ts < r.ts;
+  }
+  std::string Describe() const override;
+  double DeclaredSelectivity() const override { return 0.5; }
+};
+
+/// right immediately follows left in the stream (strict contiguity,
+/// Sec. 6.2). The planner supplies the declared selectivity because it
+/// depends on the total stream rate, which the condition cannot know.
+class SerialAdjacent : public Condition {
+ public:
+  SerialAdjacent(int left, int right, double declared_selectivity)
+      : Condition(left, right), declared_selectivity_(declared_selectivity) {}
+
+  bool Eval(const Event& l, const Event& r) const override {
+    return r.serial == l.serial + 1;
+  }
+  std::string Describe() const override;
+  double DeclaredSelectivity() const override {
+    return declared_selectivity_;
+  }
+
+ private:
+  double declared_selectivity_;
+};
+
+/// Partition contiguity (Sec. 6.2): if the two events share a partition,
+/// their per-partition sequence numbers must be adjacent; events from
+/// different partitions are unconstrained.
+class PartitionAdjacent : public Condition {
+ public:
+  PartitionAdjacent(int left, int right, double declared_selectivity)
+      : Condition(left, right), declared_selectivity_(declared_selectivity) {}
+
+  bool Eval(const Event& l, const Event& r) const override {
+    return l.partition != r.partition || r.partition_seq == l.partition_seq + 1;
+  }
+  std::string Describe() const override;
+  double DeclaredSelectivity() const override {
+    return declared_selectivity_;
+  }
+
+ private:
+  double declared_selectivity_;
+};
+
+/// Escape hatch for arbitrary user predicates. The user must declare the
+/// selectivity (or leave NaN to have it measured).
+class CustomCondition : public Condition {
+ public:
+  using Fn = std::function<bool(const Event&, const Event&)>;
+  CustomCondition(int left, int right, Fn fn, double declared_selectivity,
+                  std::string description)
+      : Condition(left, right),
+        fn_(std::move(fn)),
+        declared_selectivity_(declared_selectivity),
+        description_(std::move(description)) {}
+
+  bool Eval(const Event& l, const Event& r) const override { return fn_(l, r); }
+  std::string Describe() const override { return description_; }
+  double DeclaredSelectivity() const override {
+    return declared_selectivity_;
+  }
+
+ private:
+  Fn fn_;
+  double declared_selectivity_;
+  std::string description_;
+};
+
+/// Conditions of one pattern bucketed by (position, position) pair for O(1)
+/// lookup during evaluation. Pairs are normalized to (min, max); EvalPair
+/// passes the events in the orientation each condition expects.
+class ConditionSet {
+ public:
+  ConditionSet() : n_(0) {}
+  ConditionSet(int num_positions, const std::vector<ConditionPtr>& conditions);
+
+  /// All conditions between positions i and j (i != j), in either
+  /// orientation.
+  const std::vector<ConditionPtr>& Between(int i, int j) const;
+  /// All unary conditions on position i.
+  const std::vector<ConditionPtr>& UnaryAt(int i) const;
+
+  /// True iff every condition between i and j accepts (ei at i, ej at j).
+  bool EvalPair(int i, int j, const Event& ei, const Event& ej) const;
+  /// True iff every unary condition on i accepts e.
+  bool EvalUnary(int i, const Event& e) const;
+
+  int num_positions() const { return n_; }
+
+ private:
+  int n_;
+  // buckets_[i * n_ + j] for i < j; unary_[i] for the diagonal.
+  std::vector<std::vector<ConditionPtr>> buckets_;
+  std::vector<std::vector<ConditionPtr>> unary_;
+};
+
+}  // namespace cepjoin
+
+#endif  // CEPJOIN_PATTERN_CONDITION_H_

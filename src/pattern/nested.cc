@@ -1,0 +1,154 @@
+#include "pattern/nested.h"
+
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "common/check.h"
+
+namespace cepjoin {
+
+std::shared_ptr<const PatternNode> PatternNode::Leaf(EventSpec spec) {
+  auto node = std::shared_ptr<PatternNode>(new PatternNode());
+  node->kind_ = Kind::kLeaf;
+  node->spec_ = std::move(spec);
+  return node;
+}
+
+std::shared_ptr<const PatternNode> PatternNode::Op(
+    OperatorKind op,
+    std::vector<std::shared_ptr<const PatternNode>> children) {
+  CEPJOIN_CHECK(!children.empty());
+  auto node = std::shared_ptr<PatternNode>(new PatternNode());
+  node->kind_ = Kind::kOp;
+  node->op_ = op;
+  node->children_ = std::move(children);
+  return node;
+}
+
+NamedCondition MakeNamedAttrCompare(
+    const EventTypeRegistry& registry, TypeId left_type,
+    const std::string& left_name, const std::string& left_attr, CmpOp op,
+    TypeId right_type, const std::string& right_name,
+    const std::string& right_attr, double offset) {
+  AttrId la = registry.RequireAttr(left_type, left_attr);
+  AttrId ra = registry.RequireAttr(right_type, right_attr);
+  return NamedCondition{
+      left_name, right_name, [la, op, ra, offset](int l, int r) {
+        return std::make_shared<AttrCompare>(l, la, op, r, ra, offset);
+      }};
+}
+
+namespace {
+
+// One DNF alternative under construction: an ordered list of event slots
+// plus the temporal-order pairs forced by SEQ ancestors, and whether the
+// slots happen to be totally ordered in list order.
+struct Alternative {
+  std::vector<EventSpec> events;
+  std::vector<std::pair<int, int>> ts_pairs;  // (i, j): events[i].ts < events[j].ts
+  bool fully_ordered = true;
+};
+
+// Concatenates `b` onto `a`, re-indexing b's ts pairs.
+Alternative Concat(const Alternative& a, const Alternative& b) {
+  Alternative out = a;
+  int offset = static_cast<int>(a.events.size());
+  out.events.insert(out.events.end(), b.events.begin(), b.events.end());
+  for (const auto& [i, j] : b.ts_pairs) {
+    out.ts_pairs.emplace_back(i + offset, j + offset);
+  }
+  return out;
+}
+
+std::vector<Alternative> DnfOf(const PatternNode& node) {
+  if (node.kind() == PatternNode::Kind::kLeaf) {
+    return {Alternative{{node.spec()}, {}, true}};
+  }
+  if (node.op() == OperatorKind::kOr) {
+    std::vector<Alternative> out;
+    for (const auto& child : node.children()) {
+      std::vector<Alternative> sub = DnfOf(*child);
+      out.insert(out.end(), sub.begin(), sub.end());
+    }
+    return out;
+  }
+  // SEQ / AND: cross-product of the children's alternatives.
+  std::vector<Alternative> acc = {Alternative{}};
+  for (const auto& child : node.children()) {
+    std::vector<Alternative> sub = DnfOf(*child);
+    std::vector<Alternative> next;
+    next.reserve(acc.size() * sub.size());
+    for (const Alternative& a : acc) {
+      for (const Alternative& b : sub) {
+        Alternative combined = Concat(a, b);
+        if (node.op() == OperatorKind::kSeq) {
+          // Every event of the earlier group precedes every event of the
+          // later group.
+          for (size_t i = 0; i < a.events.size(); ++i) {
+            for (size_t j = 0; j < b.events.size(); ++j) {
+              combined.ts_pairs.emplace_back(
+                  static_cast<int>(i),
+                  static_cast<int>(a.events.size() + j));
+            }
+          }
+          combined.fully_ordered = a.fully_ordered && b.fully_ordered;
+        } else {
+          combined.fully_ordered =
+              a.events.empty() ? b.fully_ordered : b.events.empty();
+        }
+        next.push_back(std::move(combined));
+      }
+    }
+    acc = std::move(next);
+  }
+  return acc;
+}
+
+}  // namespace
+
+std::vector<SimplePattern> ToDnf(const NestedPattern& pattern) {
+  CEPJOIN_CHECK(pattern.root != nullptr);
+  CEPJOIN_CHECK_GT(pattern.window, 0.0);
+  std::vector<Alternative> alternatives = DnfOf(*pattern.root);
+  std::vector<SimplePattern> out;
+  out.reserve(alternatives.size());
+  for (const Alternative& alt : alternatives) {
+    // Resolve names to positions within the alternative.
+    std::unordered_map<std::string, int> position_of;
+    for (size_t i = 0; i < alt.events.size(); ++i) {
+      const std::string& name = alt.events[i].name;
+      CEPJOIN_CHECK(position_of.emplace(name, static_cast<int>(i)).second)
+          << "duplicate event name '" << name << "' within one alternative";
+    }
+    std::vector<ConditionPtr> conditions;
+    for (const NamedCondition& nc : pattern.conditions) {
+      auto lit = position_of.find(nc.left_name);
+      auto rit = position_of.find(nc.right_name);
+      if (lit == position_of.end() || rit == position_of.end()) continue;
+      conditions.push_back(nc.make(lit->second, rit->second));
+    }
+    OperatorKind op;
+    if (alt.fully_ordered) {
+      // Totally ordered alternatives become SEQ patterns; the ts pairs are
+      // implied by the operator and need not be materialized.
+      op = OperatorKind::kSeq;
+    } else {
+      op = OperatorKind::kAnd;
+      std::unordered_set<int64_t> seen;
+      for (const auto& [i, j] : alt.ts_pairs) {
+        if (!seen.insert(static_cast<int64_t>(i) << 32 | j).second) continue;
+        conditions.push_back(std::make_shared<TsOrder>(i, j));
+        CEPJOIN_CHECK(!alt.events[i].negated && !alt.events[j].negated)
+            << "negation under mixed AND/SEQ nesting is not supported; "
+               "restructure the pattern so negated events sit in fully "
+               "ordered alternatives";
+      }
+    }
+    out.emplace_back(op, alt.events, std::move(conditions), pattern.window,
+                     pattern.strategy);
+  }
+  return out;
+}
+
+}  // namespace cepjoin

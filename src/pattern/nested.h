@@ -1,0 +1,79 @@
+#ifndef CEPJOIN_PATTERN_NESTED_H_
+#define CEPJOIN_PATTERN_NESTED_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "pattern/pattern.h"
+
+namespace cepjoin {
+
+/// Node of a nested pattern AST (Sec. 5.4): leaves are event slots, inner
+/// nodes apply SEQ / AND / OR to their children. NOT and KL are flags on
+/// leaf specs, as in SimplePattern.
+class PatternNode {
+ public:
+  enum class Kind { kLeaf, kOp };
+
+  static std::shared_ptr<const PatternNode> Leaf(EventSpec spec);
+  static std::shared_ptr<const PatternNode> Op(
+      OperatorKind op,
+      std::vector<std::shared_ptr<const PatternNode>> children);
+
+  Kind kind() const { return kind_; }
+  const EventSpec& spec() const { return spec_; }
+  OperatorKind op() const { return op_; }
+  const std::vector<std::shared_ptr<const PatternNode>>& children() const {
+    return children_;
+  }
+
+ private:
+  PatternNode() = default;
+  Kind kind_ = Kind::kLeaf;
+  EventSpec spec_;
+  OperatorKind op_ = OperatorKind::kAnd;
+  std::vector<std::shared_ptr<const PatternNode>> children_;
+};
+
+/// A condition over named events of a nested pattern. Positions are only
+/// defined per DNF alternative, so the condition is materialized by `make`
+/// once the names are resolved to positions within an alternative.
+struct NamedCondition {
+  std::string left_name;
+  std::string right_name;  // equal to left_name for unary conditions
+  std::function<ConditionPtr(int left_pos, int right_pos)> make;
+};
+
+/// Helper producing a NamedCondition for `left.attr OP right.attr + offset`.
+NamedCondition MakeNamedAttrCompare(const EventTypeRegistry& registry,
+                                    TypeId left_type,
+                                    const std::string& left_name,
+                                    const std::string& left_attr, CmpOp op,
+                                    TypeId right_type,
+                                    const std::string& right_name,
+                                    const std::string& right_attr,
+                                    double offset = 0.0);
+
+/// A nested pattern: arbitrary SEQ/AND/OR composition plus named
+/// conditions, a window, and a selection strategy. Detection proceeds by
+/// DNF decomposition into simple conjunctive subpatterns (Sec. 5.4), each
+/// planned and evaluated independently; results are unioned.
+struct NestedPattern {
+  std::shared_ptr<const PatternNode> root;
+  std::vector<NamedCondition> conditions;
+  Timestamp window = 0.0;
+  SelectionStrategy strategy = SelectionStrategy::kSkipTillAny;
+};
+
+/// Converts a nested pattern into its DNF: a list of simple patterns whose
+/// union of matches equals the nested pattern's matches. Alternatives that
+/// remain totally temporally ordered (built from SEQ/OR only) come out as
+/// SEQ patterns; mixed AND/SEQ alternatives come out as AND patterns with
+/// explicit TsOrder conditions.
+std::vector<SimplePattern> ToDnf(const NestedPattern& pattern);
+
+}  // namespace cepjoin
+
+#endif  // CEPJOIN_PATTERN_NESTED_H_

@@ -1,0 +1,453 @@
+#include "pattern/parser.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+
+#include "common/check.h"
+
+namespace cepjoin {
+
+namespace {
+
+enum class TokenKind { kIdent, kNumber, kSymbol, kEnd };
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;
+  double number = 0.0;
+  size_t offset = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& text) : text_(text) { Advance(); }
+
+  const Token& current() const { return current_; }
+
+  void Advance() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(
+                                      text_[pos_]))) {
+      ++pos_;
+    }
+    current_ = Token();
+    current_.offset = pos_;
+    if (pos_ >= text_.size()) {
+      current_.kind = TokenKind::kEnd;
+      return;
+    }
+    char c = text_[pos_];
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = pos_;
+      while (pos_ < text_.size() &&
+             (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+              text_[pos_] == '_' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      current_.kind = TokenKind::kIdent;
+      current_.text = text_.substr(start, pos_ - start);
+      return;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '-' && pos_ + 1 < text_.size() &&
+         std::isdigit(static_cast<unsigned char>(text_[pos_ + 1])))) {
+      size_t start = pos_;
+      ++pos_;
+      while (pos_ < text_.size() &&
+             (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+              text_[pos_] == '.' || text_[pos_] == 'e' ||
+              text_[pos_] == 'E' ||
+              ((text_[pos_] == '+' || text_[pos_] == '-') &&
+               (text_[pos_ - 1] == 'e' || text_[pos_ - 1] == 'E')))) {
+        ++pos_;
+      }
+      current_.kind = TokenKind::kNumber;
+      current_.text = text_.substr(start, pos_ - start);
+      current_.number = std::atof(current_.text.c_str());
+      return;
+    }
+    // Multi-character comparison symbols.
+    static const char* kTwoChar[] = {"<=", ">=", "==", "!="};
+    for (const char* symbol : kTwoChar) {
+      if (text_.compare(pos_, 2, symbol) == 0) {
+        current_.kind = TokenKind::kSymbol;
+        current_.text = symbol;
+        pos_ += 2;
+        return;
+      }
+    }
+    current_.kind = TokenKind::kSymbol;
+    current_.text = std::string(1, c);
+    ++pos_;
+  }
+
+ private:
+  const std::string& text_;
+  size_t pos_ = 0;
+  Token current_;
+};
+
+// Case-insensitive keyword comparison (the paper capitalizes keywords but
+// user input should not have to).
+bool IsKeyword(const Token& token, const char* keyword) {
+  if (token.kind != TokenKind::kIdent) return false;
+  if (token.text.size() != std::string(keyword).size()) return false;
+  for (size_t i = 0; i < token.text.size(); ++i) {
+    if (std::toupper(static_cast<unsigned char>(token.text[i])) !=
+        std::toupper(static_cast<unsigned char>(keyword[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::optional<OperatorKind> OperatorKeyword(const Token& token) {
+  if (IsKeyword(token, "SEQ")) return OperatorKind::kSeq;
+  if (IsKeyword(token, "AND")) return OperatorKind::kAnd;
+  if (IsKeyword(token, "OR")) return OperatorKind::kOr;
+  return std::nullopt;
+}
+
+std::optional<CmpOp> ComparisonSymbol(const Token& token) {
+  if (token.kind != TokenKind::kSymbol) return std::nullopt;
+  if (token.text == "<") return CmpOp::kLt;
+  if (token.text == "<=") return CmpOp::kLe;
+  if (token.text == ">") return CmpOp::kGt;
+  if (token.text == ">=") return CmpOp::kGe;
+  if (token.text == "=" || token.text == "==") return CmpOp::kEq;
+  if (token.text == "!=") return CmpOp::kNe;
+  return std::nullopt;
+}
+
+class Parser {
+ public:
+  Parser(const std::string& text, const EventTypeRegistry& registry)
+      : lexer_(text), registry_(registry) {}
+
+  ParseResult Run() {
+    ParseResult result;
+    if (!Expect("PATTERN")) return Fail(std::move(result));
+    result.pattern.root = ParseNode();
+    if (failed_) return Fail(std::move(result));
+    if (IsKeyword(lexer_.current(), "WHERE")) {
+      lexer_.Advance();
+      ParseConditions(&result.pattern);
+      if (failed_) return Fail(std::move(result));
+    }
+    if (!Expect("WITHIN")) return Fail(std::move(result));
+    result.pattern.window = ParseDuration();
+    if (failed_) return Fail(std::move(result));
+    if (IsKeyword(lexer_.current(), "STRATEGY")) {
+      lexer_.Advance();
+      result.pattern.strategy = ParseStrategy();
+      if (failed_) return Fail(std::move(result));
+    }
+    if (lexer_.current().kind != TokenKind::kEnd) {
+      Error("unexpected trailing input");
+      return Fail(std::move(result));
+    }
+    result.ok = true;
+    return result;
+  }
+
+ private:
+  ParseResult Fail(ParseResult result) {
+    result.ok = false;
+    result.error = error_;
+    result.error_offset = error_offset_;
+    return result;
+  }
+
+  void Error(const std::string& message) {
+    if (failed_) return;
+    failed_ = true;
+    error_ = message;
+    error_offset_ = lexer_.current().offset;
+  }
+
+  bool Expect(const char* keyword) {
+    if (!IsKeyword(lexer_.current(), keyword)) {
+      Error(std::string("expected '") + keyword + "'");
+      return false;
+    }
+    lexer_.Advance();
+    return true;
+  }
+
+  bool ExpectSymbol(const char* symbol) {
+    if (lexer_.current().kind != TokenKind::kSymbol ||
+        lexer_.current().text != symbol) {
+      Error(std::string("expected '") + symbol + "'");
+      return false;
+    }
+    lexer_.Advance();
+    return true;
+  }
+
+  // node := OP "(" node ("," node)* ")" | [NOT|KL "("] Type name [")"]
+  std::shared_ptr<const PatternNode> ParseNode() {
+    if (failed_) return nullptr;
+    std::optional<OperatorKind> op = OperatorKeyword(lexer_.current());
+    if (op.has_value()) {
+      lexer_.Advance();
+      if (!ExpectSymbol("(")) return nullptr;
+      std::vector<std::shared_ptr<const PatternNode>> children;
+      while (true) {
+        auto child = ParseNode();
+        if (failed_) return nullptr;
+        children.push_back(std::move(child));
+        if (lexer_.current().kind == TokenKind::kSymbol &&
+            lexer_.current().text == ",") {
+          lexer_.Advance();
+          continue;
+        }
+        break;
+      }
+      if (!ExpectSymbol(")")) return nullptr;
+      return PatternNode::Op(*op, std::move(children));
+    }
+    bool negated = false;
+    bool kleene = false;
+    if (IsKeyword(lexer_.current(), "NOT")) {
+      negated = true;
+      lexer_.Advance();
+    } else if (IsKeyword(lexer_.current(), "KL")) {
+      kleene = true;
+      lexer_.Advance();
+    }
+    bool wrapped = negated || kleene;
+    if (wrapped && !ExpectSymbol("(")) return nullptr;
+    EventSpec spec = ParseEventSpec(negated, kleene);
+    if (failed_) return nullptr;
+    if (wrapped && !ExpectSymbol(")")) return nullptr;
+    return PatternNode::Leaf(std::move(spec));
+  }
+
+  EventSpec ParseEventSpec(bool negated, bool kleene) {
+    EventSpec spec;
+    spec.negated = negated;
+    spec.kleene = kleene;
+    if (lexer_.current().kind != TokenKind::kIdent) {
+      Error("expected an event type name");
+      return spec;
+    }
+    spec.type = registry_.Find(lexer_.current().text);
+    if (spec.type == kInvalidTypeId) {
+      Error("unknown event type '" + lexer_.current().text + "'");
+      return spec;
+    }
+    lexer_.Advance();
+    if (lexer_.current().kind != TokenKind::kIdent) {
+      Error("expected an event variable name");
+      return spec;
+    }
+    spec.name = lexer_.current().text;
+    if (!names_.emplace(spec.name, spec.type).second) {
+      Error("duplicate event name '" + spec.name + "'");
+      return spec;
+    }
+    lexer_.Advance();
+    return spec;
+  }
+
+  struct Operand {
+    bool is_attr = false;
+    std::string name;   // event variable
+    std::string attr;   // attribute name
+    double constant = 0.0;
+  };
+
+  Operand ParseOperand() {
+    Operand operand;
+    if (lexer_.current().kind == TokenKind::kNumber) {
+      operand.constant = lexer_.current().number;
+      lexer_.Advance();
+      return operand;
+    }
+    if (lexer_.current().kind != TokenKind::kIdent) {
+      Error("expected 'name.attribute' or a number");
+      return operand;
+    }
+    operand.is_attr = true;
+    operand.name = lexer_.current().text;
+    if (names_.find(operand.name) == names_.end()) {
+      Error("condition references undeclared event '" + operand.name + "'");
+      return operand;
+    }
+    lexer_.Advance();
+    if (!ExpectSymbol(".")) return operand;
+    if (lexer_.current().kind != TokenKind::kIdent) {
+      Error("expected an attribute name after '.'");
+      return operand;
+    }
+    operand.attr = lexer_.current().text;
+    lexer_.Advance();
+    return operand;
+  }
+
+  // Resolves the attribute index or errors out.
+  std::optional<AttrId> ResolveAttr(const Operand& operand) {
+    TypeId type = names_[operand.name];
+    const EventTypeInfo& info = registry_.Info(type);
+    for (size_t i = 0; i < info.attribute_names.size(); ++i) {
+      if (info.attribute_names[i] == operand.attr) {
+        return static_cast<AttrId>(i);
+      }
+    }
+    Error("type '" + info.name + "' has no attribute '" + operand.attr + "'");
+    return std::nullopt;
+  }
+
+  void ParseConditions(NestedPattern* pattern) {
+    while (true) {
+      Operand left = ParseOperand();
+      if (failed_) return;
+      std::optional<CmpOp> op = ComparisonSymbol(lexer_.current());
+      if (!op.has_value()) {
+        Error("expected a comparison operator");
+        return;
+      }
+      lexer_.Advance();
+      Operand right = ParseOperand();
+      if (failed_) return;
+      if (!EmitCondition(pattern, left, *op, right)) return;
+      if (IsKeyword(lexer_.current(), "AND")) {
+        lexer_.Advance();
+        continue;
+      }
+      break;
+    }
+  }
+
+  bool EmitCondition(NestedPattern* pattern, const Operand& left, CmpOp op,
+                     const Operand& right) {
+    if (left.is_attr && right.is_attr) {
+      std::optional<AttrId> la = ResolveAttr(left);
+      std::optional<AttrId> ra = ResolveAttr(right);
+      if (!la || !ra) return false;
+      pattern->conditions.push_back(NamedCondition{
+          left.name, right.name, [la = *la, op, ra = *ra](int l, int r) {
+            return std::make_shared<AttrCompare>(l, la, op, r, ra);
+          }});
+      return true;
+    }
+    if (left.is_attr && !right.is_attr) {
+      std::optional<AttrId> la = ResolveAttr(left);
+      if (!la) return false;
+      double constant = right.constant;
+      pattern->conditions.push_back(NamedCondition{
+          left.name, left.name, [la = *la, op, constant](int l, int) {
+            return std::make_shared<AttrThreshold>(l, la, op, constant);
+          }});
+      return true;
+    }
+    if (!left.is_attr && right.is_attr) {
+      // Mirror `5 < a.x` into `a.x > 5`.
+      CmpOp mirrored = op;
+      switch (op) {
+        case CmpOp::kLt:
+          mirrored = CmpOp::kGt;
+          break;
+        case CmpOp::kLe:
+          mirrored = CmpOp::kGe;
+          break;
+        case CmpOp::kGt:
+          mirrored = CmpOp::kLt;
+          break;
+        case CmpOp::kGe:
+          mirrored = CmpOp::kLe;
+          break;
+        default:
+          break;
+      }
+      return EmitCondition(pattern, right, mirrored, left);
+    }
+    Error("conditions between two constants are not allowed");
+    return false;
+  }
+
+  double ParseDuration() {
+    if (lexer_.current().kind != TokenKind::kNumber) {
+      Error("expected a window duration");
+      return 0.0;
+    }
+    double value = lexer_.current().number;
+    lexer_.Advance();
+    const Token& unit = lexer_.current();
+    double scale = 1.0;
+    if (unit.kind == TokenKind::kIdent) {
+      if (IsKeyword(unit, "ms")) {
+        scale = 1e-3;
+      } else if (IsKeyword(unit, "s") || IsKeyword(unit, "sec") ||
+                 IsKeyword(unit, "second") || IsKeyword(unit, "seconds")) {
+        scale = 1.0;
+      } else if (IsKeyword(unit, "min") || IsKeyword(unit, "minute") ||
+                 IsKeyword(unit, "minutes")) {
+        scale = 60.0;
+      } else if (IsKeyword(unit, "h") || IsKeyword(unit, "hour") ||
+                 IsKeyword(unit, "hours")) {
+        scale = 3600.0;
+      } else if (IsKeyword(unit, "STRATEGY")) {
+        return value;  // no unit; STRATEGY clause follows
+      } else {
+        Error("unknown time unit '" + unit.text + "'");
+        return 0.0;
+      }
+      lexer_.Advance();
+    }
+    if (value * scale <= 0.0) {
+      Error("window must be positive");
+      return 0.0;
+    }
+    return value * scale;
+  }
+
+  SelectionStrategy ParseStrategy() {
+    const Token& token = lexer_.current();
+    SelectionStrategy strategy = SelectionStrategy::kSkipTillAny;
+    if (IsKeyword(token, "skip-till-any-match")) {
+      strategy = SelectionStrategy::kSkipTillAny;
+    } else if (IsKeyword(token, "skip-till-next-match")) {
+      strategy = SelectionStrategy::kSkipTillNext;
+    } else if (IsKeyword(token, "strict-contiguity")) {
+      strategy = SelectionStrategy::kStrictContiguity;
+    } else if (IsKeyword(token, "partition-contiguity")) {
+      strategy = SelectionStrategy::kPartitionContiguity;
+    } else {
+      Error("unknown selection strategy '" + token.text + "'");
+      return strategy;
+    }
+    lexer_.Advance();
+    return strategy;
+  }
+
+  Lexer lexer_;
+  const EventTypeRegistry& registry_;
+  std::unordered_map<std::string, TypeId> names_;
+  bool failed_ = false;
+  std::string error_;
+  size_t error_offset_ = 0;
+};
+
+}  // namespace
+
+ParseResult ParsePattern(const std::string& text,
+                         const EventTypeRegistry& registry) {
+  return Parser(text, registry).Run();
+}
+
+SimplePattern MustParseSimple(const std::string& text,
+                              const EventTypeRegistry& registry) {
+  ParseResult result = ParsePattern(text, registry);
+  CEPJOIN_CHECK(result.ok) << "parse error at offset " << result.error_offset
+                           << ": " << result.error;
+  std::vector<SimplePattern> dnf = ToDnf(result.pattern);
+  CEPJOIN_CHECK_EQ(dnf.size(), 1u)
+      << "pattern decomposes into " << dnf.size()
+      << " alternatives; use ParsePattern + ToDnf directly";
+  return dnf[0];
+}
+
+}  // namespace cepjoin

@@ -1,0 +1,54 @@
+#ifndef CEPJOIN_PATTERN_PARSER_H_
+#define CEPJOIN_PATTERN_PARSER_H_
+
+#include <string>
+#include <vector>
+
+#include "pattern/nested.h"
+#include "pattern/pattern.h"
+
+namespace cepjoin {
+
+/// Result of parsing a pattern specification. On failure, `error`
+/// describes the problem and its input offset.
+struct ParseResult {
+  bool ok = false;
+  std::string error;
+  size_t error_offset = 0;
+  NestedPattern pattern;
+};
+
+/// Parses the SASE-style declarative pattern syntax the paper uses
+/// (Sec. 2.1):
+///
+///   PATTERN SEQ(A a, NOT(B b), KL(C c), OR(D d, E e))
+///   WHERE a.price < c.price AND c.price >= 10.5
+///   WITHIN 20 minutes
+///   [STRATEGY skip-till-next-match]
+///
+/// * Operators SEQ / AND / OR nest arbitrarily; NOT(...) and KL(...) wrap
+///   a single event.
+/// * WHERE takes a conjunction of comparisons between `name.attribute`
+///   operands and/or numeric literals (unary filters). Operators:
+///   < <= > >= = == !=.
+/// * WITHIN accepts seconds by default, with optional units
+///   ms / s / sec / seconds / min / minutes / h / hours.
+/// * STRATEGY is optional: skip-till-any-match (default),
+///   skip-till-next-match, strict-contiguity, partition-contiguity.
+///
+/// Event types and attributes are resolved against `registry`; unknown
+/// names are parse errors. The result is a NestedPattern — run ToDnf to
+/// obtain executable SimplePatterns.
+ParseResult ParsePattern(const std::string& text,
+                         const EventTypeRegistry& registry);
+
+/// Convenience wrapper for non-nested specifications: parses and converts
+/// to a single SimplePattern; aborts (CHECK) on parse errors or if the
+/// pattern decomposes into multiple alternatives. Intended for tests and
+/// examples where the input is a string literal.
+SimplePattern MustParseSimple(const std::string& text,
+                              const EventTypeRegistry& registry);
+
+}  // namespace cepjoin
+
+#endif  // CEPJOIN_PATTERN_PARSER_H_

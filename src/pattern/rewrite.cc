@@ -1,0 +1,49 @@
+#include "pattern/rewrite.h"
+
+#include <memory>
+
+namespace cepjoin {
+
+SimplePattern SeqToAnd(const SimplePattern& pattern) {
+  if (pattern.op() != OperatorKind::kSeq) return pattern;
+  std::vector<ConditionPtr> conditions = pattern.conditions();
+  int n = pattern.size();
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      conditions.push_back(std::make_shared<TsOrder>(i, j));
+    }
+  }
+  return SimplePattern(OperatorKind::kAnd, pattern.events(),
+                       std::move(conditions), pattern.window(),
+                       pattern.strategy());
+}
+
+SimplePattern AddContiguityConditions(const SimplePattern& pattern,
+                                      double adjacency_selectivity) {
+  bool strict = pattern.strategy() == SelectionStrategy::kStrictContiguity;
+  bool partition =
+      pattern.strategy() == SelectionStrategy::kPartitionContiguity;
+  if (!strict && !partition) return pattern;
+  std::vector<ConditionPtr> conditions = pattern.conditions();
+  const std::vector<int>& positives = pattern.positive_positions();
+  for (size_t k = 0; k + 1 < positives.size(); ++k) {
+    int a = positives[k];
+    int b = positives[k + 1];
+    if (strict) {
+      conditions.push_back(
+          std::make_shared<SerialAdjacent>(a, b, adjacency_selectivity));
+    } else {
+      conditions.push_back(
+          std::make_shared<PartitionAdjacent>(a, b, adjacency_selectivity));
+    }
+  }
+  return SimplePattern(pattern.op(), pattern.events(), std::move(conditions),
+                       pattern.window(), pattern.strategy());
+}
+
+SimplePattern RewriteForPlanning(const SimplePattern& pattern,
+                                 double adjacency_selectivity) {
+  return SeqToAnd(AddContiguityConditions(pattern, adjacency_selectivity));
+}
+
+}  // namespace cepjoin

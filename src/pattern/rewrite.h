@@ -1,0 +1,38 @@
+#ifndef CEPJOIN_PATTERN_REWRITE_H_
+#define CEPJOIN_PATTERN_REWRITE_H_
+
+#include "pattern/pattern.h"
+
+namespace cepjoin {
+
+/// Theorem 3: rewrites a SEQ pattern into an equivalent AND pattern by
+/// adding explicit timestamp-order predicates. We add TsOrder for *all*
+/// position pairs (the transitive closure of the paper's consecutive
+/// constraints) — semantically identical, but it lets engines prune
+/// partial matches holding non-adjacent slots and gives the cost model a
+/// selectivity entry for every pair the runtime actually checks.
+///
+/// AND patterns are returned unchanged. The rewrite also covers pairs
+/// involving negated slots: those TsOrder predicates are exactly the
+/// temporal guards the negation check evaluates.
+SimplePattern SeqToAnd(const SimplePattern& pattern);
+
+/// Sec. 6.2: materializes the contiguity requirement of the pattern's
+/// selection strategy as explicit conditions between consecutive positive
+/// positions — SerialAdjacent for strict contiguity, PartitionAdjacent for
+/// partition contiguity. `adjacency_selectivity` is the planner's estimate
+/// for one adjacency predicate (≈ 1 / (W · total stream rate) for strict).
+/// Patterns with other strategies are returned unchanged.
+SimplePattern AddContiguityConditions(const SimplePattern& pattern,
+                                      double adjacency_selectivity);
+
+/// The full plan-time normalization used by the statistics collector and
+/// the engines: SEQ→AND rewrite plus contiguity materialization. The
+/// result is always an AND pattern whose condition set describes every
+/// constraint the runtime enforces between event pairs.
+SimplePattern RewriteForPlanning(const SimplePattern& pattern,
+                                 double adjacency_selectivity);
+
+}  // namespace cepjoin
+
+#endif  // CEPJOIN_PATTERN_REWRITE_H_

@@ -1,0 +1,39 @@
+#include "plan/order_plan.h"
+
+#include <numeric>
+#include <sstream>
+#include <utility>
+
+#include "common/check.h"
+
+namespace cepjoin {
+
+OrderPlan::OrderPlan(std::vector<int> order) : order_(std::move(order)) {
+  int n = static_cast<int>(order_.size());
+  step_of_.assign(n, -1);
+  for (int k = 0; k < n; ++k) {
+    int item = order_[k];
+    CEPJOIN_CHECK(item >= 0 && item < n) << "order element out of range";
+    CEPJOIN_CHECK_EQ(step_of_[item], -1) << "duplicate element in order";
+    step_of_[item] = k;
+  }
+}
+
+OrderPlan OrderPlan::Identity(int n) {
+  std::vector<int> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  return OrderPlan(std::move(order));
+}
+
+std::string OrderPlan::Describe() const {
+  std::ostringstream os;
+  os << "[";
+  for (int k = 0; k < size(); ++k) {
+    if (k > 0) os << " ";
+    os << order_[k];
+  }
+  os << "]";
+  return os.str();
+}
+
+}  // namespace cepjoin

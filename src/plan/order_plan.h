@@ -1,0 +1,40 @@
+#ifndef CEPJOIN_PLAN_ORDER_PLAN_H_
+#define CEPJOIN_PLAN_ORDER_PLAN_H_
+
+#include <string>
+#include <vector>
+
+namespace cepjoin {
+
+/// An order-based evaluation plan (Sec. 3.1): a permutation of the
+/// pattern's positive slots. Element k is the slot processed at step k.
+/// Indices refer to positions within `SimplePattern::positive_positions()`
+/// (equivalently: join-relation indices under the Theorem 1 reduction).
+class OrderPlan {
+ public:
+  OrderPlan() = default;
+  explicit OrderPlan(std::vector<int> order);
+
+  static OrderPlan Identity(int n);
+
+  int size() const { return static_cast<int>(order_.size()); }
+  const std::vector<int>& order() const { return order_; }
+  /// Slot processed at step k.
+  int At(int k) const { return order_[k]; }
+  /// Step at which slot `item` is processed.
+  int StepOf(int item) const { return step_of_[item]; }
+
+  std::string Describe() const;
+
+  bool operator==(const OrderPlan& other) const {
+    return order_ == other.order_;
+  }
+
+ private:
+  std::vector<int> order_;
+  std::vector<int> step_of_;
+};
+
+}  // namespace cepjoin
+
+#endif  // CEPJOIN_PLAN_ORDER_PLAN_H_

@@ -1,0 +1,115 @@
+#include "plan/tree_plan.h"
+
+#include <functional>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace cepjoin {
+
+int TreePlan::Builder::AddLeaf(int item) {
+  CEPJOIN_CHECK(item >= 0 && item < 64) << "leaf items must be in [0, 64)";
+  Node n;
+  n.leaf_item = item;
+  n.mask = uint64_t{1} << item;
+  nodes_.push_back(n);
+  return static_cast<int>(nodes_.size()) - 1;
+}
+
+int TreePlan::Builder::AddInternal(int left, int right) {
+  CEPJOIN_CHECK(left >= 0 && left < static_cast<int>(nodes_.size()));
+  CEPJOIN_CHECK(right >= 0 && right < static_cast<int>(nodes_.size()));
+  CEPJOIN_CHECK(left != right);
+  CEPJOIN_CHECK_EQ(nodes_[left].parent, -1) << "node already has a parent";
+  CEPJOIN_CHECK_EQ(nodes_[right].parent, -1) << "node already has a parent";
+  CEPJOIN_CHECK((nodes_[left].mask & nodes_[right].mask) == 0)
+      << "subtrees overlap in leaf items";
+  Node n;
+  n.left = left;
+  n.right = right;
+  n.mask = nodes_[left].mask | nodes_[right].mask;
+  nodes_.push_back(n);
+  int id = static_cast<int>(nodes_.size()) - 1;
+  nodes_[left].parent = id;
+  nodes_[right].parent = id;
+  return id;
+}
+
+TreePlan TreePlan::Builder::Build(int root) {
+  CEPJOIN_CHECK(root >= 0 && root < static_cast<int>(nodes_.size()));
+  CEPJOIN_CHECK_EQ(nodes_[root].parent, -1);
+  TreePlan plan;
+  plan.nodes_ = nodes_;
+  plan.root_ = root;
+  plan.Finalize();
+  return plan;
+}
+
+void TreePlan::Finalize() {
+  // Count leaves, verify the root covers a contiguous item range exactly
+  // once, and record per-item leaf nodes.
+  uint64_t mask = nodes_[root_].mask;
+  num_leaves_ = __builtin_popcountll(mask);
+  CEPJOIN_CHECK_EQ(mask, num_leaves_ == 64
+                             ? ~uint64_t{0}
+                             : (uint64_t{1} << num_leaves_) - 1)
+      << "tree must cover items 0..n-1 exactly once";
+  leaf_node_of_.assign(num_leaves_, -1);
+  internal_postorder_.clear();
+  int reachable = 0;
+  std::function<void(int)> visit = [&](int id) {
+    ++reachable;
+    const Node& n = nodes_[id];
+    if (n.leaf_item >= 0) {
+      CEPJOIN_CHECK_EQ(leaf_node_of_[n.leaf_item], -1);
+      leaf_node_of_[n.leaf_item] = id;
+      return;
+    }
+    visit(n.left);
+    visit(n.right);
+    internal_postorder_.push_back(id);
+  };
+  visit(root_);
+  CEPJOIN_CHECK_EQ(reachable, static_cast<int>(nodes_.size()))
+      << "builder contains nodes not reachable from the root";
+}
+
+TreePlan TreePlan::LeftDeep(const OrderPlan& order) {
+  Builder b;
+  CEPJOIN_CHECK_GT(order.size(), 0);
+  int acc = b.AddLeaf(order.At(0));
+  for (int k = 1; k < order.size(); ++k) {
+    acc = b.AddInternal(acc, b.AddLeaf(order.At(k)));
+  }
+  return b.Build(acc);
+}
+
+int TreePlan::Sibling(int id) const {
+  int p = nodes_[id].parent;
+  if (p < 0) return -1;
+  return nodes_[p].left == id ? nodes_[p].right : nodes_[p].left;
+}
+
+std::string TreePlan::Describe() const {
+  std::ostringstream os;
+  std::function<void(int)> render = [&](int id) {
+    const Node& n = nodes_[id];
+    if (n.leaf_item >= 0) {
+      os << n.leaf_item;
+      return;
+    }
+    os << "(";
+    render(n.left);
+    os << " ";
+    render(n.right);
+    os << ")";
+  };
+  render(root_);
+  return os.str();
+}
+
+bool TreePlan::operator==(const TreePlan& other) const {
+  return Describe() == other.Describe();
+}
+
+}  // namespace cepjoin

@@ -1,0 +1,78 @@
+#ifndef CEPJOIN_PLAN_TREE_PLAN_H_
+#define CEPJOIN_PLAN_TREE_PLAN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "plan/order_plan.h"
+
+namespace cepjoin {
+
+/// A tree-based evaluation plan (Sec. 3.1): a binary tree whose leaves are
+/// the pattern's positive slots. Internal nodes specify which subsets of
+/// partial matches are buffered and how they are combined (ZStream-style).
+/// Also doubles as a join execution tree (bushy plan) under the Theorem 2
+/// reduction. Supports up to 64 leaves (leaf sets are bitmasks).
+class TreePlan {
+ public:
+  struct Node {
+    int left = -1;
+    int right = -1;
+    int parent = -1;
+    int leaf_item = -1;      // >= 0 iff this is a leaf
+    uint64_t mask = 0;       // set of leaf items under this node
+  };
+
+  /// Incremental construction; nodes may be added in any bottom-up order.
+  class Builder {
+   public:
+    int AddLeaf(int item);
+    int AddInternal(int left, int right);
+    /// Finalizes the tree with the given root; validates that the tree is
+    /// a single binary tree covering each leaf item exactly once.
+    TreePlan Build(int root);
+
+   private:
+    std::vector<Node> nodes_;
+  };
+
+  TreePlan() = default;
+
+  /// The left-deep tree corresponding to an order: ((((p0 p1) p2) p3) ...).
+  static TreePlan LeftDeep(const OrderPlan& order);
+
+  int root() const { return root_; }
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  int num_leaves() const { return num_leaves_; }
+  const Node& node(int id) const { return nodes_[id]; }
+  bool IsLeaf(int id) const { return nodes_[id].leaf_item >= 0; }
+  /// The other child of `id`'s parent; -1 for the root.
+  int Sibling(int id) const;
+  /// Node id of the leaf carrying `item`.
+  int LeafOf(int item) const { return leaf_node_of_[item]; }
+
+  /// Internal node ids in bottom-up (children before parents) order.
+  const std::vector<int>& internal_postorder() const {
+    return internal_postorder_;
+  }
+
+  /// S-expression rendering, e.g. "((0 1) (2 3))".
+  std::string Describe() const;
+
+  bool operator==(const TreePlan& other) const;
+
+ private:
+  std::vector<Node> nodes_;
+  int root_ = -1;
+  int num_leaves_ = 0;
+  std::vector<int> leaf_node_of_;
+  std::vector<int> internal_postorder_;
+
+  void Finalize();
+  friend class Builder;
+};
+
+}  // namespace cepjoin
+
+#endif  // CEPJOIN_PLAN_TREE_PLAN_H_

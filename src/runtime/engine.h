@@ -1,0 +1,90 @@
+#ifndef CEPJOIN_RUNTIME_ENGINE_H_
+#define CEPJOIN_RUNTIME_ENGINE_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+
+#include "event/event.h"
+
+namespace cepjoin {
+
+/// Resource counters every engine maintains. "Partial matches" are the
+/// paper's primary cost quantity (Sec. 3.1); peaks drive the memory
+/// metric of the evaluation (Sec. 7.2).
+struct EngineCounters {
+  uint64_t events_processed = 0;
+  uint64_t instances_created = 0;
+  uint64_t matches_emitted = 0;
+
+  size_t live_instances = 0;
+  size_t peak_live_instances = 0;
+  size_t buffered_events = 0;
+  size_t peak_buffered_events = 0;
+  size_t instance_bytes = 0;
+  size_t peak_total_bytes = 0;
+
+  void AddInstance(size_t bytes) {
+    ++instances_created;
+    ++live_instances;
+    instance_bytes += bytes;
+    peak_live_instances = std::max(peak_live_instances, live_instances);
+    UpdatePeakBytes();
+  }
+  void RemoveInstance(size_t bytes) {
+    --live_instances;
+    instance_bytes -= bytes;
+  }
+  void AddBuffered() {
+    ++buffered_events;
+    peak_buffered_events = std::max(peak_buffered_events, buffered_events);
+    UpdatePeakBytes();
+  }
+  void RemoveBuffered() { --buffered_events; }
+  void UpdatePeakBytes() {
+    // Rough per-buffered-event footprint: shared_ptr + control block share
+    // + the event payload itself amortized across references.
+    size_t total = instance_bytes + buffered_events * kApproxBufferedBytes;
+    peak_total_bytes = std::max(peak_total_bytes, total);
+  }
+
+  static constexpr size_t kApproxBufferedBytes = 96;
+
+  /// Merges another engine's counters (multi-engine aggregation).
+  void Merge(const EngineCounters& other);
+};
+
+/// Abstract CEP evaluation engine: consumes a timestamp-ordered stream,
+/// emits matches to a sink.
+class Engine {
+ public:
+  virtual ~Engine() = default;
+
+  /// Processes one arrival. Events must be fed in timestamp order.
+  virtual void OnEvent(const EventPtr& e) = 0;
+
+  /// Signals end-of-stream: flushes matches whose trailing-negation
+  /// windows are still open.
+  virtual void Finish() = 0;
+
+  const EngineCounters& counters() const { return counters_; }
+
+ protected:
+  EngineCounters counters_;
+};
+
+inline void EngineCounters::Merge(const EngineCounters& other) {
+  events_processed = std::max(events_processed, other.events_processed);
+  instances_created += other.instances_created;
+  matches_emitted += other.matches_emitted;
+  live_instances += other.live_instances;
+  peak_live_instances += other.peak_live_instances;
+  buffered_events += other.buffered_events;
+  peak_buffered_events += other.peak_buffered_events;
+  instance_bytes += other.instance_bytes;
+  peak_total_bytes += other.peak_total_bytes;
+}
+
+}  // namespace cepjoin
+
+#endif  // CEPJOIN_RUNTIME_ENGINE_H_

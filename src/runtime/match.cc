@@ -1,0 +1,30 @@
+#include "runtime/match.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace cepjoin {
+
+std::string Match::Fingerprint() const {
+  std::ostringstream os;
+  for (size_t p = 0; p < slots.size(); ++p) {
+    os << p << ":";
+    std::vector<EventSerial> serials;
+    serials.reserve(slots[p].size());
+    for (const EventPtr& e : slots[p]) serials.push_back(e->serial);
+    std::sort(serials.begin(), serials.end());
+    for (EventSerial s : serials) os << s << ",";
+    os << ";";
+  }
+  return os.str();
+}
+
+std::vector<std::string> CollectingSink::Fingerprints() const {
+  std::vector<std::string> out;
+  out.reserve(matches.size());
+  for (const Match& m : matches) out.push_back(m.Fingerprint());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace cepjoin

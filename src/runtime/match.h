@@ -1,0 +1,85 @@
+#ifndef CEPJOIN_RUNTIME_MATCH_H_
+#define CEPJOIN_RUNTIME_MATCH_H_
+
+#include <string>
+#include <vector>
+
+#include "event/event.h"
+
+namespace cepjoin {
+
+/// A full pattern match. `slots[p]` holds the event(s) bound to pattern
+/// position p: one event for ordinary slots, one or more for a Kleene
+/// slot, none for negated slots.
+struct Match {
+  std::vector<std::vector<EventPtr>> slots;
+  /// Timestamp of the temporally last event in the match.
+  Timestamp last_ts = 0.0;
+  /// Serial of the temporally last event (ties broken by serial).
+  EventSerial last_event_serial = 0;
+  /// Global arrival serial being processed when the match was emitted;
+  /// emit_serial - last_event_serial is the detection delay in events.
+  EventSerial emit_serial = 0;
+  /// Detection latency (Sec. 6.1): wall-clock seconds between the start
+  /// of processing the temporally last contributing event and the moment
+  /// the match was formed — i.e., the cost of walking the remaining plan
+  /// steps over buffered events.
+  double latency_seconds = 0.0;
+  /// Which DNF subpattern produced the match (0 for simple patterns).
+  int subpattern = 0;
+
+  /// Canonical identity of the match: sorted event serials per slot.
+  /// Used for union/dedup across engines and in correctness tests.
+  std::string Fingerprint() const;
+
+  /// Detection latency in number of events processed between the last
+  /// contributing event's arrival and emission.
+  uint64_t LatencyEvents() const { return emit_serial - last_event_serial; }
+};
+
+/// Receiver of full matches.
+class MatchSink {
+ public:
+  virtual ~MatchSink() = default;
+  virtual void OnMatch(const Match& match) = 0;
+};
+
+/// Sink that stores every match; used by tests and examples.
+class CollectingSink : public MatchSink {
+ public:
+  void OnMatch(const Match& match) override { matches.push_back(match); }
+
+  /// Sorted fingerprints of all collected matches.
+  std::vector<std::string> Fingerprints() const;
+
+  std::vector<Match> matches;
+};
+
+/// Sink that only counts matches and aggregates latency; used by benches.
+class CountingSink : public MatchSink {
+ public:
+  void OnMatch(const Match& match) override {
+    ++count;
+    latency_events_total += match.LatencyEvents();
+    latency_seconds_total += match.latency_seconds;
+  }
+
+  double MeanLatencyEvents() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(latency_events_total) /
+                            static_cast<double>(count);
+  }
+
+  double MeanLatencySeconds() const {
+    return count == 0 ? 0.0
+                      : latency_seconds_total / static_cast<double>(count);
+  }
+
+  uint64_t count = 0;
+  uint64_t latency_events_total = 0;
+  double latency_seconds_total = 0.0;
+};
+
+}  // namespace cepjoin
+
+#endif  // CEPJOIN_RUNTIME_MATCH_H_

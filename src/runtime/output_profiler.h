@@ -1,0 +1,61 @@
+#ifndef CEPJOIN_RUNTIME_OUTPUT_PROFILER_H_
+#define CEPJOIN_RUNTIME_OUTPUT_PROFILER_H_
+
+#include <vector>
+
+#include "runtime/match.h"
+
+namespace cepjoin {
+
+/// Sec. 6.1's output profiler: for conjunction patterns the temporally
+/// last event type is not fixed by the pattern, so the latency cost model
+/// needs an estimate. The profiler observes emitted matches, records
+/// which pattern position arrived last, and reports the most frequent
+/// one. Wraps and forwards to an inner sink.
+class OutputProfiler : public MatchSink {
+ public:
+  OutputProfiler(MatchSink* inner, int num_positions)
+      : inner_(inner), last_counts_(num_positions, 0) {}
+
+  void OnMatch(const Match& match) override {
+    int last_pos = -1;
+    const Event* last = nullptr;
+    for (size_t p = 0; p < match.slots.size(); ++p) {
+      for (const EventPtr& e : match.slots[p]) {
+        if (last == nullptr || e->ts > last->ts ||
+            (e->ts == last->ts && e->serial > last->serial)) {
+          last = e.get();
+          last_pos = static_cast<int>(p);
+        }
+      }
+    }
+    if (last_pos >= 0 && last_pos < static_cast<int>(last_counts_.size())) {
+      ++last_counts_[last_pos];
+    }
+    if (inner_ != nullptr) inner_->OnMatch(match);
+  }
+
+  /// Pattern position that most frequently holds the temporally last
+  /// event, or -1 before any match was seen.
+  int MostFrequentLastPosition() const {
+    int best = -1;
+    uint64_t best_count = 0;
+    for (size_t p = 0; p < last_counts_.size(); ++p) {
+      if (last_counts_[p] > best_count) {
+        best_count = last_counts_[p];
+        best = static_cast<int>(p);
+      }
+    }
+    return best;
+  }
+
+  const std::vector<uint64_t>& last_counts() const { return last_counts_; }
+
+ private:
+  MatchSink* inner_;
+  std::vector<uint64_t> last_counts_;
+};
+
+}  // namespace cepjoin
+
+#endif  // CEPJOIN_RUNTIME_OUTPUT_PROFILER_H_

@@ -1,0 +1,119 @@
+#include "stats/collector.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "pattern/rewrite.h"
+
+namespace cepjoin {
+
+StatsCollector::StatsCollector(const EventStream& stream, size_t num_types,
+                               const CollectorOptions& options)
+    : options_(options), rates_(num_types, 0.0), samples_(num_types) {
+  Timestamp duration = stream.Duration();
+  if (duration <= 0.0) duration = 1.0;
+  std::vector<size_t> counts(num_types, 0);
+  for (const EventPtr& e : stream.events()) {
+    CEPJOIN_CHECK(e->type < num_types);
+    ++counts[e->type];
+    if (samples_[e->type].size() < options_.sample_events_per_type) {
+      samples_[e->type].push_back(e);
+    }
+  }
+  for (size_t t = 0; t < num_types; ++t) {
+    rates_[t] = static_cast<double>(counts[t]) / duration;
+    total_rate_ += rates_[t];
+  }
+}
+
+double StatsCollector::TypeRate(TypeId type) const {
+  CEPJOIN_CHECK(type < rates_.size());
+  return rates_[type];
+}
+
+double StatsCollector::StrictAdjacencySelectivity(Timestamp window) const {
+  if (total_rate_ <= 0.0 || window <= 0.0) return 1.0;
+  return std::min(1.0, 1.0 / (window * total_rate_));
+}
+
+double StatsCollector::ConditionSelectivity(const Condition& condition,
+                                            TypeId left_type,
+                                            TypeId right_type) const {
+  double declared = condition.DeclaredSelectivity();
+  if (!std::isnan(declared)) return declared;
+  const std::vector<EventPtr>& left = samples_[left_type];
+  const std::vector<EventPtr>& right = samples_[right_type];
+  if (condition.unary()) {
+    if (left.empty()) return 1.0;
+    size_t hits = 0;
+    for (const EventPtr& e : left) {
+      if (condition.Eval(*e, *e)) ++hits;
+    }
+    return static_cast<double>(hits) / static_cast<double>(left.size());
+  }
+  if (left.empty() || right.empty()) return 1.0;
+  size_t total = left.size() * right.size();
+  size_t stride = std::max<size_t>(1, total / options_.max_pairs);
+  size_t hits = 0;
+  size_t tried = 0;
+  for (size_t k = 0; k < total; k += stride) {
+    const Event& l = *left[k / right.size()];
+    const Event& r = *right[k % right.size()];
+    if (&l == &r) continue;  // same-type conditions: skip self pairs
+    ++tried;
+    if (condition.Eval(l, r)) ++hits;
+  }
+  if (tried == 0) return 1.0;
+  return static_cast<double>(hits) / static_cast<double>(tried);
+}
+
+PatternStats StatsCollector::CollectForPattern(
+    const SimplePattern& pattern) const {
+  SimplePattern rewritten = RewriteForPlanning(
+      pattern, StrictAdjacencySelectivity(pattern.window()));
+  const std::vector<int>& positives = rewritten.positive_positions();
+  int n = static_cast<int>(positives.size());
+  PatternStats stats(n);
+
+  // Map pattern position -> index among positives (-1 for negated slots).
+  std::vector<int> positive_index(rewritten.size(), -1);
+  for (int k = 0; k < n; ++k) positive_index[positives[k]] = k;
+
+  for (int k = 0; k < n; ++k) {
+    stats.set_rate(k, TypeRate(rewritten.events()[positives[k]].type));
+  }
+
+  for (const ConditionPtr& c : rewritten.conditions()) {
+    int lp = positive_index[c->left()];
+    int rp = positive_index[c->right()];
+    // Conditions touching negated slots are guards for the negation check,
+    // not part of the positive-plan statistics.
+    if (lp < 0 || rp < 0) continue;
+    TypeId lt = rewritten.events()[c->left()].type;
+    TypeId rt = rewritten.events()[c->right()].type;
+    double s = ConditionSelectivity(*c, lt, rt);
+    if (c->unary()) {
+      stats.set_sel(lp, lp, stats.sel(lp, lp) * s);
+    } else {
+      stats.set_sel(lp, rp, stats.sel(lp, rp) * s);
+    }
+  }
+
+  // Theorem 4: replace the Kleene slot with the power-set type T'. Unary
+  // filters on the slot bound which events can join a set at all, so the
+  // power set is taken over the *filtered* rate; the filter selectivity
+  // folds into the rate and the diagonal resets to 1.
+  if (options_.apply_kleene_transform) {
+    for (int k = 0; k < n; ++k) {
+      if (!rewritten.events()[positives[k]].kleene) continue;
+      double filtered = stats.rate(k) * stats.sel(k, k);
+      stats.set_rate(k, KleeneEffectiveRate(filtered, rewritten.window(),
+                                            options_.kleene_max_exponent));
+      stats.set_sel(k, k, 1.0);
+    }
+  }
+  return stats;
+}
+
+}  // namespace cepjoin

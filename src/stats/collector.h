@@ -1,0 +1,61 @@
+#ifndef CEPJOIN_STATS_COLLECTOR_H_
+#define CEPJOIN_STATS_COLLECTOR_H_
+
+#include <vector>
+
+#include "event/stream.h"
+#include "pattern/pattern.h"
+#include "stats/statistics.h"
+
+namespace cepjoin {
+
+/// Options controlling the statistics preprocessing pass.
+struct CollectorOptions {
+  /// How many events per type to retain as a selectivity sample.
+  size_t sample_events_per_type = 2000;
+  /// Cap on sampled (left, right) pairs per condition.
+  size_t max_pairs = 20000;
+  /// Replace Kleene-slot rates with the Theorem 4 power-set rate.
+  bool apply_kleene_transform = true;
+  double kleene_max_exponent = 30.0;
+};
+
+/// Offline statistics collector — the equivalent of the paper's
+/// preprocessing stage that measured arrival rates and predicate
+/// selectivities on the NASDAQ stream before plan generation.
+class StatsCollector {
+ public:
+  /// Scans the stream once, recording per-type rates and per-type samples.
+  StatsCollector(const EventStream& stream, size_t num_types,
+                 const CollectorOptions& options = {});
+
+  /// Mean arrival rate of one type, events per second.
+  double TypeRate(TypeId type) const;
+  /// Total stream rate, events per second.
+  double total_rate() const { return total_rate_; }
+
+  /// Builds plan-time statistics for the pattern's positive slots: rates
+  /// from the stream, selectivities from declared values or pair sampling,
+  /// contiguity predicates materialized per the pattern's strategy, and
+  /// the Kleene rate transform applied.
+  PatternStats CollectForPattern(const SimplePattern& pattern) const;
+
+  /// Estimated selectivity of one condition whose endpoints have the given
+  /// types: declared selectivity if present, otherwise the fraction of
+  /// sampled pairs satisfying it.
+  double ConditionSelectivity(const Condition& condition, TypeId left_type,
+                              TypeId right_type) const;
+
+  /// Planner's estimate for one strict-contiguity adjacency predicate.
+  double StrictAdjacencySelectivity(Timestamp window) const;
+
+ private:
+  CollectorOptions options_;
+  std::vector<double> rates_;
+  double total_rate_ = 0.0;
+  std::vector<std::vector<EventPtr>> samples_;
+};
+
+}  // namespace cepjoin
+
+#endif  // CEPJOIN_STATS_COLLECTOR_H_

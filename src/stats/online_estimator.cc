@@ -1,0 +1,125 @@
+#include "stats/online_estimator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "pattern/rewrite.h"
+
+namespace cepjoin {
+
+OnlineStatsEstimator::OnlineStatsEstimator(size_t num_types, double half_life,
+                                           size_t reservoir_per_type)
+    : lambda_(std::log(2.0) / half_life),
+      counters_(num_types),
+      reservoirs_(num_types),
+      reservoir_per_type_(reservoir_per_type) {
+  CEPJOIN_CHECK_GT(half_life, 0.0);
+}
+
+void OnlineStatsEstimator::Observe(const Event& e) {
+  CEPJOIN_CHECK(e.type < counters_.size());
+  if (!saw_event_) {
+    first_ts_ = e.ts;
+    saw_event_ = true;
+  }
+  now_ = e.ts;
+  DecayedCounter& c = counters_[e.type];
+  c.weight = DecayedWeight(c) + 1.0;
+  c.last_ts = e.ts;
+  std::deque<EventPtr>& reservoir = reservoirs_[e.type];
+  reservoir.push_back(std::make_shared<const Event>(e));
+  if (reservoir.size() > reservoir_per_type_) reservoir.pop_front();
+}
+
+double OnlineStatsEstimator::DecayedWeight(const DecayedCounter& c) const {
+  if (c.weight == 0.0) return 0.0;
+  return c.weight * std::exp(-lambda_ * (now_ - c.last_ts));
+}
+
+double OnlineStatsEstimator::Rate(TypeId type) const {
+  CEPJOIN_CHECK(type < counters_.size());
+  // A decayed counter with rate r converges to r / lambda; invert that.
+  // Before convergence (early in the stream) normalize by the elapsed
+  // effective horizon instead.
+  double horizon = std::min(1.0 / lambda_, std::max(1e-9, now_ - first_ts_));
+  return DecayedWeight(counters_[type]) / horizon;
+}
+
+double OnlineStatsEstimator::total_rate() const {
+  double sum = 0.0;
+  for (size_t t = 0; t < counters_.size(); ++t) {
+    sum += Rate(static_cast<TypeId>(t));
+  }
+  return sum;
+}
+
+double OnlineStatsEstimator::SampleSelectivity(const Condition& condition,
+                                               TypeId left,
+                                               TypeId right) const {
+  double declared = condition.DeclaredSelectivity();
+  if (!std::isnan(declared)) return declared;
+  const std::deque<EventPtr>& ls = reservoirs_[left];
+  const std::deque<EventPtr>& rs = reservoirs_[right];
+  if (condition.unary()) {
+    if (ls.empty()) return 1.0;
+    size_t hits = 0;
+    for (const EventPtr& e : ls) {
+      if (condition.Eval(*e, *e)) ++hits;
+    }
+    return static_cast<double>(hits) / static_cast<double>(ls.size());
+  }
+  if (ls.empty() || rs.empty()) return 1.0;
+  size_t hits = 0;
+  size_t tried = 0;
+  for (const EventPtr& l : ls) {
+    for (const EventPtr& r : rs) {
+      if (l.get() == r.get()) continue;
+      ++tried;
+      if (condition.Eval(*l, *r)) ++hits;
+    }
+  }
+  if (tried == 0) return 1.0;
+  return static_cast<double>(hits) / static_cast<double>(tried);
+}
+
+PatternStats OnlineStatsEstimator::EstimateForPattern(
+    const SimplePattern& pattern) const {
+  double adjacency =
+      total_rate() > 0.0
+          ? std::min(1.0, 1.0 / (pattern.window() * total_rate()))
+          : 1.0;
+  SimplePattern rewritten = RewriteForPlanning(pattern, adjacency);
+  const std::vector<int>& positives = rewritten.positive_positions();
+  int n = static_cast<int>(positives.size());
+  PatternStats stats(n);
+  std::vector<int> positive_index(rewritten.size(), -1);
+  for (int k = 0; k < n; ++k) positive_index[positives[k]] = k;
+  for (int k = 0; k < n; ++k) {
+    stats.set_rate(k, Rate(rewritten.events()[positives[k]].type));
+  }
+  for (const ConditionPtr& c : rewritten.conditions()) {
+    int lp = positive_index[c->left()];
+    int rp = positive_index[c->right()];
+    if (lp < 0 || rp < 0) continue;
+    TypeId lt = rewritten.events()[c->left()].type;
+    TypeId rt = rewritten.events()[c->right()].type;
+    double s = SampleSelectivity(*c, lt, rt);
+    if (c->unary()) {
+      stats.set_sel(lp, lp, stats.sel(lp, lp) * s);
+    } else {
+      stats.set_sel(lp, rp, stats.sel(lp, rp) * s);
+    }
+  }
+  // Kleene power-set rate over the filtered slot rate (mirrors
+  // StatsCollector::CollectForPattern).
+  for (int k = 0; k < n; ++k) {
+    if (!rewritten.events()[positives[k]].kleene) continue;
+    double filtered = std::max(stats.rate(k) * stats.sel(k, k), 1e-12);
+    stats.set_rate(k, KleeneEffectiveRate(filtered, rewritten.window()));
+    stats.set_sel(k, k, 1.0);
+  }
+  return stats;
+}
+
+}  // namespace cepjoin

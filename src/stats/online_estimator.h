@@ -1,0 +1,56 @@
+#ifndef CEPJOIN_STATS_ONLINE_ESTIMATOR_H_
+#define CEPJOIN_STATS_ONLINE_ESTIMATOR_H_
+
+#include <deque>
+#include <vector>
+
+#include "event/event.h"
+#include "pattern/pattern.h"
+#include "stats/statistics.h"
+
+namespace cepjoin {
+
+/// Online sliding-window estimator of arrival rates and condition
+/// selectivities, feeding the adaptive runtime (Sec. 6.3). Rates use
+/// exponentially decayed counters; selectivities are re-sampled on demand
+/// from per-type reservoirs of recent events.
+class OnlineStatsEstimator {
+ public:
+  /// `half_life` — seconds after which an observation's weight halves.
+  OnlineStatsEstimator(size_t num_types, double half_life,
+                       size_t reservoir_per_type = 256);
+
+  void Observe(const Event& e);
+
+  /// Current decayed rate estimate for one type (events/second).
+  double Rate(TypeId type) const;
+
+  /// Builds PatternStats for the pattern's positive slots from the current
+  /// estimates (mirrors StatsCollector::CollectForPattern).
+  PatternStats EstimateForPattern(const SimplePattern& pattern) const;
+
+  double total_rate() const;
+  Timestamp now() const { return now_; }
+
+ private:
+  struct DecayedCounter {
+    double weight = 0.0;      // decayed event count
+    Timestamp last_ts = 0.0;  // time of last decay application
+  };
+
+  double DecayedWeight(const DecayedCounter& c) const;
+  double SampleSelectivity(const Condition& condition, TypeId left,
+                           TypeId right) const;
+
+  double lambda_;  // decay rate = ln2 / half_life
+  Timestamp now_ = 0.0;
+  bool saw_event_ = false;
+  Timestamp first_ts_ = 0.0;
+  std::vector<DecayedCounter> counters_;
+  std::vector<std::deque<EventPtr>> reservoirs_;
+  size_t reservoir_per_type_;
+};
+
+}  // namespace cepjoin
+
+#endif  // CEPJOIN_STATS_ONLINE_ESTIMATOR_H_

@@ -1,0 +1,39 @@
+#include "stats/statistics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace cepjoin {
+
+PatternStats::PatternStats(int n) : rates_(n, 0.0), sel_(n, n, 1.0) {
+  CEPJOIN_CHECK_GT(n, 0);
+}
+
+std::string PatternStats::Describe() const {
+  std::ostringstream os;
+  os << "rates: [";
+  for (int i = 0; i < size(); ++i) {
+    if (i > 0) os << ", ";
+    os << rates_[i];
+  }
+  os << "], sel:\n";
+  for (int i = 0; i < size(); ++i) {
+    os << "  ";
+    for (int j = 0; j < size(); ++j) {
+      os << sel_.At(i, j) << (j + 1 == size() ? "\n" : " ");
+    }
+  }
+  return os.str();
+}
+
+double KleeneEffectiveRate(double rate, Timestamp window,
+                           double max_exponent) {
+  CEPJOIN_CHECK_GT(window, 0.0);
+  double exponent = std::min(rate * window, max_exponent);
+  return std::exp2(exponent) / window;
+}
+
+}  // namespace cepjoin

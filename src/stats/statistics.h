@@ -1,0 +1,53 @@
+#ifndef CEPJOIN_STATS_STATISTICS_H_
+#define CEPJOIN_STATS_STATISTICS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/types.h"
+
+namespace cepjoin {
+
+/// Plan-time statistics for the n *positive* slots of a pattern, in
+/// positive-position order: arrival rate per slot type (events/second) and
+/// the pairwise selectivity matrix. The diagonal holds unary-filter
+/// selectivities; off-diagonal entries are symmetric.
+///
+/// These are exactly the inputs the paper's cost functions consume
+/// (Sec. 4.1) and, via |R_i| = W·r_i and f_ij = sel_ij, the inputs of the
+/// join-side cost functions (Theorem 1 reduction).
+class PatternStats {
+ public:
+  explicit PatternStats(int n);
+
+  int size() const { return static_cast<int>(rates_.size()); }
+
+  double rate(int i) const { return rates_[i]; }
+  void set_rate(int i, double r) { rates_[i] = r; }
+
+  double sel(int i, int j) const { return sel_.At(i, j); }
+  /// Sets sel(i, j) and sel(j, i).
+  void set_sel(int i, int j, double s) {
+    sel_.At(i, j) = s;
+    sel_.At(j, i) = s;
+  }
+
+  std::string Describe() const;
+
+ private:
+  std::vector<double> rates_;
+  Matrix sel_;
+};
+
+/// Theorem 4: effective arrival rate of the power-set type T' standing in
+/// for KL(T) during plan generation, r' = 2^{r·W} / W. The exponent is
+/// clamped at `max_exponent` to keep costs finite; the clamp preserves the
+/// property that Kleene slots dominate every non-Kleene slot, which is all
+/// plan generation needs.
+double KleeneEffectiveRate(double rate, Timestamp window,
+                           double max_exponent = 30.0);
+
+}  // namespace cepjoin
+
+#endif  // CEPJOIN_STATS_STATISTICS_H_

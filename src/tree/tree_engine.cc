@@ -1,0 +1,398 @@
+#include "tree/tree_engine.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+
+namespace cepjoin {
+
+namespace {
+
+/// Exposes a tree instance's bound events by pattern position.
+class TreeBound : public BoundAccessor {
+ public:
+  TreeBound(const CompiledPattern& cp, const std::vector<EventPtr>& by_slot,
+            const std::vector<EventPtr>& kleene_extra, int kleene_pos)
+      : cp_(cp),
+        by_slot_(by_slot),
+        kleene_extra_(kleene_extra),
+        kleene_pos_(kleene_pos) {}
+
+  void ForEach(int pos,
+               const std::function<void(const Event&)>& fn) const override {
+    int slot = cp_.pos_to_slot(pos);
+    if (slot >= 0 && by_slot_[slot] != nullptr) fn(*by_slot_[slot]);
+    if (pos == kleene_pos_) {
+      for (const EventPtr& e : kleene_extra_) fn(*e);
+    }
+  }
+
+ private:
+  const CompiledPattern& cp_;
+  const std::vector<EventPtr>& by_slot_;
+  const std::vector<EventPtr>& kleene_extra_;
+  int kleene_pos_;
+};
+
+class MatchBound : public BoundAccessor {
+ public:
+  explicit MatchBound(const Match& match) : match_(match) {}
+  void ForEach(int pos,
+               const std::function<void(const Event&)>& fn) const override {
+    if (pos < 0 || pos >= static_cast<int>(match_.slots.size())) return;
+    for (const EventPtr& e : match_.slots[pos]) fn(*e);
+  }
+
+ private:
+  const Match& match_;
+};
+
+}  // namespace
+
+TreeEngine::TreeEngine(const SimplePattern& pattern, const TreePlan& plan,
+                       MatchSink* sink)
+    : cp_(pattern), plan_(plan), sink_(sink) {
+  CEPJOIN_CHECK(sink_ != nullptr);
+  int m = cp_.num_slots();
+  CEPJOIN_CHECK_EQ(plan_.num_leaves(), m)
+      << "tree plan must cover exactly the positive slots";
+  if (cp_.kleene_slot() >= 0) {
+    kleene_pos_ = cp_.slot_to_pos(cp_.kleene_slot());
+    CEPJOIN_CHECK_GE(m, 2)
+        << "a Kleene leaf cannot be the tree root: subsets are buffered at "
+           "the leaf and only combined at internal nodes";
+  }
+  for (int slot = 0; slot < m; ++slot) {
+    leaves_of_type_[cp_.pos_type(cp_.slot_to_pos(slot))].push_back(
+        plan_.LeafOf(slot));
+  }
+  node_buffers_.resize(plan_.num_nodes());
+  neg_buffers_.resize(cp_.num_positions());
+  checks_at_node_.resize(plan_.num_nodes());
+
+  // Precompute, per internal node, the pattern-position pairs that carry
+  // conditions across the node's left/right split.
+  cross_pairs_.resize(plan_.num_nodes());
+  for (int id : plan_.internal_postorder()) {
+    const TreePlan::Node& node = plan_.node(id);
+    uint64_t lmask = plan_.node(node.left).mask;
+    uint64_t rmask = plan_.node(node.right).mask;
+    for (int a = 0; a < m; ++a) {
+      if (!(lmask >> a & 1)) continue;
+      int pa = cp_.slot_to_pos(a);
+      for (int b = 0; b < m; ++b) {
+        if (!(rmask >> b & 1)) continue;
+        int pb = cp_.slot_to_pos(b);
+        if (!cp_.conditions().Between(pa, pb).empty()) {
+          cross_pairs_[id].emplace_back(pa, pb);
+        }
+      }
+    }
+  }
+
+  // Attach negation checks to the lowest node covering all dependencies.
+  for (const NegationSpec& neg : cp_.negations()) {
+    if (neg.trailing) {
+      trailing_checks_.push_back(&neg);
+      completion_checks_.push_back(&neg);
+      continue;
+    }
+    if (neg.leading_bounded) {
+      completion_checks_.push_back(&neg);
+      continue;
+    }
+    uint64_t need = 0;
+    for (int dep : neg.dep_positions) {
+      int slot = cp_.pos_to_slot(dep);
+      CEPJOIN_CHECK_GE(slot, 0);
+      need |= uint64_t{1} << slot;
+    }
+    int node = plan_.LeafOf(__builtin_ctzll(need));
+    while ((plan_.node(node).mask & need) != need) {
+      node = plan_.node(node).parent;
+      CEPJOIN_CHECK_GE(node, 0);
+    }
+    checks_at_node_[node].push_back(&neg);
+  }
+  next_match_ = cp_.strategy() == SelectionStrategy::kSkipTillNext;
+}
+
+void TreeEngine::OnEvent(const EventPtr& e) {
+  CEPJOIN_CHECK(e != nullptr);
+  ++counters_.events_processed;
+  arrival_start_ = std::chrono::steady_clock::now();
+  now_ = e->ts;
+  current_serial_ = e->serial;
+  if (++events_since_sweep_ >= kSweepEvery) Sweep();
+  ProcessPending(*e);
+  BufferNegated(e);
+  auto it = leaves_of_type_.find(e->type);
+  if (it != leaves_of_type_.end()) {
+    for (int leaf : it->second) ArriveAtLeaf(leaf, e);
+  }
+}
+
+void TreeEngine::Finish() {
+  for (PendingMatch& p : pending_) {
+    EmitMatch(std::move(p.match));
+  }
+  pending_.clear();
+}
+
+void TreeEngine::ProcessPending(const Event& e) {
+  if (pending_.empty()) return;
+  size_t keep = 0;
+  for (size_t i = 0; i < pending_.size(); ++i) {
+    if (pending_[i].deadline < e.ts) {
+      EmitMatch(std::move(pending_[i].match));
+    } else {
+      if (keep != i) pending_[keep] = std::move(pending_[i]);
+      ++keep;
+    }
+  }
+  pending_.resize(keep);
+  for (const NegationSpec* neg : trailing_checks_) {
+    if (cp_.pos_type(neg->neg_pos) != e.type) continue;
+    if (!cp_.conditions().EvalUnary(neg->neg_pos, e)) continue;
+    size_t kept = 0;
+    for (size_t i = 0; i < pending_.size(); ++i) {
+      MatchBound bound(pending_[i].match);
+      if (!cp_.NegationViolates(*neg, e, bound, pending_[i].min_ts,
+                                pending_[i].max_ts)) {
+        if (kept != i) pending_[kept] = std::move(pending_[i]);
+        ++kept;
+      }
+    }
+    pending_.resize(kept);
+  }
+}
+
+void TreeEngine::BufferNegated(const EventPtr& e) {
+  for (int pos : cp_.positions_of_type(e->type)) {
+    if (cp_.pos_to_slot(pos) >= 0) continue;  // only negated positions
+    if (!cp_.conditions().EvalUnary(pos, *e)) continue;
+    neg_buffers_[pos].push_back(e);
+    counters_.AddBuffered();
+  }
+}
+
+void TreeEngine::ArriveAtLeaf(int leaf_node, const EventPtr& e) {
+  int slot = plan_.node(leaf_node).leaf_item;
+  int pos = cp_.slot_to_pos(slot);
+  if (!cp_.conditions().EvalUnary(pos, *e)) return;
+  int m = cp_.num_slots();
+  bool kleene_leaf = pos == kleene_pos_;
+
+  // Kleene leaf: extend existing (pre-arrival) subsets in canonical order.
+  size_t pre_size = node_buffers_[leaf_node].size();
+
+  Instance singleton;
+  singleton.by_slot.assign(m, nullptr);
+  singleton.by_slot[slot] = e;
+  singleton.min_ts = e->ts;
+  singleton.max_ts = e->ts;
+  singleton.max_serial = e->serial;
+  NewInstance(leaf_node, std::move(singleton));
+
+  if (!kleene_leaf || next_match_) return;
+  for (size_t idx = 0; idx < pre_size; ++idx) {
+    const Instance& base = node_buffers_[leaf_node][idx];
+    if (base.dead) continue;
+    if (e->serial <= base.max_serial) continue;
+    if (std::max(base.max_ts, e->ts) - std::min(base.min_ts, e->ts) >
+        cp_.window()) {
+      continue;
+    }
+    Instance extended = base;
+    extended.kleene_extra.push_back(e);
+    extended.min_ts = std::min(base.min_ts, e->ts);
+    extended.max_ts = std::max(base.max_ts, e->ts);
+    extended.max_serial = e->serial;
+    NewInstance(leaf_node, std::move(extended));
+  }
+}
+
+bool TreeEngine::TryCombine(int parent, const Instance& a, const Instance& b,
+                            Instance* out) const {
+  Timestamp min_ts = std::min(a.min_ts, b.min_ts);
+  Timestamp max_ts = std::max(a.max_ts, b.max_ts);
+  if (max_ts - min_ts > cp_.window()) return false;
+  // `a` is the left child's instance, `b` the right child's; masks are
+  // disjoint so slot-wise union is well-defined.
+  for (const auto& [pa, pb] : cross_pairs_[parent]) {
+    const Instance& left_holder =
+        a.by_slot[cp_.pos_to_slot(pa)] != nullptr ? a : b;
+    const Instance& right_holder = &left_holder == &a ? b : a;
+    bool ok = true;
+    TreeBound lbound(cp_, left_holder.by_slot, left_holder.kleene_extra,
+                     kleene_pos_);
+    TreeBound rbound(cp_, right_holder.by_slot, right_holder.kleene_extra,
+                     kleene_pos_);
+    lbound.ForEach(pa, [&](const Event& ea) {
+      if (!ok) return;
+      rbound.ForEach(pb, [&](const Event& eb) {
+        if (!ok) return;
+        if (!cp_.conditions().EvalPair(pa, pb, ea, eb)) ok = false;
+      });
+    });
+    if (!ok) return false;
+  }
+  *out = a;
+  int m = cp_.num_slots();
+  for (int s = 0; s < m; ++s) {
+    if (b.by_slot[s] != nullptr) out->by_slot[s] = b.by_slot[s];
+  }
+  out->kleene_extra.insert(out->kleene_extra.end(), b.kleene_extra.begin(),
+                           b.kleene_extra.end());
+  out->min_ts = min_ts;
+  out->max_ts = max_ts;
+  out->max_serial = std::max(a.max_serial, b.max_serial);
+  out->dead = false;
+  return true;
+}
+
+bool TreeEngine::NodeNegationChecks(int node, const Instance& inst) const {
+  if (checks_at_node_[node].empty()) return true;
+  TreeBound bound(cp_, inst.by_slot, inst.kleene_extra, kleene_pos_);
+  for (const NegationSpec* neg : checks_at_node_[node]) {
+    for (const EventPtr& candidate : neg_buffers_[neg->neg_pos]) {
+      if (cp_.NegationViolates(*neg, *candidate, bound, inst.min_ts,
+                               inst.max_ts)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+void TreeEngine::NewInstance(int node, Instance&& inst) {
+  if (!NodeNegationChecks(node, inst)) return;
+  if (node == plan_.root()) {
+    Complete(inst);
+    return;
+  }
+  counters_.AddInstance(inst.ApproxBytes());
+  node_buffers_[node].push_back(std::move(inst));
+  // Stable copy: recursion never appends to this node's buffer, but a
+  // reallocation elsewhere must not invalidate what we iterate with.
+  Instance local = node_buffers_[node].back();
+
+  int sib = plan_.Sibling(node);
+  int parent = plan_.node(node).parent;
+  std::vector<Instance>& partners = node_buffers_[sib];
+  size_t partner_count = partners.size();
+  bool node_is_left = plan_.node(parent).left == node;
+  for (size_t idx = 0; idx < partner_count; ++idx) {
+    if (partners[idx].dead) continue;
+    Instance combined;
+    bool ok = node_is_left
+                  ? TryCombine(parent, local, partners[idx], &combined)
+                  : TryCombine(parent, partners[idx], local, &combined);
+    if (!ok) continue;
+    if (next_match_) {
+      // Skip-till-next mirrors the NFA: the left (partial-match) side of
+      // a join is consumed by its first successful extension, while the
+      // right side acts like the arriving event and may serve several
+      // waiting partials.
+      if (node_is_left) {
+        Instance& stored = node_buffers_[node].back();
+        if (!stored.dead) {
+          stored.dead = true;
+          counters_.RemoveInstance(stored.ApproxBytes());
+        }
+        NewInstance(parent, std::move(combined));
+        return;
+      }
+      partners[idx].dead = true;
+      counters_.RemoveInstance(partners[idx].ApproxBytes());
+      NewInstance(parent, std::move(combined));
+      continue;
+    }
+    NewInstance(parent, std::move(combined));
+  }
+}
+
+void TreeEngine::Complete(const Instance& inst) {
+  Match match;
+  match.slots.resize(cp_.num_positions());
+  int m = cp_.num_slots();
+  for (int s = 0; s < m; ++s) {
+    CEPJOIN_CHECK(inst.by_slot[s] != nullptr);
+    match.slots[cp_.slot_to_pos(s)].push_back(inst.by_slot[s]);
+  }
+  for (const EventPtr& e : inst.kleene_extra) {
+    match.slots[kleene_pos_].push_back(e);
+  }
+  const Event* last = nullptr;
+  for (const auto& slot : match.slots) {
+    for (const EventPtr& e : slot) {
+      if (last == nullptr || e->ts > last->ts ||
+          (e->ts == last->ts && e->serial > last->serial)) {
+        last = e.get();
+      }
+    }
+  }
+  match.last_ts = last->ts;
+  match.last_event_serial = last->serial;
+  match.latency_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    arrival_start_)
+          .count();
+
+  if (!completion_checks_.empty()) {
+    MatchBound bound(match);
+    for (const NegationSpec* neg : completion_checks_) {
+      for (const EventPtr& candidate : neg_buffers_[neg->neg_pos]) {
+        if (cp_.NegationViolates(*neg, *candidate, bound, inst.min_ts,
+                                 inst.max_ts)) {
+          return;
+        }
+      }
+    }
+  }
+  if (!trailing_checks_.empty()) {
+    PendingMatch pending;
+    pending.match = std::move(match);
+    pending.min_ts = inst.min_ts;
+    pending.max_ts = inst.max_ts;
+    pending.deadline = inst.min_ts + cp_.window();
+    pending_.push_back(std::move(pending));
+    return;
+  }
+  EmitMatch(std::move(match));
+}
+
+void TreeEngine::EmitMatch(Match match) {
+  match.emit_serial = current_serial_;
+  ++counters_.matches_emitted;
+  sink_->OnMatch(match);
+}
+
+void TreeEngine::Sweep() {
+  events_since_sweep_ = 0;
+  Timestamp horizon = now_ - cp_.window();
+  for (auto& buffer : neg_buffers_) {
+    while (!buffer.empty() && buffer.front()->ts < horizon) {
+      buffer.pop_front();
+      counters_.RemoveBuffered();
+    }
+  }
+  for (auto& list : node_buffers_) {
+    size_t keep = 0;
+    for (size_t i = 0; i < list.size(); ++i) {
+      Instance& inst = list[i];
+      bool expired = inst.min_ts < horizon;
+      if (inst.dead || expired) {
+        if (!inst.dead) counters_.RemoveInstance(inst.ApproxBytes());
+        continue;
+      }
+      if (keep != i) list[keep] = std::move(list[i]);
+      ++keep;
+    }
+    list.resize(keep);
+  }
+  counters_.UpdatePeakBytes();
+}
+
+}  // namespace cepjoin

@@ -1,0 +1,104 @@
+#ifndef CEPJOIN_TREE_TREE_ENGINE_H_
+#define CEPJOIN_TREE_TREE_ENGINE_H_
+
+#include <chrono>
+#include <deque>
+#include <vector>
+
+#include "plan/tree_plan.h"
+#include "runtime/compiled_pattern.h"
+#include "runtime/engine.h"
+#include "runtime/match.h"
+
+namespace cepjoin {
+
+/// Instance-based tree evaluation engine (Sec. 2.3): ZStream's tree model
+/// modified for arbitrary time windows. Each plan node buffers the
+/// partial matches ("instances") its subtree has produced. A new event is
+/// routed to its leaf; every new instance at a node is combined with the
+/// instances currently buffered at its sibling, producing instances at
+/// the parent, recursively up to the root where matches are emitted.
+///
+/// Exactly-once: a (left, right) instance pair is combined exactly when
+/// the later-created of the two is created. Kleene leaves enumerate
+/// canonical subsets (members join in increasing serial order). Negation
+/// checks attach to the lowest node covering all guard slots; leading /
+/// AND-window / trailing checks run at the root with deferred emission,
+/// as in the NFA engine.
+class TreeEngine : public Engine {
+ public:
+  TreeEngine(const SimplePattern& pattern, const TreePlan& plan,
+             MatchSink* sink);
+
+  void OnEvent(const EventPtr& e) override;
+  void Finish() override;
+
+  const CompiledPattern& compiled() const { return cp_; }
+  const TreePlan& plan() const { return plan_; }
+
+ private:
+  struct Instance {
+    std::vector<EventPtr> by_slot;       // size m; null when unbound
+    std::vector<EventPtr> kleene_extra;  // members beyond the anchor
+    Timestamp min_ts = 0.0;
+    Timestamp max_ts = 0.0;
+    EventSerial max_serial = 0;  // newest member; Kleene canonical order
+    bool dead = false;
+
+    size_t ApproxBytes() const {
+      return sizeof(Instance) +
+             (by_slot.capacity() + kleene_extra.capacity()) *
+                 sizeof(EventPtr);
+    }
+  };
+
+  struct PendingMatch {
+    Match match;
+    Timestamp min_ts = 0.0;
+    Timestamp max_ts = 0.0;
+    Timestamp deadline = 0.0;
+  };
+
+  void ProcessPending(const Event& e);
+  void BufferNegated(const EventPtr& e);
+  void ArriveAtLeaf(int leaf_node, const EventPtr& e);
+  /// Negation-checks, buffers, and cascades a freshly created instance.
+  void NewInstance(int node, Instance&& inst);
+  bool TryCombine(int parent, const Instance& a, const Instance& b,
+                  Instance* out) const;
+  bool NodeNegationChecks(int node, const Instance& inst) const;
+  void Complete(const Instance& inst);
+  void EmitMatch(Match match);
+  void Sweep();
+
+  CompiledPattern cp_;
+  TreePlan plan_;
+  MatchSink* sink_;
+
+  int kleene_pos_ = -1;  // pattern position of the Kleene slot, -1 if none
+  // leaf nodes accepting each event type
+  std::unordered_map<TypeId, std::vector<int>> leaves_of_type_;
+  // per internal node: pattern-position pairs with conditions across the
+  // left/right split
+  std::vector<std::vector<std::pair<int, int>>> cross_pairs_;
+  // per node: negation checks that become ready there
+  std::vector<std::vector<const NegationSpec*>> checks_at_node_;
+  std::vector<const NegationSpec*> completion_checks_;
+  std::vector<const NegationSpec*> trailing_checks_;
+
+  std::vector<std::vector<Instance>> node_buffers_;
+  std::vector<std::deque<EventPtr>> neg_buffers_;  // per pattern position
+  std::vector<PendingMatch> pending_;
+
+  Timestamp now_ = 0.0;
+  EventSerial current_serial_ = 0;
+  std::chrono::steady_clock::time_point arrival_start_{};
+  uint64_t events_since_sweep_ = 0;
+  bool next_match_ = false;
+
+  static constexpr uint64_t kSweepEvery = 64;
+};
+
+}  // namespace cepjoin
+
+#endif  // CEPJOIN_TREE_TREE_ENGINE_H_

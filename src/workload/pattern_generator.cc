@@ -1,0 +1,133 @@
+#include "workload/pattern_generator.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace cepjoin {
+
+const char* FamilyName(PatternFamily family) {
+  switch (family) {
+    case PatternFamily::kSequence:
+      return "sequence";
+    case PatternFamily::kNegation:
+      return "negation";
+    case PatternFamily::kConjunction:
+      return "conjunction";
+    case PatternFamily::kKleene:
+      return "kleene";
+    case PatternFamily::kDisjunction:
+      return "disjunction";
+  }
+  return "?";
+}
+
+std::vector<PatternFamily> AllFamilies() {
+  return {PatternFamily::kSequence, PatternFamily::kNegation,
+          PatternFamily::kConjunction, PatternFamily::kKleene,
+          PatternFamily::kDisjunction};
+}
+
+namespace {
+
+// Picks `count` distinct symbols.
+std::vector<TypeId> PickSymbols(const StockUniverse& universe, int count,
+                                Rng& rng) {
+  CEPJOIN_CHECK_LE(static_cast<size_t>(count), universe.symbols.size())
+      << "pattern larger than the symbol universe";
+  std::vector<TypeId> pool = universe.symbols;
+  rng.Shuffle(pool.begin(), pool.end());
+  pool.resize(count);
+  return pool;
+}
+
+// `difference`-comparison conditions between ~size/2 random position
+// pairs, as in the paper's stock patterns.
+std::vector<ConditionPtr> MakeConditions(const StockUniverse& universe,
+                                         int size, int num_conditions,
+                                         Rng& rng) {
+  AttrId diff = universe.difference_attr();
+  int want = num_conditions >= 0 ? num_conditions : std::max(1, size / 2);
+  std::vector<std::pair<int, int>> pairs;
+  for (int i = 0; i < size; ++i) {
+    for (int j = i + 1; j < size; ++j) pairs.emplace_back(i, j);
+  }
+  rng.Shuffle(pairs.begin(), pairs.end());
+  want = std::min<int>(want, static_cast<int>(pairs.size()));
+  std::vector<ConditionPtr> conditions;
+  for (int k = 0; k < want; ++k) {
+    auto [i, j] = pairs[k];
+    CmpOp op = rng.Bernoulli(0.5) ? CmpOp::kLt : CmpOp::kGt;
+    // A small random offset shifts the comparison quantile, broadening
+    // the selectivity spectrum like the paper's measured 0.002–0.88.
+    double offset = rng.Normal(0.0, 1.0);
+    conditions.push_back(
+        std::make_shared<AttrCompare>(i, diff, op, j, diff, offset));
+  }
+  return conditions;
+}
+
+SimplePattern MakeSimple(const StockUniverse& universe,
+                         const PatternGenConfig& config, OperatorKind op,
+                         int negated_pos, int kleene_pos, Rng& rng) {
+  std::vector<TypeId> symbols = PickSymbols(universe, config.size, rng);
+  std::vector<EventSpec> events;
+  events.reserve(config.size);
+  for (int i = 0; i < config.size; ++i) {
+    EventSpec spec;
+    spec.type = symbols[i];
+    spec.name = "e" + std::to_string(i);
+    spec.negated = i == negated_pos;
+    spec.kleene = i == kleene_pos;
+    events.push_back(spec);
+  }
+  std::vector<ConditionPtr> conditions =
+      MakeConditions(universe, config.size, config.num_conditions, rng);
+  if (kleene_pos >= 0) {
+    // Selective unary filter on the Kleene slot keeps the power set
+    // tractable (the paper's predicates played the same role).
+    conditions.push_back(std::make_shared<AttrThreshold>(
+        kleene_pos, universe.difference_attr(), CmpOp::kGt,
+        1.6 * universe.config.noise));
+  }
+  return SimplePattern(op, std::move(events), std::move(conditions),
+                       config.window, config.strategy);
+}
+
+}  // namespace
+
+std::vector<SimplePattern> GeneratePattern(const StockUniverse& universe,
+                                           const PatternGenConfig& config) {
+  CEPJOIN_CHECK_GE(config.size, 2);
+  Rng rng(config.seed * 0x9E3779B97F4A7C15ull + 1);
+  switch (config.family) {
+    case PatternFamily::kSequence:
+      return {MakeSimple(universe, config, OperatorKind::kSeq, -1, -1, rng)};
+    case PatternFamily::kNegation: {
+      // One internal event negated, as in the paper's negation set.
+      int negated = config.size / 2;
+      return {MakeSimple(universe, config, OperatorKind::kSeq, negated, -1,
+                         rng)};
+    }
+    case PatternFamily::kConjunction:
+      return {MakeSimple(universe, config, OperatorKind::kAnd, -1, -1, rng)};
+    case PatternFamily::kKleene: {
+      int kleene = config.size / 2;
+      return {
+          MakeSimple(universe, config, OperatorKind::kSeq, -1, kleene, rng)};
+    }
+    case PatternFamily::kDisjunction: {
+      std::vector<SimplePattern> subpatterns;
+      for (int k = 0; k < 3; ++k) {
+        subpatterns.push_back(
+            MakeSimple(universe, config, OperatorKind::kSeq, -1, -1, rng));
+      }
+      return subpatterns;
+    }
+  }
+  CEPJOIN_CHECK(false);
+}
+
+}  // namespace cepjoin

@@ -1,0 +1,51 @@
+#ifndef CEPJOIN_WORKLOAD_PATTERN_GENERATOR_H_
+#define CEPJOIN_WORKLOAD_PATTERN_GENERATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "pattern/pattern.h"
+#include "workload/stock_generator.h"
+
+namespace cepjoin {
+
+/// The five pattern families of the paper's evaluation (Sec. 7.2):
+/// pure sequences; sequences with one negated event; conjunctions;
+/// sequences with one Kleene-closed event; and disjunctions of three
+/// sequences.
+enum class PatternFamily {
+  kSequence,
+  kNegation,
+  kConjunction,
+  kKleene,
+  kDisjunction,
+};
+
+const char* FamilyName(PatternFamily family);
+std::vector<PatternFamily> AllFamilies();
+
+struct PatternGenConfig {
+  PatternFamily family = PatternFamily::kSequence;
+  /// Number of participating events (3..7 in the paper; for disjunctions,
+  /// per subsequence).
+  int size = 4;
+  /// Time window in seconds (the paper used 20 minutes on the real
+  /// stream; our benches use a few seconds — see DESIGN.md).
+  double window = 4.0;
+  SelectionStrategy strategy = SelectionStrategy::kSkipTillAny;
+  /// Number of inter-event predicates; -1 means size/2 as in the paper
+  /// ("roughly equal to half the size of a pattern").
+  int num_conditions = -1;
+  uint64_t seed = 1;
+};
+
+/// Generates one pattern of the family as its DNF: a single simple
+/// pattern for all families except kDisjunction, which yields three
+/// sequence subpatterns. Conditions compare the `difference` attributes
+/// of two involved symbols, mirroring the paper's stock patterns.
+std::vector<SimplePattern> GeneratePattern(const StockUniverse& universe,
+                                           const PatternGenConfig& config);
+
+}  // namespace cepjoin
+
+#endif  // CEPJOIN_WORKLOAD_PATTERN_GENERATOR_H_

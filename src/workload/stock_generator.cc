@@ -1,0 +1,67 @@
+#include "workload/stock_generator.h"
+
+#include <cstdio>
+#include <queue>
+#include <string>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace cepjoin {
+
+StockUniverse GenerateStockStream(const StockGeneratorConfig& config) {
+  CEPJOIN_CHECK_GT(config.num_symbols, 0);
+  CEPJOIN_CHECK_GT(config.duration_seconds, 0.0);
+  CEPJOIN_CHECK(config.min_rate > 0 && config.max_rate >= config.min_rate);
+  StockUniverse universe;
+  universe.config = config;
+  Rng rng(config.seed);
+
+  struct Symbol {
+    TypeId type;
+    double rate;
+    double drift;
+    double price;
+    uint32_t sector;
+  };
+  std::vector<Symbol> symbols;
+  symbols.reserve(config.num_symbols);
+  for (int i = 0; i < config.num_symbols; ++i) {
+    char name[16];
+    std::snprintf(name, sizeof(name), "STK%03d", i);
+    TypeId type = universe.registry.Register(name, {"price", "difference"});
+    universe.symbols.push_back(type);
+    Symbol s;
+    s.type = type;
+    s.rate = rng.UniformReal(config.min_rate, config.max_rate);
+    s.drift = rng.Normal(0.0, config.drift_spread);
+    s.price = rng.UniformReal(50.0, 150.0);
+    s.sector = static_cast<uint32_t>(i % std::max(1, config.num_sectors));
+    symbols.push_back(s);
+  }
+
+  // Merge per-symbol Poisson processes with a min-heap of next arrivals.
+  using HeapEntry = std::pair<double, int>;  // (next arrival ts, symbol idx)
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> heap;
+  for (int i = 0; i < config.num_symbols; ++i) {
+    heap.emplace(rng.Exponential(symbols[i].rate), i);
+  }
+  while (!heap.empty()) {
+    auto [ts, idx] = heap.top();
+    heap.pop();
+    if (ts > config.duration_seconds) continue;
+    Symbol& s = symbols[idx];
+    double difference = s.drift + rng.Normal(0.0, config.noise);
+    s.price += difference;
+    Event e;
+    e.type = s.type;
+    e.partition = s.sector;
+    e.ts = ts;
+    e.attrs = {s.price, difference};
+    universe.stream.Append(std::move(e));
+    heap.emplace(ts + rng.Exponential(s.rate), idx);
+  }
+  return universe;
+}
+
+}  // namespace cepjoin

@@ -1,0 +1,53 @@
+#ifndef CEPJOIN_WORKLOAD_STOCK_GENERATOR_H_
+#define CEPJOIN_WORKLOAD_STOCK_GENERATOR_H_
+
+#include <vector>
+
+#include "event/event_type.h"
+#include "event/stream.h"
+
+namespace cepjoin {
+
+/// Configuration of the synthetic stock stream standing in for the
+/// paper's NASDAQ dataset (see DESIGN.md, "Substitutions"). Defaults are
+/// calibrated to the paper's measured statistics: per-symbol rates in
+/// [1, 45] events/second and pairwise selectivities spanning roughly
+/// [0.002, 0.9] thanks to per-symbol price-difference drift.
+struct StockGeneratorConfig {
+  int num_symbols = 24;
+  double min_rate = 1.0;
+  double max_rate = 45.0;
+  double duration_seconds = 60.0;
+  /// Stddev of the per-symbol mean of the `difference` attribute; larger
+  /// spread yields more extreme selectivities for `a.diff < b.diff`.
+  double drift_spread = 1.2;
+  /// Per-update noise of the price random walk.
+  double noise = 1.0;
+  /// Symbols are grouped into this many "sectors" used as partitions for
+  /// the partition-contiguity strategy.
+  int num_sectors = 4;
+  uint64_t seed = 42;
+};
+
+/// A generated universe: the type registry (one event type per symbol,
+/// attributes {price, difference}), per-symbol type ids, and the merged
+/// timestamp-ordered stream.
+struct StockUniverse {
+  EventTypeRegistry registry;
+  std::vector<TypeId> symbols;
+  EventStream stream;
+  StockGeneratorConfig config;
+
+  AttrId price_attr() const { return 0; }
+  AttrId difference_attr() const { return 1; }
+};
+
+/// Generates the universe. Per-symbol arrivals are Poisson with a rate
+/// drawn uniformly from [min_rate, max_rate]; prices follow a random walk
+/// whose increments ("difference", the attribute the paper added in
+/// preprocessing) are Normal(drift_i, noise).
+StockUniverse GenerateStockStream(const StockGeneratorConfig& config);
+
+}  // namespace cepjoin
+
+#endif  // CEPJOIN_WORKLOAD_STOCK_GENERATOR_H_

@@ -1,0 +1,169 @@
+// Tests of the Appendix A machinery: the algebra of C(s), T(s), the rank
+// function, and the ASI property itself (Theorem 5 and Definition 1).
+
+#include "cost/asi.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "cost/cost_function.h"
+#include "testing/test_util.h"
+
+namespace cepjoin {
+namespace {
+
+AsiContext RandomContext(int n, Rng& rng) {
+  AsiContext ctx;
+  for (int i = 0; i < n; ++i) {
+    ctx.factor.push_back(rng.UniformReal(0.05, 20.0));
+  }
+  return ctx;
+}
+
+TEST(AsiTest, CAndTBaseCases) {
+  AsiContext ctx;
+  ctx.factor = {2.0, 3.0};
+  EXPECT_DOUBLE_EQ(AsiC(ctx, {}), 0.0);
+  EXPECT_DOUBLE_EQ(AsiT(ctx, {}), 1.0);
+  EXPECT_DOUBLE_EQ(AsiC(ctx, {0}), 2.0);
+  EXPECT_DOUBLE_EQ(AsiT(ctx, {0}), 2.0);
+  // C(s1 s2) = C(s1) + T(s1)·C(s2): 2 + 2·3 = 8.
+  EXPECT_DOUBLE_EQ(AsiC(ctx, {0, 1}), 8.0);
+  EXPECT_DOUBLE_EQ(AsiT(ctx, {0, 1}), 6.0);
+}
+
+TEST(AsiTest, ConcatenationIdentityHolds) {
+  Rng rng(7);
+  AsiContext ctx = RandomContext(8, rng);
+  std::vector<int> s1 = {0, 3, 5};
+  std::vector<int> s2 = {1, 7, 2};
+  std::vector<int> s12 = s1;
+  s12.insert(s12.end(), s2.begin(), s2.end());
+  EXPECT_NEAR(AsiC(ctx, s12), AsiC(ctx, s1) + AsiT(ctx, s1) * AsiC(ctx, s2),
+              1e-9);
+  EXPECT_NEAR(AsiT(ctx, s12), AsiT(ctx, s1) * AsiT(ctx, s2), 1e-9);
+}
+
+TEST(AsiTest, RankInequalityMatchesCostInequality) {
+  // Definition 1 / Theorem 5: C(auvb) <= C(avub)  <=>  rank(u) <= rank(v),
+  // verified on random sequences and splits.
+  Rng rng(99);
+  for (int trial = 0; trial < 200; ++trial) {
+    int n = static_cast<int>(rng.UniformInt(4, 9));
+    AsiContext ctx = RandomContext(n, rng);
+    std::vector<int> slots(n);
+    std::iota(slots.begin(), slots.end(), 0);
+    rng.Shuffle(slots.begin(), slots.end());
+    // Split into a | u | v | b with u, v non-empty.
+    int ua = static_cast<int>(rng.UniformInt(0, n - 2));
+    int ub = static_cast<int>(rng.UniformInt(ua + 1, n - 1));
+    int vb = static_cast<int>(rng.UniformInt(ub + 1, n));
+    std::vector<int> a(slots.begin(), slots.begin() + ua);
+    std::vector<int> u(slots.begin() + ua, slots.begin() + ub);
+    std::vector<int> v(slots.begin() + ub, slots.begin() + vb);
+    std::vector<int> b(slots.begin() + vb, slots.end());
+
+    auto concat = [](std::initializer_list<const std::vector<int>*> parts) {
+      std::vector<int> out;
+      for (const auto* p : parts) out.insert(out.end(), p->begin(), p->end());
+      return out;
+    };
+    double c_uv = AsiC(ctx, concat({&a, &u, &v, &b}));
+    double c_vu = AsiC(ctx, concat({&a, &v, &u, &b}));
+    double rank_u = AsiRank(ctx, u);
+    double rank_v = AsiRank(ctx, v);
+    if (rank_u < rank_v - 1e-12) {
+      EXPECT_LE(c_uv, c_vu + 1e-9);
+    } else if (rank_v < rank_u - 1e-12) {
+      EXPECT_LE(c_vu, c_uv + 1e-9);
+    }
+  }
+}
+
+TEST(AsiTest, ContextFoldsUnaryAndParentSelectivity) {
+  PatternStats stats(3);
+  stats.set_rate(0, 2.0);
+  stats.set_rate(1, 4.0);
+  stats.set_rate(2, 8.0);
+  stats.set_sel(0, 0, 0.5);
+  stats.set_sel(0, 1, 0.25);
+  stats.set_sel(1, 2, 0.125);
+  // Chain 0 - 1 - 2 rooted at 0.
+  AsiContext ctx = MakeAsiContext(stats, /*window=*/2.0, {-1, 0, 1});
+  EXPECT_DOUBLE_EQ(ctx.factor[0], 2.0 * 2.0 * 0.5);        // W·r·sel00
+  EXPECT_DOUBLE_EQ(ctx.factor[1], 2.0 * 4.0 * 0.25);       // W·r·selR
+  EXPECT_DOUBLE_EQ(ctx.factor[2], 2.0 * 8.0 * 0.125);
+}
+
+TEST(AsiTest, ChainCostMatchesOrderCostOnAcyclicPattern) {
+  // For a chain-shaped predicate graph and a precedence-respecting order,
+  // Cost_ord^trpt(O) == C(O) with the per-node factors of Appendix A.
+  PatternStats stats(4);
+  for (int i = 0; i < 4; ++i) stats.set_rate(i, 1.0 + i);
+  stats.set_sel(0, 1, 0.3);
+  stats.set_sel(1, 2, 0.6);
+  stats.set_sel(2, 3, 0.9);
+  double window = 1.5;
+  CostFunction cost(stats, window);
+  AsiContext ctx = MakeAsiContext(stats, window, {-1, 0, 1, 2});
+  std::vector<int> order = {0, 1, 2, 3};  // respects the chain precedence
+  EXPECT_NEAR(AsiC(ctx, order), cost.OrderThroughputCost(OrderPlan(order)),
+              1e-9);
+}
+
+TEST(AsiDeathTest, RankOfEmptySequenceAborts) {
+  AsiContext ctx;
+  ctx.factor = {1.0};
+  EXPECT_DEATH(AsiRank(ctx, {}), "");
+}
+
+TEST(AsiTest, Theorem6LatencyCostCaseAnalysis) {
+  // The three cases of the Theorem 6 proof, checked directly against
+  // Cost_lat^ord: swapping adjacent subsequences u, v in an order
+  // (a) leaves the cost unchanged when neither contains the anchor Tn,
+  // (b) cannot increase it when v contains the anchor (u moves behind),
+  // (c) symmetric when u contains the anchor.
+  Rng rng(77);
+  for (int trial = 0; trial < 100; ++trial) {
+    int n = static_cast<int>(rng.UniformInt(4, 9));
+    PatternStats stats = testing_util::RandomStats(n, rng);
+    CostSpec spec;
+    spec.latency_alpha = 1.0;
+    spec.latency_anchor = static_cast<int>(rng.UniformInt(0, n - 1));
+    CostFunction cost(stats, 2.0, spec);
+
+    std::vector<int> slots(n);
+    std::iota(slots.begin(), slots.end(), 0);
+    rng.Shuffle(slots.begin(), slots.end());
+    int ua = static_cast<int>(rng.UniformInt(0, n - 2));
+    int ub = static_cast<int>(rng.UniformInt(ua + 1, n - 1));
+    int vb = static_cast<int>(rng.UniformInt(ub + 1, n));
+
+    std::vector<int> uv = slots;  // a u v b
+    std::vector<int> vu(slots.begin(), slots.begin() + ua);  // a v u b
+    vu.insert(vu.end(), slots.begin() + ub, slots.begin() + vb);
+    vu.insert(vu.end(), slots.begin() + ua, slots.begin() + ub);
+    vu.insert(vu.end(), slots.begin() + vb, slots.end());
+
+    bool anchor_in_u = false;
+    bool anchor_in_v = false;
+    for (int i = ua; i < ub; ++i) {
+      anchor_in_u = anchor_in_u || slots[i] == spec.latency_anchor;
+    }
+    for (int i = ub; i < vb; ++i) {
+      anchor_in_v = anchor_in_v || slots[i] == spec.latency_anchor;
+    }
+    double c_uv = cost.OrderLatencyCost(OrderPlan(uv));
+    double c_vu = cost.OrderLatencyCost(OrderPlan(vu));
+    if (!anchor_in_u && !anchor_in_v) {
+      EXPECT_DOUBLE_EQ(c_uv, c_vu);
+    } else if (anchor_in_v) {
+      EXPECT_LE(c_uv, c_vu + 1e-9);
+    } else {
+      EXPECT_LE(c_vu, c_uv + 1e-9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cepjoin

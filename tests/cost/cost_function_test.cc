@@ -1,0 +1,145 @@
+#include "cost/cost_function.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_util.h"
+
+namespace cepjoin {
+namespace {
+
+PatternStats SmallStats() {
+  // rates: 2, 10, 1; unary sels: 0.5, 1, 1; sel(0,1)=0.1, sel(1,2)=0.2.
+  PatternStats stats(3);
+  stats.set_rate(0, 2.0);
+  stats.set_rate(1, 10.0);
+  stats.set_rate(2, 1.0);
+  stats.set_sel(0, 0, 0.5);
+  stats.set_sel(0, 1, 0.1);
+  stats.set_sel(1, 2, 0.2);
+  return stats;
+}
+
+TEST(CostFunctionTest, OrderCostHandComputed) {
+  // W = 4. Order (0,1,2):
+  // PM(1) = 4·2·0.5                       = 4
+  // PM(2) = 4²·2·10·0.5·0.1               = 16
+  // PM(3) = 4³·2·10·1·0.5·0.1·0.2         = 12.8
+  CostFunction cost(SmallStats(), 4.0);
+  OrderPlan plan({0, 1, 2});
+  EXPECT_NEAR(cost.OrderThroughputCost(plan), 4 + 16 + 12.8, 1e-9);
+}
+
+TEST(CostFunctionTest, OrderCostDependsOnOrder) {
+  CostFunction cost(SmallStats(), 4.0);
+  // Starting with the rare selective type must be cheaper than starting
+  // with the frequent one.
+  double cheap = cost.OrderThroughputCost(OrderPlan({0, 1, 2}));
+  double expensive = cost.OrderThroughputCost(OrderPlan({1, 0, 2}));
+  EXPECT_LT(cheap, expensive);
+}
+
+TEST(CostFunctionTest, TreeCostHandComputed) {
+  // W = 4, left-deep tree ((0 1) 2):
+  // leaves: 8 + 40 + 4 = 52
+  // node(01): 8·40·0.1 = 32  (no unary selectivities in the tree model)
+  // node(012): 8·40·4·0.1·0.2 = 25.6
+  CostFunction cost(SmallStats(), 4.0);
+  TreePlan tree = TreePlan::LeftDeep(OrderPlan({0, 1, 2}));
+  EXPECT_NEAR(cost.TreeThroughputCost(tree), 52 + 32 + 25.6, 1e-9);
+}
+
+TEST(CostFunctionTest, OrderSetCostIsOrderInvariant) {
+  Rng rng(11);
+  PatternStats stats = testing_util::RandomStats(6, rng);
+  CostFunction cost(stats, 3.0);
+  // PM of a prefix depends only on the slot set — the property DP-LD
+  // exploits.
+  uint64_t mask = 0b101101;
+  double direct = cost.OrderSetCost(mask);
+  EXPECT_GT(direct, 0.0);
+  // Recompute via a different traversal (tree-node cost times unary
+  // factors) and compare.
+  double unary = 1.0;
+  for (int i = 0; i < 6; ++i) {
+    if (mask >> i & 1) unary *= stats.sel(i, i);
+  }
+  EXPECT_NEAR(direct, cost.TreeNodeCost(mask) * unary, direct * 1e-12);
+}
+
+TEST(CostFunctionTest, LatencyCostCountsSuccessorsOfAnchor) {
+  // Cost_lat = Σ_{i after anchor} W·r_i (Sec. 6.1).
+  CostSpec spec;
+  spec.latency_alpha = 1.0;
+  spec.latency_anchor = 2;  // slot 2 arrives last
+  CostFunction cost(SmallStats(), 4.0, spec);
+  // Order (2,0,1): anchor first => both successors buffered: 4·2 + 4·10.
+  EXPECT_NEAR(cost.OrderLatencyCost(OrderPlan({2, 0, 1})), 48.0, 1e-9);
+  // Order (0,1,2): anchor last => latency 0.
+  EXPECT_NEAR(cost.OrderLatencyCost(OrderPlan({0, 1, 2})), 0.0, 1e-9);
+  // Hybrid total adds alpha-weighted latency.
+  EXPECT_NEAR(cost.OrderCost(OrderPlan({2, 0, 1})),
+              cost.OrderThroughputCost(OrderPlan({2, 0, 1})) + 48.0, 1e-9);
+}
+
+TEST(CostFunctionTest, TreeLatencyWalksAnchorAncestors) {
+  CostSpec spec;
+  spec.latency_alpha = 1.0;
+  spec.latency_anchor = 2;
+  CostFunction cost(SmallStats(), 4.0, spec);
+  TreePlan tree = TreePlan::LeftDeep(OrderPlan({0, 1, 2}));
+  // Anchor leaf 2 sits directly under the root; its only ancestor-sibling
+  // is the (0 1) subtree: PM = 8·40·0.1 = 32.
+  EXPECT_NEAR(cost.TreeLatencyCost(tree), 32.0, 1e-9);
+  // Anchor deepest: siblings are leaf 1 (40) and leaf... tree ((2 1) 0):
+  TreePlan tree2 = TreePlan::LeftDeep(OrderPlan({2, 1, 0}));
+  // ancestors of leaf 2: node(21) sibling leaf1 = 40; root sibling leaf0 = 8.
+  EXPECT_NEAR(cost.TreeLatencyCost(tree2), 48.0, 1e-9);
+}
+
+TEST(CostFunctionTest, NextMatchModelUsesMinRate) {
+  CostSpec spec;
+  spec.model = ThroughputModel::kNextMatch;
+  CostFunction cost(SmallStats(), 4.0, spec);
+  // m[1] for {1}: W·min(10)·sel11 = 40; paper's Cost^next sums W·m[k].
+  EXPECT_NEAR(cost.OrderSetCost(uint64_t{1} << 1), 4.0 * 40.0, 1e-9);
+  // m[2] for {0,1}: W·min(2,10)·0.5·0.1 = 4·2·0.05 = 0.4; term = W·m = 1.6.
+  EXPECT_NEAR(cost.OrderSetCost(0b011), 1.6, 1e-9);
+}
+
+TEST(CostFunctionTest, NextMatchTreeNodeUsesMinRate) {
+  CostSpec spec;
+  spec.model = ThroughputModel::kNextMatch;
+  CostFunction cost(SmallStats(), 4.0, spec);
+  // PM({0,1}) = W·min(2,10)·sel01 = 4·2·0.1 = 0.8 (no unary).
+  EXPECT_NEAR(cost.TreeNodeCost(0b011), 0.8, 1e-9);
+}
+
+TEST(CostFunctionTest, NextMatchCostBoundedByAnyCost) {
+  Rng rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    PatternStats stats = testing_util::RandomStats(5, rng);
+    // With W·r ≥ 1 for all slots, m[k] ≤ PM(k) once the extra W factor is
+    // discounted.
+    for (int i = 0; i < 5; ++i) {
+      stats.set_rate(i, std::max(stats.rate(i), 1.0));
+    }
+    CostSpec next_spec;
+    next_spec.model = ThroughputModel::kNextMatch;
+    CostFunction any_cost(stats, 2.0);
+    CostFunction next_cost(stats, 2.0, next_spec);
+    OrderPlan plan = OrderPlan::Identity(5);
+    EXPECT_LE(next_cost.OrderThroughputCost(plan) / 2.0,
+              any_cost.OrderThroughputCost(plan) + 1e-9);
+  }
+}
+
+TEST(CostFunctionDeathTest, RejectsBadInputs) {
+  PatternStats stats(2);
+  EXPECT_DEATH(CostFunction(stats, 0.0), "");
+  CostSpec spec;
+  spec.latency_anchor = 5;
+  EXPECT_DEATH(CostFunction(stats, 1.0, spec), "");
+}
+
+}  // namespace
+}  // namespace cepjoin

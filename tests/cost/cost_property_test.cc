@@ -1,0 +1,133 @@
+// Monotonicity and scaling properties of the cost models — the sanity
+// laws any partial-match estimator must obey.
+
+#include <gtest/gtest.h>
+
+#include "cost/cost_function.h"
+#include "testing/test_util.h"
+
+namespace cepjoin {
+namespace {
+
+class CostPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CostPropertyTest, OrderCostIncreasesWithWindow) {
+  int n = GetParam();
+  Rng rng(600 + n);
+  PatternStats stats = testing_util::RandomStats(n, rng);
+  OrderPlan plan = OrderPlan::Identity(n);
+  double previous = 0.0;
+  for (double window : {0.5, 1.0, 2.0, 4.0, 8.0}) {
+    double cost = CostFunction(stats, window).OrderThroughputCost(plan);
+    EXPECT_GT(cost, previous);
+    previous = cost;
+  }
+}
+
+TEST_P(CostPropertyTest, OrderCostIncreasesWithEachRate) {
+  int n = GetParam();
+  Rng rng(610 + n);
+  PatternStats stats = testing_util::RandomStats(n, rng);
+  OrderPlan plan = OrderPlan::Identity(n);
+  double base = CostFunction(stats, 2.0).OrderThroughputCost(plan);
+  for (int i = 0; i < n; ++i) {
+    PatternStats bumped = stats;
+    bumped.set_rate(i, stats.rate(i) * 2.0);
+    EXPECT_GT(CostFunction(bumped, 2.0).OrderThroughputCost(plan), base)
+        << "slot " << i;
+  }
+}
+
+TEST_P(CostPropertyTest, OrderCostDecreasesWithEachSelectivity) {
+  int n = GetParam();
+  Rng rng(620 + n);
+  PatternStats stats = testing_util::RandomStats(n, rng);
+  OrderPlan plan = OrderPlan::Identity(n);
+  double base = CostFunction(stats, 2.0).OrderThroughputCost(plan);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i; j < n; ++j) {
+      PatternStats tightened = stats;
+      tightened.set_sel(i, j, stats.sel(i, j) * 0.5);
+      EXPECT_LT(CostFunction(tightened, 2.0).OrderThroughputCost(plan), base)
+          << "pair " << i << "," << j;
+    }
+  }
+}
+
+TEST_P(CostPropertyTest, TreeCostSharesTheSameMonotonicity) {
+  int n = GetParam();
+  Rng rng(630 + n);
+  PatternStats stats = testing_util::RandomStats(n, rng);
+  TreePlan plan = TreePlan::LeftDeep(OrderPlan::Identity(n));
+  double base = CostFunction(stats, 2.0).TreeThroughputCost(plan);
+  PatternStats faster = stats;
+  faster.set_rate(0, stats.rate(0) * 3.0);
+  EXPECT_GT(CostFunction(faster, 2.0).TreeThroughputCost(plan), base);
+  PatternStats tighter = stats;
+  tighter.set_sel(0, n - 1, stats.sel(0, n - 1) * 0.25);
+  EXPECT_LE(CostFunction(tighter, 2.0).TreeThroughputCost(plan), base);
+}
+
+TEST_P(CostPropertyTest, UnitSelectivityCostIsClosedForm) {
+  // With all selectivities 1 and equal rates r, PM(k) = (W·r)^k, so
+  // Cost_ord = Σ (W·r)^k — check against the geometric sum.
+  int n = GetParam();
+  double rate = 2.5;
+  double window = 1.5;
+  PatternStats stats(n);
+  for (int i = 0; i < n; ++i) stats.set_rate(i, rate);
+  double x = window * rate;
+  double expected = 0.0;
+  double term = 1.0;
+  for (int k = 1; k <= n; ++k) {
+    term *= x;
+    expected += term;
+  }
+  EXPECT_NEAR(
+      CostFunction(stats, window).OrderThroughputCost(OrderPlan::Identity(n)),
+      expected, expected * 1e-12);
+}
+
+TEST_P(CostPropertyTest, LatencyCostIsPositionalOnly) {
+  // Cost_lat depends only on which slots follow the anchor, not on their
+  // relative order.
+  int n = GetParam();
+  if (n < 4) return;
+  Rng rng(640 + n);
+  PatternStats stats = testing_util::RandomStats(n, rng);
+  CostSpec spec;
+  spec.latency_alpha = 1.0;
+  spec.latency_anchor = 0;
+  CostFunction cost(stats, 2.0, spec);
+  std::vector<int> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  double base = cost.OrderLatencyCost(OrderPlan(order));
+  // Swap two successors of the anchor: latency unchanged.
+  std::swap(order[n - 1], order[n - 2]);
+  EXPECT_DOUBLE_EQ(cost.OrderLatencyCost(OrderPlan(order)), base);
+}
+
+TEST_P(CostPropertyTest, NextModelInsensitiveToNonMinimalRates) {
+  // m[k] uses min(r): raising a non-minimal rate leaves the set cost
+  // unchanged under the next-match model.
+  int n = GetParam();
+  PatternStats stats(n);
+  for (int i = 0; i < n; ++i) stats.set_rate(i, 5.0 + i);
+  CostSpec spec;
+  spec.model = ThroughputModel::kNextMatch;
+  uint64_t full = (uint64_t{1} << n) - 1;
+  double base = CostFunction(stats, 2.0, spec).OrderSetCost(full);
+  PatternStats bumped = stats;
+  bumped.set_rate(n - 1, 100.0);  // not the minimum
+  EXPECT_DOUBLE_EQ(CostFunction(bumped, 2.0, spec).OrderSetCost(full), base);
+  PatternStats lowered = stats;
+  lowered.set_rate(0, 1.0);  // the minimum
+  EXPECT_LT(CostFunction(lowered, 2.0, spec).OrderSetCost(full), base);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CostPropertyTest,
+                         ::testing::Values(2, 3, 5, 8, 12),
+                         ::testing::PrintToStringParamName());
+
+}  // namespace
+}  // namespace cepjoin

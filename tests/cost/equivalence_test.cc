@@ -1,0 +1,157 @@
+// Property tests for the paper's central theorems: the CPG cost of a plan
+// equals the JQPG cost of the corresponding join plan under the Theorem 1
+// reduction (|R_i| = W·r_i, f = sel), for both plan classes.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "cost/cost_function.h"
+#include "cost/join_cost.h"
+#include "testing/test_util.h"
+
+namespace cepjoin {
+namespace {
+
+class EquivalenceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(EquivalenceTest, Theorem1OrderCostEqualsLeftDeepJoinCost) {
+  int n = GetParam();
+  Rng rng(1000 + n);
+  for (int trial = 0; trial < 50; ++trial) {
+    PatternStats stats = testing_util::RandomStats(n, rng);
+    double window = rng.UniformReal(0.5, 30.0);
+    CostFunction cost(stats, window);
+    JoinQuery query = JoinQueryFromPattern(stats, window);
+
+    std::vector<int> perm(n);
+    std::iota(perm.begin(), perm.end(), 0);
+    rng.Shuffle(perm.begin(), perm.end());
+    OrderPlan plan(perm);
+
+    double cpg = cost.OrderThroughputCost(plan);
+    double jqpg = CostLDJ(query, plan);
+    EXPECT_NEAR(cpg, jqpg, std::max(cpg, 1.0) * 1e-9)
+        << "order " << plan.Describe();
+  }
+}
+
+TEST_P(EquivalenceTest, Theorem2TreeCostEqualsBushyJoinCost) {
+  int n = GetParam();
+  Rng rng(2000 + n);
+  for (int trial = 0; trial < 50; ++trial) {
+    PatternStats stats = testing_util::RandomStats(n, rng);
+    double window = rng.UniformReal(0.5, 30.0);
+    CostFunction cost(stats, window);
+    JoinQuery query = JoinQueryFromPattern(stats, window);
+
+    // Random bushy tree: repeatedly merge two random roots.
+    TreePlan::Builder builder;
+    std::vector<int> roots;
+    for (int i = 0; i < n; ++i) roots.push_back(builder.AddLeaf(i));
+    while (roots.size() > 1) {
+      size_t a = static_cast<size_t>(rng.UniformInt(0, roots.size() - 1));
+      std::swap(roots[a], roots.back());
+      int left = roots.back();
+      roots.pop_back();
+      size_t b = static_cast<size_t>(rng.UniformInt(0, roots.size() - 1));
+      std::swap(roots[b], roots.back());
+      int right = roots.back();
+      roots.pop_back();
+      roots.push_back(builder.AddInternal(left, right));
+    }
+    TreePlan tree = builder.Build(roots[0]);
+
+    // The tree model excludes unary selectivities (Sec. 4.2); null them
+    // out so both sides measure the same quantity.
+    PatternStats pure = stats;
+    for (int i = 0; i < n; ++i) pure.set_sel(i, i, 1.0);
+    CostFunction pure_cost(pure, window);
+    JoinQuery pure_query = JoinQueryFromPattern(pure, window);
+
+    double cpg = pure_cost.TreeThroughputCost(tree);
+    double jqpg = CostBJ(pure_query, tree);
+    EXPECT_NEAR(cpg, jqpg, std::max(cpg, 1.0) * 1e-9)
+        << "tree " << tree.Describe();
+  }
+}
+
+TEST_P(EquivalenceTest, ReductionRoundTripPreservesCosts) {
+  // JQPG -> CPG direction: converting a join query to a pattern (W = max
+  // |R_i|, r = |R_i|/W) and back must preserve the cost of every order.
+  int n = GetParam();
+  Rng rng(3000 + n);
+  for (int trial = 0; trial < 20; ++trial) {
+    JoinQuery query;
+    query.cardinalities.resize(n);
+    query.f = Matrix(n, n, 1.0);
+    for (int i = 0; i < n; ++i) {
+      query.cardinalities[i] = rng.UniformReal(1.0, 500.0);
+      for (int j = i; j < n; ++j) {
+        double f = rng.Bernoulli(0.5) ? rng.UniformReal(0.05, 1.0) : 1.0;
+        query.f.At(i, j) = f;
+        query.f.At(j, i) = f;
+      }
+    }
+    PatternFromJoinResult reduced = PatternFromJoinQuery(query);
+    CostFunction cost(reduced.stats, reduced.window);
+
+    std::vector<int> perm(n);
+    std::iota(perm.begin(), perm.end(), 0);
+    rng.Shuffle(perm.begin(), perm.end());
+    OrderPlan plan(perm);
+    double jq = CostLDJ(query, plan);
+    double cp = cost.OrderThroughputCost(plan);
+    EXPECT_NEAR(jq, cp, std::max(jq, 1.0) * 1e-9);
+  }
+}
+
+TEST_P(EquivalenceTest, LeftDeepTreeCostMatchesOrderCostWithoutUnary) {
+  // A left-deep tree's internal nodes accumulate exactly the PM(k) terms
+  // of the corresponding order (k >= 2), which links the two plan classes.
+  int n = GetParam();
+  Rng rng(4000 + n);
+  PatternStats stats = testing_util::RandomStats(n, rng);
+  for (int i = 0; i < n; ++i) stats.set_sel(i, i, 1.0);
+  double window = 2.0;
+  CostFunction cost(stats, window);
+  std::vector<int> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  rng.Shuffle(perm.begin(), perm.end());
+  OrderPlan order(perm);
+  TreePlan tree = TreePlan::LeftDeep(order);
+
+  double leaf_sum = 0.0;
+  for (int i = 0; i < n; ++i) leaf_sum += cost.LeafCost(i);
+  double order_tail =
+      cost.OrderThroughputCost(order) - cost.OrderSetCost(uint64_t{1} << order.At(0));
+  EXPECT_NEAR(cost.TreeThroughputCost(tree), leaf_sum + order_tail,
+              std::max(order_tail, 1.0) * 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, EquivalenceTest, ::testing::Values(2, 3, 5, 8),
+                         ::testing::PrintToStringParamName());
+
+TEST(JoinQueryTest, FromPatternSetsCardinalities) {
+  PatternStats stats(2);
+  stats.set_rate(0, 3.0);
+  stats.set_rate(1, 7.0);
+  stats.set_sel(0, 1, 0.25);
+  JoinQuery query = JoinQueryFromPattern(stats, 10.0);
+  EXPECT_DOUBLE_EQ(query.cardinalities[0], 30.0);
+  EXPECT_DOUBLE_EQ(query.cardinalities[1], 70.0);
+  EXPECT_DOUBLE_EQ(query.f.At(0, 1), 0.25);
+}
+
+TEST(JoinQueryTest, CostLdjHandExample) {
+  // Sec. 3.2 example: C(R_i, R_j) = |R_i|·|R_j|·f_ij.
+  JoinQuery query;
+  query.cardinalities = {10, 20};
+  query.f = Matrix(2, 2, 1.0);
+  query.f.At(0, 1) = 0.1;
+  query.f.At(1, 0) = 0.1;
+  // C1 = 10; join = 10·20·0.1 = 20.
+  EXPECT_DOUBLE_EQ(CostLDJ(query, OrderPlan({0, 1})), 30.0);
+}
+
+}  // namespace
+}  // namespace cepjoin

@@ -1,0 +1,124 @@
+#include "engine/multi_engine.h"
+
+#include <gtest/gtest.h>
+
+#include "engine/engine_factory.h"
+#include "pattern/nested.h"
+#include "testing/test_util.h"
+
+namespace cepjoin {
+namespace {
+
+using testing_util::Ev;
+using testing_util::MakeWorld;
+using testing_util::StreamOf;
+using testing_util::World;
+
+TEST(MultiEngineTest, DisjunctionUnionsSubpatternMatches) {
+  World world = MakeWorld(4);
+  // OR(SEQ(A, B), SEQ(C, D)).
+  NestedPattern nested;
+  nested.root = PatternNode::Op(
+      OperatorKind::kOr,
+      {PatternNode::Op(OperatorKind::kSeq,
+                       {PatternNode::Leaf({world.types[0], "a", false, false}),
+                        PatternNode::Leaf({world.types[1], "b", false, false})}),
+       PatternNode::Op(OperatorKind::kSeq,
+                       {PatternNode::Leaf({world.types[2], "c", false, false}),
+                        PatternNode::Leaf({world.types[3], "d", false, false})})});
+  nested.window = 10.0;
+  std::vector<SimplePattern> dnf = ToDnf(nested);
+  ASSERT_EQ(dnf.size(), 2u);
+
+  std::vector<EnginePlan> plans;
+  for (const SimplePattern& sub : dnf) {
+    PatternStats stats(sub.num_positive());
+    for (int i = 0; i < stats.size(); ++i) stats.set_rate(i, 1.0);
+    plans.push_back(MakePlan("GREEDY", CostFunction(stats, sub.window())));
+  }
+  CollectingSink sink;
+  std::unique_ptr<Engine> engine = BuildDnfEngine(dnf, plans, &sink);
+  EventStream stream = StreamOf({Ev(0, 1), Ev(1, 2), Ev(2, 3), Ev(3, 4)});
+  for (const EventPtr& e : stream.events()) {
+    engine->OnEvent(e);
+  }
+  engine->Finish();
+  ASSERT_EQ(sink.matches.size(), 2u);
+  // Matches tagged with their subpattern index.
+  std::vector<int> tags;
+  for (const Match& m : sink.matches) tags.push_back(m.subpattern);
+  std::sort(tags.begin(), tags.end());
+  EXPECT_EQ(tags, (std::vector<int>{0, 1}));
+}
+
+TEST(MultiEngineTest, CountersAggregateAcrossSubengines) {
+  World world = MakeWorld(2);
+  SimplePattern p1 = testing_util::PurePattern(world, OperatorKind::kSeq, 2, 10);
+  std::vector<SimplePattern> subs = {p1, p1};
+  std::vector<EnginePlan> plans;
+  for (int k = 0; k < 2; ++k) {
+    PatternStats stats(2);
+    stats.set_rate(0, 1.0);
+    stats.set_rate(1, 1.0);
+    plans.push_back(MakePlan("TRIVIAL", CostFunction(stats, 10.0)));
+  }
+  CollectingSink sink;
+  std::unique_ptr<Engine> engine = BuildDnfEngine(subs, plans, &sink);
+  EventStream stream = StreamOf({Ev(0, 1), Ev(1, 2)});
+  for (const EventPtr& e : stream.events()) {
+    engine->OnEvent(e);
+  }
+  engine->Finish();
+  // Both identical subengines matched: 2 matches, aggregated counters.
+  EXPECT_EQ(engine->counters().matches_emitted, 2u);
+  EXPECT_EQ(engine->counters().events_processed, 2u);
+}
+
+TEST(EnginePlanTest, DescribeIncludesAlgorithmAndShape) {
+  PatternStats stats(2);
+  stats.set_rate(0, 1.0);
+  stats.set_rate(1, 2.0);
+  EnginePlan order_plan = MakePlan("EFREQ", CostFunction(stats, 1.0));
+  EXPECT_NE(order_plan.Describe().find("EFREQ"), std::string::npos);
+  EnginePlan tree_plan = MakePlan("ZSTREAM", CostFunction(stats, 1.0));
+  EXPECT_EQ(tree_plan.kind, EnginePlan::Kind::kTree);
+  EXPECT_NE(tree_plan.Describe().find("("), std::string::npos);
+}
+
+TEST(EngineFactoryTest, ClassifiesAlgorithms) {
+  EXPECT_TRUE(IsTreeAlgorithm("ZSTREAM"));
+  EXPECT_TRUE(IsTreeAlgorithm("DP-B"));
+  EXPECT_FALSE(IsTreeAlgorithm("DP-LD"));
+  EXPECT_FALSE(IsTreeAlgorithm("GREEDY"));
+}
+
+TEST(EngineFactoryTest, ModelForStrategyFollowsPaper) {
+  EXPECT_EQ(ModelForStrategy(SelectionStrategy::kSkipTillAny),
+            ThroughputModel::kAny);
+  EXPECT_EQ(ModelForStrategy(SelectionStrategy::kSkipTillNext),
+            ThroughputModel::kNextMatch);
+  EXPECT_EQ(ModelForStrategy(SelectionStrategy::kStrictContiguity),
+            ThroughputModel::kNextMatch);
+  EXPECT_EQ(ModelForStrategy(SelectionStrategy::kPartitionContiguity),
+            ThroughputModel::kNextMatch);
+}
+
+TEST(EngineFactoryTest, DefaultLatencyAnchor) {
+  World world = MakeWorld(3);
+  SimplePattern seq = testing_util::PurePattern(world, OperatorKind::kSeq, 3, 10);
+  SimplePattern conj = testing_util::PurePattern(world, OperatorKind::kAnd, 3, 10);
+  EXPECT_EQ(DefaultLatencyAnchor(seq), 2);
+  EXPECT_EQ(DefaultLatencyAnchor(conj), -1);
+}
+
+TEST(EngineFactoryTest, MakePlanRecordsCostAndTime) {
+  Rng rng(3);
+  CostFunction cost(testing_util::RandomStats(4, rng), 2.0);
+  EnginePlan plan = MakePlan("DP-LD", cost);
+  EXPECT_GT(plan.cost, 0.0);
+  EXPECT_GE(plan.generation_seconds, 0.0);
+  EXPECT_NEAR(plan.cost, cost.OrderCost(plan.order), plan.cost * 1e-12);
+}
+
+}  // namespace
+}  // namespace cepjoin

@@ -1,0 +1,209 @@
+// Brute-force oracle: for small patterns, enumerate every event
+// combination directly from the pattern semantics and require both
+// engines (under multiple plans) to report exactly that match set.
+// Also checks Theorem 3 at the detection level: a SEQ pattern and its
+// AND + timestamp-predicate rewrite produce identical matches.
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "nfa/nfa_engine.h"
+#include "pattern/rewrite.h"
+#include "testing/test_util.h"
+#include "tree/tree_engine.h"
+
+namespace cepjoin {
+namespace {
+
+using testing_util::Ev;
+using testing_util::MakeWorld;
+using testing_util::World;
+
+EventStream RandomStream(const World& world, int n_types, int count,
+                         uint64_t seed) {
+  Rng rng(seed);
+  EventStream stream;
+  double ts = 0.0;
+  for (int i = 0; i < count; ++i) {
+    ts += rng.UniformReal(0.01, 0.25);
+    stream.Append(Ev(world.types[rng.UniformInt(0, n_types - 1)], ts,
+                     rng.UniformReal(-2.0, 2.0)));
+  }
+  return stream;
+}
+
+// Ground truth: all assignments of stream events to pattern slots that
+// satisfy types, distinctness, the window, every condition, and (for
+// SEQ) the slot order. Only positive slots; no Kleene.
+std::vector<std::string> BruteForceMatches(const SimplePattern& pattern,
+                                           const EventStream& stream) {
+  ConditionSet conditions(pattern.size(), pattern.conditions());
+  int n = pattern.size();
+  std::vector<const Event*> chosen(n, nullptr);
+  std::vector<std::string> fingerprints;
+
+  std::function<void(int)> recurse = [&](int pos) {
+    if (pos == n) {
+      Match match;
+      match.slots.resize(n);
+      for (int p = 0; p < n; ++p) {
+        match.slots[p].push_back(std::make_shared<const Event>(*chosen[p]));
+      }
+      fingerprints.push_back(match.Fingerprint());
+      return;
+    }
+    for (const EventPtr& e : stream.events()) {
+      if (e->type != pattern.events()[pos].type) continue;
+      bool used = false;
+      for (int p = 0; p < pos; ++p) {
+        if (chosen[p]->serial == e->serial) used = true;
+      }
+      if (used) continue;
+      if (!conditions.EvalUnary(pos, *e)) continue;
+      bool ok = true;
+      for (int p = 0; p < pos && ok; ++p) {
+        if (pattern.op() == OperatorKind::kSeq && chosen[p]->ts >= e->ts) {
+          ok = false;
+        }
+        if (ok && std::abs(chosen[p]->ts - e->ts) > pattern.window()) {
+          ok = false;
+        }
+        if (ok && !conditions.EvalPair(p, pos, *chosen[p], *e)) ok = false;
+      }
+      if (!ok) continue;
+      chosen[pos] = e.get();
+      recurse(pos + 1);
+      chosen[pos] = nullptr;
+    }
+  };
+  recurse(0);
+  std::sort(fingerprints.begin(), fingerprints.end());
+  return fingerprints;
+}
+
+std::vector<std::string> RunNfa(const SimplePattern& p, const OrderPlan& plan,
+                                const EventStream& stream) {
+  CollectingSink sink;
+  NfaEngine engine(p, plan, &sink);
+  for (const EventPtr& e : stream.events()) engine.OnEvent(e);
+  engine.Finish();
+  return sink.Fingerprints();
+}
+
+std::vector<std::string> RunTree(const SimplePattern& p, const TreePlan& plan,
+                                 const EventStream& stream) {
+  CollectingSink sink;
+  TreeEngine engine(p, plan, &sink);
+  for (const EventPtr& e : stream.events()) engine.OnEvent(e);
+  engine.Finish();
+  return sink.Fingerprints();
+}
+
+struct OracleCase {
+  OperatorKind op;
+  int size;
+  uint64_t seed;
+  friend std::ostream& operator<<(std::ostream& os, const OracleCase& c) {
+    return os << OperatorName(c.op) << "_n" << c.size << "_s" << c.seed;
+  }
+};
+
+class OracleTest : public ::testing::TestWithParam<OracleCase> {};
+
+TEST_P(OracleTest, EnginesMatchBruteForceEnumeration) {
+  const OracleCase& c = GetParam();
+  World world = MakeWorld(c.size);
+  std::vector<EventSpec> events;
+  for (int i = 0; i < c.size; ++i) {
+    events.push_back({world.types[i], "e" + std::to_string(i), false, false});
+  }
+  std::vector<ConditionPtr> conditions = {
+      std::make_shared<AttrCompare>(0, 0, CmpOp::kLt, c.size - 1, 0)};
+  SimplePattern pattern(c.op, events, conditions, 1.8);
+  EventStream stream = RandomStream(world, c.size, 90, c.seed);
+
+  std::vector<std::string> oracle = BruteForceMatches(pattern, stream);
+  EXPECT_FALSE(oracle.empty()) << "degenerate oracle case";
+
+  EXPECT_EQ(RunNfa(pattern, OrderPlan::Identity(c.size), stream), oracle);
+  std::vector<int> reversed(c.size);
+  for (int i = 0; i < c.size; ++i) reversed[i] = c.size - 1 - i;
+  EXPECT_EQ(RunNfa(pattern, OrderPlan(reversed), stream), oracle);
+  EXPECT_EQ(
+      RunTree(pattern, TreePlan::LeftDeep(OrderPlan::Identity(c.size)), stream),
+      oracle);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, OracleTest,
+    ::testing::Values(OracleCase{OperatorKind::kSeq, 2, 21},
+                      OracleCase{OperatorKind::kSeq, 3, 22},
+                      OracleCase{OperatorKind::kSeq, 4, 23},
+                      OracleCase{OperatorKind::kAnd, 2, 24},
+                      OracleCase{OperatorKind::kAnd, 3, 25},
+                      OracleCase{OperatorKind::kAnd, 4, 26}));
+
+TEST(Theorem3Test, SeqEqualsAndPlusTimestampPredicates) {
+  // Theorem 3 at the engine level: detect SEQ(T1..Tn) and its rewrite
+  // AND(T1..Tn) + ts-order predicates; match sets must coincide, on both
+  // engines and multiple plans.
+  for (int n : {2, 3, 4}) {
+    World world = MakeWorld(n);
+    std::vector<EventSpec> events;
+    for (int i = 0; i < n; ++i) {
+      events.push_back({world.types[i], "e" + std::to_string(i), false, false});
+    }
+    SimplePattern seq(OperatorKind::kSeq, events, {}, 1.5);
+    SimplePattern rewritten = SeqToAnd(seq);
+    ASSERT_EQ(rewritten.op(), OperatorKind::kAnd);
+    EventStream stream = RandomStream(world, n, 110, 30 + n);
+
+    std::vector<std::string> seq_matches =
+        RunNfa(seq, OrderPlan::Identity(n), stream);
+    EXPECT_FALSE(seq_matches.empty());
+    EXPECT_EQ(RunNfa(rewritten, OrderPlan::Identity(n), stream), seq_matches);
+    std::vector<int> reversed(n);
+    for (int i = 0; i < n; ++i) reversed[i] = n - 1 - i;
+    EXPECT_EQ(RunNfa(rewritten, OrderPlan(reversed), stream), seq_matches);
+    EXPECT_EQ(
+        RunTree(rewritten, TreePlan::LeftDeep(OrderPlan::Identity(n)), stream),
+        seq_matches);
+  }
+}
+
+TEST(Theorem4Test, KleeneMatchCountIsPowerSetOfQualifyingEvents) {
+  // SEQ(A, KL(B), C): for each (a, c) pair satisfying the window, the
+  // engine must report 2^k - 1 matches where k counts B events strictly
+  // between a and c and within the window of both.
+  World world = MakeWorld(3);
+  std::vector<EventSpec> events = {{world.types[0], "a", false, false},
+                                   {world.types[1], "b", false, true},
+                                   {world.types[2], "c", false, false}};
+  SimplePattern pattern(OperatorKind::kSeq, events, {}, 2.0);
+  EventStream stream = RandomStream(world, 3, 80, 40);
+
+  uint64_t expected = 0;
+  for (const EventPtr& a : stream.events()) {
+    if (a->type != world.types[0]) continue;
+    for (const EventPtr& c : stream.events()) {
+      if (c->type != world.types[2]) continue;
+      if (c->ts <= a->ts || c->ts - a->ts > pattern.window()) continue;
+      int k = 0;
+      for (const EventPtr& b : stream.events()) {
+        if (b->type != world.types[1]) continue;
+        if (b->ts > a->ts && b->ts < c->ts) ++k;
+      }
+      expected += (uint64_t{1} << k) - 1;
+    }
+  }
+  ASSERT_GT(expected, 0u);
+  EXPECT_EQ(RunNfa(pattern, OrderPlan::Identity(3), stream).size(), expected);
+  EXPECT_EQ(
+      RunTree(pattern, TreePlan::LeftDeep(OrderPlan::Identity(3)), stream)
+          .size(),
+      expected);
+}
+
+}  // namespace
+}  // namespace cepjoin

@@ -1,0 +1,88 @@
+#include "event/csv_loader.h"
+
+#include <gtest/gtest.h>
+
+namespace cepjoin {
+namespace {
+
+TEST(CsvLoaderTest, LoadsWellFormedStream) {
+  EventTypeRegistry registry;
+  CsvLoadResult result = LoadCsvStreamFromString(
+      "type,ts,partition,price,difference\n"
+      "MSFT,0.125,0,101.5,0.25\n"
+      "GOOG,0.250,1,730.0,-1.10\n"
+      "MSFT,0.500,0,101.0,-0.5\n",
+      &registry);
+  ASSERT_TRUE(result.ok) << result.error;
+  ASSERT_EQ(result.stream.size(), 3u);
+  EXPECT_EQ(registry.size(), 2u);
+  const Event& first = *result.stream[0];
+  EXPECT_EQ(first.type, registry.Require("MSFT"));
+  EXPECT_DOUBLE_EQ(first.ts, 0.125);
+  EXPECT_EQ(first.partition, 0u);
+  EXPECT_DOUBLE_EQ(first.attrs[0], 101.5);
+  EXPECT_DOUBLE_EQ(first.attrs[1], 0.25);
+  // Attribute schema comes from the header.
+  EXPECT_EQ(registry.RequireAttr(first.type, "difference"), 1u);
+}
+
+TEST(CsvLoaderTest, SkipsBlankLines) {
+  EventTypeRegistry registry;
+  CsvLoadResult result = LoadCsvStreamFromString(
+      "type,ts,partition,v\nA,1,0,1.0\n\nA,2,0,2.0\n", &registry);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.stream.size(), 2u);
+}
+
+TEST(CsvLoaderTest, AssignsSerialsAndPartitionSeqs) {
+  EventTypeRegistry registry;
+  CsvLoadResult result = LoadCsvStreamFromString(
+      "type,ts,partition,v\nA,1,3,1\nB,2,3,2\nA,3,5,3\n", &registry);
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.stream[1]->serial, 1u);
+  EXPECT_EQ(result.stream[1]->partition_seq, 1u);  // second in partition 3
+  EXPECT_EQ(result.stream[2]->partition_seq, 0u);  // first in partition 5
+}
+
+TEST(CsvLoaderTest, RejectsMissingHeader) {
+  EventTypeRegistry registry;
+  CsvLoadResult result = LoadCsvStreamFromString("", &registry);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("header"), std::string::npos);
+}
+
+TEST(CsvLoaderTest, RejectsShortRows) {
+  EventTypeRegistry registry;
+  CsvLoadResult result = LoadCsvStreamFromString(
+      "type,ts,partition,v\nA,1,0\n", &registry);
+  EXPECT_FALSE(result.ok);
+  EXPECT_EQ(result.error_line, 2u);
+}
+
+TEST(CsvLoaderTest, RejectsOutOfOrderTimestamps) {
+  EventTypeRegistry registry;
+  CsvLoadResult result = LoadCsvStreamFromString(
+      "type,ts,partition,v\nA,2,0,1\nA,1,0,1\n", &registry);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("non-decreasing"), std::string::npos);
+  EXPECT_EQ(result.error_line, 3u);
+}
+
+TEST(CsvLoaderTest, RejectsNonNumericValues) {
+  EventTypeRegistry registry;
+  CsvLoadResult result = LoadCsvStreamFromString(
+      "type,ts,partition,v\nA,1,0,abc\n", &registry);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("attribute value"), std::string::npos);
+}
+
+TEST(CsvLoaderTest, RejectsBadTimestamp) {
+  EventTypeRegistry registry;
+  CsvLoadResult result = LoadCsvStreamFromString(
+      "type,ts,partition,v\nA,noon,0,1\n", &registry);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("timestamp"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cepjoin

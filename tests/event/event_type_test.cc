@@ -1,0 +1,60 @@
+#include "event/event_type.h"
+
+#include <gtest/gtest.h>
+
+namespace cepjoin {
+namespace {
+
+TEST(EventTypeRegistryTest, RegisterAssignsDenseIds) {
+  EventTypeRegistry registry;
+  TypeId a = registry.Register("A", {"x"});
+  TypeId b = registry.Register("B", {"x", "y"});
+  EXPECT_EQ(a, 0u);
+  EXPECT_EQ(b, 1u);
+  EXPECT_EQ(registry.size(), 2u);
+}
+
+TEST(EventTypeRegistryTest, ReRegisterSameSchemaReturnsSameId) {
+  EventTypeRegistry registry;
+  TypeId a1 = registry.Register("A", {"x"});
+  TypeId a2 = registry.Register("A", {"x"});
+  EXPECT_EQ(a1, a2);
+  EXPECT_EQ(registry.size(), 1u);
+}
+
+TEST(EventTypeRegistryTest, FindAndRequire) {
+  EventTypeRegistry registry;
+  registry.Register("A", {"x"});
+  EXPECT_EQ(registry.Find("A"), 0u);
+  EXPECT_EQ(registry.Find("missing"), kInvalidTypeId);
+  EXPECT_EQ(registry.Require("A"), 0u);
+}
+
+TEST(EventTypeRegistryTest, RequireAttrResolvesIndex) {
+  EventTypeRegistry registry;
+  TypeId a = registry.Register("A", {"price", "difference"});
+  EXPECT_EQ(registry.RequireAttr(a, "price"), 0u);
+  EXPECT_EQ(registry.RequireAttr(a, "difference"), 1u);
+}
+
+TEST(EventTypeRegistryTest, InfoRoundTrips) {
+  EventTypeRegistry registry;
+  TypeId a = registry.Register("A", {"x"});
+  const EventTypeInfo& info = registry.Info(a);
+  EXPECT_EQ(info.name, "A");
+  EXPECT_EQ(info.attribute_names.size(), 1u);
+}
+
+TEST(EventTypeRegistryDeathTest, ConflictingSchemaAborts) {
+  EventTypeRegistry registry;
+  registry.Register("A", {"x"});
+  EXPECT_DEATH(registry.Register("A", {"y"}), "different schema");
+}
+
+TEST(EventTypeRegistryDeathTest, RequireUnknownAborts) {
+  EventTypeRegistry registry;
+  EXPECT_DEATH(registry.Require("nope"), "unknown event type");
+}
+
+}  // namespace
+}  // namespace cepjoin

@@ -1,0 +1,75 @@
+#include "event/stream.h"
+
+#include <gtest/gtest.h>
+
+namespace cepjoin {
+namespace {
+
+Event MakeEvent(TypeId type, Timestamp ts, uint32_t partition = 0) {
+  Event e;
+  e.type = type;
+  e.ts = ts;
+  e.partition = partition;
+  e.attrs = {1.0};
+  return e;
+}
+
+TEST(EventStreamTest, AssignsSerialsInOrder) {
+  EventStream stream;
+  stream.Append(MakeEvent(0, 0.0));
+  stream.Append(MakeEvent(1, 0.5));
+  stream.Append(MakeEvent(0, 1.0));
+  ASSERT_EQ(stream.size(), 3u);
+  EXPECT_EQ(stream[0]->serial, 0u);
+  EXPECT_EQ(stream[1]->serial, 1u);
+  EXPECT_EQ(stream[2]->serial, 2u);
+}
+
+TEST(EventStreamTest, AssignsPerPartitionSequences) {
+  EventStream stream;
+  stream.Append(MakeEvent(0, 0.0, /*partition=*/0));
+  stream.Append(MakeEvent(1, 0.1, /*partition=*/1));
+  stream.Append(MakeEvent(0, 0.2, /*partition=*/0));
+  stream.Append(MakeEvent(1, 0.3, /*partition=*/1));
+  EXPECT_EQ(stream[0]->partition_seq, 0u);
+  EXPECT_EQ(stream[1]->partition_seq, 0u);
+  EXPECT_EQ(stream[2]->partition_seq, 1u);
+  EXPECT_EQ(stream[3]->partition_seq, 1u);
+}
+
+TEST(EventStreamTest, TracksTypeCounts) {
+  EventStream stream;
+  stream.Append(MakeEvent(0, 0.0));
+  stream.Append(MakeEvent(2, 0.5));
+  stream.Append(MakeEvent(2, 1.0));
+  ASSERT_GE(stream.type_counts().size(), 3u);
+  EXPECT_EQ(stream.type_counts()[0], 1u);
+  EXPECT_EQ(stream.type_counts()[1], 0u);
+  EXPECT_EQ(stream.type_counts()[2], 2u);
+}
+
+TEST(EventStreamTest, DurationAndEndpoints) {
+  EventStream stream;
+  EXPECT_DOUBLE_EQ(stream.Duration(), 0.0);
+  stream.Append(MakeEvent(0, 2.0));
+  stream.Append(MakeEvent(0, 5.0));
+  EXPECT_DOUBLE_EQ(stream.begin_ts(), 2.0);
+  EXPECT_DOUBLE_EQ(stream.end_ts(), 5.0);
+  EXPECT_DOUBLE_EQ(stream.Duration(), 3.0);
+}
+
+TEST(EventStreamTest, EqualTimestampsAllowed) {
+  EventStream stream;
+  stream.Append(MakeEvent(0, 1.0));
+  stream.Append(MakeEvent(1, 1.0));
+  EXPECT_EQ(stream.size(), 2u);
+}
+
+TEST(EventStreamDeathTest, OutOfOrderAppendAborts) {
+  EventStream stream;
+  stream.Append(MakeEvent(0, 1.0));
+  EXPECT_DEATH(stream.Append(MakeEvent(0, 0.5)), "timestamp order");
+}
+
+}  // namespace
+}  // namespace cepjoin

@@ -1,0 +1,134 @@
+// Adaptive runtime (Sec. 6.3, simplified from [27]): online statistics,
+// plan switchover with replay warm-up, and exactly-once match delivery.
+
+#include "adaptive/adaptive_runtime.h"
+
+#include <gtest/gtest.h>
+
+#include "nfa/nfa_engine.h"
+#include "runtime/output_profiler.h"
+#include "testing/test_util.h"
+
+namespace cepjoin {
+namespace {
+
+using testing_util::Ev;
+using testing_util::MakeWorld;
+using testing_util::World;
+
+// A stream whose statistics invert halfway: type 0 rare then frequent,
+// type 2 frequent then rare.
+EventStream DriftingStream(const World& world, double duration) {
+  Rng rng(321);
+  EventStream stream;
+  double ts = 0.0;
+  while (ts < duration) {
+    ts += rng.UniformReal(0.005, 0.02);
+    bool first_half = ts < duration / 2;
+    double coin = rng.UniformReal(0, 1);
+    TypeId type;
+    if (coin < 0.1) {
+      type = world.types[first_half ? 0 : 2];
+    } else if (coin < 0.55) {
+      type = world.types[1];
+    } else {
+      type = world.types[first_half ? 2 : 0];
+    }
+    stream.Append(Ev(type, ts, rng.UniformReal(-1, 1)));
+  }
+  return stream;
+}
+
+TEST(AdaptiveRuntimeTest, ReoptimizesOnDrift) {
+  World world = MakeWorld(3);
+  SimplePattern pattern =
+      testing_util::PurePattern(world, OperatorKind::kSeq, 3, 1.0);
+  EventStream stream = DriftingStream(world, 40.0);
+  CollectingSink sink;
+  AdaptiveOptions options;
+  options.algorithm = "GREEDY";
+  options.evaluation_interval = 2.0;
+  options.stats_half_life = 3.0;
+  AdaptiveRuntime runtime(pattern, 3, options, &sink);
+  runtime.ProcessStream(stream);
+  runtime.Finish();
+  EXPECT_GE(runtime.reoptimization_count(), 1);
+}
+
+TEST(AdaptiveRuntimeTest, MatchSetEqualsStaticEngine) {
+  // Adaptivity must not change semantics: the adaptive runtime delivers
+  // exactly the matches a static engine finds, despite plan switches.
+  World world = MakeWorld(3);
+  std::vector<EventSpec> events;
+  for (int i = 0; i < 3; ++i) {
+    events.push_back({world.types[i], "e" + std::to_string(i), false, false});
+  }
+  std::vector<ConditionPtr> conditions = {
+      std::make_shared<AttrCompare>(0, 0, CmpOp::kLt, 2, 0)};
+  SimplePattern pattern(OperatorKind::kSeq, events, conditions, 1.0);
+  EventStream stream = DriftingStream(world, 30.0);
+
+  CollectingSink static_sink;
+  NfaEngine static_engine(pattern, OrderPlan::Identity(3), &static_sink);
+  for (const EventPtr& e : stream.events()) static_engine.OnEvent(e);
+  static_engine.Finish();
+
+  CollectingSink adaptive_sink;
+  AdaptiveOptions options;
+  options.evaluation_interval = 1.5;
+  options.stats_half_life = 2.0;
+  options.improvement_threshold = 0.05;  // switch eagerly
+  AdaptiveRuntime runtime(pattern, 3, options, &adaptive_sink);
+  runtime.ProcessStream(stream);
+  runtime.Finish();
+
+  EXPECT_GE(runtime.reoptimization_count(), 1)
+      << "test should exercise at least one switchover";
+  EXPECT_EQ(adaptive_sink.Fingerprints(), static_sink.Fingerprints());
+}
+
+TEST(AdaptiveRuntimeTest, NoDriftNoReoptimization) {
+  World world = MakeWorld(3);
+  SimplePattern pattern =
+      testing_util::PurePattern(world, OperatorKind::kSeq, 3, 1.0);
+  // Perfectly stationary round-robin stream.
+  EventStream stream;
+  for (int i = 0; i < 3000; ++i) {
+    stream.Append(Ev(world.types[i % 3], i * 0.01));
+  }
+  CollectingSink sink;
+  AdaptiveOptions options;
+  options.evaluation_interval = 2.0;
+  options.improvement_threshold = 0.3;
+  AdaptiveRuntime runtime(pattern, 3, options, &sink);
+  runtime.ProcessStream(stream);
+  runtime.Finish();
+  // One initial improvement over the bootstrap TRIVIAL plan is allowed;
+  // after that the plan must be stable.
+  EXPECT_LE(runtime.reoptimization_count(), 1);
+}
+
+TEST(OutputProfilerTest, IdentifiesMostFrequentLastPosition) {
+  World world = MakeWorld(3);
+  SimplePattern pattern =
+      testing_util::PurePattern(world, OperatorKind::kAnd, 3, 5.0);
+  CollectingSink inner;
+  OutputProfiler profiler(&inner, pattern.size());
+  NfaEngine engine(pattern, OrderPlan::Identity(3), &profiler);
+  // Type 2 always arrives last.
+  EventStream stream;
+  double ts = 0;
+  for (int i = 0; i < 20; ++i) {
+    stream.Append(Ev(world.types[0], ts += 0.1));
+    stream.Append(Ev(world.types[1], ts += 0.1));
+    stream.Append(Ev(world.types[2], ts += 0.1));
+    ts += 10.0;  // separate windows
+  }
+  for (const EventPtr& e : stream.events()) engine.OnEvent(e);
+  engine.Finish();
+  EXPECT_GT(inner.matches.size(), 0u);
+  EXPECT_EQ(profiler.MostFrequentLastPosition(), 2);
+}
+
+}  // namespace
+}  // namespace cepjoin

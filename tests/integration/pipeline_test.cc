@@ -1,0 +1,181 @@
+// End-to-end pipeline: generator -> statistics collection -> plan
+// generation -> engine execution, exactly the flow of the paper's
+// experimental methodology (Sec. 7.2).
+
+#include <gtest/gtest.h>
+
+#include "api/cep_runtime.h"
+#include "metrics/runner.h"
+#include "optimizer/registry.h"
+#include "workload/pattern_generator.h"
+#include "workload/stock_generator.h"
+
+namespace cepjoin {
+namespace {
+
+StockUniverse BenchUniverse(double duration = 20.0) {
+  StockGeneratorConfig config;
+  config.num_symbols = 12;
+  config.duration_seconds = duration;
+  config.max_rate = 20.0;
+  return GenerateStockStream(config);
+}
+
+TEST(PipelineTest, AllAlgorithmsDetectIdenticalMatchCounts) {
+  StockUniverse universe = BenchUniverse();
+  StatsCollector collector(universe.stream, universe.registry.size());
+  PatternGenConfig pg;
+  pg.family = PatternFamily::kSequence;
+  pg.size = 4;
+  pg.window = 2.0;
+  SimplePattern pattern = GeneratePattern(universe, pg)[0];
+  PatternStats stats = collector.CollectForPattern(pattern);
+
+  uint64_t reference = 0;
+  bool first = true;
+  std::vector<std::string> algorithms = PaperOrderAlgorithms();
+  algorithms.push_back("KBZ");
+  for (const std::string& name : PaperTreeAlgorithms()) {
+    algorithms.push_back(name);
+  }
+  for (const std::string& name : algorithms) {
+    CostFunction cost(stats, pattern.window());
+    EnginePlan plan = MakePlan(name, cost);
+    RunResult result = Execute(pattern, plan, universe.stream);
+    if (first) {
+      reference = result.matches;
+      first = false;
+    } else {
+      EXPECT_EQ(result.matches, reference) << name;
+    }
+    EXPECT_GT(result.throughput_eps, 0.0) << name;
+  }
+  EXPECT_GT(reference, 0u) << "workload produced no matches — degenerate";
+}
+
+TEST(PipelineTest, OptimizedPlansCreateFewerPartialMatches) {
+  // The core claim: cost-based plans reduce partial matches versus the
+  // trivial order. Use a pattern whose last slot is rare.
+  StockUniverse universe = BenchUniverse(30.0);
+  StatsCollector collector(universe.stream, universe.registry.size());
+  // Pick symbols sorted by rate descending so TRIVIAL is bad.
+  std::vector<TypeId> symbols = universe.symbols;
+  std::sort(symbols.begin(), symbols.end(), [&](TypeId a, TypeId b) {
+    return collector.TypeRate(a) > collector.TypeRate(b);
+  });
+  std::vector<EventSpec> events;
+  for (int i = 0; i < 4; ++i) {
+    events.push_back({symbols[i * 2], "e" + std::to_string(i), false, false});
+  }
+  SimplePattern pattern(OperatorKind::kSeq, events, {}, 2.0);
+  PatternStats stats = collector.CollectForPattern(pattern);
+  CostFunction cost(stats, pattern.window());
+
+  RunResult trivial =
+      Execute(pattern, MakePlan("TRIVIAL", cost), universe.stream);
+  RunResult dp = Execute(pattern, MakePlan("DP-LD", cost), universe.stream);
+  EXPECT_EQ(trivial.matches, dp.matches);
+  EXPECT_LT(dp.peak_instances, trivial.peak_instances);
+}
+
+TEST(PipelineTest, CepRuntimeFacadeSimplePattern) {
+  StockUniverse universe = BenchUniverse();
+  StatsCollector collector(universe.stream, universe.registry.size());
+  PatternGenConfig pg;
+  pg.family = PatternFamily::kConjunction;
+  pg.size = 3;
+  pg.window = 1.5;
+  SimplePattern pattern = GeneratePattern(universe, pg)[0];
+
+  CollectingSink sink;
+  RuntimeOptions options;
+  options.algorithm = "DP-B";
+  CepRuntime runtime(pattern, collector.CollectForPattern(pattern), options,
+                     &sink);
+  runtime.ProcessStream(universe.stream);
+  runtime.Finish();
+  EXPECT_EQ(runtime.counters().matches_emitted, sink.matches.size());
+  EXPECT_NE(runtime.DescribePlans().find("DP-B"), std::string::npos);
+}
+
+TEST(PipelineTest, CepRuntimeFacadeNestedPattern) {
+  StockUniverse universe = BenchUniverse();
+  StatsCollector collector(universe.stream, universe.registry.size());
+  // OR of two sequences over distinct symbols.
+  auto leaf = [&](int idx, const std::string& name) {
+    return PatternNode::Leaf({universe.symbols[idx], name, false, false});
+  };
+  NestedPattern nested;
+  nested.root = PatternNode::Op(
+      OperatorKind::kOr,
+      {PatternNode::Op(OperatorKind::kSeq, {leaf(0, "a"), leaf(1, "b")}),
+       PatternNode::Op(OperatorKind::kSeq, {leaf(2, "c"), leaf(3, "d")})});
+  nested.window = 1.0;
+
+  CollectingSink sink;
+  CepRuntime runtime(nested, collector, RuntimeOptions{}, &sink);
+  runtime.ProcessStream(universe.stream);
+  runtime.Finish();
+  EXPECT_EQ(runtime.plans().size(), 2u);
+  EXPECT_GT(sink.matches.size(), 0u);
+  // Matches from both subpatterns present.
+  bool saw0 = false;
+  bool saw1 = false;
+  for (const Match& m : sink.matches) {
+    saw0 = saw0 || m.subpattern == 0;
+    saw1 = saw1 || m.subpattern == 1;
+  }
+  EXPECT_TRUE(saw0);
+  EXPECT_TRUE(saw1);
+}
+
+TEST(PipelineTest, HybridLatencyCostChangesPlans) {
+  // With a huge alpha the chosen order must end at the anchor slot,
+  // trading throughput for latency (Sec. 6.1 / Fig. 18's mechanism).
+  StockUniverse universe = BenchUniverse();
+  StatsCollector collector(universe.stream, universe.registry.size());
+  PatternGenConfig pg;
+  pg.family = PatternFamily::kSequence;
+  pg.size = 5;
+  pg.window = 1.5;
+  SimplePattern pattern = GeneratePattern(universe, pg)[0];
+  PatternStats stats = collector.CollectForPattern(pattern);
+
+  CostFunction plain = MakeCostFunction(pattern, stats, 0.0);
+  CostFunction hybrid = MakeCostFunction(pattern, stats, 1e9);
+  OrderPlan plain_plan = MakeOrderOptimizer("DP-LD")->Optimize(plain);
+  OrderPlan hybrid_plan = MakeOrderOptimizer("DP-LD")->Optimize(hybrid);
+  // Under extreme alpha the anchor (last pattern slot) is processed last.
+  EXPECT_EQ(hybrid_plan.At(4), 4);
+  // Latency cost of the hybrid-chosen plan must be minimal (zero).
+  CostSpec spec;
+  spec.latency_alpha = 1.0;
+  spec.latency_anchor = 4;
+  CostFunction measure(stats, pattern.window(), spec);
+  EXPECT_DOUBLE_EQ(measure.OrderLatencyCost(hybrid_plan), 0.0);
+  EXPECT_GE(measure.OrderLatencyCost(plain_plan), 0.0);
+}
+
+TEST(PipelineTest, SelectionStrategiesRunEndToEnd) {
+  StockUniverse universe = BenchUniverse();
+  StatsCollector collector(universe.stream, universe.registry.size());
+  PatternGenConfig pg;
+  pg.family = PatternFamily::kSequence;
+  pg.size = 3;
+  pg.window = 1.0;
+  for (SelectionStrategy strategy :
+       {SelectionStrategy::kSkipTillAny, SelectionStrategy::kSkipTillNext,
+        SelectionStrategy::kStrictContiguity,
+        SelectionStrategy::kPartitionContiguity}) {
+    pg.strategy = strategy;
+    SimplePattern pattern = GeneratePattern(universe, pg)[0];
+    PatternStats stats = collector.CollectForPattern(pattern);
+    CostFunction cost = MakeCostFunction(pattern, stats, 0.0);
+    RunResult result =
+        Execute(pattern, MakePlan("GREEDY", cost), universe.stream);
+    EXPECT_GT(result.events, 0u) << SelectionStrategyName(strategy);
+  }
+}
+
+}  // namespace
+}  // namespace cepjoin

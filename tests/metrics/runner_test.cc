@@ -1,0 +1,92 @@
+#include "metrics/runner.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_util.h"
+
+namespace cepjoin {
+namespace {
+
+using testing_util::Ev;
+using testing_util::MakeWorld;
+using testing_util::StreamOf;
+using testing_util::World;
+
+TEST(RunnerTest, ExecuteReportsMatchesAndThroughput) {
+  World world = MakeWorld(2);
+  SimplePattern p = testing_util::PurePattern(world, OperatorKind::kSeq, 2, 10);
+  PatternStats stats(2);
+  stats.set_rate(0, 1.0);
+  stats.set_rate(1, 1.0);
+  EnginePlan plan = MakePlan("TRIVIAL", CostFunction(stats, 10.0));
+  EventStream stream = StreamOf({Ev(0, 1), Ev(1, 2), Ev(0, 3), Ev(1, 4)});
+  RunResult result = Execute(p, plan, stream);
+  EXPECT_EQ(result.matches, 3u);
+  EXPECT_EQ(result.events, 4u);
+  EXPECT_GT(result.throughput_eps, 0.0);
+  EXPECT_EQ(result.algorithm, "TRIVIAL");
+}
+
+TEST(RunnerTest, RepeatsUntilMinimumMeasureTime) {
+  World world = MakeWorld(2);
+  SimplePattern p = testing_util::PurePattern(world, OperatorKind::kSeq, 2, 10);
+  PatternStats stats(2);
+  stats.set_rate(0, 1.0);
+  stats.set_rate(1, 1.0);
+  EnginePlan plan = MakePlan("TRIVIAL", CostFunction(stats, 10.0));
+  EventStream stream = StreamOf({Ev(0, 1), Ev(1, 2)});
+  ExecuteOptions options;
+  options.min_measure_seconds = 0.002;
+  options.max_repeats = 1000000;
+  RunResult result = Execute(p, plan, stream, options);
+  // A two-event stream replays in microseconds: many repeats accumulate.
+  EXPECT_GT(result.events, 2u);
+  EXPECT_EQ(result.events % 2, 0u);
+  EXPECT_GE(result.wall_seconds, 0.002);
+  // Matches reported for a single replay, not accumulated.
+  EXPECT_EQ(result.matches, 1u);
+}
+
+TEST(RunnerTest, MaxRepeatsBoundsWork) {
+  World world = MakeWorld(2);
+  SimplePattern p = testing_util::PurePattern(world, OperatorKind::kSeq, 2, 10);
+  PatternStats stats(2);
+  stats.set_rate(0, 1.0);
+  stats.set_rate(1, 1.0);
+  EnginePlan plan = MakePlan("TRIVIAL", CostFunction(stats, 10.0));
+  EventStream stream = StreamOf({Ev(0, 1), Ev(1, 2)});
+  ExecuteOptions options;
+  options.min_measure_seconds = 1e9;  // unreachable
+  options.max_repeats = 3;
+  RunResult result = Execute(p, plan, stream, options);
+  EXPECT_EQ(result.events, 6u);
+}
+
+TEST(RunAggregateTest, AveragesAcrossRuns) {
+  RunAggregate aggregate;
+  RunResult a;
+  a.throughput_eps = 100;
+  a.peak_bytes = 1000;
+  a.matches = 5;
+  RunResult b;
+  b.throughput_eps = 300;
+  b.peak_bytes = 3000;
+  b.matches = 7;
+  aggregate.Add(a);
+  aggregate.Add(b);
+  aggregate.Finalize();
+  EXPECT_DOUBLE_EQ(aggregate.throughput_eps, 200.0);
+  EXPECT_DOUBLE_EQ(aggregate.peak_bytes, 2000.0);
+  EXPECT_EQ(aggregate.matches, 12u);
+  EXPECT_EQ(aggregate.runs, 2);
+}
+
+TEST(RunAggregateTest, FinalizeOnEmptyIsSafe) {
+  RunAggregate aggregate;
+  aggregate.Finalize();
+  EXPECT_EQ(aggregate.runs, 0);
+  EXPECT_DOUBLE_EQ(aggregate.throughput_eps, 0.0);
+}
+
+}  // namespace
+}  // namespace cepjoin

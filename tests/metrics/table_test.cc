@@ -1,0 +1,37 @@
+#include "metrics/table.h"
+
+#include <gtest/gtest.h>
+
+namespace cepjoin {
+namespace {
+
+TEST(TableTest, AlignsColumns) {
+  Table table({"algo", "throughput"});
+  table.AddRow({"GREEDY", "1.5M"});
+  table.AddRow({"DP-LD", "2.25M"});
+  std::string text = table.ToString();
+  // Each data line starts aligned with the header width.
+  EXPECT_NE(text.find("algo    throughput"), std::string::npos);
+  EXPECT_NE(text.find("GREEDY  1.5M"), std::string::npos);
+  EXPECT_NE(text.find("DP-LD   2.25M"), std::string::npos);
+}
+
+TEST(TableDeathTest, RowWidthMustMatchHeader) {
+  Table table({"a", "b"});
+  EXPECT_DEATH(table.AddRow({"only-one"}), "");
+}
+
+TEST(FormatDoubleTest, FixedPrecision) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(2.0, 0), "2");
+}
+
+TEST(FormatSiTest, ScalesWithSuffixes) {
+  EXPECT_EQ(FormatSi(950.0), "950.00");
+  EXPECT_EQ(FormatSi(1500.0), "1.50K");
+  EXPECT_EQ(FormatSi(2.5e6), "2.50M");
+  EXPECT_EQ(FormatSi(3.2e9), "3.20G");
+}
+
+}  // namespace
+}  // namespace cepjoin

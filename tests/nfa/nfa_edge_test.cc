@@ -1,0 +1,188 @@
+// Edge cases for the NFA engine: timestamp ties, repeated types with
+// conditions, multiple negations, Kleene inside AND, idempotent Finish,
+// and counter-merge semantics.
+
+#include <gtest/gtest.h>
+
+#include "nfa/nfa_engine.h"
+#include "testing/test_util.h"
+
+namespace cepjoin {
+namespace {
+
+using testing_util::Ev;
+using testing_util::MakeWorld;
+using testing_util::StreamOf;
+using testing_util::World;
+
+std::vector<Match> RunEngine(const SimplePattern& pattern,
+                             const OrderPlan& plan,
+                             const EventStream& stream) {
+  CollectingSink sink;
+  NfaEngine engine(pattern, plan, &sink);
+  for (const EventPtr& e : stream.events()) engine.OnEvent(e);
+  engine.Finish();
+  return sink.matches;
+}
+
+TEST(NfaEdgeTest, TimestampTiesDoNotSatisfySeq) {
+  World world = MakeWorld(2);
+  SimplePattern p = testing_util::PurePattern(world, OperatorKind::kSeq, 2, 10);
+  // a and b share ts: strict order a.ts < b.ts fails.
+  EventStream stream = StreamOf({Ev(0, 1.0), Ev(1, 1.0)});
+  EXPECT_TRUE(RunEngine(p, OrderPlan::Identity(2), stream).empty());
+}
+
+TEST(NfaEdgeTest, TimestampTiesSatisfyAnd) {
+  World world = MakeWorld(2);
+  SimplePattern p = testing_util::PurePattern(world, OperatorKind::kAnd, 2, 10);
+  EventStream stream = StreamOf({Ev(0, 1.0), Ev(1, 1.0)});
+  EXPECT_EQ(RunEngine(p, OrderPlan::Identity(2), stream).size(), 1u);
+}
+
+TEST(NfaEdgeTest, EmptyStreamProducesNothing) {
+  World world = MakeWorld(2);
+  SimplePattern p = testing_util::PurePattern(world, OperatorKind::kSeq, 2, 10);
+  CollectingSink sink;
+  NfaEngine engine(p, OrderPlan::Identity(2), &sink);
+  engine.Finish();
+  EXPECT_TRUE(sink.matches.empty());
+  EXPECT_EQ(engine.counters().events_processed, 0u);
+}
+
+TEST(NfaEdgeTest, IrrelevantTypesAreIgnoredCheaply) {
+  World world = MakeWorld(3);
+  SimplePattern p = testing_util::PurePattern(world, OperatorKind::kSeq, 2, 10);
+  CollectingSink sink;
+  NfaEngine engine(p, OrderPlan::Identity(2), &sink);
+  EventStream stream = StreamOf({Ev(2, 1.0), Ev(0, 2.0), Ev(2, 3.0),
+                                 Ev(1, 4.0), Ev(2, 5.0)});
+  for (const EventPtr& e : stream.events()) engine.OnEvent(e);
+  engine.Finish();
+  EXPECT_EQ(sink.matches.size(), 1u);
+  // Type-2 events are never buffered: they appear nowhere in the pattern.
+  EXPECT_EQ(engine.counters().peak_buffered_events, 2u);
+}
+
+TEST(NfaEdgeTest, SameTypeSlotsWithValueCondition) {
+  World world = MakeWorld(1);
+  // SEQ(A a1, A a2) WHERE a1.v < a2.v.
+  std::vector<EventSpec> events = {{world.types[0], "a1", false, false},
+                                   {world.types[0], "a2", false, false}};
+  std::vector<ConditionPtr> conditions = {
+      std::make_shared<AttrCompare>(0, 0, CmpOp::kLt, 1, 0)};
+  SimplePattern p(OperatorKind::kSeq, events, conditions, 10.0);
+  // Values: 3, 1, 2 — rising pairs in ts order: (3,?)no, (1,2) only.
+  EventStream stream =
+      StreamOf({Ev(0, 1.0, 3.0), Ev(0, 2.0, 1.0), Ev(0, 3.0, 2.0)});
+  std::vector<Match> matches = RunEngine(p, OrderPlan::Identity(2), stream);
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].slots[0][0]->serial, 1u);
+  EXPECT_EQ(matches[0].slots[1][0]->serial, 2u);
+}
+
+TEST(NfaEdgeTest, TwoNegatedSlots) {
+  World world = MakeWorld(4);
+  // SEQ(A, NOT(B), C, NOT(D), ...) with only A, C positive:
+  // SEQ(A, NOT B, C) plus trailing NOT(D).
+  std::vector<EventSpec> events = {{world.types[0], "a", false, false},
+                                   {world.types[1], "b", true, false},
+                                   {world.types[2], "c", false, false},
+                                   {world.types[3], "d", true, false}};
+  SimplePattern p(OperatorKind::kSeq, events, {}, 2.0);
+  {
+    // Clean: no B between, no D after within window.
+    CollectingSink sink;
+    NfaEngine engine(p, OrderPlan::Identity(2), &sink);
+    EventStream stream = StreamOf({Ev(0, 1), Ev(2, 2)});
+    for (const EventPtr& e : stream.events()) engine.OnEvent(e);
+    engine.Finish();
+    EXPECT_EQ(sink.matches.size(), 1u);
+  }
+  {
+    // B between kills even though D is absent.
+    CollectingSink sink;
+    NfaEngine engine(p, OrderPlan::Identity(2), &sink);
+    EventStream stream = StreamOf({Ev(0, 1), Ev(1, 1.5), Ev(2, 2)});
+    for (const EventPtr& e : stream.events()) engine.OnEvent(e);
+    engine.Finish();
+    EXPECT_TRUE(sink.matches.empty());
+  }
+  {
+    // D after C within the window kills the pending match.
+    CollectingSink sink;
+    NfaEngine engine(p, OrderPlan::Identity(2), &sink);
+    EventStream stream = StreamOf({Ev(0, 1), Ev(2, 2), Ev(3, 2.5)});
+    for (const EventPtr& e : stream.events()) engine.OnEvent(e);
+    engine.Finish();
+    EXPECT_TRUE(sink.matches.empty());
+  }
+}
+
+TEST(NfaEdgeTest, KleeneInsideAndPattern) {
+  World world = MakeWorld(2);
+  // AND(A, KL(B)): subsets of B co-windowed with an A, no order.
+  std::vector<EventSpec> events = {{world.types[0], "a", false, false},
+                                   {world.types[1], "b", false, true}};
+  SimplePattern p(OperatorKind::kAnd, events, {}, 10.0);
+  // b1 before a, b2 after: subsets {b1}, {b2}, {b1,b2} -> 3 matches.
+  EventStream stream = StreamOf({Ev(1, 1), Ev(0, 2), Ev(1, 3)});
+  EXPECT_EQ(RunEngine(p, OrderPlan::Identity(2), stream).size(), 3u);
+}
+
+TEST(NfaEdgeTest, FinishIsIdempotent) {
+  World world = MakeWorld(3);
+  std::vector<EventSpec> events = {{world.types[0], "a", false, false},
+                                   {world.types[2], "c", false, false},
+                                   {world.types[1], "b", true, false}};
+  SimplePattern p(OperatorKind::kSeq, events, {}, 2.0);
+  CollectingSink sink;
+  NfaEngine engine(p, OrderPlan::Identity(2), &sink);
+  EventStream stream = StreamOf({Ev(0, 1), Ev(2, 2)});
+  for (const EventPtr& e : stream.events()) engine.OnEvent(e);
+  engine.Finish();
+  size_t after_first = sink.matches.size();
+  engine.Finish();
+  EXPECT_EQ(sink.matches.size(), after_first);
+  EXPECT_EQ(after_first, 1u);
+}
+
+TEST(NfaEdgeTest, WindowPruningNeverDropsReachableMatches) {
+  // Events arriving exactly W apart are still matchable.
+  World world = MakeWorld(2);
+  SimplePattern p = testing_util::PurePattern(world, OperatorKind::kSeq, 2, 1.0);
+  CollectingSink sink;
+  NfaEngine engine(p, OrderPlan::Identity(2), &sink);
+  EventStream stream;
+  // 200 sweeps worth of events with periodic boundary pairs.
+  for (int i = 0; i < 300; ++i) {
+    stream.Append(Ev(0, i * 1.0));
+    stream.Append(Ev(1, i * 1.0 + 1.0));
+  }
+  for (const EventPtr& e : stream.events()) engine.OnEvent(e);
+  engine.Finish();
+  // Each a at t=i matches b at t=i+1 (exactly W) and nothing else...
+  // except b at t=i (tie fails) — so exactly one b per a.
+  EXPECT_EQ(sink.matches.size(), 300u);
+}
+
+TEST(EngineCountersTest, MergeAggregates) {
+  EngineCounters a;
+  a.events_processed = 10;
+  a.matches_emitted = 2;
+  a.live_instances = 3;
+  a.peak_live_instances = 5;
+  EngineCounters b;
+  b.events_processed = 10;
+  b.matches_emitted = 1;
+  b.live_instances = 4;
+  b.peak_live_instances = 6;
+  a.Merge(b);
+  EXPECT_EQ(a.events_processed, 10u);  // same stream, not summed
+  EXPECT_EQ(a.matches_emitted, 3u);
+  EXPECT_EQ(a.live_instances, 7u);
+  EXPECT_EQ(a.peak_live_instances, 11u);
+}
+
+}  // namespace
+}  // namespace cepjoin

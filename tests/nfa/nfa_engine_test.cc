@@ -1,0 +1,215 @@
+#include "nfa/nfa_engine.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "testing/test_util.h"
+
+namespace cepjoin {
+namespace {
+
+using testing_util::Ev;
+using testing_util::MakeWorld;
+using testing_util::StreamOf;
+using testing_util::World;
+
+std::vector<std::string> RunEngine(const SimplePattern& pattern,
+                             const OrderPlan& plan,
+                             const EventStream& stream) {
+  CollectingSink sink;
+  NfaEngine engine(pattern, plan, &sink);
+  for (const EventPtr& e : stream.events()) engine.OnEvent(e);
+  engine.Finish();
+  return sink.Fingerprints();
+}
+
+TEST(NfaEngineTest, DetectsSimpleSequence) {
+  World world = MakeWorld(2);
+  SimplePattern p = testing_util::PurePattern(world, OperatorKind::kSeq, 2, 10);
+  EventStream stream = StreamOf(
+      {Ev(0, 1.0), Ev(1, 2.0), Ev(0, 3.0), Ev(1, 4.0)});
+  // (a1,b1), (a1,b2), (a2,b2).
+  EXPECT_EQ(RunEngine(p, OrderPlan::Identity(2), stream).size(), 3u);
+}
+
+TEST(NfaEngineTest, SequenceRespectsTemporalOrder) {
+  World world = MakeWorld(2);
+  SimplePattern p = testing_util::PurePattern(world, OperatorKind::kSeq, 2, 10);
+  // B before A: no match.
+  EventStream stream = StreamOf({Ev(1, 1.0), Ev(0, 2.0)});
+  EXPECT_TRUE(RunEngine(p, OrderPlan::Identity(2), stream).empty());
+}
+
+TEST(NfaEngineTest, ConjunctionIgnoresArrivalOrder) {
+  World world = MakeWorld(2);
+  SimplePattern p = testing_util::PurePattern(world, OperatorKind::kAnd, 2, 10);
+  EventStream stream = StreamOf({Ev(1, 1.0), Ev(0, 2.0)});
+  EXPECT_EQ(RunEngine(p, OrderPlan::Identity(2), stream).size(), 1u);
+}
+
+TEST(NfaEngineTest, WindowExcludesDistantPairs) {
+  World world = MakeWorld(2);
+  SimplePattern p = testing_util::PurePattern(world, OperatorKind::kSeq, 2, 5);
+  EventStream stream = StreamOf({Ev(0, 0.0), Ev(1, 5.5), Ev(0, 6.0),
+                                 Ev(1, 10.0)});
+  // (a1,b1) spans 5.5 > 5: out. (a1,b2) 10: out. (a2,b2) 4: in.
+  EXPECT_EQ(RunEngine(p, OrderPlan::Identity(2), stream).size(), 1u);
+}
+
+TEST(NfaEngineTest, WindowBoundaryInclusive) {
+  World world = MakeWorld(2);
+  SimplePattern p = testing_util::PurePattern(world, OperatorKind::kSeq, 2, 5);
+  EventStream stream = StreamOf({Ev(0, 0.0), Ev(1, 5.0)});
+  EXPECT_EQ(RunEngine(p, OrderPlan::Identity(2), stream).size(), 1u);
+}
+
+TEST(NfaEngineTest, ConditionsFilterMatches) {
+  World world = MakeWorld(2);
+  std::vector<EventSpec> events = {{world.types[0], "a", false, false},
+                                   {world.types[1], "b", false, false}};
+  std::vector<ConditionPtr> conditions = {
+      std::make_shared<AttrCompare>(0, 0, CmpOp::kLt, 1, 0)};
+  SimplePattern p(OperatorKind::kSeq, events, conditions, 10.0);
+  EventStream stream = StreamOf({Ev(0, 1.0, 5.0), Ev(1, 2.0, 3.0),
+                                 Ev(1, 3.0, 7.0)});
+  // a.v=5: only b.v=7 qualifies.
+  std::vector<std::string> matches = RunEngine(p, OrderPlan::Identity(2), stream);
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0], "0:0,;1:2,;");
+}
+
+TEST(NfaEngineTest, UnaryConditionsFilterAtBuffering) {
+  World world = MakeWorld(2);
+  std::vector<EventSpec> events = {{world.types[0], "a", false, false},
+                                   {world.types[1], "b", false, false}};
+  std::vector<ConditionPtr> conditions = {
+      std::make_shared<AttrThreshold>(0, 0, CmpOp::kGt, 0.0)};
+  SimplePattern p(OperatorKind::kSeq, events, conditions, 10.0);
+  EventStream stream = StreamOf({Ev(0, 1.0, -1.0), Ev(0, 2.0, 1.0),
+                                 Ev(1, 3.0)});
+  EXPECT_EQ(RunEngine(p, OrderPlan::Identity(2), stream).size(), 1u);
+}
+
+TEST(NfaEngineTest, SameTypeSlotsNeverReuseOneEvent) {
+  World world = MakeWorld(1);
+  std::vector<EventSpec> events = {{world.types[0], "a1", false, false},
+                                   {world.types[0], "a2", false, false}};
+  SimplePattern p(OperatorKind::kSeq, events, {}, 10.0);
+  EventStream stream = StreamOf({Ev(0, 1.0), Ev(0, 2.0), Ev(0, 3.0)});
+  // Ordered pairs of distinct events: (1,2), (1,3), (2,3).
+  EXPECT_EQ(RunEngine(p, OrderPlan::Identity(2), stream).size(), 3u);
+}
+
+TEST(NfaEngineTest, OutOfOrderPlanBuffersAndBackfills) {
+  // The four-cameras scenario: D rare, plan starts with D.
+  World world = MakeWorld(4);
+  SimplePattern p = testing_util::PurePattern(world, OperatorKind::kSeq, 4, 100);
+  EventStream stream = StreamOf({Ev(0, 1.0), Ev(1, 2.0), Ev(2, 3.0),
+                                 Ev(0, 4.0), Ev(1, 5.0), Ev(2, 6.0),
+                                 Ev(3, 7.0)});
+  // 2 choices for A/B/C each with ts order... sequences:
+  // a in {1,4}, b in {2,5}, c in {3,6} with a<b<c: (1,2,3),(1,2,6),(1,5,6),(4,5,6).
+  std::vector<std::string> matches =
+      RunEngine(p, OrderPlan({3, 2, 1, 0}), stream);
+  EXPECT_EQ(matches.size(), 4u);
+}
+
+class PlanInvarianceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PlanInvarianceTest, AllOrdersProduceIdenticalMatches) {
+  // Detection correctness must not depend on the evaluation order
+  // (Sec. 2.2: "all (n!) NFAs will track the exact same pattern").
+  int n = GetParam();
+  World world = MakeWorld(n);
+  Rng rng(500 + n);
+  // Random stream of 120 events over the n types with random values.
+  EventStream stream;
+  double ts = 0.0;
+  for (int i = 0; i < 120; ++i) {
+    ts += rng.UniformReal(0.01, 0.3);
+    stream.Append(Ev(world.types[rng.UniformInt(0, n - 1)], ts,
+                     rng.UniformReal(-3, 3)));
+  }
+  for (OperatorKind op : {OperatorKind::kSeq, OperatorKind::kAnd}) {
+    std::vector<ConditionPtr> conditions = {
+        std::make_shared<AttrCompare>(0, 0, CmpOp::kLt, n - 1, 0)};
+    std::vector<EventSpec> events;
+    for (int i = 0; i < n; ++i) {
+      events.push_back({world.types[i], "e" + std::to_string(i), false, false});
+    }
+    SimplePattern p(op, events, conditions, 3.0);
+    std::vector<int> perm(n);
+    std::iota(perm.begin(), perm.end(), 0);
+    std::vector<std::string> reference =
+        RunEngine(p, OrderPlan::Identity(n), stream);
+    EXPECT_FALSE(reference.empty()) << "degenerate test setup";
+    do {
+      EXPECT_EQ(RunEngine(p, OrderPlan(perm), stream), reference)
+          << OperatorName(op) << " order " << OrderPlan(perm).Describe();
+    } while (std::next_permutation(perm.begin(), perm.end()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PlanInvarianceTest, ::testing::Values(2, 3, 4),
+                         ::testing::PrintToStringParamName());
+
+TEST(NfaEngineTest, CountersTrackInstancesAndBuffers) {
+  World world = MakeWorld(2);
+  SimplePattern p = testing_util::PurePattern(world, OperatorKind::kSeq, 2, 10);
+  CollectingSink sink;
+  NfaEngine engine(p, OrderPlan::Identity(2), &sink);
+  EventStream stream = StreamOf({Ev(0, 1.0), Ev(1, 2.0)});
+  for (const EventPtr& e : stream.events()) engine.OnEvent(e);
+  engine.Finish();
+  const EngineCounters& counters = engine.counters();
+  EXPECT_EQ(counters.events_processed, 2u);
+  EXPECT_EQ(counters.matches_emitted, 1u);
+  EXPECT_GE(counters.instances_created, 1u);
+  EXPECT_GE(counters.peak_buffered_events, 2u);
+  EXPECT_GT(counters.peak_total_bytes, 0u);
+}
+
+TEST(NfaEngineTest, EvictionBoundsLiveState) {
+  World world = MakeWorld(2);
+  SimplePattern p = testing_util::PurePattern(world, OperatorKind::kSeq, 2, 1.0);
+  CollectingSink sink;
+  NfaEngine engine(p, OrderPlan::Identity(2), &sink);
+  // Long quiet stream of As only: instances must be swept.
+  EventStream stream;
+  for (int i = 0; i < 1000; ++i) stream.Append(Ev(0, i * 0.1));
+  for (const EventPtr& e : stream.events()) engine.OnEvent(e);
+  // At window 1.0 and rate 10/s, ~10 As are live; sweeps are amortized,
+  // so allow generous slack — but far fewer than 1000.
+  EXPECT_LT(engine.counters().live_instances, 120u);
+  EXPECT_LT(engine.counters().buffered_events, 120u);
+}
+
+TEST(NfaEngineTest, MatchMetadataIsConsistent) {
+  World world = MakeWorld(3);
+  SimplePattern p = testing_util::PurePattern(world, OperatorKind::kSeq, 3, 10);
+  CollectingSink sink;
+  NfaEngine engine(p, OrderPlan({2, 0, 1}), &sink);
+  EventStream stream = StreamOf({Ev(0, 1.0), Ev(1, 2.0), Ev(2, 3.0)});
+  for (const EventPtr& e : stream.events()) engine.OnEvent(e);
+  engine.Finish();
+  ASSERT_EQ(sink.matches.size(), 1u);
+  const Match& match = sink.matches[0];
+  EXPECT_DOUBLE_EQ(match.last_ts, 3.0);
+  EXPECT_EQ(match.last_event_serial, 2u);
+  EXPECT_EQ(match.emit_serial, 2u);
+  EXPECT_EQ(match.LatencyEvents(), 0u);
+  EXPECT_GE(match.latency_seconds, 0.0);
+  ASSERT_EQ(match.slots.size(), 3u);
+  for (const auto& slot : match.slots) EXPECT_EQ(slot.size(), 1u);
+}
+
+TEST(NfaEngineDeathTest, PlanMustCoverPositiveSlots) {
+  World world = MakeWorld(3);
+  SimplePattern p = testing_util::PurePattern(world, OperatorKind::kSeq, 3, 10);
+  CollectingSink sink;
+  EXPECT_DEATH(NfaEngine(p, OrderPlan::Identity(2), &sink), "positive slots");
+}
+
+}  // namespace
+}  // namespace cepjoin

@@ -1,0 +1,161 @@
+// Kleene closure semantics (Sec. 5.2 / Theorem 4): KL(B) binds every
+// non-empty subset of qualifying B events, enumerated exactly once.
+
+#include <gtest/gtest.h>
+
+#include "nfa/nfa_engine.h"
+#include "testing/test_util.h"
+
+namespace cepjoin {
+namespace {
+
+using testing_util::Ev;
+using testing_util::MakeWorld;
+using testing_util::StreamOf;
+using testing_util::World;
+
+std::vector<Match> RunEngine(const SimplePattern& pattern, const OrderPlan& plan,
+                       const EventStream& stream) {
+  CollectingSink sink;
+  NfaEngine engine(pattern, plan, &sink);
+  for (const EventPtr& e : stream.events()) engine.OnEvent(e);
+  engine.Finish();
+  return sink.matches;
+}
+
+std::vector<std::string> Fingerprints(const std::vector<Match>& matches) {
+  std::vector<std::string> out;
+  for (const Match& m : matches) out.push_back(m.Fingerprint());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+// SEQ(A, KL(B), C): types 0, 1, 2.
+SimplePattern KleenePattern(const World& world, double window = 10.0) {
+  std::vector<EventSpec> events = {{world.types[0], "a", false, false},
+                                   {world.types[1], "b", false, true},
+                                   {world.types[2], "c", false, false}};
+  return SimplePattern(OperatorKind::kSeq, events, {}, window);
+}
+
+TEST(NfaKleeneTest, EnumeratesAllNonEmptySubsets) {
+  World world = MakeWorld(3);
+  SimplePattern p = KleenePattern(world);
+  // a, b1, b2, b3, c: subsets of {b1,b2,b3}: 2^3 - 1 = 7 matches.
+  EventStream stream = StreamOf(
+      {Ev(0, 1), Ev(1, 2), Ev(1, 3), Ev(1, 4), Ev(2, 5)});
+  std::vector<Match> matches = RunEngine(p, OrderPlan::Identity(3), stream);
+  EXPECT_EQ(matches.size(), 7u);
+  // All fingerprints distinct (exactly-once enumeration).
+  std::vector<std::string> fps = Fingerprints(matches);
+  EXPECT_EQ(std::unique(fps.begin(), fps.end()), fps.end());
+}
+
+TEST(NfaKleeneTest, SubsetsRespectSeqPosition) {
+  World world = MakeWorld(3);
+  SimplePattern p = KleenePattern(world);
+  // B events outside (a.ts, c.ts) cannot join the set.
+  EventStream stream = StreamOf(
+      {Ev(1, 0.5), Ev(0, 1), Ev(1, 2), Ev(2, 3), Ev(1, 4)});
+  std::vector<Match> matches = RunEngine(p, OrderPlan::Identity(3), stream);
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].slots[1].size(), 1u);
+  EXPECT_EQ(matches[0].slots[1][0]->serial, 2u);
+}
+
+TEST(NfaKleeneTest, MultipleAnchorscombineWithOuterEvents) {
+  World world = MakeWorld(3);
+  SimplePattern p = KleenePattern(world);
+  // a, b1, b2, c: subsets {b1},{b2},{b1,b2} => 3 matches per (a, c) pair.
+  EventStream stream = StreamOf(
+      {Ev(0, 1), Ev(1, 2), Ev(1, 3), Ev(2, 4), Ev(2, 5)});
+  // Two c's: 3 subsets × 2 = 6.
+  EXPECT_EQ(RunEngine(p, OrderPlan::Identity(3), stream).size(), 6u);
+}
+
+TEST(NfaKleeneTest, PlanInvarianceWithKleene) {
+  World world = MakeWorld(3);
+  SimplePattern p = KleenePattern(world, 5.0);
+  Rng rng(7);
+  EventStream stream;
+  double ts = 0.0;
+  for (int i = 0; i < 60; ++i) {
+    ts += rng.UniformReal(0.05, 0.4);
+    stream.Append(Ev(world.types[rng.UniformInt(0, 2)], ts));
+  }
+  std::vector<std::string> reference =
+      Fingerprints(RunEngine(p, OrderPlan::Identity(3), stream));
+  EXPECT_FALSE(reference.empty());
+  std::vector<int> perm = {0, 1, 2};
+  while (std::next_permutation(perm.begin(), perm.end())) {
+    EXPECT_EQ(Fingerprints(RunEngine(p, OrderPlan(perm), stream)), reference)
+        << OrderPlan(perm).Describe();
+  }
+}
+
+TEST(NfaKleeneTest, KleeneLastSlotStillAccumulates) {
+  World world = MakeWorld(2);
+  // SEQ(A, KL(B)): every non-empty subset of B's after an A.
+  std::vector<EventSpec> events = {{world.types[0], "a", false, false},
+                                   {world.types[1], "b", false, true}};
+  SimplePattern p(OperatorKind::kSeq, events, {}, 10.0);
+  EventStream stream = StreamOf({Ev(0, 1), Ev(1, 2), Ev(1, 3)});
+  // Subsets: {b1}, {b2}, {b1,b2} = 3.
+  EXPECT_EQ(RunEngine(p, OrderPlan::Identity(2), stream).size(), 3u);
+}
+
+TEST(NfaKleeneTest, KleeneFirstSlotSubsetsPrecedeOthers) {
+  World world = MakeWorld(2);
+  // SEQ(KL(B), A).
+  std::vector<EventSpec> events = {{world.types[1], "b", false, true},
+                                   {world.types[0], "a", false, false}};
+  SimplePattern p(OperatorKind::kSeq, events, {}, 10.0);
+  EventStream stream = StreamOf({Ev(1, 1), Ev(1, 2), Ev(0, 3)});
+  EXPECT_EQ(RunEngine(p, OrderPlan::Identity(2), stream).size(), 3u);
+}
+
+TEST(NfaKleeneTest, UnaryFilterAppliesToEveryMember) {
+  World world = MakeWorld(3);
+  std::vector<EventSpec> events = {{world.types[0], "a", false, false},
+                                   {world.types[1], "b", false, true},
+                                   {world.types[2], "c", false, false}};
+  std::vector<ConditionPtr> conditions = {
+      std::make_shared<AttrThreshold>(1, 0, CmpOp::kGt, 0.0)};
+  SimplePattern p(OperatorKind::kSeq, events, conditions, 10.0);
+  // Only one of three B's passes the filter.
+  EventStream stream = StreamOf({Ev(0, 1), Ev(1, 2, -1.0), Ev(1, 3, 1.0),
+                                 Ev(1, 4, -2.0), Ev(2, 5)});
+  std::vector<Match> matches = RunEngine(p, OrderPlan::Identity(3), stream);
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].slots[1].size(), 1u);
+}
+
+TEST(NfaKleeneTest, PairwiseConditionAppliesToEveryMember) {
+  World world = MakeWorld(3);
+  std::vector<EventSpec> events = {{world.types[0], "a", false, false},
+                                   {world.types[1], "b", false, true},
+                                   {world.types[2], "c", false, false}};
+  std::vector<ConditionPtr> conditions = {
+      std::make_shared<AttrCompare>(0, 0, CmpOp::kLt, 1, 0)};
+  SimplePattern p(OperatorKind::kSeq, events, conditions, 10.0);
+  // a.v = 0; b1.v = 1 (ok), b2.v = -1 (fails): only subsets over {b1}.
+  EventStream stream = StreamOf({Ev(0, 1, 0.0), Ev(1, 2, 1.0),
+                                 Ev(1, 3, -1.0), Ev(2, 4)});
+  EXPECT_EQ(RunEngine(p, OrderPlan::Identity(3), stream).size(), 1u);
+}
+
+TEST(NfaKleeneTest, WindowPrunesSubsetGrowth) {
+  World world = MakeWorld(3);
+  SimplePattern p = KleenePattern(world, /*window=*/2.0);
+  // b at 0.5 is within (a, c) but 2.6 away from c at 3.1: excluded.
+  EventStream stream = StreamOf({Ev(0, 0.2), Ev(1, 0.5), Ev(1, 2.0),
+                                 Ev(2, 2.1)});
+  std::vector<Match> matches = RunEngine(p, OrderPlan::Identity(3), stream);
+  // Match (a, {b2}, c) only: {b1,...} would span 0.5..2.1 (ok, 1.6)...
+  // a at 0.2 to c at 2.1 spans 1.9 <= 2: both b's individually fit, so
+  // subsets {b1}, {b2}, {b1,b2}: 3 matches.
+  EXPECT_EQ(matches.size(), 3u);
+}
+
+}  // namespace
+}  // namespace cepjoin

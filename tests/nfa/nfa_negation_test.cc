@@ -1,0 +1,208 @@
+// Negation semantics (Sec. 5.3): internal, leading, and trailing negated
+// events in SEQ patterns, plus window-scoped negation in AND patterns.
+
+#include <gtest/gtest.h>
+
+#include "nfa/nfa_engine.h"
+#include "testing/test_util.h"
+
+namespace cepjoin {
+namespace {
+
+using testing_util::Ev;
+using testing_util::MakeWorld;
+using testing_util::StreamOf;
+using testing_util::World;
+
+std::vector<std::string> RunEngine(const SimplePattern& pattern,
+                             const OrderPlan& plan, const EventStream& stream) {
+  CollectingSink sink;
+  NfaEngine engine(pattern, plan, &sink);
+  for (const EventPtr& e : stream.events()) engine.OnEvent(e);
+  engine.Finish();
+  return sink.Fingerprints();
+}
+
+// SEQ(A, NOT(B), C): types 0, 1, 2.
+SimplePattern InternalNegation(const World& world, double window = 10.0) {
+  std::vector<EventSpec> events = {{world.types[0], "a", false, false},
+                                   {world.types[1], "b", true, false},
+                                   {world.types[2], "c", false, false}};
+  return SimplePattern(OperatorKind::kSeq, events, {}, window);
+}
+
+TEST(NfaNegationTest, InternalNegationKillsMatch) {
+  World world = MakeWorld(3);
+  SimplePattern p = InternalNegation(world);
+  // a, b, c: the B between kills the (a, c) match.
+  EXPECT_TRUE(
+      RunEngine(p, OrderPlan::Identity(2), StreamOf({Ev(0, 1), Ev(1, 2), Ev(2, 3)}))
+          .empty());
+}
+
+TEST(NfaNegationTest, InternalNegationAllowsCleanMatch) {
+  World world = MakeWorld(3);
+  SimplePattern p = InternalNegation(world);
+  EXPECT_EQ(
+      RunEngine(p, OrderPlan::Identity(2), StreamOf({Ev(0, 1), Ev(2, 3)})).size(),
+      1u);
+}
+
+TEST(NfaNegationTest, NegatedEventOutsideGuardIntervalIsHarmless) {
+  World world = MakeWorld(3);
+  SimplePattern p = InternalNegation(world);
+  // B before A and B after C do not kill.
+  EXPECT_EQ(RunEngine(p, OrderPlan::Identity(2),
+                StreamOf({Ev(1, 0.5), Ev(0, 1), Ev(2, 3), Ev(1, 4)}))
+                .size(),
+            1u);
+}
+
+TEST(NfaNegationTest, PartialKillsOnlyAffectedCombinations) {
+  World world = MakeWorld(3);
+  SimplePattern p = InternalNegation(world);
+  // a1(1), a2(4), b(3), c(5): pair (a1, c) killed by b in (1,5);
+  // pair (a2, c) survives because b at 3 precedes a2 at 4.
+  std::vector<std::string> matches = RunEngine(
+      p, OrderPlan::Identity(2),
+      StreamOf({Ev(0, 1), Ev(1, 3), Ev(0, 4), Ev(2, 5)}));
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0], "0:2,;1:;2:3,;");  // a2 (serial 2) with c (serial 3)
+}
+
+TEST(NfaNegationTest, NegationConditionsRestrictKillers) {
+  World world = MakeWorld(3);
+  // Only B with b.v == a.v kills.
+  std::vector<EventSpec> events = {{world.types[0], "a", false, false},
+                                   {world.types[1], "b", true, false},
+                                   {world.types[2], "c", false, false}};
+  std::vector<ConditionPtr> conditions = {
+      std::make_shared<AttrCompare>(0, 0, CmpOp::kEq, 1, 0)};
+  SimplePattern p(OperatorKind::kSeq, events, conditions, 10.0);
+  // b.v = 7 != a.v = 5: survives. Second b.v = 5: kills.
+  EXPECT_EQ(RunEngine(p, OrderPlan::Identity(2),
+                StreamOf({Ev(0, 1, 5), Ev(1, 2, 7), Ev(2, 3)}))
+                .size(),
+            1u);
+  EXPECT_TRUE(RunEngine(p, OrderPlan::Identity(2),
+                  StreamOf({Ev(0, 1, 5), Ev(1, 2, 5), Ev(2, 3)}))
+                  .empty());
+}
+
+TEST(NfaNegationTest, InternalNegationInvariantUnderPlans) {
+  World world = MakeWorld(3);
+  SimplePattern p = InternalNegation(world);
+  EventStream stream = StreamOf({Ev(0, 1), Ev(1, 1.5), Ev(0, 2), Ev(2, 3),
+                                 Ev(1, 3.5), Ev(2, 4), Ev(0, 5), Ev(2, 6)});
+  std::vector<std::string> reference = RunEngine(p, OrderPlan::Identity(2), stream);
+  EXPECT_EQ(RunEngine(p, OrderPlan({1, 0}), stream), reference);
+}
+
+TEST(NfaNegationTest, LeadingNegationKillsOnEarlierB) {
+  World world = MakeWorld(3);
+  // SEQ(NOT(B), A, C): no B before A within the match window.
+  std::vector<EventSpec> events = {{world.types[1], "b", true, false},
+                                   {world.types[0], "a", false, false},
+                                   {world.types[2], "c", false, false}};
+  SimplePattern p(OperatorKind::kSeq, events, {}, 10.0);
+  EXPECT_TRUE(
+      RunEngine(p, OrderPlan::Identity(2), StreamOf({Ev(1, 0.5), Ev(0, 1), Ev(2, 2)}))
+          .empty());
+}
+
+TEST(NfaNegationTest, LeadingNegationIgnoresLaterB) {
+  World world = MakeWorld(3);
+  // The negated slot precedes A, so a B after A does not kill.
+  std::vector<EventSpec> events = {{world.types[1], "b", true, false},
+                                   {world.types[0], "a", false, false},
+                                   {world.types[2], "c", false, false}};
+  SimplePattern p(OperatorKind::kSeq, events, {}, 10.0);
+  EXPECT_EQ(
+      RunEngine(p, OrderPlan::Identity(2), StreamOf({Ev(0, 1), Ev(1, 1.5), Ev(2, 2)}))
+          .size(),
+      1u);
+}
+
+TEST(NfaNegationTest, LeadingNegationOnlyPastWindowEdge) {
+  World world = MakeWorld(3);
+  std::vector<EventSpec> events = {{world.types[1], "b", true, false},
+                                   {world.types[0], "a", false, false},
+                                   {world.types[2], "c", false, false}};
+  SimplePattern p(OperatorKind::kSeq, events, {}, /*window=*/2.0);
+  // B at 0.1 is more than W before c at 2.5 (max_ts 2.5, edge 0.5): the
+  // killer is outside the match window, so the match survives.
+  EXPECT_EQ(RunEngine(p, OrderPlan::Identity(2),
+                StreamOf({Ev(1, 0.1), Ev(0, 1.0), Ev(2, 2.5)}))
+                .size(),
+            1u);
+}
+
+TEST(NfaNegationTest, TrailingNegationDefersEmission) {
+  World world = MakeWorld(3);
+  // SEQ(A, C, NOT(B)) with window 2.
+  std::vector<EventSpec> events = {{world.types[0], "a", false, false},
+                                   {world.types[2], "c", false, false},
+                                   {world.types[1], "b", true, false}};
+  SimplePattern p(OperatorKind::kSeq, events, {}, 2.0);
+  {
+    // B arrives after C within the window: match killed.
+    CollectingSink sink;
+    NfaEngine engine(p, OrderPlan::Identity(2), &sink);
+    EventStream stream = StreamOf({Ev(0, 1), Ev(2, 2), Ev(1, 2.5)});
+    for (const EventPtr& e : stream.events()) {
+      engine.OnEvent(e);
+    }
+    engine.Finish();
+    EXPECT_TRUE(sink.matches.empty());
+  }
+  {
+    // B arrives past the window edge (a.ts + W = 3): match emitted when
+    // the window closes.
+    CollectingSink sink;
+    NfaEngine engine(p, OrderPlan::Identity(2), &sink);
+    EventStream stream = StreamOf({Ev(0, 1), Ev(2, 2), Ev(1, 3.5)});
+    for (const EventPtr& e : stream.events()) {
+      engine.OnEvent(e);
+    }
+    engine.Finish();
+    EXPECT_EQ(sink.matches.size(), 1u);
+  }
+  {
+    // No further events: Finish() flushes the pending match.
+    CollectingSink sink;
+    NfaEngine engine(p, OrderPlan::Identity(2), &sink);
+    EventStream stream = StreamOf({Ev(0, 1), Ev(2, 2)});
+    for (const EventPtr& e : stream.events()) {
+      engine.OnEvent(e);
+    }
+    EXPECT_TRUE(sink.matches.empty());  // still pending
+    engine.Finish();
+    EXPECT_EQ(sink.matches.size(), 1u);
+  }
+}
+
+TEST(NfaNegationTest, AndNegationScopesToWholeWindow) {
+  World world = MakeWorld(3);
+  // AND(A, NOT(B), C) window 2: no B may co-occur with the match.
+  std::vector<EventSpec> events = {{world.types[0], "a", false, false},
+                                   {world.types[1], "b", true, false},
+                                   {world.types[2], "c", false, false}};
+  SimplePattern p(OperatorKind::kAnd, events, {}, 2.0);
+  // B anywhere within the co-window kills (even before A).
+  EXPECT_TRUE(RunEngine(p, OrderPlan::Identity(2),
+                  StreamOf({Ev(1, 0.8), Ev(0, 1), Ev(2, 1.5)}))
+                  .empty());
+  // B far in the past does not.
+  CollectingSink sink;
+  NfaEngine engine(p, OrderPlan::Identity(2), &sink);
+  EventStream stream =
+      StreamOf({Ev(1, 0.1), Ev(0, 3.0), Ev(2, 3.5), Ev(0, 7.0)});
+  for (const EventPtr& e : stream.events()) {
+    engine.OnEvent(e);
+  }
+  engine.Finish();
+  EXPECT_EQ(sink.matches.size(), 1u);
+}
+
+}  // namespace
+}  // namespace cepjoin

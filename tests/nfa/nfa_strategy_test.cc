@@ -1,0 +1,141 @@
+// Event selection strategies (Sec. 6.2): skip-till-any vs skip-till-next
+// vs strict / partition contiguity.
+
+#include <gtest/gtest.h>
+
+#include "nfa/nfa_engine.h"
+#include "testing/test_util.h"
+
+namespace cepjoin {
+namespace {
+
+using testing_util::Ev;
+using testing_util::MakeWorld;
+using testing_util::StreamOf;
+using testing_util::World;
+
+std::vector<Match> RunEngine(const SimplePattern& pattern, const OrderPlan& plan,
+                       const EventStream& stream) {
+  CollectingSink sink;
+  NfaEngine engine(pattern, plan, &sink);
+  for (const EventPtr& e : stream.events()) engine.OnEvent(e);
+  engine.Finish();
+  return sink.matches;
+}
+
+TEST(NfaStrategyTest, SkipTillNextDoesNotBranch) {
+  World world = MakeWorld(2);
+  SimplePattern any = testing_util::PurePattern(world, OperatorKind::kSeq, 2, 10);
+  SimplePattern next = any.WithStrategy(SelectionStrategy::kSkipTillNext);
+  EventStream stream =
+      StreamOf({Ev(0, 1), Ev(1, 2), Ev(1, 3), Ev(1, 4)});
+  // Any-match: a pairs with each b: 3 matches.
+  EXPECT_EQ(RunEngine(any, OrderPlan::Identity(2), stream).size(), 3u);
+  // Next-match: a consumes only the first b.
+  std::vector<Match> matches = RunEngine(next, OrderPlan::Identity(2), stream);
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].slots[1][0]->serial, 1u);
+}
+
+TEST(NfaStrategyTest, SkipTillNextStillSkipsNonMatching) {
+  World world = MakeWorld(3);
+  // Irrelevant C events between A and B must be skipped (contrast with
+  // contiguity below).
+  SimplePattern p =
+      testing_util::PurePattern(world, OperatorKind::kSeq, 2, 10)
+          .WithStrategy(SelectionStrategy::kSkipTillNext);
+  EventStream stream = StreamOf({Ev(0, 1), Ev(2, 2), Ev(1, 3)});
+  EXPECT_EQ(RunEngine(p, OrderPlan::Identity(2), stream).size(), 1u);
+}
+
+TEST(NfaStrategyTest, SkipTillNextBoundsPartialMatchGrowth) {
+  World world = MakeWorld(2);
+  SimplePattern any = testing_util::PurePattern(world, OperatorKind::kSeq, 2, 50);
+  SimplePattern next = any.WithStrategy(SelectionStrategy::kSkipTillNext);
+  EventStream stream;
+  for (int i = 0; i < 100; ++i) stream.Append(Ev(0, i * 0.1));
+  for (int i = 0; i < 100; ++i) stream.Append(Ev(1, 10 + i * 0.1));
+  size_t any_matches = RunEngine(any, OrderPlan::Identity(2), stream).size();
+  size_t next_matches = RunEngine(next, OrderPlan::Identity(2), stream).size();
+  EXPECT_EQ(any_matches, 100u * 100u);
+  EXPECT_EQ(next_matches, 100u);
+}
+
+TEST(NfaStrategyTest, StrictContiguityRequiresAdjacentSerials) {
+  World world = MakeWorld(3);
+  SimplePattern p =
+      testing_util::PurePattern(world, OperatorKind::kSeq, 2, 10)
+          .WithStrategy(SelectionStrategy::kStrictContiguity);
+  // a(0) b(1): adjacent serials -> match. Then a(2) X(3) b(4): gap.
+  EventStream stream =
+      StreamOf({Ev(0, 1), Ev(1, 2), Ev(0, 3), Ev(2, 4), Ev(1, 5)});
+  std::vector<Match> matches = RunEngine(p, OrderPlan::Identity(2), stream);
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].slots[0][0]->serial, 0u);
+  EXPECT_EQ(matches[0].slots[1][0]->serial, 1u);
+}
+
+TEST(NfaStrategyTest, StrictContiguityThreeSlots) {
+  World world = MakeWorld(3);
+  SimplePattern p =
+      testing_util::PurePattern(world, OperatorKind::kSeq, 3, 10)
+          .WithStrategy(SelectionStrategy::kStrictContiguity);
+  EventStream stream = StreamOf({Ev(0, 1), Ev(1, 2), Ev(2, 3),   // contiguous
+                                 Ev(0, 4), Ev(1, 5), Ev(0, 6), Ev(2, 7)});
+  EXPECT_EQ(RunEngine(p, OrderPlan::Identity(3), stream).size(), 1u);
+}
+
+TEST(NfaStrategyTest, StrictContiguityInvariantUnderPlans) {
+  World world = MakeWorld(3);
+  SimplePattern p =
+      testing_util::PurePattern(world, OperatorKind::kSeq, 3, 10)
+          .WithStrategy(SelectionStrategy::kStrictContiguity);
+  Rng rng(17);
+  EventStream stream;
+  double ts = 0;
+  for (int i = 0; i < 90; ++i) {
+    ts += 0.05;
+    stream.Append(Ev(world.types[rng.UniformInt(0, 2)], ts));
+  }
+  auto fingerprints = [&](const OrderPlan& plan) {
+    CollectingSink sink;
+    NfaEngine engine(p, plan, &sink);
+    for (const EventPtr& e : stream.events()) engine.OnEvent(e);
+    engine.Finish();
+    return sink.Fingerprints();
+  };
+  std::vector<std::string> reference = fingerprints(OrderPlan::Identity(3));
+  std::vector<int> perm = {0, 1, 2};
+  while (std::next_permutation(perm.begin(), perm.end())) {
+    EXPECT_EQ(fingerprints(OrderPlan(perm)), reference);
+  }
+}
+
+TEST(NfaStrategyTest, PartitionContiguityConstrainsWithinPartition) {
+  World world = MakeWorld(2);
+  SimplePattern p =
+      testing_util::PurePattern(world, OperatorKind::kSeq, 2, 10)
+          .WithStrategy(SelectionStrategy::kPartitionContiguity);
+  // Partition 1: a(pseq 0), b(pseq 1) adjacent -> match even though a
+  // partition-2 event interleaves globally.
+  EventStream stream = StreamOf({Ev(0, 1, 0, /*partition=*/1),
+                                 Ev(0, 2, 0, /*partition=*/2),
+                                 Ev(1, 3, 0, /*partition=*/1)});
+  EXPECT_EQ(RunEngine(p, OrderPlan::Identity(2), stream).size(), 2u);
+  // Two matches: (a_p1, b_p1) via same-partition adjacency, and
+  // (a_p2, b_p1) via the different-partition allowance.
+}
+
+TEST(NfaStrategyTest, PartitionContiguityBlocksGapsWithinPartition) {
+  World world = MakeWorld(3);
+  SimplePattern p =
+      testing_util::PurePattern(world, OperatorKind::kSeq, 2, 10)
+          .WithStrategy(SelectionStrategy::kPartitionContiguity);
+  // Same partition with an intervening event of another type: pseq gap.
+  EventStream stream = StreamOf({Ev(0, 1, 0, 1), Ev(2, 2, 0, 1),
+                                 Ev(1, 3, 0, 1)});
+  EXPECT_TRUE(RunEngine(p, OrderPlan::Identity(2), stream).empty());
+}
+
+}  // namespace
+}  // namespace cepjoin

@@ -1,0 +1,135 @@
+#include "optimizer/kbz.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "optimizer/dp_left_deep.h"
+#include "testing/test_util.h"
+
+namespace cepjoin {
+namespace {
+
+// Random statistics whose predicate graph is exactly the given tree
+// (parent vector); all other pairs have selectivity 1.
+PatternStats TreeShapedStats(const std::vector<int>& parent, Rng& rng) {
+  int n = static_cast<int>(parent.size());
+  PatternStats stats(n);
+  for (int i = 0; i < n; ++i) {
+    stats.set_rate(i, rng.UniformReal(0.5, 30.0));
+    if (parent[i] >= 0) {
+      stats.set_sel(i, parent[i], rng.UniformReal(0.02, 0.9));
+    }
+  }
+  return stats;
+}
+
+// All orders in which every slot appears after its parent.
+void PrecedenceOrders(const std::vector<int>& parent,
+                      const std::function<void(const std::vector<int>&)>& fn) {
+  int n = static_cast<int>(parent.size());
+  std::vector<int> order;
+  std::vector<bool> used(n, false);
+  std::function<void()> recurse = [&] {
+    if (static_cast<int>(order.size()) == n) {
+      fn(order);
+      return;
+    }
+    for (int i = 0; i < n; ++i) {
+      if (used[i]) continue;
+      if (parent[i] >= 0 && !used[parent[i]]) continue;
+      used[i] = true;
+      order.push_back(i);
+      recurse();
+      order.pop_back();
+      used[i] = false;
+    }
+  };
+  recurse();
+}
+
+class KbzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(KbzTest, LinearizeTreeOptimalAmongPrecedenceOrders) {
+  // IKKBZ's guarantee: optimal among all orders respecting the rooted
+  // precedence tree, for the ASI cost — which equals Cost_ord here.
+  int n = GetParam();
+  Rng rng(200 + n);
+  for (int trial = 0; trial < 10; ++trial) {
+    // Random tree rooted at 0.
+    std::vector<int> parent(n, -1);
+    for (int i = 1; i < n; ++i) {
+      parent[i] = static_cast<int>(rng.UniformInt(0, i - 1));
+    }
+    PatternStats stats = TreeShapedStats(parent, rng);
+    CostFunction cost(stats, 2.0);
+    OrderPlan kbz = KbzOptimizer::LinearizeTree(cost, parent);
+    double kbz_cost = cost.OrderCost(kbz);
+
+    double best = std::numeric_limits<double>::infinity();
+    PrecedenceOrders(parent, [&](const std::vector<int>& order) {
+      best = std::min(best, cost.OrderCost(OrderPlan(order)));
+    });
+    EXPECT_NEAR(kbz_cost, best, best * 1e-9);
+    // The KBZ order itself must respect precedence.
+    for (int i = 0; i < n; ++i) {
+      if (parent[i] >= 0) {
+        EXPECT_LT(kbz.StepOf(parent[i]), kbz.StepOf(i));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, KbzTest, ::testing::Values(3, 4, 5, 6, 7),
+                         ::testing::PrintToStringParamName());
+
+TEST(KbzTest, SpanningTreePicksMostSelectiveEdges) {
+  PatternStats stats(4);
+  for (int i = 0; i < 4; ++i) stats.set_rate(i, 5.0);
+  stats.set_sel(0, 1, 0.1);
+  stats.set_sel(0, 2, 0.9);
+  stats.set_sel(1, 2, 0.2);
+  stats.set_sel(2, 3, 0.3);
+  CostFunction cost(stats, 2.0);
+  std::vector<int> parent = KbzOptimizer::SpanningTreeParents(cost, 0);
+  EXPECT_EQ(parent[0], -1);
+  EXPECT_EQ(parent[1], 0);  // 0.1 beats 0.2 via 2
+  EXPECT_EQ(parent[2], 1);  // 0.2 beats 0.9 direct edge
+  EXPECT_EQ(parent[3], 2);
+}
+
+TEST(KbzTest, NeverBeatsDpButStaysReasonable) {
+  Rng rng(300);
+  for (int trial = 0; trial < 20; ++trial) {
+    int n = static_cast<int>(rng.UniformInt(3, 8));
+    CostFunction cost(testing_util::RandomStats(n, rng), 2.0);
+    double kbz = cost.OrderCost(KbzOptimizer().Optimize(cost));
+    double dp = cost.OrderCost(DpLeftDeepOptimizer().Optimize(cost));
+    EXPECT_GE(kbz, dp - dp * 1e-9);
+  }
+}
+
+TEST(KbzTest, OnAcyclicGraphMatchesDpWhenCrossProductsDoNotHelp) {
+  // Star query, uniform rates, selective edges: the DP optimum respects
+  // connectivity, so KBZ should find it (Sec. 4.3's star observation).
+  PatternStats stats(5);
+  stats.set_rate(0, 2.0);
+  for (int i = 1; i < 5; ++i) {
+    stats.set_rate(i, 10.0 + i);
+    stats.set_sel(0, i, 0.05);
+  }
+  CostFunction cost(stats, 2.0);
+  double kbz = cost.OrderCost(KbzOptimizer().Optimize(cost));
+  double dp = cost.OrderCost(DpLeftDeepOptimizer().Optimize(cost));
+  EXPECT_NEAR(kbz, dp, dp * 1e-9);
+}
+
+TEST(KbzDeathTest, TwoRootsAbort) {
+  Rng rng(5);
+  CostFunction cost(testing_util::RandomStats(3, rng), 2.0);
+  EXPECT_DEATH(KbzOptimizer::LinearizeTree(cost, {-1, -1, 0}), "one root");
+}
+
+}  // namespace
+}  // namespace cepjoin

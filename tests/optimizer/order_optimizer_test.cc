@@ -1,0 +1,113 @@
+#include "optimizer/order_optimizers.h"
+
+#include <gtest/gtest.h>
+
+#include "optimizer/registry.h"
+#include "testing/test_util.h"
+
+namespace cepjoin {
+namespace {
+
+TEST(TrivialOptimizerTest, ReturnsPatternOrder) {
+  Rng rng(1);
+  CostFunction cost(testing_util::RandomStats(5, rng), 2.0);
+  EXPECT_EQ(TrivialOptimizer().Optimize(cost), OrderPlan::Identity(5));
+}
+
+TEST(EventFrequencyOptimizerTest, SortsByAscendingRate) {
+  PatternStats stats(4);
+  stats.set_rate(0, 30.0);
+  stats.set_rate(1, 5.0);
+  stats.set_rate(2, 45.0);
+  stats.set_rate(3, 1.0);
+  CostFunction cost(stats, 2.0);
+  OrderPlan plan = EventFrequencyOptimizer().Optimize(cost);
+  EXPECT_EQ(plan, OrderPlan({3, 1, 0, 2}));
+}
+
+TEST(EventFrequencyOptimizerTest, StableForEqualRates) {
+  PatternStats stats(3);
+  for (int i = 0; i < 3; ++i) stats.set_rate(i, 7.0);
+  CostFunction cost(stats, 2.0);
+  EXPECT_EQ(EventFrequencyOptimizer().Optimize(cost), OrderPlan::Identity(3));
+}
+
+TEST(GreedyOptimizerTest, PicksSelectiveRareFirst) {
+  // Slot 2 is rare and its predicate to slot 0 is very selective; greedy
+  // must start with 2.
+  PatternStats stats(3);
+  stats.set_rate(0, 10.0);
+  stats.set_rate(1, 20.0);
+  stats.set_rate(2, 1.0);
+  stats.set_sel(0, 2, 0.01);
+  CostFunction cost(stats, 2.0);
+  OrderPlan plan = GreedyOrderOptimizer().Optimize(cost);
+  EXPECT_EQ(plan.At(0), 2);
+  EXPECT_EQ(plan.At(1), 0);  // joins the selective predicate immediately
+}
+
+TEST(GreedyOptimizerTest, LazyNfaMotivatingExample) {
+  // The four-cameras example (Sec. 1): D is 10x rarer, all predicates
+  // equally selective — every sensible algorithm starts with D.
+  PatternStats stats(4);
+  for (int i = 0; i < 3; ++i) stats.set_rate(i, 10.0);
+  stats.set_rate(3, 1.0);
+  for (int i = 0; i < 4; ++i) {
+    for (int j = i + 1; j < 4; ++j) stats.set_sel(i, j, 0.1);
+  }
+  CostFunction cost(stats, 2.0);
+  EXPECT_EQ(GreedyOrderOptimizer().Optimize(cost).At(0), 3);
+}
+
+TEST(OrderAppendCostTest, AddsLatencyTermAfterAnchor) {
+  PatternStats stats(3);
+  for (int i = 0; i < 3; ++i) stats.set_rate(i, 2.0);
+  CostSpec spec;
+  spec.latency_alpha = 10.0;
+  spec.latency_anchor = 0;
+  CostFunction cost(stats, 1.0, spec);
+  // Appending slot 1 to prefix {0} (anchor already placed) pays the
+  // latency penalty; appending to {2} does not.
+  double with_anchor = OrderAppendCost(cost, 0b001, 1);
+  double without_anchor = OrderAppendCost(cost, 0b100, 1);
+  EXPECT_NEAR(with_anchor - without_anchor, 10.0 * 2.0, 1e-9);
+}
+
+TEST(RegistryTest, CreatesAllPaperAlgorithms) {
+  for (const std::string& name : PaperOrderAlgorithms()) {
+    auto optimizer = MakeOrderOptimizer(name);
+    EXPECT_EQ(optimizer->name(), name);
+  }
+  for (const std::string& name : PaperTreeAlgorithms()) {
+    auto optimizer = MakeTreeOptimizer(name);
+    EXPECT_EQ(optimizer->name(), name);
+  }
+  EXPECT_TRUE(MakeOrderOptimizer("KBZ")->is_jqpg());
+  EXPECT_FALSE(MakeOrderOptimizer("TRIVIAL")->is_jqpg());
+  EXPECT_FALSE(MakeTreeOptimizer("ZSTREAM")->is_jqpg());
+}
+
+TEST(RegistryDeathTest, UnknownNamesAbort) {
+  EXPECT_DEATH(MakeOrderOptimizer("NOPE"), "unknown order optimizer");
+  EXPECT_DEATH(MakeTreeOptimizer("NOPE"), "unknown tree optimizer");
+}
+
+TEST(AllOptimizersTest, ProduceValidPlansOnRandomStats) {
+  Rng rng(42);
+  for (int trial = 0; trial < 10; ++trial) {
+    int n = static_cast<int>(rng.UniformInt(2, 8));
+    CostFunction cost(testing_util::RandomStats(n, rng),
+                      rng.UniformReal(0.5, 10.0));
+    for (const std::string& name : PaperOrderAlgorithms()) {
+      OrderPlan plan = MakeOrderOptimizer(name)->Optimize(cost);
+      EXPECT_EQ(plan.size(), n) << name;
+    }
+    for (const std::string& name : PaperTreeAlgorithms()) {
+      TreePlan plan = MakeTreeOptimizer(name)->Optimize(cost);
+      EXPECT_EQ(plan.num_leaves(), n) << name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cepjoin

@@ -1,0 +1,137 @@
+#include "optimizer/query_graph.h"
+
+#include <gtest/gtest.h>
+
+#include "optimizer/auto_selector.h"
+#include "optimizer/dp_left_deep.h"
+#include "optimizer/registry.h"
+#include "testing/test_util.h"
+
+namespace cepjoin {
+namespace {
+
+PatternStats StatsWithEdges(int n,
+                            const std::vector<std::pair<int, int>>& edges) {
+  PatternStats stats(n);
+  for (int i = 0; i < n; ++i) stats.set_rate(i, 1.0 + i);
+  for (const auto& [i, j] : edges) stats.set_sel(i, j, 0.5);
+  return stats;
+}
+
+QueryGraphInfo Analyze(int n, const std::vector<std::pair<int, int>>& edges) {
+  return AnalyzeQueryGraph(CostFunction(StatsWithEdges(n, edges), 1.0));
+}
+
+TEST(QueryGraphTest, NoPredicates) {
+  QueryGraphInfo info = Analyze(4, {});
+  EXPECT_EQ(info.topology, QueryGraphTopology::kNoPredicates);
+  EXPECT_FALSE(info.connected);
+  EXPECT_TRUE(info.acyclic);
+  EXPECT_EQ(info.num_edges, 0);
+}
+
+TEST(QueryGraphTest, Chain) {
+  QueryGraphInfo info = Analyze(4, {{0, 1}, {1, 2}, {2, 3}});
+  EXPECT_EQ(info.topology, QueryGraphTopology::kChain);
+  EXPECT_TRUE(info.connected);
+  EXPECT_TRUE(info.acyclic);
+}
+
+TEST(QueryGraphTest, TwoNodeEdgeIsChain) {
+  EXPECT_EQ(Analyze(2, {{0, 1}}).topology, QueryGraphTopology::kChain);
+}
+
+TEST(QueryGraphTest, Star) {
+  QueryGraphInfo info = Analyze(5, {{0, 1}, {0, 2}, {0, 3}, {0, 4}});
+  EXPECT_EQ(info.topology, QueryGraphTopology::kStar);
+}
+
+TEST(QueryGraphTest, GeneralTree) {
+  // A "broom": chain 0-1-2 plus leaves 3,4 under node 2.
+  QueryGraphInfo info = Analyze(5, {{0, 1}, {1, 2}, {2, 3}, {2, 4}});
+  EXPECT_EQ(info.topology, QueryGraphTopology::kTree);
+  EXPECT_TRUE(info.acyclic);
+}
+
+TEST(QueryGraphTest, Clique) {
+  QueryGraphInfo info =
+      Analyze(4, {{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}});
+  EXPECT_EQ(info.topology, QueryGraphTopology::kClique);
+  EXPECT_FALSE(info.acyclic);
+}
+
+TEST(QueryGraphTest, CyclicGeneral) {
+  QueryGraphInfo info = Analyze(4, {{0, 1}, {1, 2}, {2, 0}, {2, 3}});
+  EXPECT_EQ(info.topology, QueryGraphTopology::kCyclicGeneral);
+  EXPECT_FALSE(info.acyclic);
+  EXPECT_TRUE(info.connected);
+}
+
+TEST(QueryGraphTest, Disconnected) {
+  QueryGraphInfo info = Analyze(4, {{0, 1}, {2, 3}});
+  EXPECT_EQ(info.topology, QueryGraphTopology::kDisconnected);
+  EXPECT_TRUE(info.acyclic);  // forest
+  EXPECT_FALSE(info.connected);
+}
+
+TEST(QueryGraphTest, DisconnectedWithCycle) {
+  QueryGraphInfo info = Analyze(5, {{0, 1}, {1, 2}, {2, 0}});
+  EXPECT_EQ(info.topology, QueryGraphTopology::kDisconnected);
+  EXPECT_FALSE(info.acyclic);
+}
+
+TEST(QueryGraphTest, DescribeIsHumanReadable) {
+  QueryGraphInfo info = Analyze(4, {{0, 1}, {1, 2}, {2, 3}});
+  std::string text = info.Describe();
+  EXPECT_NE(text.find("chain"), std::string::npos);
+  EXPECT_NE(text.find("4 slots"), std::string::npos);
+  EXPECT_NE(text.find("3 predicate edges"), std::string::npos);
+}
+
+TEST(AutoSelectorTest, SmallPatternsUseDp) {
+  CostFunction cost(StatsWithEdges(5, {{0, 1}, {1, 2}}), 1.0);
+  AutoOrderOptimizer optimizer;
+  EXPECT_EQ(optimizer.ChooseAlgorithm(cost), "DP-LD");
+  // And thus the plan is optimal.
+  EXPECT_NEAR(cost.OrderCost(optimizer.Optimize(cost)),
+              cost.OrderCost(DpLeftDeepOptimizer().Optimize(cost)), 1e-9);
+}
+
+TEST(AutoSelectorTest, LargeAcyclicUsesKbz) {
+  std::vector<std::pair<int, int>> chain;
+  for (int i = 0; i + 1 < 16; ++i) chain.emplace_back(i, i + 1);
+  CostFunction cost(StatsWithEdges(16, chain), 1.0);
+  AutoOrderOptimizer optimizer(7, /*dp_threshold=*/12);
+  EXPECT_EQ(optimizer.ChooseAlgorithm(cost), "KBZ");
+  EXPECT_EQ(optimizer.Optimize(cost).size(), 16);
+}
+
+TEST(AutoSelectorTest, LargeCyclicUsesIterativeImprovement) {
+  std::vector<std::pair<int, int>> edges;
+  for (int i = 0; i < 16; ++i) edges.emplace_back(i, (i + 1) % 16);
+  CostFunction cost(StatsWithEdges(16, edges), 1.0);
+  AutoOrderOptimizer optimizer(7, /*dp_threshold=*/12);
+  EXPECT_EQ(optimizer.ChooseAlgorithm(cost), "II-GREEDY");
+}
+
+TEST(AutoSelectorTest, NeverWorseThanGreedy) {
+  Rng rng(91);
+  for (int trial = 0; trial < 15; ++trial) {
+    int n = static_cast<int>(rng.UniformInt(3, 15));
+    CostFunction cost(testing_util::RandomStats(n, rng), 1.5);
+    AutoOrderOptimizer optimizer(trial, /*dp_threshold=*/8);
+    double auto_cost = cost.OrderCost(optimizer.Optimize(cost));
+    double greedy_cost = cost.OrderCost(
+        MakeOrderOptimizer("GREEDY")->Optimize(cost));
+    EXPECT_LE(auto_cost, greedy_cost + greedy_cost * 1e-9);
+  }
+}
+
+TEST(AutoSelectorTest, AvailableViaRegistry) {
+  auto optimizer = MakeOrderOptimizer("AUTO");
+  EXPECT_EQ(optimizer->name(), "AUTO");
+  EXPECT_TRUE(optimizer->is_jqpg());
+}
+
+}  // namespace
+}  // namespace cepjoin

@@ -1,0 +1,83 @@
+#include "optimizer/simulated_annealing.h"
+
+#include <gtest/gtest.h>
+
+#include "optimizer/dp_left_deep.h"
+#include "optimizer/order_optimizers.h"
+#include "optimizer/registry.h"
+#include "testing/test_util.h"
+
+namespace cepjoin {
+namespace {
+
+TEST(SimulatedAnnealingTest, NeverWorseThanGreedyStart) {
+  Rng rng(31);
+  for (int trial = 0; trial < 20; ++trial) {
+    int n = static_cast<int>(rng.UniformInt(3, 9));
+    CostFunction cost(testing_util::RandomStats(n, rng), 2.0);
+    double greedy =
+        cost.OrderCost(GreedyOrderOptimizer().Optimize(cost));
+    double sa = cost.OrderCost(
+        SimulatedAnnealingOptimizer(/*seed=*/trial).Optimize(cost));
+    EXPECT_LE(sa, greedy + greedy * 1e-9);
+  }
+}
+
+TEST(SimulatedAnnealingTest, BoundedBelowByDp) {
+  Rng rng(32);
+  for (int trial = 0; trial < 20; ++trial) {
+    int n = static_cast<int>(rng.UniformInt(3, 8));
+    CostFunction cost(testing_util::RandomStats(n, rng), 2.0);
+    double dp = cost.OrderCost(DpLeftDeepOptimizer().Optimize(cost));
+    double sa = cost.OrderCost(
+        SimulatedAnnealingOptimizer(/*seed=*/trial).Optimize(cost));
+    EXPECT_GE(sa, dp - dp * 1e-9);
+  }
+}
+
+TEST(SimulatedAnnealingTest, OftenEscapesGreedyLocalOptima) {
+  // Across many random instances SA should match the DP optimum at least
+  // as often as plain GREEDY does.
+  Rng rng(33);
+  int greedy_hits = 0;
+  int sa_hits = 0;
+  const int trials = 40;
+  for (int trial = 0; trial < trials; ++trial) {
+    CostFunction cost(testing_util::RandomStats(7, rng), 2.0);
+    double dp = cost.OrderCost(DpLeftDeepOptimizer().Optimize(cost));
+    double greedy = cost.OrderCost(GreedyOrderOptimizer().Optimize(cost));
+    double sa = cost.OrderCost(
+        SimulatedAnnealingOptimizer(/*seed=*/trial).Optimize(cost));
+    if (greedy <= dp * (1 + 1e-9)) ++greedy_hits;
+    if (sa <= dp * (1 + 1e-9)) ++sa_hits;
+  }
+  EXPECT_GE(sa_hits, greedy_hits);
+  EXPECT_GT(sa_hits, trials / 2);
+}
+
+TEST(SimulatedAnnealingTest, DeterministicPerSeed) {
+  Rng rng(34);
+  CostFunction cost(testing_util::RandomStats(6, rng), 2.0);
+  OrderPlan a = SimulatedAnnealingOptimizer(9).Optimize(cost);
+  OrderPlan b = SimulatedAnnealingOptimizer(9).Optimize(cost);
+  EXPECT_EQ(a, b);
+}
+
+TEST(SimulatedAnnealingTest, TinyInstancesShortCircuit) {
+  PatternStats stats(2);
+  stats.set_rate(0, 5.0);
+  stats.set_rate(1, 1.0);
+  CostFunction cost(stats, 2.0);
+  OrderPlan plan = SimulatedAnnealingOptimizer(1).Optimize(cost);
+  EXPECT_EQ(plan.size(), 2);
+  EXPECT_EQ(plan.At(0), 1);  // greedy start: rare slot first
+}
+
+TEST(SimulatedAnnealingTest, AvailableViaRegistry) {
+  auto optimizer = MakeOrderOptimizer("SA", 5);
+  EXPECT_EQ(optimizer->name(), "SA");
+  EXPECT_TRUE(optimizer->is_jqpg());
+}
+
+}  // namespace
+}  // namespace cepjoin

@@ -1,0 +1,88 @@
+#include "optimizer/tree_optimizers.h"
+
+#include <gtest/gtest.h>
+
+#include "optimizer/dp_bushy.h"
+#include "testing/test_util.h"
+
+namespace cepjoin {
+namespace {
+
+TEST(BestTreeForLeafOrderTest, TwoLeavesSingleJoin) {
+  Rng rng(1);
+  CostFunction cost(testing_util::RandomStats(2, rng), 2.0);
+  TreePlan tree = BestTreeForLeafOrder(cost, OrderPlan::Identity(2));
+  EXPECT_EQ(tree.Describe(), "(0 1)");
+}
+
+TEST(BestTreeForLeafOrderTest, PrefersSelectiveAdjacentJoin) {
+  // sel(1,2) tiny: the optimal topology over leaf order (0,1,2) joins
+  // leaves 1,2 first: (0 (1 2)).
+  PatternStats stats(3);
+  for (int i = 0; i < 3; ++i) stats.set_rate(i, 10.0);
+  stats.set_sel(1, 2, 0.001);
+  CostFunction cost(stats, 2.0);
+  TreePlan tree = BestTreeForLeafOrder(cost, OrderPlan::Identity(3));
+  EXPECT_EQ(tree.Describe(), "(0 (1 2))");
+}
+
+TEST(BestTreeForLeafOrderTest, RespectsLeafOrderPermutation) {
+  Rng rng(3);
+  CostFunction cost(testing_util::RandomStats(4, rng), 2.0);
+  OrderPlan leaf_order({3, 1, 0, 2});
+  TreePlan tree = BestTreeForLeafOrder(cost, leaf_order);
+  // In-order traversal of the leaves must equal the requested order.
+  std::string description = tree.Describe();
+  std::string flattened;
+  for (char c : description) {
+    if (isdigit(c)) flattened += c;
+  }
+  EXPECT_EQ(flattened, "3102");
+}
+
+TEST(ZStreamOptimizerTest, UsesPatternLeafOrder) {
+  Rng rng(4);
+  CostFunction cost(testing_util::RandomStats(4, rng), 2.0);
+  TreePlan tree = ZStreamOptimizer().Optimize(cost);
+  std::string flattened;
+  for (char c : tree.Describe()) {
+    if (isdigit(c)) flattened += c;
+  }
+  EXPECT_EQ(flattened, "0123");
+}
+
+TEST(ZStreamOrdOptimizerTest, ReordersLeavesByGreedy) {
+  // Slot 3 is rare and selective: GREEDY puts it first, so the leaf order
+  // of ZSTREAM-ORD must start with 3.
+  PatternStats stats(4);
+  stats.set_rate(0, 20.0);
+  stats.set_rate(1, 25.0);
+  stats.set_rate(2, 30.0);
+  stats.set_rate(3, 1.0);
+  stats.set_sel(0, 3, 0.01);
+  CostFunction cost(stats, 2.0);
+  TreePlan tree = ZStreamOrdOptimizer().Optimize(cost);
+  std::string flattened;
+  for (char c : tree.Describe()) {
+    if (isdigit(c)) flattened += c;
+  }
+  EXPECT_EQ(flattened[0], '3');
+}
+
+TEST(BestTreeForLeafOrderTest, LatencyAnchorMinimizesAncestorSiblings) {
+  // Cost_lat^tree sums the PM of every sibling on the anchor's leaf-root
+  // path (Sec. 6.1). With equal rates and no predicates the minimum is a
+  // chain that joins the anchor against single leaves: (n-1) · W·r,
+  // instead of one join against the full (W·r)^{n-1} subtree.
+  PatternStats stats(4);
+  for (int i = 0; i < 4; ++i) stats.set_rate(i, 10.0);
+  CostSpec spec;
+  spec.latency_alpha = 1e6;
+  spec.latency_anchor = 3;
+  CostFunction cost(stats, 2.0, spec);
+  TreePlan plan = DpBushyOptimizer().Optimize(cost);
+  EXPECT_NEAR(cost.TreeLatencyCost(plan), 3 * cost.LeafCost(0), 1e-9);
+}
+
+}  // namespace
+}  // namespace cepjoin

@@ -1,0 +1,141 @@
+#include "pattern/condition.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "testing/test_util.h"
+
+namespace cepjoin {
+namespace {
+
+using testing_util::Ev;
+
+TEST(CmpOpTest, AllOperatorsApply) {
+  EXPECT_TRUE(CmpApply(CmpOp::kLt, 1, 2));
+  EXPECT_FALSE(CmpApply(CmpOp::kLt, 2, 2));
+  EXPECT_TRUE(CmpApply(CmpOp::kLe, 2, 2));
+  EXPECT_TRUE(CmpApply(CmpOp::kGt, 3, 2));
+  EXPECT_TRUE(CmpApply(CmpOp::kGe, 2, 2));
+  EXPECT_TRUE(CmpApply(CmpOp::kEq, 2, 2));
+  EXPECT_TRUE(CmpApply(CmpOp::kNe, 1, 2));
+}
+
+TEST(AttrCompareTest, EvaluatesWithOffset) {
+  AttrCompare cond(0, 0, CmpOp::kLt, 1, 0, /*offset=*/1.0);
+  Event a = Ev(0, 0.0, 2.0);
+  Event b = Ev(1, 1.0, 1.5);
+  // 2.0 < 1.5 + 1.0 ?
+  EXPECT_TRUE(cond.Eval(a, b));
+  Event c = Ev(1, 1.0, 0.5);
+  EXPECT_FALSE(cond.Eval(a, c));
+}
+
+TEST(AttrThresholdTest, UnaryFilter) {
+  AttrThreshold cond(0, 0, CmpOp::kGe, 5.0);
+  EXPECT_TRUE(cond.unary());
+  Event a = Ev(0, 0.0, 5.0);
+  Event b = Ev(0, 0.0, 4.9);
+  EXPECT_TRUE(cond.Eval(a, a));
+  EXPECT_FALSE(cond.Eval(b, b));
+}
+
+TEST(TsOrderTest, ComparesTimestampsAndDeclaresHalf) {
+  TsOrder cond(0, 1);
+  Event a = Ev(0, 1.0);
+  Event b = Ev(1, 2.0);
+  EXPECT_TRUE(cond.Eval(a, b));
+  EXPECT_FALSE(cond.Eval(b, a));
+  EXPECT_DOUBLE_EQ(cond.DeclaredSelectivity(), 0.5);
+}
+
+TEST(SerialAdjacentTest, RequiresConsecutiveSerials) {
+  SerialAdjacent cond(0, 1, 0.001);
+  Event a = Ev(0, 1.0);
+  a.serial = 10;
+  Event b = Ev(1, 2.0);
+  b.serial = 11;
+  Event c = Ev(1, 3.0);
+  c.serial = 12;
+  EXPECT_TRUE(cond.Eval(a, b));
+  EXPECT_FALSE(cond.Eval(a, c));
+  EXPECT_DOUBLE_EQ(cond.DeclaredSelectivity(), 0.001);
+}
+
+TEST(PartitionAdjacentTest, OnlyConstrainsSamePartition) {
+  PartitionAdjacent cond(0, 1, 0.01);
+  Event a = Ev(0, 1.0, 0.0, /*partition=*/1);
+  a.partition_seq = 5;
+  Event b = Ev(1, 2.0, 0.0, /*partition=*/1);
+  b.partition_seq = 6;
+  Event c = Ev(1, 2.0, 0.0, /*partition=*/1);
+  c.partition_seq = 7;
+  Event d = Ev(1, 2.0, 0.0, /*partition=*/2);
+  d.partition_seq = 99;
+  EXPECT_TRUE(cond.Eval(a, b));
+  EXPECT_FALSE(cond.Eval(a, c));
+  EXPECT_TRUE(cond.Eval(a, d));  // different partition: unconstrained
+}
+
+TEST(CustomConditionTest, DelegatesToFunction) {
+  CustomCondition cond(
+      0, 1, [](const Event& l, const Event& r) { return l.ts + r.ts > 3.0; },
+      0.25, "sum-ts");
+  Event a = Ev(0, 1.0);
+  Event b = Ev(1, 2.5);
+  EXPECT_TRUE(cond.Eval(a, b));
+  EXPECT_DOUBLE_EQ(cond.DeclaredSelectivity(), 0.25);
+  EXPECT_EQ(cond.Describe(), "sum-ts");
+}
+
+TEST(ConditionTest, DefaultSelectivityIsNaN) {
+  AttrCompare cond(0, 0, CmpOp::kLt, 1, 0);
+  EXPECT_TRUE(std::isnan(cond.DeclaredSelectivity()));
+}
+
+TEST(ConditionSetTest, BucketsByNormalizedPair) {
+  std::vector<ConditionPtr> conditions = {
+      std::make_shared<TsOrder>(2, 0),
+      std::make_shared<TsOrder>(0, 1),
+      std::make_shared<AttrThreshold>(1, 0, CmpOp::kGt, 0.0),
+  };
+  ConditionSet set(3, conditions);
+  EXPECT_EQ(set.Between(0, 2).size(), 1u);
+  EXPECT_EQ(set.Between(2, 0).size(), 1u);
+  EXPECT_EQ(set.Between(0, 1).size(), 1u);
+  EXPECT_EQ(set.Between(1, 2).size(), 0u);
+  EXPECT_EQ(set.UnaryAt(1).size(), 1u);
+  EXPECT_EQ(set.UnaryAt(0).size(), 0u);
+}
+
+TEST(ConditionSetTest, EvalPairRespectsOrientation) {
+  // Condition is "e2.ts < e0.ts": when evaluating positions (0, 2) the
+  // set must bind arguments in the condition's own orientation.
+  std::vector<ConditionPtr> conditions = {std::make_shared<TsOrder>(2, 0)};
+  ConditionSet set(3, conditions);
+  Event early = Ev(0, 1.0);
+  Event late = Ev(0, 2.0);
+  // position 0 = late, position 2 = early: e2.ts < e0.ts holds.
+  EXPECT_TRUE(set.EvalPair(0, 2, late, early));
+  EXPECT_TRUE(set.EvalPair(2, 0, early, late));
+  EXPECT_FALSE(set.EvalPair(0, 2, early, late));
+}
+
+TEST(ConditionSetTest, EvalUnaryAppliesAllFilters) {
+  std::vector<ConditionPtr> conditions = {
+      std::make_shared<AttrThreshold>(0, 0, CmpOp::kGt, 1.0),
+      std::make_shared<AttrThreshold>(0, 0, CmpOp::kLt, 3.0),
+  };
+  ConditionSet set(1, conditions);
+  EXPECT_TRUE(set.EvalUnary(0, Ev(0, 0.0, 2.0)));
+  EXPECT_FALSE(set.EvalUnary(0, Ev(0, 0.0, 0.5)));
+  EXPECT_FALSE(set.EvalUnary(0, Ev(0, 0.0, 3.5)));
+}
+
+TEST(ConditionSetDeathTest, OutOfRangePositionAborts) {
+  std::vector<ConditionPtr> conditions = {std::make_shared<TsOrder>(0, 5)};
+  EXPECT_DEATH(ConditionSet(3, conditions), "outside the pattern");
+}
+
+}  // namespace
+}  // namespace cepjoin

@@ -1,0 +1,155 @@
+#include "pattern/nested.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_util.h"
+
+namespace cepjoin {
+namespace {
+
+using testing_util::MakeWorld;
+using testing_util::World;
+
+std::shared_ptr<const PatternNode> Leaf(const World& world, int type_idx,
+                                        const std::string& name,
+                                        bool negated = false,
+                                        bool kleene = false) {
+  return PatternNode::Leaf(
+      EventSpec{world.types[type_idx], name, negated, kleene});
+}
+
+TEST(ToDnfTest, DisjunctionOfSequencesSplitsIntoSeqPatterns) {
+  World world = MakeWorld();
+  // OR(SEQ(A, B), SEQ(C, D)) — like the disjunction benchmark patterns.
+  NestedPattern nested;
+  nested.root = PatternNode::Op(
+      OperatorKind::kOr,
+      {PatternNode::Op(OperatorKind::kSeq,
+                       {Leaf(world, 0, "a"), Leaf(world, 1, "b")}),
+       PatternNode::Op(OperatorKind::kSeq,
+                       {Leaf(world, 2, "c"), Leaf(world, 3, "d")})});
+  nested.window = 10.0;
+  std::vector<SimplePattern> dnf = ToDnf(nested);
+  ASSERT_EQ(dnf.size(), 2u);
+  EXPECT_EQ(dnf[0].op(), OperatorKind::kSeq);
+  EXPECT_EQ(dnf[1].op(), OperatorKind::kSeq);
+  EXPECT_EQ(dnf[0].size(), 2);
+  EXPECT_EQ(dnf[0].events()[0].name, "a");
+  EXPECT_EQ(dnf[1].events()[0].name, "c");
+}
+
+TEST(ToDnfTest, PaperNestedExample) {
+  World world = MakeWorld();
+  // AND(A, B, OR(C, D)) -> AND(A,B,C) ∪ AND(A,B,D)  (Sec. 5.4).
+  NestedPattern nested;
+  nested.root = PatternNode::Op(
+      OperatorKind::kAnd,
+      {Leaf(world, 0, "a"), Leaf(world, 1, "b"),
+       PatternNode::Op(OperatorKind::kOr,
+                       {Leaf(world, 2, "c"), Leaf(world, 3, "d")})});
+  nested.window = 10.0;
+  std::vector<SimplePattern> dnf = ToDnf(nested);
+  ASSERT_EQ(dnf.size(), 2u);
+  for (const SimplePattern& p : dnf) {
+    EXPECT_EQ(p.size(), 3);
+    EXPECT_EQ(p.events()[0].name, "a");
+    EXPECT_EQ(p.events()[1].name, "b");
+  }
+  EXPECT_EQ(dnf[0].events()[2].name, "c");
+  EXPECT_EQ(dnf[1].events()[2].name, "d");
+}
+
+TEST(ToDnfTest, SeqOverOrDistributes) {
+  World world = MakeWorld();
+  // SEQ(A, OR(B, C), D) -> SEQ(A,B,D) ∪ SEQ(A,C,D).
+  NestedPattern nested;
+  nested.root = PatternNode::Op(
+      OperatorKind::kSeq,
+      {Leaf(world, 0, "a"),
+       PatternNode::Op(OperatorKind::kOr,
+                       {Leaf(world, 1, "b"), Leaf(world, 2, "c")}),
+       Leaf(world, 3, "d")});
+  nested.window = 5.0;
+  std::vector<SimplePattern> dnf = ToDnf(nested);
+  ASSERT_EQ(dnf.size(), 2u);
+  EXPECT_EQ(dnf[0].op(), OperatorKind::kSeq);
+  EXPECT_EQ(dnf[0].events()[1].name, "b");
+  EXPECT_EQ(dnf[1].events()[1].name, "c");
+}
+
+TEST(ToDnfTest, MixedAndSeqBecomesAndWithTsOrders) {
+  World world = MakeWorld();
+  // AND(SEQ(A, B), C): alternative is unordered overall, so it compiles
+  // to AND with an explicit a.ts < b.ts condition.
+  NestedPattern nested;
+  nested.root = PatternNode::Op(
+      OperatorKind::kAnd,
+      {PatternNode::Op(OperatorKind::kSeq,
+                       {Leaf(world, 0, "a"), Leaf(world, 1, "b")}),
+       Leaf(world, 2, "c")});
+  nested.window = 5.0;
+  std::vector<SimplePattern> dnf = ToDnf(nested);
+  ASSERT_EQ(dnf.size(), 1u);
+  EXPECT_EQ(dnf[0].op(), OperatorKind::kAnd);
+  ASSERT_EQ(dnf[0].conditions().size(), 1u);
+  EXPECT_EQ(dnf[0].conditions()[0]->left(), 0);
+  EXPECT_EQ(dnf[0].conditions()[0]->right(), 1);
+}
+
+TEST(ToDnfTest, NamedConditionsFilteredPerAlternative) {
+  World world = MakeWorld();
+  NestedPattern nested;
+  nested.root = PatternNode::Op(
+      OperatorKind::kOr,
+      {PatternNode::Op(OperatorKind::kSeq,
+                       {Leaf(world, 0, "a"), Leaf(world, 1, "b")}),
+       PatternNode::Op(OperatorKind::kSeq,
+                       {Leaf(world, 0, "a2"), Leaf(world, 2, "c")})});
+  nested.window = 10.0;
+  nested.conditions.push_back(MakeNamedAttrCompare(
+      world.registry, world.types[0], "a", "v", CmpOp::kLt, world.types[1],
+      "b", "v"));
+  std::vector<SimplePattern> dnf = ToDnf(nested);
+  ASSERT_EQ(dnf.size(), 2u);
+  EXPECT_EQ(dnf[0].conditions().size(), 1u);  // a,b present
+  EXPECT_EQ(dnf[1].conditions().size(), 0u);  // a missing in alternative 2
+}
+
+TEST(ToDnfTest, CrossProductOfTwoOrs) {
+  World world = MakeWorld();
+  // AND(OR(A,B), OR(C,D)) -> 4 alternatives.
+  NestedPattern nested;
+  nested.root = PatternNode::Op(
+      OperatorKind::kAnd,
+      {PatternNode::Op(OperatorKind::kOr,
+                       {Leaf(world, 0, "a"), Leaf(world, 1, "b")}),
+       PatternNode::Op(OperatorKind::kOr,
+                       {Leaf(world, 2, "c"), Leaf(world, 3, "d")})});
+  nested.window = 5.0;
+  EXPECT_EQ(ToDnf(nested).size(), 4u);
+}
+
+TEST(ToDnfTest, NegatedLeafSurvivesDecomposition) {
+  World world = MakeWorld();
+  NestedPattern nested;
+  nested.root = PatternNode::Op(
+      OperatorKind::kSeq,
+      {Leaf(world, 0, "a"), Leaf(world, 1, "b", /*negated=*/true),
+       Leaf(world, 2, "c")});
+  nested.window = 5.0;
+  std::vector<SimplePattern> dnf = ToDnf(nested);
+  ASSERT_EQ(dnf.size(), 1u);
+  EXPECT_EQ(dnf[0].negated_positions(), (std::vector<int>{1}));
+}
+
+TEST(ToDnfDeathTest, DuplicateNamesInAlternativeAbort) {
+  World world = MakeWorld();
+  NestedPattern nested;
+  nested.root = PatternNode::Op(
+      OperatorKind::kAnd, {Leaf(world, 0, "a"), Leaf(world, 1, "a")});
+  nested.window = 5.0;
+  EXPECT_DEATH(ToDnf(nested), "duplicate event name");
+}
+
+}  // namespace
+}  // namespace cepjoin

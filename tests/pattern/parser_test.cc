@@ -1,0 +1,165 @@
+#include "pattern/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_util.h"
+
+namespace cepjoin {
+namespace {
+
+using testing_util::MakeWorld;
+using testing_util::World;
+
+TEST(ParserTest, ParsesPaperFourCamerasPattern) {
+  EventTypeRegistry registry;
+  for (const char* name : {"A", "B", "C", "D"}) {
+    registry.Register(name, {"vehicleID"});
+  }
+  SimplePattern p = MustParseSimple(
+      "PATTERN SEQ(A a, B b, C c, D d) "
+      "WHERE a.vehicleID = b.vehicleID AND b.vehicleID = c.vehicleID "
+      "AND c.vehicleID = d.vehicleID "
+      "WITHIN 10 minutes",
+      registry);
+  EXPECT_EQ(p.op(), OperatorKind::kSeq);
+  EXPECT_EQ(p.size(), 4);
+  EXPECT_EQ(p.conditions().size(), 3u);
+  EXPECT_DOUBLE_EQ(p.window(), 600.0);
+}
+
+TEST(ParserTest, ParsesPaperNestedExample) {
+  // "PATTERN AND (A a, NOT (B b), OR (C c, D d)) WITHIN W" (Sec. 2.1).
+  EventTypeRegistry registry;
+  for (const char* name : {"A", "B", "C", "D"}) registry.Register(name, {"x"});
+  ParseResult result = ParsePattern(
+      "PATTERN AND(A a, NOT(B b), OR(C c, D d)) WITHIN 20 s", registry);
+  ASSERT_TRUE(result.ok) << result.error;
+  std::vector<SimplePattern> dnf = ToDnf(result.pattern);
+  ASSERT_EQ(dnf.size(), 2u);  // AND(A,B',C) ∪ AND(A,B',D)
+  for (const SimplePattern& p : dnf) {
+    EXPECT_EQ(p.size(), 3);
+    EXPECT_EQ(p.negated_positions().size(), 1u);
+  }
+}
+
+TEST(ParserTest, ParsesKleeneAndUnaryFilters) {
+  EventTypeRegistry registry;
+  registry.Register("A", {"price"});
+  registry.Register("B", {"price"});
+  SimplePattern p = MustParseSimple(
+      "PATTERN SEQ(A a, KL(B b)) WHERE b.price > 100.5 AND a.price <= 99 "
+      "WITHIN 5",
+      registry);
+  EXPECT_TRUE(p.has_kleene());
+  EXPECT_TRUE(p.events()[1].kleene);
+  EXPECT_EQ(p.conditions().size(), 2u);
+  for (const ConditionPtr& c : p.conditions()) EXPECT_TRUE(c->unary());
+  EXPECT_DOUBLE_EQ(p.window(), 5.0);
+}
+
+TEST(ParserTest, ConstantOnLeftIsMirrored) {
+  EventTypeRegistry registry;
+  registry.Register("A", {"x"});
+  registry.Register("B", {"x"});
+  SimplePattern p = MustParseSimple(
+      "PATTERN SEQ(A a, B b) WHERE 5 < a.x WITHIN 1", registry);
+  ASSERT_EQ(p.conditions().size(), 1u);
+  Event low = testing_util::Ev(0, 0.0, 4.0);
+  Event high = testing_util::Ev(0, 0.0, 6.0);
+  EXPECT_FALSE(p.conditions()[0]->Eval(low, low));
+  EXPECT_TRUE(p.conditions()[0]->Eval(high, high));
+}
+
+TEST(ParserTest, ParsesStrategyClause) {
+  EventTypeRegistry registry;
+  registry.Register("A", {"x"});
+  registry.Register("B", {"x"});
+  SimplePattern p = MustParseSimple(
+      "PATTERN SEQ(A a, B b) WITHIN 2 s STRATEGY skip-till-next-match",
+      registry);
+  EXPECT_EQ(p.strategy(), SelectionStrategy::kSkipTillNext);
+}
+
+TEST(ParserTest, TimeUnits) {
+  EventTypeRegistry registry;
+  registry.Register("A", {"x"});
+  registry.Register("B", {"x"});
+  EXPECT_DOUBLE_EQ(
+      MustParseSimple("PATTERN SEQ(A a, B b) WITHIN 500 ms", registry)
+          .window(),
+      0.5);
+  EXPECT_DOUBLE_EQ(
+      MustParseSimple("PATTERN SEQ(A a, B b) WITHIN 2 hours", registry)
+          .window(),
+      7200.0);
+  EXPECT_DOUBLE_EQ(
+      MustParseSimple("PATTERN SEQ(A a, B b) WITHIN 3", registry).window(),
+      3.0);
+}
+
+TEST(ParserTest, KeywordsAreCaseInsensitive) {
+  EventTypeRegistry registry;
+  registry.Register("A", {"x"});
+  registry.Register("B", {"x"});
+  ParseResult result = ParsePattern(
+      "pattern seq(A a, B b) where a.x < b.x within 1 s", registry);
+  EXPECT_TRUE(result.ok) << result.error;
+}
+
+struct BadInput {
+  const char* text;
+  const char* expected_error;
+};
+
+class ParserErrorTest : public ::testing::TestWithParam<BadInput> {};
+
+TEST_P(ParserErrorTest, ReportsError) {
+  EventTypeRegistry registry;
+  registry.Register("A", {"x"});
+  registry.Register("B", {"x"});
+  ParseResult result = ParsePattern(GetParam().text, registry);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find(GetParam().expected_error), std::string::npos)
+      << "actual error: " << result.error;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, ParserErrorTest,
+    ::testing::Values(
+        BadInput{"SEQ(A a) WITHIN 1", "expected 'PATTERN'"},
+        BadInput{"PATTERN SEQ(Z z) WITHIN 1", "unknown event type"},
+        BadInput{"PATTERN SEQ(A a, A a) WITHIN 1", "duplicate event name"},
+        BadInput{"PATTERN SEQ(A a, B b) WHERE a.y < b.x WITHIN 1",
+                 "no attribute"},
+        BadInput{"PATTERN SEQ(A a, B b) WHERE c.x < b.x WITHIN 1",
+                 "undeclared event"},
+        BadInput{"PATTERN SEQ(A a, B b) WHERE 1 < 2 WITHIN 1",
+                 "two constants"},
+        BadInput{"PATTERN SEQ(A a, B b) WITHIN 0", "positive"},
+        BadInput{"PATTERN SEQ(A a, B b) WITHIN 1 fortnights", "time unit"},
+        BadInput{"PATTERN SEQ(A a, B b) WITHIN 1 s STRATEGY eager",
+                 "unknown selection strategy"},
+        BadInput{"PATTERN SEQ(A a, B b) WITHIN 1 s trailing",
+                 "trailing input"},
+        BadInput{"PATTERN SEQ(A a B b) WITHIN 1", "expected ')'"}));
+
+TEST(ParserTest, ErrorOffsetPointsNearProblem) {
+  EventTypeRegistry registry;
+  registry.Register("A", {"x"});
+  std::string text = "PATTERN SEQ(A a, Zebra z) WITHIN 1";
+  ParseResult result = ParsePattern(text, registry);
+  ASSERT_FALSE(result.ok);
+  EXPECT_EQ(text.substr(result.error_offset, 5), "Zebra");
+}
+
+TEST(ParserTest, MustParseSimpleDiesOnDisjunction) {
+  EventTypeRegistry registry;
+  registry.Register("A", {"x"});
+  registry.Register("B", {"x"});
+  EXPECT_DEATH(
+      MustParseSimple("PATTERN OR(A a, B b) WITHIN 1", registry),
+      "alternatives");
+}
+
+}  // namespace
+}  // namespace cepjoin

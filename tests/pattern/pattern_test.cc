@@ -1,0 +1,120 @@
+#include "pattern/pattern.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_util.h"
+
+namespace cepjoin {
+namespace {
+
+using testing_util::MakeWorld;
+using testing_util::World;
+
+TEST(SimplePatternTest, PurePatternClassification) {
+  World world = MakeWorld();
+  SimplePattern p = testing_util::PurePattern(world, OperatorKind::kSeq, 3, 10);
+  EXPECT_TRUE(p.is_pure());
+  EXPECT_FALSE(p.has_kleene());
+  EXPECT_EQ(p.size(), 3);
+  EXPECT_EQ(p.num_positive(), 3);
+  EXPECT_TRUE(p.negated_positions().empty());
+}
+
+TEST(SimplePatternTest, NegatedAndKleeneBookkeeping) {
+  World world = MakeWorld();
+  std::vector<EventSpec> events = {
+      {world.types[0], "a", false, false},
+      {world.types[1], "b", true, false},
+      {world.types[2], "c", false, true},
+      {world.types[3], "d", false, false},
+  };
+  SimplePattern p(OperatorKind::kSeq, events, {}, 10.0);
+  EXPECT_FALSE(p.is_pure());
+  EXPECT_TRUE(p.has_kleene());
+  EXPECT_EQ(p.num_positive(), 3);
+  EXPECT_EQ(p.positive_positions(), (std::vector<int>{0, 2, 3}));
+  EXPECT_EQ(p.negated_positions(), (std::vector<int>{1}));
+}
+
+TEST(SimplePatternTest, WithStrategyPreservesStructure) {
+  World world = MakeWorld();
+  SimplePattern p = testing_util::PurePattern(world, OperatorKind::kAnd, 3, 10);
+  SimplePattern q = p.WithStrategy(SelectionStrategy::kSkipTillNext);
+  EXPECT_EQ(q.strategy(), SelectionStrategy::kSkipTillNext);
+  EXPECT_EQ(q.size(), p.size());
+  EXPECT_EQ(q.op(), p.op());
+}
+
+TEST(SimplePatternTest, DescribeMentionsOperatorsAndWindow) {
+  World world = MakeWorld();
+  std::vector<EventSpec> events = {
+      {world.types[0], "a", false, false},
+      {world.types[1], "b", true, false},
+  };
+  SimplePattern p(OperatorKind::kSeq, events, {}, 20.0);
+  std::string text = p.Describe(&world.registry);
+  EXPECT_NE(text.find("SEQ"), std::string::npos);
+  EXPECT_NE(text.find("NOT"), std::string::npos);
+  EXPECT_NE(text.find("WITHIN 20"), std::string::npos);
+  EXPECT_NE(text.find("B b"), std::string::npos);
+}
+
+TEST(SimplePatternDeathTest, RejectsInvalidConstructions) {
+  World world = MakeWorld();
+  std::vector<EventSpec> one = {{world.types[0], "a", false, false}};
+  EXPECT_DEATH(SimplePattern(OperatorKind::kOr, one, {}, 10.0), "OR is only");
+  EXPECT_DEATH(SimplePattern(OperatorKind::kSeq, one, {}, 0.0),
+               "positive time window");
+  std::vector<EventSpec> both = {{world.types[0], "a", true, true}};
+  EXPECT_DEATH(SimplePattern(OperatorKind::kSeq, both, {}, 10.0),
+               "negated and Kleene");
+  std::vector<EventSpec> all_neg = {{world.types[0], "a", true, false}};
+  EXPECT_DEATH(SimplePattern(OperatorKind::kSeq, all_neg, {}, 10.0),
+               "at least one positive");
+}
+
+TEST(PatternBuilderTest, BuildsFourCamerasPattern) {
+  // The paper's introduction example: SEQ(A, B, C, D) on vehicle ids.
+  EventTypeRegistry registry;
+  for (const char* name : {"CamA", "CamB", "CamC", "CamD"}) {
+    registry.Register(name, {"vehicleID"});
+  }
+  SimplePattern p = PatternBuilder(OperatorKind::kSeq, registry)
+                        .Event("CamA", "a")
+                        .Event("CamB", "b")
+                        .Event("CamC", "c")
+                        .Event("CamD", "d")
+                        .Where("a", "vehicleID", CmpOp::kEq, "b", "vehicleID")
+                        .Where("b", "vehicleID", CmpOp::kEq, "c", "vehicleID")
+                        .Where("c", "vehicleID", CmpOp::kEq, "d", "vehicleID")
+                        .Within(600)
+                        .Build();
+  EXPECT_EQ(p.size(), 4);
+  EXPECT_EQ(p.conditions().size(), 3u);
+  EXPECT_EQ(p.op(), OperatorKind::kSeq);
+}
+
+TEST(PatternBuilderTest, WhereConstAddsUnary) {
+  EventTypeRegistry registry;
+  registry.Register("A", {"x"});
+  SimplePattern p = PatternBuilder(OperatorKind::kAnd, registry)
+                        .Event("A", "a")
+                        .Event("A", "a2")
+                        .WhereConst("a", "x", CmpOp::kGt, 5.0)
+                        .Within(10)
+                        .Build();
+  ASSERT_EQ(p.conditions().size(), 1u);
+  EXPECT_TRUE(p.conditions()[0]->unary());
+  EXPECT_EQ(p.conditions()[0]->left(), 0);
+}
+
+TEST(PatternBuilderDeathTest, UnknownNameAborts) {
+  EventTypeRegistry registry;
+  registry.Register("A", {"x"});
+  PatternBuilder builder(OperatorKind::kSeq, registry);
+  builder.Event("A", "a");
+  EXPECT_DEATH(builder.PositionOf("zz"), "no event named");
+}
+
+}  // namespace
+}  // namespace cepjoin

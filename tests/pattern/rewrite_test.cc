@@ -1,0 +1,129 @@
+#include "pattern/rewrite.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_util.h"
+
+namespace cepjoin {
+namespace {
+
+using testing_util::MakeWorld;
+using testing_util::World;
+
+int CountTsOrders(const SimplePattern& p) {
+  int count = 0;
+  for (const ConditionPtr& c : p.conditions()) {
+    if (dynamic_cast<const TsOrder*>(c.get()) != nullptr) ++count;
+  }
+  return count;
+}
+
+TEST(SeqToAndTest, AddsTsOrderClosure) {
+  World world = MakeWorld();
+  SimplePattern seq = testing_util::PurePattern(world, OperatorKind::kSeq, 4, 10);
+  SimplePattern rewritten = SeqToAnd(seq);
+  EXPECT_EQ(rewritten.op(), OperatorKind::kAnd);
+  // All pairs i < j over 4 positions: 6 TsOrder conditions.
+  EXPECT_EQ(CountTsOrders(rewritten), 6);
+  EXPECT_EQ(rewritten.window(), seq.window());
+  EXPECT_EQ(rewritten.size(), seq.size());
+}
+
+TEST(SeqToAndTest, AndPatternUnchanged) {
+  World world = MakeWorld();
+  SimplePattern conj = testing_util::PurePattern(world, OperatorKind::kAnd, 3, 10);
+  SimplePattern rewritten = SeqToAnd(conj);
+  EXPECT_EQ(rewritten.op(), OperatorKind::kAnd);
+  EXPECT_EQ(CountTsOrders(rewritten), 0);
+}
+
+TEST(SeqToAndTest, PreservesUserConditions) {
+  World world = MakeWorld();
+  std::vector<EventSpec> events = {{world.types[0], "a", false, false},
+                                   {world.types[1], "b", false, false}};
+  std::vector<ConditionPtr> conditions = {
+      std::make_shared<AttrCompare>(0, 0, CmpOp::kLt, 1, 0)};
+  SimplePattern seq(OperatorKind::kSeq, events, conditions, 10.0);
+  SimplePattern rewritten = SeqToAnd(seq);
+  EXPECT_EQ(rewritten.conditions().size(), 2u);  // user + 1 TsOrder
+}
+
+TEST(SeqToAndTest, CoversNegatedPositions) {
+  World world = MakeWorld();
+  std::vector<EventSpec> events = {{world.types[0], "a", false, false},
+                                   {world.types[1], "b", true, false},
+                                   {world.types[2], "c", false, false}};
+  SimplePattern seq(OperatorKind::kSeq, events, {}, 10.0);
+  SimplePattern rewritten = SeqToAnd(seq);
+  // Pairs including the negated slot are covered: (0,1), (0,2), (1,2).
+  EXPECT_EQ(CountTsOrders(rewritten), 3);
+}
+
+TEST(AddContiguityTest, StrictAddsSerialAdjacency) {
+  World world = MakeWorld();
+  SimplePattern p =
+      testing_util::PurePattern(world, OperatorKind::kSeq, 3, 10)
+          .WithStrategy(SelectionStrategy::kStrictContiguity);
+  SimplePattern rewritten = AddContiguityConditions(p, 0.001);
+  int adjacency = 0;
+  for (const ConditionPtr& c : rewritten.conditions()) {
+    if (dynamic_cast<const SerialAdjacent*>(c.get()) != nullptr) {
+      EXPECT_DOUBLE_EQ(c->DeclaredSelectivity(), 0.001);
+      ++adjacency;
+    }
+  }
+  EXPECT_EQ(adjacency, 2);  // consecutive positive pairs
+}
+
+TEST(AddContiguityTest, PartitionAddsPartitionAdjacency) {
+  World world = MakeWorld();
+  SimplePattern p =
+      testing_util::PurePattern(world, OperatorKind::kSeq, 4, 10)
+          .WithStrategy(SelectionStrategy::kPartitionContiguity);
+  SimplePattern rewritten = AddContiguityConditions(p, 0.01);
+  int adjacency = 0;
+  for (const ConditionPtr& c : rewritten.conditions()) {
+    if (dynamic_cast<const PartitionAdjacent*>(c.get()) != nullptr) ++adjacency;
+  }
+  EXPECT_EQ(adjacency, 3);
+}
+
+TEST(AddContiguityTest, SkipStrategiesUnchanged) {
+  World world = MakeWorld();
+  SimplePattern p = testing_util::PurePattern(world, OperatorKind::kSeq, 3, 10);
+  EXPECT_EQ(AddContiguityConditions(p, 0.001).conditions().size(),
+            p.conditions().size());
+}
+
+TEST(AddContiguityTest, SkipsNegatedSlots) {
+  World world = MakeWorld();
+  std::vector<EventSpec> events = {{world.types[0], "a", false, false},
+                                   {world.types[1], "b", true, false},
+                                   {world.types[2], "c", false, false}};
+  SimplePattern p(OperatorKind::kSeq, events, {}, 10.0,
+                  SelectionStrategy::kStrictContiguity);
+  SimplePattern rewritten = AddContiguityConditions(p, 0.001);
+  // One adjacency condition between the two positive slots (0 and 2).
+  int adjacency = 0;
+  for (const ConditionPtr& c : rewritten.conditions()) {
+    if (dynamic_cast<const SerialAdjacent*>(c.get()) != nullptr) {
+      EXPECT_EQ(c->left(), 0);
+      EXPECT_EQ(c->right(), 2);
+      ++adjacency;
+    }
+  }
+  EXPECT_EQ(adjacency, 1);
+}
+
+TEST(RewriteForPlanningTest, ComposesBothRewrites) {
+  World world = MakeWorld();
+  SimplePattern p =
+      testing_util::PurePattern(world, OperatorKind::kSeq, 3, 10)
+          .WithStrategy(SelectionStrategy::kStrictContiguity);
+  SimplePattern rewritten = RewriteForPlanning(p, 0.001);
+  EXPECT_EQ(rewritten.op(), OperatorKind::kAnd);
+  EXPECT_EQ(CountTsOrders(rewritten), 3);
+}
+
+}  // namespace
+}  // namespace cepjoin

@@ -1,0 +1,39 @@
+#include "plan/order_plan.h"
+
+#include <gtest/gtest.h>
+
+namespace cepjoin {
+namespace {
+
+TEST(OrderPlanTest, IdentityPlan) {
+  OrderPlan plan = OrderPlan::Identity(4);
+  EXPECT_EQ(plan.size(), 4);
+  for (int k = 0; k < 4; ++k) {
+    EXPECT_EQ(plan.At(k), k);
+    EXPECT_EQ(plan.StepOf(k), k);
+  }
+}
+
+TEST(OrderPlanTest, StepOfInvertsAt) {
+  OrderPlan plan({2, 0, 3, 1});
+  EXPECT_EQ(plan.At(0), 2);
+  EXPECT_EQ(plan.StepOf(2), 0);
+  EXPECT_EQ(plan.StepOf(1), 3);
+}
+
+TEST(OrderPlanTest, DescribeAndEquality) {
+  OrderPlan a({1, 0});
+  OrderPlan b({1, 0});
+  OrderPlan c({0, 1});
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+  EXPECT_EQ(a.Describe(), "[1 0]");
+}
+
+TEST(OrderPlanDeathTest, RejectsBadPermutations) {
+  EXPECT_DEATH(OrderPlan({0, 0}), "duplicate");
+  EXPECT_DEATH(OrderPlan({0, 5}), "out of range");
+}
+
+}  // namespace
+}  // namespace cepjoin

@@ -1,0 +1,85 @@
+#include "plan/tree_plan.h"
+
+#include <gtest/gtest.h>
+
+namespace cepjoin {
+namespace {
+
+TEST(TreePlanTest, LeftDeepFromOrder) {
+  TreePlan tree = TreePlan::LeftDeep(OrderPlan({2, 0, 1}));
+  EXPECT_EQ(tree.num_leaves(), 3);
+  EXPECT_EQ(tree.Describe(), "((2 0) 1)");
+  EXPECT_EQ(tree.internal_postorder().size(), 2u);
+}
+
+TEST(TreePlanTest, BuilderBushyTree) {
+  TreePlan::Builder builder;
+  int a = builder.AddLeaf(0);
+  int b = builder.AddLeaf(1);
+  int c = builder.AddLeaf(2);
+  int d = builder.AddLeaf(3);
+  int ab = builder.AddInternal(a, b);
+  int cd = builder.AddInternal(c, d);
+  int root = builder.AddInternal(ab, cd);
+  TreePlan tree = builder.Build(root);
+  EXPECT_EQ(tree.Describe(), "((0 1) (2 3))");
+  EXPECT_EQ(tree.num_leaves(), 4);
+  EXPECT_EQ(tree.node(root).mask, 0b1111u);
+  EXPECT_EQ(tree.node(ab).mask, 0b0011u);
+}
+
+TEST(TreePlanTest, SiblingAndLeafOf) {
+  TreePlan tree = TreePlan::LeftDeep(OrderPlan({0, 1, 2}));
+  int leaf2 = tree.LeafOf(2);
+  EXPECT_EQ(tree.node(leaf2).leaf_item, 2);
+  int sib = tree.Sibling(leaf2);
+  EXPECT_EQ(tree.node(sib).mask, 0b011u);  // subtree (0 1)
+  EXPECT_EQ(tree.Sibling(tree.root()), -1);
+}
+
+TEST(TreePlanTest, InternalPostorderIsBottomUp) {
+  TreePlan::Builder builder;
+  int a = builder.AddLeaf(0);
+  int b = builder.AddLeaf(1);
+  int c = builder.AddLeaf(2);
+  int ab = builder.AddInternal(a, b);
+  int root = builder.AddInternal(ab, c);
+  TreePlan tree = builder.Build(root);
+  const std::vector<int>& order = tree.internal_postorder();
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], ab);
+  EXPECT_EQ(order[1], root);
+}
+
+TEST(TreePlanTest, EqualityByShape) {
+  TreePlan a = TreePlan::LeftDeep(OrderPlan({0, 1, 2}));
+  TreePlan b = TreePlan::LeftDeep(OrderPlan({0, 1, 2}));
+  TreePlan c = TreePlan::LeftDeep(OrderPlan({1, 0, 2}));
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(TreePlanDeathTest, RejectsInvalidTrees) {
+  {
+    TreePlan::Builder builder;
+    int a = builder.AddLeaf(0);
+    EXPECT_DEATH(builder.AddInternal(a, a), "");
+  }
+  {
+    TreePlan::Builder builder;
+    builder.AddLeaf(0);
+    int b = builder.AddLeaf(2);  // leaves {0,2}: not a dense 0..n-1 cover
+    int a2 = 0;
+    int root = builder.AddInternal(a2, b);
+    EXPECT_DEATH(builder.Build(root), "exactly once");
+  }
+  {
+    TreePlan::Builder builder;
+    int a = builder.AddLeaf(0);
+    builder.AddLeaf(1);  // dangling leaf never attached
+    EXPECT_DEATH(builder.Build(a), "");
+  }
+}
+
+}  // namespace
+}  // namespace cepjoin

@@ -1,0 +1,168 @@
+#include "runtime/compiled_pattern.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_util.h"
+
+namespace cepjoin {
+namespace {
+
+using testing_util::Ev;
+using testing_util::MakeWorld;
+using testing_util::World;
+
+// Minimal BoundAccessor over a map position -> events.
+class MapBound : public BoundAccessor {
+ public:
+  void Bind(int pos, EventPtr e) { bound_[pos].push_back(std::move(e)); }
+  void ForEach(int pos,
+               const std::function<void(const Event&)>& fn) const override {
+    auto it = bound_.find(pos);
+    if (it == bound_.end()) return;
+    for (const EventPtr& e : it->second) fn(*e);
+  }
+
+ private:
+  std::map<int, std::vector<EventPtr>> bound_;
+};
+
+TEST(CompiledPatternTest, SlotMappingSkipsNegated) {
+  World world = MakeWorld(4);
+  std::vector<EventSpec> events = {{world.types[0], "a", false, false},
+                                   {world.types[1], "b", true, false},
+                                   {world.types[2], "c", false, true},
+                                   {world.types[3], "d", false, false}};
+  CompiledPattern cp(SimplePattern(OperatorKind::kSeq, events, {}, 5.0));
+  EXPECT_EQ(cp.num_positions(), 4);
+  EXPECT_EQ(cp.num_slots(), 3);
+  EXPECT_EQ(cp.slot_to_pos(0), 0);
+  EXPECT_EQ(cp.slot_to_pos(1), 2);
+  EXPECT_EQ(cp.slot_to_pos(2), 3);
+  EXPECT_EQ(cp.pos_to_slot(1), -1);
+  EXPECT_EQ(cp.kleene_slot(), 1);
+}
+
+TEST(CompiledPatternTest, SeqConditionsIncludeTsClosure) {
+  World world = MakeWorld(3);
+  CompiledPattern cp(
+      testing_util::PurePattern(world, OperatorKind::kSeq, 3, 5.0));
+  EXPECT_FALSE(cp.conditions().Between(0, 2).empty());
+  EXPECT_FALSE(cp.conditions().Between(0, 1).empty());
+  EXPECT_FALSE(cp.conditions().Between(1, 2).empty());
+}
+
+TEST(CompiledPatternTest, PositionsOfTypeIncludesNegated) {
+  World world = MakeWorld(2);
+  std::vector<EventSpec> events = {{world.types[0], "a", false, false},
+                                   {world.types[1], "b", true, false},
+                                   {world.types[0], "a2", false, false}};
+  CompiledPattern cp(SimplePattern(OperatorKind::kSeq, events, {}, 5.0));
+  EXPECT_EQ(cp.positions_of_type(world.types[0]),
+            (std::vector<int>{0, 2}));
+  EXPECT_EQ(cp.positions_of_type(world.types[1]), (std::vector<int>{1}));
+  EXPECT_TRUE(cp.positions_of_type(999).empty());
+}
+
+TEST(CompiledPatternTest, InternalNegationSpec) {
+  World world = MakeWorld(3);
+  std::vector<EventSpec> events = {{world.types[0], "a", false, false},
+                                   {world.types[1], "b", true, false},
+                                   {world.types[2], "c", false, false}};
+  CompiledPattern cp(SimplePattern(OperatorKind::kSeq, events, {}, 5.0));
+  ASSERT_EQ(cp.negations().size(), 1u);
+  const NegationSpec& neg = cp.negations()[0];
+  EXPECT_EQ(neg.neg_pos, 1);
+  EXPECT_EQ(neg.prev_pos, 0);
+  EXPECT_EQ(neg.next_pos, 2);
+  EXPECT_FALSE(neg.trailing);
+  EXPECT_FALSE(neg.leading_bounded);
+  EXPECT_EQ(neg.dep_positions, (std::vector<int>{0, 2}));
+  EXPECT_FALSE(cp.has_trailing_negation());
+}
+
+TEST(CompiledPatternTest, TrailingAndLeadingSpecs) {
+  World world = MakeWorld(3);
+  // SEQ(NOT(B), A, NOT(C)) is invalid (needs a positive between? no —
+  // one positive suffices); use SEQ(NOT(B), A) and SEQ(A, NOT(B)).
+  {
+    std::vector<EventSpec> events = {{world.types[1], "b", true, false},
+                                     {world.types[0], "a", false, false}};
+    CompiledPattern cp(SimplePattern(OperatorKind::kSeq, events, {}, 5.0));
+    ASSERT_EQ(cp.negations().size(), 1u);
+    EXPECT_TRUE(cp.negations()[0].leading_bounded);
+    EXPECT_FALSE(cp.negations()[0].trailing);
+  }
+  {
+    std::vector<EventSpec> events = {{world.types[0], "a", false, false},
+                                     {world.types[1], "b", true, false}};
+    CompiledPattern cp(SimplePattern(OperatorKind::kSeq, events, {}, 5.0));
+    ASSERT_EQ(cp.negations().size(), 1u);
+    EXPECT_TRUE(cp.negations()[0].trailing);
+    EXPECT_TRUE(cp.has_trailing_negation());
+  }
+}
+
+TEST(CompiledPatternTest, AndNegationIsWindowScoped) {
+  World world = MakeWorld(3);
+  std::vector<EventSpec> events = {{world.types[0], "a", false, false},
+                                   {world.types[1], "b", true, false},
+                                   {world.types[2], "c", false, false}};
+  CompiledPattern cp(SimplePattern(OperatorKind::kAnd, events, {}, 5.0));
+  ASSERT_EQ(cp.negations().size(), 1u);
+  EXPECT_TRUE(cp.negations()[0].trailing);
+  EXPECT_TRUE(cp.negations()[0].leading_bounded);
+  EXPECT_EQ(cp.negations()[0].prev_pos, -1);
+  EXPECT_EQ(cp.negations()[0].next_pos, -1);
+}
+
+TEST(CompiledPatternTest, UserConditionPartnersBecomeDeps) {
+  World world = MakeWorld(4);
+  std::vector<EventSpec> events = {{world.types[0], "a", false, false},
+                                   {world.types[1], "b", true, false},
+                                   {world.types[2], "c", false, false},
+                                   {world.types[3], "d", false, false}};
+  std::vector<ConditionPtr> conditions = {
+      std::make_shared<AttrCompare>(3, 0, CmpOp::kEq, 1, 0)};
+  CompiledPattern cp(
+      SimplePattern(OperatorKind::kSeq, events, conditions, 5.0));
+  // deps: prev (0), next (2), and condition partner d (3).
+  EXPECT_EQ(cp.negations()[0].dep_positions, (std::vector<int>{0, 2, 3}));
+}
+
+TEST(CompiledPatternTest, NegationViolatesRespectsGuards) {
+  World world = MakeWorld(3);
+  std::vector<EventSpec> events = {{world.types[0], "a", false, false},
+                                   {world.types[1], "b", true, false},
+                                   {world.types[2], "c", false, false}};
+  CompiledPattern cp(SimplePattern(OperatorKind::kSeq, events, {}, 5.0));
+  const NegationSpec& neg = cp.negations()[0];
+  MapBound bound;
+  bound.Bind(0, std::make_shared<const Event>(Ev(world.types[0], 1.0)));
+  bound.Bind(2, std::make_shared<const Event>(Ev(world.types[2], 3.0)));
+  Event inside = Ev(world.types[1], 2.0);
+  Event before = Ev(world.types[1], 0.5);
+  Event after = Ev(world.types[1], 3.5);
+  EXPECT_TRUE(cp.NegationViolates(neg, inside, bound, 1.0, 3.0));
+  EXPECT_FALSE(cp.NegationViolates(neg, before, bound, 1.0, 3.0));
+  EXPECT_FALSE(cp.NegationViolates(neg, after, bound, 1.0, 3.0));
+}
+
+TEST(CompiledPatternTest, NegationViolatesWindowEdges) {
+  World world = MakeWorld(2);
+  std::vector<EventSpec> events = {{world.types[0], "a", false, false},
+                                   {world.types[1], "b", true, false}};
+  CompiledPattern cp(SimplePattern(OperatorKind::kAnd, events, {}, 2.0));
+  const NegationSpec& neg = cp.negations()[0];
+  MapBound bound;
+  bound.Bind(0, std::make_shared<const Event>(Ev(world.types[0], 5.0)));
+  // Match extent [5, 5]: killers must lie in [3, 7].
+  EXPECT_TRUE(
+      cp.NegationViolates(neg, Ev(world.types[1], 4.0), bound, 5.0, 5.0));
+  EXPECT_FALSE(
+      cp.NegationViolates(neg, Ev(world.types[1], 2.9), bound, 5.0, 5.0));
+  EXPECT_FALSE(
+      cp.NegationViolates(neg, Ev(world.types[1], 7.1), bound, 5.0, 5.0));
+}
+
+}  // namespace
+}  // namespace cepjoin

@@ -1,0 +1,77 @@
+#include "runtime/match.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_util.h"
+
+namespace cepjoin {
+namespace {
+
+using testing_util::Ev;
+
+EventPtr MakeEvent(EventSerial serial, Timestamp ts) {
+  Event e = Ev(0, ts);
+  e.serial = serial;
+  return std::make_shared<const Event>(e);
+}
+
+TEST(MatchTest, FingerprintIsSlotAndSerialCanonical) {
+  Match a;
+  a.slots = {{MakeEvent(3, 1.0)}, {MakeEvent(7, 2.0), MakeEvent(5, 1.5)}};
+  Match b;
+  b.slots = {{MakeEvent(3, 1.0)}, {MakeEvent(5, 1.5), MakeEvent(7, 2.0)}};
+  // Kleene member order within a slot must not matter.
+  EXPECT_EQ(a.Fingerprint(), b.Fingerprint());
+}
+
+TEST(MatchTest, FingerprintDistinguishesSlotAssignment) {
+  Match a;
+  a.slots = {{MakeEvent(1, 1.0)}, {MakeEvent(2, 2.0)}};
+  Match b;
+  b.slots = {{MakeEvent(2, 2.0)}, {MakeEvent(1, 1.0)}};
+  EXPECT_NE(a.Fingerprint(), b.Fingerprint());
+}
+
+TEST(MatchTest, LatencyEventsFromSerials) {
+  Match m;
+  m.last_event_serial = 10;
+  m.emit_serial = 14;
+  EXPECT_EQ(m.LatencyEvents(), 4u);
+}
+
+TEST(CollectingSinkTest, FingerprintsSorted) {
+  CollectingSink sink;
+  Match m1;
+  m1.slots = {{MakeEvent(9, 1.0)}};
+  Match m2;
+  m2.slots = {{MakeEvent(2, 1.0)}};
+  sink.OnMatch(m1);
+  sink.OnMatch(m2);
+  std::vector<std::string> fps = sink.Fingerprints();
+  ASSERT_EQ(fps.size(), 2u);
+  EXPECT_LE(fps[0], fps[1]);
+}
+
+TEST(CountingSinkTest, AggregatesLatency) {
+  CountingSink sink;
+  Match m;
+  m.last_event_serial = 0;
+  m.emit_serial = 4;
+  m.latency_seconds = 0.5;
+  sink.OnMatch(m);
+  m.emit_serial = 6;
+  m.latency_seconds = 1.5;
+  sink.OnMatch(m);
+  EXPECT_EQ(sink.count, 2u);
+  EXPECT_DOUBLE_EQ(sink.MeanLatencyEvents(), 5.0);
+  EXPECT_DOUBLE_EQ(sink.MeanLatencySeconds(), 1.0);
+}
+
+TEST(CountingSinkTest, EmptyMeansZero) {
+  CountingSink sink;
+  EXPECT_DOUBLE_EQ(sink.MeanLatencyEvents(), 0.0);
+  EXPECT_DOUBLE_EQ(sink.MeanLatencySeconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace cepjoin

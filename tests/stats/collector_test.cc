@@ -1,0 +1,119 @@
+#include "stats/collector.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_util.h"
+#include "workload/stock_generator.h"
+
+namespace cepjoin {
+namespace {
+
+using testing_util::Ev;
+using testing_util::MakeWorld;
+using testing_util::World;
+
+TEST(StatsCollectorTest, MeasuresRatesFromStream) {
+  World world = MakeWorld(2);
+  EventStream stream;
+  // 10 seconds: type 0 every second (11 events), type 1 every 2 s.
+  for (int t = 0; t <= 10; ++t) {
+    stream.Append(Ev(world.types[0], t));
+    if (t % 2 == 0) stream.Append(Ev(world.types[1], t));
+  }
+  StatsCollector collector(stream, 2);
+  EXPECT_NEAR(collector.TypeRate(0), 1.1, 0.01);
+  EXPECT_NEAR(collector.TypeRate(1), 0.6, 0.01);
+  EXPECT_NEAR(collector.total_rate(), 1.7, 0.02);
+}
+
+TEST(StatsCollectorTest, DeclaredSelectivityWins) {
+  World world = MakeWorld(2);
+  EventStream stream = testing_util::StreamOf({Ev(0, 0.0), Ev(1, 1.0)});
+  StatsCollector collector(stream, 2);
+  TsOrder cond(0, 1);
+  EXPECT_DOUBLE_EQ(collector.ConditionSelectivity(cond, 0, 1), 0.5);
+}
+
+TEST(StatsCollectorTest, MeasuresAttrCompareSelectivity) {
+  World world = MakeWorld(2);
+  EventStream stream;
+  // Type 0 values all 0; type 1 values: 25% above zero.
+  for (int i = 0; i < 100; ++i) {
+    stream.Append(Ev(world.types[0], i * 0.01, 0.0));
+    stream.Append(Ev(world.types[1], i * 0.01 + 0.005, i < 25 ? 1.0 : -1.0));
+  }
+  StatsCollector collector(stream, 2);
+  AttrCompare cond(0, 0, CmpOp::kLt, 1, 0);  // 0 < v_b, true for 25%
+  EXPECT_NEAR(collector.ConditionSelectivity(cond, 0, 1), 0.25, 0.02);
+}
+
+TEST(StatsCollectorTest, UnarySelectivityMeasured) {
+  World world = MakeWorld(1);
+  EventStream stream;
+  for (int i = 0; i < 100; ++i) {
+    stream.Append(Ev(world.types[0], i * 0.1, i < 10 ? 5.0 : 0.0));
+  }
+  StatsCollector collector(stream, 1);
+  AttrThreshold cond(0, 0, CmpOp::kGt, 1.0);
+  EXPECT_NEAR(collector.ConditionSelectivity(cond, 0, 0), 0.10, 0.01);
+}
+
+TEST(StatsCollectorTest, CollectForSequencePatternIncludesTsOrders) {
+  World world = MakeWorld(3);
+  EventStream stream;
+  for (int i = 0; i < 60; ++i) {
+    stream.Append(Ev(world.types[i % 3], i * 0.1, i));
+  }
+  StatsCollector collector(stream, 3);
+  SimplePattern seq = testing_util::PurePattern(world, OperatorKind::kSeq, 3, 5);
+  PatternStats stats = collector.CollectForPattern(seq);
+  ASSERT_EQ(stats.size(), 3);
+  // TsOrder between each positive pair: declared 0.5.
+  EXPECT_DOUBLE_EQ(stats.sel(0, 1), 0.5);
+  EXPECT_DOUBLE_EQ(stats.sel(0, 2), 0.5);
+  EXPECT_DOUBLE_EQ(stats.sel(1, 2), 0.5);
+  EXPECT_GT(stats.rate(0), 0.0);
+}
+
+TEST(StatsCollectorTest, NegatedSlotExcludedFromPlanStats) {
+  World world = MakeWorld(3);
+  EventStream stream;
+  for (int i = 0; i < 30; ++i) stream.Append(Ev(world.types[i % 3], i * 0.1));
+  StatsCollector collector(stream, 3);
+  std::vector<EventSpec> events = {{world.types[0], "a", false, false},
+                                   {world.types[1], "b", true, false},
+                                   {world.types[2], "c", false, false}};
+  SimplePattern p(OperatorKind::kSeq, events, {}, 5.0);
+  PatternStats stats = collector.CollectForPattern(p);
+  EXPECT_EQ(stats.size(), 2);  // only positive slots
+}
+
+TEST(StatsCollectorTest, KleeneTransformAppliedToKleeneSlot) {
+  World world = MakeWorld(2);
+  EventStream stream;
+  for (int i = 0; i < 40; ++i) stream.Append(Ev(world.types[i % 2], i * 0.5));
+  StatsCollector collector(stream, 2);
+  std::vector<EventSpec> events = {{world.types[0], "a", false, false},
+                                   {world.types[1], "b", false, true}};
+  SimplePattern p(OperatorKind::kSeq, events, {}, 4.0);
+  PatternStats stats = collector.CollectForPattern(p);
+  // Theorem 4: the Kleene slot's plan-time rate is 2^{r·W} / W of the
+  // measured rate; the plain slot keeps its measured rate.
+  double measured = collector.TypeRate(world.types[1]);
+  EXPECT_NEAR(stats.rate(1), KleeneEffectiveRate(measured, 4.0),
+              stats.rate(1) * 1e-9);
+  EXPECT_GT(stats.rate(1), stats.rate(0));
+}
+
+TEST(StatsCollectorTest, StrictAdjacencySelectivityFormula) {
+  StockGeneratorConfig config;
+  config.num_symbols = 4;
+  config.duration_seconds = 20.0;
+  StockUniverse universe = GenerateStockStream(config);
+  StatsCollector collector(universe.stream, universe.registry.size());
+  double sel = collector.StrictAdjacencySelectivity(2.0);
+  EXPECT_NEAR(sel, 1.0 / (2.0 * collector.total_rate()), 1e-9);
+}
+
+}  // namespace
+}  // namespace cepjoin

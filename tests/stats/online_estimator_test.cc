@@ -1,0 +1,78 @@
+#include "stats/online_estimator.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_util.h"
+
+namespace cepjoin {
+namespace {
+
+using testing_util::Ev;
+using testing_util::MakeWorld;
+using testing_util::World;
+
+TEST(OnlineStatsEstimatorTest, ConvergesToSteadyRate) {
+  World world = MakeWorld(1);
+  OnlineStatsEstimator estimator(1, /*half_life=*/5.0);
+  // 2 events/second for 60 seconds.
+  for (int i = 0; i < 120; ++i) {
+    estimator.Observe(Ev(world.types[0], i * 0.5));
+  }
+  EXPECT_NEAR(estimator.Rate(0), 2.0, 0.3);
+}
+
+TEST(OnlineStatsEstimatorTest, TracksRateChange) {
+  World world = MakeWorld(1);
+  OnlineStatsEstimator estimator(1, /*half_life=*/2.0);
+  // 1 ev/s for 20 s, then 10 ev/s for 20 s.
+  double ts = 0.0;
+  for (int i = 0; i < 20; ++i) estimator.Observe(Ev(0, ts += 1.0));
+  double slow = estimator.Rate(0);
+  for (int i = 0; i < 200; ++i) estimator.Observe(Ev(0, ts += 0.1));
+  double fast = estimator.Rate(0);
+  EXPECT_NEAR(slow, 1.0, 0.5);
+  EXPECT_GT(fast, 5.0 * slow);
+}
+
+TEST(OnlineStatsEstimatorTest, DecaysIdleTypes) {
+  World world = MakeWorld(2);
+  OnlineStatsEstimator estimator(2, /*half_life=*/1.0);
+  for (int i = 0; i < 10; ++i) estimator.Observe(Ev(0, i * 0.1));
+  double before = estimator.Rate(0);
+  // Type 1 keeps arriving for 20 s; type 0 goes silent.
+  for (int i = 0; i < 200; ++i) estimator.Observe(Ev(1, 1.0 + i * 0.1));
+  EXPECT_LT(estimator.Rate(0), 0.05 * before);
+}
+
+TEST(OnlineStatsEstimatorTest, EstimateForPatternUsesDeclaredTsSelectivity) {
+  World world = MakeWorld(2);
+  OnlineStatsEstimator estimator(2, 5.0);
+  for (int i = 0; i < 100; ++i) {
+    estimator.Observe(Ev(world.types[i % 2], i * 0.1, i));
+  }
+  SimplePattern seq = testing_util::PurePattern(world, OperatorKind::kSeq, 2, 4);
+  PatternStats stats = estimator.EstimateForPattern(seq);
+  ASSERT_EQ(stats.size(), 2);
+  EXPECT_DOUBLE_EQ(stats.sel(0, 1), 0.5);
+  EXPECT_GT(stats.rate(0), 0.0);
+}
+
+TEST(OnlineStatsEstimatorTest, SamplesAttrSelectivityFromReservoir) {
+  World world = MakeWorld(2);
+  OnlineStatsEstimator estimator(2, 5.0);
+  // v of type0 = 0; v of type1 alternates sign: selectivity of "<" ≈ 0.5.
+  for (int i = 0; i < 200; ++i) {
+    estimator.Observe(Ev(world.types[0], i * 0.1, 0.0));
+    estimator.Observe(Ev(world.types[1], i * 0.1 + 0.05, i % 2 ? 1.0 : -1.0));
+  }
+  std::vector<EventSpec> events = {{world.types[0], "a", false, false},
+                                   {world.types[1], "b", false, false}};
+  std::vector<ConditionPtr> conditions = {
+      std::make_shared<AttrCompare>(0, 0, CmpOp::kLt, 1, 0)};
+  SimplePattern p(OperatorKind::kAnd, events, conditions, 4.0);
+  PatternStats stats = estimator.EstimateForPattern(p);
+  EXPECT_NEAR(stats.sel(0, 1), 0.5, 0.1);
+}
+
+}  // namespace
+}  // namespace cepjoin

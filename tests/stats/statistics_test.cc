@@ -1,0 +1,58 @@
+#include "stats/statistics.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace cepjoin {
+namespace {
+
+TEST(PatternStatsTest, DefaultsToUnitSelectivity) {
+  PatternStats stats(3);
+  EXPECT_EQ(stats.size(), 3);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(stats.rate(i), 0.0);
+    for (int j = 0; j < 3; ++j) EXPECT_DOUBLE_EQ(stats.sel(i, j), 1.0);
+  }
+}
+
+TEST(PatternStatsTest, SetSelIsSymmetric) {
+  PatternStats stats(3);
+  stats.set_sel(0, 2, 0.25);
+  EXPECT_DOUBLE_EQ(stats.sel(0, 2), 0.25);
+  EXPECT_DOUBLE_EQ(stats.sel(2, 0), 0.25);
+}
+
+TEST(PatternStatsTest, DescribeContainsRates) {
+  PatternStats stats(2);
+  stats.set_rate(0, 3.5);
+  EXPECT_NE(stats.Describe().find("3.5"), std::string::npos);
+}
+
+TEST(KleeneEffectiveRateTest, MatchesPaperFormulaForSmallExponents) {
+  // Paper example (Sec. 5.2): r_B = 5, W = 10  =>  r' = 2^50 / 10.
+  // With a clamp of 50 the formula is exact.
+  double r = KleeneEffectiveRate(5.0, 10.0, /*max_exponent=*/50.0);
+  EXPECT_DOUBLE_EQ(r, std::exp2(50.0) / 10.0);
+}
+
+TEST(KleeneEffectiveRateTest, SmallRatesAreExact) {
+  // r·W = 4 < clamp: r' = 2^4 / 8 = 2.
+  EXPECT_DOUBLE_EQ(KleeneEffectiveRate(0.5, 8.0), 2.0);
+}
+
+TEST(KleeneEffectiveRateTest, ClampKeepsRateFiniteAndDominant) {
+  double r = KleeneEffectiveRate(45.0, 1200.0);  // r·W = 54000, clamped
+  EXPECT_TRUE(std::isfinite(r));
+  // Still enormously larger than any plain rate in the paper's range.
+  EXPECT_GT(r, 1e5);
+}
+
+TEST(KleeneEffectiveRateTest, MonotoneInRate) {
+  double lo = KleeneEffectiveRate(1.0, 4.0);
+  double hi = KleeneEffectiveRate(2.0, 4.0);
+  EXPECT_LT(lo, hi);
+}
+
+}  // namespace
+}  // namespace cepjoin

@@ -1,0 +1,80 @@
+#ifndef CEPJOIN_TESTS_TESTING_TEST_UTIL_H_
+#define CEPJOIN_TESTS_TESTING_TEST_UTIL_H_
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "event/event_type.h"
+#include "event/stream.h"
+#include "pattern/pattern.h"
+#include "stats/statistics.h"
+
+namespace cepjoin {
+namespace testing_util {
+
+/// A small universe of single-attribute event types named "A", "B", ...
+/// used across unit tests.
+struct World {
+  EventTypeRegistry registry;
+  std::vector<TypeId> types;
+};
+
+inline World MakeWorld(int n = 5) {
+  World world;
+  for (int i = 0; i < n; ++i) {
+    std::string name(1, static_cast<char>('A' + i));
+    world.types.push_back(world.registry.Register(name, {"v"}));
+  }
+  return world;
+}
+
+/// Shorthand event constructor: type + timestamp + attribute value.
+inline Event Ev(TypeId type, Timestamp ts, double v = 0.0,
+                uint32_t partition = 0) {
+  Event e;
+  e.type = type;
+  e.ts = ts;
+  e.partition = partition;
+  e.attrs = {v};
+  return e;
+}
+
+inline EventStream StreamOf(std::initializer_list<Event> events) {
+  EventStream stream;
+  for (const Event& e : events) stream.Append(e);
+  return stream;
+}
+
+/// Pure pattern over the first `n` world types, in order, no conditions.
+inline SimplePattern PurePattern(const World& world, OperatorKind op, int n,
+                                 Timestamp window) {
+  std::vector<EventSpec> events;
+  for (int i = 0; i < n; ++i) {
+    events.push_back(EventSpec{world.types[i],
+                               std::string(1, static_cast<char>('a' + i)),
+                               false, false});
+  }
+  return SimplePattern(op, std::move(events), {}, window);
+}
+
+/// Random statistics with rates in [0.5, 40] and selectivities in
+/// (0.01, 1]; diagonal unary selectivities in (0.2, 1].
+inline PatternStats RandomStats(int n, Rng& rng) {
+  PatternStats stats(n);
+  for (int i = 0; i < n; ++i) {
+    stats.set_rate(i, rng.UniformReal(0.5, 40.0));
+    stats.set_sel(i, i, rng.UniformReal(0.2, 1.0));
+    for (int j = i + 1; j < n; ++j) {
+      stats.set_sel(i, j, rng.Bernoulli(0.5) ? rng.UniformReal(0.01, 1.0)
+                                             : 1.0);
+    }
+  }
+  return stats;
+}
+
+}  // namespace testing_util
+}  // namespace cepjoin
+
+#endif  // CEPJOIN_TESTS_TESTING_TEST_UTIL_H_

@@ -1,0 +1,116 @@
+// Edge cases for the tree engine, mirroring the NFA edge suite.
+
+#include <gtest/gtest.h>
+
+#include "testing/test_util.h"
+#include "tree/tree_engine.h"
+
+namespace cepjoin {
+namespace {
+
+using testing_util::Ev;
+using testing_util::MakeWorld;
+using testing_util::StreamOf;
+using testing_util::World;
+
+std::vector<Match> RunEngine(const SimplePattern& pattern,
+                             const TreePlan& plan, const EventStream& stream) {
+  CollectingSink sink;
+  TreeEngine engine(pattern, plan, &sink);
+  for (const EventPtr& e : stream.events()) engine.OnEvent(e);
+  engine.Finish();
+  return sink.matches;
+}
+
+TEST(TreeEdgeTest, TimestampTiesDoNotSatisfySeq) {
+  World world = MakeWorld(2);
+  SimplePattern p = testing_util::PurePattern(world, OperatorKind::kSeq, 2, 10);
+  EventStream stream = StreamOf({Ev(0, 1.0), Ev(1, 1.0)});
+  EXPECT_TRUE(
+      RunEngine(p, TreePlan::LeftDeep(OrderPlan::Identity(2)), stream).empty());
+}
+
+TEST(TreeEdgeTest, EmptyStreamAndFinishIdempotence) {
+  World world = MakeWorld(2);
+  SimplePattern p = testing_util::PurePattern(world, OperatorKind::kSeq, 2, 10);
+  CollectingSink sink;
+  TreeEngine engine(p, TreePlan::LeftDeep(OrderPlan::Identity(2)), &sink);
+  engine.Finish();
+  engine.Finish();
+  EXPECT_TRUE(sink.matches.empty());
+}
+
+TEST(TreeEdgeTest, SameTypeSlotsUseDistinctEvents) {
+  World world = MakeWorld(1);
+  std::vector<EventSpec> events = {{world.types[0], "a1", false, false},
+                                   {world.types[0], "a2", false, false}};
+  SimplePattern p(OperatorKind::kSeq, events, {}, 10.0);
+  EventStream stream = StreamOf({Ev(0, 1.0), Ev(0, 2.0), Ev(0, 3.0)});
+  EXPECT_EQ(
+      RunEngine(p, TreePlan::LeftDeep(OrderPlan::Identity(2)), stream).size(),
+      3u);
+}
+
+TEST(TreeEdgeTest, KleeneInsideAndPattern) {
+  World world = MakeWorld(2);
+  std::vector<EventSpec> events = {{world.types[0], "a", false, false},
+                                   {world.types[1], "b", false, true}};
+  SimplePattern p(OperatorKind::kAnd, events, {}, 10.0);
+  EventStream stream = StreamOf({Ev(1, 1), Ev(0, 2), Ev(1, 3)});
+  EXPECT_EQ(
+      RunEngine(p, TreePlan::LeftDeep(OrderPlan::Identity(2)), stream).size(),
+      3u);
+}
+
+TEST(TreeEdgeTest, EvictionBoundsNodeBuffers) {
+  World world = MakeWorld(2);
+  SimplePattern p = testing_util::PurePattern(world, OperatorKind::kSeq, 2, 1.0);
+  CollectingSink sink;
+  TreeEngine engine(p, TreePlan::LeftDeep(OrderPlan::Identity(2)), &sink);
+  EventStream stream;
+  for (int i = 0; i < 1000; ++i) stream.Append(Ev(0, i * 0.1));
+  for (const EventPtr& e : stream.events()) engine.OnEvent(e);
+  EXPECT_LT(engine.counters().live_instances, 120u);
+}
+
+TEST(TreeEdgeTest, DeepLeftDeepAndDeepRightDeepAgree) {
+  World world = MakeWorld(5);
+  std::vector<EventSpec> events;
+  for (int i = 0; i < 5; ++i) {
+    events.push_back({world.types[i], "e" + std::to_string(i), false, false});
+  }
+  SimplePattern p(OperatorKind::kSeq, events, {}, 3.0);
+  Rng rng(61);
+  EventStream stream;
+  double ts = 0;
+  for (int i = 0; i < 150; ++i) {
+    ts += rng.UniformReal(0.02, 0.2);
+    stream.Append(Ev(world.types[rng.UniformInt(0, 4)], ts));
+  }
+  // Right-deep tree: (0 (1 (2 (3 4)))).
+  TreePlan::Builder b;
+  int acc = b.AddLeaf(4);
+  for (int item = 3; item >= 0; --item) {
+    acc = b.AddInternal(b.AddLeaf(item), acc);
+  }
+  TreePlan right_deep = b.Build(acc);
+  std::vector<Match> left =
+      RunEngine(p, TreePlan::LeftDeep(OrderPlan::Identity(5)), stream);
+  std::vector<Match> right = RunEngine(p, right_deep, stream);
+  EXPECT_FALSE(left.empty());
+  EXPECT_EQ(left.size(), right.size());
+}
+
+TEST(TreeEdgeDeathTest, SingleKleeneLeafRootRejected) {
+  World world = MakeWorld(1);
+  std::vector<EventSpec> events = {{world.types[0], "a", false, true}};
+  SimplePattern p(OperatorKind::kSeq, events, {}, 1.0);
+  CollectingSink sink;
+  TreePlan plan = TreePlan::LeftDeep(OrderPlan::Identity(1));
+  // A Kleene leaf as the tree root cannot buffer subsets; the engine must
+  // reject the construction rather than silently under-report.
+  EXPECT_DEATH(TreeEngine(p, plan, &sink), "");
+}
+
+}  // namespace
+}  // namespace cepjoin

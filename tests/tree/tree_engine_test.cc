@@ -1,0 +1,201 @@
+#include "tree/tree_engine.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "testing/test_util.h"
+
+namespace cepjoin {
+namespace {
+
+using testing_util::Ev;
+using testing_util::MakeWorld;
+using testing_util::StreamOf;
+using testing_util::World;
+
+std::vector<Match> RunEngine(const SimplePattern& pattern, const TreePlan& plan,
+                       const EventStream& stream) {
+  CollectingSink sink;
+  TreeEngine engine(pattern, plan, &sink);
+  for (const EventPtr& e : stream.events()) engine.OnEvent(e);
+  engine.Finish();
+  return sink.matches;
+}
+
+std::vector<std::string> Fingerprints(const std::vector<Match>& matches) {
+  std::vector<std::string> out;
+  for (const Match& m : matches) out.push_back(m.Fingerprint());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(TreeEngineTest, DetectsSimpleSequence) {
+  World world = MakeWorld(2);
+  SimplePattern p = testing_util::PurePattern(world, OperatorKind::kSeq, 2, 10);
+  EventStream stream = StreamOf({Ev(0, 1), Ev(1, 2), Ev(0, 3), Ev(1, 4)});
+  EXPECT_EQ(
+      RunEngine(p, TreePlan::LeftDeep(OrderPlan::Identity(2)), stream).size(), 3u);
+}
+
+TEST(TreeEngineTest, BushyPlanDetectsFourSlots) {
+  World world = MakeWorld(4);
+  SimplePattern p = testing_util::PurePattern(world, OperatorKind::kSeq, 4, 10);
+  TreePlan::Builder builder;
+  int a = builder.AddLeaf(0);
+  int b = builder.AddLeaf(1);
+  int c = builder.AddLeaf(2);
+  int d = builder.AddLeaf(3);
+  TreePlan bushy = builder.Build(
+      builder.AddInternal(builder.AddInternal(a, b), builder.AddInternal(c, d)));
+  EventStream stream = StreamOf({Ev(0, 1), Ev(1, 2), Ev(2, 3), Ev(3, 4)});
+  EXPECT_EQ(RunEngine(p, bushy, stream).size(), 1u);
+}
+
+TEST(TreeEngineTest, CrossConditionsEnforcedAtJoinNodes) {
+  World world = MakeWorld(3);
+  std::vector<EventSpec> events = {{world.types[0], "a", false, false},
+                                   {world.types[1], "b", false, false},
+                                   {world.types[2], "c", false, false}};
+  std::vector<ConditionPtr> conditions = {
+      std::make_shared<AttrCompare>(0, 0, CmpOp::kEq, 2, 0)};
+  SimplePattern p(OperatorKind::kSeq, events, conditions, 10.0);
+  // Fig. 3(c)-style plan: join A with C first.
+  TreePlan::Builder builder;
+  int a = builder.AddLeaf(0);
+  int c = builder.AddLeaf(2);
+  int ac = builder.AddInternal(a, c);
+  int b = builder.AddLeaf(1);
+  TreePlan plan = builder.Build(builder.AddInternal(ac, b));
+  EventStream stream = StreamOf({Ev(0, 1, 7.0), Ev(1, 2), Ev(2, 3, 7.0),
+                                 Ev(0, 4, 1.0), Ev(1, 5), Ev(2, 6, 2.0)});
+  std::vector<Match> matches = RunEngine(p, plan, stream);
+  // Only the a.v == c.v pair (7.0) with the B in between: (a1, b1, c1);
+  // note (a1, b1, c2) fails the value condition, (a1, b2, c1) fails seq.
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].slots[0][0]->serial, 0u);
+  EXPECT_EQ(matches[0].slots[1][0]->serial, 1u);
+  EXPECT_EQ(matches[0].slots[2][0]->serial, 2u);
+}
+
+TEST(TreeEngineTest, WindowEnforced) {
+  World world = MakeWorld(2);
+  SimplePattern p = testing_util::PurePattern(world, OperatorKind::kSeq, 2, 2);
+  EventStream stream = StreamOf({Ev(0, 0), Ev(1, 3)});
+  EXPECT_TRUE(
+      RunEngine(p, TreePlan::LeftDeep(OrderPlan::Identity(2)), stream).empty());
+}
+
+TEST(TreeEngineTest, TreeShapeInvariance) {
+  // All tree shapes over the same pattern produce identical match sets.
+  World world = MakeWorld(3);
+  std::vector<EventSpec> events = {{world.types[0], "a", false, false},
+                                   {world.types[1], "b", false, false},
+                                   {world.types[2], "c", false, false}};
+  std::vector<ConditionPtr> conditions = {
+      std::make_shared<AttrCompare>(0, 0, CmpOp::kLt, 2, 0)};
+  SimplePattern p(OperatorKind::kSeq, events, conditions, 4.0);
+  Rng rng(23);
+  EventStream stream;
+  double ts = 0;
+  for (int i = 0; i < 100; ++i) {
+    ts += rng.UniformReal(0.05, 0.3);
+    stream.Append(Ev(world.types[rng.UniformInt(0, 2)], ts,
+                     rng.UniformReal(-2, 2)));
+  }
+  // Three shapes: ((01)2), (0(12)), ((02)1).
+  std::vector<TreePlan> shapes;
+  shapes.push_back(TreePlan::LeftDeep(OrderPlan::Identity(3)));
+  {
+    TreePlan::Builder b;
+    int l0 = b.AddLeaf(0);
+    int l1 = b.AddLeaf(1);
+    int l2 = b.AddLeaf(2);
+    shapes.push_back(b.Build(b.AddInternal(l0, b.AddInternal(l1, l2))));
+  }
+  {
+    TreePlan::Builder b;
+    int l0 = b.AddLeaf(0);
+    int l2 = b.AddLeaf(2);
+    int l1 = b.AddLeaf(1);
+    shapes.push_back(b.Build(b.AddInternal(b.AddInternal(l0, l2), l1)));
+  }
+  std::vector<std::string> reference = Fingerprints(RunEngine(p, shapes[0], stream));
+  EXPECT_FALSE(reference.empty());
+  for (size_t k = 1; k < shapes.size(); ++k) {
+    EXPECT_EQ(Fingerprints(RunEngine(p, shapes[k], stream)), reference)
+        << shapes[k].Describe();
+  }
+}
+
+TEST(TreeEngineTest, InternalNegationAtLowestCoveringNode) {
+  World world = MakeWorld(3);
+  std::vector<EventSpec> events = {{world.types[0], "a", false, false},
+                                   {world.types[1], "b", true, false},
+                                   {world.types[2], "c", false, false}};
+  SimplePattern p(OperatorKind::kSeq, events, {}, 10.0);
+  TreePlan plan = TreePlan::LeftDeep(OrderPlan::Identity(2));
+  EXPECT_TRUE(RunEngine(p, plan, StreamOf({Ev(0, 1), Ev(1, 2), Ev(2, 3)})).empty());
+  EXPECT_EQ(RunEngine(p, plan, StreamOf({Ev(0, 1), Ev(2, 3), Ev(1, 4)})).size(), 1u);
+}
+
+TEST(TreeEngineTest, TrailingNegationDefersEmission) {
+  World world = MakeWorld(3);
+  std::vector<EventSpec> events = {{world.types[0], "a", false, false},
+                                   {world.types[2], "c", false, false},
+                                   {world.types[1], "b", true, false}};
+  SimplePattern p(OperatorKind::kSeq, events, {}, 2.0);
+  TreePlan plan = TreePlan::LeftDeep(OrderPlan::Identity(2));
+  EXPECT_TRUE(
+      RunEngine(p, plan, StreamOf({Ev(0, 1), Ev(2, 2), Ev(1, 2.5)})).empty());
+  EXPECT_EQ(
+      RunEngine(p, plan, StreamOf({Ev(0, 1), Ev(2, 2), Ev(1, 3.5)})).size(), 1u);
+}
+
+TEST(TreeEngineTest, KleeneLeafEnumeratesSubsets) {
+  World world = MakeWorld(3);
+  std::vector<EventSpec> events = {{world.types[0], "a", false, false},
+                                   {world.types[1], "b", false, true},
+                                   {world.types[2], "c", false, false}};
+  SimplePattern p(OperatorKind::kSeq, events, {}, 10.0);
+  TreePlan plan = TreePlan::LeftDeep(OrderPlan::Identity(3));
+  EventStream stream =
+      StreamOf({Ev(0, 1), Ev(1, 2), Ev(1, 3), Ev(1, 4), Ev(2, 5)});
+  EXPECT_EQ(RunEngine(p, plan, stream).size(), 7u);
+}
+
+TEST(TreeEngineTest, SkipTillNextLimitsCombinations) {
+  World world = MakeWorld(2);
+  SimplePattern p =
+      testing_util::PurePattern(world, OperatorKind::kSeq, 2, 10)
+          .WithStrategy(SelectionStrategy::kSkipTillNext);
+  EventStream stream = StreamOf({Ev(0, 1), Ev(1, 2), Ev(1, 3)});
+  EXPECT_EQ(RunEngine(p, TreePlan::LeftDeep(OrderPlan::Identity(2)), stream).size(),
+            1u);
+}
+
+TEST(TreeEngineTest, CountersTrackState) {
+  World world = MakeWorld(2);
+  SimplePattern p = testing_util::PurePattern(world, OperatorKind::kSeq, 2, 10);
+  CollectingSink sink;
+  TreeEngine engine(p, TreePlan::LeftDeep(OrderPlan::Identity(2)), &sink);
+  EventStream stream = StreamOf({Ev(0, 1), Ev(1, 2)});
+  for (const EventPtr& e : stream.events()) {
+    engine.OnEvent(e);
+  }
+  engine.Finish();
+  EXPECT_EQ(engine.counters().matches_emitted, 1u);
+  EXPECT_GE(engine.counters().instances_created, 2u);  // two leaf instances
+}
+
+TEST(TreeEngineDeathTest, PlanMustMatchSlotCount) {
+  World world = MakeWorld(3);
+  SimplePattern p = testing_util::PurePattern(world, OperatorKind::kSeq, 3, 10);
+  CollectingSink sink;
+  EXPECT_DEATH(
+      TreeEngine(p, TreePlan::LeftDeep(OrderPlan::Identity(2)), &sink),
+      "positive slots");
+}
+
+}  // namespace
+}  // namespace cepjoin

@@ -1,0 +1,117 @@
+#include "workload/pattern_generator.h"
+
+#include <gtest/gtest.h>
+
+namespace cepjoin {
+namespace {
+
+StockUniverse SmallUniverse() {
+  StockGeneratorConfig config;
+  config.num_symbols = 12;
+  config.duration_seconds = 5.0;
+  return GenerateStockStream(config);
+}
+
+TEST(PatternGeneratorTest, SequenceFamily) {
+  StockUniverse universe = SmallUniverse();
+  PatternGenConfig config;
+  config.family = PatternFamily::kSequence;
+  config.size = 5;
+  std::vector<SimplePattern> patterns = GeneratePattern(universe, config);
+  ASSERT_EQ(patterns.size(), 1u);
+  EXPECT_EQ(patterns[0].op(), OperatorKind::kSeq);
+  EXPECT_EQ(patterns[0].size(), 5);
+  EXPECT_TRUE(patterns[0].is_pure());
+  // ~size/2 conditions.
+  EXPECT_EQ(patterns[0].conditions().size(), 2u);
+}
+
+TEST(PatternGeneratorTest, NegationFamilyHasOneInternalNegatedSlot) {
+  StockUniverse universe = SmallUniverse();
+  PatternGenConfig config;
+  config.family = PatternFamily::kNegation;
+  config.size = 5;
+  std::vector<SimplePattern> patterns = GeneratePattern(universe, config);
+  ASSERT_EQ(patterns.size(), 1u);
+  ASSERT_EQ(patterns[0].negated_positions().size(), 1u);
+  int neg = patterns[0].negated_positions()[0];
+  EXPECT_GT(neg, 0);
+  EXPECT_LT(neg, 4);
+  EXPECT_EQ(patterns[0].num_positive(), 4);
+}
+
+TEST(PatternGeneratorTest, ConjunctionFamily) {
+  StockUniverse universe = SmallUniverse();
+  PatternGenConfig config;
+  config.family = PatternFamily::kConjunction;
+  config.size = 4;
+  std::vector<SimplePattern> patterns = GeneratePattern(universe, config);
+  ASSERT_EQ(patterns.size(), 1u);
+  EXPECT_EQ(patterns[0].op(), OperatorKind::kAnd);
+}
+
+TEST(PatternGeneratorTest, KleeneFamilyHasSelectiveFilter) {
+  StockUniverse universe = SmallUniverse();
+  PatternGenConfig config;
+  config.family = PatternFamily::kKleene;
+  config.size = 4;
+  std::vector<SimplePattern> patterns = GeneratePattern(universe, config);
+  ASSERT_EQ(patterns.size(), 1u);
+  EXPECT_TRUE(patterns[0].has_kleene());
+  // The Kleene slot carries a unary filter keeping the power set small.
+  int kleene_pos = -1;
+  for (int i = 0; i < patterns[0].size(); ++i) {
+    if (patterns[0].events()[i].kleene) kleene_pos = i;
+  }
+  ASSERT_GE(kleene_pos, 0);
+  bool has_unary = false;
+  for (const ConditionPtr& c : patterns[0].conditions()) {
+    if (c->unary() && c->left() == kleene_pos) has_unary = true;
+  }
+  EXPECT_TRUE(has_unary);
+}
+
+TEST(PatternGeneratorTest, DisjunctionFamilyYieldsThreeSequences) {
+  StockUniverse universe = SmallUniverse();
+  PatternGenConfig config;
+  config.family = PatternFamily::kDisjunction;
+  config.size = 3;
+  std::vector<SimplePattern> patterns = GeneratePattern(universe, config);
+  ASSERT_EQ(patterns.size(), 3u);
+  for (const SimplePattern& p : patterns) {
+    EXPECT_EQ(p.op(), OperatorKind::kSeq);
+    EXPECT_EQ(p.size(), 3);
+  }
+}
+
+TEST(PatternGeneratorTest, DeterministicPerSeedDistinctAcrossSeeds) {
+  StockUniverse universe = SmallUniverse();
+  PatternGenConfig config;
+  config.family = PatternFamily::kSequence;
+  config.size = 4;
+  config.seed = 9;
+  std::string a = GeneratePattern(universe, config)[0].Describe();
+  std::string b = GeneratePattern(universe, config)[0].Describe();
+  EXPECT_EQ(a, b);
+  config.seed = 10;
+  std::string c = GeneratePattern(universe, config)[0].Describe();
+  EXPECT_NE(a, c);
+}
+
+TEST(PatternGeneratorTest, StrategyPropagates) {
+  StockUniverse universe = SmallUniverse();
+  PatternGenConfig config;
+  config.family = PatternFamily::kSequence;
+  config.size = 3;
+  config.strategy = SelectionStrategy::kSkipTillNext;
+  EXPECT_EQ(GeneratePattern(universe, config)[0].strategy(),
+            SelectionStrategy::kSkipTillNext);
+}
+
+TEST(PatternGeneratorTest, AllFamiliesEnumerated) {
+  EXPECT_EQ(AllFamilies().size(), 5u);
+  EXPECT_STREQ(FamilyName(PatternFamily::kKleene), "kleene");
+}
+
+}  // namespace
+}  // namespace cepjoin

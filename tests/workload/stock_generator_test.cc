@@ -1,0 +1,123 @@
+#include "workload/stock_generator.h"
+
+#include <gtest/gtest.h>
+
+#include "stats/collector.h"
+
+namespace cepjoin {
+namespace {
+
+TEST(StockGeneratorTest, ProducesOrderedStreamWithAllSymbols) {
+  StockGeneratorConfig config;
+  config.num_symbols = 8;
+  config.duration_seconds = 30.0;
+  StockUniverse universe = GenerateStockStream(config);
+  EXPECT_EQ(universe.registry.size(), 8u);
+  EXPECT_GT(universe.stream.size(), 100u);
+  Timestamp prev = 0.0;
+  for (const EventPtr& e : universe.stream.events()) {
+    EXPECT_GE(e->ts, prev);
+    prev = e->ts;
+    EXPECT_LT(e->type, 8u);
+    EXPECT_EQ(e->attrs.size(), 2u);
+  }
+  for (size_t t = 0; t < 8; ++t) {
+    EXPECT_GT(universe.stream.type_counts()[t], 0u) << "symbol " << t;
+  }
+}
+
+TEST(StockGeneratorTest, DeterministicForFixedSeed) {
+  StockGeneratorConfig config;
+  config.num_symbols = 4;
+  config.duration_seconds = 5.0;
+  StockUniverse a = GenerateStockStream(config);
+  StockUniverse b = GenerateStockStream(config);
+  ASSERT_EQ(a.stream.size(), b.stream.size());
+  for (size_t i = 0; i < a.stream.size(); ++i) {
+    EXPECT_EQ(a.stream[i]->type, b.stream[i]->type);
+    EXPECT_DOUBLE_EQ(a.stream[i]->ts, b.stream[i]->ts);
+    EXPECT_EQ(a.stream[i]->attrs, b.stream[i]->attrs);
+  }
+}
+
+TEST(StockGeneratorTest, SeedsChangeTheStream) {
+  StockGeneratorConfig config;
+  config.num_symbols = 4;
+  config.duration_seconds = 5.0;
+  StockUniverse a = GenerateStockStream(config);
+  config.seed = 43;
+  StockUniverse b = GenerateStockStream(config);
+  EXPECT_NE(a.stream.size(), b.stream.size());
+}
+
+TEST(StockGeneratorTest, RatesFallInConfiguredRange) {
+  StockGeneratorConfig config;
+  config.num_symbols = 10;
+  config.min_rate = 2.0;
+  config.max_rate = 20.0;
+  config.duration_seconds = 60.0;
+  StockUniverse universe = GenerateStockStream(config);
+  StatsCollector collector(universe.stream, universe.registry.size());
+  for (TypeId t : universe.symbols) {
+    double rate = collector.TypeRate(t);
+    // Poisson noise allowance around the configured bounds.
+    EXPECT_GT(rate, config.min_rate * 0.4) << "symbol " << t;
+    EXPECT_LT(rate, config.max_rate * 1.6) << "symbol " << t;
+  }
+}
+
+TEST(StockGeneratorTest, DifferenceAttributeTracksPriceWalk) {
+  StockGeneratorConfig config;
+  config.num_symbols = 1;
+  config.duration_seconds = 10.0;
+  StockUniverse universe = GenerateStockStream(config);
+  double prev_price = 0.0;
+  bool first = true;
+  for (const EventPtr& e : universe.stream.events()) {
+    if (!first) {
+      EXPECT_NEAR(e->Attr(universe.price_attr()) - prev_price,
+                  e->Attr(universe.difference_attr()), 1e-9);
+    }
+    prev_price = e->Attr(universe.price_attr());
+    first = false;
+  }
+}
+
+TEST(StockGeneratorTest, SelectivitySpectrumIsBroad) {
+  // The drift spread must produce both selective and permissive
+  // difference comparisons, like the paper's measured 0.002–0.88 range.
+  StockGeneratorConfig config;
+  config.num_symbols = 16;
+  config.duration_seconds = 60.0;
+  StockUniverse universe = GenerateStockStream(config);
+  StatsCollector collector(universe.stream, universe.registry.size());
+  double min_sel = 1.0;
+  double max_sel = 0.0;
+  for (int i = 0; i < 16; ++i) {
+    for (int j = i + 1; j < 16; ++j) {
+      AttrCompare cond(0, universe.difference_attr(), CmpOp::kLt, 1,
+                       universe.difference_attr());
+      double sel = collector.ConditionSelectivity(cond, universe.symbols[i],
+                                                  universe.symbols[j]);
+      min_sel = std::min(min_sel, sel);
+      max_sel = std::max(max_sel, sel);
+    }
+  }
+  EXPECT_LT(min_sel, 0.15);
+  EXPECT_GT(max_sel, 0.75);
+}
+
+TEST(StockGeneratorTest, PartitionsAssignedBySector) {
+  StockGeneratorConfig config;
+  config.num_symbols = 8;
+  config.num_sectors = 4;
+  config.duration_seconds = 5.0;
+  StockUniverse universe = GenerateStockStream(config);
+  for (const EventPtr& e : universe.stream.events()) {
+    EXPECT_LT(e->partition, 4u);
+    EXPECT_EQ(e->partition, e->type % 4);
+  }
+}
+
+}  // namespace
+}  // namespace cepjoin
