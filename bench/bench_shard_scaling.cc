@@ -1,0 +1,92 @@
+// Shard scaling: the same keyed stream through ShardedRuntime at 1, 2,
+// 4, ... worker threads (up to hardware_concurrency, and at least 4 so
+// the sweep is comparable across machines). Partition-local matching is
+// embarrassingly parallel, so throughput should scale near-linearly
+// until the router thread or the core count saturates.
+//
+// The match count column is the built-in correctness check: it must be
+// identical on every row (the deterministic merge guarantees the full
+// match set is, too).
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "harness.h"
+#include "common/rng.h"
+#include "parallel/sharded_runtime.h"
+#include "pattern/pattern.h"
+#include "workload/keyed_generator.h"
+
+namespace cepjoin {
+namespace {
+
+struct SweepResult {
+  size_t threads = 0;
+  double wall_seconds = 0.0;
+  double events_per_second = 0.0;
+  uint64_t matches = 0;
+};
+
+SweepResult RunOnce(const SimplePattern& pattern, const EventStream& stream,
+                    size_t num_types, size_t threads) {
+  CountingSink sink;
+  ShardedOptions options;
+  options.num_threads = threads;
+  ShardedRuntime runtime(pattern, stream, num_types, "GREEDY", &sink,
+                         options);
+  auto start = std::chrono::steady_clock::now();
+  runtime.ProcessStream(stream);
+  runtime.Finish();
+  double wall = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+  SweepResult result;
+  result.threads = threads;
+  result.wall_seconds = wall;
+  result.events_per_second =
+      wall > 0 ? static_cast<double>(stream.size()) / wall : 0.0;
+  result.matches = sink.count;
+  return result;
+}
+
+}  // namespace
+}  // namespace cepjoin
+
+int main() {
+  using namespace cepjoin;
+  bench::PrintHeader("shard-scaling",
+                     "ShardedRuntime throughput vs worker threads");
+
+  const int kPartitions = 64;
+  const double duration = 40.0 * bench::Scale();
+  KeyedWorkload workload = MakeKeyedWorkload(kPartitions, duration, 7);
+  std::printf("stream: %zu events, %d partitions, pattern %s\n\n",
+              workload.stream.size(), kPartitions,
+              workload.pattern.Describe(&workload.registry).c_str());
+
+  size_t hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 1;
+  std::vector<size_t> sweep;
+  for (size_t t = 1; t <= std::max<size_t>(4, hw); t *= 2) sweep.push_back(t);
+
+  std::printf("%-8s %-10s %-14s %-9s %s\n", "threads", "wall s", "events/s",
+              "speedup", "matches");
+  double base_wall = 0.0;
+  for (size_t threads : sweep) {
+    SweepResult r = RunOnce(workload.pattern, workload.stream,
+                            workload.registry.size(), threads);
+    if (threads == 1) base_wall = r.wall_seconds;
+    std::printf("%-8zu %-10.3f %-14.0f %-9.2f %llu\n", r.threads,
+                r.wall_seconds, r.events_per_second,
+                base_wall > 0 ? base_wall / r.wall_seconds : 0.0,
+                static_cast<unsigned long long>(r.matches));
+  }
+  std::printf(
+      "\n(hardware_concurrency = %zu; speedup beyond it measures "
+      "oversubscription, not scaling)\n",
+      hw);
+  return 0;
+}

@@ -1,0 +1,97 @@
+// The traffic-camera example (Sec. 1) scaled out: sightings are keyed by
+// vehicle (one partition per vehicle), so SEQ(A, B, C, D) matching is
+// partition-local and the stream can be sharded across worker threads.
+// Each vehicle gets its own cost-based plan; the sharded runtime's
+// deterministic merge returns exactly the match set of the
+// single-threaded per-partition run, at any thread count.
+
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+#include "api/keyed_runtime.h"
+#include "common/rng.h"
+
+using namespace cepjoin;
+
+namespace {
+
+EventStream SimulateCameras(int vehicles, double duration) {
+  // Cameras A, B, C at 10 frames/s, D at 1 (the paper's rare camera).
+  Rng rng(7);
+  EventStream stream;
+  double ts = 0.0;
+  while (ts < duration) {
+    ts += 0.002;
+    double coin = rng.UniformReal(0.0, 31.0);
+    TypeId camera = coin < 10 ? 0 : coin < 20 ? 1 : coin < 30 ? 2 : 3;
+    uint32_t vehicle =
+        static_cast<uint32_t>(rng.UniformInt(0, vehicles - 1));
+    Event e;
+    e.type = camera;
+    e.ts = ts;
+    e.partition = vehicle;  // partition key: matches are per-vehicle
+    e.attrs = {static_cast<double>(vehicle)};
+    stream.Append(std::move(e));
+  }
+  return stream;
+}
+
+}  // namespace
+
+int main() {
+  EventTypeRegistry registry;
+  for (const char* name : {"CamA", "CamB", "CamC", "CamD"}) {
+    registry.Register(name, {"vehicleID"});
+  }
+  SimplePattern pattern = PatternBuilder(OperatorKind::kSeq, registry)
+                              .Event("CamA", "a")
+                              .Event("CamB", "b")
+                              .Event("CamC", "c")
+                              .Event("CamD", "d")
+                              .Within(2.0)
+                              .Build();
+  // No join predicates needed: partitioning by vehicle already scopes
+  // matching to one vehicle, replacing the four-way vehicleID equality.
+  EventStream stream = SimulateCameras(/*vehicles=*/128, /*duration=*/60.0);
+  std::printf("pattern: %s\n", pattern.Describe(&registry).c_str());
+  std::printf("stream:  %zu sightings of %d vehicles\n\n", stream.size(),
+              128);
+
+  size_t hw = std::thread::hardware_concurrency();
+  uint64_t single_matches = 0;
+  double single_wall = 0.0;
+  for (size_t threads : {1u, 2u, 4u}) {
+    RuntimeOptions options;
+    options.algorithm = "GREEDY";
+    options.num_threads = threads;
+    CountingSink sink;
+    KeyedCepRuntime runtime(pattern, stream, registry.size(), options, &sink);
+    auto start = std::chrono::steady_clock::now();
+    runtime.ProcessStream(stream);
+    runtime.Finish();
+    double wall = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+    if (threads == 1) {
+      single_matches = sink.count;
+      single_wall = wall;
+    }
+    std::printf(
+        "threads=%zu (%s)  matches=%llu  wall=%.3fs  speedup=%.2fx  "
+        "partitions=%zu\n",
+        threads, runtime.sharded() ? "sharded" : "single",
+        static_cast<unsigned long long>(sink.count), wall,
+        single_wall > 0 ? single_wall / wall : 1.0,
+        runtime.num_partitions());
+    if (sink.count != single_matches) {
+      std::printf("ERROR: match count diverged from single-threaded run\n");
+      return 1;
+    }
+  }
+  std::printf(
+      "\nSame matches at every thread count; speedup tracks physical cores "
+      "(this machine: %zu).\n",
+      hw);
+  return 0;
+}

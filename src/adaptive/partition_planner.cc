@@ -1,0 +1,47 @@
+#include "adaptive/partition_planner.h"
+
+#include <utility>
+
+namespace cepjoin {
+
+PartitionPlanner::PartitionPlanner(const SimplePattern& pattern,
+                                   const EventStream& history,
+                                   size_t num_types,
+                                   const std::string& algorithm, uint64_t seed,
+                                   double latency_alpha)
+    : pattern_(pattern),
+      algorithm_(algorithm),
+      seed_(seed),
+      latency_alpha_(latency_alpha),
+      global_stats_(pattern.num_positive()) {
+  // Split the history by partition and collect statistics per partition.
+  std::unordered_map<uint32_t, EventStream> by_partition;
+  for (const EventPtr& e : history.events()) {
+    Event copy = *e;
+    by_partition[e->partition].Append(std::move(copy));
+  }
+  for (const auto& [partition, stream] : by_partition) {
+    StatsCollector collector(stream, num_types);
+    partition_stats_.emplace(partition, collector.CollectForPattern(pattern_));
+  }
+  StatsCollector global(history, num_types);
+  global_stats_ = global.CollectForPattern(pattern_);
+}
+
+const PatternStats& PartitionPlanner::StatsFor(uint32_t partition) const {
+  auto it = partition_stats_.find(partition);
+  return it != partition_stats_.end() ? it->second : global_stats_;
+}
+
+EnginePlan PartitionPlanner::PlanFor(uint32_t partition) const {
+  CostFunction cost =
+      MakeCostFunction(pattern_, StatsFor(partition), latency_alpha_);
+  return MakePlan(algorithm_, cost, seed_);
+}
+
+std::unique_ptr<Engine> PartitionPlanner::BuildEngineFor(
+    const EnginePlan& plan, MatchSink* sink) const {
+  return BuildEngine(pattern_, plan, sink);
+}
+
+}  // namespace cepjoin

@@ -1,0 +1,60 @@
+#ifndef CEPJOIN_ADAPTIVE_PARTITION_PLANNER_H_
+#define CEPJOIN_ADAPTIVE_PARTITION_PLANNER_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "engine/engine_factory.h"
+#include "event/stream.h"
+#include "runtime/match.h"
+#include "stats/collector.h"
+
+namespace cepjoin {
+
+/// The plan-per-partition logic of Sec. 6.2 (partition contiguity),
+/// factored out so the single-threaded PartitionedRuntime and the
+/// multi-threaded ShardedRuntime generate byte-identical plans: the
+/// history is split by partition key, statistics are collected per
+/// partition, and each partition is planned against its own statistics
+/// (falling back to global statistics for partitions absent from the
+/// history).
+///
+/// A PartitionPlanner is immutable after construction, so concurrent
+/// workers may call the const accessors without synchronization.
+class PartitionPlanner {
+ public:
+  PartitionPlanner(const SimplePattern& pattern, const EventStream& history,
+                   size_t num_types, const std::string& algorithm,
+                   uint64_t seed, double latency_alpha = 0.0);
+
+  const SimplePattern& pattern() const { return pattern_; }
+  const std::string& algorithm() const { return algorithm_; }
+  uint64_t seed() const { return seed_; }
+
+  /// Plan-time statistics for one partition; partitions absent from the
+  /// history fall back to the global statistics.
+  const PatternStats& StatsFor(uint32_t partition) const;
+
+  /// Generates the partition's evaluation plan. Deterministic: the same
+  /// (pattern, history, algorithm, seed) always produces the same plan,
+  /// regardless of the calling thread.
+  EnginePlan PlanFor(uint32_t partition) const;
+
+  /// Builds the engine evaluating `plan`, emitting to `sink`.
+  std::unique_ptr<Engine> BuildEngineFor(const EnginePlan& plan,
+                                         MatchSink* sink) const;
+
+ private:
+  SimplePattern pattern_;
+  std::string algorithm_;
+  uint64_t seed_;
+  double latency_alpha_;
+  // Per-partition plan-time statistics, precomputed from the history.
+  std::unordered_map<uint32_t, PatternStats> partition_stats_;
+  PatternStats global_stats_;
+};
+
+}  // namespace cepjoin
+
+#endif  // CEPJOIN_ADAPTIVE_PARTITION_PLANNER_H_

@@ -1,6 +1,8 @@
 #include "adaptive/partitioned_runtime.h"
 
+#include <algorithm>
 #include <utility>
+#include <vector>
 
 #include "common/check.h"
 
@@ -10,40 +12,20 @@ PartitionedRuntime::PartitionedRuntime(const SimplePattern& pattern,
                                        const EventStream& history,
                                        size_t num_types,
                                        const std::string& algorithm,
-                                       MatchSink* sink, uint64_t seed)
-    : pattern_(pattern),
-      algorithm_(algorithm),
-      sink_(sink),
-      seed_(seed),
-      global_stats_(pattern.num_positive()) {
+                                       MatchSink* sink, uint64_t seed,
+                                       double latency_alpha)
+    : planner_(pattern, history, num_types, algorithm, seed, latency_alpha),
+      sink_(sink) {
   CEPJOIN_CHECK(sink_ != nullptr);
-  // Split the history by partition and collect statistics per partition.
-  std::unordered_map<uint32_t, EventStream> by_partition;
-  for (const EventPtr& e : history.events()) {
-    Event copy = *e;
-    by_partition[e->partition].Append(std::move(copy));
-  }
-  for (const auto& [partition, stream] : by_partition) {
-    StatsCollector collector(stream, num_types);
-    partition_stats_.emplace(partition,
-                             collector.CollectForPattern(pattern_));
-  }
-  StatsCollector global(history, num_types);
-  global_stats_ = global.CollectForPattern(pattern_);
 }
 
 PartitionedRuntime::PartitionState& PartitionedRuntime::StateFor(
     uint32_t partition) {
   auto it = engines_.find(partition);
   if (it != engines_.end()) return it->second;
-  auto stats_it = partition_stats_.find(partition);
-  const PatternStats& stats = stats_it != partition_stats_.end()
-                                  ? stats_it->second
-                                  : global_stats_;
-  CostFunction cost = MakeCostFunction(pattern_, stats, 0.0);
   PartitionState state;
-  state.plan = MakePlan(algorithm_, cost, seed_);
-  state.engine = BuildEngine(pattern_, state.plan, sink_);
+  state.plan = planner_.PlanFor(partition);
+  state.engine = planner_.BuildEngineFor(state.plan, sink_);
   return engines_.emplace(partition, std::move(state)).first->second;
 }
 
@@ -56,7 +38,18 @@ void PartitionedRuntime::ProcessStream(const EventStream& stream) {
 }
 
 void PartitionedRuntime::Finish() {
-  for (auto& [partition, state] : engines_) state.engine->Finish();
+  // Ascending partition order, matching the sharded drain: Finish-time
+  // matches (trailing negation) reach the sink in the same canonical
+  // order regardless of hash-map iteration order or thread count.
+  std::vector<uint32_t> partitions;
+  partitions.reserve(engines_.size());
+  for (const auto& [partition, state] : engines_) {
+    partitions.push_back(partition);
+  }
+  std::sort(partitions.begin(), partitions.end());
+  for (uint32_t partition : partitions) {
+    engines_.at(partition).engine->Finish();
+  }
 }
 
 const EnginePlan& PartitionedRuntime::PlanFor(uint32_t partition) const {
@@ -69,7 +62,7 @@ const EnginePlan& PartitionedRuntime::PlanFor(uint32_t partition) const {
 EngineCounters PartitionedRuntime::TotalCounters() const {
   EngineCounters total;
   for (const auto& [partition, state] : engines_) {
-    total.Merge(state.engine->counters());
+    total.MergeDisjoint(state.engine->counters());
   }
   return total;
 }

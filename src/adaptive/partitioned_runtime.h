@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "adaptive/partition_planner.h"
 #include "engine/engine_factory.h"
 #include "event/stream.h"
 #include "runtime/match.h"
@@ -24,6 +25,10 @@ namespace cepjoin {
 /// routes live events to the partition's own engine. Partitions whose
 /// statistics differ get different plans; the match set equals running
 /// the pattern on every partition's sub-stream independently.
+///
+/// Planning is delegated to PartitionPlanner, which ShardedRuntime
+/// (src/parallel/) shares, so the sharded execution produces the same
+/// plans and the same match set as this single-threaded runtime.
 class PartitionedRuntime {
  public:
   /// `history` supplies per-partition statistics (the preprocessing
@@ -31,7 +36,8 @@ class PartitionedRuntime {
   /// statistics.
   PartitionedRuntime(const SimplePattern& pattern, const EventStream& history,
                      size_t num_types, const std::string& algorithm,
-                     MatchSink* sink, uint64_t seed = 7);
+                     MatchSink* sink, uint64_t seed = 7,
+                     double latency_alpha = 0.0);
 
   void OnEvent(const EventPtr& e);
   void ProcessStream(const EventStream& stream);
@@ -41,7 +47,8 @@ class PartitionedRuntime {
   size_t num_partitions() const { return engines_.size(); }
   /// The plan serving one partition; aborts if the partition is unknown.
   const EnginePlan& PlanFor(uint32_t partition) const;
-  /// Aggregated counters across partition engines.
+  /// Aggregated counters across partition engines (disjoint sub-streams:
+  /// all totals, including events_processed, sum).
   EngineCounters TotalCounters() const;
 
  private:
@@ -52,13 +59,8 @@ class PartitionedRuntime {
 
   PartitionState& StateFor(uint32_t partition);
 
-  SimplePattern pattern_;
-  std::string algorithm_;
+  PartitionPlanner planner_;
   MatchSink* sink_;
-  uint64_t seed_;
-  // Per-partition plan-time statistics, precomputed from the history.
-  std::unordered_map<uint32_t, PatternStats> partition_stats_;
-  PatternStats global_stats_;
   std::unordered_map<uint32_t, PartitionState> engines_;
 };
 

@@ -22,6 +22,11 @@ struct RuntimeOptions {
   /// Throughput–latency trade-off weight alpha (Sec. 6.1); 0 optimizes
   /// throughput only.
   double latency_alpha = 0.0;
+  /// Worker threads for keyed (partitioned) execution. 1 runs the
+  /// single-threaded PartitionedRuntime; >1 runs the sharded
+  /// multi-threaded runtime (src/parallel/); 0 means hardware
+  /// concurrency. Ignored by the non-keyed CepRuntime.
+  size_t num_threads = 1;
   uint64_t seed = 7;
 };
 

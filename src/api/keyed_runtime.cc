@@ -1,0 +1,64 @@
+#include "api/keyed_runtime.h"
+
+#include "common/check.h"
+
+namespace cepjoin {
+
+KeyedCepRuntime::KeyedCepRuntime(const SimplePattern& pattern,
+                                 const EventStream& history, size_t num_types,
+                                 const RuntimeOptions& options,
+                                 MatchSink* sink) {
+  if (options.num_threads == 1) {
+    single_ = std::make_unique<PartitionedRuntime>(
+        pattern, history, num_types, options.algorithm, sink, options.seed,
+        options.latency_alpha);
+  } else {
+    ShardedOptions sharded;
+    sharded.num_threads = options.num_threads;
+    sharded_ = std::make_unique<ShardedRuntime>(
+        pattern, history, num_types, options.algorithm, sink, sharded,
+        options.seed, options.latency_alpha);
+  }
+}
+
+void KeyedCepRuntime::OnEvent(const EventPtr& e) {
+  if (single_) {
+    single_->OnEvent(e);
+  } else {
+    sharded_->OnEvent(e);
+  }
+}
+
+void KeyedCepRuntime::ProcessStream(const EventStream& stream) {
+  if (single_) {
+    single_->ProcessStream(stream);
+  } else {
+    sharded_->ProcessStream(stream);
+  }
+}
+
+void KeyedCepRuntime::Finish() {
+  if (single_) {
+    single_->Finish();
+  } else {
+    sharded_->Finish();
+  }
+}
+
+size_t KeyedCepRuntime::num_threads() const {
+  return single_ ? 1 : sharded_->num_threads();
+}
+
+size_t KeyedCepRuntime::num_partitions() const {
+  return single_ ? single_->num_partitions() : sharded_->num_partitions();
+}
+
+const EnginePlan& KeyedCepRuntime::PlanFor(uint32_t partition) const {
+  return single_ ? single_->PlanFor(partition) : sharded_->PlanFor(partition);
+}
+
+EngineCounters KeyedCepRuntime::TotalCounters() const {
+  return single_ ? single_->TotalCounters() : sharded_->TotalCounters();
+}
+
+}  // namespace cepjoin

@@ -1,0 +1,57 @@
+#ifndef CEPJOIN_API_KEYED_RUNTIME_H_
+#define CEPJOIN_API_KEYED_RUNTIME_H_
+
+#include <memory>
+
+#include "adaptive/partitioned_runtime.h"
+#include "api/cep_runtime.h"
+#include "event/stream.h"
+#include "parallel/sharded_runtime.h"
+#include "runtime/match.h"
+
+namespace cepjoin {
+
+/// Facade over keyed (partition-contiguous) execution: plans each
+/// partition against its own statistics and evaluates the pattern
+/// per-partition, single-threaded or sharded across worker threads
+/// depending on RuntimeOptions::num_threads.
+///
+///   CollectingSink sink;
+///   KeyedCepRuntime runtime(pattern, history, registry.size(),
+///                           {.algorithm = "GREEDY", .num_threads = 4},
+///                           &sink);
+///   runtime.ProcessStream(live_stream);
+///   runtime.Finish();   // sink now holds the canonical match sequence
+///
+/// The match set is identical at every thread count; see
+/// parallel/sharded_runtime.h for the guarantees.
+class KeyedCepRuntime {
+ public:
+  KeyedCepRuntime(const SimplePattern& pattern, const EventStream& history,
+                  size_t num_types, const RuntimeOptions& options,
+                  MatchSink* sink);
+
+  void OnEvent(const EventPtr& e);
+  void ProcessStream(const EventStream& stream);
+  void Finish();
+
+  /// True if execution is sharded across worker threads.
+  bool sharded() const { return sharded_ != nullptr; }
+  /// Worker threads evaluating the pattern (1 when not sharded).
+  size_t num_threads() const;
+  /// Distinct partitions seen. For sharded execution, valid after
+  /// Finish().
+  size_t num_partitions() const;
+  /// The plan serving one partition; aborts if the partition is unknown.
+  const EnginePlan& PlanFor(uint32_t partition) const;
+  /// Counters aggregated across all partition engines.
+  EngineCounters TotalCounters() const;
+
+ private:
+  std::unique_ptr<PartitionedRuntime> single_;
+  std::unique_ptr<ShardedRuntime> sharded_;
+};
+
+}  // namespace cepjoin
+
+#endif  // CEPJOIN_API_KEYED_RUNTIME_H_

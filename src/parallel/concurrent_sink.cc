@@ -1,0 +1,51 @@
+#include "parallel/concurrent_sink.h"
+
+#include <algorithm>
+#include <tuple>
+#include <utility>
+
+#include "common/check.h"
+
+namespace cepjoin {
+
+void ConcurrentMatchSink::ShardSink::OnMatch(const Match& match) {
+  Entry entry;
+  entry.match = match;
+  entry.partition = current_partition_;
+  entries_.push_back(std::move(entry));
+}
+
+ConcurrentMatchSink::ConcurrentMatchSink(size_t num_shards) {
+  CEPJOIN_CHECK(num_shards > 0);
+  shards_.reserve(num_shards);
+  for (size_t i = 0; i < num_shards; ++i) {
+    shards_.push_back(std::make_unique<ShardSink>());
+  }
+}
+
+size_t ConcurrentMatchSink::total_matches() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) total += shard->entries_.size();
+  return total;
+}
+
+void ConcurrentMatchSink::DrainTo(MatchSink* out) {
+  CEPJOIN_CHECK(out != nullptr);
+  std::vector<ShardSink::Entry> all;
+  all.reserve(total_matches());
+  // Concatenate in shard order. Entries of one partition are contiguous
+  // in relative order within exactly one shard's buffer, so the stable
+  // sort below preserves each partition's engine emission order.
+  for (auto& shard : shards_) {
+    for (auto& entry : shard->entries_) all.push_back(std::move(entry));
+    shard->entries_.clear();
+  }
+  std::stable_sort(all.begin(), all.end(),
+                   [](const ShardSink::Entry& a, const ShardSink::Entry& b) {
+                     return std::make_tuple(a.match.emit_serial, a.partition) <
+                            std::make_tuple(b.match.emit_serial, b.partition);
+                   });
+  for (auto& entry : all) out->OnMatch(entry.match);
+}
+
+}  // namespace cepjoin

@@ -1,0 +1,76 @@
+#ifndef CEPJOIN_PARALLEL_CONCURRENT_SINK_H_
+#define CEPJOIN_PARALLEL_CONCURRENT_SINK_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "runtime/match.h"
+
+namespace cepjoin {
+
+/// Collects matches from concurrently running shard workers and replays
+/// them into a downstream (single-threaded) MatchSink in a canonical,
+/// thread-count-independent order.
+///
+/// Design: one ShardSink per worker, each appending to its own buffer —
+/// no locking, no false sharing on the hot path. Determinism comes from
+/// the drain, which stable-sorts all buffered matches by
+/// (emit_serial, partition):
+///
+///  - matches emitted while processing event s carry emit_serial == s,
+///    and s belongs to exactly one partition, so OnEvent-time matches
+///    are totally ordered by emit_serial alone — the same order the
+///    single-threaded PartitionedRuntime emits them in;
+///  - Finish-time matches of different partitions can share an
+///    emit_serial, so the partition id breaks the tie;
+///  - matches of one partition are recorded by one worker in that
+///    partition's deterministic engine order, which the stable sort
+///    preserves.
+///
+/// The result: DrainTo() forwards the same match sequence whether the
+/// stream ran on 1 worker or 16.
+class ConcurrentMatchSink {
+ public:
+  /// Per-worker MatchSink facade. The owning worker must call
+  /// set_current_partition() before feeding its engines, so recorded
+  /// matches carry the partition tie-breaker.
+  class ShardSink : public MatchSink {
+   public:
+    void OnMatch(const Match& match) override;
+    void set_current_partition(uint32_t partition) {
+      current_partition_ = partition;
+    }
+
+   private:
+    friend class ConcurrentMatchSink;
+    struct Entry {
+      Match match;
+      uint32_t partition = 0;
+    };
+    std::vector<Entry> entries_;
+    uint32_t current_partition_ = 0;
+  };
+
+  explicit ConcurrentMatchSink(size_t num_shards);
+
+  ShardSink* shard(size_t i) { return shards_[i].get(); }
+  size_t num_shards() const { return shards_.size(); }
+
+  /// Total matches buffered across all shards. Only meaningful once the
+  /// workers have stopped.
+  size_t total_matches() const;
+
+  /// Replays every buffered match into `out` in canonical order (see
+  /// class comment) and clears the buffers. Must only be called after
+  /// all workers have been joined.
+  void DrainTo(MatchSink* out);
+
+ private:
+  std::vector<std::unique_ptr<ShardSink>> shards_;
+};
+
+}  // namespace cepjoin
+
+#endif  // CEPJOIN_PARALLEL_CONCURRENT_SINK_H_

@@ -1,0 +1,29 @@
+#ifndef CEPJOIN_PARALLEL_EVENT_BATCH_H_
+#define CEPJOIN_PARALLEL_EVENT_BATCH_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "event/event.h"
+
+namespace cepjoin {
+
+/// Unit of transfer between the router and a shard worker: a run of
+/// events, in global arrival order, all belonging to partitions owned by
+/// one shard. Batching amortizes the queue's synchronization cost over
+/// kDefaultBatchSize events instead of paying it per event.
+struct EventBatch {
+  std::vector<EventPtr> events;
+
+  bool empty() const { return events.empty(); }
+  size_t size() const { return events.size(); }
+};
+
+/// Default router batch size. 256 events keeps a batch around 4 KiB of
+/// shared_ptrs — small enough to bound per-shard routing latency, large
+/// enough that queue locking disappears from profiles.
+inline constexpr size_t kDefaultBatchSize = 256;
+
+}  // namespace cepjoin
+
+#endif  // CEPJOIN_PARALLEL_EVENT_BATCH_H_

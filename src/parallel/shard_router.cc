@@ -1,0 +1,75 @@
+#include "parallel/shard_router.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace cepjoin {
+
+namespace {
+
+// splitmix64 finalizer: full-avalanche mix so that the dense partition
+// ids typical of keyed streams (vehicle 0, 1, 2, ...) do not all land on
+// shard (id % num_shards) in lockstep.
+uint64_t Mix64(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+}  // namespace
+
+ShardRouter::ShardRouter(size_t num_shards, size_t batch_size,
+                         size_t queue_capacity)
+    : batch_size_(batch_size) {
+  CEPJOIN_CHECK(num_shards > 0);
+  CEPJOIN_CHECK(batch_size_ > 0);
+  queues_.reserve(num_shards);
+  pending_.resize(num_shards);
+  for (size_t i = 0; i < num_shards; ++i) {
+    queues_.push_back(std::make_unique<BoundedQueue<EventBatch>>(
+        queue_capacity));
+    pending_[i].events.reserve(batch_size_);
+  }
+}
+
+size_t ShardRouter::ShardOf(uint32_t partition) const {
+  return static_cast<size_t>(Mix64(partition) % queues_.size());
+}
+
+void ShardRouter::Route(const EventPtr& e) {
+  size_t shard = ShardOf(e->partition);
+  pending_[shard].events.push_back(e);
+  ++events_routed_;
+  if (pending_[shard].events.size() >= batch_size_) Flush(shard);
+}
+
+void ShardRouter::Flush(size_t shard) {
+  if (pending_[shard].empty()) return;
+  EventBatch batch;
+  batch.events.reserve(batch_size_);
+  std::swap(batch, pending_[shard]);
+  size_t batch_events = batch.events.size();
+  if (queues_[shard]->Push(std::move(batch))) {
+    ++batches_flushed_;
+  } else {
+    // Closed queue: the batch was dropped, not delivered — keep the
+    // counters honest so events_routed() - events_dropped() reconciles
+    // with the workers' events_processed.
+    events_dropped_ += batch_events;
+  }
+}
+
+void ShardRouter::FlushAll() {
+  for (size_t shard = 0; shard < queues_.size(); ++shard) Flush(shard);
+}
+
+void ShardRouter::CloseAll() {
+  FlushAll();
+  for (auto& queue : queues_) queue->Close();
+}
+
+}  // namespace cepjoin

@@ -1,0 +1,71 @@
+#ifndef CEPJOIN_PARALLEL_SHARD_ROUTER_H_
+#define CEPJOIN_PARALLEL_SHARD_ROUTER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "parallel/bounded_queue.h"
+#include "parallel/event_batch.h"
+
+namespace cepjoin {
+
+/// Hash-routes a timestamp-ordered keyed stream to per-shard batch
+/// queues. A partition maps to exactly one shard for the lifetime of the
+/// router, so each partition's events reach its worker in global arrival
+/// order — the invariant the deterministic merge (concurrent_sink.h)
+/// relies on.
+///
+/// Route() is called from a single ingestion thread; workers consume the
+/// queues concurrently.
+class ShardRouter {
+ public:
+  /// `queue_capacity` is in batches per shard; with the default batch
+  /// size a capacity of 8 bounds in-flight events per shard at ~2048.
+  ShardRouter(size_t num_shards, size_t batch_size = kDefaultBatchSize,
+              size_t queue_capacity = kDefaultQueueCapacity);
+
+  /// Shard owning `partition`: splitmix64-mixed hash mod num_shards, so
+  /// dense partition ids (0, 1, 2, ...) still spread evenly.
+  size_t ShardOf(uint32_t partition) const;
+
+  /// Appends the event to its shard's pending batch; flushes the batch
+  /// to the shard queue once it reaches the batch size (blocking if the
+  /// shard's queue is full — back-pressure, never loss).
+  void Route(const EventPtr& e);
+
+  /// Flushes all non-empty pending batches.
+  void FlushAll();
+
+  /// Flushes pending batches and closes every shard queue (signals
+  /// end-of-stream to the workers). Idempotent.
+  void CloseAll();
+
+  size_t num_shards() const { return queues_.size(); }
+  BoundedQueue<EventBatch>& queue(size_t shard) { return *queues_[shard]; }
+
+  /// Events routed so far (including events still in pending batches).
+  uint64_t events_routed() const { return events_routed_; }
+  /// Batches successfully flushed into shard queues so far.
+  uint64_t batches_flushed() const { return batches_flushed_; }
+  /// Events dropped because their shard queue was already closed
+  /// (flushing after CloseAll). Always 0 in normal operation.
+  uint64_t events_dropped() const { return events_dropped_; }
+
+  static constexpr size_t kDefaultQueueCapacity = 8;
+
+ private:
+  void Flush(size_t shard);
+
+  std::vector<std::unique_ptr<BoundedQueue<EventBatch>>> queues_;
+  std::vector<EventBatch> pending_;
+  size_t batch_size_;
+  uint64_t events_routed_ = 0;
+  uint64_t batches_flushed_ = 0;
+  uint64_t events_dropped_ = 0;
+};
+
+}  // namespace cepjoin
+
+#endif  // CEPJOIN_PARALLEL_SHARD_ROUTER_H_

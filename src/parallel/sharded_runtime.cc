@@ -1,0 +1,98 @@
+#include "parallel/sharded_runtime.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "common/check.h"
+
+namespace cepjoin {
+
+namespace {
+
+size_t ResolveThreads(size_t requested) {
+  if (requested > 0) return requested;
+  size_t hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+}  // namespace
+
+ShardedRuntime::ShardedRuntime(const SimplePattern& pattern,
+                               const EventStream& history, size_t num_types,
+                               const std::string& algorithm, MatchSink* sink,
+                               const ShardedOptions& options, uint64_t seed,
+                               double latency_alpha)
+    : planner_(pattern, history, num_types, algorithm, seed, latency_alpha),
+      sink_(sink),
+      router_(ResolveThreads(options.num_threads), options.batch_size,
+              options.queue_capacity),
+      concurrent_sink_(router_.num_shards()) {
+  CEPJOIN_CHECK(sink_ != nullptr);
+  workers_.reserve(router_.num_shards());
+  for (size_t shard = 0; shard < router_.num_shards(); ++shard) {
+    workers_.push_back(std::make_unique<ShardWorker>(
+        &planner_, &router_.queue(shard), concurrent_sink_.shard(shard)));
+  }
+  try {
+    for (auto& worker : workers_) worker->Start();
+  } catch (...) {
+    // Thread creation failed partway: close the queues so the workers
+    // already started can exit, letting ~ShardWorker join them instead
+    // of deadlocking on a never-closed queue.
+    router_.CloseAll();
+    throw;
+  }
+}
+
+ShardedRuntime::~ShardedRuntime() {
+  // Release the workers even if the caller never called Finish();
+  // buffered matches are dropped in that case, mirroring an engine
+  // destroyed before Finish().
+  router_.CloseAll();
+  for (auto& worker : workers_) worker->Join();
+}
+
+void ShardedRuntime::OnEvent(const EventPtr& e) {
+  CEPJOIN_CHECK(!finished_) << "OnEvent after Finish";
+  router_.Route(e);
+}
+
+void ShardedRuntime::ProcessStream(const EventStream& stream) {
+  for (const EventPtr& e : stream.events()) OnEvent(e);
+}
+
+void ShardedRuntime::Finish() {
+  if (finished_) return;
+  finished_ = true;
+  router_.CloseAll();
+  for (auto& worker : workers_) worker->Join();
+  concurrent_sink_.DrainTo(sink_);
+}
+
+size_t ShardedRuntime::num_partitions() const {
+  // Reading worker state while workers still run would be a data race.
+  CEPJOIN_CHECK(finished_) << "num_partitions before Finish";
+  size_t total = 0;
+  for (const auto& worker : workers_) total += worker->num_partitions();
+  return total;
+}
+
+const EnginePlan& ShardedRuntime::PlanFor(uint32_t partition) const {
+  CEPJOIN_CHECK(finished_) << "PlanFor before Finish";
+  size_t shard = router_.ShardOf(partition);
+  const EnginePlan* plan = workers_[shard]->PlanFor(partition);
+  CEPJOIN_CHECK(plan != nullptr)
+      << "no events seen for partition " << partition;
+  return *plan;
+}
+
+EngineCounters ShardedRuntime::TotalCounters() const {
+  CEPJOIN_CHECK(finished_) << "TotalCounters before Finish";
+  EngineCounters total;
+  for (const auto& worker : workers_) {
+    total.MergeDisjoint(worker->counters());
+  }
+  return total;
+}
+
+}  // namespace cepjoin

@@ -1,0 +1,97 @@
+#ifndef CEPJOIN_PARALLEL_SHARDED_RUNTIME_H_
+#define CEPJOIN_PARALLEL_SHARDED_RUNTIME_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "adaptive/partition_planner.h"
+#include "event/stream.h"
+#include "parallel/concurrent_sink.h"
+#include "parallel/event_batch.h"
+#include "parallel/shard_router.h"
+#include "parallel/worker.h"
+#include "runtime/match.h"
+
+namespace cepjoin {
+
+/// Tuning knobs of the sharded execution layer.
+struct ShardedOptions {
+  /// Worker threads (shards). 0 means std::thread::hardware_concurrency.
+  size_t num_threads = 0;
+  /// Events per routed batch (amortizes queue synchronization).
+  size_t batch_size = kDefaultBatchSize;
+  /// Queue depth per shard, in batches (bounds in-flight memory and
+  /// applies back-pressure to the ingestion thread).
+  size_t queue_capacity = ShardRouter::kDefaultQueueCapacity;
+};
+
+/// Multi-threaded scale-out of PartitionedRuntime (Sec. 6.2 partition
+/// contiguity): partition-local matching is embarrassingly parallel, so
+/// events are hash-routed by partition key to N shard workers, each
+/// owning its partitions' per-partition plans and engines. Workers are
+/// fed through bounded batch queues; matches funnel into a
+/// ConcurrentMatchSink whose drain step replays them into the caller's
+/// sink in a canonical, thread-count-independent order.
+///
+/// Guarantees, for any keyed stream and any thread count:
+///  - plans are identical to PartitionedRuntime's (shared
+///    PartitionPlanner, same statistics, same seed);
+///  - the drained match set is identical to PartitionedRuntime's on the
+///    same stream (per-partition event order is preserved end-to-end);
+///  - summed counters (events_processed, matches_emitted, ...) are
+///    identical to PartitionedRuntime::TotalCounters().
+///
+/// Threading model: the caller's thread ingests (OnEvent/ProcessStream)
+/// and routes; workers evaluate; Finish() closes the queues, joins the
+/// workers, and drains matches into the caller's sink on the caller's
+/// thread — so the downstream MatchSink needs no synchronization.
+class ShardedRuntime {
+ public:
+  ShardedRuntime(const SimplePattern& pattern, const EventStream& history,
+                 size_t num_types, const std::string& algorithm,
+                 MatchSink* sink, const ShardedOptions& options = {},
+                 uint64_t seed = 7, double latency_alpha = 0.0);
+  ~ShardedRuntime();
+
+  ShardedRuntime(const ShardedRuntime&) = delete;
+  ShardedRuntime& operator=(const ShardedRuntime&) = delete;
+
+  /// Routes one event. Events must arrive in timestamp order, exactly as
+  /// with the single-threaded runtimes. Must not be called after
+  /// Finish().
+  void OnEvent(const EventPtr& e);
+  void ProcessStream(const EventStream& stream);
+
+  /// Flushes pending batches, signals end-of-stream, joins all workers,
+  /// and drains matches into the caller's sink in canonical order.
+  /// Idempotent.
+  void Finish();
+
+  size_t num_threads() const { return workers_.size(); }
+  /// Distinct partitions seen across all workers. Valid after Finish().
+  size_t num_partitions() const;
+  /// The plan serving one partition; aborts if the partition is unknown.
+  /// Valid after Finish().
+  const EnginePlan& PlanFor(uint32_t partition) const;
+  /// Counters aggregated across all workers' partition engines. Valid
+  /// after Finish().
+  EngineCounters TotalCounters() const;
+
+  /// Events routed so far.
+  uint64_t events_routed() const { return router_.events_routed(); }
+
+ private:
+  PartitionPlanner planner_;
+  MatchSink* sink_;
+  ShardRouter router_;
+  ConcurrentMatchSink concurrent_sink_;
+  std::vector<std::unique_ptr<ShardWorker>> workers_;
+  bool finished_ = false;
+};
+
+}  // namespace cepjoin
+
+#endif  // CEPJOIN_PARALLEL_SHARDED_RUNTIME_H_

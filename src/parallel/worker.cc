@@ -1,0 +1,79 @@
+#include "parallel/worker.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+
+namespace cepjoin {
+
+ShardWorker::ShardWorker(const PartitionPlanner* planner,
+                         BoundedQueue<EventBatch>* queue,
+                         ConcurrentMatchSink::ShardSink* sink)
+    : planner_(planner), queue_(queue), sink_(sink) {
+  CEPJOIN_CHECK(planner_ != nullptr);
+  CEPJOIN_CHECK(queue_ != nullptr);
+  CEPJOIN_CHECK(sink_ != nullptr);
+}
+
+ShardWorker::~ShardWorker() {
+  if (thread_.joinable()) thread_.join();
+}
+
+void ShardWorker::Start() {
+  CEPJOIN_CHECK(!thread_.joinable()) << "worker already started";
+  thread_ = std::thread([this] { Run(); });
+}
+
+void ShardWorker::Join() {
+  if (joined_) return;
+  CEPJOIN_CHECK(thread_.joinable()) << "worker never started";
+  thread_.join();
+  joined_ = true;
+}
+
+ShardWorker::PartitionState& ShardWorker::StateFor(uint32_t partition) {
+  auto it = states_.find(partition);
+  if (it != states_.end()) return it->second;
+  PartitionState state;
+  state.plan = planner_->PlanFor(partition);
+  state.engine = planner_->BuildEngineFor(state.plan, sink_);
+  return states_.emplace(partition, std::move(state)).first->second;
+}
+
+void ShardWorker::Run() {
+  EventBatch batch;
+  while (queue_->Pop(batch)) {
+    for (const EventPtr& e : batch.events) {
+      PartitionState& state = StateFor(e->partition);
+      sink_->set_current_partition(e->partition);
+      state.engine->OnEvent(e);
+    }
+    batch.events.clear();
+  }
+  // End of stream: finish engines in ascending partition order so
+  // Finish-time matches of this shard are recorded deterministically.
+  std::vector<uint32_t> partitions;
+  partitions.reserve(states_.size());
+  for (const auto& [partition, state] : states_) {
+    partitions.push_back(partition);
+  }
+  std::sort(partitions.begin(), partitions.end());
+  for (uint32_t partition : partitions) {
+    sink_->set_current_partition(partition);
+    states_.at(partition).engine->Finish();
+  }
+  EngineCounters total;
+  for (uint32_t partition : partitions) {
+    total.MergeDisjoint(states_.at(partition).engine->counters());
+  }
+  total_counters_ = total;
+}
+
+const EnginePlan* ShardWorker::PlanFor(uint32_t partition) const {
+  auto it = states_.find(partition);
+  return it != states_.end() ? &it->second.plan : nullptr;
+}
+
+}  // namespace cepjoin

@@ -1,0 +1,74 @@
+#ifndef CEPJOIN_PARALLEL_WORKER_H_
+#define CEPJOIN_PARALLEL_WORKER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <unordered_map>
+
+#include "adaptive/partition_planner.h"
+#include "parallel/bounded_queue.h"
+#include "parallel/concurrent_sink.h"
+#include "parallel/event_batch.h"
+
+namespace cepjoin {
+
+/// One shard's execution thread. Owns the engines of every partition
+/// hashed to this shard, consumes event batches from its queue in FIFO
+/// order (preserving global arrival order within each partition), and
+/// emits matches to its private ShardSink — no shared mutable state with
+/// other workers.
+///
+/// Plans come from the shared, immutable PartitionPlanner, so a
+/// partition gets the same plan here as it would in the single-threaded
+/// PartitionedRuntime.
+class ShardWorker {
+ public:
+  ShardWorker(const PartitionPlanner* planner, BoundedQueue<EventBatch>* queue,
+              ConcurrentMatchSink::ShardSink* sink);
+  ~ShardWorker();
+
+  ShardWorker(const ShardWorker&) = delete;
+  ShardWorker& operator=(const ShardWorker&) = delete;
+
+  /// Launches the worker thread. The thread runs until the queue is
+  /// closed and drained, then finishes every partition engine.
+  void Start();
+
+  /// Waits for the worker thread to exit. The queue must have been
+  /// closed first, or Join() blocks forever. Idempotent.
+  void Join();
+
+  /// Aggregated counters across this shard's partition engines
+  /// (disjoint sub-streams: totals sum). Valid only after Join().
+  const EngineCounters& counters() const { return total_counters_; }
+
+  /// Partitions this worker instantiated engines for. Valid after Join().
+  size_t num_partitions() const { return states_.size(); }
+
+  /// The plan serving `partition`, or nullptr if this worker never saw
+  /// it. Valid only after Join().
+  const EnginePlan* PlanFor(uint32_t partition) const;
+
+ private:
+  struct PartitionState {
+    EnginePlan plan;
+    std::unique_ptr<Engine> engine;
+  };
+
+  void Run();
+  PartitionState& StateFor(uint32_t partition);
+
+  const PartitionPlanner* planner_;
+  BoundedQueue<EventBatch>* queue_;
+  ConcurrentMatchSink::ShardSink* sink_;
+  std::unordered_map<uint32_t, PartitionState> states_;
+  EngineCounters total_counters_;
+  std::thread thread_;
+  bool joined_ = false;
+};
+
+}  // namespace cepjoin
+
+#endif  // CEPJOIN_PARALLEL_WORKER_H_

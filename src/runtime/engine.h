@@ -32,15 +32,20 @@ struct EngineCounters {
     UpdatePeakBytes();
   }
   void RemoveInstance(size_t bytes) {
-    --live_instances;
-    instance_bytes -= bytes;
+    // Saturate instead of wrapping: a remove without a matching add is an
+    // accounting bug upstream, but it must not poison every later peak
+    // with a wrapped-around size_t.
+    if (live_instances > 0) --live_instances;
+    instance_bytes -= std::min(instance_bytes, bytes);
   }
   void AddBuffered() {
     ++buffered_events;
     peak_buffered_events = std::max(peak_buffered_events, buffered_events);
     UpdatePeakBytes();
   }
-  void RemoveBuffered() { --buffered_events; }
+  void RemoveBuffered() {
+    if (buffered_events > 0) --buffered_events;
+  }
   void UpdatePeakBytes() {
     // Rough per-buffered-event footprint: shared_ptr + control block share
     // + the event payload itself amortized across references.
@@ -50,8 +55,16 @@ struct EngineCounters {
 
   static constexpr size_t kApproxBufferedBytes = 96;
 
-  /// Merges another engine's counters (multi-engine aggregation).
+  /// Merges counters of an engine that saw the SAME stream (DNF
+  /// multi-engine aggregation): events_processed is the stream position,
+  /// so it takes the max; everything else sums.
   void Merge(const EngineCounters& other);
+
+  /// Merges counters of an engine that processed a DISJOINT sub-stream
+  /// (partition/shard aggregation): all totals sum, including
+  /// events_processed; live/peak values sum, which is a conservative
+  /// (upper-bound) peak for engines that ran concurrently.
+  void MergeDisjoint(const EngineCounters& other);
 };
 
 /// Abstract CEP evaluation engine: consumes a timestamp-ordered stream,
@@ -73,8 +86,8 @@ class Engine {
   EngineCounters counters_;
 };
 
-inline void EngineCounters::Merge(const EngineCounters& other) {
-  events_processed = std::max(events_processed, other.events_processed);
+inline void EngineCounters::MergeDisjoint(const EngineCounters& other) {
+  events_processed += other.events_processed;
   instances_created += other.instances_created;
   matches_emitted += other.matches_emitted;
   live_instances += other.live_instances;
@@ -83,6 +96,14 @@ inline void EngineCounters::Merge(const EngineCounters& other) {
   peak_buffered_events += other.peak_buffered_events;
   instance_bytes += other.instance_bytes;
   peak_total_bytes += other.peak_total_bytes;
+}
+
+inline void EngineCounters::Merge(const EngineCounters& other) {
+  // Identical to MergeDisjoint except both engines saw the same stream,
+  // so events_processed is a position, not a total.
+  uint64_t same_stream = std::max(events_processed, other.events_processed);
+  MergeDisjoint(other);
+  events_processed = same_stream;
 }
 
 }  // namespace cepjoin

@@ -1,0 +1,64 @@
+#include "workload/keyed_generator.h"
+
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "pattern/condition.h"
+
+namespace cepjoin {
+
+namespace {
+
+SimplePattern MakeKeyedPattern(const EventTypeRegistry& registry) {
+  std::vector<EventSpec> events;
+  for (int i = 0; i < 3; ++i) {
+    std::string name(1, static_cast<char>('A' + i));
+    events.push_back({registry.Find(name),
+                      std::string(1, static_cast<char>('a' + i)), false,
+                      false});
+  }
+  std::vector<ConditionPtr> conditions = {
+      std::make_shared<AttrCompare>(0, 0, CmpOp::kLt, 2, 0)};
+  return SimplePattern(OperatorKind::kSeq, std::move(events),
+                       std::move(conditions), 1.0);
+}
+
+}  // namespace
+
+KeyedWorkload MakeKeyedWorkload(int num_partitions, double duration,
+                                uint64_t seed) {
+  CEPJOIN_CHECK(num_partitions > 0);
+  EventTypeRegistry registry;
+  for (const char* name : {"A", "B", "C"}) registry.Register(name, {"v"});
+  Rng rng(seed);
+  EventStream stream;
+  double ts = 0.0;
+  while (ts < duration) {
+    ts += rng.UniformReal(0.001, 0.002);
+    uint32_t partition =
+        static_cast<uint32_t>(rng.UniformInt(0, num_partitions - 1));
+    // Per-partition skew: each partition's rare type cycles with its id
+    // and appears with probability 0.1 (the other two split the rest),
+    // so plan generation has a real scarcity signal to react to.
+    TypeId rare = static_cast<TypeId>(partition % 3);
+    double coin = rng.UniformReal(0, 1);
+    TypeId type = coin < 0.1
+                      ? rare
+                      : static_cast<TypeId>(
+                            (rare + 1 + rng.UniformInt(0, 1)) % 3);
+    Event e;
+    e.type = type;
+    e.ts = ts;
+    e.partition = partition;
+    e.attrs = {rng.UniformReal(-1, 1)};
+    stream.Append(std::move(e));
+  }
+  SimplePattern pattern = MakeKeyedPattern(registry);
+  KeyedWorkload workload{std::move(registry), std::move(pattern),
+                         std::move(stream)};
+  return workload;
+}
+
+}  // namespace cepjoin

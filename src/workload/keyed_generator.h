@@ -1,0 +1,29 @@
+#ifndef CEPJOIN_WORKLOAD_KEYED_GENERATOR_H_
+#define CEPJOIN_WORKLOAD_KEYED_GENERATOR_H_
+
+#include <cstdint>
+
+#include "event/event_type.h"
+#include "event/stream.h"
+#include "pattern/pattern.h"
+
+namespace cepjoin {
+
+/// A keyed (multi-partition) workload for exercising the partitioned and
+/// sharded runtimes: a registry of three types, a SEQ(A, B, C) pattern
+/// with an attribute join, and a stream whose events are spread over
+/// `num_partitions` partitions with per-partition rate skew, so
+/// different partitions genuinely receive different plans.
+struct KeyedWorkload {
+  EventTypeRegistry registry;
+  SimplePattern pattern;
+  EventStream stream;
+};
+
+/// `duration` is the stream length in seconds at ~660 events/second.
+KeyedWorkload MakeKeyedWorkload(int num_partitions, double duration,
+                                uint64_t seed);
+
+}  // namespace cepjoin
+
+#endif  // CEPJOIN_WORKLOAD_KEYED_GENERATOR_H_

@@ -1,0 +1,110 @@
+// Bounded blocking queue: FIFO order, back-pressure when full, close
+// semantics (drain then end-of-stream), multi-producer safety.
+
+#include "parallel/bounded_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+namespace cepjoin {
+namespace {
+
+TEST(BoundedQueueTest, FifoOrder) {
+  BoundedQueue<int> queue(4);
+  EXPECT_TRUE(queue.Push(1));
+  EXPECT_TRUE(queue.Push(2));
+  EXPECT_TRUE(queue.Push(3));
+  int out = 0;
+  EXPECT_TRUE(queue.Pop(out));
+  EXPECT_EQ(out, 1);
+  EXPECT_TRUE(queue.Pop(out));
+  EXPECT_EQ(out, 2);
+  EXPECT_TRUE(queue.Pop(out));
+  EXPECT_EQ(out, 3);
+}
+
+TEST(BoundedQueueTest, CloseDrainsThenEndsStream) {
+  BoundedQueue<int> queue(4);
+  queue.Push(7);
+  queue.Push(8);
+  queue.Close();
+  int out = 0;
+  EXPECT_TRUE(queue.Pop(out));
+  EXPECT_EQ(out, 7);
+  EXPECT_TRUE(queue.Pop(out));
+  EXPECT_EQ(out, 8);
+  EXPECT_FALSE(queue.Pop(out));
+  EXPECT_FALSE(queue.Pop(out));  // stays closed
+}
+
+TEST(BoundedQueueTest, PushAfterCloseIsRejected) {
+  BoundedQueue<int> queue(4);
+  queue.Close();
+  EXPECT_FALSE(queue.Push(1));
+  int out = 0;
+  EXPECT_FALSE(queue.Pop(out));
+}
+
+TEST(BoundedQueueTest, BackPressureBlocksProducerUntilConsumed) {
+  BoundedQueue<int> queue(1);
+  ASSERT_TRUE(queue.Push(1));
+  std::atomic<bool> second_pushed{false};
+  std::thread producer([&] {
+    queue.Push(2);  // blocks: queue is full
+    second_pushed = true;
+  });
+  // The producer cannot complete until the consumer makes room.
+  int out = 0;
+  ASSERT_TRUE(queue.Pop(out));
+  EXPECT_EQ(out, 1);
+  ASSERT_TRUE(queue.Pop(out));  // waits for the producer if needed
+  EXPECT_EQ(out, 2);
+  producer.join();
+  EXPECT_TRUE(second_pushed);
+}
+
+TEST(BoundedQueueTest, CloseUnblocksWaitingProducer) {
+  BoundedQueue<int> queue(1);
+  ASSERT_TRUE(queue.Push(1));
+  std::atomic<bool> push_result{true};
+  std::thread producer([&] { push_result = queue.Push(2); });
+  // Give the producer a chance to block on the full queue, then close.
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  queue.Close();
+  producer.join();
+  EXPECT_FALSE(push_result);
+}
+
+TEST(BoundedQueueTest, MultipleProducersDeliverEverything) {
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 250;
+  BoundedQueue<int> queue(8);
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&queue, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(queue.Push(p * kPerProducer + i));
+      }
+    });
+  }
+  std::multiset<int> received;
+  std::thread consumer([&] {
+    int out = 0;
+    while (queue.Pop(out)) received.insert(out);
+  });
+  for (auto& t : producers) t.join();
+  queue.Close();
+  consumer.join();
+  ASSERT_EQ(received.size(), kProducers * kPerProducer);
+  // Every value delivered exactly once.
+  for (int v = 0; v < kProducers * kPerProducer; ++v) {
+    EXPECT_EQ(received.count(v), 1u) << "value " << v;
+  }
+}
+
+}  // namespace
+}  // namespace cepjoin

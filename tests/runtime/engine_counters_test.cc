@@ -1,0 +1,77 @@
+// EngineCounters: underflow guards on unmatched removes, and the two
+// merge modes (same-stream vs disjoint-sub-stream aggregation).
+
+#include "runtime/engine.h"
+
+#include <gtest/gtest.h>
+
+namespace cepjoin {
+namespace {
+
+TEST(EngineCountersTest, RemoveInstanceWithoutAddSaturatesAtZero) {
+  EngineCounters counters;
+  counters.RemoveInstance(64);
+  EXPECT_EQ(counters.live_instances, 0u);
+  EXPECT_EQ(counters.instance_bytes, 0u);
+  // A later legitimate add still accounts correctly and peaks are sane.
+  counters.AddInstance(32);
+  EXPECT_EQ(counters.live_instances, 1u);
+  EXPECT_EQ(counters.instance_bytes, 32u);
+  EXPECT_EQ(counters.peak_live_instances, 1u);
+}
+
+TEST(EngineCountersTest, RemoveBuffersMoreBytesThanTrackedSaturates) {
+  EngineCounters counters;
+  counters.AddInstance(16);
+  counters.RemoveInstance(1000);  // larger than tracked bytes
+  EXPECT_EQ(counters.live_instances, 0u);
+  EXPECT_EQ(counters.instance_bytes, 0u);
+  EXPECT_LT(counters.peak_total_bytes, 1000u);  // no wrapped peak
+}
+
+TEST(EngineCountersTest, RemoveBufferedWithoutAddSaturatesAtZero) {
+  EngineCounters counters;
+  counters.RemoveBuffered();
+  EXPECT_EQ(counters.buffered_events, 0u);
+  counters.AddBuffered();
+  EXPECT_EQ(counters.buffered_events, 1u);
+  EXPECT_EQ(counters.peak_buffered_events, 1u);
+}
+
+EngineCounters SampleCounters(uint64_t events, uint64_t matches) {
+  EngineCounters c;
+  c.events_processed = events;
+  c.matches_emitted = matches;
+  c.instances_created = 2 * matches;
+  c.peak_live_instances = 5;
+  c.peak_buffered_events = 7;
+  c.peak_total_bytes = 1024;
+  return c;
+}
+
+TEST(EngineCountersTest, MergeTakesMaxEventsForSameStream) {
+  // DNF sub-engines see the same stream: events_processed must not
+  // double-count.
+  EngineCounters total = SampleCounters(100, 3);
+  total.Merge(SampleCounters(100, 4));
+  EXPECT_EQ(total.events_processed, 100u);
+  EXPECT_EQ(total.matches_emitted, 7u);
+  EXPECT_EQ(total.instances_created, 14u);
+  EXPECT_EQ(total.peak_live_instances, 10u);
+}
+
+TEST(EngineCountersTest, MergeDisjointSumsEverything) {
+  // Partition engines see disjoint sub-streams: all totals sum, and
+  // summed peaks are a conservative bound for concurrent engines.
+  EngineCounters total = SampleCounters(60, 3);
+  total.MergeDisjoint(SampleCounters(40, 4));
+  EXPECT_EQ(total.events_processed, 100u);
+  EXPECT_EQ(total.matches_emitted, 7u);
+  EXPECT_EQ(total.instances_created, 14u);
+  EXPECT_EQ(total.peak_live_instances, 10u);
+  EXPECT_EQ(total.peak_buffered_events, 14u);
+  EXPECT_EQ(total.peak_total_bytes, 2048u);
+}
+
+}  // namespace
+}  // namespace cepjoin
