@@ -7,6 +7,8 @@
 #include "engine/engine_factory.h"
 #include "metrics/runner.h"
 #include "optimizer/registry.h"
+#include "runtime/compiled_pattern.h"
+#include "runtime/predicate_program.h"
 #include "stats/collector.h"
 #include "workload/pattern_generator.h"
 #include "workload/stock_generator.h"
@@ -97,6 +99,130 @@ BENCHMARK_CAPTURE(BM_Optimizer, dp_ld_n14, "DP-LD", 14);
 BENCHMARK_CAPTURE(BM_Optimizer, dp_b_n10, "DP-B", 10);
 BENCHMARK_CAPTURE(BM_Optimizer, zstream_n10, "ZSTREAM", 10);
 BENCHMARK_CAPTURE(BM_Optimizer, kbz_n10, "KBZ", 10);
+
+// --- predicate evaluation: virtual ConditionSet vs compiled program ---
+//
+// AttrCompare-heavy condition sets (the dominant predicate kind of the
+// paper's stock patterns: two attribute comparisons plus the SEQ
+// rewrite's TsOrder per position pair), instantiated once per partition
+// the way PartitionedRuntime / the sharded workers hold one engine per
+// partition key. The argument is the partition count: at 1 everything is
+// cache-resident and the two paths are bound by the same attribute
+// loads; at production-shaped working sets (1024 partitions, the
+// keyed-stream scenario) the virtual path drags thousands of scattered
+// shared_ptr<Condition> objects and vtables through the cache while the
+// compiled path streams 16-byte instructions — and counts
+// predicate_evals for free, which the virtual path cannot.
+
+constexpr int kPredPositions = 5;
+constexpr int kPredAttrs = 4;
+
+struct PredicateBenchState {
+  std::vector<std::unique_ptr<ConditionSet>> sets;
+  std::vector<std::unique_ptr<PredicateProgram>> programs;
+  // Interleaved small allocations: condition objects of a long-lived
+  // process are not heap-adjacent.
+  std::vector<std::shared_ptr<std::vector<double>>> spacers;
+  std::vector<Event> events;
+};
+
+const PredicateBenchState& PredicateBench(int num_partitions) {
+  static std::unordered_map<int, std::unique_ptr<PredicateBenchState>> cache;
+  std::unique_ptr<PredicateBenchState>& slot = cache[num_partitions];
+  if (slot != nullptr) return *slot;
+  slot = std::make_unique<PredicateBenchState>();
+  Rng rng(7);
+  for (int s = 0; s < num_partitions; ++s) {
+    std::vector<ConditionPtr> conditions;
+    for (int i = 0; i < kPredPositions; ++i) {
+      for (int j = i + 1; j < kPredPositions; ++j) {
+        auto attr = [&] {
+          return static_cast<AttrId>(rng.UniformInt(0, kPredAttrs - 1));
+        };
+        conditions.push_back(std::make_shared<AttrCompare>(
+            i, attr(), rng.Bernoulli(0.5) ? CmpOp::kLt : CmpOp::kGe, j,
+            attr(), rng.UniformReal(-0.5, 0.5)));
+        slot->spacers.push_back(std::make_shared<std::vector<double>>(4));
+        conditions.push_back(std::make_shared<AttrCompare>(
+            j, attr(), rng.Bernoulli(0.5) ? CmpOp::kLe : CmpOp::kGt, i,
+            attr(), rng.UniformReal(-0.5, 0.5)));
+        slot->spacers.push_back(std::make_shared<std::vector<double>>(4));
+        conditions.push_back(std::make_shared<TsOrder>(i, j));
+        slot->spacers.push_back(std::make_shared<std::vector<double>>(4));
+      }
+    }
+    slot->sets.push_back(
+        std::make_unique<ConditionSet>(kPredPositions, conditions));
+    slot->programs.push_back(
+        std::make_unique<PredicateProgram>(*slot->sets.back()));
+  }
+  slot->events.resize(256);
+  for (size_t k = 0; k < slot->events.size(); ++k) {
+    Event& e = slot->events[k];
+    e.ts = static_cast<Timestamp>(k) * 0.01;
+    e.serial = k;
+    e.attrs.resize(kPredAttrs);
+    for (int a = 0; a < kPredAttrs; ++a) {
+      e.attrs[a] = rng.UniformReal(-1.0, 1.0);
+    }
+  }
+  return *slot;
+}
+
+constexpr int kPredPairsPerPartition = 8;
+
+int64_t PredicateItems(const PredicateBenchState& bench) {
+  return static_cast<int64_t>(bench.sets.size()) * kPredPairsPerPartition *
+         kPredPositions * (kPredPositions - 1) / 2;
+}
+
+void BM_PredicateEvalVirtual(benchmark::State& state) {
+  const PredicateBenchState& bench =
+      PredicateBench(static_cast<int>(state.range(0)));
+  const std::vector<Event>& ev = bench.events;
+  size_t accepted = 0;
+  for (auto _ : state) {
+    for (size_t s = 0; s < bench.sets.size(); ++s) {
+      const ConditionSet& set = *bench.sets[s];
+      for (size_t k = 0; k < kPredPairsPerPartition; ++k) {
+        size_t at = (s + k) % (ev.size() - 1);
+        for (int i = 0; i < kPredPositions; ++i) {
+          for (int j = i + 1; j < kPredPositions; ++j) {
+            accepted += set.EvalPair(i, j, ev[at], ev[at + 1]);
+          }
+        }
+      }
+    }
+    benchmark::DoNotOptimize(accepted);
+  }
+  state.SetItemsProcessed(state.iterations() * PredicateItems(bench));
+}
+BENCHMARK(BM_PredicateEvalVirtual)->Arg(1)->Arg(1024);
+
+void BM_PredicateEvalCompiled(benchmark::State& state) {
+  const PredicateBenchState& bench =
+      PredicateBench(static_cast<int>(state.range(0)));
+  const std::vector<Event>& ev = bench.events;
+  size_t accepted = 0;
+  uint64_t evals = 0;
+  for (auto _ : state) {
+    for (size_t s = 0; s < bench.programs.size(); ++s) {
+      const PredicateProgram& program = *bench.programs[s];
+      for (size_t k = 0; k < kPredPairsPerPartition; ++k) {
+        size_t at = (s + k) % (ev.size() - 1);
+        for (int i = 0; i < kPredPositions; ++i) {
+          for (int j = i + 1; j < kPredPositions; ++j) {
+            accepted += program.EvalPair(i, j, ev[at], ev[at + 1], &evals);
+          }
+        }
+      }
+    }
+    benchmark::DoNotOptimize(accepted);
+    benchmark::DoNotOptimize(evals);
+  }
+  state.SetItemsProcessed(state.iterations() * PredicateItems(bench));
+}
+BENCHMARK(BM_PredicateEvalCompiled)->Arg(1)->Arg(1024);
 
 void BM_OrderCostEvaluation(benchmark::State& state) {
   int n = static_cast<int>(state.range(0));

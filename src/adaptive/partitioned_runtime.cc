@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "event/partition_runs.h"
 
 namespace cepjoin {
 
@@ -13,10 +14,12 @@ PartitionedRuntime::PartitionedRuntime(const SimplePattern& pattern,
                                        size_t num_types,
                                        const std::string& algorithm,
                                        MatchSink* sink, uint64_t seed,
-                                       double latency_alpha)
+                                       double latency_alpha, size_t batch_size)
     : planner_(pattern, history, num_types, algorithm, seed, latency_alpha),
-      sink_(sink) {
+      sink_(sink),
+      batch_size_(batch_size) {
   CEPJOIN_CHECK(sink_ != nullptr);
+  CEPJOIN_CHECK_GE(batch_size_, 1u) << "batch_size must be >= 1";
 }
 
 PartitionedRuntime::PartitionState& PartitionedRuntime::StateFor(
@@ -33,8 +36,16 @@ void PartitionedRuntime::OnEvent(const EventPtr& e) {
   StateFor(e->partition).engine->OnEvent(e);
 }
 
+void PartitionedRuntime::OnBatch(const EventPtr* events, size_t n) {
+  ForEachPartitionRun(events, n, batch_size_,
+                      [&](uint32_t partition, const EventPtr* run,
+                          size_t run_length) {
+                        StateFor(partition).engine->OnBatch(run, run_length);
+                      });
+}
+
 void PartitionedRuntime::ProcessStream(const EventStream& stream) {
-  for (const EventPtr& e : stream.events()) OnEvent(e);
+  OnBatch(stream.events().data(), stream.size());
 }
 
 void PartitionedRuntime::Finish() {

@@ -33,13 +33,19 @@ class PartitionedRuntime {
  public:
   /// `history` supplies per-partition statistics (the preprocessing
   /// pass); partitions absent from the history fall back to global
-  /// statistics.
+  /// statistics. `batch_size` caps the per-partition runs OnBatch hands
+  /// to an engine (bounding the batch-granularity latency anchor); must
+  /// be >= 1.
   PartitionedRuntime(const SimplePattern& pattern, const EventStream& history,
                      size_t num_types, const std::string& algorithm,
                      MatchSink* sink, uint64_t seed = 7,
-                     double latency_alpha = 0.0);
+                     double latency_alpha = 0.0, size_t batch_size = 256);
 
   void OnEvent(const EventPtr& e);
+  /// Batched ingestion: segments the run by partition and feeds each
+  /// partition engine through Engine::OnBatch. Matches and counters are
+  /// identical to per-event feeding.
+  void OnBatch(const EventPtr* events, size_t n);
   void ProcessStream(const EventStream& stream);
   void Finish();
 
@@ -61,6 +67,7 @@ class PartitionedRuntime {
 
   PartitionPlanner planner_;
   MatchSink* sink_;
+  size_t batch_size_;
   std::unordered_map<uint32_t, PartitionState> engines_;
 };
 

@@ -1,5 +1,6 @@
 #include "api/cep_runtime.h"
 
+#include <algorithm>
 #include <sstream>
 
 #include "common/check.h"
@@ -7,7 +8,9 @@
 namespace cepjoin {
 
 CepRuntime::CepRuntime(const SimplePattern& pattern, const PatternStats& stats,
-                       const RuntimeOptions& options, MatchSink* sink) {
+                       const RuntimeOptions& options, MatchSink* sink)
+    : batch_size_(options.batch_size) {
+  CEPJOIN_CHECK_GE(options.batch_size, 1u) << "batch_size must be >= 1";
   subpatterns_ = {pattern};
   CostFunction cost = MakeCostFunction(pattern, stats, options.latency_alpha);
   plans_ = {MakePlan(options.algorithm, cost, options.seed)};
@@ -16,7 +19,9 @@ CepRuntime::CepRuntime(const SimplePattern& pattern, const PatternStats& stats,
 
 CepRuntime::CepRuntime(const NestedPattern& pattern,
                        const StatsCollector& collector,
-                       const RuntimeOptions& options, MatchSink* sink) {
+                       const RuntimeOptions& options, MatchSink* sink)
+    : batch_size_(options.batch_size) {
+  CEPJOIN_CHECK_GE(options.batch_size, 1u) << "batch_size must be >= 1";
   subpatterns_ = ToDnf(pattern);
   CEPJOIN_CHECK(!subpatterns_.empty());
   for (const SimplePattern& sub : subpatterns_) {
@@ -28,7 +33,10 @@ CepRuntime::CepRuntime(const NestedPattern& pattern,
 }
 
 void CepRuntime::ProcessStream(const EventStream& stream) {
-  for (const EventPtr& e : stream.events()) OnEvent(e);
+  const std::vector<EventPtr>& events = stream.events();
+  for (size_t i = 0; i < events.size(); i += batch_size_) {
+    OnBatch(events.data() + i, std::min(batch_size_, events.size() - i));
+  }
 }
 
 std::string CepRuntime::DescribePlans() const {

@@ -27,6 +27,11 @@ struct RuntimeOptions {
   /// multi-threaded runtime (src/parallel/); 0 means hardware
   /// concurrency. Ignored by the non-keyed CepRuntime.
   size_t num_threads = 1;
+  /// Events per evaluation batch: the ProcessStream chunk size fed to
+  /// Engine::OnBatch, and (keyed, sharded execution) the router batch
+  /// size that amortizes shard-queue synchronization. Must be >= 1.
+  /// Matches and counters are batch-size independent.
+  size_t batch_size = 256;
   uint64_t seed = 7;
 };
 
@@ -51,6 +56,12 @@ class CepRuntime {
              const RuntimeOptions& options, MatchSink* sink);
 
   void OnEvent(const EventPtr& e) { engine_->OnEvent(e); }
+  /// Feeds a run of events through the engine's batched path. Detection
+  /// latency is anchored at batch granularity; matches and counters are
+  /// identical to per-event feeding.
+  void OnBatch(const EventPtr* events, size_t n) {
+    engine_->OnBatch(events, n);
+  }
   void ProcessStream(const EventStream& stream);
   void Finish() { engine_->Finish(); }
 
@@ -65,6 +76,7 @@ class CepRuntime {
   std::vector<SimplePattern> subpatterns_;
   std::vector<EnginePlan> plans_;
   std::unique_ptr<Engine> engine_;
+  size_t batch_size_;  // always set from RuntimeOptions::batch_size
 };
 
 }  // namespace cepjoin

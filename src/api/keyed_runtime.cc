@@ -8,13 +8,15 @@ KeyedCepRuntime::KeyedCepRuntime(const SimplePattern& pattern,
                                  const EventStream& history, size_t num_types,
                                  const RuntimeOptions& options,
                                  MatchSink* sink) {
+  CEPJOIN_CHECK_GE(options.batch_size, 1u) << "batch_size must be >= 1";
   if (options.num_threads == 1) {
     single_ = std::make_unique<PartitionedRuntime>(
         pattern, history, num_types, options.algorithm, sink, options.seed,
-        options.latency_alpha);
+        options.latency_alpha, options.batch_size);
   } else {
     ShardedOptions sharded;
     sharded.num_threads = options.num_threads;
+    sharded.batch_size = options.batch_size;
     sharded_ = std::make_unique<ShardedRuntime>(
         pattern, history, num_types, options.algorithm, sink, sharded,
         options.seed, options.latency_alpha);
@@ -26,6 +28,14 @@ void KeyedCepRuntime::OnEvent(const EventPtr& e) {
     single_->OnEvent(e);
   } else {
     sharded_->OnEvent(e);
+  }
+}
+
+void KeyedCepRuntime::OnBatch(const EventPtr* events, size_t n) {
+  if (single_) {
+    single_->OnBatch(events, n);
+  } else {
+    sharded_->OnBatch(events, n);
   }
 }
 

@@ -32,6 +32,9 @@ class KeyedCepRuntime {
                   MatchSink* sink);
 
   void OnEvent(const EventPtr& e);
+  /// Batched ingestion; matches and counters are identical to per-event
+  /// feeding at every thread count and batch size.
+  void OnBatch(const EventPtr* events, size_t n);
   void ProcessStream(const EventStream& stream);
   void Finish();
 

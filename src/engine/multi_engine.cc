@@ -17,6 +17,20 @@ void MultiEngine::OnEvent(const EventPtr& e) {
   RefreshCounters();
 }
 
+void MultiEngine::OnBatch(const EventPtr* events, size_t n) {
+  if (n == 0) return;
+  // Events stay in the outer loop: handing a sub-engine the whole batch
+  // would emit all of subpattern k's matches before subpattern k+1's,
+  // reordering the union's emission relative to per-event feeding. The
+  // batch still amortizes this engine's counter refresh.
+  for (size_t i = 0; i < n; ++i) {
+    for (auto& engine : engines_) engine->OnEvent(events[i]);
+  }
+  // Per-subengine peaks are monotone, so refreshing once per batch yields
+  // the same merged counters as refreshing per event.
+  RefreshCounters();
+}
+
 void MultiEngine::Finish() {
   for (auto& engine : engines_) engine->Finish();
   RefreshCounters();

@@ -38,6 +38,10 @@ class MultiEngine : public Engine {
               std::vector<std::unique_ptr<MatchSink>> sinks);
 
   void OnEvent(const EventPtr& e) override;
+  /// Feeds each event to every sub-engine (preserving the union's
+  /// cross-subpattern emission order) and refreshes the merged counters
+  /// once per batch instead of per event.
+  void OnBatch(const EventPtr* events, size_t n) override;
   void Finish() override;
 
   int num_subengines() const { return static_cast<int>(engines_.size()); }

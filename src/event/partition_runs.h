@@ -1,0 +1,34 @@
+#ifndef CEPJOIN_EVENT_PARTITION_RUNS_H_
+#define CEPJOIN_EVENT_PARTITION_RUNS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "event/event.h"
+
+namespace cepjoin {
+
+/// Splits `events[0..n)` into maximal runs of consecutive same-partition
+/// events, each at most `max_run` long, and invokes
+/// `fn(partition, run_begin, run_length)` per run in input order. The
+/// shared segmentation step of every batched keyed feeder
+/// (PartitionedRuntime, the shard workers): one engine lookup and one
+/// OnBatch dispatch per run instead of per event, order preserved.
+template <typename Fn>
+void ForEachPartitionRun(const EventPtr* events, size_t n, size_t max_run,
+                         Fn&& fn) {
+  size_t i = 0;
+  while (i < n) {
+    uint32_t partition = events[i]->partition;
+    size_t j = i + 1;
+    while (j < n && j - i < max_run && events[j]->partition == partition) {
+      ++j;
+    }
+    fn(partition, events + i, j - i);
+    i = j;
+  }
+}
+
+}  // namespace cepjoin
+
+#endif  // CEPJOIN_EVENT_PARTITION_RUNS_H_

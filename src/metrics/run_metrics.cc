@@ -10,6 +10,7 @@ void RunAggregate::Add(const RunResult& r) {
   mean_latency_seconds += r.mean_latency_seconds;
   plan_cost += r.plan_cost;
   plan_generation_seconds += r.plan_generation_seconds;
+  predicate_evals += static_cast<double>(r.predicate_evals);
   matches += r.matches;
   ++runs;
 }
@@ -24,6 +25,7 @@ void RunAggregate::Finalize() {
   mean_latency_seconds /= n;
   plan_cost /= n;
   plan_generation_seconds /= n;
+  predicate_evals /= n;
 }
 
 }  // namespace cepjoin

@@ -14,6 +14,10 @@ struct RunResult {
   double wall_seconds = 0.0;
   uint64_t events = 0;
   uint64_t matches = 0;
+  /// Predicate evaluations executed by the compiled predicate program
+  /// during one replay — the measured quantity bench_fig16 compares to
+  /// the cost model's predicted predicate work.
+  uint64_t predicate_evals = 0;
   size_t peak_instances = 0;
   size_t peak_buffered = 0;
   size_t peak_bytes = 0;
@@ -35,6 +39,7 @@ struct RunAggregate {
   double mean_latency_seconds = 0.0;
   double plan_cost = 0.0;
   double plan_generation_seconds = 0.0;
+  double predicate_evals = 0.0;
   uint64_t matches = 0;
   int runs = 0;
 

@@ -37,6 +37,7 @@ RunResult MeasuredReplay(
         wall_total >= options.min_measure_seconds) {
       const EngineCounters& counters = engine->counters();
       result.matches = sink.count;
+      result.predicate_evals = counters.predicate_evals;
       result.peak_instances = counters.peak_live_instances;
       result.peak_buffered = counters.peak_buffered_events;
       result.peak_bytes = counters.peak_total_bytes;

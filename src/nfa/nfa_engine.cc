@@ -100,9 +100,23 @@ class MatchBound : public BoundAccessor {
 // --- event flow --------------------------------------------------------------
 
 void NfaEngine::OnEvent(const EventPtr& e) {
+  arrival_start_ = std::chrono::steady_clock::now();
+  ProcessEvent(e);
+}
+
+void NfaEngine::OnBatch(const EventPtr* events, size_t n) {
+  if (n == 0) return;
+  // One latency anchor per batch instead of one clock read per event;
+  // everything else (sweep cadence, pending processing, extension order)
+  // is byte-identical to the per-event path, so matches and counters are
+  // too.
+  arrival_start_ = std::chrono::steady_clock::now();
+  for (size_t i = 0; i < n; ++i) ProcessEvent(events[i]);
+}
+
+void NfaEngine::ProcessEvent(const EventPtr& e) {
   CEPJOIN_CHECK(e != nullptr);
   ++counters_.events_processed;
-  arrival_start_ = std::chrono::steady_clock::now();
   now_ = e->ts;
   current_serial_ = e->serial;
   if (++events_since_sweep_ >= kSweepEvery) Sweep();
@@ -134,12 +148,16 @@ void NfaEngine::ProcessPending(const Event& e) {
   // Kill survivors that `e` invalidates.
   for (const NegationSpec* neg : trailing_checks_) {
     if (cp_.pos_type(neg->neg_pos) != e.type) continue;
-    if (!cp_.conditions().EvalUnary(neg->neg_pos, e)) continue;
+    if (!cp_.program().EvalUnary(neg->neg_pos, e,
+                                 &counters_.predicate_evals)) {
+      continue;
+    }
     size_t kept = 0;
     for (size_t i = 0; i < pending_.size(); ++i) {
       MatchBound bound(pending_[i].match);
       if (!cp_.NegationViolates(*neg, e, bound, pending_[i].min_ts,
-                                pending_[i].max_ts)) {
+                                pending_[i].max_ts,
+                                &counters_.predicate_evals)) {
         if (kept != i) pending_[kept] = std::move(pending_[i]);
         ++kept;
       }
@@ -150,7 +168,9 @@ void NfaEngine::ProcessPending(const Event& e) {
 
 void NfaEngine::BufferEvent(const EventPtr& e) {
   for (int pos : cp_.positions_of_type(e->type)) {
-    if (!cp_.conditions().EvalUnary(pos, *e)) continue;
+    if (!cp_.program().EvalUnary(pos, *e, &counters_.predicate_evals)) {
+      continue;
+    }
     buffers_[pos].push_back(e);
     counters_.AddBuffered();
   }
@@ -200,9 +220,11 @@ void NfaEngine::ExtendWithArrival(const EventPtr& e) {
 }
 
 bool NfaEngine::TryExtend(const Instance& parent, int state, const EventPtr& e,
-                          Instance* child) const {
+                          Instance* child) {
   int pos = step_pos_[state];
-  if (!cp_.conditions().EvalUnary(pos, *e)) return false;
+  if (!cp_.program().EvalUnary(pos, *e, &counters_.predicate_evals)) {
+    return false;
+  }
   // Window feasibility.
   Timestamp min_ts = state == 0 ? e->ts : std::min(parent.min_ts, e->ts);
   Timestamp max_ts = state == 0 ? e->ts : std::max(parent.max_ts, e->ts);
@@ -216,14 +238,18 @@ bool NfaEngine::TryExtend(const Instance& parent, int state, const EventPtr& e,
   }
   // Pairwise conditions against every bound slot (Kleene members too).
   for (int j = 0; j < state; ++j) {
-    if (!cp_.conditions().EvalPair(step_pos_[j], pos, *parent.events[j], *e)) {
+    if (!cp_.program().EvalPair(step_pos_[j], pos, *parent.events[j], *e,
+                                &counters_.predicate_evals)) {
       return false;
     }
   }
   if (kleene_step_ >= 0 && kleene_step_ < state) {
     int kpos = step_pos_[kleene_step_];
     for (const EventPtr& member : parent.kleene_extra) {
-      if (!cp_.conditions().EvalPair(kpos, pos, *member, *e)) return false;
+      if (!cp_.program().EvalPair(kpos, pos, *member, *e,
+                                  &counters_.predicate_evals)) {
+        return false;
+      }
     }
   }
   *child = parent;
@@ -237,11 +263,13 @@ bool NfaEngine::TryExtend(const Instance& parent, int state, const EventPtr& e,
 }
 
 bool NfaEngine::TryAbsorb(const Instance& parent, const EventPtr& e,
-                          Instance* child) const {
+                          Instance* child) {
   // Canonical subset enumeration: members join in increasing serial order.
   if (e->serial <= parent.max_kleene_serial) return false;
   int kpos = step_pos_[kleene_step_];
-  if (!cp_.conditions().EvalUnary(kpos, *e)) return false;
+  if (!cp_.program().EvalUnary(kpos, *e, &counters_.predicate_evals)) {
+    return false;
+  }
   Timestamp min_ts = std::min(parent.min_ts, e->ts);
   Timestamp max_ts = std::max(parent.max_ts, e->ts);
   if (max_ts - min_ts > cp_.window()) return false;
@@ -253,8 +281,8 @@ bool NfaEngine::TryAbsorb(const Instance& parent, const EventPtr& e,
   }
   for (size_t j = 0; j < parent.events.size(); ++j) {
     if (static_cast<int>(j) == kleene_step_) continue;
-    if (!cp_.conditions().EvalPair(step_pos_[j], kpos, *parent.events[j],
-                                   *e)) {
+    if (!cp_.program().EvalPair(step_pos_[j], kpos, *parent.events[j], *e,
+                                &counters_.predicate_evals)) {
       return false;
     }
   }
@@ -268,14 +296,14 @@ bool NfaEngine::TryAbsorb(const Instance& parent, const EventPtr& e,
   return true;
 }
 
-bool NfaEngine::RunNegationChecks(const Instance& inst, int state) const {
+bool NfaEngine::RunNegationChecks(const Instance& inst, int state) {
   if (checks_at_state_[state].empty()) return true;
   NfaBound bound(step_pos_, inst.events, inst.kleene_extra,
                  kleene_step_ >= 0 ? step_pos_[kleene_step_] : -1);
   for (const NegationSpec* neg : checks_at_state_[state]) {
     for (const EventPtr& candidate : buffers_[neg->neg_pos]) {
       if (cp_.NegationViolates(*neg, *candidate, bound, inst.min_ts,
-                               inst.max_ts)) {
+                               inst.max_ts, &counters_.predicate_evals)) {
         return false;
       }
     }
@@ -358,7 +386,7 @@ void NfaEngine::Complete(const Instance& inst) {
     for (const NegationSpec* neg : completion_checks_) {
       for (const EventPtr& candidate : buffers_[neg->neg_pos]) {
         if (cp_.NegationViolates(*neg, *candidate, bound, inst.min_ts,
-                                 inst.max_ts)) {
+                                 inst.max_ts, &counters_.predicate_evals)) {
           return;
         }
       }

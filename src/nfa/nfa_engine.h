@@ -48,6 +48,9 @@ class NfaEngine : public Engine {
             MatchSink* sink);
 
   void OnEvent(const EventPtr& e) override;
+  /// Batched entry point: identical matches and counters to per-event
+  /// feeding; amortizes the dispatch and the latency clock read.
+  void OnBatch(const EventPtr* events, size_t n) override;
   void Finish() override;
 
   const CompiledPattern& compiled() const { return cp_; }
@@ -81,18 +84,20 @@ class NfaEngine : public Engine {
   int StepPos(int step) const { return step_pos_[step]; }
 
   // --- event flow ---
+  /// OnEvent minus the latency clock read (hoisted per batch by OnBatch).
+  void ProcessEvent(const EventPtr& e);
   void ProcessPending(const Event& e);
   void BufferEvent(const EventPtr& e);
   void ExtendWithArrival(const EventPtr& e);
   /// Runs ready negation checks, stores the instance, performs creation
   /// scans (next-step consumption + Kleene absorption), and recurses.
   void Cascade(Instance&& inst, int state);
-  /// Returns true and fills `child` if `e` can fill step `state` of `parent`.
+  /// Returns true and fills `child` if `e` can fill step `state` of
+  /// `parent`. Non-const: predicate evaluations count into counters_.
   bool TryExtend(const Instance& parent, int state, const EventPtr& e,
-                 Instance* child) const;
-  bool TryAbsorb(const Instance& parent, const EventPtr& e,
-                 Instance* child) const;
-  bool RunNegationChecks(const Instance& inst, int state) const;
+                 Instance* child);
+  bool TryAbsorb(const Instance& parent, const EventPtr& e, Instance* child);
+  bool RunNegationChecks(const Instance& inst, int state);
   void Complete(const Instance& inst);
   void EmitMatch(Match match);
   void Sweep();

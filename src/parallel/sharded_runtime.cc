@@ -57,8 +57,13 @@ void ShardedRuntime::OnEvent(const EventPtr& e) {
   router_.Route(e);
 }
 
+void ShardedRuntime::OnBatch(const EventPtr* events, size_t n) {
+  CEPJOIN_CHECK(!finished_) << "OnBatch after Finish";
+  for (size_t i = 0; i < n; ++i) router_.Route(events[i]);
+}
+
 void ShardedRuntime::ProcessStream(const EventStream& stream) {
-  for (const EventPtr& e : stream.events()) OnEvent(e);
+  OnBatch(stream.events().data(), stream.size());
 }
 
 void ShardedRuntime::Finish() {

@@ -63,6 +63,9 @@ class ShardedRuntime {
   /// with the single-threaded runtimes. Must not be called after
   /// Finish().
   void OnEvent(const EventPtr& e);
+  /// Routes a run of events. The router accumulates per-shard batches
+  /// either way; this only amortizes the facade call.
+  void OnBatch(const EventPtr* events, size_t n);
   void ProcessStream(const EventStream& stream);
 
   /// Flushes pending batches, signals end-of-stream, joins all workers,

@@ -26,24 +26,6 @@ const char* CmpOpName(CmpOp op) {
   return "?";
 }
 
-bool CmpApply(CmpOp op, double lhs, double rhs) {
-  switch (op) {
-    case CmpOp::kLt:
-      return lhs < rhs;
-    case CmpOp::kLe:
-      return lhs <= rhs;
-    case CmpOp::kGt:
-      return lhs > rhs;
-    case CmpOp::kGe:
-      return lhs >= rhs;
-    case CmpOp::kEq:
-      return lhs == rhs;
-    case CmpOp::kNe:
-      return lhs != rhs;
-  }
-  return false;
-}
-
 double Condition::DeclaredSelectivity() const {
   return std::numeric_limits<double>::quiet_NaN();
 }

@@ -15,7 +15,32 @@ namespace cepjoin {
 enum class CmpOp { kLt, kLe, kGt, kGe, kEq, kNe };
 
 const char* CmpOpName(CmpOp op);
-bool CmpApply(CmpOp op, double lhs, double rhs);
+
+/// IEEE comparison class of (lhs, rhs) as a one-hot nibble:
+/// 1 = less, 2 = equal, 4 = greater, 8 = unordered (NaN operand).
+inline unsigned CmpClass(double lhs, double rhs) {
+  unsigned cls = (lhs < rhs ? 1u : 0u) | (lhs == rhs ? 2u : 0u) |
+                 (lhs > rhs ? 4u : 0u);
+  return cls != 0 ? cls : 8u;
+}
+
+/// The comparison classes a CmpOp accepts (IEEE semantics: only kNe is
+/// true on NaN).
+inline unsigned CmpMask(CmpOp op) {
+  constexpr unsigned kMasks[6] = {/*kLt*/ 1u, /*kLe*/ 3u,  /*kGt*/ 4u,
+                                  /*kGe*/ 6u, /*kEq*/ 2u, /*kNe*/ 13u};
+  return kMasks[static_cast<int>(op)];
+}
+
+/// Inline and branchless: this sits on the innermost predicate loop of
+/// both the virtual Condition::Eval path and the compiled predicate
+/// interpreter, where a data-dependent `op` makes a switch's indirect
+/// jump mispredict. The class/mask split keeps everything in registers
+/// (no jump table, no stack-materialized lookup) and lets the compiled
+/// program pre-resolve CmpMask at lowering time.
+inline bool CmpApply(CmpOp op, double lhs, double rhs) {
+  return (CmpMask(op) & CmpClass(lhs, rhs)) != 0;
+}
 
 /// A (at most pairwise) predicate between two pattern positions.
 ///
@@ -50,7 +75,7 @@ class Condition {
 using ConditionPtr = std::shared_ptr<const Condition>;
 
 /// left.attr OP right.attr + offset  (binary attribute comparison).
-class AttrCompare : public Condition {
+class AttrCompare final : public Condition {
  public:
   AttrCompare(int left, AttrId left_attr, CmpOp op, int right, AttrId right_attr,
               double offset = 0.0)
@@ -65,6 +90,11 @@ class AttrCompare : public Condition {
   }
   std::string Describe() const override;
 
+  AttrId left_attr() const { return left_attr_; }
+  AttrId right_attr() const { return right_attr_; }
+  CmpOp op() const { return op_; }
+  double offset() const { return offset_; }
+
  private:
   AttrId left_attr_;
   AttrId right_attr_;
@@ -73,7 +103,7 @@ class AttrCompare : public Condition {
 };
 
 /// event.attr OP constant  (unary filter).
-class AttrThreshold : public Condition {
+class AttrThreshold final : public Condition {
  public:
   AttrThreshold(int pos, AttrId attr, CmpOp op, double constant)
       : Condition(pos, pos), attr_(attr), op_(op), constant_(constant) {}
@@ -82,6 +112,10 @@ class AttrThreshold : public Condition {
     return CmpApply(op_, l.Attr(attr_), constant_);
   }
   std::string Describe() const override;
+
+  AttrId attr() const { return attr_; }
+  CmpOp op() const { return op_; }
+  double constant() const { return constant_; }
 
  private:
   AttrId attr_;
@@ -92,7 +126,7 @@ class AttrThreshold : public Condition {
 /// left.ts < right.ts — the temporal-order predicate the SEQ→AND rewrite
 /// introduces (Theorem 3). Declared selectivity 1/2 under the standard
 /// independence assumption.
-class TsOrder : public Condition {
+class TsOrder final : public Condition {
  public:
   TsOrder(int left, int right) : Condition(left, right) {}
 
@@ -106,7 +140,7 @@ class TsOrder : public Condition {
 /// right immediately follows left in the stream (strict contiguity,
 /// Sec. 6.2). The planner supplies the declared selectivity because it
 /// depends on the total stream rate, which the condition cannot know.
-class SerialAdjacent : public Condition {
+class SerialAdjacent final : public Condition {
  public:
   SerialAdjacent(int left, int right, double declared_selectivity)
       : Condition(left, right), declared_selectivity_(declared_selectivity) {}
@@ -126,7 +160,7 @@ class SerialAdjacent : public Condition {
 /// Partition contiguity (Sec. 6.2): if the two events share a partition,
 /// their per-partition sequence numbers must be adjacent; events from
 /// different partitions are unconstrained.
-class PartitionAdjacent : public Condition {
+class PartitionAdjacent final : public Condition {
  public:
   PartitionAdjacent(int left, int right, double declared_selectivity)
       : Condition(left, right), declared_selectivity_(declared_selectivity) {}
@@ -145,7 +179,7 @@ class PartitionAdjacent : public Condition {
 
 /// Escape hatch for arbitrary user predicates. The user must declare the
 /// selectivity (or leave NaN to have it measured).
-class CustomCondition : public Condition {
+class CustomCondition final : public Condition {
  public:
   using Fn = std::function<bool(const Event&, const Event&)>;
   CustomCondition(int left, int right, Fn fn, double declared_selectivity,

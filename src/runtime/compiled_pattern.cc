@@ -18,7 +18,8 @@ constexpr double kRuntimeAdjacencySelectivity = 1.0;
 CompiledPattern::CompiledPattern(const SimplePattern& pattern)
     : original_(pattern),
       rewritten_(RewriteForPlanning(pattern, kRuntimeAdjacencySelectivity)),
-      conditions_(rewritten_.size(), rewritten_.conditions()) {
+      conditions_(rewritten_.size(), rewritten_.conditions()),
+      program_(conditions_) {
   int n = original_.size();
   pos_to_slot_.assign(n, -1);
   for (int pos : original_.positive_positions()) {
@@ -81,8 +82,8 @@ const std::vector<int>& CompiledPattern::positions_of_type(
 bool CompiledPattern::NegationViolates(const NegationSpec& neg,
                                        const Event& candidate,
                                        const BoundAccessor& bound,
-                                       Timestamp min_ts,
-                                       Timestamp max_ts) const {
+                                       Timestamp min_ts, Timestamp max_ts,
+                                       uint64_t* predicate_evals) const {
   Timestamp w = window();
   // Window-edge bounds: a candidate can only kill the match if it could
   // belong to the same window as every match event.
@@ -95,7 +96,8 @@ bool CompiledPattern::NegationViolates(const NegationSpec& neg,
     bound.ForEach(dep, [&](const Event& e) {
       saw_bound = true;
       if (!all_ok) return;
-      if (!conditions_.EvalPair(dep, neg.neg_pos, e, candidate)) {
+      if (!program_.EvalPair(dep, neg.neg_pos, e, candidate,
+                             predicate_evals)) {
         all_ok = false;
       }
     });

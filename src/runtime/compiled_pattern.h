@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "pattern/pattern.h"
+#include "runtime/predicate_program.h"
 
 namespace cepjoin {
 
@@ -72,6 +73,11 @@ class CompiledPattern {
   /// for SEQ and contiguity predicates).
   const ConditionSet& conditions() const { return conditions_; }
 
+  /// The conditions lowered into a flat, devirtualized opcode array — the
+  /// evaluation path engines use on the hot loop. Verdict-equivalent to
+  /// conditions() by construction.
+  const PredicateProgram& program() const { return program_; }
+
   const std::vector<NegationSpec>& negations() const { return negations_; }
   bool has_trailing_negation() const { return has_trailing_negation_; }
 
@@ -82,15 +88,18 @@ class CompiledPattern {
   /// passed its unary filter) invalidates a match whose bound events are
   /// exposed by `bound`. `min_ts`/`max_ts` are the match's current extent
   /// (used for the window-edge bounds of leading/trailing checks).
-  /// All dep positions must be bound.
+  /// All dep positions must be bound. `predicate_evals` (may be null) is
+  /// incremented per predicate executed against the candidate.
   bool NegationViolates(const NegationSpec& neg, const Event& candidate,
                         const BoundAccessor& bound, Timestamp min_ts,
-                        Timestamp max_ts) const;
+                        Timestamp max_ts,
+                        uint64_t* predicate_evals = nullptr) const;
 
  private:
   SimplePattern original_;
   SimplePattern rewritten_;
   ConditionSet conditions_;
+  PredicateProgram program_;
   std::vector<int> slot_to_pos_;
   std::vector<int> pos_to_slot_;
   int kleene_slot_ = -1;

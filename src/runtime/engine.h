@@ -16,6 +16,10 @@ struct EngineCounters {
   uint64_t events_processed = 0;
   uint64_t instances_created = 0;
   uint64_t matches_emitted = 0;
+  /// Predicate evaluations executed by the compiled predicate program
+  /// (runtime/predicate_program.h) — the measured counterpart of the
+  /// cost model's predicate-work estimate.
+  uint64_t predicate_evals = 0;
 
   size_t live_instances = 0;
   size_t peak_live_instances = 0;
@@ -76,6 +80,15 @@ class Engine {
   /// Processes one arrival. Events must be fed in timestamp order.
   virtual void OnEvent(const EventPtr& e) = 0;
 
+  /// Processes a run of arrivals (timestamp order, same as OnEvent).
+  /// Produces exactly the matches and counters of calling OnEvent on each
+  /// event; engines override it to amortize per-event overhead (virtual
+  /// dispatch, latency clock reads) over the batch. The default is a
+  /// per-event loop.
+  virtual void OnBatch(const EventPtr* events, size_t n) {
+    for (size_t i = 0; i < n; ++i) OnEvent(events[i]);
+  }
+
   /// Signals end-of-stream: flushes matches whose trailing-negation
   /// windows are still open.
   virtual void Finish() = 0;
@@ -90,6 +103,7 @@ inline void EngineCounters::MergeDisjoint(const EngineCounters& other) {
   events_processed += other.events_processed;
   instances_created += other.instances_created;
   matches_emitted += other.matches_emitted;
+  predicate_evals += other.predicate_evals;
   live_instances += other.live_instances;
   peak_live_instances += other.peak_live_instances;
   buffered_events += other.buffered_events;

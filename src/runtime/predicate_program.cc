@@ -1,0 +1,192 @@
+#include "runtime/predicate_program.h"
+
+#include <sstream>
+
+#include "common/check.h"
+
+namespace cepjoin {
+
+namespace {
+
+constexpr AttrId kMaxNarrowAttr = 0xffff;
+
+/// Lowers one condition. `swap` is decided by the caller (orientation
+/// within the bucket); everything else comes from the concrete class.
+PredInstr Lower(const Condition& c) {
+  PredInstr instr;
+  if (const auto* attr_cmp = dynamic_cast<const AttrCompare*>(&c)) {
+    if (attr_cmp->left_attr() <= kMaxNarrowAttr &&
+        attr_cmp->right_attr() <= kMaxNarrowAttr) {
+      instr.op = PredOpCode::kAttrCmp;
+      instr.cmp = static_cast<uint8_t>(attr_cmp->op());
+      instr.cmp_mask = static_cast<uint8_t>(CmpMask(attr_cmp->op()));
+      instr.left_attr = static_cast<uint16_t>(attr_cmp->left_attr());
+      instr.right_attr = static_cast<uint16_t>(attr_cmp->right_attr());
+      instr.operand = attr_cmp->offset();
+      return instr;
+    }
+  } else if (const auto* threshold = dynamic_cast<const AttrThreshold*>(&c)) {
+    if (threshold->attr() <= kMaxNarrowAttr) {
+      instr.op = PredOpCode::kAttrThreshold;
+      instr.cmp = static_cast<uint8_t>(threshold->op());
+      instr.cmp_mask = static_cast<uint8_t>(CmpMask(threshold->op()));
+      instr.left_attr = static_cast<uint16_t>(threshold->attr());
+      instr.operand = threshold->constant();
+      return instr;
+    }
+  }
+  if (dynamic_cast<const TsOrder*>(&c) != nullptr) {
+    instr.op = PredOpCode::kTsOrder;
+    return instr;
+  }
+  if (dynamic_cast<const SerialAdjacent*>(&c) != nullptr) {
+    instr.op = PredOpCode::kSerialAdjacent;
+    return instr;
+  }
+  if (dynamic_cast<const PartitionAdjacent*>(&c) != nullptr) {
+    instr.op = PredOpCode::kPartitionAdjacent;
+    return instr;
+  }
+  // CustomCondition and unknown subclasses: virtual trampoline.
+  instr.op = PredOpCode::kVirtual;
+  instr.fallback = &c;
+  return instr;
+}
+
+const char* OpName(PredOpCode op) {
+  switch (op) {
+    case PredOpCode::kAttrCmp:
+      return "attr_cmp";
+    case PredOpCode::kAttrThreshold:
+      return "attr_threshold";
+    case PredOpCode::kTsOrder:
+      return "ts_order";
+    case PredOpCode::kSerialAdjacent:
+      return "serial_adjacent";
+    case PredOpCode::kPartitionAdjacent:
+      return "partition_adjacent";
+    case PredOpCode::kVirtual:
+      return "virtual";
+  }
+  return "?";
+}
+
+}  // namespace
+
+bool PredicateProgram::RunSpan(Span span, const Event& lo_event,
+                               const Event& hi_event, uint64_t* evals) const {
+  const PredInstr* instr = code_.data() + span.begin;
+  const PredInstr* end = code_.data() + span.end;
+  bool ok = true;
+  for (; instr != end; ++instr) {
+    const Event& l = instr->swap ? hi_event : lo_event;
+    const Event& r = instr->swap ? lo_event : hi_event;
+    bool verdict;
+    // Compare chain ordered by dynamic frequency, not a switch: a jump
+    // table mispredicts on mixed opcode streams, while the dominant
+    // kAttrCmp / kTsOrder opcodes (attribute comparisons plus the SEQ
+    // rewrite's temporal closure) fall through well-predicted branches.
+    if (instr->op == PredOpCode::kAttrCmp) {
+      verdict = (instr->cmp_mask &
+                 CmpClass(l.attrs[instr->left_attr],
+                          r.attrs[instr->right_attr] + instr->operand)) != 0;
+    } else if (instr->op == PredOpCode::kTsOrder) {
+      verdict = l.ts < r.ts;
+    } else {
+      switch (instr->op) {
+        case PredOpCode::kAttrThreshold:
+          verdict = (instr->cmp_mask &
+                     CmpClass(l.attrs[instr->left_attr], instr->operand)) !=
+                    0;
+          break;
+        case PredOpCode::kSerialAdjacent:
+          verdict = r.serial == l.serial + 1;
+          break;
+        case PredOpCode::kPartitionAdjacent:
+          verdict = l.partition != r.partition ||
+                    r.partition_seq == l.partition_seq + 1;
+          break;
+        case PredOpCode::kVirtual:
+          verdict = instr->fallback->Eval(l, r);
+          break;
+        default:
+          verdict = false;
+          break;
+      }
+    }
+    if (!verdict) {
+      ++instr;  // count the failing predicate as executed
+      ok = false;
+      break;
+    }
+  }
+  // One accumulation per span, not one read-modify-write per predicate.
+  if (evals != nullptr) {
+    *evals += static_cast<uint64_t>(instr - (code_.data() + span.begin));
+  }
+  return ok;
+}
+
+PredicateProgram::PredicateProgram(const ConditionSet& conditions)
+    : n_(conditions.num_positions()) {
+  pair_spans_.resize(static_cast<size_t>(n_) * n_);
+  unary_spans_.resize(n_);
+  auto emit = [&](const ConditionPtr& c, bool swap) {
+    PredInstr instr = Lower(*c);
+    instr.swap = swap;
+    if (instr.op == PredOpCode::kVirtual) keepalive_.push_back(c);
+    code_.push_back(instr);
+  };
+  for (int i = 0; i < n_; ++i) {
+    Span& span = unary_spans_[i];
+    span.begin = static_cast<uint32_t>(code_.size());
+    // Unary conditions see the same event as both l and r, so the
+    // orientation flag is irrelevant.
+    for (const ConditionPtr& c : conditions.UnaryAt(i)) emit(c, false);
+    span.end = static_cast<uint32_t>(code_.size());
+  }
+  for (int lo = 0; lo < n_; ++lo) {
+    for (int hi = lo + 1; hi < n_; ++hi) {
+      Span& span = pair_spans_[static_cast<size_t>(lo) * n_ + hi];
+      span.begin = static_cast<uint32_t>(code_.size());
+      for (const ConditionPtr& c : conditions.Between(lo, hi)) {
+        emit(c, c->left() != lo);
+      }
+      span.end = static_cast<uint32_t>(code_.size());
+    }
+  }
+}
+
+std::string PredicateProgram::Disassemble() const {
+  std::ostringstream os;
+  auto dump = [&](const char* label, int lo, int hi, Span span) {
+    for (uint32_t k = span.begin; k < span.end; ++k) {
+      const PredInstr& instr = code_[k];
+      os << label << "(" << lo;
+      if (hi >= 0) os << "," << hi;
+      os << ") " << OpName(instr.op);
+      if (instr.swap) os << " swapped";
+      if (instr.op == PredOpCode::kAttrCmp) {
+        os << " a" << instr.left_attr << " "
+           << CmpOpName(static_cast<CmpOp>(instr.cmp)) << " a"
+           << instr.right_attr << " + " << instr.operand;
+      } else if (instr.op == PredOpCode::kAttrThreshold) {
+        os << " a" << instr.left_attr << " "
+           << CmpOpName(static_cast<CmpOp>(instr.cmp)) << " "
+           << instr.operand;
+      } else if (instr.op == PredOpCode::kVirtual) {
+        os << " [" << instr.fallback->Describe() << "]";
+      }
+      os << "\n";
+    }
+  };
+  for (int i = 0; i < n_; ++i) dump("unary", i, -1, unary_spans_[i]);
+  for (int lo = 0; lo < n_; ++lo) {
+    for (int hi = lo + 1; hi < n_; ++hi) {
+      dump("pair", lo, hi, PairSpan(lo, hi));
+    }
+  }
+  return os.str();
+}
+
+}  // namespace cepjoin

@@ -1,0 +1,142 @@
+#ifndef CEPJOIN_RUNTIME_PREDICATE_PROGRAM_H_
+#define CEPJOIN_RUNTIME_PREDICATE_PROGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pattern/condition.h"
+
+namespace cepjoin {
+
+/// Opcode of one lowered predicate instruction. The built-in condition
+/// classes lower to dedicated opcodes whose evaluation is a branch-free
+/// switch over plain struct fields; everything else (CustomCondition,
+/// future user subclasses) falls back to the virtual Condition::Eval.
+enum class PredOpCode : uint8_t {
+  kAttrCmp,            // CmpApply(cmp, l.attrs[a], r.attrs[b] + operand)
+  kAttrThreshold,      // CmpApply(cmp, l.attrs[a], operand)
+  kTsOrder,            // l.ts < r.ts
+  kSerialAdjacent,     // r.serial == l.serial + 1
+  kPartitionAdjacent,  // l.partition != r.partition ||
+                       //   r.partition_seq == l.partition_seq + 1
+  kVirtual,            // fallback->Eval(l, r)
+};
+
+/// One lowered predicate: a 16-byte tagged flat struct, no virtual
+/// dispatch and no indirection for the built-in condition kinds. Kept
+/// small deliberately — the interpreter walks instruction spans linearly,
+/// so instruction size is cache traffic. Attribute ids are narrowed to 16
+/// bits; a condition whose attributes do not fit (no realistic schema)
+/// lowers to the virtual fallback instead.
+struct PredInstr {
+  PredOpCode op = PredOpCode::kVirtual;
+  /// The condition was registered with left() == the *higher* pattern
+  /// position of its pair: evaluate with the two events swapped.
+  bool swap = false;
+  /// A CmpOp, stored narrow to keep the struct at 16 bytes.
+  uint8_t cmp = 0;
+  /// CmpMask(cmp), resolved at lowering time so the interpreter ANDs the
+  /// comparison class against a pre-loaded byte.
+  uint8_t cmp_mask = 0;
+  uint16_t left_attr = 0;
+  uint16_t right_attr = 0;
+  union {
+    /// AttrCompare offset or AttrThreshold constant.
+    double operand;
+    /// Borrowed from the owning program's keepalive list (kVirtual only).
+    const Condition* fallback;
+  };
+  PredInstr() : operand(0.0) {}
+};
+static_assert(sizeof(PredInstr) == 16, "PredInstr must stay cache-dense");
+
+/// A ConditionSet lowered into one flat instruction array with per-bucket
+/// spans — the compiled predicate path of the evaluation hot loop. Where
+/// ConditionSet::EvalPair pays a virtual Condition::Eval behind two
+/// shared_ptr hops per predicate, the program interprets a contiguous
+/// opcode array and counts every predicate evaluation into the counter
+/// the caller passes (EngineCounters::predicate_evals).
+///
+/// Verdict equivalence with the virtual path is exact — including the
+/// per-condition orientation handling and the CustomCondition fallback —
+/// and is enforced by tests/runtime/predicate_program_test.cc.
+class PredicateProgram {
+ public:
+  PredicateProgram() = default;
+  explicit PredicateProgram(const ConditionSet& conditions);
+
+  /// True iff every condition between positions i and j accepts
+  /// (ei at i, ej at j). Arguments may be given in either orientation,
+  /// exactly like ConditionSet::EvalPair. `evals` (may be null) is
+  /// incremented once per predicate executed. Defined inline below: this
+  /// is the innermost call of the evaluation hot loop.
+  bool EvalPair(int i, int j, const Event& ei, const Event& ej,
+                uint64_t* evals) const;
+
+  /// True iff every unary condition on position i accepts e.
+  bool EvalUnary(int i, const Event& e, uint64_t* evals) const;
+
+  int num_positions() const { return n_; }
+  size_t num_instructions() const { return code_.size(); }
+  /// Instructions that trampoline to the virtual Condition::Eval.
+  size_t num_fallbacks() const { return keepalive_.size(); }
+
+  /// One line per instruction; used by tests and plan explainers.
+  std::string Disassemble() const;
+
+ private:
+  struct Span {
+    uint32_t begin = 0;
+    uint32_t end = 0;
+  };
+
+  Span PairSpan(int lo, int hi) const {
+    return pair_spans_[static_cast<size_t>(lo) * n_ + hi];
+  }
+
+  /// Out-of-line by design: one compact, shared copy of the interpreter
+  /// loop predicts and caches better than a copy inlined into every
+  /// engine call site (measured; see bench_micro predicate benchmarks).
+  /// The inline EvalPair/EvalUnary wrappers keep the empty-span fast
+  /// path — the common case when engines probe every position pair — at
+  /// two loads and a branch.
+  bool RunSpan(Span span, const Event& lo_event, const Event& hi_event,
+               uint64_t* evals) const;
+
+  int n_ = 0;
+  std::vector<Span> pair_spans_;   // (lo, hi) with lo < hi at lo * n_ + hi
+  std::vector<Span> unary_spans_;  // by position
+  std::vector<PredInstr> code_;
+  /// Shares ownership of the conditions kVirtual instructions point at,
+  /// so a program outlives or is copied independently of its source set.
+  std::vector<ConditionPtr> keepalive_;
+};
+
+inline bool PredicateProgram::EvalPair(int i, int j, const Event& ei,
+                                       const Event& ej,
+                                       uint64_t* evals) const {
+  Span span;
+  const Event* lo = &ei;
+  const Event* hi = &ej;
+  if (i < j) {
+    span = PairSpan(i, j);
+  } else {
+    span = PairSpan(j, i);
+    lo = &ej;
+    hi = &ei;
+  }
+  if (span.begin == span.end) return true;
+  return RunSpan(span, *lo, *hi, evals);
+}
+
+inline bool PredicateProgram::EvalUnary(int i, const Event& e,
+                                        uint64_t* evals) const {
+  Span span = unary_spans_[i];
+  if (span.begin == span.end) return true;
+  return RunSpan(span, e, e, evals);
+}
+
+}  // namespace cepjoin
+
+#endif  // CEPJOIN_RUNTIME_PREDICATE_PROGRAM_H_

@@ -119,9 +119,22 @@ TreeEngine::TreeEngine(const SimplePattern& pattern, const TreePlan& plan,
 }
 
 void TreeEngine::OnEvent(const EventPtr& e) {
+  arrival_start_ = std::chrono::steady_clock::now();
+  ProcessEvent(e);
+}
+
+void TreeEngine::OnBatch(const EventPtr* events, size_t n) {
+  if (n == 0) return;
+  // One latency anchor per batch instead of one clock read per event;
+  // everything else is byte-identical to the per-event path, so matches
+  // and counters are too.
+  arrival_start_ = std::chrono::steady_clock::now();
+  for (size_t i = 0; i < n; ++i) ProcessEvent(events[i]);
+}
+
+void TreeEngine::ProcessEvent(const EventPtr& e) {
   CEPJOIN_CHECK(e != nullptr);
   ++counters_.events_processed;
-  arrival_start_ = std::chrono::steady_clock::now();
   now_ = e->ts;
   current_serial_ = e->serial;
   if (++events_since_sweep_ >= kSweepEvery) Sweep();
@@ -154,12 +167,16 @@ void TreeEngine::ProcessPending(const Event& e) {
   pending_.resize(keep);
   for (const NegationSpec* neg : trailing_checks_) {
     if (cp_.pos_type(neg->neg_pos) != e.type) continue;
-    if (!cp_.conditions().EvalUnary(neg->neg_pos, e)) continue;
+    if (!cp_.program().EvalUnary(neg->neg_pos, e,
+                                 &counters_.predicate_evals)) {
+      continue;
+    }
     size_t kept = 0;
     for (size_t i = 0; i < pending_.size(); ++i) {
       MatchBound bound(pending_[i].match);
       if (!cp_.NegationViolates(*neg, e, bound, pending_[i].min_ts,
-                                pending_[i].max_ts)) {
+                                pending_[i].max_ts,
+                                &counters_.predicate_evals)) {
         if (kept != i) pending_[kept] = std::move(pending_[i]);
         ++kept;
       }
@@ -171,7 +188,9 @@ void TreeEngine::ProcessPending(const Event& e) {
 void TreeEngine::BufferNegated(const EventPtr& e) {
   for (int pos : cp_.positions_of_type(e->type)) {
     if (cp_.pos_to_slot(pos) >= 0) continue;  // only negated positions
-    if (!cp_.conditions().EvalUnary(pos, *e)) continue;
+    if (!cp_.program().EvalUnary(pos, *e, &counters_.predicate_evals)) {
+      continue;
+    }
     neg_buffers_[pos].push_back(e);
     counters_.AddBuffered();
   }
@@ -180,7 +199,7 @@ void TreeEngine::BufferNegated(const EventPtr& e) {
 void TreeEngine::ArriveAtLeaf(int leaf_node, const EventPtr& e) {
   int slot = plan_.node(leaf_node).leaf_item;
   int pos = cp_.slot_to_pos(slot);
-  if (!cp_.conditions().EvalUnary(pos, *e)) return;
+  if (!cp_.program().EvalUnary(pos, *e, &counters_.predicate_evals)) return;
   int m = cp_.num_slots();
   bool kleene_leaf = pos == kleene_pos_;
 
@@ -214,7 +233,7 @@ void TreeEngine::ArriveAtLeaf(int leaf_node, const EventPtr& e) {
 }
 
 bool TreeEngine::TryCombine(int parent, const Instance& a, const Instance& b,
-                            Instance* out) const {
+                            Instance* out) {
   Timestamp min_ts = std::min(a.min_ts, b.min_ts);
   Timestamp max_ts = std::max(a.max_ts, b.max_ts);
   if (max_ts - min_ts > cp_.window()) return false;
@@ -233,7 +252,10 @@ bool TreeEngine::TryCombine(int parent, const Instance& a, const Instance& b,
       if (!ok) return;
       rbound.ForEach(pb, [&](const Event& eb) {
         if (!ok) return;
-        if (!cp_.conditions().EvalPair(pa, pb, ea, eb)) ok = false;
+        if (!cp_.program().EvalPair(pa, pb, ea, eb,
+                                    &counters_.predicate_evals)) {
+          ok = false;
+        }
       });
     });
     if (!ok) return false;
@@ -252,13 +274,13 @@ bool TreeEngine::TryCombine(int parent, const Instance& a, const Instance& b,
   return true;
 }
 
-bool TreeEngine::NodeNegationChecks(int node, const Instance& inst) const {
+bool TreeEngine::NodeNegationChecks(int node, const Instance& inst) {
   if (checks_at_node_[node].empty()) return true;
   TreeBound bound(cp_, inst.by_slot, inst.kleene_extra, kleene_pos_);
   for (const NegationSpec* neg : checks_at_node_[node]) {
     for (const EventPtr& candidate : neg_buffers_[neg->neg_pos]) {
       if (cp_.NegationViolates(*neg, *candidate, bound, inst.min_ts,
-                               inst.max_ts)) {
+                               inst.max_ts, &counters_.predicate_evals)) {
         return false;
       }
     }
@@ -345,7 +367,7 @@ void TreeEngine::Complete(const Instance& inst) {
     for (const NegationSpec* neg : completion_checks_) {
       for (const EventPtr& candidate : neg_buffers_[neg->neg_pos]) {
         if (cp_.NegationViolates(*neg, *candidate, bound, inst.min_ts,
-                                 inst.max_ts)) {
+                                 inst.max_ts, &counters_.predicate_evals)) {
           return;
         }
       }

@@ -31,6 +31,9 @@ class TreeEngine : public Engine {
              MatchSink* sink);
 
   void OnEvent(const EventPtr& e) override;
+  /// Batched entry point: identical matches and counters to per-event
+  /// feeding; amortizes the dispatch and the latency clock read.
+  void OnBatch(const EventPtr* events, size_t n) override;
   void Finish() override;
 
   const CompiledPattern& compiled() const { return cp_; }
@@ -59,14 +62,17 @@ class TreeEngine : public Engine {
     Timestamp deadline = 0.0;
   };
 
+  /// OnEvent minus the latency clock read (hoisted per batch by OnBatch).
+  void ProcessEvent(const EventPtr& e);
   void ProcessPending(const Event& e);
   void BufferNegated(const EventPtr& e);
   void ArriveAtLeaf(int leaf_node, const EventPtr& e);
   /// Negation-checks, buffers, and cascades a freshly created instance.
   void NewInstance(int node, Instance&& inst);
+  /// Non-const: predicate evaluations count into counters_.
   bool TryCombine(int parent, const Instance& a, const Instance& b,
-                  Instance* out) const;
-  bool NodeNegationChecks(int node, const Instance& inst) const;
+                  Instance* out);
+  bool NodeNegationChecks(int node, const Instance& inst);
   void Complete(const Instance& inst);
   void EmitMatch(Match match);
   void Sweep();

@@ -1,0 +1,239 @@
+// OnBatch / OnEvent equivalence: feeding a stream through the batched
+// entry point — at any batch size — must produce byte-identical match
+// sequences and identical counters to per-event feeding, for both engine
+// classes and for the CepRuntime facade.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/cep_runtime.h"
+#include "engine/engine_factory.h"
+#include "stats/collector.h"
+#include "workload/pattern_generator.h"
+
+namespace cepjoin {
+namespace {
+
+struct FeedResult {
+  std::vector<std::string> emission_order;
+  EngineCounters counters;
+};
+
+void ExpectCountersEqual(const EngineCounters& a, const EngineCounters& b) {
+  EXPECT_EQ(a.events_processed, b.events_processed);
+  EXPECT_EQ(a.instances_created, b.instances_created);
+  EXPECT_EQ(a.matches_emitted, b.matches_emitted);
+  EXPECT_EQ(a.predicate_evals, b.predicate_evals);
+  EXPECT_EQ(a.live_instances, b.live_instances);
+  EXPECT_EQ(a.peak_live_instances, b.peak_live_instances);
+  EXPECT_EQ(a.buffered_events, b.buffered_events);
+  EXPECT_EQ(a.peak_buffered_events, b.peak_buffered_events);
+  EXPECT_EQ(a.instance_bytes, b.instance_bytes);
+  EXPECT_EQ(a.peak_total_bytes, b.peak_total_bytes);
+}
+
+class BatchEquivalenceTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    StockGeneratorConfig stock;
+    stock.num_symbols = 10;
+    stock.duration_seconds = 6.0;
+    universe_ = new StockUniverse(GenerateStockStream(stock));
+    collector_ =
+        new StatsCollector(universe_->stream, universe_->registry.size());
+  }
+  static void TearDownTestSuite() {
+    delete collector_;
+    collector_ = nullptr;
+    delete universe_;
+    universe_ = nullptr;
+  }
+
+  static FeedResult FeedEngine(const SimplePattern& pattern, const EnginePlan& plan,
+                        size_t batch_size) {
+    CollectingSink sink;
+    std::unique_ptr<Engine> engine = BuildEngine(pattern, plan, &sink);
+    const std::vector<EventPtr>& events = universe_->stream.events();
+    if (batch_size == 0) {
+      for (const EventPtr& e : events) engine->OnEvent(e);
+    } else {
+      for (size_t i = 0; i < events.size(); i += batch_size) {
+        engine->OnBatch(events.data() + i,
+                        std::min(batch_size, events.size() - i));
+      }
+    }
+    engine->Finish();
+    FeedResult run;
+    for (const Match& m : sink.matches) {
+      run.emission_order.push_back(m.Fingerprint());
+    }
+    run.counters = engine->counters();
+    return run;
+  }
+
+  static void ExpectBatchedMatchesPerEvent(const std::string& algorithm,
+                                           PatternFamily family, int size,
+                                           uint64_t seed,
+                                           double window = 1.0) {
+    PatternGenConfig pg;
+    pg.family = family;
+    pg.size = size;
+    pg.window = window;
+    pg.seed = seed;
+    SimplePattern pattern = GeneratePattern(*universe_, pg)[0];
+    CostFunction cost = MakeCostFunction(
+        pattern, collector_->CollectForPattern(pattern), 0.0);
+    EnginePlan plan = MakePlan(algorithm, cost);
+
+    FeedResult reference = FeedEngine(pattern, plan, 0);
+    ASSERT_GT(reference.counters.events_processed, 0u);
+    EXPECT_GT(reference.counters.predicate_evals, 0u);
+    for (size_t batch_size : {1u, 7u, 256u}) {
+      SCOPED_TRACE(algorithm + " batch_size=" + std::to_string(batch_size));
+      FeedResult batched = FeedEngine(pattern, plan, batch_size);
+      EXPECT_EQ(batched.emission_order, reference.emission_order);
+      ExpectCountersEqual(batched.counters, reference.counters);
+    }
+  }
+
+  static StockUniverse* universe_;
+  static StatsCollector* collector_;
+};
+
+StockUniverse* BatchEquivalenceTest::universe_ = nullptr;
+StatsCollector* BatchEquivalenceTest::collector_ = nullptr;
+
+TEST_F(BatchEquivalenceTest, NfaEngineSequence) {
+  ExpectBatchedMatchesPerEvent("GREEDY", PatternFamily::kSequence, 4, 71);
+}
+
+TEST_F(BatchEquivalenceTest, NfaEngineNegation) {
+  ExpectBatchedMatchesPerEvent("GREEDY", PatternFamily::kNegation, 4, 73);
+}
+
+TEST_F(BatchEquivalenceTest, NfaEngineKleene) {
+  ExpectBatchedMatchesPerEvent("GREEDY", PatternFamily::kKleene, 3, 79);
+}
+
+TEST_F(BatchEquivalenceTest, TreeEngineSequence) {
+  ExpectBatchedMatchesPerEvent("ZSTREAM", PatternFamily::kSequence, 4, 83);
+}
+
+TEST_F(BatchEquivalenceTest, TreeEngineConjunction) {
+  // AND over the full window is the cross-product-heaviest family: keep
+  // the window tight so the suite stays fast under sanitizers.
+  ExpectBatchedMatchesPerEvent("DP-B", PatternFamily::kConjunction, 4, 89,
+                               0.3);
+}
+
+TEST_F(BatchEquivalenceTest, DnfMultiEnginePreservesEmissionInterleaving) {
+  // A disjunction's sub-engines emit into one shared sink: batching must
+  // not reorder the union (all of subpattern 0's matches before
+  // subpattern 1's); the emission sequence — including the subpattern
+  // tags — must match per-event feeding exactly.
+  PatternGenConfig pg;
+  pg.family = PatternFamily::kDisjunction;
+  pg.size = 3;
+  pg.window = 1.0;
+  pg.seed = 101;
+  std::vector<SimplePattern> subpatterns = GeneratePattern(*universe_, pg);
+  ASSERT_GT(subpatterns.size(), 1u);
+  std::vector<EnginePlan> plans;
+  for (const SimplePattern& sub : subpatterns) {
+    CostFunction cost =
+        MakeCostFunction(sub, collector_->CollectForPattern(sub), 0.0);
+    plans.push_back(MakePlan("GREEDY", cost));
+  }
+
+  auto feed = [&](size_t batch_size) {
+    CollectingSink sink;
+    std::unique_ptr<Engine> engine =
+        BuildDnfEngine(subpatterns, plans, &sink);
+    const std::vector<EventPtr>& events = universe_->stream.events();
+    if (batch_size == 0) {
+      for (const EventPtr& e : events) engine->OnEvent(e);
+    } else {
+      for (size_t i = 0; i < events.size(); i += batch_size) {
+        engine->OnBatch(events.data() + i,
+                        std::min(batch_size, events.size() - i));
+      }
+    }
+    engine->Finish();
+    std::vector<std::string> order;
+    for (const Match& m : sink.matches) {
+      order.push_back(std::to_string(m.subpattern) + ":" + m.Fingerprint());
+    }
+    return order;
+  };
+
+  std::vector<std::string> reference = feed(0);
+  ASSERT_GT(reference.size(), 0u);
+  for (size_t batch_size : {7u, 256u}) {
+    SCOPED_TRACE("batch_size=" + std::to_string(batch_size));
+    EXPECT_EQ(feed(batch_size), reference);
+  }
+}
+
+TEST_F(BatchEquivalenceTest, CepRuntimeProcessStreamIsBatched) {
+  // The facade's ProcessStream chunks by RuntimeOptions::batch_size; any
+  // batch size must reproduce the per-event match sequence and counters.
+  PatternGenConfig pg;
+  pg.family = PatternFamily::kSequence;
+  pg.size = 4;
+  pg.window = 1.0;
+  pg.seed = 97;
+  SimplePattern pattern = GeneratePattern(*universe_, pg)[0];
+  PatternStats stats = collector_->CollectForPattern(pattern);
+
+  RuntimeOptions reference_options;
+  reference_options.algorithm = "GREEDY";
+  CollectingSink reference_sink;
+  CepRuntime reference(pattern, stats, reference_options, &reference_sink);
+  for (const EventPtr& e : universe_->stream.events()) reference.OnEvent(e);
+  reference.Finish();
+  std::vector<std::string> reference_order;
+  for (const Match& m : reference_sink.matches) {
+    reference_order.push_back(m.Fingerprint());
+  }
+  ASSERT_GT(reference.counters().events_processed, 0u);
+
+  for (size_t batch_size : {1u, 7u, 256u}) {
+    SCOPED_TRACE("batch_size=" + std::to_string(batch_size));
+    RuntimeOptions options;
+    options.algorithm = "GREEDY";
+    options.batch_size = batch_size;
+    CollectingSink sink;
+    CepRuntime runtime(pattern, stats, options, &sink);
+    runtime.ProcessStream(universe_->stream);
+    runtime.Finish();
+    std::vector<std::string> order;
+    for (const Match& m : sink.matches) order.push_back(m.Fingerprint());
+    EXPECT_EQ(order, reference_order);
+    ExpectCountersEqual(runtime.counters(), reference.counters());
+  }
+}
+
+TEST_F(BatchEquivalenceTest, DefaultOnBatchLoopsOnEvent) {
+  // An engine that does not override OnBatch gets the per-event loop.
+  class RecordingEngine : public Engine {
+   public:
+    void OnEvent(const EventPtr& e) override { serials.push_back(e->serial); }
+    void Finish() override {}
+    std::vector<EventSerial> serials;
+  };
+  RecordingEngine engine;
+  const std::vector<EventPtr>& events = universe_->stream.events();
+  size_t n = std::min<size_t>(events.size(), 10);
+  engine.OnBatch(events.data(), n);
+  ASSERT_EQ(engine.serials.size(), n);
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(engine.serials[i], events[i]->serial);
+  }
+}
+
+}  // namespace
+}  // namespace cepjoin

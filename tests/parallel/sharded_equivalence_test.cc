@@ -82,6 +82,60 @@ TEST(ShardedEquivalenceTest, MatchSetsAndCountersIdenticalAcrossThreads) {
   }
 }
 
+TEST(ShardedEquivalenceTest, BatchSizeSweepIsInvisibleInOutput) {
+  // Batched evaluation is an amortization, never a semantic: every
+  // (batch size, thread count) combination drains the same canonical
+  // match sequence and sums to the same counters as the single-threaded
+  // per-event reference.
+  KeyedWorkload workload = MakeKeyedWorkload(8, 5.0, 19);
+  Reference ref = RunPartitioned(workload, "GREEDY");
+  ASSERT_GT(ref.sorted_fingerprints.size(), 0u);
+
+  for (size_t batch_size : {1u, 7u, 256u}) {
+    for (size_t threads : {1u, 2u, 4u}) {
+      SCOPED_TRACE("batch_size=" + std::to_string(batch_size) +
+                   " threads=" + std::to_string(threads));
+      CollectingSink sink;
+      ShardedOptions options;
+      options.num_threads = threads;
+      options.batch_size = batch_size;
+      ShardedRuntime runtime(workload.pattern, workload.stream,
+                             workload.registry.size(), "GREEDY", &sink,
+                             options);
+      runtime.ProcessStream(workload.stream);
+      runtime.Finish();
+      std::vector<std::string> drain;
+      for (const Match& m : sink.matches) drain.push_back(m.Fingerprint());
+      EXPECT_EQ(drain, ref.emission_order);
+      EngineCounters total = runtime.TotalCounters();
+      EXPECT_EQ(total.events_processed, ref.counters.events_processed);
+      EXPECT_EQ(total.matches_emitted, ref.counters.matches_emitted);
+      EXPECT_EQ(total.instances_created, ref.counters.instances_created);
+      EXPECT_EQ(total.predicate_evals, ref.counters.predicate_evals);
+    }
+  }
+}
+
+TEST(ShardedEquivalenceTest, RuntimeOptionsBatchSizePlumbsToShards) {
+  // The facade forwards RuntimeOptions::batch_size to the router; a
+  // deliberately tiny batch size must not change the output.
+  KeyedWorkload workload = MakeKeyedWorkload(6, 4.0, 29);
+  Reference ref = RunPartitioned(workload, "GREEDY");
+
+  RuntimeOptions options;
+  options.algorithm = "GREEDY";
+  options.num_threads = 3;
+  options.batch_size = 2;
+  CollectingSink sink;
+  KeyedCepRuntime runtime(workload.pattern, workload.stream,
+                          workload.registry.size(), options, &sink);
+  runtime.ProcessStream(workload.stream);
+  runtime.Finish();
+  EXPECT_EQ(sink.Fingerprints(), ref.sorted_fingerprints);
+  EXPECT_EQ(runtime.TotalCounters().predicate_evals,
+            ref.counters.predicate_evals);
+}
+
 TEST(ShardedEquivalenceTest, DrainOrderMatchesSingleThreadedEmissionOrder) {
   // OnEvent-time matches are emitted in global arrival order by the
   // single-threaded runtime; the canonical drain reproduces exactly that

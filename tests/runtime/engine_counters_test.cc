@@ -43,6 +43,7 @@ EngineCounters SampleCounters(uint64_t events, uint64_t matches) {
   c.events_processed = events;
   c.matches_emitted = matches;
   c.instances_created = 2 * matches;
+  c.predicate_evals = 10 * matches;
   c.peak_live_instances = 5;
   c.peak_buffered_events = 7;
   c.peak_total_bytes = 1024;
@@ -57,6 +58,7 @@ TEST(EngineCountersTest, MergeTakesMaxEventsForSameStream) {
   EXPECT_EQ(total.events_processed, 100u);
   EXPECT_EQ(total.matches_emitted, 7u);
   EXPECT_EQ(total.instances_created, 14u);
+  EXPECT_EQ(total.predicate_evals, 70u);
   EXPECT_EQ(total.peak_live_instances, 10u);
 }
 
@@ -68,6 +70,7 @@ TEST(EngineCountersTest, MergeDisjointSumsEverything) {
   EXPECT_EQ(total.events_processed, 100u);
   EXPECT_EQ(total.matches_emitted, 7u);
   EXPECT_EQ(total.instances_created, 14u);
+  EXPECT_EQ(total.predicate_evals, 70u);
   EXPECT_EQ(total.peak_live_instances, 10u);
   EXPECT_EQ(total.peak_buffered_events, 14u);
   EXPECT_EQ(total.peak_total_bytes, 2048u);

@@ -1,0 +1,208 @@
+// Predicate-program / virtual-Eval parity: the compiled opcode
+// interpreter must return exactly the verdict of ConditionSet's virtual
+// Condition::Eval path for every condition kind, both argument
+// orientations, the AttrCompare offset, and the CustomCondition
+// fallback — on hand-built condition sets and on randomized patterns
+// from workload/pattern_generator.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "runtime/compiled_pattern.h"
+#include "runtime/predicate_program.h"
+#include "workload/pattern_generator.h"
+
+namespace cepjoin {
+namespace {
+
+Event MakeEvent(Rng& rng, int num_attrs, EventSerial serial) {
+  Event e;
+  e.ts = rng.UniformReal(0.0, 10.0);
+  e.serial = serial;
+  e.partition = static_cast<uint32_t>(serial % 3);
+  e.partition_seq = serial / 3;
+  e.attrs.resize(num_attrs);
+  for (int a = 0; a < num_attrs; ++a) e.attrs[a] = rng.UniformReal(-2.0, 2.0);
+  return e;
+}
+
+/// Asserts program verdicts equal virtual verdicts for every pair (in
+/// both orientations) and every unary position, over random event pairs.
+void ExpectParity(const ConditionSet& conditions,
+                  const PredicateProgram& program, int num_attrs,
+                  uint64_t seed, int rounds = 200) {
+  ASSERT_EQ(program.num_positions(), conditions.num_positions());
+  int n = conditions.num_positions();
+  Rng rng(seed);
+  uint64_t evals = 0;
+  for (int round = 0; round < rounds; ++round) {
+    Event a = MakeEvent(rng, num_attrs, 2 * round);
+    Event b = MakeEvent(rng, num_attrs, 2 * round + 1);
+    if (rng.Bernoulli(0.25)) b.serial = a.serial + 1;  // adjacency hits
+    if (rng.Bernoulli(0.25)) b.partition = a.partition;
+    for (int i = 0; i < n; ++i) {
+      EXPECT_EQ(program.EvalUnary(i, a, &evals),
+                conditions.EvalUnary(i, a))
+          << "unary position " << i << " round " << round;
+      for (int j = 0; j < n; ++j) {
+        if (i == j) continue;
+        EXPECT_EQ(program.EvalPair(i, j, a, b, &evals),
+                  conditions.EvalPair(i, j, a, b))
+            << "pair (" << i << "," << j << ") round " << round;
+      }
+    }
+  }
+}
+
+TEST(PredicateProgramTest, BuiltinConditionsLowerWithoutFallback) {
+  std::vector<ConditionPtr> conditions = {
+      std::make_shared<AttrCompare>(0, 0, CmpOp::kLt, 1, 1, 0.25),
+      std::make_shared<AttrCompare>(2, 1, CmpOp::kGe, 0, 0),  // left > right
+      std::make_shared<AttrThreshold>(1, 0, CmpOp::kGt, -0.5),
+      std::make_shared<TsOrder>(0, 2),
+      std::make_shared<SerialAdjacent>(1, 2, 0.1),
+      std::make_shared<PartitionAdjacent>(0, 1, 0.1),
+  };
+  ConditionSet set(3, conditions);
+  PredicateProgram program(set);
+  EXPECT_EQ(program.num_instructions(), conditions.size());
+  EXPECT_EQ(program.num_fallbacks(), 0u);
+  ExpectParity(set, program, 2, 11);
+}
+
+TEST(PredicateProgramTest, AttrCompareOffsetBothOrientations) {
+  // One condition registered as (1, 0) — the bucket stores it under the
+  // normalized pair (0, 1), so the interpreter must swap: the verdict is
+  // e1.a0 < e0.a1 + 10 regardless of the orientation EvalPair is called
+  // with.
+  std::vector<ConditionPtr> conditions = {
+      std::make_shared<AttrCompare>(1, 0, CmpOp::kLt, 0, 1, 10.0)};
+  ConditionSet set(2, conditions);
+  PredicateProgram program(set);
+
+  Event e0;
+  e0.attrs = {0.0, 1.0};
+  Event e1;
+  e1.attrs = {5.0, 0.0};
+  uint64_t evals = 0;
+  // 5 < 1 + 10 holds.
+  EXPECT_TRUE(program.EvalPair(0, 1, e0, e1, &evals));
+  EXPECT_TRUE(program.EvalPair(1, 0, e1, e0, &evals));
+  EXPECT_EQ(set.EvalPair(0, 1, e0, e1), true);
+  // With offset gone the comparison 5 < 1 fails; rebuild without offset.
+  std::vector<ConditionPtr> no_offset = {
+      std::make_shared<AttrCompare>(1, 0, CmpOp::kLt, 0, 1)};
+  ConditionSet set2(2, no_offset);
+  PredicateProgram program2(set2);
+  EXPECT_FALSE(program2.EvalPair(0, 1, e0, e1, &evals));
+  EXPECT_FALSE(program2.EvalPair(1, 0, e1, e0, &evals));
+  EXPECT_EQ(set2.EvalPair(0, 1, e0, e1), false);
+  ExpectParity(set, program, 2, 13);
+  ExpectParity(set2, program2, 2, 17);
+}
+
+TEST(PredicateProgramTest, CustomConditionFallsBackToVirtualEval) {
+  auto custom_fn = [](const Event& l, const Event& r) {
+    return l.attrs[0] * r.attrs[0] > 0.0;  // same sign
+  };
+  std::vector<ConditionPtr> conditions = {
+      std::make_shared<CustomCondition>(0, 1, custom_fn, 0.5, "same-sign"),
+      std::make_shared<CustomCondition>(
+          1, 1, [](const Event& l, const Event&) { return l.attrs[0] > 0.0; },
+          0.5, "positive"),
+      std::make_shared<AttrCompare>(0, 0, CmpOp::kNe, 1, 0),
+  };
+  ConditionSet set(2, conditions);
+  PredicateProgram program(set);
+  EXPECT_EQ(program.num_fallbacks(), 2u);
+  ExpectParity(set, program, 1, 19);
+}
+
+TEST(PredicateProgramTest, EvalCounterCountsShortCircuit) {
+  std::vector<ConditionPtr> conditions = {
+      std::make_shared<AttrThreshold>(0, 0, CmpOp::kGt, 0.0),
+      std::make_shared<AttrThreshold>(0, 0, CmpOp::kLt, 1.0),
+  };
+  ConditionSet set(1, conditions);
+  PredicateProgram program(set);
+  Event pass;
+  pass.attrs = {0.5};
+  Event fail_first;
+  fail_first.attrs = {-1.0};
+  uint64_t evals = 0;
+  EXPECT_TRUE(program.EvalUnary(0, pass, &evals));
+  EXPECT_EQ(evals, 2u);  // both predicates executed
+  evals = 0;
+  EXPECT_FALSE(program.EvalUnary(0, fail_first, &evals));
+  EXPECT_EQ(evals, 1u);  // short-circuits after the first failure
+  // A null counter is allowed.
+  EXPECT_TRUE(program.EvalUnary(0, pass, nullptr));
+}
+
+TEST(PredicateProgramTest, RandomizedParityOnGeneratedPatterns) {
+  StockGeneratorConfig stock;
+  stock.num_symbols = 12;
+  stock.duration_seconds = 5.0;
+  StockUniverse universe = GenerateStockStream(stock);
+  for (PatternFamily family : AllFamilies()) {
+    for (int size : {3, 5}) {
+      PatternGenConfig pg;
+      pg.family = family;
+      pg.size = size;
+      pg.window = 2.0;
+      pg.seed = 500 + size + static_cast<uint64_t>(family) * 31;
+      for (const SimplePattern& pattern : GeneratePattern(universe, pg)) {
+        SCOPED_TRACE(std::string(FamilyName(family)) + " size " +
+                     std::to_string(size));
+        // CompiledPattern applies the SEQ->AND rewrite, so the compared
+        // sets include the TsOrder closure, not just user conditions.
+        CompiledPattern cp(pattern);
+        EXPECT_GT(cp.program().num_instructions(), 0u);
+        // Stock events carry {price, difference}.
+        ExpectParity(cp.conditions(), cp.program(), 2,
+                     pg.seed * 7 + 1, 60);
+        // Parity on real stream events too (realistic attribute values).
+        const std::vector<EventPtr>& events = universe.stream.events();
+        uint64_t evals = 0;
+        int n = cp.conditions().num_positions();
+        for (size_t k = 0; k + 1 < events.size() && k < 400; k += 7) {
+          const Event& a = *events[k];
+          const Event& b = *events[k + 1];
+          for (int i = 0; i < n; ++i) {
+            ASSERT_EQ(cp.program().EvalUnary(i, a, &evals),
+                      cp.conditions().EvalUnary(i, a));
+            for (int j = i + 1; j < n; ++j) {
+              ASSERT_EQ(cp.program().EvalPair(i, j, a, b, &evals),
+                        cp.conditions().EvalPair(i, j, a, b));
+              ASSERT_EQ(cp.program().EvalPair(j, i, b, a, &evals),
+                        cp.conditions().EvalPair(j, i, b, a));
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(PredicateProgramTest, DisassembleListsEveryInstruction) {
+  std::vector<ConditionPtr> conditions = {
+      std::make_shared<AttrCompare>(0, 0, CmpOp::kLt, 1, 1, 0.25),
+      std::make_shared<AttrThreshold>(0, 0, CmpOp::kGt, 3.0),
+      std::make_shared<CustomCondition>(
+          0, 1, [](const Event&, const Event&) { return true; }, 1.0,
+          "always"),
+  };
+  ConditionSet set(2, conditions);
+  PredicateProgram program(set);
+  std::string text = program.Disassemble();
+  EXPECT_NE(text.find("attr_cmp"), std::string::npos);
+  EXPECT_NE(text.find("attr_threshold"), std::string::npos);
+  EXPECT_NE(text.find("virtual"), std::string::npos);
+  EXPECT_NE(text.find("always"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cepjoin
