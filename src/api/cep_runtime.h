@@ -32,6 +32,13 @@ struct RuntimeOptions {
   /// size that amortizes shard-queue synchronization. Must be >= 1.
   /// Matches and counters are batch-size independent.
   size_t batch_size = 256;
+  /// Ingestion source threads for KeyedCepRuntime::ProcessSourceAsync:
+  /// sources are split into this many contiguous groups, one parsing
+  /// thread each, feeding the timestamp-ordered merge. 0 (and any
+  /// surplus over the source count) means one thread per source. The
+  /// merged event sequence — and therefore the match set — is
+  /// independent of this value. Ignored by the synchronous paths.
+  size_t num_ingest_threads = 0;
   uint64_t seed = 7;
 };
 

@@ -7,7 +7,9 @@ namespace cepjoin {
 KeyedCepRuntime::KeyedCepRuntime(const SimplePattern& pattern,
                                  const EventStream& history, size_t num_types,
                                  const RuntimeOptions& options,
-                                 MatchSink* sink) {
+                                 MatchSink* sink)
+    : num_ingest_threads_(options.num_ingest_threads),
+      batch_size_(options.batch_size) {
   CEPJOIN_CHECK_GE(options.batch_size, 1u) << "batch_size must be >= 1";
   if (options.num_threads == 1) {
     single_ = std::make_unique<PartitionedRuntime>(
@@ -45,6 +47,29 @@ void KeyedCepRuntime::ProcessStream(const EventStream& stream) {
   } else {
     sharded_->ProcessStream(stream);
   }
+}
+
+IngestResult KeyedCepRuntime::ProcessSourceAsync(
+    std::vector<std::unique_ptr<StreamSource>> sources) {
+  IngestOptions options;
+  options.num_ingest_threads = num_ingest_threads_;
+  options.chunk_size = batch_size_;
+  IngestPipeline pipeline(std::move(sources), options);
+  if (single_) {
+    return pipeline.Run([this](const EventPtr* run, size_t n) {
+      single_->OnBatch(run, n);
+    });
+  }
+  return pipeline.Run([this](const EventPtr* run, size_t n) {
+    sharded_->OnPartitionRun(run, n);
+  });
+}
+
+IngestResult KeyedCepRuntime::ProcessSourceAsync(
+    std::unique_ptr<StreamSource> source) {
+  std::vector<std::unique_ptr<StreamSource>> sources;
+  sources.push_back(std::move(source));
+  return ProcessSourceAsync(std::move(sources));
 }
 
 void KeyedCepRuntime::Finish() {

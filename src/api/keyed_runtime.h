@@ -2,10 +2,13 @@
 #define CEPJOIN_API_KEYED_RUNTIME_H_
 
 #include <memory>
+#include <vector>
 
 #include "adaptive/partitioned_runtime.h"
 #include "api/cep_runtime.h"
 #include "event/stream.h"
+#include "event/stream_source.h"
+#include "parallel/ingest_pipeline.h"
 #include "parallel/sharded_runtime.h"
 #include "runtime/match.h"
 
@@ -36,6 +39,26 @@ class KeyedCepRuntime {
   /// feeding at every thread count and batch size.
   void OnBatch(const EventPtr* events, size_t n);
   void ProcessStream(const EventStream& stream);
+
+  /// Async ingestion: parses/generates `sources` on
+  /// RuntimeOptions::num_ingest_threads dedicated threads, k-way merges
+  /// them in timestamp order (ties broken by source index), and feeds
+  /// the merged same-partition runs to this runtime — so the caller's
+  /// thread only merges and routes, never parses. Blocks until the
+  /// sources are exhausted or one fails; call Finish() afterwards as
+  /// usual. The merged sequence is a pure function of the sources: the
+  /// drained match set and counters are byte-identical to materializing
+  /// the merge into an EventStream and replaying it through
+  /// ProcessStream, at every ingest/worker thread combination.
+  ///
+  /// On failure (CSV parse error, timestamp regression), the valid
+  /// merged prefix has already been evaluated; the result carries the
+  /// failing source and message.
+  IngestResult ProcessSourceAsync(
+      std::vector<std::unique_ptr<StreamSource>> sources);
+  /// Single-source convenience overload.
+  IngestResult ProcessSourceAsync(std::unique_ptr<StreamSource> source);
+
   void Finish();
 
   /// True if execution is sharded across worker threads.
@@ -53,6 +76,8 @@ class KeyedCepRuntime {
  private:
   std::unique_ptr<PartitionedRuntime> single_;
   std::unique_ptr<ShardedRuntime> sharded_;
+  size_t num_ingest_threads_;
+  size_t batch_size_;
 };
 
 }  // namespace cepjoin

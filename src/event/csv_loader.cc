@@ -1,88 +1,29 @@
 #include "event/csv_loader.h"
 
-#include <cstdlib>
-#include <limits>
 #include <sstream>
+#include <utility>
+
+#include "event/streaming_csv_source.h"
 
 namespace cepjoin {
 
-namespace {
-
-std::vector<std::string> SplitCsvLine(const std::string& line) {
-  std::vector<std::string> cells;
-  std::string cell;
-  for (char c : line) {
-    if (c == ',') {
-      cells.push_back(cell);
-      cell.clear();
-    } else if (c != '\r') {
-      cell += c;
-    }
-  }
-  cells.push_back(cell);
-  return cells;
-}
-
-bool ParseDouble(const std::string& text, double* out) {
-  if (text.empty()) return false;
-  char* end = nullptr;
-  *out = std::strtod(text.c_str(), &end);
-  return end == text.c_str() + text.size();
-}
-
-}  // namespace
-
+// The loader is the materializing shell around StreamingCsvSource: the
+// source does all parsing and validation (one row per Next), the loader
+// just appends into an EventStream. Keeping a single row parser means
+// the synchronous and async ingestion paths accept exactly the same
+// inputs and reject exactly the same malformed rows.
 CsvLoadResult LoadCsvStream(std::istream& input, EventTypeRegistry* registry) {
   CsvLoadResult result;
-  std::string line;
-  size_t line_number = 0;
-  auto fail = [&](const std::string& message) {
-    result.ok = false;
-    result.error = message;
-    result.error_line = line_number;
-    return result;
-  };
-
-  if (!std::getline(input, line)) return fail("empty input: missing header");
-  ++line_number;
-  std::vector<std::string> header = SplitCsvLine(line);
-  if (header.size() < 3) {
-    return fail("header must contain at least type,ts,partition");
-  }
-  std::vector<std::string> attribute_names(header.begin() + 3, header.end());
-
-  double previous_ts = -std::numeric_limits<double>::infinity();
-  while (std::getline(input, line)) {
-    ++line_number;
-    if (line.empty()) continue;
-    std::vector<std::string> cells = SplitCsvLine(line);
-    if (cells.size() != header.size()) {
-      return fail("row has " + std::to_string(cells.size()) +
-                  " cells, header has " + std::to_string(header.size()));
-    }
-    Event e;
-    e.type = registry->Register(cells[0], attribute_names);
-    if (!ParseDouble(cells[1], &e.ts)) {
-      return fail("bad timestamp '" + cells[1] + "'");
-    }
-    if (e.ts < previous_ts) {
-      return fail("timestamps must be non-decreasing");
-    }
-    previous_ts = e.ts;
-    double partition = 0.0;
-    if (!ParseDouble(cells[2], &partition) || partition < 0) {
-      return fail("bad partition '" + cells[2] + "'");
-    }
-    e.partition = static_cast<uint32_t>(partition);
-    e.attrs.reserve(attribute_names.size());
-    for (size_t i = 3; i < cells.size(); ++i) {
-      double value = 0.0;
-      if (!ParseDouble(cells[i], &value)) {
-        return fail("bad attribute value '" + cells[i] + "'");
-      }
-      e.attrs.push_back(value);
-    }
+  StreamingCsvSource source(&input, registry);
+  Event e;
+  while (source.Next(&e)) {
     result.stream.Append(std::move(e));
+  }
+  if (!source.ok()) {
+    result.ok = false;
+    result.error = source.error();
+    result.error_line = source.line_number();
+    return result;
   }
   result.ok = true;
   return result;

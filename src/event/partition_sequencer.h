@@ -1,0 +1,44 @@
+#ifndef CEPJOIN_EVENT_PARTITION_SEQUENCER_H_
+#define CEPJOIN_EVENT_PARTITION_SEQUENCER_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+
+namespace cepjoin {
+
+/// Hands out per-partition dense sequence numbers (0, 1, 2, ... within
+/// each partition) — the `partition_seq` assignment shared by
+/// EventStream::Append and the async ingest merge, so both paths number
+/// events identically.
+///
+/// Storage is dense (vector indexed by partition id) for the typical
+/// 0..k partition ids and falls back to a hash map above
+/// kDenseLimit, so a stream keyed by sparse 32-bit ids (hashes, symbol
+/// codes) costs memory proportional to the partitions seen, not to the
+/// largest id.
+class PartitionSequencer {
+ public:
+  /// Returns the next sequence number for `partition` and advances it.
+  EventSerial Next(uint32_t partition) {
+    if (partition < kDenseLimit) {
+      if (partition >= dense_.size()) dense_.resize(partition + 1, 0);
+      return dense_[partition]++;
+    }
+    return sparse_[partition]++;
+  }
+
+  /// Ids below this use the dense vector (at most 8 MiB); at or above
+  /// it, the hash map.
+  static constexpr uint32_t kDenseLimit = 1u << 20;
+
+ private:
+  std::vector<EventSerial> dense_;
+  std::unordered_map<uint32_t, EventSerial> sparse_;
+};
+
+}  // namespace cepjoin
+
+#endif  // CEPJOIN_EVENT_PARTITION_SEQUENCER_H_

@@ -12,10 +12,7 @@ void EventStream::Append(Event e) {
         << "streams must be appended in timestamp order";
   }
   e.serial = static_cast<EventSerial>(events_.size());
-  if (e.partition >= partition_next_seq_.size()) {
-    partition_next_seq_.resize(e.partition + 1, 0);
-  }
-  e.partition_seq = partition_next_seq_[e.partition]++;
+  e.partition_seq = partition_seq_.Next(e.partition);
   if (e.type >= type_counts_.size()) {
     type_counts_.resize(e.type + 1, 0);
   }

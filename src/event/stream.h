@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "event/event.h"
+#include "event/partition_sequencer.h"
 
 namespace cepjoin {
 
@@ -38,7 +39,7 @@ class EventStream {
  private:
   std::vector<EventPtr> events_;
   std::vector<size_t> type_counts_;
-  std::vector<EventSerial> partition_next_seq_;
+  PartitionSequencer partition_seq_;
 };
 
 }  // namespace cepjoin

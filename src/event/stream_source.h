@@ -1,0 +1,81 @@
+#ifndef CEPJOIN_EVENT_STREAM_SOURCE_H_
+#define CEPJOIN_EVENT_STREAM_SOURCE_H_
+
+#include <cstddef>
+#include <string>
+
+#include "common/check.h"
+#include "event/stream.h"
+
+namespace cepjoin {
+
+/// Pull-based producer of a timestamp-ordered event sequence — the unit
+/// of work of one ingestion thread in the async pipeline
+/// (parallel/ingest_pipeline.h). A source fills `type`, `ts`,
+/// `partition`, and `attrs` only; `serial` and `partition_seq` are
+/// assigned downstream by the merge stage, which preserves the global
+/// invariants of EventStream::Append across any number of sources.
+///
+/// Contract:
+///  - Next() returns events with non-decreasing, finite timestamps;
+///  - after Next() returns false, ok() distinguishes a clean end of
+///    stream from a source failure described by error();
+///  - a source is single-consumer: Next() is only ever called from one
+///    thread at a time (the pipeline dedicates each source to one
+///    ingest thread).
+class StreamSource {
+ public:
+  virtual ~StreamSource() = default;
+
+  /// Pulls the next event into `*out`. Returns false at end-of-stream
+  /// or on failure; `*out` is unspecified in that case.
+  virtual bool Next(Event* out) = 0;
+
+  /// Valid once Next() has returned false: true iff the source ended
+  /// cleanly.
+  virtual bool ok() const = 0;
+
+  /// Describes the failure when !ok(); empty otherwise.
+  virtual std::string error() const = 0;
+};
+
+/// Replays an in-memory EventStream (or an offset/stride slice of one)
+/// as a StreamSource. A stride slice of a timestamp-ordered stream is
+/// itself timestamp-ordered, so a materialized stream can be fanned out
+/// over N ingest threads as slices (offset i, stride N); the pipeline's
+/// deterministic merge defines the recombined order.
+class EventStreamSource : public StreamSource {
+ public:
+  /// `stream` must outlive the source. `stride` >= 1; `offset` may be
+  /// past the end (an empty source).
+  explicit EventStreamSource(const EventStream* stream, size_t offset = 0,
+                             size_t stride = 1)
+      : stream_(stream), next_(offset), stride_(stride) {
+    CEPJOIN_CHECK_GE(stride_, 1u);
+  }
+
+  bool Next(Event* out) override {
+    if (next_ >= stream_->size()) return false;
+    const Event& e = *(*stream_)[next_];
+    out->type = e.type;
+    out->ts = e.ts;
+    out->partition = e.partition;
+    out->attrs = e.attrs;
+    out->serial = 0;
+    out->partition_seq = 0;
+    next_ += stride_;
+    return true;
+  }
+
+  bool ok() const override { return true; }
+  std::string error() const override { return {}; }
+
+ private:
+  const EventStream* stream_;
+  size_t next_;
+  size_t stride_;
+};
+
+}  // namespace cepjoin
+
+#endif  // CEPJOIN_EVENT_STREAM_SOURCE_H_

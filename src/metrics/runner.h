@@ -15,6 +15,12 @@ namespace cepjoin {
 struct ExecuteOptions {
   double min_measure_seconds = 0.0;  // 0: single replay
   int max_repeats = 50;
+  /// Events per Engine::OnBatch call during replay — the same batched
+  /// entry point the production runtimes use, so the figures measure
+  /// the path that actually runs. Must be >= 1 (1 degenerates to
+  /// per-event feeding). Matches and counters are batch-size
+  /// independent; detection latency is anchored at batch granularity.
+  size_t batch_size = 256;
 };
 
 /// Replays `stream` through an engine built for (pattern, plan), measuring

@@ -1,0 +1,207 @@
+#include "parallel/ingest_pipeline.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "common/check.h"
+#include "event/partition_sequencer.h"
+
+namespace cepjoin {
+
+IngestPipeline::IngestPipeline(
+    std::vector<std::unique_ptr<StreamSource>> sources,
+    const IngestOptions& options)
+    : sources_(std::move(sources)), options_(options) {
+  CEPJOIN_CHECK_GE(options_.chunk_size, 1u);
+  CEPJOIN_CHECK_GE(options_.queue_capacity, 1u);
+  for (const auto& source : sources_) CEPJOIN_CHECK(source != nullptr);
+  size_t k = sources_.size();
+  num_groups_ = options_.num_ingest_threads == 0
+                    ? k
+                    : std::min(options_.num_ingest_threads, k);
+  groups_.reserve(num_groups_);
+  for (size_t g = 0; g < num_groups_; ++g) {
+    // Contiguous split: group g serves sources [g*k/T, (g+1)*k/T). The
+    // ascending layout is what lets the per-group and cross-group
+    // tie-breaks compose into one global source-index rule.
+    Group group;
+    group.first_source = g * k / num_groups_;
+    group.num_sources = (g + 1) * k / num_groups_ - group.first_source;
+    group.queue =
+        std::make_unique<BoundedQueue<SourceChunk>>(options_.queue_capacity);
+    groups_.push_back(std::move(group));
+  }
+}
+
+IngestPipeline::~IngestPipeline() { CloseAndJoin(); }
+
+void IngestPipeline::CloseAndJoin() {
+  for (auto& group : groups_) group.queue->Close();
+  for (auto& thread : threads_) {
+    if (thread.joinable()) thread.join();
+  }
+}
+
+// Runs on the group's ingestion thread: pull from each owned source,
+// merge locally by (ts, source index), push timestamp-ordered chunks.
+void IngestPipeline::IngestGroup(Group& group) {
+  const size_t k = group.num_sources;
+  std::vector<Event> heads(k);
+  std::vector<char> live(k, 0);
+  SourceChunk chunk;
+  chunk.events.reserve(options_.chunk_size);
+
+  auto fail = [&](size_t local_source, const std::string& message) {
+    // Deliver the valid events parsed before the failure, then the
+    // sentinel; the merge stops at the sentinel.
+    if (!chunk.events.empty()) {
+      if (!group.queue->Push(std::move(chunk))) return;
+      chunk = SourceChunk{};
+    }
+    SourceChunk sentinel;
+    // An empty message would make the sentinel look like a data chunk.
+    sentinel.error = message.empty() ? "source failed" : message;
+    sentinel.failed_source = group.first_source + local_source;
+    group.queue->Push(std::move(sentinel));
+    group.queue->Close();
+  };
+
+  auto refill = [&](size_t i, double min_ts) -> bool {
+    StreamSource& source = *sources_[group.first_source + i];
+    if (source.Next(&heads[i])) {
+      if (!std::isfinite(heads[i].ts) || heads[i].ts < min_ts) {
+        fail(i, "source " + std::to_string(group.first_source + i) +
+                    ": timestamps must be finite and non-decreasing");
+        return false;
+      }
+      live[i] = 1;
+    } else {
+      live[i] = 0;
+      if (!source.ok()) {
+        fail(i, source.error());
+        return false;
+      }
+    }
+    return true;
+  };
+
+  for (size_t i = 0; i < k; ++i) {
+    if (!refill(i, -std::numeric_limits<double>::infinity())) return;
+  }
+  while (true) {
+    size_t best = k;
+    for (size_t i = 0; i < k; ++i) {
+      // Strict less-than: the lowest source index wins timestamp ties.
+      if (live[i] && (best == k || heads[i].ts < heads[best].ts)) best = i;
+    }
+    if (best == k) break;  // every source exhausted
+    chunk.events.push_back(std::move(heads[best]));
+    if (!refill(best, chunk.events.back().ts)) return;
+    if (chunk.events.size() >= options_.chunk_size) {
+      if (!group.queue->Push(std::move(chunk))) return;  // merge aborted
+      chunk = SourceChunk{};
+      chunk.events.reserve(options_.chunk_size);
+    }
+  }
+  if (!chunk.events.empty()) group.queue->Push(std::move(chunk));
+  group.queue->Close();
+}
+
+IngestResult IngestPipeline::Run(const RunConsumer& consume) {
+  CEPJOIN_CHECK(!ran_) << "IngestPipeline::Run is callable once";
+  ran_ = true;
+  CEPJOIN_CHECK(consume != nullptr);
+
+  IngestResult result;
+  if (sources_.empty()) {
+    result.ok = true;
+    return result;
+  }
+
+  threads_.reserve(num_groups_);
+  try {
+    for (auto& group : groups_) {
+      threads_.emplace_back([this, &group] { IngestGroup(group); });
+    }
+  } catch (...) {
+    CloseAndJoin();
+    throw;
+  }
+
+  // Cursor over one group's queue: `chunk` is the current data chunk,
+  // `pos` the next unread event in it.
+  struct Cursor {
+    SourceChunk chunk;
+    size_t pos = 0;
+    bool open = true;
+  };
+  std::vector<Cursor> cursors(num_groups_);
+
+  bool failed = false;
+  std::vector<EventPtr> run;
+  run.reserve(options_.chunk_size);
+  auto flush_run = [&] {
+    if (run.empty()) return;
+    consume(run.data(), run.size());
+    result.events += run.size();
+    run.clear();
+  };
+
+  EventSerial next_serial = 0;
+  PartitionSequencer partition_seq;
+
+  try {
+    while (!failed) {
+      // Make sure every open group exposes its next merged event, then
+      // pick the global minimum by (ts, group index).
+      size_t best = num_groups_;
+      for (size_t g = 0; g < num_groups_; ++g) {
+        Cursor& cursor = cursors[g];
+        while (cursor.open && cursor.pos == cursor.chunk.events.size() &&
+               cursor.chunk.error.empty()) {
+          cursor.chunk = SourceChunk{};
+          cursor.pos = 0;
+          if (!groups_[g].queue->Pop(cursor.chunk)) cursor.open = false;
+        }
+        if (!cursor.open) continue;
+        if (!cursor.chunk.error.empty()) {
+          result.error = cursor.chunk.error;
+          result.failed_source = cursor.chunk.failed_source;
+          failed = true;
+          best = num_groups_;
+          break;
+        }
+        const Event& head = cursor.chunk.events[cursor.pos];
+        if (best == num_groups_ ||
+            head.ts < cursors[best].chunk.events[cursors[best].pos].ts) {
+          best = g;
+        }
+      }
+      if (best == num_groups_) break;  // all groups done, or failed
+
+      Cursor& cursor = cursors[best];
+      Event e = std::move(cursor.chunk.events[cursor.pos++]);
+      // Same serial/sequence assignment as EventStream::Append, so the
+      // merged sequence is indistinguishable from a materialized stream.
+      e.serial = next_serial++;
+      e.partition_seq = partition_seq.Next(e.partition);
+      if (!run.empty() && (run.back()->partition != e.partition ||
+                           run.size() >= options_.chunk_size)) {
+        flush_run();
+      }
+      run.push_back(std::make_shared<const Event>(std::move(e)));
+    }
+    flush_run();
+  } catch (...) {
+    CloseAndJoin();
+    throw;
+  }
+
+  CloseAndJoin();
+  result.ok = !failed;
+  return result;
+}
+
+}  // namespace cepjoin

@@ -47,6 +47,21 @@ void ShardRouter::Route(const EventPtr& e) {
   if (pending_[shard].events.size() >= batch_size_) Flush(shard);
 }
 
+void ShardRouter::RouteRun(const EventPtr* events, size_t n) {
+  if (n == 0) return;
+  size_t shard = ShardOf(events[0]->partition);
+  // pending_ never resizes after construction, so the reference stays
+  // valid across Flush (which swaps the element's contents).
+  EventBatch& pending = pending_[shard];
+  for (size_t i = 0; i < n; ++i) {
+    CEPJOIN_CHECK_EQ(events[i]->partition, events[0]->partition)
+        << "RouteRun requires a same-partition run";
+    pending.events.push_back(events[i]);
+    if (pending.events.size() >= batch_size_) Flush(shard);
+  }
+  events_routed_ += n;
+}
+
 void ShardRouter::Flush(size_t shard) {
   if (pending_[shard].empty()) return;
   EventBatch batch;

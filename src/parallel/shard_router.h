@@ -35,6 +35,12 @@ class ShardRouter {
   /// shard's queue is full — back-pressure, never loss).
   void Route(const EventPtr& e);
 
+  /// Routes a run of events that all belong to one partition (the shape
+  /// the ingest pipeline's merge emits): the shard hash is computed once
+  /// for the whole run instead of per event. Equivalent to calling
+  /// Route() on each event.
+  void RouteRun(const EventPtr* events, size_t n);
+
   /// Flushes all non-empty pending batches.
   void FlushAll();
 

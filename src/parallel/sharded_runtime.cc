@@ -62,6 +62,11 @@ void ShardedRuntime::OnBatch(const EventPtr* events, size_t n) {
   for (size_t i = 0; i < n; ++i) router_.Route(events[i]);
 }
 
+void ShardedRuntime::OnPartitionRun(const EventPtr* events, size_t n) {
+  CEPJOIN_CHECK(!finished_) << "OnPartitionRun after Finish";
+  router_.RouteRun(events, n);
+}
+
 void ShardedRuntime::ProcessStream(const EventStream& stream) {
   OnBatch(stream.events().data(), stream.size());
 }

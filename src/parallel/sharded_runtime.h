@@ -66,6 +66,10 @@ class ShardedRuntime {
   /// Routes a run of events. The router accumulates per-shard batches
   /// either way; this only amortizes the facade call.
   void OnBatch(const EventPtr* events, size_t n);
+  /// Routes a run of events known to share one partition (the shape the
+  /// async ingest pipeline emits); hashes once per run instead of per
+  /// event. Same ordering contract as OnEvent.
+  void OnPartitionRun(const EventPtr* events, size_t n);
   void ProcessStream(const EventStream& stream);
 
   /// Flushes pending batches, signals end-of-stream, joins all workers,

@@ -27,34 +27,44 @@ SimplePattern MakeKeyedPattern(const EventTypeRegistry& registry) {
 
 }  // namespace
 
+KeyedEventSource::KeyedEventSource(int num_partitions, double duration,
+                                   uint64_t seed)
+    : rng_(seed), num_partitions_(num_partitions), duration_(duration) {
+  CEPJOIN_CHECK(num_partitions_ > 0);
+}
+
+bool KeyedEventSource::Next(Event* out) {
+  if (ts_ >= duration_) return false;
+  ts_ += rng_.UniformReal(0.001, 0.002);
+  uint32_t partition =
+      static_cast<uint32_t>(rng_.UniformInt(0, num_partitions_ - 1));
+  // Per-partition skew: each partition's rare type cycles with its id
+  // and appears with probability 0.1 (the other two split the rest),
+  // so plan generation has a real scarcity signal to react to.
+  TypeId rare = static_cast<TypeId>(partition % 3);
+  double coin = rng_.UniformReal(0, 1);
+  TypeId type =
+      coin < 0.1
+          ? rare
+          : static_cast<TypeId>((rare + 1 + rng_.UniformInt(0, 1)) % 3);
+  out->type = type;
+  out->ts = ts_;
+  out->partition = partition;
+  out->attrs = {rng_.UniformReal(-1, 1)};
+  out->serial = 0;
+  out->partition_seq = 0;
+  return true;
+}
+
 KeyedWorkload MakeKeyedWorkload(int num_partitions, double duration,
                                 uint64_t seed) {
   CEPJOIN_CHECK(num_partitions > 0);
   EventTypeRegistry registry;
   for (const char* name : {"A", "B", "C"}) registry.Register(name, {"v"});
-  Rng rng(seed);
   EventStream stream;
-  double ts = 0.0;
-  while (ts < duration) {
-    ts += rng.UniformReal(0.001, 0.002);
-    uint32_t partition =
-        static_cast<uint32_t>(rng.UniformInt(0, num_partitions - 1));
-    // Per-partition skew: each partition's rare type cycles with its id
-    // and appears with probability 0.1 (the other two split the rest),
-    // so plan generation has a real scarcity signal to react to.
-    TypeId rare = static_cast<TypeId>(partition % 3);
-    double coin = rng.UniformReal(0, 1);
-    TypeId type = coin < 0.1
-                      ? rare
-                      : static_cast<TypeId>(
-                            (rare + 1 + rng.UniformInt(0, 1)) % 3);
-    Event e;
-    e.type = type;
-    e.ts = ts;
-    e.partition = partition;
-    e.attrs = {rng.UniformReal(-1, 1)};
-    stream.Append(std::move(e));
-  }
+  KeyedEventSource source(num_partitions, duration, seed);
+  Event e;
+  while (source.Next(&e)) stream.Append(std::move(e));
   SimplePattern pattern = MakeKeyedPattern(registry);
   KeyedWorkload workload{std::move(registry), std::move(pattern),
                          std::move(stream)};

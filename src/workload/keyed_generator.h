@@ -2,9 +2,12 @@
 #define CEPJOIN_WORKLOAD_KEYED_GENERATOR_H_
 
 #include <cstdint>
+#include <string>
 
+#include "common/rng.h"
 #include "event/event_type.h"
 #include "event/stream.h"
+#include "event/stream_source.h"
 #include "pattern/pattern.h"
 
 namespace cepjoin {
@@ -23,6 +26,28 @@ struct KeyedWorkload {
 /// `duration` is the stream length in seconds at ~660 events/second.
 KeyedWorkload MakeKeyedWorkload(int num_partitions, double duration,
                                 uint64_t seed);
+
+/// The keyed workload's event generator as an incremental StreamSource —
+/// the synthetic ingestion source of the async pipeline. Emits exactly
+/// the event sequence MakeKeyedWorkload(num_partitions, duration, seed)
+/// materializes (same RNG, same skew), one event per Next(), so the
+/// async and synchronous paths can be compared on identical input
+/// without holding the stream in memory. Requires the three-type A/B/C
+/// registry MakeKeyedWorkload builds (type ids 0..2).
+class KeyedEventSource : public StreamSource {
+ public:
+  KeyedEventSource(int num_partitions, double duration, uint64_t seed);
+
+  bool Next(Event* out) override;
+  bool ok() const override { return true; }
+  std::string error() const override { return {}; }
+
+ private:
+  Rng rng_;
+  int num_partitions_;
+  double duration_;
+  double ts_ = 0.0;
+};
 
 }  // namespace cepjoin
 

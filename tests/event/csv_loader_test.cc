@@ -84,5 +84,80 @@ TEST(CsvLoaderTest, RejectsBadTimestamp) {
   EXPECT_NE(result.error.find("timestamp"), std::string::npos);
 }
 
+TEST(CsvLoaderTest, RejectsNonFiniteTimestamps) {
+  // strtod happily parses "nan" and "inf"; NaN in particular would pass
+  // the `ts < previous` ordering check (false for NaN) and then abort
+  // the process inside EventStream::Append. All must be parse errors.
+  for (const char* bad : {"nan", "NaN", "-nan", "inf", "Inf", "-inf"}) {
+    EventTypeRegistry registry;
+    CsvLoadResult result = LoadCsvStreamFromString(
+        std::string("type,ts,partition,v\nA,") + bad + ",0,1\n", &registry);
+    EXPECT_FALSE(result.ok) << "timestamp '" << bad << "' accepted";
+    EXPECT_NE(result.error.find("timestamp"), std::string::npos) << bad;
+    EXPECT_EQ(result.error_line, 2u) << bad;
+  }
+}
+
+TEST(CsvLoaderTest, RejectsFractionalPartition) {
+  EventTypeRegistry registry;
+  CsvLoadResult result = LoadCsvStreamFromString(
+      "type,ts,partition,v\nA,1,2.5,1\n", &registry);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("partition"), std::string::npos);
+  EXPECT_EQ(result.error_line, 2u);
+}
+
+TEST(CsvLoaderTest, RejectsPartitionOverflow) {
+  // 2^32 and anything larger silently truncated before the fix.
+  for (const char* bad : {"4294967296", "1e12", "nan", "-1"}) {
+    EventTypeRegistry registry;
+    CsvLoadResult result = LoadCsvStreamFromString(
+        std::string("type,ts,partition,v\nA,1,") + bad + ",1\n", &registry);
+    EXPECT_FALSE(result.ok) << "partition '" << bad << "' accepted";
+    EXPECT_NE(result.error.find("partition"), std::string::npos) << bad;
+  }
+}
+
+TEST(CsvLoaderTest, AcceptsMaximalPartitionId) {
+  EventTypeRegistry registry;
+  CsvLoadResult result = LoadCsvStreamFromString(
+      "type,ts,partition,v\nA,1,4294967295,1\n", &registry);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.stream[0]->partition, 4294967295u);
+}
+
+TEST(CsvLoaderTest, HandlesTrailingCarriageReturns) {
+  // Windows-style \r\n line endings: \r must not leak into the last
+  // cell's numeric parse (or the type name).
+  EventTypeRegistry registry;
+  CsvLoadResult result = LoadCsvStreamFromString(
+      "type,ts,partition,v\r\nA,1,0,1.5\r\nB,2,1,2.5\r\n", &registry);
+  ASSERT_TRUE(result.ok) << result.error;
+  ASSERT_EQ(result.stream.size(), 2u);
+  EXPECT_EQ(registry.Find("A"), result.stream[0]->type);
+  EXPECT_DOUBLE_EQ(result.stream[0]->attrs[0], 1.5);
+  EXPECT_DOUBLE_EQ(result.stream[1]->attrs[0], 2.5);
+}
+
+TEST(CsvLoaderTest, RejectsEmptyAttributeCells) {
+  EventTypeRegistry registry;
+  CsvLoadResult result = LoadCsvStreamFromString(
+      "type,ts,partition,v,w\nA,1,0,1.0,\n", &registry);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("attribute value"), std::string::npos);
+  EXPECT_EQ(result.error_line, 2u);
+}
+
+TEST(CsvLoaderTest, KeepsValidPrefixOnError) {
+  // The loader reports the failing line and leaves the events parsed
+  // before it in the stream — mirroring the async source semantics.
+  EventTypeRegistry registry;
+  CsvLoadResult result = LoadCsvStreamFromString(
+      "type,ts,partition,v\nA,1,0,1\nA,2,0,2\nA,bad,0,3\n", &registry);
+  EXPECT_FALSE(result.ok);
+  EXPECT_EQ(result.error_line, 4u);
+  EXPECT_EQ(result.stream.size(), 2u);
+}
+
 }  // namespace
 }  // namespace cepjoin

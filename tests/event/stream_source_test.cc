@@ -1,0 +1,217 @@
+#include "event/stream_source.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "event/csv_loader.h"
+#include "event/streaming_csv_source.h"
+
+namespace cepjoin {
+namespace {
+
+EventStream MakeStream(std::initializer_list<double> timestamps) {
+  EventStream stream;
+  uint32_t partition = 0;
+  for (double ts : timestamps) {
+    Event e;
+    e.type = 0;
+    e.ts = ts;
+    e.partition = partition++ % 2;
+    e.attrs = {ts * 10};
+    stream.Append(std::move(e));
+  }
+  return stream;
+}
+
+TEST(EventStreamSourceTest, ReplaysWholeStream) {
+  EventStream stream = MakeStream({1, 2, 3, 4});
+  EventStreamSource source(&stream);
+  Event e;
+  std::vector<double> seen;
+  while (source.Next(&e)) {
+    seen.push_back(e.ts);
+    // Serials are the merge stage's job; the source must not leak the
+    // materialized stream's.
+    EXPECT_EQ(e.serial, 0u);
+    EXPECT_EQ(e.partition_seq, 0u);
+  }
+  EXPECT_TRUE(source.ok());
+  EXPECT_EQ(seen, (std::vector<double>{1, 2, 3, 4}));
+}
+
+TEST(EventStreamSourceTest, StrideSlicesPartitionTheStream) {
+  EventStream stream = MakeStream({1, 2, 3, 4, 5});
+  EventStreamSource even(&stream, 0, 2);
+  EventStreamSource odd(&stream, 1, 2);
+  Event e;
+  std::vector<double> seen;
+  while (even.Next(&e)) seen.push_back(e.ts);
+  EXPECT_EQ(seen, (std::vector<double>{1, 3, 5}));
+  seen.clear();
+  while (odd.Next(&e)) seen.push_back(e.ts);
+  EXPECT_EQ(seen, (std::vector<double>{2, 4}));
+}
+
+TEST(EventStreamSourceTest, OffsetPastEndIsEmpty) {
+  EventStream stream = MakeStream({1});
+  EventStreamSource source(&stream, 5, 1);
+  Event e;
+  EXPECT_FALSE(source.Next(&e));
+  EXPECT_TRUE(source.ok());
+}
+
+TEST(StreamingCsvSourceTest, ParsesIncrementally) {
+  EventTypeRegistry registry;
+  StringCsvSource source(
+      "type,ts,partition,price\n"
+      "MSFT,0.5,0,100.0\n"
+      "GOOG,1.0,1,700.0\n",
+      &registry);
+  Event e;
+  ASSERT_TRUE(source.Next(&e));
+  EXPECT_EQ(e.type, registry.Require("MSFT"));
+  EXPECT_DOUBLE_EQ(e.ts, 0.5);
+  EXPECT_DOUBLE_EQ(e.attrs[0], 100.0);
+  ASSERT_TRUE(source.Next(&e));
+  EXPECT_EQ(e.type, registry.Require("GOOG"));
+  EXPECT_EQ(e.partition, 1u);
+  EXPECT_FALSE(source.Next(&e));
+  EXPECT_TRUE(source.ok());
+}
+
+TEST(StreamingCsvSourceTest, MatchesLoaderOnIdenticalInput) {
+  const std::string csv =
+      "type,ts,partition,a,b\n"
+      "A,0.1,0,1,2\n"
+      "B,0.2,1,3,4\n"
+      "A,0.2,0,5,6\n"
+      "C,0.9,2,7,8\n";
+  EventTypeRegistry loader_registry;
+  CsvLoadResult loaded = LoadCsvStreamFromString(csv, &loader_registry);
+  ASSERT_TRUE(loaded.ok);
+
+  EventTypeRegistry source_registry;
+  StringCsvSource source(csv, &source_registry);
+  Event e;
+  size_t i = 0;
+  while (source.Next(&e)) {
+    ASSERT_LT(i, loaded.stream.size());
+    const Event& want = *loaded.stream[i++];
+    EXPECT_EQ(e.type, want.type);
+    EXPECT_DOUBLE_EQ(e.ts, want.ts);
+    EXPECT_EQ(e.partition, want.partition);
+    EXPECT_EQ(e.attrs, want.attrs);
+  }
+  EXPECT_TRUE(source.ok());
+  EXPECT_EQ(i, loaded.stream.size());
+  EXPECT_EQ(source_registry.size(), loader_registry.size());
+}
+
+TEST(StreamingCsvSourceTest, ReportsErrorWithLineNumber) {
+  EventTypeRegistry registry;
+  StringCsvSource source(
+      "type,ts,partition,v\nA,1,0,1\nA,0.5,0,2\n", &registry);
+  Event e;
+  ASSERT_TRUE(source.Next(&e));
+  EXPECT_FALSE(source.Next(&e));
+  EXPECT_FALSE(source.ok());
+  EXPECT_NE(source.error().find("non-decreasing"), std::string::npos);
+  EXPECT_EQ(source.line_number(), 3u);
+  // Dead once failed: stays failed.
+  EXPECT_FALSE(source.Next(&e));
+  EXPECT_FALSE(source.ok());
+}
+
+TEST(StreamingCsvSourceTest, ReadOnlyRegistryResolvesKnownTypes) {
+  EventTypeRegistry registry;
+  registry.Register("A", {"v"});
+  const EventTypeRegistry* frozen = &registry;
+  StringCsvSource source("type,ts,partition,v\nA,1,0,1\n", frozen);
+  Event e;
+  ASSERT_TRUE(source.Next(&e));
+  EXPECT_EQ(e.type, registry.Require("A"));
+  EXPECT_FALSE(source.Next(&e));
+  EXPECT_TRUE(source.ok());
+  EXPECT_EQ(registry.size(), 1u);
+}
+
+TEST(StreamingCsvSourceTest, ReadOnlyRegistryRejectsUnknownTypes) {
+  EventTypeRegistry registry;
+  registry.Register("A", {"v"});
+  const EventTypeRegistry* frozen = &registry;
+  StringCsvSource source("type,ts,partition,v\nB,1,0,1\n", frozen);
+  Event e;
+  EXPECT_FALSE(source.Next(&e));
+  EXPECT_FALSE(source.ok());
+  EXPECT_NE(source.error().find("unknown event type"), std::string::npos);
+  EXPECT_EQ(registry.size(), 1u);
+}
+
+TEST(StreamingCsvSourceTest, ErrorMessageCarriesLineNumber) {
+  // The async pipeline only forwards the error string, so the line must
+  // be in it — unlike the loader, which also has CsvLoadResult::error_line.
+  EventTypeRegistry registry;
+  StringCsvSource source(
+      "type,ts,partition,v\nA,1,0,1\nA,bad,0,2\n", &registry);
+  Event e;
+  ASSERT_TRUE(source.Next(&e));
+  EXPECT_FALSE(source.Next(&e));
+  EXPECT_NE(source.error().find("line 3"), std::string::npos)
+      << source.error();
+}
+
+TEST(StreamingCsvSourceTest, ReadOnlyRegistryRejectsSchemaMismatch) {
+  // A known type whose registered attributes differ from the header
+  // must be a parse error: accepting it would hand predicates events
+  // with the wrong arity/order (out-of-bounds attr reads downstream).
+  EventTypeRegistry registry;
+  registry.Register("A", {"v", "w"});
+  const EventTypeRegistry* frozen = &registry;
+  StringCsvSource source("type,ts,partition,x\nA,1,0,1\n", frozen);
+  Event e;
+  EXPECT_FALSE(source.Next(&e));
+  EXPECT_FALSE(source.ok());
+  EXPECT_NE(source.error().find("schema"), std::string::npos)
+      << source.error();
+}
+
+TEST(StreamingCsvSourceTest, MutableRegistrySchemaConflictIsParseError) {
+  // Same guard on the mutable path: Register() would abort the process
+  // on a conflicting schema; malformed input must fail gracefully.
+  EventTypeRegistry registry;
+  registry.Register("A", {"other"});
+  StringCsvSource source("type,ts,partition,v\nA,1,0,1\n", &registry);
+  Event e;
+  EXPECT_FALSE(source.Next(&e));
+  EXPECT_FALSE(source.ok());
+  EXPECT_NE(source.error().find("schema"), std::string::npos);
+  EXPECT_EQ(registry.size(), 1u);  // nothing new registered
+}
+
+TEST(StreamingCsvSourceTest, RejectsNonFiniteTimestampMidStream) {
+  EventTypeRegistry registry;
+  StringCsvSource source(
+      "type,ts,partition,v\nA,1,0,1\nA,nan,0,2\n", &registry);
+  Event e;
+  ASSERT_TRUE(source.Next(&e));
+  EXPECT_FALSE(source.Next(&e));
+  EXPECT_FALSE(source.ok());
+  EXPECT_NE(source.error().find("timestamp"), std::string::npos);
+}
+
+TEST(StreamingCsvSourceTest, WorksFromExternalIstream) {
+  std::istringstream input("type,ts,partition,v\nA,1,0,42\n");
+  EventTypeRegistry registry;
+  StreamingCsvSource source(&input, &registry);
+  Event e;
+  ASSERT_TRUE(source.Next(&e));
+  EXPECT_DOUBLE_EQ(e.attrs[0], 42.0);
+  EXPECT_FALSE(source.Next(&e));
+  EXPECT_TRUE(source.ok());
+}
+
+}  // namespace
+}  // namespace cepjoin

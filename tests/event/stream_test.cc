@@ -65,6 +65,18 @@ TEST(EventStreamTest, EqualTimestampsAllowed) {
   EXPECT_EQ(stream.size(), 2u);
 }
 
+TEST(EventStreamTest, SparsePartitionIdsCostNoDenseMemory) {
+  // Per-partition sequencing must handle ids up to UINT32_MAX without
+  // allocating an id-indexed dense array (34 GB for this id).
+  EventStream stream;
+  stream.Append(MakeEvent(0, 1.0, 4294967295u));
+  stream.Append(MakeEvent(0, 2.0, 4294967295u));
+  stream.Append(MakeEvent(0, 3.0, 7u));
+  EXPECT_EQ(stream[0]->partition_seq, 0u);
+  EXPECT_EQ(stream[1]->partition_seq, 1u);
+  EXPECT_EQ(stream[2]->partition_seq, 0u);
+}
+
 TEST(EventStreamDeathTest, OutOfOrderAppendAborts) {
   EventStream stream;
   stream.Append(MakeEvent(0, 1.0));
