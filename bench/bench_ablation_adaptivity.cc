@@ -66,7 +66,7 @@ void Run() {
     StatsCollector collector(history, registry.size());
     CostFunction cost =
         MakeCostFunction(pattern, collector.CollectForPattern(pattern), 0.0);
-    EnginePlan plan = MakePlan("GREEDY", cost);
+    EnginePlan plan = MakePlan("GREEDY", cost).value();
     ExecuteOptions options;
     options.min_measure_seconds = 0.1;
     RunResult result = Execute(pattern, plan, stream, options);

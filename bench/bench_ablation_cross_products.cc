@@ -53,12 +53,12 @@ void Run() {
           }
         }
         CostFunction cost(stats, 1.0);
-        double dp = cost.OrderCost(MakeOrderOptimizer("DP-LD")->Optimize(cost));
-        double kbz = cost.OrderCost(MakeOrderOptimizer("KBZ")->Optimize(cost));
+        double dp = cost.OrderCost(MakeOrderOptimizer("DP-LD").value()->Optimize(cost));
+        double kbz = cost.OrderCost(MakeOrderOptimizer("KBZ").value()->Optimize(cost));
         double greedy =
-            cost.OrderCost(MakeOrderOptimizer("GREEDY")->Optimize(cost));
+            cost.OrderCost(MakeOrderOptimizer("GREEDY").value()->Optimize(cost));
         double sa =
-            cost.OrderCost(MakeOrderOptimizer("SA", rep)->Optimize(cost));
+            cost.OrderCost(MakeOrderOptimizer("SA", rep).value()->Optimize(cost));
         kbz_sum += kbz / dp;
         kbz_max = std::max(kbz_max, kbz / dp);
         greedy_sum += greedy / dp;

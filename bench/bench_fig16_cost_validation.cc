@@ -68,7 +68,7 @@ void Run() {
         CostFunction cost = MakeCostFunction(
             pattern, env.collector.CollectForPattern(pattern), 0.0);
         for (const std::string& algorithm : PaperOrderAlgorithms()) {
-          EnginePlan plan = MakePlan(algorithm, cost);
+          EnginePlan plan = MakePlan(algorithm, cost).value();
           RunResult result = Execute(pattern, plan, env.universe.stream);
           order_samples.push_back(
               {plan.cost, result.throughput_eps,
@@ -76,7 +76,7 @@ void Run() {
                static_cast<double>(result.predicate_evals)});
         }
         for (const std::string& algorithm : PaperTreeAlgorithms()) {
-          EnginePlan plan = MakePlan(algorithm, cost);
+          EnginePlan plan = MakePlan(algorithm, cost).value();
           RunResult result = Execute(pattern, plan, env.universe.stream);
           tree_samples.push_back({plan.cost, result.throughput_eps,
                                   static_cast<double>(result.peak_bytes),

@@ -68,7 +68,7 @@ void Run() {
       // terms are negligible and this matches their normalization.
       double leaf_sum = 0.0;
       for (int i = 0; i < size; ++i) leaf_sum += cost.LeafCost(i);
-      OrderPlan efreq_plan = MakeOrderOptimizer("EFREQ")->Optimize(cost);
+      OrderPlan efreq_plan = MakeOrderOptimizer("EFREQ").value()->Optimize(cost);
       double efreq_order = cost.OrderCost(efreq_plan);
       double efreq_tree =
           cost.TreeCost(TreePlan::LeftDeep(efreq_plan)) - leaf_sum;
@@ -76,7 +76,7 @@ void Run() {
         const std::string& name = algorithms[a];
         if (name == "DP-B" && size > dpb_cap) continue;
         if ((name == "DP-LD") && size > dpld_cap) continue;
-        EnginePlan plan = MakePlan(name, cost);
+        EnginePlan plan = MakePlan(name, cost).value();
         double ratio =
             plan.kind == EnginePlan::Kind::kOrder
                 ? efreq_order / plan.cost

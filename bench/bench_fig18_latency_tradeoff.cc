@@ -38,7 +38,7 @@ void Run() {
         // Normalize: alpha=1 weighs latency as much as the baseline
         // plan's throughput cost.
         CostFunction base = MakeCostFunction(pattern, stats, 0.0);
-        OrderPlan efreq = MakeOrderOptimizer("EFREQ")->Optimize(base);
+        OrderPlan efreq = MakeOrderOptimizer("EFREQ").value()->Optimize(base);
         CostSpec probe_spec;
         probe_spec.latency_alpha = 1.0;
         probe_spec.latency_anchor = DefaultLatencyAnchor(pattern);
@@ -50,7 +50,7 @@ void Run() {
 
         CostFunction cost =
             MakeCostFunction(pattern, stats, effective_alpha);
-        EnginePlan plan = MakePlan(algorithm, cost);
+        EnginePlan plan = MakePlan(algorithm, cost).value();
         aggregate.Add(Execute(pattern, plan, env.universe.stream));
       }
       aggregate.Finalize();

@@ -47,7 +47,7 @@ void BM_NfaEngineEventRate(benchmark::State& state) {
   SimplePattern pattern =
       BenchPattern(PatternFamily::kSequence, static_cast<int>(state.range(0)));
   CostFunction cost(Collector().CollectForPattern(pattern), pattern.window());
-  EnginePlan plan = MakePlan("GREEDY", cost);
+  EnginePlan plan = MakePlan("GREEDY", cost).value();
   for (auto _ : state) {
     RunResult result = Execute(pattern, plan, Universe().stream);
     benchmark::DoNotOptimize(result.matches);
@@ -61,7 +61,7 @@ void BM_TreeEngineEventRate(benchmark::State& state) {
   SimplePattern pattern =
       BenchPattern(PatternFamily::kSequence, static_cast<int>(state.range(0)));
   CostFunction cost(Collector().CollectForPattern(pattern), pattern.window());
-  EnginePlan plan = MakePlan("DP-B", cost);
+  EnginePlan plan = MakePlan("DP-B", cost).value();
   for (auto _ : state) {
     RunResult result = Execute(pattern, plan, Universe().stream);
     benchmark::DoNotOptimize(result.matches);
@@ -82,12 +82,12 @@ void BM_Optimizer(benchmark::State& state, const char* name, int n) {
   }
   CostFunction cost(stats, 0.5);
   if (IsTreeAlgorithm(name)) {
-    auto optimizer = MakeTreeOptimizer(name);
+    auto optimizer = MakeTreeOptimizer(name).value();
     for (auto _ : state) {
       benchmark::DoNotOptimize(optimizer->Optimize(cost));
     }
   } else {
-    auto optimizer = MakeOrderOptimizer(name);
+    auto optimizer = MakeOrderOptimizer(name).value();
     for (auto _ : state) {
       benchmark::DoNotOptimize(optimizer->Optimize(cost));
     }

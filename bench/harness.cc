@@ -67,7 +67,7 @@ RunAggregate RunPoint(const PointConfig& config) {
     for (const SimplePattern& sub : subpatterns) {
       CostFunction cost = MakeCostFunction(
           sub, env.collector.CollectForPattern(sub), config.latency_alpha);
-      plans.push_back(MakePlan(config.algorithm, cost));
+      plans.push_back(MakePlan(config.algorithm, cost).value());
     }
     ExecuteOptions options;
     options.min_measure_seconds = 0.05 * Scale();
@@ -94,7 +94,7 @@ PlanOnlyResult PlanPoint(const PointConfig& config) {
     for (const SimplePattern& sub : subpatterns) {
       CostFunction cost = MakeCostFunction(
           sub, env.collector.CollectForPattern(sub), config.latency_alpha);
-      EnginePlan plan = MakePlan(config.algorithm, cost);
+      EnginePlan plan = MakePlan(config.algorithm, cost).value();
       result.mean_cost += plan.cost;
       result.mean_generation_seconds += plan.generation_seconds;
     }
@@ -123,6 +123,7 @@ double MetricOf(const RunAggregate& aggregate, Metric metric) {
 }  // namespace
 
 void RunFamilyFigure(const std::string& figure, Metric metric) {
+  (void)figure;  // callers print their own PrintHeader banner
   const std::vector<int> sizes = {3, 4, 5};
   for (bool tree : {false, true}) {
     std::vector<std::string> algorithms =

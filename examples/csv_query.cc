@@ -2,9 +2,10 @@
 // a CSV event stream — the adoption path for external datasets like the
 // paper's NASDAQ file.
 //
-//   ./examples/csv_query data.csv \
-//       "PATTERN SEQ(MSFT m, GOOG g) WHERE m.difference < g.difference \
-//        WITHIN 20 minutes" [ALGORITHM]
+//   ./examples/csv_query data.csv PATTERN [ALGORITHM]
+//   with PATTERN like:
+//     "PATTERN SEQ(MSFT m, GOOG g)
+//      WHERE m.difference < g.difference WITHIN 20 minutes"
 //
 // Run without arguments for a built-in demo on an embedded CSV snippet.
 

@@ -1,0 +1,139 @@
+// Multi-tenant monitoring: several tenants register their own pattern
+// queries — different shapes, windows, plan algorithms, keyed and
+// unkeyed — against ONE CepService fed by ONE shared async-ingest feed.
+// The service routes the stream once; every tenant's matches arrive on
+// its own sink with its own counters and plans, and a bad registration
+// is a returned error the service shrugs off.
+//
+//   $ ./examples/multi_tenant_monitor
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "api/cep_service.h"
+#include "workload/keyed_generator.h"
+
+using namespace cepjoin;
+
+int main() {
+  // The traffic substrate: keyed events (one partition per monitored
+  // entity — a camera, a ticker symbol group) of three types A/B/C with
+  // one attribute v. Yesterday's recording supplies the statistics the
+  // planners consume; today's live feed is a different seed.
+  const int kPartitions = 32;
+  KeyedWorkload history = MakeKeyedWorkload(kPartitions, 12.0, 7);
+  KeyedWorkload live = MakeKeyedWorkload(kPartitions, 12.0, 99);
+
+  ServiceOptions options;
+  options.history = &history.stream;
+  options.num_types = history.registry.size();
+  options.num_threads = 4;        // shared sharded execution
+  options.num_ingest_threads = 2; // parsing threads for the async feed
+  auto service = CepService::Create(options).value();
+
+  // Tenant specs: each gets its own pattern, algorithm, and sink.
+  struct Tenant {
+    const char* name;
+    QueryHandle handle;
+    CollectingSink sink;
+  };
+  std::vector<std::unique_ptr<Tenant>> tenants;
+
+  auto add = [&](const char* name, QuerySpec spec) {
+    auto tenant = std::make_unique<Tenant>();
+    tenant->name = name;
+    auto handle = service->Register(spec.WithName(name)
+                                        .WithSink(&tenant->sink));
+    if (!handle.ok()) {
+      std::printf("register %-18s -> %s\n", name,
+                  handle.status().ToString().c_str());
+      return;
+    }
+    tenant->handle = *handle;
+    tenants.push_back(std::move(tenant));
+    std::printf("register %-18s -> ok (query id %llu)\n", name,
+                static_cast<unsigned long long>(tenants.back()->handle.id()));
+  };
+
+  const EventTypeRegistry& registry = history.registry;
+  add("rising-chain", QuerySpec::Simple(
+                          PatternBuilder(OperatorKind::kSeq, registry)
+                              .Event("A", "a")
+                              .Event("B", "b")
+                              .Event("C", "c")
+                              .Where("a", "v", CmpOp::kLt, "c", "v")
+                              .Within(1.0)
+                              .Build())
+                          .Keyed()
+                          .WithAlgorithm("GREEDY"));
+  add("reversal", QuerySpec::Simple(
+                      PatternBuilder(OperatorKind::kSeq, registry)
+                          .Event("C", "c")
+                          .Event("B", "b")
+                          .Event("A", "a")
+                          .Where("c", "v", CmpOp::kGt, "a", "v")
+                          .Within(0.5)
+                          .Build())
+                      .Keyed()
+                      .WithAlgorithm("DP-LD"));
+  add("spike-pair", QuerySpec::Simple(
+                        PatternBuilder(OperatorKind::kAnd, registry)
+                            .Event("A", "a")
+                            .Event("B", "b")
+                            .WhereConst("a", "v", CmpOp::kGt, 0.8)
+                            .WhereConst("b", "v", CmpOp::kGt, 0.8)
+                            .Within(0.2)
+                            .Build())
+                        .Keyed()
+                        .WithAlgorithm("TRIVIAL"));
+  // Unkeyed tenant: watches for cross-partition coincidences in a tiny
+  // window, planned from the same history through the service's
+  // collector.
+  add("global-burst", QuerySpec::Simple(
+                          PatternBuilder(OperatorKind::kSeq, registry)
+                              .Event("A", "a")
+                              .Event("C", "c")
+                              .Where("a", "v", CmpOp::kLt, "c", "v")
+                              .Within(0.01)
+                              .Build())
+                          .WithAlgorithm("EFREQ"));
+  // A misconfigured tenant: the typo is a returned error, nothing dies.
+  add("typo-tenant", QuerySpec::Simple(history.pattern)
+                         .Keyed()
+                         .WithAlgorithm("GREEDDY"));
+
+  // One shared async feed: the live stream arrives as three interleaved
+  // slices (think three upstream brokers), parsed on dedicated ingest
+  // threads, merged in timestamp order, and fanned to every tenant in
+  // one routing pass.
+  std::vector<std::unique_ptr<StreamSource>> sources;
+  for (size_t i = 0; i < 3; ++i) {
+    sources.push_back(
+        std::make_unique<EventStreamSource>(&live.stream, i, 3));
+  }
+  IngestResult ingested = service->ProcessSourceAsync(std::move(sources));
+  if (!ingested.ok) {
+    std::printf("ingest failed at source %zu: %s\n", ingested.failed_source,
+                ingested.error.c_str());
+    return 1;
+  }
+  service->Finish();
+
+  std::printf("\n%zu tenants served %llu events in one pass (%zu worker "
+              "threads):\n\n",
+              tenants.size(),
+              static_cast<unsigned long long>(ingested.events),
+              service->num_threads());
+  for (const auto& tenant : tenants) {
+    EngineCounters counters = tenant->handle.counters().value();
+    auto partitions = tenant->handle.num_partitions();
+    std::printf("%-18s matches=%-6zu partial-matches=%-8llu %s\n",
+                tenant->name, tenant->sink.matches.size(),
+                static_cast<unsigned long long>(counters.instances_created),
+                partitions.ok()
+                    ? ("partitions=" + std::to_string(*partitions)).c_str()
+                    : "(unkeyed)");
+  }
+  return 0;
+}

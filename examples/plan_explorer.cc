@@ -43,7 +43,7 @@ int main(int argc, char** argv) {
     algorithms.push_back(name);
   }
   for (const std::string& name : algorithms) {
-    EnginePlan plan = MakePlan(name, cost);
+    EnginePlan plan = MakePlan(name, cost).value();
     RunResult result = Execute(pattern, plan, universe.stream);
     table.AddRow({name, plan.kind == EnginePlan::Kind::kOrder ? "order" : "tree",
                   plan.kind == EnginePlan::Kind::kOrder

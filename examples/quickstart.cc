@@ -1,11 +1,13 @@
-// Quickstart: define a pattern, collect statistics, let a join-query
-// optimizer pick the evaluation plan, and detect matches on a stream.
+// Quickstart: define a pattern, let a join-query optimizer pick the
+// evaluation plan, and detect matches on a stream — through the session
+// API: a CepService hosts the query, QuerySpec describes it, and bad
+// specs come back as Status errors instead of aborting.
 //
 //   $ ./examples/quickstart
 
 #include <cstdio>
 
-#include "api/cep_runtime.h"
+#include "api/cep_service.h"
 #include "workload/stock_generator.h"
 
 using namespace cepjoin;
@@ -30,28 +32,51 @@ int main() {
           .Build();
   std::printf("pattern: %s\n", pattern.Describe(&universe.registry).c_str());
 
-  // 3. Statistics pass (arrival rates + predicate selectivities), exactly
-  //    like the paper's preprocessing stage.
-  StatsCollector collector(universe.stream, universe.registry.size());
-  PatternStats stats = collector.CollectForPattern(pattern);
-  std::printf("statistics:\n%s", stats.Describe().c_str());
+  // 3. A service session. The history stream doubles as the statistics
+  //    pass (arrival rates + predicate selectivities), exactly like the
+  //    paper's preprocessing stage.
+  ServiceOptions options;
+  options.history = &universe.stream;
+  options.num_types = universe.registry.size();
+  auto service_or = CepService::Create(options);
+  if (!service_or.ok()) {
+    std::printf("service error: %s\n", service_or.status().ToString().c_str());
+    return 1;
+  }
+  auto service = std::move(service_or).value();
 
-  // 4. Plan with a JQPG algorithm and run.
+  // 4. Describe the query declaratively and register it. Registration
+  //    validates the spec: a typo'd algorithm name, a missing sink, or
+  //    a pattern/registry mismatch is a returned error, not an abort.
   CollectingSink sink;
-  RuntimeOptions options;
-  options.algorithm = "DP-LD";  // Selinger dynamic programming
-  CepRuntime runtime(pattern, stats, options, &sink);
-  std::printf("plan: %s", runtime.DescribePlans().c_str());
+  auto handle = service->Register(QuerySpec::Simple(pattern)
+                                      .WithName("price-dip-chain")
+                                      .WithAlgorithm("DP-LD")
+                                      .WithSink(&sink));
+  if (!handle.ok()) {
+    std::printf("registration error: %s\n",
+                handle.status().ToString().c_str());
+    return 1;
+  }
+  for (const EnginePlan& plan : handle->plans().value()) {
+    std::printf("plan: %s (cost %g)\n", plan.Describe().c_str(), plan.cost);
+  }
 
-  runtime.ProcessStream(universe.stream);
-  runtime.Finish();
+  // A bad spec, for contrast — the service keeps running:
+  auto typo = service->Register(QuerySpec::Simple(pattern)
+                                    .WithAlgorithm("DP-LDD")
+                                    .WithSink(&sink));
+  std::printf("typo'd algorithm -> %s\n", typo.status().ToString().c_str());
 
+  // 5. Feed the stream and finish the session.
+  service->ProcessStream(universe.stream);
+  service->Finish();
+
+  EngineCounters counters = handle->counters().value();
   std::printf("events processed: %llu\n",
-              static_cast<unsigned long long>(
-                  runtime.counters().events_processed));
+              static_cast<unsigned long long>(counters.events_processed));
   std::printf("matches found:    %zu\n", sink.matches.size());
-  std::printf("peak partial matches: %zu\n",
-              runtime.counters().peak_live_instances);
+  std::printf("peak partial matches: %zu\n", counters.peak_live_instances);
   if (!sink.matches.empty()) {
     const Match& m = sink.matches.front();
     std::printf("first match: m@%.3fs g@%.3fs i@%.3fs\n",

@@ -54,7 +54,7 @@ int main() {
 
   for (const char* algorithm : {"TRIVIAL", "GREEDY", "DP-LD", "DP-B"}) {
     CostFunction cost = MakeCostFunction(pattern, stats, 0.0);
-    EnginePlan plan = MakePlan(algorithm, cost);
+    EnginePlan plan = MakePlan(algorithm, cost).value();
     RunResult result = Execute(pattern, plan, stream);
     std::printf("%-8s plan %-24s matches=%llu peak partials=%zu "
                 "throughput=%.0f ev/s\n",

@@ -83,7 +83,7 @@ int main() {
         threads, runtime.sharded() ? "sharded" : "single",
         static_cast<unsigned long long>(sink.count), wall,
         single_wall > 0 ? single_wall / wall : 1.0,
-        runtime.num_partitions());
+        runtime.num_partitions().value());
     if (sink.count != single_matches) {
       std::printf("ERROR: match count diverged from single-threaded run\n");
       return 1;

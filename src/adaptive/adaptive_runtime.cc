@@ -31,7 +31,7 @@ AdaptiveRuntime::AdaptiveRuntime(const SimplePattern& pattern,
   // Until statistics accumulate, run the pattern's own order (TRIVIAL).
   CostFunction bootstrap(PatternStats(pattern_.num_positive()),
                          pattern_.window());
-  current_plan_ = MakePlan("TRIVIAL", bootstrap, options_.seed);
+  current_plan_ = MakePlan("TRIVIAL", bootstrap, options_.seed).value();
   engine_ = BuildEngine(pattern_, current_plan_, &dedup_);
 }
 
@@ -49,7 +49,7 @@ CostFunction AdaptiveRuntime::CurrentCostFunction() const {
 void AdaptiveRuntime::MaybeReoptimize(Timestamp now) {
   next_evaluation_ = now + options_.evaluation_interval;
   CostFunction cost = CurrentCostFunction();
-  EnginePlan fresh = MakePlan(options_.algorithm, cost, options_.seed);
+  EnginePlan fresh = MakePlan(options_.algorithm, cost, options_.seed).value();
   double current_cost = current_plan_.kind == EnginePlan::Kind::kOrder
                             ? cost.OrderCost(current_plan_.order)
                             : cost.TreeCost(current_plan_.tree);

@@ -36,7 +36,10 @@ const PatternStats& PartitionPlanner::StatsFor(uint32_t partition) const {
 EnginePlan PartitionPlanner::PlanFor(uint32_t partition) const {
   CostFunction cost =
       MakeCostFunction(pattern_, StatsFor(partition), latency_alpha_);
-  return MakePlan(algorithm_, cost, seed_);
+  // The algorithm name is validated at registration (CepService) or
+  // accepted as a programmer-supplied constant (legacy runtimes); an
+  // unknown name here is an internal error, so value() may abort.
+  return MakePlan(algorithm_, cost, seed_).value();
 }
 
 std::unique_ptr<Engine> PartitionPlanner::BuildEngineFor(

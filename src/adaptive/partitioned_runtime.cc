@@ -64,10 +64,15 @@ void PartitionedRuntime::Finish() {
 }
 
 const EnginePlan& PartitionedRuntime::PlanFor(uint32_t partition) const {
-  auto it = engines_.find(partition);
-  CEPJOIN_CHECK(it != engines_.end())
+  const EnginePlan* plan = FindPlan(partition);
+  CEPJOIN_CHECK(plan != nullptr)
       << "no events seen for partition " << partition;
-  return it->second.plan;
+  return *plan;
+}
+
+const EnginePlan* PartitionedRuntime::FindPlan(uint32_t partition) const {
+  auto it = engines_.find(partition);
+  return it != engines_.end() ? &it->second.plan : nullptr;
 }
 
 EngineCounters PartitionedRuntime::TotalCounters() const {

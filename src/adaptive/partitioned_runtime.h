@@ -53,6 +53,9 @@ class PartitionedRuntime {
   size_t num_partitions() const { return engines_.size(); }
   /// The plan serving one partition; aborts if the partition is unknown.
   const EnginePlan& PlanFor(uint32_t partition) const;
+  /// The plan serving one partition, or nullptr if the partition is
+  /// unknown (the non-aborting lookup the service API uses).
+  const EnginePlan* FindPlan(uint32_t partition) const;
   /// Aggregated counters across partition engines (disjoint sub-streams:
   /// all totals, including events_processed, sum).
   EngineCounters TotalCounters() const;

@@ -1,6 +1,5 @@
 #include "api/cep_runtime.h"
 
-#include <algorithm>
 #include <sstream>
 
 #include "common/check.h"
@@ -8,42 +7,50 @@
 namespace cepjoin {
 
 CepRuntime::CepRuntime(const SimplePattern& pattern, const PatternStats& stats,
-                       const RuntimeOptions& options, MatchSink* sink)
-    : batch_size_(options.batch_size) {
-  CEPJOIN_CHECK_GE(options.batch_size, 1u) << "batch_size must be >= 1";
-  subpatterns_ = {pattern};
-  CostFunction cost = MakeCostFunction(pattern, stats, options.latency_alpha);
-  plans_ = {MakePlan(options.algorithm, cost, options.seed)};
-  engine_ = BuildEngine(pattern, plans_[0], sink);
+                       const RuntimeOptions& options, MatchSink* sink) {
+  ServiceOptions service_options;
+  service_options.batch_size = options.batch_size;
+  service_options.default_seed = options.seed;
+  // The legacy constructor promises a ready runtime or an abort;
+  // value() keeps that contract while the service reports the same
+  // problems (bad batch size, unknown algorithm) as Status.
+  service_ = CepService::Create(service_options).value();
+  handle_ = service_
+                ->Register(QuerySpec::Simple(pattern)
+                               .WithAlgorithm(options.algorithm)
+                               .WithLatencyAlpha(options.latency_alpha)
+                               .WithStats(stats)
+                               .WithSink(sink))
+                .value();
 }
 
 CepRuntime::CepRuntime(const NestedPattern& pattern,
                        const StatsCollector& collector,
-                       const RuntimeOptions& options, MatchSink* sink)
-    : batch_size_(options.batch_size) {
-  CEPJOIN_CHECK_GE(options.batch_size, 1u) << "batch_size must be >= 1";
-  subpatterns_ = ToDnf(pattern);
-  CEPJOIN_CHECK(!subpatterns_.empty());
-  for (const SimplePattern& sub : subpatterns_) {
-    CostFunction cost = MakeCostFunction(sub, collector.CollectForPattern(sub),
-                                         options.latency_alpha);
-    plans_.push_back(MakePlan(options.algorithm, cost, options.seed));
-  }
-  engine_ = BuildDnfEngine(subpatterns_, plans_, sink);
-}
-
-void CepRuntime::ProcessStream(const EventStream& stream) {
-  const std::vector<EventPtr>& events = stream.events();
-  for (size_t i = 0; i < events.size(); i += batch_size_) {
-    OnBatch(events.data() + i, std::min(batch_size_, events.size() - i));
-  }
+                       const RuntimeOptions& options, MatchSink* sink) {
+  ServiceOptions service_options;
+  service_options.batch_size = options.batch_size;
+  service_options.default_seed = options.seed;
+  // The collector only needs to outlive this Register call; the wrapper
+  // never registers again.
+  service_options.collector = &collector;
+  service_ = CepService::Create(service_options).value();
+  handle_ = service_
+                ->Register(QuerySpec::Nested(pattern)
+                               .WithAlgorithm(options.algorithm)
+                               .WithLatencyAlpha(options.latency_alpha)
+                               .WithSink(sink))
+                .value();
+  // The caller-owned collector is not guaranteed to outlive this
+  // constructor; registrations through service() must not touch it.
+  service_->DropExternalCollector();
 }
 
 std::string CepRuntime::DescribePlans() const {
+  const std::vector<EnginePlan>& all = plans();
   std::ostringstream os;
-  for (size_t k = 0; k < plans_.size(); ++k) {
-    if (plans_.size() > 1) os << "subpattern " << k << ": ";
-    os << plans_[k].Describe() << " (cost " << plans_[k].cost << ")\n";
+  for (size_t k = 0; k < all.size(); ++k) {
+    if (all.size() > 1) os << "subpattern " << k << ": ";
+    os << all[k].Describe() << " (cost " << all[k].cost << ")\n";
   }
   return os.str();
 }

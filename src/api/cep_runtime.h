@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "api/cep_service.h"
 #include "engine/engine_factory.h"
 #include "event/stream.h"
 #include "pattern/nested.h"
@@ -13,7 +14,10 @@
 
 namespace cepjoin {
 
-/// Top-level configuration of a CepRuntime.
+/// Top-level configuration of the single-query compatibility runtimes
+/// (CepRuntime / KeyedCepRuntime). New code should use CepService with
+/// QuerySpec directly — it hosts many queries over one ingest path and
+/// reports bad configurations as Status errors instead of aborting.
 struct RuntimeOptions {
   /// Plan-generation algorithm: TRIVIAL, EFREQ, GREEDY, II-RANDOM,
   /// II-GREEDY, DP-LD, KBZ (order plans / lazy NFA) or ZSTREAM,
@@ -42,8 +46,10 @@ struct RuntimeOptions {
   uint64_t seed = 7;
 };
 
-/// The library facade: plans a pattern with a chosen algorithm and
-/// evaluates it over a stream.
+/// Single-query compatibility facade: a thin wrapper that registers one
+/// unkeyed query with a private CepService and forwards the ingest
+/// calls. Construction aborts on invalid options (the historical
+/// contract); CepService::Register reports the same problems as Status.
 ///
 ///   StatsCollector collector(history, registry.size());
 ///   CollectingSink sink;
@@ -62,28 +68,37 @@ class CepRuntime {
   CepRuntime(const NestedPattern& pattern, const StatsCollector& collector,
              const RuntimeOptions& options, MatchSink* sink);
 
-  void OnEvent(const EventPtr& e) { engine_->OnEvent(e); }
+  void OnEvent(const EventPtr& e) { service_->OnEvent(e); }
   /// Feeds a run of events through the engine's batched path. Detection
   /// latency is anchored at batch granularity; matches and counters are
   /// identical to per-event feeding.
   void OnBatch(const EventPtr* events, size_t n) {
-    engine_->OnBatch(events, n);
+    service_->OnBatch(events, n);
   }
-  void ProcessStream(const EventStream& stream);
-  void Finish() { engine_->Finish(); }
+  void ProcessStream(const EventStream& stream) {
+    service_->ProcessStream(stream);
+  }
+  void Finish() { service_->Finish(); }
 
-  const EngineCounters& counters() const { return engine_->counters(); }
-  const std::vector<EnginePlan>& plans() const { return plans_; }
+  const EngineCounters& counters() const {
+    return service_->UnkeyedCounters(handle_.id());
+  }
+  const std::vector<EnginePlan>& plans() const {
+    return service_->UnkeyedPlans(handle_.id());
+  }
   const std::vector<SimplePattern>& subpatterns() const {
-    return subpatterns_;
+    return service_->UnkeyedSubpatterns(handle_.id());
   }
   std::string DescribePlans() const;
 
+  /// The underlying single-query service and handle, for callers
+  /// migrating to the session API incrementally.
+  CepService& service() { return *service_; }
+  const QueryHandle& handle() const { return handle_; }
+
  private:
-  std::vector<SimplePattern> subpatterns_;
-  std::vector<EnginePlan> plans_;
-  std::unique_ptr<Engine> engine_;
-  size_t batch_size_;  // always set from RuntimeOptions::batch_size
+  std::unique_ptr<CepService> service_;
+  QueryHandle handle_;
 };
 
 }  // namespace cepjoin

@@ -1,0 +1,257 @@
+#ifndef CEPJOIN_API_CEP_SERVICE_H_
+#define CEPJOIN_API_CEP_SERVICE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "adaptive/partitioned_runtime.h"
+#include "api/query_spec.h"
+#include "common/status.h"
+#include "engine/engine_factory.h"
+#include "event/stream.h"
+#include "event/stream_source.h"
+#include "parallel/ingest_pipeline.h"
+#include "parallel/sharded_runtime.h"
+#include "stats/collector.h"
+
+namespace cepjoin {
+
+class CepService;
+
+/// Construction-time configuration of a CepService. Validated by
+/// CepService::Create (returned errors, no aborts).
+struct ServiceOptions {
+  /// Statistics source: a historical stream (the paper's preprocessing
+  /// pass). Required for keyed queries (per-partition statistics) and
+  /// for unkeyed queries registered without explicit stats. Must
+  /// outlive Register() calls that consume it.
+  const EventStream* history = nullptr;
+  /// Registry size (number of event types). Required with `history`;
+  /// also bounds the type ids a registered pattern may reference.
+  size_t num_types = 0;
+  /// Pre-built statistics collector, an alternative unkeyed stats
+  /// source (takes precedence over `history` for unkeyed queries).
+  /// Must outlive Register() calls that consume it.
+  const StatsCollector* collector = nullptr;
+  /// Worker threads for keyed queries: 1 runs each keyed query on a
+  /// single-threaded PartitionedRuntime; any other value runs ALL keyed
+  /// queries inside one sharded runtime (0 = hardware concurrency),
+  /// where N queries cost one routing pass, not N.
+  size_t num_threads = 1;
+  /// Events per evaluation batch (ProcessStream chunking, router batch
+  /// size, async merge run cap). Must be >= 1.
+  size_t batch_size = 256;
+  /// Ingestion source threads for ProcessSourceAsync (0 = one per
+  /// source).
+  size_t num_ingest_threads = 0;
+  /// Seed for randomized plan generators when a QuerySpec sets none.
+  uint64_t default_seed = 7;
+};
+
+/// Reference to one registered query. Handles are small copyable values
+/// tied to the service that issued them; the service must outlive every
+/// handle. A default-constructed handle is invalid.
+class QueryHandle {
+ public:
+  QueryHandle() = default;
+
+  bool valid() const { return service_ != nullptr; }
+  /// Id of the query within its service (stable, never reused).
+  uint64_t id() const { return id_; }
+
+  /// Stops feeding the query. Unkeyed and single-threaded keyed
+  /// queries are finished immediately (trailing matches flush to the
+  /// query's sink inline); sharded keyed queries are cut at the current
+  /// routing position, finish as the workers pass the cut, and deliver
+  /// their buffered matches at the service's Finish().
+  Status Deregister();
+
+  /// The query's counters. Unkeyed / single-threaded keyed: valid any
+  /// time. Sharded keyed: FailedPrecondition until the service has
+  /// finished (reading racing workers would return wrong data).
+  StatusOr<EngineCounters> counters() const;
+
+  /// The query's evaluation plans, one per DNF subpattern. Unkeyed
+  /// queries only; keyed queries are planned per partition — use
+  /// num_partitions()/PlanFor().
+  StatusOr<std::vector<EnginePlan>> plans() const;
+
+  /// Distinct partitions this keyed query has seen. Single-threaded:
+  /// valid any time. Sharded: FailedPrecondition before the service
+  /// has finished — the precondition is enforced, never silently
+  /// answered with a stale or partial count.
+  StatusOr<size_t> num_partitions() const;
+
+  /// The plan serving one partition of a keyed query.
+  StatusOr<EnginePlan> PlanFor(uint32_t partition) const;
+
+ private:
+  friend class CepService;
+  QueryHandle(CepService* service, uint64_t id) : service_(service), id_(id) {}
+
+  CepService* service_ = nullptr;
+  uint64_t id_ = 0;
+};
+
+/// A long-lived CEP session hosting many concurrently registered
+/// pattern queries over ONE shared ingest path — the deployment shape
+/// the paper's evaluation assumes (many queries, one stream). Queries
+/// are described declaratively (QuerySpec), registered and retired at
+/// any point of the stream, and served per-query match streams,
+/// counters, and plans through QueryHandle.
+///
+///   auto service = CepService::Create({.history = &history,
+///                                      .num_types = registry.size(),
+///                                      .num_threads = 4}).value();
+///   auto handle = service->Register(QuerySpec::Simple(pattern)
+///                                       .Keyed()
+///                                       .WithAlgorithm("DP-LD")
+///                                       .WithSink(&sink));
+///   if (!handle.ok()) { /* bad spec: returned, not aborted */ }
+///   service->ProcessStream(live);
+///   service->Finish();
+///
+/// Execution: unkeyed queries run on per-query engines fed inline on
+/// the ingest thread; keyed queries run per-partition, single-threaded
+/// or inside one shared sharded runtime (options.num_threads) where N
+/// queries cost one routing pass. Every query's match sequence and
+/// counters are byte-identical to running it alone on the events
+/// ingested while it was registered, at every thread count.
+class CepService {
+ public:
+  /// Validates `options` (bad batch size, history without num_types)
+  /// and builds an empty service.
+  static StatusOr<std::unique_ptr<CepService>> Create(
+      const ServiceOptions& options);
+
+  ~CepService();
+  CepService(const CepService&) = delete;
+  CepService& operator=(const CepService&) = delete;
+
+  /// Validates the spec and registers the query. All spec errors —
+  /// unknown algorithm (the message lists KnownAlgorithms()), missing
+  /// pattern or sink, keyed nested patterns, statistics/pattern
+  /// dimension mismatches, type ids outside the service's registry —
+  /// come back as InvalidArgument; nothing aborts. A query registered
+  /// mid-stream sees exactly the events ingested after Register
+  /// returns.
+  StatusOr<QueryHandle> Register(const QuerySpec& spec);
+
+  /// Deregisters by id; see QueryHandle::Deregister.
+  Status Deregister(uint64_t query_id);
+
+  // ---- shared ingest: every active query sees the same stream -------
+
+  /// Feeds one event (timestamp order) to every active query.
+  void OnEvent(const EventPtr& e);
+  /// Feeds a run of events through every active query's batched path.
+  void OnBatch(const EventPtr* events, size_t n);
+  /// Replays a finite stream in batch_size chunks.
+  void ProcessStream(const EventStream& stream);
+  /// Async ingestion (parallel/ingest_pipeline.h): parses `sources` on
+  /// dedicated threads, merges in timestamp order, and fans the merged
+  /// runs to every active query. Blocks until the sources drain or one
+  /// fails; the valid merged prefix has been evaluated either way.
+  IngestResult ProcessSourceAsync(
+      std::vector<std::unique_ptr<StreamSource>> sources);
+  IngestResult ProcessSourceAsync(std::unique_ptr<StreamSource> source);
+
+  /// Ends the session: finishes every active query, joins the sharded
+  /// workers, and drains each query's buffered matches to its sink.
+  /// Idempotent. No ingest or registration is accepted afterwards.
+  void Finish();
+
+  // ---- introspection ------------------------------------------------
+
+  /// Queries currently fed by the ingest path.
+  size_t num_active_queries() const;
+  /// Total queries ever registered.
+  size_t num_queries() const { return queries_.size(); }
+  /// True once any keyed query runs on the shared sharded runtime.
+  bool sharded() const { return sharded_ != nullptr; }
+  /// Worker threads keyed queries execute on.
+  size_t num_threads() const;
+  bool finished() const { return finished_; }
+
+  // Per-query accessors backing QueryHandle (see its documentation).
+  StatusOr<EngineCounters> CountersOf(uint64_t query_id) const;
+  StatusOr<std::vector<EnginePlan>> PlansOf(uint64_t query_id) const;
+  StatusOr<size_t> NumPartitionsOf(uint64_t query_id) const;
+  StatusOr<EnginePlan> PlanForPartitionOf(uint64_t query_id,
+                                          uint32_t partition) const;
+
+  // Wrapper support (CepRuntime): stable references into an unkeyed
+  // query's state, valid while the service lives. Abort on unknown ids
+  // or keyed queries — the wrappers own their single query.
+  const std::vector<SimplePattern>& UnkeyedSubpatterns(
+      uint64_t query_id) const;
+  const std::vector<EnginePlan>& UnkeyedPlans(uint64_t query_id) const;
+  const EngineCounters& UnkeyedCounters(uint64_t query_id) const;
+  /// Forgets ServiceOptions::collector (wrapper support: the nested
+  /// CepRuntime constructor hands in a caller-owned collector that only
+  /// outlives construction; later registrations through service() must
+  /// report "no statistics source" instead of dereferencing it).
+  void DropExternalCollector() { options_.collector = nullptr; }
+
+ private:
+  struct QueryState {
+    std::string name;
+    bool keyed = false;
+    bool active = false;
+    // Exactly one evaluation host, by (keyed, num_threads):
+    std::unique_ptr<Engine> engine;                   // unkeyed
+    std::unique_ptr<PartitionedRuntime> partitioned;  // keyed, 1 thread
+    uint64_t sharded_id = 0;                          // keyed, sharded
+    bool uses_sharded = false;
+    std::vector<SimplePattern> subpatterns;  // unkeyed
+    std::vector<EnginePlan> plans;           // unkeyed
+    std::unique_ptr<MatchSink> owned_sink;   // callback adapter, if any
+    MatchSink* sink = nullptr;
+    /// The unkeyed query's counters. While the engine lives this is a
+    /// cache refreshed on every read; once the engine is finished and
+    /// released it is the final snapshot. Mutable so const accessors
+    /// can refresh it — callers hold `const EngineCounters&` into this
+    /// address-stable storage (std::map node), which must stay valid
+    /// across Deregister()/Finish() like the legacy runtime's did.
+    mutable EngineCounters counters;
+  };
+
+  explicit CepService(const ServiceOptions& options);
+
+  Status ValidateSpec(const QuerySpec& spec) const;
+  /// The unkeyed statistics source, building one from history on first
+  /// use; null if the service has neither collector nor history.
+  const StatsCollector* EffectiveCollector();
+  /// Feeds one merged same-partition run to every active query (the
+  /// async ingest consumer).
+  void OnMergedRun(const EventPtr* run, size_t n);
+  /// The shared dispatch of every ingest entry point: feeds the run to
+  /// each active inline-fed query host.
+  void FeedInline(const EventPtr* events, size_t n);
+  const QueryState* Find(uint64_t query_id) const;
+  /// Finishes an inline-fed (unkeyed or single-threaded keyed) query;
+  /// unkeyed engines are released after snapshotting their counters.
+  void FinishInlineQuery(QueryState& state);
+  /// Recomputes the active inline-fed host list after a lifecycle
+  /// change, so per-event ingest never scans retired queries.
+  void RebuildInlineFeeds();
+
+  ServiceOptions options_;
+  std::unique_ptr<StatsCollector> own_collector_;
+  std::map<uint64_t, QueryState> queries_;  // id order == registration order
+  /// Active queries fed on the ingest thread (unkeyed engines and
+  /// single-threaded keyed runtimes), in registration order. Pointers
+  /// into queries_ (std::map nodes are address-stable); rebuilt on
+  /// Register/Deregister/Finish.
+  std::vector<QueryState*> inline_feeds_;
+  uint64_t next_id_ = 0;
+  std::unique_ptr<ShardedRuntime> sharded_;
+  bool finished_ = false;
+};
+
+}  // namespace cepjoin
+
+#endif  // CEPJOIN_API_CEP_SERVICE_H_

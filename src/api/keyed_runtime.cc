@@ -7,93 +7,37 @@ namespace cepjoin {
 KeyedCepRuntime::KeyedCepRuntime(const SimplePattern& pattern,
                                  const EventStream& history, size_t num_types,
                                  const RuntimeOptions& options,
-                                 MatchSink* sink)
-    : num_ingest_threads_(options.num_ingest_threads),
-      batch_size_(options.batch_size) {
-  CEPJOIN_CHECK_GE(options.batch_size, 1u) << "batch_size must be >= 1";
-  if (options.num_threads == 1) {
-    single_ = std::make_unique<PartitionedRuntime>(
-        pattern, history, num_types, options.algorithm, sink, options.seed,
-        options.latency_alpha, options.batch_size);
-  } else {
-    ShardedOptions sharded;
-    sharded.num_threads = options.num_threads;
-    sharded.batch_size = options.batch_size;
-    sharded_ = std::make_unique<ShardedRuntime>(
-        pattern, history, num_types, options.algorithm, sink, sharded,
-        options.seed, options.latency_alpha);
-  }
+                                 MatchSink* sink) {
+  ServiceOptions service_options;
+  service_options.history = &history;
+  service_options.num_types = num_types;
+  service_options.num_threads = options.num_threads;
+  service_options.batch_size = options.batch_size;
+  service_options.num_ingest_threads = options.num_ingest_threads;
+  service_options.default_seed = options.seed;
+  // The legacy constructor promises a ready runtime or an abort;
+  // value() keeps that contract while the service reports the same
+  // problems (bad batch size, unknown algorithm) as Status.
+  service_ = CepService::Create(service_options).value();
+  handle_ = service_
+                ->Register(QuerySpec::Simple(pattern)
+                               .Keyed()
+                               .WithAlgorithm(options.algorithm)
+                               .WithLatencyAlpha(options.latency_alpha)
+                               .WithSink(sink))
+                .value();
 }
 
-void KeyedCepRuntime::OnEvent(const EventPtr& e) {
-  if (single_) {
-    single_->OnEvent(e);
-  } else {
-    sharded_->OnEvent(e);
-  }
-}
-
-void KeyedCepRuntime::OnBatch(const EventPtr* events, size_t n) {
-  if (single_) {
-    single_->OnBatch(events, n);
-  } else {
-    sharded_->OnBatch(events, n);
-  }
-}
-
-void KeyedCepRuntime::ProcessStream(const EventStream& stream) {
-  if (single_) {
-    single_->ProcessStream(stream);
-  } else {
-    sharded_->ProcessStream(stream);
-  }
-}
-
-IngestResult KeyedCepRuntime::ProcessSourceAsync(
-    std::vector<std::unique_ptr<StreamSource>> sources) {
-  IngestOptions options;
-  options.num_ingest_threads = num_ingest_threads_;
-  options.chunk_size = batch_size_;
-  IngestPipeline pipeline(std::move(sources), options);
-  if (single_) {
-    return pipeline.Run([this](const EventPtr* run, size_t n) {
-      single_->OnBatch(run, n);
-    });
-  }
-  return pipeline.Run([this](const EventPtr* run, size_t n) {
-    sharded_->OnPartitionRun(run, n);
-  });
-}
-
-IngestResult KeyedCepRuntime::ProcessSourceAsync(
-    std::unique_ptr<StreamSource> source) {
-  std::vector<std::unique_ptr<StreamSource>> sources;
-  sources.push_back(std::move(source));
-  return ProcessSourceAsync(std::move(sources));
-}
-
-void KeyedCepRuntime::Finish() {
-  if (single_) {
-    single_->Finish();
-  } else {
-    sharded_->Finish();
-  }
-}
-
-size_t KeyedCepRuntime::num_threads() const {
-  return single_ ? 1 : sharded_->num_threads();
-}
-
-size_t KeyedCepRuntime::num_partitions() const {
-  return single_ ? single_->num_partitions() : sharded_->num_partitions();
-}
-
-const EnginePlan& KeyedCepRuntime::PlanFor(uint32_t partition) const {
-  return single_ ? single_->PlanFor(partition) : sharded_->PlanFor(partition);
+EnginePlan KeyedCepRuntime::PlanFor(uint32_t partition) const {
+  StatusOr<EnginePlan> plan = handle_.PlanFor(partition);
+  CEPJOIN_CHECK(plan.ok()) << plan.status().ToString();
+  return std::move(plan).value();
 }
 
 EngineCounters KeyedCepRuntime::TotalCounters() const {
-  return single_ ? single_->TotalCounters() : sharded_->TotalCounters();
+  StatusOr<EngineCounters> counters = handle_.counters();
+  CEPJOIN_CHECK(counters.ok()) << counters.status().ToString();
+  return std::move(counters).value();
 }
 
 }  // namespace cepjoin

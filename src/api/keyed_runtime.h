@@ -4,20 +4,22 @@
 #include <memory>
 #include <vector>
 
-#include "adaptive/partitioned_runtime.h"
 #include "api/cep_runtime.h"
+#include "api/cep_service.h"
 #include "event/stream.h"
 #include "event/stream_source.h"
 #include "parallel/ingest_pipeline.h"
-#include "parallel/sharded_runtime.h"
 #include "runtime/match.h"
 
 namespace cepjoin {
 
-/// Facade over keyed (partition-contiguous) execution: plans each
-/// partition against its own statistics and evaluates the pattern
-/// per-partition, single-threaded or sharded across worker threads
-/// depending on RuntimeOptions::num_threads.
+/// Single-query compatibility facade over keyed (partition-contiguous)
+/// execution: registers one keyed query with a private CepService and
+/// forwards the ingest calls. The pattern is planned per partition
+/// against its own statistics and evaluated single-threaded or sharded
+/// across worker threads depending on RuntimeOptions::num_threads. New
+/// code should use CepService directly — it hosts many keyed queries on
+/// one shared routing pass.
 ///
 ///   CollectingSink sink;
 ///   KeyedCepRuntime runtime(pattern, history, registry.size(),
@@ -34,11 +36,15 @@ class KeyedCepRuntime {
                   size_t num_types, const RuntimeOptions& options,
                   MatchSink* sink);
 
-  void OnEvent(const EventPtr& e);
+  void OnEvent(const EventPtr& e) { service_->OnEvent(e); }
   /// Batched ingestion; matches and counters are identical to per-event
   /// feeding at every thread count and batch size.
-  void OnBatch(const EventPtr* events, size_t n);
-  void ProcessStream(const EventStream& stream);
+  void OnBatch(const EventPtr* events, size_t n) {
+    service_->OnBatch(events, n);
+  }
+  void ProcessStream(const EventStream& stream) {
+    service_->ProcessStream(stream);
+  }
 
   /// Async ingestion: parses/generates `sources` on
   /// RuntimeOptions::num_ingest_threads dedicated threads, k-way merges
@@ -55,29 +61,44 @@ class KeyedCepRuntime {
   /// merged prefix has already been evaluated; the result carries the
   /// failing source and message.
   IngestResult ProcessSourceAsync(
-      std::vector<std::unique_ptr<StreamSource>> sources);
+      std::vector<std::unique_ptr<StreamSource>> sources) {
+    return service_->ProcessSourceAsync(std::move(sources));
+  }
   /// Single-source convenience overload.
-  IngestResult ProcessSourceAsync(std::unique_ptr<StreamSource> source);
+  IngestResult ProcessSourceAsync(std::unique_ptr<StreamSource> source) {
+    return service_->ProcessSourceAsync(std::move(source));
+  }
 
-  void Finish();
+  void Finish() { service_->Finish(); }
 
   /// True if execution is sharded across worker threads.
-  bool sharded() const { return sharded_ != nullptr; }
+  bool sharded() const { return service_->sharded(); }
   /// Worker threads evaluating the pattern (1 when not sharded).
-  size_t num_threads() const;
-  /// Distinct partitions seen. For sharded execution, valid after
-  /// Finish().
-  size_t num_partitions() const;
-  /// The plan serving one partition; aborts if the partition is unknown.
-  const EnginePlan& PlanFor(uint32_t partition) const;
-  /// Counters aggregated across all partition engines.
+  size_t num_threads() const { return service_->num_threads(); }
+
+  /// Distinct partitions seen. Single-threaded execution answers any
+  /// time; sharded execution returns FailedPrecondition until Finish()
+  /// — the precondition is enforced as a returned error, never answered
+  /// with a stale or partial count (and never by aborting).
+  StatusOr<size_t> num_partitions() const {
+    return handle_.num_partitions();
+  }
+  /// The plan serving one partition; aborts if the partition is unknown
+  /// (legacy contract — QueryHandle::PlanFor reports a Status instead).
+  EnginePlan PlanFor(uint32_t partition) const;
+  /// Counters aggregated across all partition engines. Sharded
+  /// execution requires Finish() first (aborts otherwise, matching the
+  /// legacy contract; QueryHandle::counters reports a Status instead).
   EngineCounters TotalCounters() const;
 
+  /// The underlying single-query service and handle, for callers
+  /// migrating to the session API incrementally.
+  CepService& service() { return *service_; }
+  const QueryHandle& handle() const { return handle_; }
+
  private:
-  std::unique_ptr<PartitionedRuntime> single_;
-  std::unique_ptr<ShardedRuntime> sharded_;
-  size_t num_ingest_threads_;
-  size_t batch_size_;
+  std::unique_ptr<CepService> service_;
+  QueryHandle handle_;
 };
 
 }  // namespace cepjoin

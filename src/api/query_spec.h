@@ -1,0 +1,134 @@
+#ifndef CEPJOIN_API_QUERY_SPEC_H_
+#define CEPJOIN_API_QUERY_SPEC_H_
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "pattern/nested.h"
+#include "pattern/pattern.h"
+#include "runtime/match.h"
+#include "stats/statistics.h"
+
+namespace cepjoin {
+
+/// Declarative description of one pattern query to register with a
+/// CepService, built fluently:
+///
+///   QuerySpec spec = QuerySpec::Simple(pattern)
+///                        .WithAlgorithm("DP-LD")
+///                        .WithLatencyAlpha(0.1)
+///                        .Keyed()
+///                        .WithSink(&sink);
+///   StatusOr<QueryHandle> handle = service->Register(spec);
+///
+/// A spec is a plain value: nothing is validated until
+/// CepService::Register, which returns a Status instead of aborting on
+/// a bad spec (unknown algorithm, missing sink, spec/registry
+/// mismatches, ...).
+class QuerySpec {
+ public:
+  /// A query over one simple (conjunctive SEQ/AND) pattern.
+  static QuerySpec Simple(SimplePattern pattern) {
+    QuerySpec spec;
+    spec.simple_.emplace(std::move(pattern));
+    return spec;
+  }
+
+  /// A query over a nested SEQ/AND/OR pattern, evaluated by DNF
+  /// decomposition (one plan and engine per alternative, union of
+  /// matches). Unkeyed execution only.
+  static QuerySpec Nested(NestedPattern pattern) {
+    QuerySpec spec;
+    spec.nested_.emplace(std::move(pattern));
+    return spec;
+  }
+
+  /// Diagnostic label used in error messages and service listings.
+  QuerySpec& WithName(std::string name) {
+    name_ = std::move(name);
+    return *this;
+  }
+
+  /// Plan-generation algorithm (KnownAlgorithms()). Default GREEDY.
+  QuerySpec& WithAlgorithm(std::string algorithm) {
+    algorithm_ = std::move(algorithm);
+    return *this;
+  }
+
+  /// Throughput-latency trade-off weight alpha (Sec. 6.1); 0 optimizes
+  /// throughput only. Must be finite and >= 0.
+  QuerySpec& WithLatencyAlpha(double alpha) {
+    latency_alpha_ = alpha;
+    return *this;
+  }
+
+  /// Keyed (partition-contiguous) execution: the pattern is evaluated
+  /// per partition, each partition planned against its own statistics
+  /// from the service's history stream. Keyed queries run on the
+  /// service's shared partition-routing pass; simple patterns only.
+  QuerySpec& Keyed(bool keyed = true) {
+    keyed_ = keyed;
+    return *this;
+  }
+
+  /// Destination of this query's matches. Exactly one of WithSink /
+  /// WithCallback must be set. The sink must outlive the service.
+  QuerySpec& WithSink(MatchSink* sink) {
+    sink_ = sink;
+    return *this;
+  }
+
+  /// Callback alternative to WithSink; the service owns the adapter.
+  QuerySpec& WithCallback(std::function<void(const Match&)> callback) {
+    callback_ = std::move(callback);
+    return *this;
+  }
+
+  /// Pre-collected plan-time statistics (simple unkeyed queries only;
+  /// keyed queries derive per-partition statistics from the service's
+  /// history). Must be sized to the pattern's positive slots.
+  QuerySpec& WithStats(PatternStats stats) {
+    stats_.emplace(std::move(stats));
+    return *this;
+  }
+
+  /// Seed for randomized plan generators. Defaults to the service's
+  /// default_seed.
+  QuerySpec& WithSeed(uint64_t seed) {
+    seed_.emplace(seed);
+    return *this;
+  }
+
+  const std::optional<SimplePattern>& simple() const { return simple_; }
+  const std::optional<NestedPattern>& nested() const { return nested_; }
+  const std::string& name() const { return name_; }
+  const std::string& algorithm() const { return algorithm_; }
+  double latency_alpha() const { return latency_alpha_; }
+  bool keyed() const { return keyed_; }
+  MatchSink* sink() const { return sink_; }
+  const std::function<void(const Match&)>& callback() const {
+    return callback_;
+  }
+  const std::optional<PatternStats>& stats() const { return stats_; }
+  const std::optional<uint64_t>& seed() const { return seed_; }
+
+ private:
+  QuerySpec() = default;
+
+  std::optional<SimplePattern> simple_;
+  std::optional<NestedPattern> nested_;
+  std::string name_;
+  std::string algorithm_ = "GREEDY";
+  double latency_alpha_ = 0.0;
+  bool keyed_ = false;
+  MatchSink* sink_ = nullptr;
+  std::function<void(const Match&)> callback_;
+  std::optional<PatternStats> stats_;
+  std::optional<uint64_t> seed_;
+};
+
+}  // namespace cepjoin
+
+#endif  // CEPJOIN_API_QUERY_SPEC_H_

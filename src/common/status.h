@@ -1,0 +1,116 @@
+#ifndef CEPJOIN_COMMON_STATUS_H_
+#define CEPJOIN_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+#include "common/check.h"
+
+namespace cepjoin {
+
+/// Error categories of the recoverable-error path. CEPJOIN_CHECK remains
+/// the tool for programmer errors (violated internal invariants); Status
+/// is for conditions a caller can react to — a typo'd algorithm name, a
+/// query spec that fails validation, an accessor called before its
+/// precondition holds.
+enum class StatusCode {
+  kOk = 0,
+  /// The caller supplied something malformed (bad spec, unknown name).
+  kInvalidArgument,
+  /// The referenced entity does not exist (query id, partition).
+  kNotFound,
+  /// The call is valid but not *yet* — e.g. reading sharded partition
+  /// counts before Finish().
+  kFailedPrecondition,
+};
+
+const char* StatusCodeName(StatusCode code);
+
+/// A success-or-error result: either OK or a code plus a human-readable
+/// message. Cheap to copy on the OK path (empty message).
+class Status {
+ public:
+  Status() = default;
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string message) {
+    return Status(StatusCode::kInvalidArgument, std::move(message));
+  }
+  static Status NotFound(std::string message) {
+    return Status(StatusCode::kNotFound, std::move(message));
+  }
+  static Status FailedPrecondition(std::string message) {
+    return Status(StatusCode::kFailedPrecondition, std::move(message));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "INVALID_ARGUMENT: <message>".
+  std::string ToString() const;
+
+ private:
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// A value or the error that prevented producing it. Deliberately
+/// minimal: construction from T or a non-OK Status, `ok()`, `status()`,
+/// and checked access (`value()` aborts on error with the error's
+/// message — the moral equivalent of CEPJOIN_CHECK at the call sites
+/// that pass statically known-good inputs).
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(T value) : status_(Status::Ok()), value_(std::move(value)) {}
+  StatusOr(Status status) : status_(std::move(status)) {
+    CEPJOIN_CHECK(!status_.ok()) << "StatusOr constructed from OK status";
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    CEPJOIN_CHECK(ok()) << "value() on error status: " << status_.ToString();
+    return value_;
+  }
+  T& value() & {
+    CEPJOIN_CHECK(ok()) << "value() on error status: " << status_.ToString();
+    return value_;
+  }
+  // By value on rvalues, NOT T&&: `for (auto& x : F().value())` must
+  // lifetime-extend the result, and a returned reference into the
+  // expiring StatusOr would dangle there instead.
+  T value() && {
+    CEPJOIN_CHECK(ok()) << "value() on error status: " << status_.ToString();
+    return std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  // Default-constructed on the error path; T must therefore be
+  // default-constructible (true for every T this library stores —
+  // pointers, plans, counters, sizes).
+  T value_{};
+};
+
+/// Propagates a non-OK status to the caller:
+///   CEPJOIN_RETURN_IF_ERROR(ValidateAlgorithm(spec.algorithm()));
+#define CEPJOIN_RETURN_IF_ERROR(expr)             \
+  do {                                            \
+    ::cepjoin::Status cepjoin_status_ = (expr);   \
+    if (!cepjoin_status_.ok()) return cepjoin_status_; \
+  } while (0)
+
+}  // namespace cepjoin
+
+#endif  // CEPJOIN_COMMON_STATUS_H_

@@ -21,18 +21,24 @@ bool IsTreeAlgorithm(const std::string& algorithm) {
          algorithm == "DP-B";
 }
 
-EnginePlan MakePlan(const std::string& algorithm, const CostFunction& cost,
-                    uint64_t seed) {
+StatusOr<EnginePlan> MakePlan(const std::string& algorithm,
+                              const CostFunction& cost, uint64_t seed) {
   EnginePlan plan;
   plan.algorithm = algorithm;
   auto start = std::chrono::steady_clock::now();
   if (IsTreeAlgorithm(algorithm)) {
+    StatusOr<std::unique_ptr<TreeOptimizer>> optimizer =
+        MakeTreeOptimizer(algorithm);
+    if (!optimizer.ok()) return optimizer.status();
     plan.kind = EnginePlan::Kind::kTree;
-    plan.tree = MakeTreeOptimizer(algorithm)->Optimize(cost);
+    plan.tree = (*optimizer)->Optimize(cost);
     plan.cost = cost.TreeCost(plan.tree);
   } else {
+    StatusOr<std::unique_ptr<OrderOptimizer>> optimizer =
+        MakeOrderOptimizer(algorithm, seed);
+    if (!optimizer.ok()) return optimizer.status();
     plan.kind = EnginePlan::Kind::kOrder;
-    plan.order = MakeOrderOptimizer(algorithm, seed)->Optimize(cost);
+    plan.order = (*optimizer)->Optimize(cost);
     plan.cost = cost.OrderCost(plan.order);
   }
   plan.generation_seconds =

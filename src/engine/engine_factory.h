@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "cost/cost_function.h"
 #include "pattern/pattern.h"
 #include "plan/order_plan.h"
@@ -33,8 +34,11 @@ struct EnginePlan {
 bool IsTreeAlgorithm(const std::string& algorithm);
 
 /// Runs the named algorithm (order- or tree-based) on the cost function.
-EnginePlan MakePlan(const std::string& algorithm, const CostFunction& cost,
-                    uint64_t seed = 7);
+/// Unknown algorithm names return InvalidArgument (listing the known
+/// algorithms) instead of aborting; call sites with statically known-good
+/// names unwrap with .value().
+StatusOr<EnginePlan> MakePlan(const std::string& algorithm,
+                              const CostFunction& cost, uint64_t seed = 7);
 
 /// Builds the matching engine (lazy NFA for order plans, tree engine for
 /// tree plans) for a simple pattern.

@@ -14,8 +14,10 @@ std::string AutoOrderOptimizer::ChooseAlgorithm(
 }
 
 OrderPlan AutoOrderOptimizer::Optimize(const CostFunction& cost) const {
+  // ChooseAlgorithm only returns registry names, so the lookup cannot
+  // fail; value() aborts if that invariant is ever broken.
   OrderPlan picked =
-      MakeOrderOptimizer(ChooseAlgorithm(cost), seed_)->Optimize(cost);
+      MakeOrderOptimizer(ChooseAlgorithm(cost), seed_).value()->Optimize(cost);
   OrderPlan greedy = GreedyOrderOptimizer().Optimize(cost);
   return cost.OrderCost(picked) <= cost.OrderCost(greedy) ? picked : greedy;
 }

@@ -1,6 +1,5 @@
 #include "optimizer/registry.h"
 
-#include "common/check.h"
 #include "optimizer/auto_selector.h"
 #include "optimizer/dp_bushy.h"
 #include "optimizer/dp_left_deep.h"
@@ -12,31 +11,86 @@
 
 namespace cepjoin {
 
-std::unique_ptr<OrderOptimizer> MakeOrderOptimizer(const std::string& name,
-                                                   uint64_t seed) {
-  if (name == "TRIVIAL") return std::make_unique<TrivialOptimizer>();
-  if (name == "EFREQ") return std::make_unique<EventFrequencyOptimizer>();
-  if (name == "GREEDY") return std::make_unique<GreedyOrderOptimizer>();
-  if (name == "II-RANDOM") {
-    return std::make_unique<IterativeImprovementOptimizer>(
-        IterativeImprovementOptimizer::Start::kRandom, /*restarts=*/4, seed);
+namespace {
+
+std::string JoinNames(const std::vector<std::string>& names) {
+  std::string out;
+  for (const std::string& name : names) {
+    if (!out.empty()) out += ", ";
+    out += name;
   }
-  if (name == "II-GREEDY") {
-    return std::make_unique<IterativeImprovementOptimizer>(
-        IterativeImprovementOptimizer::Start::kGreedy, /*restarts=*/1, seed);
-  }
-  if (name == "DP-LD") return std::make_unique<DpLeftDeepOptimizer>();
-  if (name == "KBZ") return std::make_unique<KbzOptimizer>();
-  if (name == "SA") return std::make_unique<SimulatedAnnealingOptimizer>(seed);
-  if (name == "AUTO") return std::make_unique<AutoOrderOptimizer>(seed);
-  CEPJOIN_CHECK(false) << "unknown order optimizer '" << name << "'";
+  return out;
 }
 
-std::unique_ptr<TreeOptimizer> MakeTreeOptimizer(const std::string& name) {
-  if (name == "ZSTREAM") return std::make_unique<ZStreamOptimizer>();
-  if (name == "ZSTREAM-ORD") return std::make_unique<ZStreamOrdOptimizer>();
-  if (name == "DP-B") return std::make_unique<DpBushyOptimizer>();
-  CEPJOIN_CHECK(false) << "unknown tree optimizer '" << name << "'";
+Status UnknownAlgorithm(const char* kind, const std::string& name) {
+  return Status::InvalidArgument("unknown " + std::string(kind) +
+                                 " optimizer '" + name +
+                                 "'; known algorithms: " +
+                                 JoinNames(KnownAlgorithms()));
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<OrderOptimizer>> MakeOrderOptimizer(
+    const std::string& name, uint64_t seed) {
+  std::unique_ptr<OrderOptimizer> optimizer;
+  if (name == "TRIVIAL") {
+    optimizer = std::make_unique<TrivialOptimizer>();
+  } else if (name == "EFREQ") {
+    optimizer = std::make_unique<EventFrequencyOptimizer>();
+  } else if (name == "GREEDY") {
+    optimizer = std::make_unique<GreedyOrderOptimizer>();
+  } else if (name == "II-RANDOM") {
+    optimizer = std::make_unique<IterativeImprovementOptimizer>(
+        IterativeImprovementOptimizer::Start::kRandom, /*restarts=*/4, seed);
+  } else if (name == "II-GREEDY") {
+    optimizer = std::make_unique<IterativeImprovementOptimizer>(
+        IterativeImprovementOptimizer::Start::kGreedy, /*restarts=*/1, seed);
+  } else if (name == "DP-LD") {
+    optimizer = std::make_unique<DpLeftDeepOptimizer>();
+  } else if (name == "KBZ") {
+    optimizer = std::make_unique<KbzOptimizer>();
+  } else if (name == "SA") {
+    optimizer = std::make_unique<SimulatedAnnealingOptimizer>(seed);
+  } else if (name == "AUTO") {
+    optimizer = std::make_unique<AutoOrderOptimizer>(seed);
+  } else {
+    return UnknownAlgorithm("order", name);
+  }
+  return optimizer;
+}
+
+StatusOr<std::unique_ptr<TreeOptimizer>> MakeTreeOptimizer(
+    const std::string& name) {
+  std::unique_ptr<TreeOptimizer> optimizer;
+  if (name == "ZSTREAM") {
+    optimizer = std::make_unique<ZStreamOptimizer>();
+  } else if (name == "ZSTREAM-ORD") {
+    optimizer = std::make_unique<ZStreamOrdOptimizer>();
+  } else if (name == "DP-B") {
+    optimizer = std::make_unique<DpBushyOptimizer>();
+  } else {
+    return UnknownAlgorithm("tree", name);
+  }
+  return optimizer;
+}
+
+Status ValidateAlgorithm(const std::string& name) {
+  // Authoritative by construction: a name is valid iff one of the
+  // factories accepts it, so ValidateAlgorithm can never drift from
+  // what MakePlan will actually build.
+  if (MakeOrderOptimizer(name).ok() || MakeTreeOptimizer(name).ok()) {
+    return Status::Ok();
+  }
+  return Status::InvalidArgument("unknown algorithm '" + name +
+                                 "'; known algorithms: " +
+                                 JoinNames(KnownAlgorithms()));
+}
+
+std::vector<std::string> KnownAlgorithms() {
+  return {"TRIVIAL", "EFREQ",   "GREEDY",      "II-RANDOM",
+          "II-GREEDY", "DP-LD", "KBZ",         "SA",
+          "AUTO",      "ZSTREAM", "ZSTREAM-ORD", "DP-B"};
 }
 
 std::vector<std::string> PaperOrderAlgorithms() {

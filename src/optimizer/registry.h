@@ -5,17 +5,30 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "optimizer/optimizer.h"
 
 namespace cepjoin {
 
 /// Creates an order-plan generator by name: TRIVIAL, EFREQ, GREEDY,
-/// II-RANDOM, II-GREEDY, DP-LD, KBZ, SA. Aborts on unknown names.
-std::unique_ptr<OrderOptimizer> MakeOrderOptimizer(const std::string& name,
-                                                   uint64_t seed = 7);
+/// II-RANDOM, II-GREEDY, DP-LD, KBZ, SA, AUTO. Unknown names return
+/// InvalidArgument listing the known algorithms, never abort — a typo'd
+/// RuntimeOptions::algorithm must surface as a registration failure.
+StatusOr<std::unique_ptr<OrderOptimizer>> MakeOrderOptimizer(
+    const std::string& name, uint64_t seed = 7);
 
 /// Creates a tree-plan generator by name: ZSTREAM, ZSTREAM-ORD, DP-B.
-std::unique_ptr<TreeOptimizer> MakeTreeOptimizer(const std::string& name);
+/// Unknown names return InvalidArgument.
+StatusOr<std::unique_ptr<TreeOptimizer>> MakeTreeOptimizer(
+    const std::string& name);
+
+/// OK iff `name` names a known algorithm of either plan class.
+Status ValidateAlgorithm(const std::string& name);
+
+/// Every algorithm name MakeOrderOptimizer/MakeTreeOptimizer accept, in
+/// presentation order (order algorithms first). Used to build the
+/// "unknown algorithm" error message.
+std::vector<std::string> KnownAlgorithms();
 
 /// The order algorithms the paper's evaluation compares (Sec. 7.1), in
 /// presentation order.

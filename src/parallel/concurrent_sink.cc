@@ -11,6 +11,7 @@ namespace cepjoin {
 void ConcurrentMatchSink::ShardSink::OnMatch(const Match& match) {
   Entry entry;
   entry.match = match;
+  entry.query = current_query_;
   entry.partition = current_partition_;
   entries_.push_back(std::move(entry));
 }
@@ -29,13 +30,15 @@ size_t ConcurrentMatchSink::total_matches() const {
   return total;
 }
 
-void ConcurrentMatchSink::DrainTo(MatchSink* out) {
-  CEPJOIN_CHECK(out != nullptr);
+std::vector<ConcurrentMatchSink::ShardSink::Entry>
+ConcurrentMatchSink::SortedEntries() {
   std::vector<ShardSink::Entry> all;
   all.reserve(total_matches());
   // Concatenate in shard order. Entries of one partition are contiguous
-  // in relative order within exactly one shard's buffer, so the stable
-  // sort below preserves each partition's engine emission order.
+  // in relative order within exactly one shard's buffer (the router
+  // pins a partition to one shard regardless of query), so the stable
+  // sort below preserves each (query, partition)'s engine emission
+  // order.
   for (auto& shard : shards_) {
     for (auto& entry : shard->entries_) all.push_back(std::move(entry));
     shard->entries_.clear();
@@ -45,7 +48,20 @@ void ConcurrentMatchSink::DrainTo(MatchSink* out) {
                      return std::make_tuple(a.match.emit_serial, a.partition) <
                             std::make_tuple(b.match.emit_serial, b.partition);
                    });
-  for (auto& entry : all) out->OnMatch(entry.match);
+  return all;
+}
+
+void ConcurrentMatchSink::DrainTo(MatchSink* out) {
+  CEPJOIN_CHECK(out != nullptr);
+  for (auto& entry : SortedEntries()) out->OnMatch(entry.match);
+}
+
+void ConcurrentMatchSink::DrainPerQuery(
+    const std::function<MatchSink*(uint64_t)>& sink_for) {
+  for (auto& entry : SortedEntries()) {
+    MatchSink* out = sink_for(entry.query);
+    if (out != nullptr) out->OnMatch(entry.match);
+  }
 }
 
 }  // namespace cepjoin

@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -11,7 +12,7 @@
 namespace cepjoin {
 
 /// Collects matches from concurrently running shard workers and replays
-/// them into a downstream (single-threaded) MatchSink in a canonical,
+/// them into downstream (single-threaded) MatchSinks in a canonical,
 /// thread-count-independent order.
 ///
 /// Design: one ShardSink per worker, each appending to its own buffer —
@@ -25,21 +26,27 @@ namespace cepjoin {
 ///    single-threaded PartitionedRuntime emits them in;
 ///  - Finish-time matches of different partitions can share an
 ///    emit_serial, so the partition id breaks the tie;
-///  - matches of one partition are recorded by one worker in that
-///    partition's deterministic engine order, which the stable sort
-///    preserves.
+///  - matches of one (query, partition) are recorded by one worker in
+///    that partition's deterministic engine order — and with multiple
+///    queries, in snapshot (registration) order within a run — which
+///    the stable sort preserves.
 ///
-/// The result: DrainTo() forwards the same match sequence whether the
-/// stream ran on 1 worker or 16.
+/// The result: the drain forwards the same per-query match sequence
+/// whether the stream ran on 1 worker or 16.
 class ConcurrentMatchSink {
  public:
   /// Per-worker MatchSink facade. The owning worker must call
-  /// set_current_partition() before feeding its engines, so recorded
-  /// matches carry the partition tie-breaker.
+  /// set_current() (or set_current_partition() in single-query use)
+  /// before feeding its engines, so recorded matches carry the
+  /// partition tie-breaker and the owning query's id.
   class ShardSink : public MatchSink {
    public:
     void OnMatch(const Match& match) override;
     void set_current_partition(uint32_t partition) {
+      current_partition_ = partition;
+    }
+    void set_current(uint64_t query, uint32_t partition) {
+      current_query_ = query;
       current_partition_ = partition;
     }
 
@@ -47,9 +54,11 @@ class ConcurrentMatchSink {
     friend class ConcurrentMatchSink;
     struct Entry {
       Match match;
+      uint64_t query = 0;
       uint32_t partition = 0;
     };
     std::vector<Entry> entries_;
+    uint64_t current_query_ = 0;
     uint32_t current_partition_ = 0;
   };
 
@@ -63,11 +72,20 @@ class ConcurrentMatchSink {
   size_t total_matches() const;
 
   /// Replays every buffered match into `out` in canonical order (see
-  /// class comment) and clears the buffers. Must only be called after
-  /// all workers have been joined.
+  /// class comment), ignoring query tags, and clears the buffers. Must
+  /// only be called after all workers have been joined.
   void DrainTo(MatchSink* out);
 
+  /// Multi-query drain: replays every buffered match in canonical order,
+  /// dispatching each to `sink_for(query id)` — each query's sink
+  /// receives exactly the subsequence a single-query run would have
+  /// produced. A null sink drops that query's matches. Clears the
+  /// buffers; must only be called after all workers have been joined.
+  void DrainPerQuery(const std::function<MatchSink*(uint64_t)>& sink_for);
+
  private:
+  std::vector<ShardSink::Entry> SortedEntries();
+
   std::vector<std::unique_ptr<ShardSink>> shards_;
 };
 

@@ -2,11 +2,14 @@
 #define CEPJOIN_PARALLEL_EVENT_BATCH_H_
 
 #include <cstddef>
+#include <memory>
 #include <vector>
 
 #include "event/event.h"
 
 namespace cepjoin {
+
+struct QuerySetSnapshot;
 
 /// Unit of transfer between the router and a shard worker: a run of
 /// events, in global arrival order, all belonging to partitions owned by
@@ -14,6 +17,10 @@ namespace cepjoin {
 /// kDefaultBatchSize events instead of paying it per event.
 struct EventBatch {
   std::vector<EventPtr> events;
+  /// The query set active when this batch was flushed (parallel/
+  /// query_set.h). Null means "unchanged" — workers keep their current
+  /// set; only the multi-query ShardedRuntime publishes snapshots.
+  std::shared_ptr<const QuerySetSnapshot> queries;
 
   bool empty() const { return events.empty(); }
   size_t size() const { return events.size(); }

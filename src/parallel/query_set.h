@@ -1,0 +1,37 @@
+#ifndef CEPJOIN_PARALLEL_QUERY_SET_H_
+#define CEPJOIN_PARALLEL_QUERY_SET_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace cepjoin {
+
+class PartitionPlanner;
+
+/// One registered keyed query as the shard workers see it: a stable id
+/// plus the immutable planner generating its per-partition plans. The
+/// planner is owned by the ShardedRuntime and outlives every snapshot
+/// referencing it.
+struct ShardQuery {
+  uint64_t id = 0;
+  const PartitionPlanner* planner = nullptr;
+};
+
+/// An immutable snapshot of the active query set, in registration order.
+/// The router stamps the current snapshot onto every flushed batch, so a
+/// worker knows *exactly* which queries each event run belongs to: a
+/// query registered mid-stream sees precisely the events routed after
+/// its snapshot was published, and a deregistered query's engines are
+/// finished the moment a worker pops the first batch from a later epoch
+/// — FIFO queues make the cut deterministic at any thread count.
+///
+/// Snapshots are never mutated after publication; workers compare
+/// shared_ptr identity to detect epoch changes.
+struct QuerySetSnapshot {
+  uint64_t epoch = 0;
+  std::vector<ShardQuery> queries;
+};
+
+}  // namespace cepjoin
+
+#endif  // CEPJOIN_PARALLEL_QUERY_SET_H_

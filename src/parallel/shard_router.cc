@@ -67,6 +67,7 @@ void ShardRouter::Flush(size_t shard) {
   EventBatch batch;
   batch.events.reserve(batch_size_);
   std::swap(batch, pending_[shard]);
+  batch.queries = snapshot_;
   size_t batch_events = batch.events.size();
   if (queues_[shard]->Push(std::move(batch))) {
     ++batches_flushed_;

@@ -8,6 +8,7 @@
 
 #include "parallel/bounded_queue.h"
 #include "parallel/event_batch.h"
+#include "parallel/query_set.h"
 
 namespace cepjoin {
 
@@ -44,6 +45,14 @@ class ShardRouter {
   /// Flushes all non-empty pending batches.
   void FlushAll();
 
+  /// Publishes a new query-set snapshot: every batch flushed from now on
+  /// carries it (parallel/query_set.h). Call FlushAll() first so events
+  /// routed under the previous set are not retroactively re-tagged. Must
+  /// be called from the routing thread.
+  void set_query_snapshot(std::shared_ptr<const QuerySetSnapshot> snapshot) {
+    snapshot_ = std::move(snapshot);
+  }
+
   /// Flushes pending batches and closes every shard queue (signals
   /// end-of-stream to the workers). Idempotent.
   void CloseAll();
@@ -66,6 +75,7 @@ class ShardRouter {
 
   std::vector<std::unique_ptr<BoundedQueue<EventBatch>>> queues_;
   std::vector<EventBatch> pending_;
+  std::shared_ptr<const QuerySetSnapshot> snapshot_;
   size_t batch_size_;
   uint64_t events_routed_ = 0;
   uint64_t batches_flushed_ = 0;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <thread>
+#include <utility>
 
 #include "common/check.h"
 
@@ -17,21 +18,14 @@ size_t ResolveThreads(size_t requested) {
 
 }  // namespace
 
-ShardedRuntime::ShardedRuntime(const SimplePattern& pattern,
-                               const EventStream& history, size_t num_types,
-                               const std::string& algorithm, MatchSink* sink,
-                               const ShardedOptions& options, uint64_t seed,
-                               double latency_alpha)
-    : planner_(pattern, history, num_types, algorithm, seed, latency_alpha),
-      sink_(sink),
-      router_(ResolveThreads(options.num_threads), options.batch_size,
+ShardedRuntime::ShardedRuntime(const ShardedOptions& options)
+    : router_(ResolveThreads(options.num_threads), options.batch_size,
               options.queue_capacity),
       concurrent_sink_(router_.num_shards()) {
-  CEPJOIN_CHECK(sink_ != nullptr);
   workers_.reserve(router_.num_shards());
   for (size_t shard = 0; shard < router_.num_shards(); ++shard) {
     workers_.push_back(std::make_unique<ShardWorker>(
-        &planner_, &router_.queue(shard), concurrent_sink_.shard(shard)));
+        &router_.queue(shard), concurrent_sink_.shard(shard)));
   }
   try {
     for (auto& worker : workers_) worker->Start();
@@ -44,12 +38,78 @@ ShardedRuntime::ShardedRuntime(const SimplePattern& pattern,
   }
 }
 
+ShardedRuntime::ShardedRuntime(const SimplePattern& pattern,
+                               const EventStream& history, size_t num_types,
+                               const std::string& algorithm, MatchSink* sink,
+                               const ShardedOptions& options, uint64_t seed,
+                               double latency_alpha)
+    : ShardedRuntime(options) {
+  CEPJOIN_CHECK(sink != nullptr);
+  // The legacy constructor promises a ready runtime or an abort; the
+  // planner itself aborts on unknown algorithms, matching that contract.
+  AddQuery(std::make_unique<PartitionPlanner>(pattern, history, num_types,
+                                              algorithm, seed, latency_alpha),
+           sink)
+      .value();
+}
+
 ShardedRuntime::~ShardedRuntime() {
   // Release the workers even if the caller never called Finish();
   // buffered matches are dropped in that case, mirroring an engine
   // destroyed before Finish().
   router_.CloseAll();
   for (auto& worker : workers_) worker->Join();
+}
+
+StatusOr<uint64_t> ShardedRuntime::AddQuery(
+    std::unique_ptr<PartitionPlanner> planner, MatchSink* sink) {
+  CEPJOIN_CHECK(planner != nullptr);
+  CEPJOIN_CHECK(sink != nullptr);
+  if (finished_) {
+    return Status::FailedPrecondition("AddQuery after Finish");
+  }
+  uint64_t id = next_query_id_++;
+  QueryEntry entry;
+  entry.planner = std::move(planner);
+  entry.sink = sink;
+  entry.active = true;
+  queries_.emplace(id, std::move(entry));
+  PublishSnapshot();
+  return id;
+}
+
+Status ShardedRuntime::RemoveQuery(uint64_t query) {
+  auto it = queries_.find(query);
+  if (it == queries_.end()) {
+    return Status::NotFound("unknown query id " + std::to_string(query));
+  }
+  if (finished_) {
+    return Status::FailedPrecondition("RemoveQuery after Finish");
+  }
+  if (!it->second.active) {
+    return Status::FailedPrecondition("query " + std::to_string(query) +
+                                      " already removed");
+  }
+  it->second.active = false;
+  PublishSnapshot();
+  return Status::Ok();
+}
+
+void ShardedRuntime::PublishSnapshot() {
+  // Events routed so far must be evaluated under the set that was
+  // active when they arrived: flush them under the old snapshot before
+  // stamping the new one.
+  router_.FlushAll();
+  auto snapshot = std::make_shared<QuerySetSnapshot>();
+  snapshot->epoch = ++epoch_;
+  for (const auto& [id, entry] : queries_) {
+    if (!entry.active) continue;
+    ShardQuery q;
+    q.id = id;
+    q.planner = entry.planner.get();
+    snapshot->queries.push_back(q);
+  }
+  router_.set_query_snapshot(std::move(snapshot));
 }
 
 void ShardedRuntime::OnEvent(const EventPtr& e) {
@@ -76,33 +136,80 @@ void ShardedRuntime::Finish() {
   finished_ = true;
   router_.CloseAll();
   for (auto& worker : workers_) worker->Join();
-  concurrent_sink_.DrainTo(sink_);
+  concurrent_sink_.DrainPerQuery([this](uint64_t query) -> MatchSink* {
+    auto it = queries_.find(query);
+    return it != queries_.end() ? it->second.sink : nullptr;
+  });
+}
+
+StatusOr<size_t> ShardedRuntime::NumPartitionsOf(uint64_t query) const {
+  if (queries_.find(query) == queries_.end()) {
+    return Status::NotFound("unknown query id " + std::to_string(query));
+  }
+  if (!finished_) {
+    // Reading worker state while workers still run would be a data
+    // race, and a partial count would be silently wrong anyway.
+    return Status::FailedPrecondition(
+        "NumPartitionsOf before Finish: partition counts are only "
+        "complete once the workers have been joined");
+  }
+  size_t total = 0;
+  for (const auto& worker : workers_) total += worker->NumPartitionsOf(query);
+  return total;
+}
+
+StatusOr<EngineCounters> ShardedRuntime::CountersOf(uint64_t query) const {
+  if (queries_.find(query) == queries_.end()) {
+    return Status::NotFound("unknown query id " + std::to_string(query));
+  }
+  if (!finished_) {
+    return Status::FailedPrecondition("CountersOf before Finish");
+  }
+  EngineCounters total;
+  for (const auto& worker : workers_) {
+    total.MergeDisjoint(worker->CountersOf(query));
+  }
+  return total;
+}
+
+StatusOr<const EnginePlan*> ShardedRuntime::PlanOf(uint64_t query,
+                                                   uint32_t partition) const {
+  if (queries_.find(query) == queries_.end()) {
+    return Status::NotFound("unknown query id " + std::to_string(query));
+  }
+  if (!finished_) {
+    return Status::FailedPrecondition("PlanOf before Finish");
+  }
+  size_t shard = router_.ShardOf(partition);
+  const EnginePlan* plan = workers_[shard]->PlanFor(query, partition);
+  if (plan == nullptr) {
+    return Status::NotFound("no events seen for partition " +
+                            std::to_string(partition));
+  }
+  return plan;
+}
+
+uint64_t ShardedRuntime::SoleQueryId() const {
+  CEPJOIN_CHECK_EQ(queries_.size(), 1u)
+      << "single-query accessor on a multi-query runtime";
+  return queries_.begin()->first;
 }
 
 size_t ShardedRuntime::num_partitions() const {
-  // Reading worker state while workers still run would be a data race.
   CEPJOIN_CHECK(finished_) << "num_partitions before Finish";
-  size_t total = 0;
-  for (const auto& worker : workers_) total += worker->num_partitions();
-  return total;
+  return NumPartitionsOf(SoleQueryId()).value();
 }
 
 const EnginePlan& ShardedRuntime::PlanFor(uint32_t partition) const {
   CEPJOIN_CHECK(finished_) << "PlanFor before Finish";
-  size_t shard = router_.ShardOf(partition);
-  const EnginePlan* plan = workers_[shard]->PlanFor(partition);
-  CEPJOIN_CHECK(plan != nullptr)
-      << "no events seen for partition " << partition;
-  return *plan;
+  StatusOr<const EnginePlan*> plan = PlanOf(SoleQueryId(), partition);
+  CEPJOIN_CHECK(plan.ok()) << plan.status().ToString();
+  return **plan;
 }
 
 EngineCounters ShardedRuntime::TotalCounters() const {
   CEPJOIN_CHECK(finished_) << "TotalCounters before Finish";
-  EngineCounters total;
-  for (const auto& worker : workers_) {
-    total.MergeDisjoint(worker->counters());
-  }
-  return total;
+  return CountersOf(SoleQueryId()).value();
 }
 
 }  // namespace cepjoin

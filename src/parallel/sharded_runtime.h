@@ -3,14 +3,17 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "adaptive/partition_planner.h"
+#include "common/status.h"
 #include "event/stream.h"
 #include "parallel/concurrent_sink.h"
 #include "parallel/event_batch.h"
+#include "parallel/query_set.h"
 #include "parallel/shard_router.h"
 #include "parallel/worker.h"
 #include "runtime/match.h"
@@ -29,27 +32,40 @@ struct ShardedOptions {
 };
 
 /// Multi-threaded scale-out of PartitionedRuntime (Sec. 6.2 partition
-/// contiguity): partition-local matching is embarrassingly parallel, so
-/// events are hash-routed by partition key to N shard workers, each
-/// owning its partitions' per-partition plans and engines. Workers are
-/// fed through bounded batch queues; matches funnel into a
-/// ConcurrentMatchSink whose drain step replays them into the caller's
-/// sink in a canonical, thread-count-independent order.
+/// contiguity), hosting any number of concurrently registered queries
+/// over ONE shared routing pass: partition-local matching is
+/// embarrassingly parallel, so events are hash-routed by partition key
+/// to N shard workers, each owning, per query, its partitions'
+/// per-partition plans and engines. Workers are fed through bounded
+/// batch queues; matches funnel into a ConcurrentMatchSink whose drain
+/// step replays them into each query's sink in a canonical,
+/// thread-count-independent order.
 ///
-/// Guarantees, for any keyed stream and any thread count:
+/// Guarantees, for any keyed stream, any thread count, and any set of
+/// registered queries:
 ///  - plans are identical to PartitionedRuntime's (shared
 ///    PartitionPlanner, same statistics, same seed);
-///  - the drained match set is identical to PartitionedRuntime's on the
-///    same stream (per-partition event order is preserved end-to-end);
-///  - summed counters (events_processed, matches_emitted, ...) are
-///    identical to PartitionedRuntime::TotalCounters().
+///  - each query's drained match sequence is identical to running that
+///    query alone on the events routed while it was registered (batches
+///    carry query-set snapshots, so mid-stream AddQuery/RemoveQuery cut
+///    the stream at a deterministic event boundary);
+///  - each query's summed counters are identical to
+///    PartitionedRuntime::TotalCounters() on its sub-stream.
 ///
-/// Threading model: the caller's thread ingests (OnEvent/ProcessStream)
-/// and routes; workers evaluate; Finish() closes the queues, joins the
-/// workers, and drains matches into the caller's sink on the caller's
-/// thread — so the downstream MatchSink needs no synchronization.
+/// Threading model: the caller's thread ingests (OnEvent/ProcessStream),
+/// routes, and registers/removes queries; workers evaluate; Finish()
+/// closes the queues, joins the workers, and drains matches into the
+/// per-query sinks on the caller's thread — so downstream MatchSinks
+/// need no synchronization.
 class ShardedRuntime {
  public:
+  /// Multi-query runtime with no queries yet; use AddQuery().
+  explicit ShardedRuntime(const ShardedOptions& options);
+
+  /// Single-query convenience (the pre-service API): plans `pattern`
+  /// against per-partition statistics from `history` and registers it
+  /// with `sink`. Aborts on an unknown algorithm, matching the legacy
+  /// constructors; the service path validates names first.
   ShardedRuntime(const SimplePattern& pattern, const EventStream& history,
                  size_t num_types, const std::string& algorithm,
                  MatchSink* sink, const ShardedOptions& options = {},
@@ -58,6 +74,20 @@ class ShardedRuntime {
 
   ShardedRuntime(const ShardedRuntime&) = delete;
   ShardedRuntime& operator=(const ShardedRuntime&) = delete;
+
+  /// Registers a query: later-routed events feed it, earlier ones do
+  /// not (the cut is exact — pending router batches are flushed first).
+  /// Returns the query's id within this runtime. The planner must be
+  /// non-null; `sink` receives the query's matches at Finish().
+  StatusOr<uint64_t> AddQuery(std::unique_ptr<PartitionPlanner> planner,
+                              MatchSink* sink);
+
+  /// Deregisters a query: events routed after this call do not feed it,
+  /// its engines are finished (flushing trailing-negation matches) as
+  /// the workers pass the cut, and its buffered matches are delivered
+  /// to its sink at Finish(). Counters/partition accessors for the
+  /// query become valid after Finish().
+  Status RemoveQuery(uint64_t query);
 
   /// Routes one event. Events must arrive in timestamp order, exactly as
   /// with the single-threaded runtimes. Must not be called after
@@ -73,26 +103,50 @@ class ShardedRuntime {
   void ProcessStream(const EventStream& stream);
 
   /// Flushes pending batches, signals end-of-stream, joins all workers,
-  /// and drains matches into the caller's sink in canonical order.
+  /// and drains matches into each query's sink in canonical order.
   /// Idempotent.
   void Finish();
 
   size_t num_threads() const { return workers_.size(); }
-  /// Distinct partitions seen across all workers. Valid after Finish().
+  size_t num_queries() const { return queries_.size(); }
+
+  /// Distinct partitions one query saw across all workers.
+  /// FailedPrecondition before Finish() — reading worker state while
+  /// workers run would race (and an in-flight value would be wrong
+  /// anyway); NotFound for an unknown query id.
+  StatusOr<size_t> NumPartitionsOf(uint64_t query) const;
+  /// One query's counters aggregated across all workers' partition
+  /// engines. Same preconditions as NumPartitionsOf.
+  StatusOr<EngineCounters> CountersOf(uint64_t query) const;
+  /// The plan serving one partition under one query; NotFound if the
+  /// query never saw the partition. Same preconditions.
+  StatusOr<const EnginePlan*> PlanOf(uint64_t query, uint32_t partition) const;
+
+  // Single-query accessors (the pre-service API; require exactly one
+  // registered query). Valid after Finish(); abort on violated
+  // preconditions like the rest of the legacy surface.
   size_t num_partitions() const;
-  /// The plan serving one partition; aborts if the partition is unknown.
-  /// Valid after Finish().
   const EnginePlan& PlanFor(uint32_t partition) const;
-  /// Counters aggregated across all workers' partition engines. Valid
-  /// after Finish().
   EngineCounters TotalCounters() const;
 
   /// Events routed so far.
   uint64_t events_routed() const { return router_.events_routed(); }
 
  private:
-  PartitionPlanner planner_;
-  MatchSink* sink_;
+  struct QueryEntry {
+    std::unique_ptr<PartitionPlanner> planner;
+    MatchSink* sink = nullptr;
+    bool active = false;
+  };
+
+  /// Flushes pending batches under the old snapshot, then publishes the
+  /// current active set as a new epoch.
+  void PublishSnapshot();
+  uint64_t SoleQueryId() const;
+
+  std::map<uint64_t, QueryEntry> queries_;  // id order == registration order
+  uint64_t next_query_id_ = 0;
+  uint64_t epoch_ = 0;
   ShardRouter router_;
   ConcurrentMatchSink concurrent_sink_;
   std::vector<std::unique_ptr<ShardWorker>> workers_;

@@ -2,18 +2,15 @@
 
 #include <algorithm>
 #include <utility>
-#include <vector>
 
 #include "common/check.h"
 #include "event/partition_runs.h"
 
 namespace cepjoin {
 
-ShardWorker::ShardWorker(const PartitionPlanner* planner,
-                         BoundedQueue<EventBatch>* queue,
+ShardWorker::ShardWorker(BoundedQueue<EventBatch>* queue,
                          ConcurrentMatchSink::ShardSink* sink)
-    : planner_(planner), queue_(queue), sink_(sink) {
-  CEPJOIN_CHECK(planner_ != nullptr);
+    : queue_(queue), sink_(sink) {
   CEPJOIN_CHECK(queue_ != nullptr);
   CEPJOIN_CHECK(sink_ != nullptr);
 }
@@ -34,56 +31,122 @@ void ShardWorker::Join() {
   joined_ = true;
 }
 
-ShardWorker::PartitionState& ShardWorker::StateFor(uint32_t partition) {
-  auto it = states_.find(partition);
-  if (it != states_.end()) return it->second;
+ShardWorker::QueryState& ShardWorker::QueryStateFor(const ShardQuery& query) {
+  auto it = queries_.find(query.id);
+  if (it != queries_.end()) return it->second;
+  QueryState state;
+  state.planner = query.planner;
+  return queries_.emplace(query.id, std::move(state)).first->second;
+}
+
+ShardWorker::PartitionState& ShardWorker::StateFor(QueryState& query,
+                                                   uint32_t partition) {
+  auto it = query.partitions.find(partition);
+  if (it != query.partitions.end()) return it->second;
   PartitionState state;
-  state.plan = planner_->PlanFor(partition);
-  state.engine = planner_->BuildEngineFor(state.plan, sink_);
-  return states_.emplace(partition, std::move(state)).first->second;
+  state.plan = query.planner->PlanFor(partition);
+  state.engine = query.planner->BuildEngineFor(state.plan, sink_);
+  return query.partitions.emplace(partition, std::move(state)).first->second;
+}
+
+void ShardWorker::FinishQuery(uint64_t id, QueryState& state) {
+  if (state.finished) return;
+  // Ascending partition order, so Finish-time matches of this query on
+  // this shard are recorded deterministically.
+  std::vector<uint32_t> partitions;
+  partitions.reserve(state.partitions.size());
+  for (const auto& [partition, ps] : state.partitions) {
+    partitions.push_back(partition);
+  }
+  std::sort(partitions.begin(), partitions.end());
+  for (uint32_t partition : partitions) {
+    sink_->set_current(id, partition);
+    state.partitions.at(partition).engine->Finish();
+  }
+  EngineCounters total;
+  for (uint32_t partition : partitions) {
+    total.MergeDisjoint(state.partitions.at(partition).engine->counters());
+  }
+  state.counters = total;
+  state.finished = true;
+  // Retired queries release their engines (and buffered windows) right
+  // here on the worker thread; the plans stay for PlanFor().
+  for (uint32_t partition : partitions) {
+    state.partitions.at(partition).engine.reset();
+  }
+}
+
+void ShardWorker::FinishQueriesRemovedBy(const QuerySetSnapshot& next) {
+  std::vector<uint64_t> removed;
+  for (auto& [id, state] : queries_) {
+    if (state.finished) continue;
+    bool still_active = false;
+    for (const ShardQuery& q : next.queries) {
+      if (q.id == id) {
+        still_active = true;
+        break;
+      }
+    }
+    if (!still_active) removed.push_back(id);
+  }
+  std::sort(removed.begin(), removed.end());
+  for (uint64_t id : removed) FinishQuery(id, queries_.at(id));
 }
 
 void ShardWorker::Run() {
   EventBatch batch;
   while (queue_->Pop(batch)) {
-    // Segment the batch into maximal runs of one partition and hand each
-    // run to the engine's batched path: the engine lookup, the sink's
-    // partition tag, and the OnBatch dispatch are paid once per run
-    // instead of once per event. Runs preserve the batch's global
-    // arrival order, so per-partition order is untouched; the router's
-    // batch size already bounds run length.
-    ForEachPartitionRun(batch.events.data(), batch.events.size(),
-                        batch.events.size(),
-                        [&](uint32_t partition, const EventPtr* run,
-                            size_t run_length) {
-                          PartitionState& state = StateFor(partition);
-                          sink_->set_current_partition(partition);
-                          state.engine->OnBatch(run, run_length);
-                        });
+    if (batch.queries != nullptr && batch.queries != active_) {
+      FinishQueriesRemovedBy(*batch.queries);
+      active_ = batch.queries;
+    }
+    if (active_ != nullptr && !active_->queries.empty()) {
+      // Segment the batch into maximal runs of one partition and hand
+      // each run to every active query's engine over its batched path:
+      // the queue pop, the segmentation, and the run bookkeeping are
+      // paid once per run, not once per (run, query). Runs preserve the
+      // batch's global arrival order, so per-partition order is
+      // untouched for every query; the router's batch size already
+      // bounds run length.
+      ForEachPartitionRun(
+          batch.events.data(), batch.events.size(), batch.events.size(),
+          [&](uint32_t partition, const EventPtr* run, size_t run_length) {
+            for (const ShardQuery& q : active_->queries) {
+              PartitionState& state = StateFor(QueryStateFor(q), partition);
+              sink_->set_current(q.id, partition);
+              state.engine->OnBatch(run, run_length);
+            }
+          });
+    }
     batch.events.clear();
+    batch.queries.reset();
   }
-  // End of stream: finish engines in ascending partition order so
+  // End of stream: finish the remaining queries in ascending id order so
   // Finish-time matches of this shard are recorded deterministically.
-  std::vector<uint32_t> partitions;
-  partitions.reserve(states_.size());
-  for (const auto& [partition, state] : states_) {
-    partitions.push_back(partition);
+  std::vector<uint64_t> remaining;
+  for (const auto& [id, state] : queries_) {
+    if (!state.finished) remaining.push_back(id);
   }
-  std::sort(partitions.begin(), partitions.end());
-  for (uint32_t partition : partitions) {
-    sink_->set_current_partition(partition);
-    states_.at(partition).engine->Finish();
-  }
-  EngineCounters total;
-  for (uint32_t partition : partitions) {
-    total.MergeDisjoint(states_.at(partition).engine->counters());
-  }
-  total_counters_ = total;
+  std::sort(remaining.begin(), remaining.end());
+  for (uint64_t id : remaining) FinishQuery(id, queries_.at(id));
 }
 
-const EnginePlan* ShardWorker::PlanFor(uint32_t partition) const {
-  auto it = states_.find(partition);
-  return it != states_.end() ? &it->second.plan : nullptr;
+EngineCounters ShardWorker::CountersOf(uint64_t query) const {
+  auto it = queries_.find(query);
+  return it != queries_.end() ? it->second.counters : EngineCounters{};
+}
+
+size_t ShardWorker::NumPartitionsOf(uint64_t query) const {
+  auto it = queries_.find(query);
+  return it != queries_.end() ? it->second.partitions.size() : 0;
+}
+
+const EnginePlan* ShardWorker::PlanFor(uint64_t query,
+                                       uint32_t partition) const {
+  auto it = queries_.find(query);
+  if (it == queries_.end()) return nullptr;
+  auto pit = it->second.partitions.find(partition);
+  return pit != it->second.partitions.end() ? &pit->second.plan : nullptr;
 }
 
 }  // namespace cepjoin

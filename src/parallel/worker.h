@@ -6,26 +6,38 @@
 #include <memory>
 #include <thread>
 #include <unordered_map>
+#include <vector>
 
 #include "adaptive/partition_planner.h"
 #include "parallel/bounded_queue.h"
 #include "parallel/concurrent_sink.h"
 #include "parallel/event_batch.h"
+#include "parallel/query_set.h"
 
 namespace cepjoin {
 
-/// One shard's execution thread. Owns the engines of every partition
-/// hashed to this shard, consumes event batches from its queue in FIFO
-/// order (preserving global arrival order within each partition), and
-/// emits matches to its private ShardSink — no shared mutable state with
-/// other workers.
+/// One shard's execution thread. Hosts, for every registered query, the
+/// engines of every partition hashed to this shard; consumes event
+/// batches from its queue in FIFO order (preserving global arrival
+/// order within each partition), and emits matches to its private
+/// ShardSink tagged with (query, partition) — no shared mutable state
+/// with other workers.
 ///
-/// Plans come from the shared, immutable PartitionPlanner, so a
+/// Multi-query: each batch carries the query-set snapshot that was
+/// active when it was routed. A run of events costs ONE queue pop and
+/// ONE partition-run segmentation regardless of how many queries are
+/// registered — the per-query cost is just the engine feed. On an epoch
+/// change the worker finishes the engines of queries that left the set
+/// (flushing their trailing-negation matches) before touching the new
+/// batch, so a deregistered query sees exactly the events routed before
+/// its deregistration.
+///
+/// Plans come from each query's shared, immutable PartitionPlanner, so a
 /// partition gets the same plan here as it would in the single-threaded
 /// PartitionedRuntime.
 class ShardWorker {
  public:
-  ShardWorker(const PartitionPlanner* planner, BoundedQueue<EventBatch>* queue,
+  ShardWorker(BoundedQueue<EventBatch>* queue,
               ConcurrentMatchSink::ShardSink* sink);
   ~ShardWorker();
 
@@ -33,38 +45,51 @@ class ShardWorker {
   ShardWorker& operator=(const ShardWorker&) = delete;
 
   /// Launches the worker thread. The thread runs until the queue is
-  /// closed and drained, then finishes every partition engine.
+  /// closed and drained, then finishes every remaining engine.
   void Start();
 
   /// Waits for the worker thread to exit. The queue must have been
   /// closed first, or Join() blocks forever. Idempotent.
   void Join();
 
-  /// Aggregated counters across this shard's partition engines
-  /// (disjoint sub-streams: totals sum). Valid only after Join().
-  const EngineCounters& counters() const { return total_counters_; }
+  /// Aggregated counters across one query's partition engines on this
+  /// shard (disjoint sub-streams: totals sum). Zero counters if this
+  /// worker never saw events for the query. Valid only after Join().
+  EngineCounters CountersOf(uint64_t query) const;
 
-  /// Partitions this worker instantiated engines for. Valid after Join().
-  size_t num_partitions() const { return states_.size(); }
+  /// Partitions this worker instantiated engines for, for one query.
+  /// Valid after Join().
+  size_t NumPartitionsOf(uint64_t query) const;
 
-  /// The plan serving `partition`, or nullptr if this worker never saw
-  /// it. Valid only after Join().
-  const EnginePlan* PlanFor(uint32_t partition) const;
+  /// The plan serving `partition` under `query`, or nullptr if this
+  /// worker never saw that combination. Valid only after Join().
+  const EnginePlan* PlanFor(uint64_t query, uint32_t partition) const;
 
  private:
   struct PartitionState {
     EnginePlan plan;
     std::unique_ptr<Engine> engine;
   };
+  struct QueryState {
+    const PartitionPlanner* planner = nullptr;
+    std::unordered_map<uint32_t, PartitionState> partitions;
+    bool finished = false;
+    EngineCounters counters;  // aggregated when the query finishes
+  };
 
   void Run();
-  PartitionState& StateFor(uint32_t partition);
+  QueryState& QueryStateFor(const ShardQuery& query);
+  PartitionState& StateFor(QueryState& query, uint32_t partition);
+  /// Finishes one query's engines in ascending partition order,
+  /// aggregates its counters, and releases the engines.
+  void FinishQuery(uint64_t id, QueryState& state);
+  /// Finishes every live query absent from `next` (ascending query id).
+  void FinishQueriesRemovedBy(const QuerySetSnapshot& next);
 
-  const PartitionPlanner* planner_;
   BoundedQueue<EventBatch>* queue_;
   ConcurrentMatchSink::ShardSink* sink_;
-  std::unordered_map<uint32_t, PartitionState> states_;
-  EngineCounters total_counters_;
+  std::unordered_map<uint64_t, QueryState> queries_;
+  std::shared_ptr<const QuerySetSnapshot> active_;
   std::thread thread_;
   bool joined_ = false;
 };

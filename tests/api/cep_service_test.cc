@@ -1,0 +1,400 @@
+// CepService registration: every malformed QuerySpec comes back as a
+// returned Status — never an abort — with an actionable message;
+// handles enforce their preconditions (notably num_partitions() on the
+// sharded path) as errors instead of stale data.
+
+#include "api/cep_service.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/keyed_runtime.h"
+#include "workload/keyed_generator.h"
+
+namespace cepjoin {
+namespace {
+
+std::unique_ptr<CepService> MakeService(const KeyedWorkload& workload,
+                                        size_t num_threads = 1) {
+  ServiceOptions options;
+  options.history = &workload.stream;
+  options.num_types = workload.registry.size();
+  options.num_threads = num_threads;
+  return CepService::Create(options).value();
+}
+
+TEST(CepServiceCreateTest, RejectsBadBatchSize) {
+  ServiceOptions options;
+  options.batch_size = 0;
+  auto service = CepService::Create(options);
+  ASSERT_FALSE(service.ok());
+  EXPECT_EQ(service.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(service.status().message().find("batch_size"), std::string::npos);
+}
+
+TEST(CepServiceCreateTest, RejectsHistoryWithoutNumTypes) {
+  EventStream history;
+  ServiceOptions options;
+  options.history = &history;
+  auto service = CepService::Create(options);
+  ASSERT_FALSE(service.ok());
+  EXPECT_EQ(service.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(service.status().message().find("num_types"), std::string::npos);
+}
+
+TEST(CepServiceRegisterTest, UnknownAlgorithmListsKnownOnes) {
+  KeyedWorkload workload = MakeKeyedWorkload(4, 2.0, 7);
+  auto service = MakeService(workload);
+  CollectingSink sink;
+  auto handle = service->Register(QuerySpec::Simple(workload.pattern)
+                                      .WithName("typo")
+                                      .WithAlgorithm("GREEDYY")
+                                      .WithSink(&sink));
+  ASSERT_FALSE(handle.ok());
+  EXPECT_EQ(handle.status().code(), StatusCode::kInvalidArgument);
+  // The error both names the typo and lists what would have worked.
+  EXPECT_NE(handle.status().message().find("GREEDYY"), std::string::npos);
+  EXPECT_NE(handle.status().message().find("GREEDY"), std::string::npos);
+  EXPECT_NE(handle.status().message().find("DP-LD"), std::string::npos);
+  // The service survives: a correct registration still succeeds.
+  EXPECT_TRUE(service->Register(QuerySpec::Simple(workload.pattern)
+                                    .WithSink(&sink))
+                  .ok());
+}
+
+TEST(CepServiceRegisterTest, RejectsMissingSinkAndDoubleSink) {
+  KeyedWorkload workload = MakeKeyedWorkload(4, 2.0, 7);
+  auto service = MakeService(workload);
+
+  auto no_sink = service->Register(QuerySpec::Simple(workload.pattern));
+  ASSERT_FALSE(no_sink.ok());
+  EXPECT_EQ(no_sink.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(no_sink.status().message().find("match destination"),
+            std::string::npos);
+
+  CollectingSink sink;
+  auto both = service->Register(QuerySpec::Simple(workload.pattern)
+                                    .WithSink(&sink)
+                                    .WithCallback([](const Match&) {}));
+  ASSERT_FALSE(both.ok());
+  EXPECT_EQ(both.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CepServiceRegisterTest, RejectsBadLatencyAlpha) {
+  KeyedWorkload workload = MakeKeyedWorkload(4, 2.0, 7);
+  auto service = MakeService(workload);
+  CollectingSink sink;
+  for (double alpha : {-0.5, std::numeric_limits<double>::infinity(),
+                       std::numeric_limits<double>::quiet_NaN()}) {
+    auto handle = service->Register(QuerySpec::Simple(workload.pattern)
+                                        .WithLatencyAlpha(alpha)
+                                        .WithSink(&sink));
+    ASSERT_FALSE(handle.ok()) << alpha;
+    EXPECT_EQ(handle.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(CepServiceRegisterTest, RejectsKeyedNestedPattern) {
+  KeyedWorkload workload = MakeKeyedWorkload(4, 2.0, 7);
+  auto service = MakeService(workload);
+  CollectingSink sink;
+  NestedPattern nested;
+  nested.root = PatternNode::Leaf({/*type=*/0, "a", false, false});
+  nested.window = 1.0;
+  auto handle = service->Register(
+      QuerySpec::Nested(nested).Keyed().WithSink(&sink));
+  ASSERT_FALSE(handle.ok());
+  EXPECT_EQ(handle.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(handle.status().message().find("keyed"), std::string::npos);
+}
+
+TEST(CepServiceRegisterTest, RejectsKeyedWithoutHistory) {
+  KeyedWorkload workload = MakeKeyedWorkload(4, 2.0, 7);
+  ServiceOptions options;  // no history
+  auto service = CepService::Create(options).value();
+  CollectingSink sink;
+  auto handle = service->Register(
+      QuerySpec::Simple(workload.pattern).Keyed().WithSink(&sink));
+  ASSERT_FALSE(handle.ok());
+  EXPECT_EQ(handle.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(handle.status().message().find("history"), std::string::npos);
+}
+
+TEST(CepServiceRegisterTest, RejectsKeyedExplicitStats) {
+  KeyedWorkload workload = MakeKeyedWorkload(4, 2.0, 7);
+  auto service = MakeService(workload);
+  CollectingSink sink;
+  auto handle =
+      service->Register(QuerySpec::Simple(workload.pattern)
+                            .Keyed()
+                            .WithStats(PatternStats(workload.pattern
+                                                        .num_positive()))
+                            .WithSink(&sink));
+  ASSERT_FALSE(handle.ok());
+  EXPECT_EQ(handle.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CepServiceRegisterTest, RejectsTypeIdOutsideRegistry) {
+  KeyedWorkload workload = MakeKeyedWorkload(4, 2.0, 7);
+  ServiceOptions options;
+  options.history = &workload.stream;
+  options.num_types = 2;  // pattern references types 0..2
+  auto service = CepService::Create(options).value();
+  CollectingSink sink;
+  auto handle = service->Register(
+      QuerySpec::Simple(workload.pattern).WithSink(&sink));
+  ASSERT_FALSE(handle.ok());
+  EXPECT_EQ(handle.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(handle.status().message().find("type id"), std::string::npos);
+}
+
+TEST(CepServiceRegisterTest, RejectsStatsDimensionMismatch) {
+  KeyedWorkload workload = MakeKeyedWorkload(4, 2.0, 7);
+  auto service = MakeService(workload);
+  CollectingSink sink;
+  auto handle = service->Register(
+      QuerySpec::Simple(workload.pattern)
+          .WithStats(PatternStats(workload.pattern.num_positive() + 1))
+          .WithSink(&sink));
+  ASSERT_FALSE(handle.ok());
+  EXPECT_EQ(handle.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(handle.status().message().find("positive slots"),
+            std::string::npos);
+}
+
+TEST(CepServiceRegisterTest, RejectsNestedWithoutStatsSource) {
+  // Regression: this used to dereference a null collector instead of
+  // returning the validation error.
+  ServiceOptions options;  // neither history nor collector
+  auto service = CepService::Create(options).value();
+  CollectingSink sink;
+  NestedPattern nested;
+  nested.root = PatternNode::Leaf({/*type=*/0, "a", false, false});
+  nested.window = 1.0;
+  auto handle = service->Register(QuerySpec::Nested(nested).WithSink(&sink));
+  ASSERT_FALSE(handle.ok());
+  EXPECT_EQ(handle.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(handle.status().message().find("statistics source"),
+            std::string::npos);
+}
+
+TEST(CepServiceRegisterTest, RejectsNestedTypeIdOutsideRegistry) {
+  // Regression: this used to abort inside the statistics collector
+  // instead of returning the validation error.
+  KeyedWorkload workload = MakeKeyedWorkload(4, 2.0, 7);
+  auto service = MakeService(workload);
+  CollectingSink sink;
+  NestedPattern nested;
+  nested.root = PatternNode::Op(
+      OperatorKind::kSeq,
+      {PatternNode::Leaf({/*type=*/0, "a", false, false}),
+       PatternNode::Leaf({/*type=*/99, "z", false, false})});
+  nested.window = 1.0;
+  auto handle = service->Register(QuerySpec::Nested(nested).WithSink(&sink));
+  ASSERT_FALSE(handle.ok());
+  EXPECT_EQ(handle.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(handle.status().message().find("type id"), std::string::npos);
+}
+
+TEST(CepServiceRegisterTest, RejectsUnkeyedWithoutStatsSource) {
+  KeyedWorkload workload = MakeKeyedWorkload(4, 2.0, 7);
+  ServiceOptions options;  // neither history nor collector
+  auto service = CepService::Create(options).value();
+  CollectingSink sink;
+  auto handle = service->Register(
+      QuerySpec::Simple(workload.pattern).WithSink(&sink));
+  ASSERT_FALSE(handle.ok());
+  EXPECT_EQ(handle.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(handle.status().message().find("statistics source"),
+            std::string::npos);
+}
+
+TEST(CepServiceTest, CallbackReceivesSameMatchesAsSink) {
+  KeyedWorkload workload = MakeKeyedWorkload(6, 4.0, 11);
+
+  CollectingSink sink;
+  auto sink_service = MakeService(workload);
+  ASSERT_TRUE(sink_service
+                  ->Register(QuerySpec::Simple(workload.pattern)
+                                 .Keyed()
+                                 .WithSink(&sink))
+                  .ok());
+  sink_service->ProcessStream(workload.stream);
+  sink_service->Finish();
+
+  std::vector<std::string> callback_fingerprints;
+  auto callback_service = MakeService(workload);
+  ASSERT_TRUE(callback_service
+                  ->Register(QuerySpec::Simple(workload.pattern)
+                                 .Keyed()
+                                 .WithCallback([&](const Match& m) {
+                                   callback_fingerprints.push_back(
+                                       m.Fingerprint());
+                                 }))
+                  .ok());
+  callback_service->ProcessStream(workload.stream);
+  callback_service->Finish();
+
+  std::vector<std::string> sink_fingerprints;
+  for (const Match& m : sink.matches) {
+    sink_fingerprints.push_back(m.Fingerprint());
+  }
+  ASSERT_GT(sink_fingerprints.size(), 0u);
+  EXPECT_EQ(callback_fingerprints, sink_fingerprints);
+}
+
+TEST(CepServiceTest, DeregisterLifecycleErrors) {
+  KeyedWorkload workload = MakeKeyedWorkload(4, 2.0, 7);
+  auto service = MakeService(workload);
+  CollectingSink sink;
+  auto handle = service->Register(
+      QuerySpec::Simple(workload.pattern).Keyed().WithSink(&sink));
+  ASSERT_TRUE(handle.ok());
+
+  EXPECT_EQ(service->Deregister(999).code(), StatusCode::kNotFound);
+  EXPECT_TRUE(handle->Deregister().ok());
+  EXPECT_EQ(handle->Deregister().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(service->num_active_queries(), 0u);
+
+  service->Finish();
+  CollectingSink other;
+  EXPECT_EQ(service->Register(QuerySpec::Simple(workload.pattern)
+                                  .Keyed()
+                                  .WithSink(&other))
+                .status()
+                .code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(CepServiceTest, DeregisteredUnkeyedQueryKeepsItsCounters) {
+  // The engine is released when an unkeyed query retires; its counters
+  // snapshot must keep answering, and later ingest must not touch it.
+  KeyedWorkload workload = MakeKeyedWorkload(4, 2.0, 7);
+  auto service = MakeService(workload);
+  CollectingSink sink;
+  auto handle = service->Register(
+      QuerySpec::Simple(workload.pattern).WithSink(&sink));
+  ASSERT_TRUE(handle.ok());
+  const size_t cut = workload.stream.size() / 2;
+  service->OnBatch(workload.stream.events().data(), cut);
+  ASSERT_TRUE(handle->Deregister().ok());
+  uint64_t events_at_cut = handle->counters().value().events_processed;
+  EXPECT_EQ(events_at_cut, cut);
+  service->OnBatch(workload.stream.events().data() + cut,
+                   workload.stream.size() - cut);
+  service->Finish();
+  EXPECT_EQ(handle->counters().value().events_processed, events_at_cut);
+}
+
+TEST(CepServiceTest, CountersReferenceStaysValidAcrossFinish) {
+  // Legacy contract: a reference returned by CepRuntime::counters()
+  // may be held across Finish(). The service backs it with
+  // address-stable storage refreshed on access and finalized at
+  // Finish — never freed engine memory.
+  KeyedWorkload workload = MakeKeyedWorkload(4, 2.0, 7);
+  StatsCollector collector(workload.stream, workload.registry.size());
+  CollectingSink sink;
+  CepRuntime runtime(workload.pattern,
+                     collector.CollectForPattern(workload.pattern),
+                     RuntimeOptions{}, &sink);
+  const EngineCounters& counters = runtime.counters();
+  EXPECT_EQ(counters.events_processed, 0u);
+  runtime.ProcessStream(workload.stream);
+  runtime.Finish();
+  EXPECT_EQ(counters.events_processed, workload.stream.size());
+}
+
+TEST(CepServiceTest, ShardedNumPartitionsIsCheckedErrorBeforeFinish) {
+  // The satellite fix: a sharded runtime cannot answer num_partitions()
+  // while workers run. The old surface aborted (and before that,
+  // risked a stale count); the session API returns FailedPrecondition
+  // until Finish, then the exact value.
+  KeyedWorkload workload = MakeKeyedWorkload(8, 3.0, 13);
+  auto service = MakeService(workload, /*num_threads=*/2);
+  CollectingSink sink;
+  auto handle = service->Register(
+      QuerySpec::Simple(workload.pattern).Keyed().WithSink(&sink));
+  ASSERT_TRUE(handle.ok());
+  service->ProcessStream(workload.stream);
+
+  auto early = handle->num_partitions();
+  ASSERT_FALSE(early.ok());
+  EXPECT_EQ(early.status().code(), StatusCode::kFailedPrecondition);
+  auto early_counters = handle->counters();
+  ASSERT_FALSE(early_counters.ok());
+  EXPECT_EQ(early_counters.status().code(), StatusCode::kFailedPrecondition);
+
+  service->Finish();
+  auto late = handle->num_partitions();
+  ASSERT_TRUE(late.ok());
+  EXPECT_EQ(*late, 8u);
+  EXPECT_TRUE(handle->counters().ok());
+}
+
+TEST(CepServiceTest, SingleThreadedNumPartitionsAnswersMidStream) {
+  KeyedWorkload workload = MakeKeyedWorkload(8, 3.0, 13);
+  auto service = MakeService(workload, /*num_threads=*/1);
+  CollectingSink sink;
+  auto handle = service->Register(
+      QuerySpec::Simple(workload.pattern).Keyed().WithSink(&sink));
+  ASSERT_TRUE(handle.ok());
+  service->ProcessStream(workload.stream);
+  auto mid = handle->num_partitions();
+  ASSERT_TRUE(mid.ok());
+  EXPECT_EQ(*mid, 8u);
+  service->Finish();
+}
+
+TEST(CepServiceTest, KeyedMirrorsOnKeyedCepRuntimeFacade) {
+  // The compatibility facade exposes the same checked precondition.
+  KeyedWorkload workload = MakeKeyedWorkload(6, 3.0, 17);
+  RuntimeOptions options;
+  options.num_threads = 2;
+  CollectingSink sink;
+  KeyedCepRuntime runtime(workload.pattern, workload.stream,
+                          workload.registry.size(), options, &sink);
+  runtime.ProcessStream(workload.stream);
+  EXPECT_EQ(runtime.num_partitions().status().code(),
+            StatusCode::kFailedPrecondition);
+  runtime.Finish();
+  EXPECT_EQ(runtime.num_partitions().value(), 6u);
+}
+
+TEST(CepServiceTest, PlanAccessorsRespectQueryKind) {
+  KeyedWorkload workload = MakeKeyedWorkload(4, 2.0, 7);
+  auto service = MakeService(workload);
+  CollectingSink keyed_sink;
+  CollectingSink unkeyed_sink;
+  auto keyed = service->Register(
+      QuerySpec::Simple(workload.pattern).Keyed().WithSink(&keyed_sink));
+  auto unkeyed = service->Register(
+      QuerySpec::Simple(workload.pattern).WithSink(&unkeyed_sink));
+  ASSERT_TRUE(keyed.ok());
+  ASSERT_TRUE(unkeyed.ok());
+
+  EXPECT_EQ(keyed->plans().status().code(), StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(unkeyed->plans().ok());
+  EXPECT_EQ(unkeyed->plans()->size(), 1u);
+  EXPECT_EQ(unkeyed->num_partitions().status().code(),
+            StatusCode::kFailedPrecondition);
+
+  service->ProcessStream(workload.stream);
+  service->Finish();
+  EXPECT_TRUE(keyed->PlanFor(0).ok());
+  EXPECT_EQ(keyed->PlanFor(12345).status().code(), StatusCode::kNotFound);
+}
+
+TEST(CepServiceTest, DefaultHandleIsInvalid) {
+  QueryHandle handle;
+  EXPECT_FALSE(handle.valid());
+  EXPECT_EQ(handle.counters().status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(handle.Deregister().code(), StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace cepjoin

@@ -1,0 +1,331 @@
+// Multi-query equivalence: N queries registered on ONE CepService (one
+// shared ingest path, one routing pass) must produce, per query, the
+// byte-identical match fingerprint sequence and counters of N
+// completely independent runtimes — at every worker thread count, with
+// queries registered and deregistered mid-stream, and over async
+// ingestion.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/cep_service.h"
+#include "api/keyed_runtime.h"
+#include "workload/keyed_generator.h"
+
+namespace cepjoin {
+namespace {
+
+struct Reference {
+  std::vector<std::string> sequence;  // fingerprints in emission order
+  EngineCounters counters;
+  size_t num_partitions = 0;
+};
+
+std::vector<std::string> Sequence(const CollectingSink& sink) {
+  std::vector<std::string> seq;
+  seq.reserve(sink.matches.size());
+  for (const Match& m : sink.matches) seq.push_back(m.Fingerprint());
+  return seq;
+}
+
+void ExpectSameCounters(const EngineCounters& got, const EngineCounters& want,
+                        const std::string& label) {
+  EXPECT_EQ(got.events_processed, want.events_processed) << label;
+  EXPECT_EQ(got.matches_emitted, want.matches_emitted) << label;
+  EXPECT_EQ(got.instances_created, want.instances_created) << label;
+  EXPECT_EQ(got.predicate_evals, want.predicate_evals) << label;
+}
+
+/// Runs one standalone keyed runtime over events [begin, end) of the
+/// workload stream — the reference a service-registered query must
+/// reproduce exactly.
+Reference RunStandaloneKeyed(const KeyedWorkload& workload,
+                             const std::string& algorithm, size_t begin,
+                             size_t end) {
+  CollectingSink sink;
+  RuntimeOptions options;
+  options.algorithm = algorithm;
+  options.num_threads = 1;
+  KeyedCepRuntime runtime(workload.pattern, workload.stream,
+                          workload.registry.size(), options, &sink);
+  runtime.OnBatch(workload.stream.events().data() + begin, end - begin);
+  runtime.Finish();
+  Reference ref;
+  ref.sequence = Sequence(sink);
+  ref.counters = runtime.TotalCounters();
+  ref.num_partitions = runtime.num_partitions().value();
+  return ref;
+}
+
+TEST(MultiQueryEquivalenceTest, NQueriesMatchNStandaloneRuntimes) {
+  KeyedWorkload workload = MakeKeyedWorkload(8, 6.0, 11);
+  const std::vector<std::string> algorithms = {"GREEDY", "TRIVIAL", "DP-LD"};
+
+  std::vector<Reference> refs;
+  for (const std::string& algorithm : algorithms) {
+    refs.push_back(RunStandaloneKeyed(workload, algorithm, 0,
+                                      workload.stream.size()));
+    ASSERT_GT(refs.back().sequence.size(), 0u) << algorithm;
+  }
+
+  for (size_t threads : {1u, 2u, 4u}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    ServiceOptions options;
+    options.history = &workload.stream;
+    options.num_types = workload.registry.size();
+    options.num_threads = threads;
+    options.batch_size = 64;  // force multiple batches per shard
+    auto service = CepService::Create(options).value();
+
+    std::vector<CollectingSink> sinks(algorithms.size());
+    std::vector<QueryHandle> handles;
+    for (size_t q = 0; q < algorithms.size(); ++q) {
+      auto handle = service->Register(QuerySpec::Simple(workload.pattern)
+                                          .Keyed()
+                                          .WithAlgorithm(algorithms[q])
+                                          .WithSink(&sinks[q]));
+      ASSERT_TRUE(handle.ok()) << handle.status().ToString();
+      handles.push_back(*handle);
+    }
+    service->ProcessStream(workload.stream);
+    service->Finish();
+
+    for (size_t q = 0; q < algorithms.size(); ++q) {
+      SCOPED_TRACE("query=" + algorithms[q]);
+      EXPECT_EQ(Sequence(sinks[q]), refs[q].sequence);
+      ExpectSameCounters(handles[q].counters().value(), refs[q].counters,
+                         algorithms[q]);
+      EXPECT_EQ(handles[q].num_partitions().value(), refs[q].num_partitions);
+    }
+  }
+}
+
+TEST(MultiQueryEquivalenceTest, MixedKeyedAndUnkeyedShareOneIngest) {
+  // Short stream: the unkeyed query matches across partitions, which
+  // grows combinatorially with duration.
+  KeyedWorkload workload = MakeKeyedWorkload(6, 1.5, 19);
+
+  // Standalone references: one keyed runtime, one unkeyed runtime.
+  Reference keyed_ref =
+      RunStandaloneKeyed(workload, "GREEDY", 0, workload.stream.size());
+
+  CollectingSink unkeyed_ref_sink;
+  StatsCollector collector(workload.stream, workload.registry.size());
+  CepRuntime unkeyed_ref(workload.pattern,
+                         collector.CollectForPattern(workload.pattern),
+                         {.algorithm = "DP-LD"}, &unkeyed_ref_sink);
+  unkeyed_ref.ProcessStream(workload.stream);
+  unkeyed_ref.Finish();
+  ASSERT_GT(keyed_ref.sequence.size(), 0u);
+  ASSERT_GT(unkeyed_ref_sink.matches.size(), 0u);
+
+  for (size_t threads : {1u, 2u}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    ServiceOptions options;
+    options.history = &workload.stream;
+    options.num_types = workload.registry.size();
+    options.num_threads = threads;
+    auto service = CepService::Create(options).value();
+
+    CollectingSink keyed_sink;
+    CollectingSink unkeyed_sink;
+    auto keyed = service->Register(QuerySpec::Simple(workload.pattern)
+                                       .Keyed()
+                                       .WithSink(&keyed_sink));
+    auto unkeyed = service->Register(QuerySpec::Simple(workload.pattern)
+                                         .WithAlgorithm("DP-LD")
+                                         .WithSink(&unkeyed_sink));
+    ASSERT_TRUE(keyed.ok());
+    ASSERT_TRUE(unkeyed.ok());
+    service->ProcessStream(workload.stream);
+    service->Finish();
+
+    EXPECT_EQ(Sequence(keyed_sink), keyed_ref.sequence);
+    ExpectSameCounters(keyed->counters().value(), keyed_ref.counters,
+                       "keyed");
+    EXPECT_EQ(Sequence(unkeyed_sink), Sequence(unkeyed_ref_sink));
+    ExpectSameCounters(unkeyed->counters().value(), unkeyed_ref.counters(),
+                       "unkeyed");
+  }
+}
+
+TEST(MultiQueryEquivalenceTest, MidStreamRegisterSeesOnlyTheSuffix) {
+  KeyedWorkload workload = MakeKeyedWorkload(8, 6.0, 23);
+  const size_t cut = workload.stream.size() / 2;
+  Reference full_ref =
+      RunStandaloneKeyed(workload, "GREEDY", 0, workload.stream.size());
+  Reference suffix_ref =
+      RunStandaloneKeyed(workload, "TRIVIAL", cut, workload.stream.size());
+  ASSERT_GT(suffix_ref.sequence.size(), 0u);
+
+  for (size_t threads : {1u, 2u, 4u}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    ServiceOptions options;
+    options.history = &workload.stream;
+    options.num_types = workload.registry.size();
+    options.num_threads = threads;
+    options.batch_size = 32;
+    auto service = CepService::Create(options).value();
+
+    CollectingSink full_sink;
+    auto full = service->Register(QuerySpec::Simple(workload.pattern)
+                                      .Keyed()
+                                      .WithAlgorithm("GREEDY")
+                                      .WithSink(&full_sink));
+    ASSERT_TRUE(full.ok());
+    service->OnBatch(workload.stream.events().data(), cut);
+
+    // Registered mid-stream: must see exactly events [cut, end).
+    CollectingSink late_sink;
+    auto late = service->Register(QuerySpec::Simple(workload.pattern)
+                                      .Keyed()
+                                      .WithAlgorithm("TRIVIAL")
+                                      .WithSink(&late_sink));
+    ASSERT_TRUE(late.ok());
+    service->OnBatch(workload.stream.events().data() + cut,
+                     workload.stream.size() - cut);
+    service->Finish();
+
+    EXPECT_EQ(Sequence(full_sink), full_ref.sequence);
+    ExpectSameCounters(full->counters().value(), full_ref.counters, "full");
+    EXPECT_EQ(Sequence(late_sink), suffix_ref.sequence);
+    ExpectSameCounters(late->counters().value(), suffix_ref.counters,
+                       "late");
+    EXPECT_EQ(late->num_partitions().value(), suffix_ref.num_partitions);
+  }
+}
+
+TEST(MultiQueryEquivalenceTest, MidStreamDeregisterSeesOnlyThePrefix) {
+  KeyedWorkload workload = MakeKeyedWorkload(8, 6.0, 29);
+  const size_t cut = workload.stream.size() / 2;
+  Reference prefix_ref = RunStandaloneKeyed(workload, "GREEDY", 0, cut);
+  Reference full_ref =
+      RunStandaloneKeyed(workload, "TRIVIAL", 0, workload.stream.size());
+  ASSERT_GT(prefix_ref.sequence.size(), 0u);
+
+  for (size_t threads : {1u, 2u, 4u}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    ServiceOptions options;
+    options.history = &workload.stream;
+    options.num_types = workload.registry.size();
+    options.num_threads = threads;
+    options.batch_size = 32;
+    auto service = CepService::Create(options).value();
+
+    CollectingSink doomed_sink;
+    auto doomed = service->Register(QuerySpec::Simple(workload.pattern)
+                                        .Keyed()
+                                        .WithAlgorithm("GREEDY")
+                                        .WithSink(&doomed_sink));
+    CollectingSink full_sink;
+    auto full = service->Register(QuerySpec::Simple(workload.pattern)
+                                      .Keyed()
+                                      .WithAlgorithm("TRIVIAL")
+                                      .WithSink(&full_sink));
+    ASSERT_TRUE(doomed.ok());
+    ASSERT_TRUE(full.ok());
+
+    service->OnBatch(workload.stream.events().data(), cut);
+    // Deregistered mid-stream: must see exactly events [0, cut),
+    // including its Finish-time (trailing-window) matches.
+    ASSERT_TRUE(doomed->Deregister().ok());
+    service->OnBatch(workload.stream.events().data() + cut,
+                     workload.stream.size() - cut);
+    service->Finish();
+
+    EXPECT_EQ(Sequence(doomed_sink), prefix_ref.sequence);
+    ExpectSameCounters(doomed->counters().value(), prefix_ref.counters,
+                       "doomed");
+    EXPECT_EQ(doomed->num_partitions().value(), prefix_ref.num_partitions);
+    EXPECT_EQ(Sequence(full_sink), full_ref.sequence);
+    ExpectSameCounters(full->counters().value(), full_ref.counters, "full");
+  }
+}
+
+TEST(MultiQueryEquivalenceTest, AsyncIngestFansToEveryQuery) {
+  // Two keyed queries over one async-ingested synthetic feed: each must
+  // match its standalone ProcessStream reference (the KeyedEventSource
+  // emits exactly the materialized workload sequence).
+  KeyedWorkload workload = MakeKeyedWorkload(6, 5.0, 31);
+  Reference greedy_ref =
+      RunStandaloneKeyed(workload, "GREEDY", 0, workload.stream.size());
+  Reference trivial_ref =
+      RunStandaloneKeyed(workload, "TRIVIAL", 0, workload.stream.size());
+
+  for (size_t threads : {1u, 2u, 4u}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    ServiceOptions options;
+    options.history = &workload.stream;
+    options.num_types = workload.registry.size();
+    options.num_threads = threads;
+    auto service = CepService::Create(options).value();
+
+    CollectingSink greedy_sink;
+    CollectingSink trivial_sink;
+    auto greedy = service->Register(QuerySpec::Simple(workload.pattern)
+                                        .Keyed()
+                                        .WithAlgorithm("GREEDY")
+                                        .WithSink(&greedy_sink));
+    auto trivial = service->Register(QuerySpec::Simple(workload.pattern)
+                                         .Keyed()
+                                         .WithAlgorithm("TRIVIAL")
+                                         .WithSink(&trivial_sink));
+    ASSERT_TRUE(greedy.ok());
+    ASSERT_TRUE(trivial.ok());
+
+    IngestResult result = service->ProcessSourceAsync(
+        std::make_unique<KeyedEventSource>(6, 5.0, 31));
+    ASSERT_TRUE(result.ok) << result.error;
+    EXPECT_EQ(result.events, workload.stream.size());
+    service->Finish();
+
+    EXPECT_EQ(Sequence(greedy_sink), greedy_ref.sequence);
+    ExpectSameCounters(greedy->counters().value(), greedy_ref.counters,
+                       "greedy");
+    EXPECT_EQ(Sequence(trivial_sink), trivial_ref.sequence);
+    ExpectSameCounters(trivial->counters().value(), trivial_ref.counters,
+                       "trivial");
+  }
+}
+
+TEST(MultiQueryEquivalenceTest, SixteenQueriesOneService) {
+  // Scale check: 16 identical queries on one service all reproduce the
+  // single-query reference — the fan-out is invisible in each query's
+  // output.
+  KeyedWorkload workload = MakeKeyedWorkload(6, 3.0, 37);
+  Reference ref =
+      RunStandaloneKeyed(workload, "GREEDY", 0, workload.stream.size());
+  ASSERT_GT(ref.sequence.size(), 0u);
+
+  ServiceOptions options;
+  options.history = &workload.stream;
+  options.num_types = workload.registry.size();
+  options.num_threads = 4;
+  auto service = CepService::Create(options).value();
+
+  constexpr size_t kQueries = 16;
+  std::vector<CollectingSink> sinks(kQueries);
+  std::vector<QueryHandle> handles;
+  for (size_t q = 0; q < kQueries; ++q) {
+    auto handle = service->Register(QuerySpec::Simple(workload.pattern)
+                                        .Keyed()
+                                        .WithSink(&sinks[q]));
+    ASSERT_TRUE(handle.ok());
+    handles.push_back(*handle);
+  }
+  service->ProcessStream(workload.stream);
+  service->Finish();
+
+  for (size_t q = 0; q < kQueries; ++q) {
+    SCOPED_TRACE("query=" + std::to_string(q));
+    EXPECT_EQ(Sequence(sinks[q]), ref.sequence);
+    ExpectSameCounters(handles[q].counters().value(), ref.counters,
+                       "query " + std::to_string(q));
+  }
+}
+
+}  // namespace
+}  // namespace cepjoin

@@ -1,0 +1,98 @@
+// Status / StatusOr: the recoverable-error vocabulary of the service
+// API. Small on purpose — the contract is "OK or code+message", checked
+// access aborts with the error's own message.
+
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace cepjoin {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.message(), "");
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status status = Status::InvalidArgument("bad spec");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(status.message(), "bad spec");
+  EXPECT_EQ(status.ToString(), "INVALID_ARGUMENT: bad spec");
+
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::FailedPrecondition("y").code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(StatusTest, CodeNames) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInvalidArgument),
+               "INVALID_ARGUMENT");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kNotFound), "NOT_FOUND");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kFailedPrecondition),
+               "FAILED_PRECONDITION");
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> result(42);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), 42);
+  EXPECT_EQ(*result, 42);
+  EXPECT_TRUE(result.status().ok());
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> result(Status::NotFound("nothing here"));
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(result.status().message(), "nothing here");
+}
+
+TEST(StatusOrTest, MoveOnlyValue) {
+  StatusOr<std::unique_ptr<int>> result(std::make_unique<int>(7));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(**result, 7);
+  std::unique_ptr<int> taken = std::move(result).value();
+  EXPECT_EQ(*taken, 7);
+}
+
+TEST(StatusOrTest, ArrowOperator) {
+  StatusOr<std::vector<int>> result(std::vector<int>{1, 2, 3});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 3u);
+}
+
+TEST(StatusOrDeathTest, ValueOnErrorAbortsWithMessage) {
+  StatusOr<int> result(Status::InvalidArgument("the reason"));
+  EXPECT_DEATH(result.value(), "the reason");
+}
+
+Status FailsThrough() {
+  CEPJOIN_RETURN_IF_ERROR(Status::InvalidArgument("inner failure"));
+  return Status::Ok();
+}
+
+Status Succeeds() {
+  CEPJOIN_RETURN_IF_ERROR(Status::Ok());
+  return Status::NotFound("made it past the macro");
+}
+
+TEST(StatusTest, ReturnIfErrorMacro) {
+  EXPECT_EQ(FailsThrough().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(FailsThrough().message(), "inner failure");
+  // An OK status must not trigger the early return.
+  EXPECT_EQ(Succeeds().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace cepjoin

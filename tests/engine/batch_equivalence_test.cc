@@ -87,7 +87,7 @@ class BatchEquivalenceTest : public ::testing::Test {
     SimplePattern pattern = GeneratePattern(*universe_, pg)[0];
     CostFunction cost = MakeCostFunction(
         pattern, collector_->CollectForPattern(pattern), 0.0);
-    EnginePlan plan = MakePlan(algorithm, cost);
+    EnginePlan plan = MakePlan(algorithm, cost).value();
 
     FeedResult reference = FeedEngine(pattern, plan, 0);
     ASSERT_GT(reference.counters.events_processed, 0u);
@@ -146,7 +146,7 @@ TEST_F(BatchEquivalenceTest, DnfMultiEnginePreservesEmissionInterleaving) {
   for (const SimplePattern& sub : subpatterns) {
     CostFunction cost =
         MakeCostFunction(sub, collector_->CollectForPattern(sub), 0.0);
-    plans.push_back(MakePlan("GREEDY", cost));
+    plans.push_back(MakePlan("GREEDY", cost).value());
   }
 
   auto feed = [&](size_t batch_size) {

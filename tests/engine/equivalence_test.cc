@@ -89,12 +89,12 @@ TEST_P(EngineEquivalenceTest, NfaAndTreeAgreeUnderAllPaperPlans) {
   CostFunction cost(stats, pattern.window());
 
   for (const std::string& name : PaperOrderAlgorithms()) {
-    OrderPlan plan = MakeOrderOptimizer(name)->Optimize(cost);
+    OrderPlan plan = MakeOrderOptimizer(name).value()->Optimize(cost);
     EXPECT_EQ(RunNfa(pattern, plan, stream), reference)
         << name << " " << plan.Describe();
   }
   for (const std::string& name : PaperTreeAlgorithms()) {
-    TreePlan plan = MakeTreeOptimizer(name)->Optimize(cost);
+    TreePlan plan = MakeTreeOptimizer(name).value()->Optimize(cost);
     EXPECT_EQ(RunTree(pattern, plan, stream), reference)
         << name << " " << plan.Describe();
   }

@@ -34,7 +34,7 @@ TEST(MultiEngineTest, DisjunctionUnionsSubpatternMatches) {
   for (const SimplePattern& sub : dnf) {
     PatternStats stats(sub.num_positive());
     for (int i = 0; i < stats.size(); ++i) stats.set_rate(i, 1.0);
-    plans.push_back(MakePlan("GREEDY", CostFunction(stats, sub.window())));
+    plans.push_back(MakePlan("GREEDY", CostFunction(stats, sub.window())).value());
   }
   CollectingSink sink;
   std::unique_ptr<Engine> engine = BuildDnfEngine(dnf, plans, &sink);
@@ -60,7 +60,7 @@ TEST(MultiEngineTest, CountersAggregateAcrossSubengines) {
     PatternStats stats(2);
     stats.set_rate(0, 1.0);
     stats.set_rate(1, 1.0);
-    plans.push_back(MakePlan("TRIVIAL", CostFunction(stats, 10.0)));
+    plans.push_back(MakePlan("TRIVIAL", CostFunction(stats, 10.0)).value());
   }
   CollectingSink sink;
   std::unique_ptr<Engine> engine = BuildDnfEngine(subs, plans, &sink);
@@ -78,9 +78,9 @@ TEST(EnginePlanTest, DescribeIncludesAlgorithmAndShape) {
   PatternStats stats(2);
   stats.set_rate(0, 1.0);
   stats.set_rate(1, 2.0);
-  EnginePlan order_plan = MakePlan("EFREQ", CostFunction(stats, 1.0));
+  EnginePlan order_plan = MakePlan("EFREQ", CostFunction(stats, 1.0)).value();
   EXPECT_NE(order_plan.Describe().find("EFREQ"), std::string::npos);
-  EnginePlan tree_plan = MakePlan("ZSTREAM", CostFunction(stats, 1.0));
+  EnginePlan tree_plan = MakePlan("ZSTREAM", CostFunction(stats, 1.0)).value();
   EXPECT_EQ(tree_plan.kind, EnginePlan::Kind::kTree);
   EXPECT_NE(tree_plan.Describe().find("("), std::string::npos);
 }
@@ -114,7 +114,7 @@ TEST(EngineFactoryTest, DefaultLatencyAnchor) {
 TEST(EngineFactoryTest, MakePlanRecordsCostAndTime) {
   Rng rng(3);
   CostFunction cost(testing_util::RandomStats(4, rng), 2.0);
-  EnginePlan plan = MakePlan("DP-LD", cost);
+  EnginePlan plan = MakePlan("DP-LD", cost).value();
   EXPECT_GT(plan.cost, 0.0);
   EXPECT_GE(plan.generation_seconds, 0.0);
   EXPECT_NEAR(plan.cost, cost.OrderCost(plan.order), plan.cost * 1e-12);

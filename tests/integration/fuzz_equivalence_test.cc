@@ -76,7 +76,7 @@ TEST_P(FuzzEquivalenceTest, EveryAlgorithmDetectsTheSameMatches) {
     for (const SimplePattern& sub : subs) {
       CostFunction cost =
           MakeCostFunction(sub, collector.CollectForPattern(sub), 0.0);
-      plans.push_back(MakePlan(algorithm, cost));
+      plans.push_back(MakePlan(algorithm, cost).value());
     }
     std::vector<std::string> matches = RunPlans(subs, plans);
     if (first) {

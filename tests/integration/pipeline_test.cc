@@ -40,7 +40,7 @@ TEST(PipelineTest, AllAlgorithmsDetectIdenticalMatchCounts) {
   }
   for (const std::string& name : algorithms) {
     CostFunction cost(stats, pattern.window());
-    EnginePlan plan = MakePlan(name, cost);
+    EnginePlan plan = MakePlan(name, cost).value();
     RunResult result = Execute(pattern, plan, universe.stream);
     if (first) {
       reference = result.matches;
@@ -72,8 +72,8 @@ TEST(PipelineTest, OptimizedPlansCreateFewerPartialMatches) {
   CostFunction cost(stats, pattern.window());
 
   RunResult trivial =
-      Execute(pattern, MakePlan("TRIVIAL", cost), universe.stream);
-  RunResult dp = Execute(pattern, MakePlan("DP-LD", cost), universe.stream);
+      Execute(pattern, MakePlan("TRIVIAL", cost).value(), universe.stream);
+  RunResult dp = Execute(pattern, MakePlan("DP-LD", cost).value(), universe.stream);
   EXPECT_EQ(trivial.matches, dp.matches);
   EXPECT_LT(dp.peak_instances, trivial.peak_instances);
 }
@@ -143,8 +143,8 @@ TEST(PipelineTest, HybridLatencyCostChangesPlans) {
 
   CostFunction plain = MakeCostFunction(pattern, stats, 0.0);
   CostFunction hybrid = MakeCostFunction(pattern, stats, 1e9);
-  OrderPlan plain_plan = MakeOrderOptimizer("DP-LD")->Optimize(plain);
-  OrderPlan hybrid_plan = MakeOrderOptimizer("DP-LD")->Optimize(hybrid);
+  OrderPlan plain_plan = MakeOrderOptimizer("DP-LD").value()->Optimize(plain);
+  OrderPlan hybrid_plan = MakeOrderOptimizer("DP-LD").value()->Optimize(hybrid);
   // Under extreme alpha the anchor (last pattern slot) is processed last.
   EXPECT_EQ(hybrid_plan.At(4), 4);
   // Latency cost of the hybrid-chosen plan must be minimal (zero).
@@ -172,7 +172,7 @@ TEST(PipelineTest, SelectionStrategiesRunEndToEnd) {
     PatternStats stats = collector.CollectForPattern(pattern);
     CostFunction cost = MakeCostFunction(pattern, stats, 0.0);
     RunResult result =
-        Execute(pattern, MakePlan("GREEDY", cost), universe.stream);
+        Execute(pattern, MakePlan("GREEDY", cost).value(), universe.stream);
     EXPECT_GT(result.events, 0u) << SelectionStrategyName(strategy);
   }
 }

@@ -18,7 +18,7 @@ TEST(RunnerTest, ExecuteReportsMatchesAndThroughput) {
   PatternStats stats(2);
   stats.set_rate(0, 1.0);
   stats.set_rate(1, 1.0);
-  EnginePlan plan = MakePlan("TRIVIAL", CostFunction(stats, 10.0));
+  EnginePlan plan = MakePlan("TRIVIAL", CostFunction(stats, 10.0)).value();
   EventStream stream = StreamOf({Ev(0, 1), Ev(1, 2), Ev(0, 3), Ev(1, 4)});
   RunResult result = Execute(p, plan, stream);
   EXPECT_EQ(result.matches, 3u);
@@ -33,7 +33,7 @@ TEST(RunnerTest, RepeatsUntilMinimumMeasureTime) {
   PatternStats stats(2);
   stats.set_rate(0, 1.0);
   stats.set_rate(1, 1.0);
-  EnginePlan plan = MakePlan("TRIVIAL", CostFunction(stats, 10.0));
+  EnginePlan plan = MakePlan("TRIVIAL", CostFunction(stats, 10.0)).value();
   EventStream stream = StreamOf({Ev(0, 1), Ev(1, 2)});
   ExecuteOptions options;
   options.min_measure_seconds = 0.002;
@@ -53,7 +53,7 @@ TEST(RunnerTest, MaxRepeatsBoundsWork) {
   PatternStats stats(2);
   stats.set_rate(0, 1.0);
   stats.set_rate(1, 1.0);
-  EnginePlan plan = MakePlan("TRIVIAL", CostFunction(stats, 10.0));
+  EnginePlan plan = MakePlan("TRIVIAL", CostFunction(stats, 10.0)).value();
   EventStream stream = StreamOf({Ev(0, 1), Ev(1, 2)});
   ExecuteOptions options;
   options.min_measure_seconds = 1e9;  // unreachable

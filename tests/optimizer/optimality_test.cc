@@ -110,7 +110,7 @@ TEST_P(OptimalityTest, HeuristicsNeverBeatDp) {
     CostFunction cost(testing_util::RandomStats(n, rng), 2.0);
     double dp = cost.OrderCost(DpLeftDeepOptimizer().Optimize(cost));
     for (const std::string& name : PaperOrderAlgorithms()) {
-      double c = cost.OrderCost(MakeOrderOptimizer(name)->Optimize(cost));
+      double c = cost.OrderCost(MakeOrderOptimizer(name).value()->Optimize(cost));
       EXPECT_GE(c, dp - dp * 1e-9) << name;
     }
   }
@@ -182,8 +182,8 @@ TEST(IterativeImprovementTest, GreedyStartNoWorseThanGreedy) {
     int n = static_cast<int>(rng.UniformInt(3, 8));
     CostFunction cost(testing_util::RandomStats(n, rng), 2.0);
     double greedy =
-        cost.OrderCost(MakeOrderOptimizer("GREEDY")->Optimize(cost));
-    double ii = cost.OrderCost(MakeOrderOptimizer("II-GREEDY")->Optimize(cost));
+        cost.OrderCost(MakeOrderOptimizer("GREEDY").value()->Optimize(cost));
+    double ii = cost.OrderCost(MakeOrderOptimizer("II-GREEDY").value()->Optimize(cost));
     EXPECT_LE(ii, greedy + greedy * 1e-9);
   }
 }

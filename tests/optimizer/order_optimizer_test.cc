@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "engine/engine_factory.h"
 #include "optimizer/registry.h"
 #include "testing/test_util.h"
 
@@ -75,21 +76,48 @@ TEST(OrderAppendCostTest, AddsLatencyTermAfterAnchor) {
 
 TEST(RegistryTest, CreatesAllPaperAlgorithms) {
   for (const std::string& name : PaperOrderAlgorithms()) {
-    auto optimizer = MakeOrderOptimizer(name);
+    auto optimizer = MakeOrderOptimizer(name).value();
     EXPECT_EQ(optimizer->name(), name);
   }
   for (const std::string& name : PaperTreeAlgorithms()) {
-    auto optimizer = MakeTreeOptimizer(name);
+    auto optimizer = MakeTreeOptimizer(name).value();
     EXPECT_EQ(optimizer->name(), name);
   }
-  EXPECT_TRUE(MakeOrderOptimizer("KBZ")->is_jqpg());
-  EXPECT_FALSE(MakeOrderOptimizer("TRIVIAL")->is_jqpg());
-  EXPECT_FALSE(MakeTreeOptimizer("ZSTREAM")->is_jqpg());
+  EXPECT_TRUE(MakeOrderOptimizer("KBZ").value()->is_jqpg());
+  EXPECT_FALSE(MakeOrderOptimizer("TRIVIAL").value()->is_jqpg());
+  EXPECT_FALSE(MakeTreeOptimizer("ZSTREAM").value()->is_jqpg());
 }
 
-TEST(RegistryDeathTest, UnknownNamesAbort) {
-  EXPECT_DEATH(MakeOrderOptimizer("NOPE"), "unknown order optimizer");
-  EXPECT_DEATH(MakeTreeOptimizer("NOPE"), "unknown tree optimizer");
+TEST(RegistryTest, UnknownNamesReturnInvalidArgument) {
+  // A typo'd algorithm name is a caller error, not a programmer error:
+  // it must come back as a Status listing the known algorithms, never
+  // abort the process.
+  auto order = MakeOrderOptimizer("NOPE");
+  ASSERT_FALSE(order.ok());
+  EXPECT_EQ(order.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(order.status().message().find("unknown order optimizer 'NOPE'"),
+            std::string::npos);
+  EXPECT_NE(order.status().message().find("GREEDY"), std::string::npos);
+
+  auto tree = MakeTreeOptimizer("NOPE");
+  ASSERT_FALSE(tree.ok());
+  EXPECT_EQ(tree.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(tree.status().message().find("unknown tree optimizer 'NOPE'"),
+            std::string::npos);
+  EXPECT_NE(tree.status().message().find("ZSTREAM"), std::string::npos);
+}
+
+TEST(RegistryTest, KnownAlgorithmsCoversBothPlanClasses) {
+  std::vector<std::string> known = KnownAlgorithms();
+  for (const std::string& name : known) {
+    EXPECT_TRUE(ValidateAlgorithm(name).ok()) << name;
+    if (IsTreeAlgorithm(name)) {
+      EXPECT_TRUE(MakeTreeOptimizer(name).ok()) << name;
+    } else {
+      EXPECT_TRUE(MakeOrderOptimizer(name).ok()) << name;
+    }
+  }
+  EXPECT_FALSE(ValidateAlgorithm("greedy").ok());  // names are uppercase
 }
 
 TEST(AllOptimizersTest, ProduceValidPlansOnRandomStats) {
@@ -99,11 +127,11 @@ TEST(AllOptimizersTest, ProduceValidPlansOnRandomStats) {
     CostFunction cost(testing_util::RandomStats(n, rng),
                       rng.UniformReal(0.5, 10.0));
     for (const std::string& name : PaperOrderAlgorithms()) {
-      OrderPlan plan = MakeOrderOptimizer(name)->Optimize(cost);
+      OrderPlan plan = MakeOrderOptimizer(name).value()->Optimize(cost);
       EXPECT_EQ(plan.size(), n) << name;
     }
     for (const std::string& name : PaperTreeAlgorithms()) {
-      TreePlan plan = MakeTreeOptimizer(name)->Optimize(cost);
+      TreePlan plan = MakeTreeOptimizer(name).value()->Optimize(cost);
       EXPECT_EQ(plan.num_leaves(), n) << name;
     }
   }

@@ -122,13 +122,13 @@ TEST(AutoSelectorTest, NeverWorseThanGreedy) {
     AutoOrderOptimizer optimizer(trial, /*dp_threshold=*/8);
     double auto_cost = cost.OrderCost(optimizer.Optimize(cost));
     double greedy_cost = cost.OrderCost(
-        MakeOrderOptimizer("GREEDY")->Optimize(cost));
+        MakeOrderOptimizer("GREEDY").value()->Optimize(cost));
     EXPECT_LE(auto_cost, greedy_cost + greedy_cost * 1e-9);
   }
 }
 
 TEST(AutoSelectorTest, AvailableViaRegistry) {
-  auto optimizer = MakeOrderOptimizer("AUTO");
+  auto optimizer = MakeOrderOptimizer("AUTO").value();
   EXPECT_EQ(optimizer->name(), "AUTO");
   EXPECT_TRUE(optimizer->is_jqpg());
 }

@@ -74,7 +74,7 @@ TEST(SimulatedAnnealingTest, TinyInstancesShortCircuit) {
 }
 
 TEST(SimulatedAnnealingTest, AvailableViaRegistry) {
-  auto optimizer = MakeOrderOptimizer("SA", 5);
+  auto optimizer = MakeOrderOptimizer("SA", 5).value();
   EXPECT_EQ(optimizer->name(), "SA");
   EXPECT_TRUE(optimizer->is_jqpg());
 }

@@ -77,7 +77,9 @@ TEST(ShardedEquivalenceTest, MatchSetsAndCountersIdenticalAcrossThreads) {
     // count.
     std::vector<std::string> drain;
     for (const Match& m : sink.matches) drain.push_back(m.Fingerprint());
-    if (!previous_drain.empty()) EXPECT_EQ(drain, previous_drain);
+    if (!previous_drain.empty()) {
+      EXPECT_EQ(drain, previous_drain);
+    }
     previous_drain = std::move(drain);
   }
 }
