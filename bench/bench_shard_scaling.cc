@@ -95,8 +95,9 @@ SweepResult RunAsyncOnce(const KeyedWorkload& workload, size_t ingest,
 }  // namespace
 }  // namespace cepjoin
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cepjoin;
+  const std::string json_path = bench::JsonPathFromArgs(argc, argv);
   bench::PrintHeader("shard-scaling",
                      "ShardedRuntime throughput vs worker threads");
 
@@ -123,6 +124,11 @@ int main() {
                 r.wall_seconds, r.events_per_second,
                 base_wall > 0 ? base_wall / r.wall_seconds : 0.0,
                 static_cast<unsigned long long>(r.matches));
+    std::string row = "sync/threads=" + std::to_string(threads);
+    bench::RecordJson("shard_scaling", row + "/throughput",
+                      r.events_per_second, "events/s");
+    bench::RecordJson("shard_scaling", row + "/matches",
+                      static_cast<double>(r.matches), "matches");
   }
   std::printf(
       "\n(hardware_concurrency = %zu; speedup beyond it measures "
@@ -142,10 +148,16 @@ int main() {
                   r.threads, r.wall_seconds, r.events_per_second,
                   base_wall > 0 ? base_wall / r.wall_seconds : 0.0,
                   static_cast<unsigned long long>(r.matches));
+      std::string row = "async/ingest=" + std::to_string(ingest) +
+                        "/threads=" + std::to_string(threads);
+      bench::RecordJson("shard_scaling", row + "/throughput",
+                        r.events_per_second, "events/s");
+      bench::RecordJson("shard_scaling", row + "/matches",
+                        static_cast<double>(r.matches), "matches");
     }
   }
   std::printf(
       "\n(the matches column must be identical on every row — the merge "
       "and drain are thread-count independent)\n");
-  return 0;
+  return bench::WriteBenchJson(json_path) ? 0 : 1;
 }

@@ -2,10 +2,87 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <memory>
 
 namespace cepjoin {
 namespace bench {
+
+namespace {
+
+struct JsonRecord {
+  std::string bench;
+  std::string name;
+  double value = 0.0;
+  std::string unit;
+};
+
+std::vector<JsonRecord>& JsonRecords() {
+  static std::vector<JsonRecord>* records = new std::vector<JsonRecord>();
+  return *records;
+}
+
+/// Minimal string escaping: bench/metric names are plain identifiers,
+/// but a stray quote or backslash must not corrupt the file.
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (static_cast<unsigned char>(c) < 0x20) {
+      out += ' ';
+      continue;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string JsonPathFromArgs(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      return argv[i + 1];
+    }
+    if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      return argv[i] + 7;
+    }
+  }
+  return {};
+}
+
+void RecordJson(const std::string& bench, const std::string& name,
+                double value, const std::string& unit) {
+  JsonRecords().push_back({bench, name, value, unit});
+}
+
+bool WriteBenchJson(const std::string& path) {
+  if (path.empty()) return true;
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  std::fprintf(f, "[\n");
+  const std::vector<JsonRecord>& records = JsonRecords();
+  for (size_t i = 0; i < records.size(); ++i) {
+    std::fprintf(f,
+                 "  {\"bench\": \"%s\", \"name\": \"%s\", \"value\": %.17g, "
+                 "\"unit\": \"%s\"}%s\n",
+                 JsonEscape(records[i].bench).c_str(),
+                 JsonEscape(records[i].name).c_str(), records[i].value,
+                 JsonEscape(records[i].unit).c_str(),
+                 i + 1 < records.size() ? "," : "");
+  }
+  std::fprintf(f, "]\n");
+  bool ok = std::fclose(f) == 0;
+  if (ok) {
+    std::printf("wrote %zu bench records to %s\n", records.size(),
+                path.c_str());
+  }
+  return ok;
+}
 
 double Scale() {
   static const double scale = [] {

@@ -74,6 +74,26 @@ void PrintHeader(const std::string& figure, const std::string& title);
 enum class Metric { kThroughput, kMemory };
 void RunFamilyFigure(const std::string& figure, Metric metric);
 
+// --- machine-readable output (--json) ---------------------------------------
+//
+// Benches accumulate named records while printing their human tables,
+// then write them as a JSON array when the user passed `--json <path>`
+// (CI emits BENCH_<name>.json artifacts this way, giving the repo a perf
+// trajectory that scripts can diff across commits).
+
+/// Parses `--json <path>` (or `--json=<path>`) out of argv; returns the
+/// path or an empty string.
+std::string JsonPathFromArgs(int argc, char** argv);
+
+/// Appends one record: {"bench": ..., "name": ..., "value": ..., "unit":
+/// ...}. Values must be finite.
+void RecordJson(const std::string& bench, const std::string& name,
+                double value, const std::string& unit);
+
+/// Writes all records to `path` and reports success; an empty path is a
+/// no-op success (the flag was not passed).
+bool WriteBenchJson(const std::string& path);
+
 /// Fig. 6–15 body: one family, metric series per algorithm as a function
 /// of pattern size.
 void RunSizeSweepFigure(const std::string& figure, PatternFamily family,

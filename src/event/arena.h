@@ -1,0 +1,63 @@
+#ifndef CEPJOIN_EVENT_ARENA_H_
+#define CEPJOIN_EVENT_ARENA_H_
+
+#include <cstddef>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "event/event.h"
+
+namespace cepjoin {
+
+/// Block allocator for stream events: events are placed back-to-back in
+/// fixed-capacity blocks and handed out as aliasing shared_ptrs, so one
+/// control-block allocation is amortized over a whole block and a batch's
+/// events (with their inline attribute payloads) are contiguous in
+/// memory. This is what makes candidate scans stream linearly instead of
+/// hopping between per-event make_shared allocations.
+///
+/// Lifetime: a block stays alive while any of its events is referenced,
+/// so a single long-lived EventPtr pins its block (block_capacity events).
+/// Window buffers evict in arrival order, which releases blocks in order;
+/// retained match sets pin at most the blocks their events live in.
+///
+/// Single-threaded, like every stream-construction path that uses it.
+class EventArena {
+ public:
+  static constexpr size_t kDefaultBlockCapacity = 256;
+
+  explicit EventArena(size_t block_capacity = kDefaultBlockCapacity)
+      : block_capacity_(block_capacity > 0 ? block_capacity : 1) {}
+
+  /// Moves `e` into the arena and returns a shared handle to it.
+  EventPtr Add(Event e) {
+    if (block_ == nullptr ||
+        block_->events.size() == block_->events.capacity()) {
+      block_ = std::make_shared<Block>();
+      // Reserve exactly once: handed-out pointers forbid reallocation.
+      block_->events.reserve(block_capacity_);
+      ++blocks_allocated_;
+    }
+    block_->events.push_back(std::move(e));
+    // Aliasing constructor: the handle owns the block but points at one
+    // event, so refcounting costs no per-event allocation.
+    return EventPtr(block_, &block_->events.back());
+  }
+
+  /// Blocks created so far (test/metrics hook).
+  size_t blocks_allocated() const { return blocks_allocated_; }
+
+ private:
+  struct Block {
+    std::vector<Event> events;
+  };
+
+  std::shared_ptr<Block> block_;
+  size_t block_capacity_;
+  size_t blocks_allocated_ = 0;
+};
+
+}  // namespace cepjoin
+
+#endif  // CEPJOIN_EVENT_ARENA_H_

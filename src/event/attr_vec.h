@@ -1,0 +1,153 @@
+#ifndef CEPJOIN_EVENT_ATTR_VEC_H_
+#define CEPJOIN_EVENT_ATTR_VEC_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <ostream>
+
+namespace cepjoin {
+
+/// Attribute storage with inline capacity: the schemas of real CEP
+/// streams are a handful of doubles wide, so the common case stores every
+/// attribute inside the Event struct itself — no per-event heap
+/// allocation, no pointer chase on the predicate hot path, and batches of
+/// events laid out contiguously (e.g. by EventArena) keep their attribute
+/// payloads contiguous too. Schemas wider than kInlineCapacity spill to a
+/// heap block, preserving std::vector semantics for the operations the
+/// codebase uses (index, resize, push_back, equality).
+class AttrVec {
+ public:
+  /// Chosen so sizeof(AttrVec) == 64: one cache line of inline payload
+  /// plus bookkeeping, covering every built-in workload schema (stock
+  /// events carry 2 attributes, the synthetic benches up to 4).
+  static constexpr size_t kInlineCapacity = 6;
+
+  AttrVec() = default;
+  AttrVec(std::initializer_list<double> values) {
+    Assign(values.begin(), values.size());
+  }
+  AttrVec(const AttrVec& other) { Assign(other.data(), other.size_); }
+  AttrVec(AttrVec&& other) noexcept { MoveFrom(other); }
+  AttrVec& operator=(const AttrVec& other) {
+    if (this != &other) Assign(other.data(), other.size_);
+    return *this;
+  }
+  AttrVec& operator=(AttrVec&& other) noexcept {
+    if (this != &other) {
+      Release();
+      MoveFrom(other);
+    }
+    return *this;
+  }
+  AttrVec& operator=(std::initializer_list<double> values) {
+    Assign(values.begin(), values.size());
+    return *this;
+  }
+  ~AttrVec() { Release(); }
+
+  double* data() { return heap_ != nullptr ? heap_ : inline_; }
+  const double* data() const { return heap_ != nullptr ? heap_ : inline_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  size_t capacity() const { return capacity_; }
+
+  double& operator[](size_t i) { return data()[i]; }
+  const double& operator[](size_t i) const { return data()[i]; }
+
+  double* begin() { return data(); }
+  double* end() { return data() + size_; }
+  const double* begin() const { return data(); }
+  const double* end() const { return data() + size_; }
+
+  /// Keeps capacity, like std::vector::clear.
+  void clear() { size_ = 0; }
+  void reserve(size_t n) {
+    if (n > capacity_) Grow(n);
+  }
+  void resize(size_t n) {
+    if (n > capacity_) Grow(n);
+    for (size_t i = size_; i < n; ++i) data()[i] = 0.0;
+    size_ = static_cast<uint32_t>(n);
+  }
+  void push_back(double v) {
+    if (size_ == capacity_) Grow(capacity_ * 2);
+    data()[size_++] = v;
+  }
+
+  bool operator==(const AttrVec& other) const {
+    return size_ == other.size_ &&
+           std::equal(begin(), end(), other.begin());
+  }
+  bool operator!=(const AttrVec& other) const { return !(*this == other); }
+
+  /// Heap bytes owned beyond the inline buffer — 0 for inline schemas.
+  /// The honest input to ApproxEventBytes: the old std::vector layout
+  /// charged a heap block to every event unconditionally.
+  size_t HeapBytes() const {
+    return heap_ != nullptr ? capacity_ * sizeof(double) : 0;
+  }
+
+ private:
+  void Assign(const double* src, size_t n) {
+    if (n > capacity_) Grow(n);
+    std::copy(src, src + n, data());
+    size_ = static_cast<uint32_t>(n);
+  }
+  /// Grows to at least `n` slots, preserving the first size_ values.
+  void Grow(size_t n) {
+    size_t cap = std::max<size_t>(n, 2 * kInlineCapacity);
+    double* grown = new double[cap];
+    std::copy(data(), data() + size_, grown);
+    delete[] heap_;
+    heap_ = grown;
+    capacity_ = static_cast<uint32_t>(cap);
+  }
+  void Release() {
+    delete[] heap_;
+    heap_ = nullptr;
+    capacity_ = kInlineCapacity;
+    size_ = 0;
+  }
+  void MoveFrom(AttrVec& other) noexcept {
+    if (other.heap_ != nullptr) {
+      heap_ = other.heap_;
+      capacity_ = other.capacity_;
+      size_ = other.size_;
+      other.heap_ = nullptr;
+      other.capacity_ = kInlineCapacity;
+      other.size_ = 0;
+    } else {
+      heap_ = nullptr;
+      capacity_ = kInlineCapacity;
+      size_ = other.size_;
+      std::copy(other.inline_, other.inline_ + other.size_, inline_);
+      other.size_ = 0;
+    }
+  }
+
+  double inline_[kInlineCapacity];
+  double* heap_ = nullptr;
+  uint32_t size_ = 0;
+  uint32_t capacity_ = kInlineCapacity;
+};
+
+/// Layout invariant the columnar/vectorized evaluation path relies on:
+/// inline payload + bookkeeping in exactly one cache line, so arena
+/// blocks of Events stride predictably.
+static_assert(sizeof(AttrVec) == 64, "AttrVec must stay one cache line");
+
+/// gtest-friendly rendering for EXPECT_EQ failures.
+inline std::ostream& operator<<(std::ostream& os, const AttrVec& attrs) {
+  os << "{";
+  for (size_t i = 0; i < attrs.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << attrs[i];
+  }
+  return os << "}";
+}
+
+}  // namespace cepjoin
+
+#endif  // CEPJOIN_EVENT_ATTR_VEC_H_

@@ -2,9 +2,9 @@
 #define CEPJOIN_EVENT_EVENT_H_
 
 #include <memory>
-#include <vector>
 
 #include "common/types.h"
+#include "event/attr_vec.h"
 
 namespace cepjoin {
 
@@ -12,6 +12,9 @@ namespace cepjoin {
 ///
 /// Events are immutable once placed in a stream; engines share them via
 /// shared_ptr so partial matches can reference them without copying.
+/// Attributes live inline in the struct (AttrVec) for every realistic
+/// schema width, so a batch of arena-allocated events is one contiguous
+/// run of payload — the row-major half of the columnar evaluation layout.
 struct Event {
   /// Dense id of the event's type in the owning EventTypeRegistry.
   TypeId type = kInvalidTypeId;
@@ -24,7 +27,7 @@ struct Event {
   /// Occurrence timestamp in seconds. Streams are ordered by `ts`.
   Timestamp ts = 0.0;
   /// Attribute values, positionally matching the type's schema.
-  std::vector<double> attrs;
+  AttrVec attrs;
 
   double Attr(AttrId id) const { return attrs[id]; }
 };
@@ -32,8 +35,11 @@ struct Event {
 using EventPtr = std::shared_ptr<const Event>;
 
 /// Approximate heap footprint of one event, used by the memory metric.
+/// Inline attribute storage means the common schema adds nothing beyond
+/// the struct itself; only spilled (wider than AttrVec::kInlineCapacity)
+/// schemas carry a heap block.
 inline size_t ApproxEventBytes(const Event& e) {
-  return sizeof(Event) + e.attrs.capacity() * sizeof(double);
+  return sizeof(Event) + e.attrs.HeapBytes();
 }
 
 }  // namespace cepjoin

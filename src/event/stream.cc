@@ -17,7 +17,7 @@ void EventStream::Append(Event e) {
     type_counts_.resize(e.type + 1, 0);
   }
   ++type_counts_[e.type];
-  events_.push_back(std::make_shared<const Event>(std::move(e)));
+  events_.push_back(arena_.Add(std::move(e)));
 }
 
 Timestamp EventStream::end_ts() const {

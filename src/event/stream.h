@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "event/arena.h"
 #include "event/event.h"
 #include "event/partition_sequencer.h"
 
@@ -40,6 +41,9 @@ class EventStream {
   std::vector<EventPtr> events_;
   std::vector<size_t> type_counts_;
   PartitionSequencer partition_seq_;
+  /// Events are arena-allocated: contiguous blocks, one shared control
+  /// block per EventArena block instead of one heap Event per append.
+  EventArena arena_;
 };
 
 }  // namespace cepjoin

@@ -60,6 +60,10 @@ class EventStreamSource : public StreamSource {
     out->type = e.type;
     out->ts = e.ts;
     out->partition = e.partition;
+    // Inline attribute storage makes this a flat copy for every schema
+    // that fits AttrVec's inline capacity — no per-replayed-event heap
+    // allocation; spilled schemas reuse `out`'s existing heap block
+    // across Next() calls.
     out->attrs = e.attrs;
     out->serial = 0;
     out->partition_seq = 0;

@@ -48,6 +48,15 @@ NfaEngine::NfaEngine(const SimplePattern& pattern, const OrderPlan& plan,
     checks_at_state_[ready].push_back(&neg);
   }
   next_match_ = cp_.strategy() == SelectionStrategy::kSkipTillNext;
+  use_columnar_ = ColumnarKernelsEnabled() && !next_match_;
+  // Column mirrors cost an append per field; keep them only where the
+  // run kernels will read them — positive positions' creation scans.
+  // Negated positions are iterated row-wise by the negation checks.
+  for (int pos = 0; pos < cp_.num_positions(); ++pos) {
+    if (!use_columnar_ || cp_.pos_to_slot(pos) < 0) {
+      buffers_[pos].DisableColumns();
+    }
+  }
 }
 
 // --- bound accessor over an instance ---------------------------------------
@@ -171,7 +180,7 @@ void NfaEngine::BufferEvent(const EventPtr& e) {
     if (!cp_.program().EvalUnary(pos, *e, &counters_.predicate_evals)) {
       continue;
     }
-    buffers_[pos].push_back(e);
+    buffers_[pos].Append(e);
     counters_.AddBuffered();
   }
 }
@@ -301,8 +310,9 @@ bool NfaEngine::RunNegationChecks(const Instance& inst, int state) {
   NfaBound bound(step_pos_, inst.events, inst.kleene_extra,
                  kleene_step_ >= 0 ? step_pos_[kleene_step_] : -1);
   for (const NegationSpec* neg : checks_at_state_[state]) {
-    for (const EventPtr& candidate : buffers_[neg->neg_pos]) {
-      if (cp_.NegationViolates(*neg, *candidate, bound, inst.min_ts,
+    const ColumnBuffer& buffer = buffers_[neg->neg_pos];
+    for (size_t bi = 0; bi < buffer.size(); ++bi) {
+      if (cp_.NegationViolates(*neg, *buffer[bi], bound, inst.min_ts,
                                inst.max_ts, &counters_.predicate_evals)) {
         return false;
       }
@@ -326,31 +336,88 @@ void NfaEngine::Cascade(Instance&& inst, int state) {
   Instance local = by_state_[state][idx];
 
   if (state < m) {
-    // Creation scan: consume buffered events for this step.
-    const std::deque<EventPtr>& buffer = buffers_[step_pos_[state]];
-    for (const EventPtr& b : buffer) {
-      Instance child;
-      if (TryExtend(local, state, b, &child)) {
-        if (next_match_) {
-          MarkDead(state, idx);
+    // Creation scan: consume buffered events for this step. The columnar
+    // path evaluates the whole run through the vectorized kernels; the
+    // scalar per-candidate loop remains the oracle and the
+    // skip-till-next path (its first-success early exit stops evaluating
+    // mid-run, which run-at-a-time counting cannot reproduce).
+    if (use_columnar_) {
+      CreationScanColumnar(local, state);
+    } else {
+      const ColumnBuffer& buffer = buffers_[step_pos_[state]];
+      for (size_t bi = 0; bi < buffer.size(); ++bi) {
+        Instance child;
+        if (TryExtend(local, state, buffer[bi], &child)) {
+          if (next_match_) {
+            MarkDead(state, idx);
+            Cascade(std::move(child), state + 1);
+            return;
+          }
           Cascade(std::move(child), state + 1);
-          return;
         }
-        Cascade(std::move(child), state + 1);
       }
     }
   }
   // Kleene creation-absorption: grow the member set from buffered events
   // newer than the current maximum member.
   if (kleene_step_ >= 0 && state == kleene_step_ + 1 && !next_match_) {
-    const std::deque<EventPtr>& buffer = buffers_[step_pos_[kleene_step_]];
-    for (const EventPtr& b : buffer) {
+    const ColumnBuffer& buffer = buffers_[step_pos_[kleene_step_]];
+    for (size_t bi = 0; bi < buffer.size(); ++bi) {
       Instance child;
-      if (TryAbsorb(local, b, &child)) {
+      if (TryAbsorb(local, buffer[bi], &child)) {
         Cascade(std::move(child), state);
       }
     }
   }
+}
+
+void NfaEngine::CreationScanColumnar(const Instance& parent, int state) {
+  const ColumnBuffer& buffer = buffers_[step_pos_[state]];
+  const size_t n = buffer.size();
+  if (n == 0) return;
+  const int pos = step_pos_[state];
+  const ColumnRun run = buffer.Run();
+  LaneMask mask(n);
+  uint64_t* alive = mask.words();
+  const PredicateProgram& program = cp_.program();
+  // Gate order mirrors TryExtend exactly — unary filter, window
+  // feasibility, no-reuse, pairwise spans, Kleene-member spans — so the
+  // survivor set, the cascade order, and predicate_evals are all
+  // bit-identical to the scalar scan.
+  program.EvalUnaryRun(pos, run, alive, &counters_.predicate_evals);
+  WindowMaskLanes(parent.min_ts, parent.max_ts, cp_.window(), run, alive);
+  for (const EventPtr& used : parent.events) {
+    ClearLanesOf(run, used.get(), alive);
+  }
+  for (const EventPtr& used : parent.kleene_extra) {
+    ClearLanesOf(run, used.get(), alive);
+  }
+  for (int j = 0; j < state; ++j) {
+    program.EvalPairRun(step_pos_[j], pos, *parent.events[j], run, alive,
+                        &counters_.predicate_evals);
+  }
+  if (kleene_step_ >= 0 && kleene_step_ < state) {
+    const int kpos = step_pos_[kleene_step_];
+    for (const EventPtr& member : parent.kleene_extra) {
+      program.EvalPairRun(kpos, pos, *member, run, alive,
+                          &counters_.predicate_evals);
+    }
+  }
+  // Survivors extend `parent` in buffer order, exactly like the scalar
+  // scan. The mask lives on this frame and the buffer cannot change
+  // during the cascades (BufferEvent/Sweep only run between arrivals),
+  // so iterating while recursing is safe.
+  mask.ForEachAlive([&](size_t k) {
+    const EventPtr& b = buffer[k];
+    Instance child = parent;
+    child.events.push_back(b);
+    child.min_ts = std::min(parent.min_ts, b->ts);
+    child.max_ts = std::max(parent.max_ts, b->ts);
+    child.creation_serial = current_serial_;
+    child.dead = false;
+    if (state == kleene_step_) child.max_kleene_serial = b->serial;
+    Cascade(std::move(child), state + 1);
+  });
 }
 
 void NfaEngine::Complete(const Instance& inst) {
@@ -384,8 +451,9 @@ void NfaEngine::Complete(const Instance& inst) {
   if (!completion_checks_.empty()) {
     MatchBound bound(match);
     for (const NegationSpec* neg : completion_checks_) {
-      for (const EventPtr& candidate : buffers_[neg->neg_pos]) {
-        if (cp_.NegationViolates(*neg, *candidate, bound, inst.min_ts,
+      const ColumnBuffer& buffer = buffers_[neg->neg_pos];
+      for (size_t bi = 0; bi < buffer.size(); ++bi) {
+        if (cp_.NegationViolates(*neg, *buffer[bi], bound, inst.min_ts,
                                  inst.max_ts, &counters_.predicate_evals)) {
           return;
         }
@@ -429,7 +497,7 @@ void NfaEngine::Sweep() {
   Timestamp horizon = now_ - cp_.window();
   for (auto& buffer : buffers_) {
     while (!buffer.empty() && buffer.front()->ts < horizon) {
-      buffer.pop_front();
+      buffer.PopFront();
       counters_.RemoveBuffered();
     }
   }

@@ -2,10 +2,10 @@
 #define CEPJOIN_NFA_NFA_ENGINE_H_
 
 #include <chrono>
-#include <deque>
 #include <vector>
 
 #include "plan/order_plan.h"
+#include "runtime/column_buffer.h"
 #include "runtime/compiled_pattern.h"
 #include "runtime/engine.h"
 #include "runtime/match.h"
@@ -97,6 +97,14 @@ class NfaEngine : public Engine {
   bool TryExtend(const Instance& parent, int state, const EventPtr& e,
                  Instance* child);
   bool TryAbsorb(const Instance& parent, const EventPtr& e, Instance* child);
+  /// Run-at-a-time creation scan: evaluates every TryExtend gate for the
+  /// whole buffered run of step `state`'s position through the columnar
+  /// predicate kernels (survivor bitmask), then cascades survivors in
+  /// buffer order. Match sequences and predicate_evals are bit-identical
+  /// to the scalar per-candidate scan; used when columnar kernels are
+  /// enabled and the strategy is not skip-till-next (whose first-success
+  /// early exit stops evaluating mid-run).
+  void CreationScanColumnar(const Instance& parent, int state);
   bool RunNegationChecks(const Instance& inst, int state);
   void Complete(const Instance& inst);
   void EmitMatch(Match match);
@@ -118,7 +126,9 @@ class NfaEngine : public Engine {
   std::vector<const NegationSpec*> completion_checks_;
   std::vector<const NegationSpec*> trailing_checks_;
 
-  std::vector<std::deque<EventPtr>> buffers_;      // per pattern position
+  /// Per pattern position, attr-major + row handles: the columnar window
+  /// buffer the run kernels scan.
+  std::vector<ColumnBuffer> buffers_;
   std::vector<std::vector<Instance>> by_state_;    // states 1..m (and m)
   std::vector<PendingMatch> pending_;
 
@@ -127,6 +137,9 @@ class NfaEngine : public Engine {
   std::chrono::steady_clock::time_point arrival_start_{};
   uint64_t events_since_sweep_ = 0;
   bool next_match_ = false;
+  /// ColumnarKernelsEnabled() && !skip-till-next, fixed at construction;
+  /// also decides which buffers keep column mirrors at all.
+  bool use_columnar_ = true;
 
   static constexpr uint64_t kSweepEvery = 64;
 };

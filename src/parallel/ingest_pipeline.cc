@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "event/arena.h"
 #include "event/partition_sequencer.h"
 
 namespace cepjoin {
@@ -151,6 +152,9 @@ IngestResult IngestPipeline::Run(const RunConsumer& consume) {
 
   EventSerial next_serial = 0;
   PartitionSequencer partition_seq;
+  // Merged events are arena-built: the consumer's runs point into
+  // contiguous blocks, same layout as a materialized EventStream.
+  EventArena arena;
 
   try {
     while (!failed) {
@@ -191,7 +195,7 @@ IngestResult IngestPipeline::Run(const RunConsumer& consume) {
                            run.size() >= options_.chunk_size)) {
         flush_run();
       }
-      run.push_back(std::make_shared<const Event>(std::move(e)));
+      run.push_back(arena.Add(std::move(e)));
     }
     flush_run();
   } catch (...) {

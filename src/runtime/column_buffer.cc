@@ -1,0 +1,129 @@
+#include "runtime/column_buffer.h"
+
+#include <atomic>
+
+#include "common/check.h"
+
+namespace cepjoin {
+
+namespace {
+std::atomic<bool> g_columnar_enabled{true};
+}  // namespace
+
+bool ColumnarKernelsEnabled() {
+  return g_columnar_enabled.load(std::memory_order_relaxed);
+}
+
+void SetColumnarKernelsEnabled(bool enabled) {
+  g_columnar_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+void ColumnBuffer::Append(const EventPtr& e) {
+  CEPJOIN_CHECK(e != nullptr);
+  if (!columns_enabled_) {
+    events_.push_back(e);
+    return;
+  }
+  if (num_attrs_ < 0) {
+    num_attrs_ = static_cast<int>(e->attrs.size());
+    attr_cols_.resize(num_attrs_);
+  } else if (regular_ &&
+             e->attrs.size() != static_cast<size_t>(num_attrs_)) {
+    // Schema contradiction: drop the attr columns for good; the scalar
+    // per-lane fallback keeps verdicts exact.
+    regular_ = false;
+    attr_cols_.clear();
+  }
+  events_.push_back(e);
+  ts_.push_back(e->ts);
+  serials_.push_back(e->serial);
+  partitions_.push_back(e->partition);
+  partition_seqs_.push_back(e->partition_seq);
+  if (regular_) {
+    for (int a = 0; a < num_attrs_; ++a) {
+      attr_cols_[a].push_back(e->attrs[a]);
+    }
+  }
+}
+
+void ColumnBuffer::PopFront() {
+  CEPJOIN_CHECK(!empty());
+  events_[begin_].reset();  // release the arena block reference now
+  ++begin_;
+  MaybeCompact();
+}
+
+void ColumnBuffer::Filter(const std::vector<uint8_t>& keep) {
+  CEPJOIN_CHECK_EQ(keep.size(), size());
+  size_t out = 0;
+  for (size_t i = 0; i < keep.size(); ++i) {
+    if (!keep[i]) continue;
+    size_t src = begin_ + i;
+    size_t dst = out++;
+    if (dst == src) continue;
+    events_[dst] = std::move(events_[src]);
+    if (!columns_enabled_) continue;
+    ts_[dst] = ts_[src];
+    serials_[dst] = serials_[src];
+    partitions_[dst] = partitions_[src];
+    partition_seqs_[dst] = partition_seqs_[src];
+    for (auto& col : attr_cols_) col[dst] = col[src];
+  }
+  begin_ = 0;
+  events_.resize(out);
+  if (!columns_enabled_) return;
+  ts_.resize(out);
+  serials_.resize(out);
+  partitions_.resize(out);
+  partition_seqs_.resize(out);
+  for (auto& col : attr_cols_) col.resize(out);
+}
+
+ColumnRun ColumnBuffer::Run() const {
+  CEPJOIN_CHECK(columns_enabled_)
+      << "Run() on a rows-only buffer (DisableColumns was called)";
+  ColumnRun run;
+  run.size = size();
+  if (run.size == 0) return run;
+  run.ts = ts_.data() + begin_;
+  run.serial = serials_.data() + begin_;
+  run.partition = partitions_.data() + begin_;
+  run.partition_seq = partition_seqs_.data() + begin_;
+  run.events = events_.data() + begin_;
+  if (regular_ && num_attrs_ > 0) {
+    attr_ptrs_.resize(num_attrs_);
+    for (int a = 0; a < num_attrs_; ++a) {
+      attr_ptrs_[a] = attr_cols_[a].data() + begin_;
+    }
+    run.attrs = attr_ptrs_.data();
+    run.num_attrs = static_cast<size_t>(num_attrs_);
+  }
+  return run;
+}
+
+void ColumnBuffer::MaybeCompact() {
+  // Amortized-O(1) front eviction: slide the live range down once the
+  // dead prefix dominates, so the columns stay dense without per-pop
+  // moves.
+  if (begin_ < 64 || begin_ * 2 < events_.size()) return;
+  size_t live = size();
+  for (size_t i = 0; i < live; ++i) {
+    events_[i] = std::move(events_[begin_ + i]);
+    if (!columns_enabled_) continue;
+    ts_[i] = ts_[begin_ + i];
+    serials_[i] = serials_[begin_ + i];
+    partitions_[i] = partitions_[begin_ + i];
+    partition_seqs_[i] = partition_seqs_[begin_ + i];
+    for (auto& col : attr_cols_) col[i] = col[begin_ + i];
+  }
+  begin_ = 0;
+  events_.resize(live);
+  if (!columns_enabled_) return;
+  ts_.resize(live);
+  serials_.resize(live);
+  partitions_.resize(live);
+  partition_seqs_.resize(live);
+  for (auto& col : attr_cols_) col.resize(live);
+}
+
+}  // namespace cepjoin

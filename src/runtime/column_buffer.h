@@ -1,0 +1,206 @@
+#ifndef CEPJOIN_RUNTIME_COLUMN_BUFFER_H_
+#define CEPJOIN_RUNTIME_COLUMN_BUFFER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "event/event.h"
+
+namespace cepjoin {
+
+/// Borrowed struct-of-arrays view over a contiguous run of buffered
+/// events — the unit the vectorized predicate kernels consume. One lane
+/// per event; every column pointer addresses lane 0 and is valid for
+/// `size` elements. `attrs` may be null (irregular buffer or no events
+/// yet): kernels then fall back to the row handles in `events`, which are
+/// always present.
+struct ColumnRun {
+  size_t size = 0;
+  const Timestamp* ts = nullptr;
+  const EventSerial* serial = nullptr;
+  const uint32_t* partition = nullptr;
+  const EventSerial* partition_seq = nullptr;
+  /// attrs[a] is the contiguous column of attribute a, a < num_attrs.
+  const double* const* attrs = nullptr;
+  size_t num_attrs = 0;
+  /// Row handles, parallel to the columns (virtual-fallback predicates
+  /// and survivor materialization).
+  const EventPtr* events = nullptr;
+};
+
+/// Process-wide kill switch for the columnar kernels. Engines capture it
+/// at construction; the equivalence suites toggle it to pit the
+/// vectorized path against the scalar interpreter oracle on identical
+/// inputs, and operators can flip it to triage a suspected kernel bug.
+bool ColumnarKernelsEnabled();
+void SetColumnarKernelsEnabled(bool enabled);
+
+/// A window buffer position stored attr-major: the engines' per-position
+/// FIFO of window events (NfaEngine::buffers_, TreeEngine negation
+/// buffers and leaf mirrors), mirrored into one contiguous column per
+/// scalar field and per attribute. Appends at the back, evicts at the
+/// front (sliding window), compacts amortized-O(1). Row handles
+/// (EventPtr) are kept alongside, so the buffer fully replaces the old
+/// std::deque<EventPtr> — same iteration interface, plus Run() for the
+/// kernels.
+///
+/// The attribute schema is latched from the first appended event (a
+/// position's buffer only ever holds one event type). If an event with a
+/// different attribute count ever shows up, the buffer degrades to
+/// irregular: attr columns are dropped from Run() and kernels use the
+/// per-lane fallback, preserving scalar semantics exactly.
+class ColumnBuffer {
+ public:
+  ColumnBuffer() = default;
+
+  /// Buffers that will only ever be iterated row-wise — negation
+  /// buffers, and every buffer of an engine whose columnar path is off
+  /// (kill switch, skip-till-next) — skip the column mirrors entirely;
+  /// Run() is then forbidden. Call before the first Append.
+  void DisableColumns() { columns_enabled_ = false; }
+  bool columns_enabled() const { return columns_enabled_; }
+
+  void Append(const EventPtr& e);
+  /// Evicts the oldest event. The row handle is released immediately so
+  /// arena blocks drain with the window, not at compaction time.
+  void PopFront();
+  /// Keeps exactly the rows with keep[i] != 0 (i in live-range order);
+  /// used by TreeEngine::Sweep to compact a leaf mirror in lockstep with
+  /// its instance list. keep.size() must equal size().
+  void Filter(const std::vector<uint8_t>& keep);
+
+  size_t size() const { return events_.size() - begin_; }
+  bool empty() const { return begin_ == events_.size(); }
+  const EventPtr& operator[](size_t i) const { return events_[begin_ + i]; }
+  const EventPtr& front() const { return events_[begin_]; }
+
+  /// Columnar view of the live range. Pointers are invalidated by any
+  /// mutation (Append/PopFront/Filter).
+  ColumnRun Run() const;
+
+  /// False once an appended event contradicted the latched schema.
+  bool regular() const { return regular_; }
+  int num_attrs() const { return num_attrs_; }
+
+ private:
+  void MaybeCompact();
+
+  size_t begin_ = 0;
+  std::vector<EventPtr> events_;
+  std::vector<Timestamp> ts_;
+  std::vector<EventSerial> serials_;
+  std::vector<uint32_t> partitions_;
+  std::vector<EventSerial> partition_seqs_;
+  std::vector<std::vector<double>> attr_cols_;
+  mutable std::vector<const double*> attr_ptrs_;  // rebuilt by Run()
+  int num_attrs_ = -1;  // -1: schema not latched yet
+  bool regular_ = true;
+  bool columns_enabled_ = true;
+};
+
+/// Fixed-size-friendly survivor bitmask over a candidate run: up to
+/// kInlineWords * 64 lanes live on the caller's stack, longer runs spill
+/// to the heap. Word w bit b covers lane w * 64 + b; trailing bits past
+/// the lane count start (and must stay) zero, so popcount-based eval
+/// counting never overcounts.
+class LaneMask {
+ public:
+  explicit LaneMask(size_t lanes)
+      : lanes_(lanes), words_((lanes + 63) / 64) {
+    data_ = words_ <= kInlineWords
+                ? stack_
+                : (heap_.resize(words_), heap_.data());
+    for (size_t w = 0; w < words_; ++w) data_[w] = ~uint64_t{0};
+    if (lanes % 64 != 0 && words_ > 0) {
+      data_[words_ - 1] = ~uint64_t{0} >> (64 - lanes % 64);
+    }
+  }
+
+  // data_ points into this object (stack_ or heap_): copying would alias
+  // and then dangle.
+  LaneMask(const LaneMask&) = delete;
+  LaneMask& operator=(const LaneMask&) = delete;
+
+  uint64_t* words() { return data_; }
+  const uint64_t* words() const { return data_; }
+  size_t num_lanes() const { return lanes_; }
+  bool Alive(size_t lane) const {
+    return (data_[lane / 64] >> (lane % 64)) & 1;
+  }
+
+  bool AnyAlive() const {
+    for (size_t w = 0; w < words_; ++w) {
+      if (data_[w] != 0) return true;
+    }
+    return false;
+  }
+
+  /// Invokes fn(lane) for each surviving lane in ascending order.
+  template <class Fn>
+  void ForEachAlive(Fn&& fn) const {
+    for (size_t w = 0; w < words_; ++w) {
+      uint64_t bits = data_[w];
+      while (bits != 0) {
+        int b = __builtin_ctzll(bits);
+        bits &= bits - 1;
+        fn(w * 64 + static_cast<size_t>(b));
+      }
+    }
+  }
+
+ private:
+  static constexpr size_t kInlineWords = 8;  // 512 lanes without a heap trip
+
+  size_t lanes_;
+  size_t words_;
+  uint64_t stack_[kInlineWords];
+  std::vector<uint64_t> heap_;
+  uint64_t* data_;
+};
+
+/// Clears lanes whose timestamp would stretch the window span
+/// [min(min_ts, lane.ts), max(max_ts, lane.ts)] beyond `window` — the
+/// engines' window-feasibility gate, vectorized. No predicate counting:
+/// the scalar paths check the window before any predicate runs.
+inline void WindowMaskLanes(Timestamp min_ts, Timestamp max_ts,
+                            Timestamp window, const ColumnRun& run,
+                            uint64_t* alive) {
+  size_t words = (run.size + 63) / 64;
+  for (size_t w = 0; w < words; ++w) {
+    if (alive[w] == 0) continue;
+    size_t lane0 = w * 64;
+    size_t n = run.size - lane0 < 64 ? run.size - lane0 : 64;
+    uint64_t keep = 0;
+    const Timestamp* ts = run.ts + lane0;
+    for (size_t k = 0; k < n; ++k) {
+      Timestamp lo = ts[k] < min_ts ? ts[k] : min_ts;
+      Timestamp hi = ts[k] > max_ts ? ts[k] : max_ts;
+      keep |= static_cast<uint64_t>(hi - lo <= window) << k;
+    }
+    alive[w] &= keep;
+  }
+}
+
+/// Clears any lane whose row handle is exactly `used` — the vectorized
+/// form of the engines' no-event-fills-two-slots check (pointer identity,
+/// same as the scalar path).
+inline void ClearLanesOf(const ColumnRun& run, const Event* used,
+                         uint64_t* alive) {
+  size_t words = (run.size + 63) / 64;
+  for (size_t w = 0; w < words; ++w) {
+    uint64_t bits = alive[w];
+    while (bits != 0) {
+      int b = __builtin_ctzll(bits);
+      bits &= bits - 1;
+      size_t lane = w * 64 + static_cast<size_t>(b);
+      if (run.events[lane].get() == used) {
+        alive[w] &= ~(uint64_t{1} << b);
+      }
+    }
+  }
+}
+
+}  // namespace cepjoin
+
+#endif  // CEPJOIN_RUNTIME_COLUMN_BUFFER_H_

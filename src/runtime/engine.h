@@ -51,13 +51,16 @@ struct EngineCounters {
     if (buffered_events > 0) --buffered_events;
   }
   void UpdatePeakBytes() {
-    // Rough per-buffered-event footprint: shared_ptr + control block share
-    // + the event payload itself amortized across references.
     size_t total = instance_bytes + buffered_events * kApproxBufferedBytes;
     peak_total_bytes = std::max(peak_total_bytes, total);
   }
 
-  static constexpr size_t kApproxBufferedBytes = 96;
+  /// Rough per-buffered-event footprint: the inline-attribute Event row
+  /// (its arena-block share — the control block is amortized over a whole
+  /// block) + the EventPtr handle + the columnar mirror entry (scalar
+  /// columns and a few attribute columns). Replaces the old flat 96 that
+  /// assumed a heap std::vector payload per event.
+  static constexpr size_t kApproxBufferedBytes = sizeof(Event) + 64;
 
   /// Merges counters of an engine that saw the SAME stream (DNF
   /// multi-engine aggregation): events_processed is the stream position,

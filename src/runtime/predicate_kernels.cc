@@ -1,0 +1,529 @@
+// Columnar predicate kernels: the batched counterpart of the scalar span
+// interpreter in predicate_program.cc. A span is evaluated
+// instruction-major across a whole candidate run (struct-of-arrays
+// columns from ColumnBuffer), in 64-lane blocks: each instruction writes
+// a verdict byte per lane in a tight, auto-vectorizable loop over one
+// column, the bytes are packed into a bitmask word, and the word ANDs
+// into the survivor mask. Lanes dead on entry are never counted; a lane's
+// predicate_evals contribution is exactly what per-lane EvalPair calls
+// would have produced (executed instructions up to and including the
+// first failure), because each instruction adds popcount(live-before).
+//
+// The dominant 1–3 instruction spans of vectorizable opcodes additionally
+// get template-stamped kernels (SpecSpan1/2/3) selected at lowering time:
+// the instruction dispatch is resolved at compile time, so the only
+// per-block work left is the column loops themselves — the ROADMAP's
+// "JIT-style predicate specialization" item.
+
+#include <algorithm>
+#include <cstring>
+
+#include "runtime/predicate_program.h"
+
+namespace cepjoin {
+
+namespace {
+
+/// Packs n (<= 64) verdict bytes (each strictly 0 or 1) into a bitmask,
+/// byte k -> bit k. The multiply gathers the eight 0/1 bytes of a chunk
+/// into the top byte of the product (distinct exponents, no carries).
+inline uint64_t PackBits(const uint8_t* v, size_t n) {
+  uint64_t bits = 0;
+  size_t full = n / 8;
+  for (size_t i = 0; i < full; ++i) {
+    uint64_t chunk;
+    std::memcpy(&chunk, v + i * 8, 8);
+    bits |= ((chunk * 0x0102040810204080ull) >> 56) << (i * 8);
+  }
+  for (size_t k = full * 8; k < n; ++k) {
+    bits |= static_cast<uint64_t>(v[k] & 1u) << k;
+  }
+  return bits;
+}
+
+/// Row-at-a-time fallback for one instruction over a block: identical
+/// semantics to the scalar interpreter (used when attr columns do not
+/// cover the instruction, or for virtual trampolines). `live` lets
+/// kVirtual skip dead lanes so user predicates run exactly as often as
+/// on the scalar path.
+inline void VerdictRows(const PredInstr& instr, const Event* fixed,
+                        bool fixed_is_lo, const ColumnRun& run, size_t lane0,
+                        size_t n, uint64_t live, uint8_t* v) {
+  bool skip_dead = instr.op == PredOpCode::kVirtual;
+  for (size_t k = 0; k < n; ++k) {
+    if (skip_dead && (live >> k & 1) == 0) {
+      v[k] = 0;
+      continue;
+    }
+    const Event& lane = *run.events[lane0 + k];
+    const Event& lo = fixed == nullptr || !fixed_is_lo ? lane : *fixed;
+    const Event& hi = fixed == nullptr || fixed_is_lo ? lane : *fixed;
+    const Event& l = instr.swap ? hi : lo;
+    const Event& r = instr.swap ? lo : hi;
+    v[k] = EvalInstrRow(instr, l, r);
+  }
+}
+
+// --- column verdict writers, one per vectorizable opcode --------------------
+//
+// `fixed` is the event bound to the non-run side of the span (null for
+// unary spans, where both sides are the lane event); `fixed_is_lo` says
+// whether it occupies the lower pattern position. Combined with the
+// instruction's swap flag this resolves which comparison side is the
+// scalar broadcast and which is the column.
+
+inline void VerdictAttrCmp(const PredInstr& instr, const Event* fixed,
+                           bool fixed_is_lo, const ColumnRun& run,
+                           size_t lane0, size_t n, uint64_t live,
+                           uint8_t* v) {
+  const unsigned mask = instr.cmp_mask;
+  const double operand = instr.operand;
+  if (fixed == nullptr) {
+    if (run.attrs == nullptr || instr.left_attr >= run.num_attrs ||
+        instr.right_attr >= run.num_attrs) {
+      VerdictRows(instr, fixed, fixed_is_lo, run, lane0, n, live, v);
+      return;
+    }
+    const double* la = run.attrs[instr.left_attr] + lane0;
+    const double* ra = run.attrs[instr.right_attr] + lane0;
+    for (size_t k = 0; k < n; ++k) {
+      v[k] = (mask & CmpClass(la[k], ra[k] + operand)) != 0;
+    }
+    return;
+  }
+  const bool l_fixed = instr.swap ? !fixed_is_lo : fixed_is_lo;
+  if (l_fixed) {
+    if (run.attrs == nullptr || instr.right_attr >= run.num_attrs) {
+      VerdictRows(instr, fixed, fixed_is_lo, run, lane0, n, live, v);
+      return;
+    }
+    const double lhs = fixed->attrs[instr.left_attr];
+    const double* ra = run.attrs[instr.right_attr] + lane0;
+    for (size_t k = 0; k < n; ++k) {
+      v[k] = (mask & CmpClass(lhs, ra[k] + operand)) != 0;
+    }
+  } else {
+    if (run.attrs == nullptr || instr.left_attr >= run.num_attrs) {
+      VerdictRows(instr, fixed, fixed_is_lo, run, lane0, n, live, v);
+      return;
+    }
+    const double rhs = fixed->attrs[instr.right_attr] + operand;
+    const double* la = run.attrs[instr.left_attr] + lane0;
+    for (size_t k = 0; k < n; ++k) {
+      v[k] = (mask & CmpClass(la[k], rhs)) != 0;
+    }
+  }
+}
+
+inline void VerdictAttrThreshold(const PredInstr& instr, const Event* fixed,
+                                 bool fixed_is_lo, const ColumnRun& run,
+                                 size_t lane0, size_t n, uint64_t live,
+                                 uint8_t* v) {
+  const unsigned mask = instr.cmp_mask;
+  const double operand = instr.operand;
+  const bool l_fixed =
+      fixed != nullptr && (instr.swap ? !fixed_is_lo : fixed_is_lo);
+  if (l_fixed) {
+    // Thresholds read only the l side; with l fixed the verdict is one
+    // comparison broadcast to the block.
+    uint8_t verdict =
+        (mask & CmpClass(fixed->attrs[instr.left_attr], operand)) != 0;
+    std::memset(v, verdict, n);
+    return;
+  }
+  if (run.attrs == nullptr || instr.left_attr >= run.num_attrs) {
+    VerdictRows(instr, fixed, fixed_is_lo, run, lane0, n, live, v);
+    return;
+  }
+  const double* la = run.attrs[instr.left_attr] + lane0;
+  for (size_t k = 0; k < n; ++k) {
+    v[k] = (mask & CmpClass(la[k], operand)) != 0;
+  }
+}
+
+inline void VerdictTsOrder(const PredInstr& instr, const Event* fixed,
+                           bool fixed_is_lo, const ColumnRun& run,
+                           size_t lane0, size_t n, uint64_t /*live*/,
+                           uint8_t* v) {
+  if (fixed == nullptr) {
+    std::memset(v, 0, n);  // e.ts < e.ts never holds
+    return;
+  }
+  const bool l_fixed = instr.swap ? !fixed_is_lo : fixed_is_lo;
+  const Timestamp* ts = run.ts + lane0;
+  if (l_fixed) {
+    const Timestamp lts = fixed->ts;
+    for (size_t k = 0; k < n; ++k) v[k] = lts < ts[k];
+  } else {
+    const Timestamp rts = fixed->ts;
+    for (size_t k = 0; k < n; ++k) v[k] = ts[k] < rts;
+  }
+}
+
+inline void VerdictSerialAdjacent(const PredInstr& instr, const Event* fixed,
+                                  bool fixed_is_lo, const ColumnRun& run,
+                                  size_t lane0, size_t n, uint64_t /*live*/,
+                                  uint8_t* v) {
+  if (fixed == nullptr) {
+    std::memset(v, 0, n);  // e.serial == e.serial + 1 never holds
+    return;
+  }
+  const bool l_fixed = instr.swap ? !fixed_is_lo : fixed_is_lo;
+  const EventSerial* serial = run.serial + lane0;
+  if (l_fixed) {
+    const EventSerial want = fixed->serial + 1;
+    for (size_t k = 0; k < n; ++k) v[k] = serial[k] == want;
+  } else {
+    const EventSerial rs = fixed->serial;
+    for (size_t k = 0; k < n; ++k) v[k] = rs == serial[k] + 1;
+  }
+}
+
+inline void VerdictPartitionAdjacent(const PredInstr& instr,
+                                     const Event* fixed, bool fixed_is_lo,
+                                     const ColumnRun& run, size_t lane0,
+                                     size_t n, uint64_t /*live*/,
+                                     uint8_t* v) {
+  if (fixed == nullptr) {
+    std::memset(v, 0, n);  // same partition, seq == seq + 1 never holds
+    return;
+  }
+  const bool l_fixed = instr.swap ? !fixed_is_lo : fixed_is_lo;
+  const uint32_t* part = run.partition + lane0;
+  const EventSerial* seq = run.partition_seq + lane0;
+  if (l_fixed) {
+    const uint32_t lp = fixed->partition;
+    const EventSerial want = fixed->partition_seq + 1;
+    for (size_t k = 0; k < n; ++k) {
+      v[k] = lp != part[k] || seq[k] == want;
+    }
+  } else {
+    const uint32_t rp = fixed->partition;
+    const EventSerial rseq = fixed->partition_seq;
+    for (size_t k = 0; k < n; ++k) {
+      v[k] = part[k] != rp || rseq == seq[k] + 1;
+    }
+  }
+}
+
+inline void VerdictBlock(const PredInstr& instr, const Event* fixed,
+                         bool fixed_is_lo, const ColumnRun& run, size_t lane0,
+                         size_t n, uint64_t live, uint8_t* v) {
+  switch (instr.op) {
+    case PredOpCode::kAttrCmp:
+      VerdictAttrCmp(instr, fixed, fixed_is_lo, run, lane0, n, live, v);
+      break;
+    case PredOpCode::kAttrThreshold:
+      VerdictAttrThreshold(instr, fixed, fixed_is_lo, run, lane0, n, live, v);
+      break;
+    case PredOpCode::kTsOrder:
+      VerdictTsOrder(instr, fixed, fixed_is_lo, run, lane0, n, live, v);
+      break;
+    case PredOpCode::kSerialAdjacent:
+      VerdictSerialAdjacent(instr, fixed, fixed_is_lo, run, lane0, n, live,
+                            v);
+      break;
+    case PredOpCode::kPartitionAdjacent:
+      VerdictPartitionAdjacent(instr, fixed, fixed_is_lo, run, lane0, n,
+                               live, v);
+      break;
+    case PredOpCode::kVirtual:
+      VerdictRows(instr, fixed, fixed_is_lo, run, lane0, n, live, v);
+      break;
+  }
+}
+
+/// Generic instruction-major span loop: any span length, any opcode mix.
+void GenericSpanColumns(const PredInstr* code, size_t n_instr,
+                        const Event* fixed, bool fixed_is_lo,
+                        const ColumnRun& run, uint64_t* alive,
+                        uint64_t* evals) {
+  const size_t words = (run.size + 63) / 64;
+  uint64_t counted = 0;
+  for (size_t w = 0; w < words; ++w) {
+    uint64_t m = alive[w];
+    if (m == 0) continue;
+    const size_t lane0 = w * 64;
+    const size_t n = std::min<size_t>(64, run.size - lane0);
+    uint8_t v[64];
+    for (size_t k = 0; k < n_instr; ++k) {
+      counted += static_cast<uint64_t>(__builtin_popcountll(m));
+      VerdictBlock(code[k], fixed, fixed_is_lo, run, lane0, n, m, v);
+      m &= PackBits(v, n);
+      if (m == 0) break;  // whole block failed: later instructions are
+                          // unreached on every lane, exactly like scalar
+    }
+    alive[w] = m;
+  }
+  if (evals != nullptr) *evals += counted;
+}
+
+// --- template-stamped span kernels ------------------------------------------
+
+/// The three opcodes worth stamping: every other opcode either cannot
+/// appear in hot spans (adjacency contiguity is rare) or must stay a row
+/// loop (virtual trampolines).
+enum class VecOp : uint8_t { kCmp, kThr, kTs };
+
+template <VecOp Op>
+inline void SpecVerdict(const PredInstr& instr, const Event* fixed,
+                        bool fixed_is_lo, const ColumnRun& run, size_t lane0,
+                        size_t n, uint64_t live, uint8_t* v) {
+  if constexpr (Op == VecOp::kCmp) {
+    VerdictAttrCmp(instr, fixed, fixed_is_lo, run, lane0, n, live, v);
+  } else if constexpr (Op == VecOp::kThr) {
+    VerdictAttrThreshold(instr, fixed, fixed_is_lo, run, lane0, n, live, v);
+  } else {
+    VerdictTsOrder(instr, fixed, fixed_is_lo, run, lane0, n, live, v);
+  }
+}
+
+template <VecOp A>
+void SpecSpan1(const PredInstr* code, const Event* fixed, bool fixed_is_lo,
+               const ColumnRun& run, uint64_t* alive, uint64_t* evals) {
+  const size_t words = (run.size + 63) / 64;
+  uint64_t counted = 0;
+  for (size_t w = 0; w < words; ++w) {
+    uint64_t m = alive[w];
+    if (m == 0) continue;
+    const size_t lane0 = w * 64;
+    const size_t n = std::min<size_t>(64, run.size - lane0);
+    uint8_t v[64];
+    counted += static_cast<uint64_t>(__builtin_popcountll(m));
+    SpecVerdict<A>(code[0], fixed, fixed_is_lo, run, lane0, n, m, v);
+    alive[w] = m & PackBits(v, n);
+  }
+  if (evals != nullptr) *evals += counted;
+}
+
+template <VecOp A, VecOp B>
+void SpecSpan2(const PredInstr* code, const Event* fixed, bool fixed_is_lo,
+               const ColumnRun& run, uint64_t* alive, uint64_t* evals) {
+  const size_t words = (run.size + 63) / 64;
+  uint64_t counted = 0;
+  for (size_t w = 0; w < words; ++w) {
+    uint64_t m = alive[w];
+    if (m == 0) continue;
+    const size_t lane0 = w * 64;
+    const size_t n = std::min<size_t>(64, run.size - lane0);
+    uint8_t v[64];
+    counted += static_cast<uint64_t>(__builtin_popcountll(m));
+    SpecVerdict<A>(code[0], fixed, fixed_is_lo, run, lane0, n, m, v);
+    m &= PackBits(v, n);
+    if (m != 0) {
+      counted += static_cast<uint64_t>(__builtin_popcountll(m));
+      SpecVerdict<B>(code[1], fixed, fixed_is_lo, run, lane0, n, m, v);
+      m &= PackBits(v, n);
+    }
+    alive[w] = m;
+  }
+  if (evals != nullptr) *evals += counted;
+}
+
+template <VecOp A, VecOp B, VecOp C>
+void SpecSpan3(const PredInstr* code, const Event* fixed, bool fixed_is_lo,
+               const ColumnRun& run, uint64_t* alive, uint64_t* evals) {
+  const size_t words = (run.size + 63) / 64;
+  uint64_t counted = 0;
+  for (size_t w = 0; w < words; ++w) {
+    uint64_t m = alive[w];
+    if (m == 0) continue;
+    const size_t lane0 = w * 64;
+    const size_t n = std::min<size_t>(64, run.size - lane0);
+    uint8_t v[64];
+    counted += static_cast<uint64_t>(__builtin_popcountll(m));
+    SpecVerdict<A>(code[0], fixed, fixed_is_lo, run, lane0, n, m, v);
+    m &= PackBits(v, n);
+    if (m != 0) {
+      counted += static_cast<uint64_t>(__builtin_popcountll(m));
+      SpecVerdict<B>(code[1], fixed, fixed_is_lo, run, lane0, n, m, v);
+      m &= PackBits(v, n);
+    }
+    if (m != 0) {
+      counted += static_cast<uint64_t>(__builtin_popcountll(m));
+      SpecVerdict<C>(code[2], fixed, fixed_is_lo, run, lane0, n, m, v);
+      m &= PackBits(v, n);
+    }
+    alive[w] = m;
+  }
+  if (evals != nullptr) *evals += counted;
+}
+
+// --- kernel selection at lowering time --------------------------------------
+
+bool VecOpOf(const PredInstr& instr, VecOp* op) {
+  switch (instr.op) {
+    case PredOpCode::kAttrCmp:
+      *op = VecOp::kCmp;
+      return true;
+    case PredOpCode::kAttrThreshold:
+      *op = VecOp::kThr;
+      return true;
+    case PredOpCode::kTsOrder:
+      *op = VecOp::kTs;
+      return true;
+    default:
+      return false;
+  }
+}
+
+SpanKernelFn Select1(VecOp a) {
+  switch (a) {
+    case VecOp::kCmp:
+      return &SpecSpan1<VecOp::kCmp>;
+    case VecOp::kThr:
+      return &SpecSpan1<VecOp::kThr>;
+    case VecOp::kTs:
+      return &SpecSpan1<VecOp::kTs>;
+  }
+  return nullptr;
+}
+
+template <VecOp A>
+SpanKernelFn Select2With(VecOp b) {
+  switch (b) {
+    case VecOp::kCmp:
+      return &SpecSpan2<A, VecOp::kCmp>;
+    case VecOp::kThr:
+      return &SpecSpan2<A, VecOp::kThr>;
+    case VecOp::kTs:
+      return &SpecSpan2<A, VecOp::kTs>;
+  }
+  return nullptr;
+}
+
+SpanKernelFn Select2(VecOp a, VecOp b) {
+  switch (a) {
+    case VecOp::kCmp:
+      return Select2With<VecOp::kCmp>(b);
+    case VecOp::kThr:
+      return Select2With<VecOp::kThr>(b);
+    case VecOp::kTs:
+      return Select2With<VecOp::kTs>(b);
+  }
+  return nullptr;
+}
+
+template <VecOp A, VecOp B>
+SpanKernelFn Select3With(VecOp c) {
+  switch (c) {
+    case VecOp::kCmp:
+      return &SpecSpan3<A, B, VecOp::kCmp>;
+    case VecOp::kThr:
+      return &SpecSpan3<A, B, VecOp::kThr>;
+    case VecOp::kTs:
+      return &SpecSpan3<A, B, VecOp::kTs>;
+  }
+  return nullptr;
+}
+
+template <VecOp A>
+SpanKernelFn Select3Mid(VecOp b, VecOp c) {
+  switch (b) {
+    case VecOp::kCmp:
+      return Select3With<A, VecOp::kCmp>(c);
+    case VecOp::kThr:
+      return Select3With<A, VecOp::kThr>(c);
+    case VecOp::kTs:
+      return Select3With<A, VecOp::kTs>(c);
+  }
+  return nullptr;
+}
+
+SpanKernelFn Select3(VecOp a, VecOp b, VecOp c) {
+  switch (a) {
+    case VecOp::kCmp:
+      return Select3Mid<VecOp::kCmp>(b, c);
+    case VecOp::kThr:
+      return Select3Mid<VecOp::kThr>(b, c);
+    case VecOp::kTs:
+      return Select3Mid<VecOp::kTs>(b, c);
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+void PredicateProgram::AnnotateSpans() {
+  auto annotate = [&](Span& span) {
+    span.max_attr = -1;
+    span.spec = nullptr;
+    size_t len = span.end - span.begin;
+    VecOp ops[3];
+    bool spec_ok = len >= 1 && len <= 3;
+    for (uint32_t k = span.begin; k < span.end; ++k) {
+      const PredInstr& instr = code_[k];
+      // Conservative attribute footprint: which side is columnar depends
+      // on the call orientation, so cover both.
+      if (instr.op == PredOpCode::kAttrCmp) {
+        span.max_attr = std::max(
+            span.max_attr,
+            static_cast<int32_t>(
+                std::max(instr.left_attr, instr.right_attr)));
+      } else if (instr.op == PredOpCode::kAttrThreshold) {
+        span.max_attr =
+            std::max(span.max_attr, static_cast<int32_t>(instr.left_attr));
+      }
+      VecOp op;
+      if (!VecOpOf(instr, &op)) {
+        spec_ok = false;
+      } else if (k - span.begin < 3) {
+        ops[k - span.begin] = op;
+      }
+    }
+    if (!spec_ok) return;
+    switch (len) {
+      case 1:
+        span.spec = Select1(ops[0]);
+        break;
+      case 2:
+        span.spec = Select2(ops[0], ops[1]);
+        break;
+      case 3:
+        span.spec = Select3(ops[0], ops[1], ops[2]);
+        break;
+      default:
+        break;
+    }
+  };
+  for (Span& span : unary_spans_) annotate(span);
+  for (Span& span : pair_spans_) annotate(span);
+}
+
+void PredicateProgram::RunSpanColumns(const Span& span, const Event* fixed,
+                                      bool fixed_is_lo, const ColumnRun& run,
+                                      uint64_t* alive,
+                                      uint64_t* evals) const {
+  if (span.begin == span.end || run.size == 0) return;
+  const PredInstr* code = code_.data() + span.begin;
+  const bool cols_ok =
+      span.max_attr < 0 ||
+      (run.attrs != nullptr &&
+       static_cast<size_t>(span.max_attr) < run.num_attrs);
+  if (span.spec != nullptr && cols_ok) {
+    span.spec(code, fixed, fixed_is_lo, run, alive, evals);
+    return;
+  }
+  GenericSpanColumns(code, span.end - span.begin, fixed, fixed_is_lo, run,
+                     alive, evals);
+}
+
+void PredicateProgram::EvalPairRun(int i, int j, const Event& ei,
+                                   const ColumnRun& run_j, uint64_t* alive,
+                                   uint64_t* evals) const {
+  if (i < j) {
+    RunSpanColumns(PairSpan(i, j), &ei, /*fixed_is_lo=*/true, run_j, alive,
+                   evals);
+  } else {
+    RunSpanColumns(PairSpan(j, i), &ei, /*fixed_is_lo=*/false, run_j, alive,
+                   evals);
+  }
+}
+
+void PredicateProgram::EvalUnaryRun(int i, const ColumnRun& run,
+                                    uint64_t* alive, uint64_t* evals) const {
+  RunSpanColumns(unary_spans_[i], /*fixed=*/nullptr, /*fixed_is_lo=*/false,
+                 run, alive, evals);
+}
+
+}  // namespace cepjoin

@@ -73,7 +73,7 @@ const char* OpName(PredOpCode op) {
 
 }  // namespace
 
-bool PredicateProgram::RunSpan(Span span, const Event& lo_event,
+bool PredicateProgram::RunSpan(const Span& span, const Event& lo_event,
                                const Event& hi_event, uint64_t* evals) const {
   const PredInstr* instr = code_.data() + span.begin;
   const PredInstr* end = code_.data() + span.end;
@@ -155,6 +155,7 @@ PredicateProgram::PredicateProgram(const ConditionSet& conditions)
       span.end = static_cast<uint32_t>(code_.size());
     }
   }
+  AnnotateSpans();
 }
 
 std::string PredicateProgram::Disassemble() const {

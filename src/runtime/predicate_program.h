@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "pattern/condition.h"
+#include "runtime/column_buffer.h"
 
 namespace cepjoin {
 
@@ -51,6 +52,40 @@ struct PredInstr {
 };
 static_assert(sizeof(PredInstr) == 16, "PredInstr must stay cache-dense");
 
+/// Evaluates one instruction against a bound (l, r) row pair — the shared
+/// semantics of the scalar interpreter and the per-lane fallback of the
+/// columnar kernels. Callers resolve orientation (swap) first.
+inline bool EvalInstrRow(const PredInstr& instr, const Event& l,
+                         const Event& r) {
+  switch (instr.op) {
+    case PredOpCode::kAttrCmp:
+      return (instr.cmp_mask &
+              CmpClass(l.attrs[instr.left_attr],
+                       r.attrs[instr.right_attr] + instr.operand)) != 0;
+    case PredOpCode::kAttrThreshold:
+      return (instr.cmp_mask &
+              CmpClass(l.attrs[instr.left_attr], instr.operand)) != 0;
+    case PredOpCode::kTsOrder:
+      return l.ts < r.ts;
+    case PredOpCode::kSerialAdjacent:
+      return r.serial == l.serial + 1;
+    case PredOpCode::kPartitionAdjacent:
+      return l.partition != r.partition ||
+             r.partition_seq == l.partition_seq + 1;
+    case PredOpCode::kVirtual:
+      return instr.fallback->Eval(l, r);
+  }
+  return false;
+}
+
+/// A template-stamped columnar kernel for one instruction span
+/// (predicate_kernels.cc): evaluates the span across a whole candidate
+/// run, ANDing verdicts into the survivor bitmask and counting executed
+/// predicates with exact scalar-interpreter semantics.
+using SpanKernelFn = void (*)(const PredInstr* code, const Event* fixed,
+                              bool fixed_is_lo, const ColumnRun& run,
+                              uint64_t* alive, uint64_t* evals);
+
 /// A ConditionSet lowered into one flat instruction array with per-bucket
 /// spans — the compiled predicate path of the evaluation hot loop. Where
 /// ConditionSet::EvalPair pays a virtual Condition::Eval behind two
@@ -77,6 +112,19 @@ class PredicateProgram {
   /// True iff every unary condition on position i accepts e.
   bool EvalUnary(int i, const Event& e, uint64_t* evals) const;
 
+  /// Batched counterpart of EvalPair: evaluates every condition between
+  /// positions i and j with `ei` bound at i and each live lane of `run_j`
+  /// bound at j. Verdicts AND into `alive` (LaneMask layout, one bit per
+  /// lane); lanes already dead are neither evaluated nor counted. `evals`
+  /// counts exactly what per-lane EvalPair calls would have: each lane
+  /// executes instructions until its first failure, inclusive.
+  void EvalPairRun(int i, int j, const Event& ei, const ColumnRun& run_j,
+                   uint64_t* alive, uint64_t* evals) const;
+
+  /// Batched counterpart of EvalUnary over every live lane of `run`.
+  void EvalUnaryRun(int i, const ColumnRun& run, uint64_t* alive,
+                    uint64_t* evals) const;
+
   int num_positions() const { return n_; }
   size_t num_instructions() const { return code_.size(); }
   /// Instructions that trampoline to the virtual Condition::Eval.
@@ -89,9 +137,18 @@ class PredicateProgram {
   struct Span {
     uint32_t begin = 0;
     uint32_t end = 0;
+    /// Largest attribute id the span reads (-1 if none): the columnar
+    /// path touches attr columns only when the run's schema covers it,
+    /// otherwise it degrades to the per-lane row fallback.
+    int32_t max_attr = -1;
+    /// Stamped at lowering time for the dominant 1–3 instruction spans of
+    /// vectorizable opcodes (the "JIT-style" specialization): a direct
+    /// kernel with the instruction dispatch resolved at compile time.
+    /// Null spans run the generic instruction-major column loop.
+    SpanKernelFn spec = nullptr;
   };
 
-  Span PairSpan(int lo, int hi) const {
+  const Span& PairSpan(int lo, int hi) const {
     return pair_spans_[static_cast<size_t>(lo) * n_ + hi];
   }
 
@@ -101,8 +158,19 @@ class PredicateProgram {
   /// The inline EvalPair/EvalUnary wrappers keep the empty-span fast
   /// path — the common case when engines probe every position pair — at
   /// two loads and a branch.
-  bool RunSpan(Span span, const Event& lo_event, const Event& hi_event,
-               uint64_t* evals) const;
+  bool RunSpan(const Span& span, const Event& lo_event,
+               const Event& hi_event, uint64_t* evals) const;
+
+  /// Columnar span driver (predicate_kernels.cc): dispatches to the
+  /// span's stamped kernel when its attribute footprint fits the run's
+  /// columns, else the generic instruction-major loop.
+  void RunSpanColumns(const Span& span, const Event* fixed, bool fixed_is_lo,
+                      const ColumnRun& run, uint64_t* alive,
+                      uint64_t* evals) const;
+
+  /// Computes max_attr and selects spec kernels for every span; called
+  /// once at the end of lowering (predicate_kernels.cc).
+  void AnnotateSpans();
 
   int n_ = 0;
   std::vector<Span> pair_spans_;   // (lo, hi) with lo < hi at lo * n_ + hi
@@ -116,23 +184,23 @@ class PredicateProgram {
 inline bool PredicateProgram::EvalPair(int i, int j, const Event& ei,
                                        const Event& ej,
                                        uint64_t* evals) const {
-  Span span;
+  const Span* span;
   const Event* lo = &ei;
   const Event* hi = &ej;
   if (i < j) {
-    span = PairSpan(i, j);
+    span = &PairSpan(i, j);
   } else {
-    span = PairSpan(j, i);
+    span = &PairSpan(j, i);
     lo = &ej;
     hi = &ei;
   }
-  if (span.begin == span.end) return true;
-  return RunSpan(span, *lo, *hi, evals);
+  if (span->begin == span->end) return true;
+  return RunSpan(*span, *lo, *hi, evals);
 }
 
 inline bool PredicateProgram::EvalUnary(int i, const Event& e,
                                         uint64_t* evals) const {
-  Span span = unary_spans_[i];
+  const Span& span = unary_spans_[i];
   if (span.begin == span.end) return true;
   return RunSpan(span, e, e, evals);
 }

@@ -70,6 +70,22 @@ TreeEngine::TreeEngine(const SimplePattern& pattern, const TreePlan& plan,
   node_buffers_.resize(plan_.num_nodes());
   neg_buffers_.resize(cp_.num_positions());
   checks_at_node_.resize(plan_.num_nodes());
+  // Negation buffers are only ever iterated row-wise.
+  for (auto& buffer : neg_buffers_) buffer.DisableColumns();
+  next_match_ = cp_.strategy() == SelectionStrategy::kSkipTillNext;
+  use_columnar_ = ColumnarKernelsEnabled() && !next_match_;
+  // Non-Kleene leaves mirror their instance anchors attr-major; a Kleene
+  // leaf buffers subsets (anchor + members), which are not single rows.
+  // Mirrors exist only when the columnar combine can actually run.
+  leaf_columns_.resize(plan_.num_nodes());
+  leaf_mirrored_.assign(plan_.num_nodes(), 0);
+  if (use_columnar_) {
+    for (int slot = 0; slot < m; ++slot) {
+      if (cp_.slot_to_pos(slot) != kleene_pos_) {
+        leaf_mirrored_[plan_.LeafOf(slot)] = 1;
+      }
+    }
+  }
 
   // Precompute, per internal node, the pattern-position pairs that carry
   // conditions across the node's left/right split.
@@ -115,7 +131,6 @@ TreeEngine::TreeEngine(const SimplePattern& pattern, const TreePlan& plan,
     }
     checks_at_node_[node].push_back(&neg);
   }
-  next_match_ = cp_.strategy() == SelectionStrategy::kSkipTillNext;
 }
 
 void TreeEngine::OnEvent(const EventPtr& e) {
@@ -191,7 +206,7 @@ void TreeEngine::BufferNegated(const EventPtr& e) {
     if (!cp_.program().EvalUnary(pos, *e, &counters_.predicate_evals)) {
       continue;
     }
-    neg_buffers_[pos].push_back(e);
+    neg_buffers_[pos].Append(e);
     counters_.AddBuffered();
   }
 }
@@ -260,6 +275,12 @@ bool TreeEngine::TryCombine(int parent, const Instance& a, const Instance& b,
     });
     if (!ok) return false;
   }
+  FillCombined(a, b, out);
+  return true;
+}
+
+void TreeEngine::FillCombined(const Instance& a, const Instance& b,
+                              Instance* out) {
   *out = a;
   int m = cp_.num_slots();
   for (int s = 0; s < m; ++s) {
@@ -267,19 +288,19 @@ bool TreeEngine::TryCombine(int parent, const Instance& a, const Instance& b,
   }
   out->kleene_extra.insert(out->kleene_extra.end(), b.kleene_extra.begin(),
                            b.kleene_extra.end());
-  out->min_ts = min_ts;
-  out->max_ts = max_ts;
+  out->min_ts = std::min(a.min_ts, b.min_ts);
+  out->max_ts = std::max(a.max_ts, b.max_ts);
   out->max_serial = std::max(a.max_serial, b.max_serial);
   out->dead = false;
-  return true;
 }
 
 bool TreeEngine::NodeNegationChecks(int node, const Instance& inst) {
   if (checks_at_node_[node].empty()) return true;
   TreeBound bound(cp_, inst.by_slot, inst.kleene_extra, kleene_pos_);
   for (const NegationSpec* neg : checks_at_node_[node]) {
-    for (const EventPtr& candidate : neg_buffers_[neg->neg_pos]) {
-      if (cp_.NegationViolates(*neg, *candidate, bound, inst.min_ts,
+    const ColumnBuffer& buffer = neg_buffers_[neg->neg_pos];
+    for (size_t bi = 0; bi < buffer.size(); ++bi) {
+      if (cp_.NegationViolates(*neg, *buffer[bi], bound, inst.min_ts,
                                inst.max_ts, &counters_.predicate_evals)) {
         return false;
       }
@@ -296,15 +317,29 @@ void TreeEngine::NewInstance(int node, Instance&& inst) {
   }
   counters_.AddInstance(inst.ApproxBytes());
   node_buffers_[node].push_back(std::move(inst));
+  if (leaf_mirrored_[node]) {
+    // Lockstep columnar mirror of the leaf's anchors.
+    leaf_columns_[node].Append(
+        node_buffers_[node].back().by_slot[plan_.node(node).leaf_item]);
+  }
   // Stable copy: recursion never appends to this node's buffer, but a
   // reallocation elsewhere must not invalidate what we iterate with.
   Instance local = node_buffers_[node].back();
 
   int sib = plan_.Sibling(node);
   int parent = plan_.node(node).parent;
+  bool node_is_left = plan_.node(parent).left == node;
+  // The dominant join shape — a fresh partial probing a leaf's window
+  // buffer — runs through the columnar kernels. Internal-node siblings
+  // (instances, not rows), Kleene leaves, and skip-till-next (left-side
+  // first-success early exit) stay on the scalar partner loop, which is
+  // also the correctness oracle.
+  if (leaf_mirrored_[sib]) {  // implies use_columnar_ && !next_match_
+    CombineWithLeafRun(local, sib, parent, node_is_left);
+    return;
+  }
   std::vector<Instance>& partners = node_buffers_[sib];
   size_t partner_count = partners.size();
-  bool node_is_left = plan_.node(parent).left == node;
   for (size_t idx = 0; idx < partner_count; ++idx) {
     if (partners[idx].dead) continue;
     Instance combined;
@@ -333,6 +368,54 @@ void TreeEngine::NewInstance(int node, Instance&& inst) {
     }
     NewInstance(parent, std::move(combined));
   }
+}
+
+void TreeEngine::CombineWithLeafRun(const Instance& local, int sib,
+                                    int parent, bool node_is_left) {
+  const ColumnBuffer& mirror = leaf_columns_[sib];
+  const std::vector<Instance>& partners = node_buffers_[sib];
+  CEPJOIN_CHECK_EQ(mirror.size(), partners.size());
+  const size_t n = partners.size();
+  if (n == 0) return;
+  const ColumnRun run = mirror.Run();
+  LaneMask mask(n);
+  uint64_t* alive = mask.words();
+  const PredicateProgram& program = cp_.program();
+  // TryCombine's gate order: window feasibility first (uncounted), then
+  // the parent's cross pairs in order, each lane stopping at its first
+  // failing span — survivors and predicate_evals identical to the scalar
+  // partner loop. Leaf instances are singletons (min_ts == max_ts ==
+  // anchor ts), so the column timestamps are the instance extents; dead
+  // partners cannot exist outside skip-till-next, which this path
+  // excludes.
+  WindowMaskLanes(local.min_ts, local.max_ts, cp_.window(), run, alive);
+  const int leaf_pos = cp_.slot_to_pos(plan_.node(sib).leaf_item);
+  for (const auto& [pa, pb] : cross_pairs_[parent]) {
+    // One endpoint of every cross pair lies in the leaf's single-slot
+    // mask; `local` holds the other.
+    const int fixed_pos = node_is_left ? pa : pb;
+    const EventPtr& anchor = local.by_slot[cp_.pos_to_slot(fixed_pos)];
+    program.EvalPairRun(fixed_pos, leaf_pos, *anchor, run, alive,
+                        &counters_.predicate_evals);
+    if (fixed_pos == kleene_pos_) {
+      for (const EventPtr& member : local.kleene_extra) {
+        program.EvalPairRun(fixed_pos, leaf_pos, *member, run, alive,
+                            &counters_.predicate_evals);
+      }
+    }
+  }
+  // Survivors combine in buffer order, exactly like the scalar loop. The
+  // mask lives on this frame; recursion appends only at `parent` and
+  // above, never to the leaf, so the run view stays valid.
+  mask.ForEachAlive([&](size_t k) {
+    Instance combined;
+    if (node_is_left) {
+      FillCombined(local, partners[k], &combined);
+    } else {
+      FillCombined(partners[k], local, &combined);
+    }
+    NewInstance(parent, std::move(combined));
+  });
 }
 
 void TreeEngine::Complete(const Instance& inst) {
@@ -365,8 +448,9 @@ void TreeEngine::Complete(const Instance& inst) {
   if (!completion_checks_.empty()) {
     MatchBound bound(match);
     for (const NegationSpec* neg : completion_checks_) {
-      for (const EventPtr& candidate : neg_buffers_[neg->neg_pos]) {
-        if (cp_.NegationViolates(*neg, *candidate, bound, inst.min_ts,
+      const ColumnBuffer& buffer = neg_buffers_[neg->neg_pos];
+      for (size_t bi = 0; bi < buffer.size(); ++bi) {
+        if (cp_.NegationViolates(*neg, *buffer[bi], bound, inst.min_ts,
                                  inst.max_ts, &counters_.predicate_evals)) {
           return;
         }
@@ -396,11 +480,15 @@ void TreeEngine::Sweep() {
   Timestamp horizon = now_ - cp_.window();
   for (auto& buffer : neg_buffers_) {
     while (!buffer.empty() && buffer.front()->ts < horizon) {
-      buffer.pop_front();
+      buffer.PopFront();
       counters_.RemoveBuffered();
     }
   }
-  for (auto& list : node_buffers_) {
+  std::vector<uint8_t> keep_rows;
+  for (size_t node = 0; node < node_buffers_.size(); ++node) {
+    std::vector<Instance>& list = node_buffers_[node];
+    const bool mirrored = leaf_mirrored_[node] != 0;
+    if (mirrored) keep_rows.assign(list.size(), 0);
     size_t keep = 0;
     for (size_t i = 0; i < list.size(); ++i) {
       Instance& inst = list[i];
@@ -409,10 +497,13 @@ void TreeEngine::Sweep() {
         if (!inst.dead) counters_.RemoveInstance(inst.ApproxBytes());
         continue;
       }
+      if (mirrored) keep_rows[i] = 1;
       if (keep != i) list[keep] = std::move(list[i]);
       ++keep;
     }
     list.resize(keep);
+    // Leaf mirrors compact in lockstep so lane k stays partner k.
+    if (mirrored) leaf_columns_[node].Filter(keep_rows);
   }
   counters_.UpdatePeakBytes();
 }

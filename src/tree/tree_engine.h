@@ -2,10 +2,10 @@
 #define CEPJOIN_TREE_TREE_ENGINE_H_
 
 #include <chrono>
-#include <deque>
 #include <vector>
 
 #include "plan/tree_plan.h"
+#include "runtime/column_buffer.h"
 #include "runtime/compiled_pattern.h"
 #include "runtime/engine.h"
 #include "runtime/match.h"
@@ -72,6 +72,19 @@ class TreeEngine : public Engine {
   /// Non-const: predicate evaluations count into counters_.
   bool TryCombine(int parent, const Instance& a, const Instance& b,
                   Instance* out);
+  /// TryCombine's construction tail: slot-wise union of a (left) and b
+  /// (right) with recomputed extent. Shared by the scalar path and the
+  /// columnar survivor materialization.
+  void FillCombined(const Instance& a, const Instance& b, Instance* out);
+  /// Run-at-a-time combine against a mirrored (non-Kleene) leaf sibling:
+  /// window + cross-pair gates evaluated over the leaf's column run with
+  /// a survivor bitmask, then survivors cascade in buffer order. Matches
+  /// and predicate_evals are bit-identical to the scalar partner loop;
+  /// used when columnar kernels are enabled and the strategy is not
+  /// skip-till-next (whose left-side early exit stops evaluating
+  /// mid-run).
+  void CombineWithLeafRun(const Instance& local, int sib, int parent,
+                          bool node_is_left);
   bool NodeNegationChecks(int node, const Instance& inst);
   void Complete(const Instance& inst);
   void EmitMatch(Match match);
@@ -93,7 +106,13 @@ class TreeEngine : public Engine {
   std::vector<const NegationSpec*> trailing_checks_;
 
   std::vector<std::vector<Instance>> node_buffers_;
-  std::vector<std::deque<EventPtr>> neg_buffers_;  // per pattern position
+  /// Negated-position window buffers, columnar (per pattern position).
+  std::vector<ColumnBuffer> neg_buffers_;
+  /// Per non-Kleene leaf node: the anchor events of node_buffers_[leaf]
+  /// mirrored attr-major, appended/evicted in lockstep — the probe-side
+  /// runs of the vectorized combine.
+  std::vector<ColumnBuffer> leaf_columns_;
+  std::vector<uint8_t> leaf_mirrored_;  // per node
   std::vector<PendingMatch> pending_;
 
   Timestamp now_ = 0.0;
@@ -101,6 +120,9 @@ class TreeEngine : public Engine {
   std::chrono::steady_clock::time_point arrival_start_{};
   uint64_t events_since_sweep_ = 0;
   bool next_match_ = false;
+  /// ColumnarKernelsEnabled() && !skip-till-next, fixed at construction;
+  /// leaf mirrors are only built when it holds.
+  bool use_columnar_ = true;
 
   static constexpr uint64_t kSweepEvery = 64;
 };

@@ -1,0 +1,226 @@
+// Columnar / scalar engine equivalence: running the same stream with the
+// columnar kernels enabled and disabled (the scalar interpreter oracle)
+// must produce byte-identical match sequences and identical counters —
+// including predicate_evals — for both engine classes, every pattern
+// family, both selection strategies, any batch size, and across the
+// sharded runtime at 1/2/4 worker threads.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/engine_factory.h"
+#include "parallel/sharded_runtime.h"
+#include "runtime/column_buffer.h"
+#include "stats/collector.h"
+#include "workload/keyed_generator.h"
+#include "workload/pattern_generator.h"
+
+namespace cepjoin {
+namespace {
+
+struct FeedResult {
+  std::vector<std::string> emission_order;
+  EngineCounters counters;
+};
+
+void ExpectCountersEqual(const EngineCounters& a, const EngineCounters& b) {
+  EXPECT_EQ(a.events_processed, b.events_processed);
+  EXPECT_EQ(a.instances_created, b.instances_created);
+  EXPECT_EQ(a.matches_emitted, b.matches_emitted);
+  EXPECT_EQ(a.predicate_evals, b.predicate_evals);
+  EXPECT_EQ(a.live_instances, b.live_instances);
+  EXPECT_EQ(a.peak_live_instances, b.peak_live_instances);
+  EXPECT_EQ(a.buffered_events, b.buffered_events);
+  EXPECT_EQ(a.peak_buffered_events, b.peak_buffered_events);
+  EXPECT_EQ(a.instance_bytes, b.instance_bytes);
+  EXPECT_EQ(a.peak_total_bytes, b.peak_total_bytes);
+}
+
+/// RAII toggle so a failing assertion cannot leave the process scalar.
+struct ColumnarSwitch {
+  explicit ColumnarSwitch(bool enabled) {
+    SetColumnarKernelsEnabled(enabled);
+  }
+  ~ColumnarSwitch() { SetColumnarKernelsEnabled(true); }
+};
+
+class ColumnarEquivalenceTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    StockGeneratorConfig stock;
+    stock.num_symbols = 10;
+    stock.duration_seconds = 6.0;
+    universe_ = new StockUniverse(GenerateStockStream(stock));
+    collector_ =
+        new StatsCollector(universe_->stream, universe_->registry.size());
+  }
+  static void TearDownTestSuite() {
+    delete collector_;
+    collector_ = nullptr;
+    delete universe_;
+    universe_ = nullptr;
+  }
+
+  static FeedResult Feed(const SimplePattern& pattern, const EnginePlan& plan,
+                         bool columnar, size_t batch_size) {
+    ColumnarSwitch guard(columnar);
+    CollectingSink sink;
+    std::unique_ptr<Engine> engine = BuildEngine(pattern, plan, &sink);
+    const std::vector<EventPtr>& events = universe_->stream.events();
+    for (size_t i = 0; i < events.size(); i += batch_size) {
+      engine->OnBatch(events.data() + i,
+                      std::min(batch_size, events.size() - i));
+    }
+    engine->Finish();
+    FeedResult run;
+    for (const Match& m : sink.matches) {
+      run.emission_order.push_back(m.Fingerprint());
+    }
+    run.counters = engine->counters();
+    return run;
+  }
+
+  static void ExpectColumnarMatchesScalar(const std::string& algorithm,
+                                          PatternFamily family, int size,
+                                          uint64_t seed, double window = 1.0,
+                                          SelectionStrategy strategy =
+                                              SelectionStrategy::kSkipTillAny) {
+    PatternGenConfig pg;
+    pg.family = family;
+    pg.size = size;
+    pg.window = window;
+    pg.seed = seed;
+    pg.strategy = strategy;
+    SimplePattern pattern = GeneratePattern(*universe_, pg)[0];
+    CostFunction cost = MakeCostFunction(
+        pattern, collector_->CollectForPattern(pattern), 0.0);
+    EnginePlan plan = MakePlan(algorithm, cost).value();
+
+    FeedResult scalar = Feed(pattern, plan, /*columnar=*/false, 64);
+    ASSERT_GT(scalar.counters.events_processed, 0u);
+    EXPECT_GT(scalar.counters.predicate_evals, 0u);
+    for (size_t batch_size : {1u, 7u, 1024u}) {
+      SCOPED_TRACE(algorithm + " batch_size=" + std::to_string(batch_size));
+      FeedResult columnar = Feed(pattern, plan, /*columnar=*/true,
+                                 batch_size);
+      EXPECT_EQ(columnar.emission_order, scalar.emission_order);
+      ExpectCountersEqual(columnar.counters, scalar.counters);
+    }
+  }
+
+  static StockUniverse* universe_;
+  static StatsCollector* collector_;
+};
+
+StockUniverse* ColumnarEquivalenceTest::universe_ = nullptr;
+StatsCollector* ColumnarEquivalenceTest::collector_ = nullptr;
+
+TEST_F(ColumnarEquivalenceTest, NfaSequence) {
+  ExpectColumnarMatchesScalar("GREEDY", PatternFamily::kSequence, 4, 71);
+}
+
+TEST_F(ColumnarEquivalenceTest, NfaSequenceLarge) {
+  // Size 6 exercises multi-pair creation scans (several EvalPairRun
+  // gates per run); the tight window keeps the partial-match
+  // combinatorics test-sized.
+  ExpectColumnarMatchesScalar("GREEDY", PatternFamily::kSequence, 6, 171,
+                              0.4);
+}
+
+TEST_F(ColumnarEquivalenceTest, NfaNegation) {
+  ExpectColumnarMatchesScalar("GREEDY", PatternFamily::kNegation, 4, 73);
+}
+
+TEST_F(ColumnarEquivalenceTest, NfaKleene) {
+  ExpectColumnarMatchesScalar("GREEDY", PatternFamily::kKleene, 3, 79, 0.6);
+}
+
+TEST_F(ColumnarEquivalenceTest, NfaConjunction) {
+  ExpectColumnarMatchesScalar("GREEDY", PatternFamily::kConjunction, 4, 81,
+                              0.3);
+}
+
+TEST_F(ColumnarEquivalenceTest, NfaSkipTillNextStaysScalar) {
+  // skip-till-next keeps the scalar path on both runs (first-success
+  // early exit); the toggle must still be a no-op for it.
+  ExpectColumnarMatchesScalar("GREEDY", PatternFamily::kSequence, 4, 85, 1.0,
+                              SelectionStrategy::kSkipTillNext);
+}
+
+TEST_F(ColumnarEquivalenceTest, TreeSequenceZstream) {
+  ExpectColumnarMatchesScalar("ZSTREAM", PatternFamily::kSequence, 4, 83);
+}
+
+TEST_F(ColumnarEquivalenceTest, TreeSequenceBushy) {
+  ExpectColumnarMatchesScalar("DP-B", PatternFamily::kSequence, 5, 87);
+}
+
+TEST_F(ColumnarEquivalenceTest, TreeConjunction) {
+  ExpectColumnarMatchesScalar("DP-B", PatternFamily::kConjunction, 4, 89,
+                              0.3);
+}
+
+TEST_F(ColumnarEquivalenceTest, TreeNegation) {
+  ExpectColumnarMatchesScalar("ZSTREAM", PatternFamily::kNegation, 4, 91);
+}
+
+TEST_F(ColumnarEquivalenceTest, TreeKleene) {
+  ExpectColumnarMatchesScalar("DP-B", PatternFamily::kKleene, 3, 93, 0.6);
+}
+
+TEST_F(ColumnarEquivalenceTest, TreeSkipTillNextStaysScalar) {
+  ExpectColumnarMatchesScalar("ZSTREAM", PatternFamily::kSequence, 4, 95,
+                              1.0, SelectionStrategy::kSkipTillNext);
+}
+
+TEST_F(ColumnarEquivalenceTest, ShardedRuntimeAcrossThreadsAndBatchSizes) {
+  // The seed sequence: scalar interpreter, single worker thread. Every
+  // (columnar, threads, batch) combination must drain the identical
+  // match sequence with identical summed counters.
+  KeyedWorkload workload = MakeKeyedWorkload(8, 6.0, 11);
+
+  auto run = [&](bool columnar, size_t threads, size_t batch_size) {
+    ColumnarSwitch guard(columnar);
+    CollectingSink sink;
+    ShardedOptions options;
+    options.num_threads = threads;
+    options.batch_size = batch_size;
+    ShardedRuntime runtime(workload.pattern, workload.stream,
+                           workload.registry.size(), "GREEDY", &sink,
+                           options);
+    runtime.ProcessStream(workload.stream);
+    runtime.Finish();
+    FeedResult result;
+    for (const Match& m : sink.matches) {
+      result.emission_order.push_back(m.Fingerprint());
+    }
+    result.counters = runtime.TotalCounters();
+    return result;
+  };
+
+  FeedResult scalar = run(/*columnar=*/false, 1, 64);
+  ASSERT_GT(scalar.emission_order.size(), 0u);
+  for (size_t threads : {1u, 2u, 4u}) {
+    for (size_t batch_size : {1u, 7u, 1024u}) {
+      SCOPED_TRACE("threads=" + std::to_string(threads) +
+                   " batch=" + std::to_string(batch_size));
+      FeedResult columnar = run(/*columnar=*/true, threads, batch_size);
+      EXPECT_EQ(columnar.emission_order, scalar.emission_order);
+      EXPECT_EQ(columnar.counters.events_processed,
+                scalar.counters.events_processed);
+      EXPECT_EQ(columnar.counters.matches_emitted,
+                scalar.counters.matches_emitted);
+      EXPECT_EQ(columnar.counters.instances_created,
+                scalar.counters.instances_created);
+      EXPECT_EQ(columnar.counters.predicate_evals,
+                scalar.counters.predicate_evals);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cepjoin

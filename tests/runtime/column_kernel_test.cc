@@ -1,0 +1,300 @@
+// Columnar kernel / scalar interpreter parity: EvalPairRun and
+// EvalUnaryRun must reproduce, lane for lane, the verdicts, the survivor
+// bitmask semantics, and the predicate_evals counts of per-lane
+// EvalPair/EvalUnary calls — across every condition kind (including the
+// CustomCondition virtual fallback), both call orientations, span lengths
+// inside and outside the template-stamped 1–3 window, masked (pre-dead)
+// lanes, heap-spilled lane masks, and irregular-schema buffers. Plus the
+// ColumnBuffer container mechanics the engines rely on (append, front
+// eviction with compaction, lockstep Filter).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "runtime/column_buffer.h"
+#include "runtime/compiled_pattern.h"
+#include "runtime/predicate_program.h"
+#include "workload/pattern_generator.h"
+
+namespace cepjoin {
+namespace {
+
+Event MakeEvent(Rng& rng, int num_attrs, EventSerial serial) {
+  Event e;
+  e.ts = rng.UniformReal(0.0, 10.0);
+  e.serial = serial;
+  e.partition = static_cast<uint32_t>(serial % 3);
+  e.partition_seq = serial / 3;
+  e.attrs.resize(num_attrs);
+  for (int a = 0; a < num_attrs; ++a) e.attrs[a] = rng.UniformReal(-2.0, 2.0);
+  return e;
+}
+
+/// Fills a buffer with `n` random events of `num_attrs` attributes.
+ColumnBuffer MakeBuffer(Rng& rng, int num_attrs, size_t n,
+                        std::vector<EventPtr>* keepalive) {
+  ColumnBuffer buffer;
+  for (size_t k = 0; k < n; ++k) {
+    Event e = MakeEvent(rng, num_attrs, 100 + k);
+    if (rng.Bernoulli(0.2)) e.serial = 100 + k - 1;  // adjacency hits
+    auto ptr = std::make_shared<const Event>(std::move(e));
+    keepalive->push_back(ptr);
+    buffer.Append(ptr);
+  }
+  return buffer;
+}
+
+bool LaneBit(const LaneMask& mask, size_t k) { return mask.Alive(k); }
+
+/// Core parity driver: for every position pair in both orientations and
+/// every unary position, the run kernels must agree with per-lane scalar
+/// calls on verdict bits and on the summed eval counter.
+void ExpectRunParity(const PredicateProgram& program,
+                     const ColumnBuffer& buffer, int num_attrs,
+                     uint64_t seed) {
+  const int n = program.num_positions();
+  const ColumnRun run = buffer.Run();
+  Rng rng(seed);
+  Event fixed = MakeEvent(rng, num_attrs, 7);
+  for (int i = 0; i < n; ++i) {
+    {
+      LaneMask mask(run.size);
+      uint64_t evals_col = 0;
+      program.EvalUnaryRun(i, run, mask.words(), &evals_col);
+      uint64_t evals_scalar = 0;
+      for (size_t k = 0; k < run.size; ++k) {
+        bool want = program.EvalUnary(i, *buffer[k], &evals_scalar);
+        ASSERT_EQ(LaneBit(mask, k), want)
+            << "unary pos " << i << " lane " << k;
+      }
+      ASSERT_EQ(evals_col, evals_scalar) << "unary pos " << i;
+    }
+    for (int j = 0; j < n; ++j) {
+      if (i == j) continue;
+      LaneMask mask(run.size);
+      uint64_t evals_col = 0;
+      program.EvalPairRun(i, j, fixed, run, mask.words(), &evals_col);
+      uint64_t evals_scalar = 0;
+      for (size_t k = 0; k < run.size; ++k) {
+        bool want = program.EvalPair(i, j, fixed, *buffer[k], &evals_scalar);
+        ASSERT_EQ(LaneBit(mask, k), want)
+            << "pair (" << i << "," << j << ") lane " << k;
+      }
+      ASSERT_EQ(evals_col, evals_scalar) << "pair (" << i << "," << j << ")";
+    }
+  }
+}
+
+TEST(ColumnBufferTest, AppendEvictCompactKeepsRowsAndColumns) {
+  Rng rng(3);
+  std::vector<EventPtr> keepalive;
+  ColumnBuffer buffer = MakeBuffer(rng, 3, 300, &keepalive);
+  ASSERT_EQ(buffer.size(), 300u);
+  // Evict far past the compaction threshold.
+  for (int k = 0; k < 220; ++k) buffer.PopFront();
+  ASSERT_EQ(buffer.size(), 80u);
+  EXPECT_EQ(buffer.front().get(), keepalive[220].get());
+  ColumnRun run = buffer.Run();
+  ASSERT_EQ(run.size, 80u);
+  ASSERT_EQ(run.num_attrs, 3u);
+  for (size_t k = 0; k < run.size; ++k) {
+    const Event& want = *keepalive[220 + k];
+    EXPECT_EQ(buffer[k].get(), &want);
+    EXPECT_EQ(run.ts[k], want.ts);
+    EXPECT_EQ(run.serial[k], want.serial);
+    EXPECT_EQ(run.partition[k], want.partition);
+    EXPECT_EQ(run.partition_seq[k], want.partition_seq);
+    for (int a = 0; a < 3; ++a) EXPECT_EQ(run.attrs[a][k], want.attrs[a]);
+  }
+}
+
+TEST(ColumnBufferTest, FilterKeepsSelectedRowsInOrder) {
+  Rng rng(5);
+  std::vector<EventPtr> keepalive;
+  ColumnBuffer buffer = MakeBuffer(rng, 2, 10, &keepalive);
+  for (int k = 0; k < 3; ++k) buffer.PopFront();  // nonzero live offset
+  std::vector<uint8_t> keep = {1, 0, 0, 1, 1, 0, 1};
+  buffer.Filter(keep);
+  ASSERT_EQ(buffer.size(), 4u);
+  const size_t kept[] = {3, 6, 7, 9};
+  ColumnRun run = buffer.Run();
+  for (size_t k = 0; k < 4; ++k) {
+    EXPECT_EQ(buffer[k].get(), keepalive[kept[k]].get());
+    EXPECT_EQ(run.ts[k], keepalive[kept[k]]->ts);
+    EXPECT_EQ(run.attrs[1][k], keepalive[kept[k]]->attrs[1]);
+  }
+}
+
+TEST(ColumnBufferTest, IrregularSchemaDropsColumnsButKeepsRows) {
+  ColumnBuffer buffer;
+  Event a;
+  a.ts = 1.0;
+  a.attrs = {1.0, 2.0};
+  Event b;
+  b.ts = 2.0;
+  b.attrs = {3.0};  // contradicts the latched 2-attr schema
+  buffer.Append(std::make_shared<const Event>(a));
+  buffer.Append(std::make_shared<const Event>(b));
+  EXPECT_FALSE(buffer.regular());
+  ColumnRun run = buffer.Run();
+  EXPECT_EQ(run.attrs, nullptr);
+  EXPECT_EQ(run.num_attrs, 0u);
+  ASSERT_EQ(run.size, 2u);
+  EXPECT_EQ(run.events[1]->attrs[0], 3.0);  // rows stay usable
+}
+
+TEST(ColumnKernelTest, BuiltinConditionParityAllSpanLengths) {
+  // Span lengths 1..5 between position pairs: 1–3 take the stamped
+  // kernels, 4+ the generic instruction-major loop; parity must hold for
+  // all of them.
+  Rng rng(11);
+  for (int span_len : {1, 2, 3, 4, 5}) {
+    SCOPED_TRACE("span_len=" + std::to_string(span_len));
+    std::vector<ConditionPtr> conditions;
+    for (int c = 0; c < span_len; ++c) {
+      if (c % 3 == 2) {
+        conditions.push_back(std::make_shared<TsOrder>(0, 1));
+      } else {
+        conditions.push_back(std::make_shared<AttrCompare>(
+            c % 2, static_cast<AttrId>(c % 3),
+            c % 2 == 0 ? CmpOp::kLt : CmpOp::kGe, 1 - c % 2,
+            static_cast<AttrId>((c + 1) % 3), rng.UniformReal(-0.5, 0.5)));
+      }
+    }
+    // A threshold each on 0 and 1 exercises unary spans too.
+    conditions.push_back(
+        std::make_shared<AttrThreshold>(0, 0, CmpOp::kGt, -0.5));
+    conditions.push_back(
+        std::make_shared<AttrThreshold>(1, 1, CmpOp::kLe, 0.5));
+    ConditionSet set(2, conditions);
+    PredicateProgram program(set);
+    std::vector<EventPtr> keepalive;
+    ColumnBuffer buffer = MakeBuffer(rng, 3, 100, &keepalive);
+    ExpectRunParity(program, buffer, 3, 21 + span_len);
+  }
+}
+
+TEST(ColumnKernelTest, AdjacencyAndCustomFallbackParity) {
+  std::vector<ConditionPtr> conditions = {
+      std::make_shared<SerialAdjacent>(0, 1, 0.1),
+      std::make_shared<PartitionAdjacent>(1, 2, 0.1),
+      std::make_shared<TsOrder>(0, 2),
+      std::make_shared<CustomCondition>(
+          0, 1,
+          [](const Event& l, const Event& r) {
+            return l.attrs[0] * r.attrs[0] > 0.0;
+          },
+          0.5, "same-sign"),
+      std::make_shared<CustomCondition>(
+          2, 2, [](const Event& l, const Event&) { return l.attrs[1] > 0.0; },
+          0.5, "positive"),
+      std::make_shared<AttrCompare>(2, 0, CmpOp::kNe, 1, 1),
+  };
+  ConditionSet set(3, conditions);
+  PredicateProgram program(set);
+  EXPECT_EQ(program.num_fallbacks(), 2u);
+  Rng rng(13);
+  std::vector<EventPtr> keepalive;
+  ColumnBuffer buffer = MakeBuffer(rng, 2, 90, &keepalive);
+  ExpectRunParity(program, buffer, 2, 17);
+}
+
+TEST(ColumnKernelTest, MaskedLanesAreSkippedAndUncounted) {
+  std::vector<ConditionPtr> conditions = {
+      std::make_shared<AttrCompare>(0, 0, CmpOp::kLt, 1, 0),
+      std::make_shared<TsOrder>(0, 1),
+  };
+  ConditionSet set(2, conditions);
+  PredicateProgram program(set);
+  Rng rng(19);
+  std::vector<EventPtr> keepalive;
+  ColumnBuffer buffer = MakeBuffer(rng, 1, 130, &keepalive);
+  ColumnRun run = buffer.Run();
+  Event fixed = MakeEvent(rng, 1, 7);
+
+  // Kill every third lane up front.
+  LaneMask mask(run.size);
+  for (size_t k = 0; k < run.size; k += 3) {
+    mask.words()[k / 64] &= ~(uint64_t{1} << (k % 64));
+  }
+  uint64_t evals_col = 0;
+  program.EvalPairRun(0, 1, fixed, run, mask.words(), &evals_col);
+
+  uint64_t evals_scalar = 0;
+  for (size_t k = 0; k < run.size; ++k) {
+    if (k % 3 == 0) {
+      // Pre-dead lanes stay dead and cost nothing.
+      EXPECT_FALSE(LaneBit(mask, k)) << k;
+      continue;
+    }
+    bool want = program.EvalPair(0, 1, fixed, *buffer[k], &evals_scalar);
+    EXPECT_EQ(LaneBit(mask, k), want) << k;
+  }
+  EXPECT_EQ(evals_col, evals_scalar);
+}
+
+TEST(ColumnKernelTest, HeapSpilledMaskParity) {
+  // > LaneMask::kInlineWords * 64 lanes forces the heap mask path.
+  std::vector<ConditionPtr> conditions = {
+      std::make_shared<AttrCompare>(0, 0, CmpOp::kGt, 1, 0, 0.1),
+      std::make_shared<TsOrder>(1, 0),  // swapped orientation
+  };
+  ConditionSet set(2, conditions);
+  PredicateProgram program(set);
+  Rng rng(23);
+  std::vector<EventPtr> keepalive;
+  ColumnBuffer buffer = MakeBuffer(rng, 1, 1500, &keepalive);
+  ExpectRunParity(program, buffer, 1, 29);
+}
+
+TEST(ColumnKernelTest, RandomizedParityOnGeneratedPatterns) {
+  StockGeneratorConfig stock;
+  stock.num_symbols = 12;
+  stock.duration_seconds = 4.0;
+  StockUniverse universe = GenerateStockStream(stock);
+  for (PatternFamily family : AllFamilies()) {
+    for (int size : {3, 5}) {
+      PatternGenConfig pg;
+      pg.family = family;
+      pg.size = size;
+      pg.window = 2.0;
+      pg.seed = 900 + size + static_cast<uint64_t>(family) * 17;
+      for (const SimplePattern& pattern : GeneratePattern(universe, pg)) {
+        SCOPED_TRACE(std::string(FamilyName(family)) + " size " +
+                     std::to_string(size));
+        CompiledPattern cp(pattern);
+        // Real stream events ({price, difference} schema) as the run.
+        ColumnBuffer buffer;
+        const std::vector<EventPtr>& events = universe.stream.events();
+        for (size_t k = 0; k < events.size() && k < 200; k += 3) {
+          buffer.Append(events[k]);
+        }
+        ASSERT_GT(buffer.size(), 10u);
+        ASSERT_GT(cp.program().num_instructions(), 0u);
+        ExpectRunParity(cp.program(), buffer, 2, pg.seed * 3 + 1);
+      }
+    }
+  }
+}
+
+TEST(ColumnKernelTest, NullEvalCounterIsAllowed) {
+  std::vector<ConditionPtr> conditions = {
+      std::make_shared<AttrThreshold>(0, 0, CmpOp::kGt, 0.0)};
+  ConditionSet set(1, conditions);
+  PredicateProgram program(set);
+  Rng rng(31);
+  std::vector<EventPtr> keepalive;
+  ColumnBuffer buffer = MakeBuffer(rng, 1, 70, &keepalive);
+  ColumnRun run = buffer.Run();
+  LaneMask mask(run.size);
+  program.EvalUnaryRun(0, run, mask.words(), nullptr);
+  for (size_t k = 0; k < run.size; ++k) {
+    EXPECT_EQ(LaneBit(mask, k), program.EvalUnary(0, *buffer[k], nullptr));
+  }
+}
+
+}  // namespace
+}  // namespace cepjoin
