@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "api/cep_service.h"
 #include "common/rng.h"
 #include "engine/engine_factory.h"
 #include "metrics/runner.h"
@@ -432,6 +433,104 @@ bool VerifyColumnarThroughput() {
   return true;  // report-only outside asserting Release runs
 }
 
+/// Guard for the observability hot path: replays a stream through a
+/// CepService with metrics on and off (detailed stage timers are a
+/// separate opt-in compile flag and stay out of this build) and compares
+/// end-to-end event rates. The striped instruments cost low single-digit
+/// nanoseconds per event and ~100ns per *match* (three counter bumps, a
+/// histogram record, the last-position scan), so the workload must have
+/// a realistic match selectivity for the per-event budget to be the
+/// thing measured: this one runs a 3-step sequence with a tight window
+/// over a long stream (~7.4k events, ~1.3% match rate — real CEP
+/// patterns are selective; the shared 0.5s-window bench universe matches
+/// on 14% of events, which would turn this into a per-match benchmark).
+/// Metrics-on must hold >= 98% of the metrics-off rate; on/off rounds
+/// are interleaved so CPU-frequency and load drift hit both sides
+/// equally, an apparent failure is re-measured with a longer budget, and
+/// the verdict allows 5% measurement noise, failing the process only in
+/// Release runs with CEPJOIN_BENCH_ASSERT=1.
+bool VerifyMetricsOverhead() {
+  using Clock = std::chrono::steady_clock;
+  struct NullSink : MatchSink {
+    void OnMatch(const Match&) override {}
+  };
+  static const StockUniverse* universe = [] {
+    StockGeneratorConfig config;
+    config.num_symbols = 12;
+    config.max_rate = 10.0;
+    config.duration_seconds = 100.0;
+    return new StockUniverse(GenerateStockStream(config));
+  }();
+  static const StatsCollector* collector =
+      new StatsCollector(universe->stream, universe->registry.size());
+  PatternGenConfig pg;
+  pg.family = PatternFamily::kSequence;
+  pg.size = 3;
+  pg.window = 0.15;
+  pg.seed = 33;
+  SimplePattern pattern = GeneratePattern(*universe, pg)[0];
+  const EventStream& stream = universe->stream;
+
+  // One replay: service construction and registration are untimed (the
+  // overhead under test is per-event/per-match recording, not setup).
+  auto run_once = [&](bool enable_metrics) {
+    ServiceOptions options;
+    options.collector = collector;
+    options.num_types = universe->registry.size();
+    options.enable_metrics = enable_metrics;
+    auto service = CepService::Create(options).value();
+    NullSink sink;
+    service->Register(QuerySpec::Simple(pattern).WithSink(&sink)).value();
+    Clock::time_point start = Clock::now();
+    service->ProcessStream(stream);
+    service->Finish();
+    return std::chrono::duration<double>(Clock::now() - start).count();
+  };
+  // Alternating off/on rounds: both sides sample the same machine
+  // conditions, so slow drift (thermal clocking, a neighbour tenant)
+  // cancels out of the ratio instead of landing on whichever side ran
+  // second.
+  auto time_pair = [&](double min_seconds, double* off_rate,
+                       double* on_rate) {
+    run_once(false);  // warm-up
+    run_once(true);
+    double seconds[2] = {0.0, 0.0};
+    uint64_t rounds = 0;
+    while (seconds[0] + seconds[1] < min_seconds) {
+      seconds[0] += run_once(false);
+      seconds[1] += run_once(true);
+      ++rounds;
+    }
+    double events = static_cast<double>(rounds) *
+                    static_cast<double>(stream.size());
+    *off_rate = events / seconds[0];
+    *on_rate = events / seconds[1];
+  };
+
+  double off_rate = 0.0;
+  double on_rate = 0.0;
+  time_pair(0.4, &off_rate, &on_rate);
+  if (on_rate < 0.98 * off_rate) {
+    time_pair(2.0, &off_rate, &on_rate);
+  }
+  double ratio = off_rate > 0 ? on_rate / off_rate : 0.0;
+  std::printf(
+      "\nmetrics overhead self-check: metrics off %.3g ev/s, on %.3g ev/s, "
+      "ratio %.3f\n",
+      off_rate, on_rate, ratio);
+  if (ratio >= 0.95) return true;
+  std::fprintf(stderr,
+               "METRICS OVERHEAD REGRESSION: metrics-on ingest runs at "
+               "%.2fx the metrics-off rate (budget: >= 0.98, noise "
+               "allowance to 0.95)\n",
+               ratio);
+#ifdef NDEBUG
+  const char* assert_env = std::getenv("CEPJOIN_BENCH_ASSERT");
+  if (assert_env != nullptr && assert_env[0] == '1') return false;
+#endif
+  return true;  // report-only outside asserting Release runs
+}
+
 }  // namespace
 }  // namespace cepjoin
 
@@ -440,5 +539,7 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  return cepjoin::VerifyColumnarThroughput() ? 0 : 1;
+  bool ok = cepjoin::VerifyColumnarThroughput();
+  ok = cepjoin::VerifyMetricsOverhead() && ok;
+  return ok ? 0 : 1;
 }

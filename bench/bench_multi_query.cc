@@ -13,6 +13,7 @@
 #include <chrono>
 #include <cstdio>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "harness.h"
@@ -89,8 +90,9 @@ SweepResult RunIndependent(const KeyedWorkload& workload, size_t queries,
 }  // namespace
 }  // namespace cepjoin
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cepjoin;
+  const std::string json_path = bench::JsonPathFromArgs(argc, argv);
   bench::PrintHeader("multi-query",
                      "CepService shared ingest vs independent runtimes");
 
@@ -122,18 +124,30 @@ int main() {
               ? static_cast<double>(workload.stream.size()) *
                     static_cast<double>(queries) / shared.wall_seconds
               : 0.0;
+      double speedup = shared.wall_seconds > 0
+                           ? independent.wall_seconds / shared.wall_seconds
+                           : 0.0;
       std::printf("%-8zu %-8zu %-12.3f %-14.3f %-12.2f %-12.0f %llu\n",
                   queries, threads, shared.wall_seconds,
-                  independent.wall_seconds,
-                  shared.wall_seconds > 0
-                      ? independent.wall_seconds / shared.wall_seconds
-                      : 0.0,
-                  query_event_rate,
+                  independent.wall_seconds, speedup, query_event_rate,
                   static_cast<unsigned long long>(shared.matches_per_query));
+      const std::string point = "q" + std::to_string(queries) + "_t" +
+                                std::to_string(threads);
+      bench::RecordJson("multi_query", "shared_wall_" + point,
+                        shared.wall_seconds, "s");
+      bench::RecordJson("multi_query", "independent_wall_" + point,
+                        independent.wall_seconds, "s");
+      bench::RecordJson("multi_query", "speedup_" + point, speedup, "x");
+      bench::RecordJson("multi_query", "query_events_per_s_" + point,
+                        query_event_rate, "ev/s");
+      bench::RecordJson("multi_query", "matches_per_query_" + point,
+                        static_cast<double>(shared.matches_per_query),
+                        "matches");
     }
   }
   std::printf(
       "\n(speedup = independent wall / shared wall at equal query and "
       "thread counts; matches/query must be identical on every row)\n");
+  if (!bench::WriteBenchJson(json_path)) return 1;
   return 0;
 }

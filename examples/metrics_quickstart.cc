@@ -1,0 +1,147 @@
+// Metrics quickstart: one keyed query over an async-ingested feed, then
+// the full observability surface in both export formats — latency
+// quantiles (p50/p99 ingest-to-match and detection), exact memory
+// gauges, watermark lags, per-shard throughput, and the Prometheus /
+// JSON renderings a scrape endpoint or dashboard would serve.
+//
+//   $ ./examples/metrics_quickstart
+//
+// Built with -DCEPJOIN_DETAILED_METRICS=ON the snapshot additionally
+// carries the cep_stage_seconds drill-down histograms; this program
+// exits nonzero if that build flag is set but the stage timers are
+// missing, so CI can assert the drill-down path end to end.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/cep_service.h"
+#include "obs/export.h"
+#include "obs/pipeline_metrics.h"
+#include "workload/keyed_generator.h"
+
+using namespace cepjoin;
+
+int main() {
+  const int kPartitions = 16;
+  KeyedWorkload history = MakeKeyedWorkload(kPartitions, 8.0, 7);
+  KeyedWorkload live = MakeKeyedWorkload(kPartitions, 8.0, 41);
+
+  ServiceOptions options;
+  options.history = &history.stream;
+  options.num_types = history.registry.size();
+  options.num_threads = 2;         // sharded execution, per-shard metrics
+  options.num_ingest_threads = 2;  // per-source watermark gauges
+  // options.enable_metrics defaults to true; the instruments are striped
+  // relaxed atomics, cheap enough to leave on in production.
+  auto service = CepService::Create(options).value();
+
+  CountingSink sink;
+  auto handle = service->Register(QuerySpec::Simple(history.pattern)
+                                      .Keyed()
+                                      .WithName("quickstart")
+                                      .WithSink(&sink));
+  if (!handle.ok()) {
+    std::printf("register failed: %s\n", handle.status().ToString().c_str());
+    return 1;
+  }
+
+  // The live feed arrives as two interleaved slices merged in timestamp
+  // order — each slice gets its own watermark/lag gauge.
+  std::vector<std::unique_ptr<StreamSource>> sources;
+  for (size_t i = 0; i < 2; ++i) {
+    sources.push_back(std::make_unique<EventStreamSource>(&live.stream, i, 2));
+  }
+  IngestResult ingested = service->ProcessSourceAsync(std::move(sources));
+  if (!ingested.ok) {
+    std::printf("ingest failed: %s\n", ingested.error.c_str());
+    return 1;
+  }
+  service->Finish();
+
+  // One coherent snapshot of every instrument. Callable mid-stream too;
+  // here the workers have quiesced so the totals are exact.
+  MetricsSnapshot snap = service->MetricsSnapshot();
+
+  const MetricLabels query_labels = {{"name", "quickstart"},
+                                     {"query", std::to_string(handle->id())}};
+  std::printf("== headline numbers ==\n");
+  std::printf("events ingested   %.0f\n",
+              snap.Value(metric_names::kIngestEvents));
+  std::printf("matches           %.0f (sink saw %llu)\n",
+              snap.Value(metric_names::kQueryMatches, query_labels),
+              static_cast<unsigned long long>(sink.count));
+  const MetricPoint* ingest_to_match =
+      snap.Find(metric_names::kIngestToMatchSeconds, query_labels);
+  const MetricPoint* detection =
+      snap.Find(metric_names::kDetectionSeconds, query_labels);
+  if (ingest_to_match != nullptr && ingest_to_match->histogram.count > 0) {
+    std::printf("ingest-to-match   p50 %.1f us, p99 %.1f us (%llu samples)\n",
+                ingest_to_match->histogram.Quantile(0.5) * 1e6,
+                ingest_to_match->histogram.Quantile(0.99) * 1e6,
+                static_cast<unsigned long long>(
+                    ingest_to_match->histogram.count));
+  }
+  if (detection != nullptr && detection->histogram.count > 0) {
+    std::printf("detection latency p50 %.1f us, p99 %.1f us\n",
+                detection->histogram.Quantile(0.5) * 1e6,
+                detection->histogram.Quantile(0.99) * 1e6);
+  }
+  std::printf("dominant last position %.0f (SEQ(A,B,C): C closes matches)\n",
+              snap.Value(metric_names::kLastPosition, query_labels, -1.0));
+  for (size_t i = 0; i < 2; ++i) {
+    MetricLabels source_labels = {{"source", std::to_string(i)}};
+    std::printf("source %zu watermark %.2fs (lag %.3fs)\n", i,
+                snap.Value(metric_names::kSourceWatermark, source_labels),
+                snap.Value(metric_names::kSourceWatermarkLag, source_labels));
+  }
+
+  // The same snapshot, rendered for machines. A metrics endpoint would
+  // serve ToPrometheusText on /metrics; the JSON form follows the bench
+  // harness conventions for offline diffing.
+  const std::string prometheus = ToPrometheusText(snap);
+  std::printf("\n== prometheus exposition (first lines) ==\n");
+  size_t shown = 0, pos = 0;
+  while (shown < 12 && pos < prometheus.size()) {
+    size_t end = prometheus.find('\n', pos);
+    if (end == std::string::npos) end = prometheus.size();
+    std::printf("%s\n", prometheus.substr(pos, end - pos).c_str());
+    pos = end + 1;
+    ++shown;
+  }
+  std::printf("... (%zu bytes total; ToJson(snap) is %zu bytes)\n",
+              prometheus.size(), ToJson(snap).size());
+
+#ifdef CEPJOIN_DETAILED_METRICS
+  // Drill-down build: the compiled-in stage timers must have produced
+  // cep_stage_seconds histograms. CI runs this binary to assert it.
+  bool saw_stage = false;
+  for (const MetricPoint& p : snap.points) {
+    if (p.name == metric_names::kStageSeconds && p.histogram.count > 0) {
+      if (!saw_stage) std::printf("\n== stage drill-down ==\n");
+      saw_stage = true;
+      std::string stage = "?";
+      for (const auto& [k, v] : p.labels) {
+        if (k == "stage") stage = v;
+      }
+      std::printf("%-28s p50 %.2f us  (%llu samples)\n", stage.c_str(),
+                  p.histogram.Quantile(0.5) * 1e6,
+                  static_cast<unsigned long long>(p.histogram.count));
+    }
+  }
+  if (!saw_stage) {
+    std::printf("ERROR: CEPJOIN_DETAILED_METRICS build produced no "
+                "cep_stage_seconds samples\n");
+    return 1;
+  }
+#endif
+
+  // Sanity the quickstart rests on: the counter view and the sink agree.
+  if (snap.Value(metric_names::kQueryMatches, query_labels) !=
+      static_cast<double>(sink.count)) {
+    std::printf("ERROR: metrics and sink disagree on the match count\n");
+    return 1;
+  }
+  return 0;
+}

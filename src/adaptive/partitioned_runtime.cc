@@ -33,10 +33,12 @@ PartitionedRuntime::PartitionState& PartitionedRuntime::StateFor(
 }
 
 void PartitionedRuntime::OnEvent(const EventPtr& e) {
+  CEPJOIN_CHECK(!finished_) << "OnEvent after Finish";
   StateFor(e->partition).engine->OnEvent(e);
 }
 
 void PartitionedRuntime::OnBatch(const EventPtr* events, size_t n) {
+  CEPJOIN_CHECK(!finished_) << "OnBatch after Finish";
   ForEachPartitionRun(events, n, batch_size_,
                       [&](uint32_t partition, const EventPtr* run,
                           size_t run_length) {
@@ -49,18 +51,27 @@ void PartitionedRuntime::ProcessStream(const EventStream& stream) {
 }
 
 void PartitionedRuntime::Finish() {
+  if (finished_) return;
+  finished_ = true;
   // Ascending partition order, matching the sharded drain: Finish-time
   // matches (trailing negation) reach the sink in the same canonical
   // order regardless of hash-map iteration order or thread count.
+  for (uint32_t partition : Partitions()) {
+    PartitionState& state = engines_.at(partition);
+    state.engine->Finish();
+    final_counters_.MergeDisjoint(state.engine->counters());
+    state.engine.reset();
+  }
+}
+
+std::vector<uint32_t> PartitionedRuntime::Partitions() const {
   std::vector<uint32_t> partitions;
   partitions.reserve(engines_.size());
   for (const auto& [partition, state] : engines_) {
     partitions.push_back(partition);
   }
   std::sort(partitions.begin(), partitions.end());
-  for (uint32_t partition : partitions) {
-    engines_.at(partition).engine->Finish();
-  }
+  return partitions;
 }
 
 const EnginePlan& PartitionedRuntime::PlanFor(uint32_t partition) const {
@@ -76,6 +87,7 @@ const EnginePlan* PartitionedRuntime::FindPlan(uint32_t partition) const {
 }
 
 EngineCounters PartitionedRuntime::TotalCounters() const {
+  if (finished_) return final_counters_;
   EngineCounters total;
   for (const auto& [partition, state] : engines_) {
     total.MergeDisjoint(state.engine->counters());

@@ -47,18 +47,36 @@ class PartitionedRuntime {
   /// identical to per-event feeding.
   void OnBatch(const EventPtr* events, size_t n);
   void ProcessStream(const EventStream& stream);
+  /// Flushes trailing matches (ascending partition order) and releases
+  /// the partition engines — their buffered windows are freed, matching
+  /// the sharded workers' drain. Counters are snapshotted first; plans
+  /// and the partition set keep serving the introspection accessors.
+  /// No ingestion is accepted afterwards.
   void Finish();
 
   /// Number of distinct partitions seen (== engines created).
   size_t num_partitions() const { return engines_.size(); }
+  /// The distinct partitions seen, ascending.
+  std::vector<uint32_t> Partitions() const;
   /// The plan serving one partition; aborts if the partition is unknown.
   const EnginePlan& PlanFor(uint32_t partition) const;
   /// The plan serving one partition, or nullptr if the partition is
   /// unknown (the non-aborting lookup the service API uses).
   const EnginePlan* FindPlan(uint32_t partition) const;
   /// Aggregated counters across partition engines (disjoint sub-streams:
-  /// all totals, including events_processed, sum).
+  /// all totals, including events_processed, sum). After Finish() this
+  /// serves the final snapshot taken before the engines were released.
   EngineCounters TotalCounters() const;
+
+  /// Visits every live partition engine as fn(partition, engine). The
+  /// observability layer uses this to read exact per-partition memory
+  /// footprints (Engine::counters().CurrentBytes()) at snapshot time.
+  template <typename Fn>
+  void ForEachPartition(Fn&& fn) const {
+    for (const auto& [partition, state] : engines_) {
+      if (state.engine != nullptr) fn(partition, *state.engine);
+    }
+  }
 
  private:
   struct PartitionState {
@@ -72,6 +90,9 @@ class PartitionedRuntime {
   MatchSink* sink_;
   size_t batch_size_;
   std::unordered_map<uint32_t, PartitionState> engines_;
+  /// Counters snapshot taken at Finish(), when the engines are released.
+  EngineCounters final_counters_;
+  bool finished_ = false;
 };
 
 }  // namespace cepjoin

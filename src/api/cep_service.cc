@@ -5,7 +5,9 @@
 #include <utility>
 
 #include "common/check.h"
+#include "obs/stage_timer.h"
 #include "optimizer/registry.h"
+#include "runtime/output_profiler.h"
 
 namespace cepjoin {
 
@@ -20,6 +22,27 @@ class CallbackSink : public MatchSink {
 
  private:
   std::function<void(const Match&)> callback_;
+};
+
+/// Inline-path metrics tee: forwards each match to the query's sink,
+/// then records the full metrics bundle against the current inline
+/// batch's ingest anchor (the service stamps `*batch_start` once per
+/// FeedInline; a zero anchor — Finish-time flushes — skips the
+/// ingest-to-match histogram).
+class MatchMetricsSink : public MatchSink {
+ public:
+  MatchMetricsSink(MatchSink* inner, QueryMetrics* metrics,
+                   const std::chrono::steady_clock::time_point* batch_start)
+      : inner_(inner), metrics_(metrics), batch_start_(batch_start) {}
+  void OnMatch(const Match& match) override {
+    inner_->OnMatch(match);
+    RecordMatchMetrics(metrics_, match, *batch_start_);
+  }
+
+ private:
+  MatchSink* inner_;
+  QueryMetrics* metrics_;
+  const std::chrono::steady_clock::time_point* batch_start_;
 };
 
 /// Largest type id a pattern references, or -1 for none.
@@ -78,7 +101,15 @@ StatusOr<EnginePlan> QueryHandle::PlanFor(uint32_t partition) const {
 
 // ---- CepService -----------------------------------------------------------
 
-CepService::CepService(const ServiceOptions& options) : options_(options) {}
+CepService::CepService(const ServiceOptions& options) : options_(options) {
+  if (options_.enable_metrics) {
+    metrics_registry_ = std::make_unique<MetricsRegistry>();
+    ingest_events_ =
+        metrics_registry_->GetCounter(metric_names::kIngestEvents);
+    ingest_batches_ =
+        metrics_registry_->GetCounter(metric_names::kIngestBatches);
+  }
+}
 
 CepService::~CepService() = default;
 
@@ -216,11 +247,25 @@ StatusOr<QueryHandle> CepService::Register(const QuerySpec& spec) {
   }
   uint64_t seed = spec.seed().value_or(options_.default_seed);
 
+  MatchSink* inline_sink = state.sink;
+  if (metrics_registry_ != nullptr) {
+    // One bundle per query, labelled by the (never reused) id —
+    // next_id_ is only advanced on success, so the label matches the
+    // handle's id. A user-given name rides along as a second label.
+    MetricLabels labels{{"query", std::to_string(next_id_)}};
+    if (!spec.name().empty()) labels.emplace_back("name", spec.name());
+    state.metrics = std::make_unique<QueryMetrics>(metrics_registry_.get(),
+                                                   std::move(labels));
+    state.metrics_sink = std::make_unique<MatchMetricsSink>(
+        state.sink, state.metrics.get(), &inline_batch_start_);
+    inline_sink = state.metrics_sink.get();
+  }
+
   if (spec.keyed()) {
     if (options_.num_threads == 1) {
       state.partitioned = std::make_unique<PartitionedRuntime>(
           *spec.simple(), *options_.history, options_.num_types,
-          spec.algorithm(), state.sink, seed, spec.latency_alpha(),
+          spec.algorithm(), inline_sink, seed, spec.latency_alpha(),
           options_.batch_size);
     } else {
       auto planner = std::make_unique<PartitionPlanner>(
@@ -230,10 +275,14 @@ StatusOr<QueryHandle> CepService::Register(const QuerySpec& spec) {
         ShardedOptions sharded_options;
         sharded_options.num_threads = options_.num_threads;
         sharded_options.batch_size = options_.batch_size;
+        sharded_options.metrics = metrics_registry_.get();
         sharded_ = std::make_unique<ShardedRuntime>(sharded_options);
       }
+      // The shard sinks record through the shared bundle themselves;
+      // the query's raw sink receives the drained matches unwrapped.
       StatusOr<uint64_t> sharded_id =
-          sharded_->AddQuery(std::move(planner), state.sink);
+          sharded_->AddQuery(std::move(planner), state.sink,
+                             state.metrics.get());
       if (!sharded_id.ok()) return sharded_id.status();
       state.sharded_id = *sharded_id;
       state.uses_sharded = true;
@@ -262,8 +311,8 @@ StatusOr<QueryHandle> CepService::Register(const QuerySpec& spec) {
     }
     state.engine =
         state.subpatterns.size() == 1
-            ? BuildEngine(state.subpatterns[0], state.plans[0], state.sink)
-            : BuildDnfEngine(state.subpatterns, state.plans, state.sink);
+            ? BuildEngine(state.subpatterns[0], state.plans[0], inline_sink)
+            : BuildDnfEngine(state.subpatterns, state.plans, inline_sink);
   }
 
   state.active = true;
@@ -281,17 +330,26 @@ void CepService::RebuildInlineFeeds() {
 }
 
 void CepService::FinishInlineQuery(QueryState& state) {
+  // Finish-time matches have no ingest anchor; zero it so the metrics
+  // sink skips the ingest-to-match histogram for them.
+  inline_batch_start_ = {};
   if (state.engine != nullptr) {
     state.engine->Finish();
-    // Retired unkeyed queries release their engine (and its buffered
-    // window) right away; the counters snapshot keeps serving
-    // counters(). Keyed runtimes stay alive — their per-partition plans
-    // back num_partitions()/PlanFor() — mirroring PartitionedRuntime's
-    // own post-Finish behavior.
+    // Retired queries release their engines (and their buffered
+    // windows) right away; the counters snapshot keeps serving
+    // counters(), and the partitioned runtime's plan map keeps backing
+    // num_partitions()/PlanFor().
     state.counters = state.engine->counters();
     state.engine.reset();
+    // The released engine's footprint is gone; say so.
+    if (state.metrics != nullptr) state.metrics->MemoryGauge()->Set(0.0);
   } else if (state.partitioned != nullptr) {
-    state.partitioned->Finish();
+    state.partitioned->Finish();  // releases the partition engines
+    if (state.metrics != nullptr) {
+      for (uint32_t partition : state.partitioned->Partitions()) {
+        state.metrics->MemoryGauge(partition)->Set(0.0);
+      }
+    }
   }
 }
 
@@ -319,7 +377,11 @@ Status CepService::Deregister(uint64_t query_id) {
 }
 
 void CepService::FeedInline(const EventPtr* events, size_t n) {
+  if (metrics_registry_ != nullptr && !inline_feeds_.empty()) {
+    inline_batch_start_ = std::chrono::steady_clock::now();
+  }
   for (QueryState* state : inline_feeds_) {
+    if (state->metrics != nullptr) state->metrics->events_total->Inc(n);
     if (state->engine != nullptr) {
       state->engine->OnBatch(events, n);
     } else {
@@ -330,12 +392,20 @@ void CepService::FeedInline(const EventPtr* events, size_t n) {
 
 void CepService::OnEvent(const EventPtr& e) {
   CEPJOIN_CHECK(!finished_) << "OnEvent after Finish";
+  if (ingest_events_ != nullptr) {
+    ingest_events_->Inc();
+    ingest_batches_->Inc();
+  }
   FeedInline(&e, 1);
   if (sharded_ != nullptr) sharded_->OnEvent(e);
 }
 
 void CepService::OnBatch(const EventPtr* events, size_t n) {
   CEPJOIN_CHECK(!finished_) << "OnBatch after Finish";
+  if (ingest_events_ != nullptr) {
+    ingest_events_->Inc(n);
+    ingest_batches_->Inc();
+  }
   FeedInline(events, n);
   if (sharded_ != nullptr) sharded_->OnBatch(events, n);
 }
@@ -360,6 +430,10 @@ IngestResult CepService::ProcessSourceAsync(
   IngestOptions ingest;
   ingest.num_ingest_threads = options_.num_ingest_threads;
   ingest.chunk_size = options_.batch_size;
+  // The pipeline owns the ingest throughput counters and watermark
+  // gauges for this run (merged runs bypass OnBatch, so nothing double
+  // counts).
+  ingest.metrics = metrics_registry_.get();
   IngestPipeline pipeline(std::move(sources), ingest);
   return pipeline.Run(
       [this](const EventPtr* run, size_t n) { OnMergedRun(run, n); });
@@ -384,6 +458,52 @@ void CepService::Finish() {
   // Joins the workers and drains every sharded query's buffered matches
   // (including mid-stream deregistered ones) to its sink.
   if (sharded_ != nullptr) sharded_->Finish();
+}
+
+cepjoin::MetricsSnapshot CepService::MetricsSnapshot() {
+  if (metrics_registry_ == nullptr) return {};
+  // Refresh the snapshot-time gauges: exact memory of the inline-fed
+  // hosts (sharded workers keep their partitions' gauges current on
+  // their own threads) and each query's dominant last position.
+  for (auto& entry : queries_) {
+    QueryState& state = entry.second;
+    if (state.metrics == nullptr) continue;
+    if (!state.keyed) {
+      double bytes =
+          state.engine != nullptr
+              ? static_cast<double>(state.engine->counters().CurrentBytes())
+              : 0.0;
+      state.metrics->MemoryGauge()->Set(bytes);
+    } else if (state.partitioned != nullptr) {
+      QueryMetrics* metrics = state.metrics.get();
+      state.partitioned->ForEachPartition(
+          [metrics](uint32_t partition, const Engine& engine) {
+            metrics->MemoryGauge(partition)->Set(
+                static_cast<double>(engine.counters().CurrentBytes()));
+          });
+    }
+    int best = OutputProfiler::MostFrequent(state.metrics->LastPositionCounts());
+    if (best >= 0) {
+      metrics_registry_
+          ->GetGauge(metric_names::kLastPosition, state.metrics->base_labels())
+          ->Set(static_cast<double>(best));
+    }
+  }
+  cepjoin::MetricsSnapshot snap = metrics_registry_->Snapshot();
+#ifdef CEPJOIN_DETAILED_METRICS
+  // Fold in the process-global stage-timer histograms and restore the
+  // (name, labels) sort Snapshot() guarantees.
+  cepjoin::MetricsSnapshot detailed = DetailedMetricsRegistry().Snapshot();
+  for (MetricPoint& point : detailed.points) {
+    snap.points.push_back(std::move(point));
+  }
+  std::sort(snap.points.begin(), snap.points.end(),
+            [](const MetricPoint& a, const MetricPoint& b) {
+              if (a.name != b.name) return a.name < b.name;
+              return a.labels < b.labels;
+            });
+#endif
+  return snap;
 }
 
 size_t CepService::num_active_queries() const {

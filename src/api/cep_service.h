@@ -1,6 +1,7 @@
 #ifndef CEPJOIN_API_CEP_SERVICE_H_
 #define CEPJOIN_API_CEP_SERVICE_H_
 
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -13,6 +14,8 @@
 #include "engine/engine_factory.h"
 #include "event/stream.h"
 #include "event/stream_source.h"
+#include "obs/metrics.h"
+#include "obs/pipeline_metrics.h"
 #include "parallel/ingest_pipeline.h"
 #include "parallel/sharded_runtime.h"
 #include "stats/collector.h"
@@ -49,6 +52,13 @@ struct ServiceOptions {
   size_t num_ingest_threads = 0;
   /// Seed for randomized plan generators when a QuerySpec sets none.
   uint64_t default_seed = 7;
+  /// Runtime observability (src/obs/): per-query match/latency/memory
+  /// instruments, per-shard throughput, ingest watermarks — exported by
+  /// MetricsSnapshot(). The instruments are striped relaxed atomics, so
+  /// leaving this on costs low single-digit nanoseconds per event/match;
+  /// turn it off to make MetricsSnapshot() return an empty snapshot and
+  /// the ingest path skip its per-batch clock read.
+  bool enable_metrics = true;
 };
 
 /// Reference to one registered query. Handles are small copyable values
@@ -166,6 +176,24 @@ class CepService {
 
   // ---- introspection ------------------------------------------------
 
+  /// One coherent view of every instrument: per-query event/match
+  /// counters, ingest-to-match and detection latency histograms
+  /// (HistogramData::Quantile gives p50/p99), exact per-(query,
+  /// partition) memory bytes, dominant last-position gauges, per-shard
+  /// throughput/queue depth, and ingest watermarks. Inline-fed memory
+  /// gauges are refreshed on the way; sharded workers keep theirs
+  /// current. Builds of CEPJOIN_DETAILED_METRICS also append the
+  /// cep_stage_seconds drill-down histograms. Callable any time —
+  /// mid-stream snapshots are racy-free but momentary; empty when the
+  /// service was created with enable_metrics = false. Export with
+  /// ToPrometheusText()/ToJson() (obs/export.h).
+  cepjoin::MetricsSnapshot MetricsSnapshot();
+
+  /// The registry backing MetricsSnapshot(); null when metrics are off.
+  /// Exposed for callers that want to add their own instruments next to
+  /// the runtime's.
+  MetricsRegistry* metrics_registry() { return metrics_registry_.get(); }
+
   /// Queries currently fed by the ingest path.
   size_t num_active_queries() const;
   /// Total queries ever registered.
@@ -210,6 +238,11 @@ class CepService {
     std::vector<EnginePlan> plans;           // unkeyed
     std::unique_ptr<MatchSink> owned_sink;   // callback adapter, if any
     MatchSink* sink = nullptr;
+    /// The query's instrument bundle (null = metrics off). Shared with
+    /// the sharded workers for keyed sharded queries; recorded through
+    /// `metrics_sink` (wrapping `sink`) on the inline paths.
+    std::unique_ptr<QueryMetrics> metrics;
+    std::unique_ptr<MatchSink> metrics_sink;
     /// The unkeyed query's counters. While the engine lives this is a
     /// cache refreshed on every read; once the engine is finished and
     /// released it is the final snapshot. Mutable so const accessors
@@ -240,6 +273,14 @@ class CepService {
   void RebuildInlineFeeds();
 
   ServiceOptions options_;
+  std::unique_ptr<MetricsRegistry> metrics_registry_;  // null = metrics off
+  /// Ingest-to-match anchor of the batch currently feeding the inline
+  /// queries: stamped once per FeedInline (one clock read per batch),
+  /// read by every inline query's metrics sink, zeroed before
+  /// Finish-time flushes (end-of-stream matches have no ingest anchor).
+  std::chrono::steady_clock::time_point inline_batch_start_{};
+  Counter* ingest_events_ = nullptr;   // null = metrics off
+  Counter* ingest_batches_ = nullptr;  // null = metrics off
   std::unique_ptr<StatsCollector> own_collector_;
   std::map<uint64_t, QueryState> queries_;  // id order == registration order
   /// Active queries fed on the ingest thread (unkeyed engines and

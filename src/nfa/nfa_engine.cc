@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "obs/stage_timer.h"
 
 namespace cepjoin {
 
@@ -120,6 +121,7 @@ void NfaEngine::OnBatch(const EventPtr* events, size_t n) {
   // is byte-identical to the per-event path, so matches and counters are
   // too.
   arrival_start_ = std::chrono::steady_clock::now();
+  CEPJOIN_STAGE_TIMER("nfa_on_batch");
   for (size_t i = 0; i < n; ++i) ProcessEvent(events[i]);
 }
 
@@ -180,8 +182,8 @@ void NfaEngine::BufferEvent(const EventPtr& e) {
     if (!cp_.program().EvalUnary(pos, *e, &counters_.predicate_evals)) {
       continue;
     }
+    counters_.AddBuffered(BufferedEventBytes(buffers_[pos], *e));
     buffers_[pos].Append(e);
-    counters_.AddBuffered();
   }
 }
 
@@ -372,6 +374,7 @@ void NfaEngine::Cascade(Instance&& inst, int state) {
 }
 
 void NfaEngine::CreationScanColumnar(const Instance& parent, int state) {
+  CEPJOIN_STAGE_TIMER("nfa_creation_scan");
   const ColumnBuffer& buffer = buffers_[step_pos_[state]];
   const size_t n = buffer.size();
   if (n == 0) return;
@@ -479,7 +482,8 @@ void NfaEngine::EmitMatch(Match match) {
 }
 
 size_t NfaEngine::StoreInstance(int state, Instance&& inst) {
-  counters_.AddInstance(inst.ApproxBytes());
+  inst.tracked_bytes = inst.ApproxBytes();
+  counters_.AddInstance(inst.tracked_bytes);
   by_state_[state].push_back(std::move(inst));
   return by_state_[state].size() - 1;
 }
@@ -488,17 +492,18 @@ void NfaEngine::MarkDead(int state, size_t idx) {
   Instance& inst = by_state_[state][idx];
   if (!inst.dead) {
     inst.dead = true;
-    counters_.RemoveInstance(inst.ApproxBytes());
+    counters_.RemoveInstance(inst.tracked_bytes);
   }
 }
 
 void NfaEngine::Sweep() {
+  CEPJOIN_STAGE_TIMER("nfa_sweep");
   events_since_sweep_ = 0;
   Timestamp horizon = now_ - cp_.window();
   for (auto& buffer : buffers_) {
     while (!buffer.empty() && buffer.front()->ts < horizon) {
+      counters_.RemoveBuffered(BufferedEventBytes(buffer, *buffer.front()));
       buffer.PopFront();
-      counters_.RemoveBuffered();
     }
   }
   for (auto& list : by_state_) {
@@ -507,7 +512,7 @@ void NfaEngine::Sweep() {
       Instance& inst = list[i];
       bool expired = inst.min_ts < horizon;
       if (inst.dead || expired) {
-        if (!inst.dead) counters_.RemoveInstance(inst.ApproxBytes());
+        if (!inst.dead) counters_.RemoveInstance(inst.tracked_bytes);
         continue;
       }
       if (keep != i) list[keep] = std::move(list[i]);

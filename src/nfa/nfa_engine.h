@@ -65,6 +65,10 @@ class NfaEngine : public Engine {
     EventSerial creation_serial = 0;
     EventSerial max_kleene_serial = 0;
     bool dead = false;
+    /// Bytes charged to counters_ when this instance was stored; the
+    /// matching remove uses this (never a recomputed ApproxBytes), so
+    /// byte totals cannot drift even if capacities change in between.
+    size_t tracked_bytes = 0;
 
     size_t ApproxBytes() const {
       return sizeof(Instance) +

@@ -1,0 +1,191 @@
+#include "obs/export.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace cepjoin {
+namespace {
+
+std::string FormatNumber(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string FormatBound(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return buf;
+}
+
+/// Prometheus label-value escaping: backslash, double quote, newline.
+std::string EscapeLabelValue(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '"') {
+      out += "\\\"";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+/// {label="value",...} with an optional extra (le) pair; empty string
+/// when there are no labels at all.
+std::string LabelBlock(const MetricLabels& labels, const std::string& extra_key,
+                       const std::string& extra_value) {
+  if (labels.empty() && extra_key.empty()) return {};
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += k;
+    out += "=\"";
+    out += EscapeLabelValue(v);
+    out += "\"";
+  }
+  if (!extra_key.empty()) {
+    if (!first) out.push_back(',');
+    out += extra_key;
+    out += "=\"";
+    out += EscapeLabelValue(extra_value);
+    out += "\"";
+  }
+  out.push_back('}');
+  return out;
+}
+
+const char* KindName(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter:
+      return "counter";
+    case MetricKind::kGauge:
+      return "gauge";
+    case MetricKind::kHistogram:
+      return "histogram";
+  }
+  return "untyped";
+}
+
+/// Same minimal escaping as bench/harness: names and label values are
+/// plain identifiers, but a stray quote must not corrupt the file.
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (static_cast<unsigned char>(c) < 0x20) {
+      out += ' ';
+      continue;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string ToPrometheusText(const MetricsSnapshot& snapshot) {
+  std::string out;
+  const std::string* open_type = nullptr;  // name of the current TYPE block
+  for (const MetricPoint& p : snapshot.points) {
+    if (open_type == nullptr || *open_type != p.name) {
+      out += "# TYPE ";
+      out += p.name;
+      out.push_back(' ');
+      out += KindName(p.kind);
+      out.push_back('\n');
+      open_type = &p.name;
+    }
+    if (p.kind == MetricKind::kHistogram) {
+      const HistogramData& h = p.histogram;
+      uint64_t cumulative = 0;
+      for (size_t b = 0; b < h.counts.size(); ++b) {
+        cumulative += h.counts[b];
+        std::string le =
+            b < h.le.size() ? FormatBound(h.le[b]) : std::string("+Inf");
+        out += p.name;
+        out += "_bucket";
+        out += LabelBlock(p.labels, "le", le);
+        out.push_back(' ');
+        out += std::to_string(cumulative);
+        out.push_back('\n');
+      }
+      out += p.name;
+      out += "_sum";
+      out += LabelBlock(p.labels, {}, {});
+      out.push_back(' ');
+      out += FormatNumber(h.sum);
+      out.push_back('\n');
+      out += p.name;
+      out += "_count";
+      out += LabelBlock(p.labels, {}, {});
+      out.push_back(' ');
+      out += std::to_string(h.count);
+      out.push_back('\n');
+    } else {
+      out += p.name;
+      out += LabelBlock(p.labels, {}, {});
+      out.push_back(' ');
+      out += FormatNumber(p.value);
+      out.push_back('\n');
+    }
+  }
+  return out;
+}
+
+std::string ToJson(const MetricsSnapshot& snapshot) {
+  std::string out = "[\n";
+  for (size_t i = 0; i < snapshot.points.size(); ++i) {
+    const MetricPoint& p = snapshot.points[i];
+    out += "  {\"name\": \"";
+    out += JsonEscape(p.name);
+    out += "\", \"kind\": \"";
+    out += KindName(p.kind);
+    out += "\", \"labels\": {";
+    for (size_t l = 0; l < p.labels.size(); ++l) {
+      if (l > 0) out += ", ";
+      out += "\"";
+      out += JsonEscape(p.labels[l].first);
+      out += "\": \"";
+      out += JsonEscape(p.labels[l].second);
+      out += "\"";
+    }
+    out += "}";
+    if (p.kind == MetricKind::kHistogram) {
+      const HistogramData& h = p.histogram;
+      out += ", \"count\": ";
+      out += std::to_string(h.count);
+      out += ", \"sum\": ";
+      out += FormatNumber(h.sum);
+      out += ", \"le\": [";
+      for (size_t b = 0; b < h.le.size(); ++b) {
+        if (b > 0) out += ", ";
+        out += FormatNumber(h.le[b]);
+      }
+      out += "], \"buckets\": [";
+      for (size_t b = 0; b < h.counts.size(); ++b) {
+        if (b > 0) out += ", ";
+        out += std::to_string(h.counts[b]);
+      }
+      out += "]";
+    } else {
+      out += ", \"value\": ";
+      out += FormatNumber(p.value);
+    }
+    out += "}";
+    if (i + 1 < snapshot.points.size()) out += ",";
+    out += "\n";
+  }
+  out += "]\n";
+  return out;
+}
+
+}  // namespace cepjoin

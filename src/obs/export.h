@@ -1,0 +1,27 @@
+#ifndef CEPJOIN_OBS_EXPORT_H_
+#define CEPJOIN_OBS_EXPORT_H_
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace cepjoin {
+
+/// Renders a snapshot in the Prometheus text exposition format (0.0.4):
+/// one `# TYPE` line per metric name, then `name{labels} value` samples;
+/// histograms expand to cumulative `_bucket{le="..."}` series (ending in
+/// le="+Inf"), `_sum` and `_count`. Points sharing a name are grouped
+/// under a single TYPE line, as the format requires.
+std::string ToPrometheusText(const MetricsSnapshot& snapshot);
+
+/// Renders a snapshot as a JSON array, one object per point, following
+/// the bench/harness conventions (flat records, %.17g numbers, minimal
+/// escaping): {"name": ..., "kind": "counter"|"gauge"|"histogram",
+/// "labels": {...}, "value": ...} plus, for histograms, "count", "sum",
+/// "le" (finite bucket bounds) and "buckets" (non-cumulative counts, one
+/// longer than "le": the trailing slot is the +Inf bucket).
+std::string ToJson(const MetricsSnapshot& snapshot);
+
+}  // namespace cepjoin
+
+#endif  // CEPJOIN_OBS_EXPORT_H_

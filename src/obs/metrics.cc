@@ -1,0 +1,225 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "common/check.h"
+
+namespace cepjoin {
+namespace {
+
+/// Shared round-robin ticket for thread-to-stripe assignment. One global
+/// counter (not per-instrument) keeps the thread_local a single size_t
+/// and gives every instrument the same spread.
+size_t NextStripeTicket() {
+  static std::atomic<size_t> next{0};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+size_t ThisThreadTicket() {
+  thread_local const size_t ticket = NextStripeTicket();
+  return ticket;
+}
+
+std::string EntryKey(const std::string& name, const MetricLabels& labels) {
+  std::string key = name;
+  for (const auto& [k, v] : labels) {
+    key.push_back('\0');
+    key += k;
+    key.push_back('\0');
+    key += v;
+  }
+  return key;
+}
+
+}  // namespace
+
+void CanonicalizeLabels(MetricLabels* labels) {
+  std::sort(labels->begin(), labels->end());
+}
+
+size_t Counter::CellIndex() { return ThisThreadTicket() % kStripes; }
+
+size_t Histogram::CellIndex() { return ThisThreadTicket() % kStripes; }
+
+Histogram::Histogram(HistogramOptions opts) : opts_(opts) {
+  CEPJOIN_CHECK(opts_.first_bound > 0.0);
+  CEPJOIN_CHECK(opts_.num_buckets >= 1 && opts_.num_buckets <= kMaxBuckets);
+}
+
+int Histogram::BucketIndex(double value) const {
+  // <= first bound, non-positive, and NaN all collapse into bucket 0.
+  if (!(value > opts_.first_bound)) return 0;
+  // Smallest i with ratio <= 2^i. The exponent field of the IEEE-754
+  // ratio is floor(log2); an exact power of two (zero mantissa) sits on
+  // its own bound (Record(UpperBound(i)) -> i), anything between bounds
+  // rounds up. Reading the bits directly keeps Record() free of libm
+  // calls (ilogb/ldexp cost ~2x the rest of Record combined). The
+  // division is exact at bucket bounds: UpperBound(i) is first_bound
+  // scaled by a power of two, so the quotient 2^i has no rounding.
+  double ratio = value / opts_.first_bound;
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(ratio), "IEEE-754 double expected");
+  std::memcpy(&bits, &ratio, sizeof(bits));
+  // ratio > 1 here, so the biased exponent is a normal value (or 0x7ff
+  // for +Inf, which the min() below clamps into the +Inf bucket).
+  int e = static_cast<int>((bits >> 52) & 0x7ff) - 1023;
+  bool exact_power = (bits & ((uint64_t{1} << 52) - 1)) == 0;
+  int idx = exact_power ? e : e + 1;
+  return std::min(idx, opts_.num_buckets);
+}
+
+double Histogram::UpperBound(int i) const {
+  return std::ldexp(opts_.first_bound, i);
+}
+
+void Histogram::Collect(std::vector<uint64_t>* bucket_counts, uint64_t* count,
+                        double* sum) const {
+  bucket_counts->assign(static_cast<size_t>(opts_.num_buckets) + 1, 0);
+  *count = 0;
+  *sum = 0.0;
+  for (const Cell& cell : cells_) {
+    for (int b = 0; b <= opts_.num_buckets; ++b) {
+      uint64_t n = cell.buckets[b].load(std::memory_order_relaxed);
+      (*bucket_counts)[b] += n;
+      *count += n;
+    }
+    *sum += cell.sum.load(std::memory_order_relaxed);
+  }
+}
+
+double HistogramData::Quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::min(std::max(q, 0.0), 1.0);
+  // Rank of the target observation (1-based), then walk the buckets.
+  double rank = q * static_cast<double>(count);
+  uint64_t seen = 0;
+  for (size_t b = 0; b < counts.size(); ++b) {
+    uint64_t in_bucket = counts[b];
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(seen + in_bucket) >= rank) {
+      if (b >= le.size()) {
+        // +Inf bucket: clamp to the largest finite bound.
+        return le.empty() ? 0.0 : le.back();
+      }
+      double lower = b == 0 ? 0.0 : le[b - 1];
+      double upper = le[b];
+      double into = (rank - static_cast<double>(seen)) /
+                    static_cast<double>(in_bucket);
+      return lower + (upper - lower) * std::min(std::max(into, 0.0), 1.0);
+    }
+    seen += in_bucket;
+  }
+  return le.empty() ? 0.0 : le.back();
+}
+
+const MetricPoint* MetricsSnapshot::Find(const std::string& name,
+                                         const MetricLabels& labels) const {
+  MetricLabels canon = labels;
+  CanonicalizeLabels(&canon);
+  for (const MetricPoint& p : points) {
+    if (p.name == name && p.labels == canon) return &p;
+  }
+  return nullptr;
+}
+
+double MetricsSnapshot::Value(const std::string& name,
+                              const MetricLabels& labels,
+                              double fallback) const {
+  const MetricPoint* p = Find(name, labels);
+  return p == nullptr ? fallback : p->value;
+}
+
+MetricsRegistry::Entry* MetricsRegistry::FindOrCreate(
+    const std::string& name, MetricLabels labels, MetricKind kind,
+    const HistogramOptions* opts) {
+  CanonicalizeLabels(&labels);
+  std::string key = EntryKey(name, labels);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    CEPJOIN_CHECK(it->second->kind == kind);
+    return it->second;
+  }
+  entries_.emplace_back();
+  Entry& entry = entries_.back();
+  entry.name = name;
+  entry.labels = std::move(labels);
+  entry.kind = kind;
+  switch (kind) {
+    case MetricKind::kCounter:
+      entry.counter = std::make_unique<Counter>();
+      break;
+    case MetricKind::kGauge:
+      entry.gauge = std::make_unique<Gauge>();
+      break;
+    case MetricKind::kHistogram:
+      entry.histogram = std::make_unique<Histogram>(
+          opts != nullptr ? *opts : HistogramOptions{});
+      break;
+  }
+  index_.emplace(std::move(key), &entry);
+  return &entry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     MetricLabels labels) {
+  return FindOrCreate(name, std::move(labels), MetricKind::kCounter, nullptr)
+      ->counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name,
+                                 MetricLabels labels) {
+  return FindOrCreate(name, std::move(labels), MetricKind::kGauge, nullptr)
+      ->gauge.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         MetricLabels labels,
+                                         HistogramOptions opts) {
+  return FindOrCreate(name, std::move(labels), MetricKind::kHistogram, &opts)
+      ->histogram.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snap;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snap.points.reserve(entries_.size());
+    for (const Entry& entry : entries_) {
+      MetricPoint point;
+      point.name = entry.name;
+      point.labels = entry.labels;
+      point.kind = entry.kind;
+      switch (entry.kind) {
+        case MetricKind::kCounter:
+          point.value = static_cast<double>(entry.counter->Value());
+          break;
+        case MetricKind::kGauge:
+          point.value = entry.gauge->Value();
+          break;
+        case MetricKind::kHistogram: {
+          const Histogram& h = *entry.histogram;
+          point.histogram.le.reserve(h.num_buckets());
+          for (int b = 0; b < h.num_buckets(); ++b) {
+            point.histogram.le.push_back(h.UpperBound(b));
+          }
+          h.Collect(&point.histogram.counts, &point.histogram.count,
+                    &point.histogram.sum);
+          point.value = static_cast<double>(point.histogram.count);
+          break;
+        }
+      }
+      snap.points.push_back(std::move(point));
+    }
+  }
+  std::sort(snap.points.begin(), snap.points.end(),
+            [](const MetricPoint& a, const MetricPoint& b) {
+              if (a.name != b.name) return a.name < b.name;
+              return a.labels < b.labels;
+            });
+  return snap;
+}
+
+}  // namespace cepjoin

@@ -1,0 +1,222 @@
+#ifndef CEPJOIN_OBS_METRICS_H_
+#define CEPJOIN_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace cepjoin {
+
+/// Label set of one metric instrument, e.g. {{"query","0"},{"shard","2"}}.
+/// Canonicalized (sorted by key) on registration so lookup and export
+/// order are independent of construction order.
+using MetricLabels = std::vector<std::pair<std::string, std::string>>;
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+/// Monotonic counter, striped over cache-line-aligned cells so that
+/// concurrent writers from different threads never contend on one line.
+/// Inc() is a relaxed fetch_add on the calling thread's cell — no locks,
+/// no ordering; Value() sums the stripes and is only coherent once the
+/// writers have quiesced (or as a point-in-time estimate while they run).
+class Counter {
+ public:
+  static constexpr size_t kStripes = 16;
+
+  void Inc(uint64_t n = 1) {
+    cells_[CellIndex()].v.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const Cell& c : cells_) total += c.v.load(std::memory_order_relaxed);
+    return total;
+  }
+
+ private:
+  struct alignas(64) Cell {
+    std::atomic<uint64_t> v{0};
+  };
+
+  /// Round-robin thread-to-stripe assignment: each thread picks a stripe
+  /// once (thread_local), so a pipeline of ~N threads spreads across
+  /// min(N, kStripes) cells.
+  static size_t CellIndex();
+
+  std::array<Cell, kStripes> cells_{};
+};
+
+/// Last-value gauge. Single atomic double: gauges are either single-writer
+/// (one shard worker owns one (query, partition) memory gauge) or
+/// last-write-wins by design (watermarks).
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(double d) {
+    // Not used on any hot path; CAS loop keeps Add available for
+    // multi-writer gauges (e.g. aggregate queue depth).
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + d,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+struct HistogramOptions {
+  /// Upper bound of the first bucket; every later bucket doubles it
+  /// (log2-bucketed). Defaults suit seconds-valued latencies: 1 µs first
+  /// bucket, 36 doublings ≈ 19 hours of range before +Inf.
+  double first_bound = 1e-6;
+  int num_buckets = 36;
+};
+
+/// Log2-bucketed histogram with the same striping scheme as Counter.
+/// Record() is two relaxed fetch_adds plus a CAS-free sum accumulate on
+/// the thread's stripe — no locks. Values <= 0 (and NaN) land in the
+/// first bucket; values past the last bound land in the +Inf bucket.
+class Histogram {
+ public:
+  static constexpr size_t kStripes = 8;
+  static constexpr int kMaxBuckets = 64;
+
+  explicit Histogram(HistogramOptions opts = {});
+
+  void Record(double value) {
+    Cell& cell = cells_[CellIndex()];
+    cell.buckets[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+    // Per-stripe sum: only this thread writes this stripe's slot, so a
+    // plain load/store pair (no CAS) is race-free for the value; the
+    // atomic wrapper makes the snapshot-side read defined.
+    cell.sum.store(cell.sum.load(std::memory_order_relaxed) + value,
+                   std::memory_order_relaxed);
+  }
+
+  /// Smallest i with value <= UpperBound(i), or num_buckets (the +Inf
+  /// bucket) when no finite bound covers it. Deterministic at exact
+  /// bucket bounds: Record(UpperBound(i)) counts into bucket i.
+  int BucketIndex(double value) const;
+
+  /// Inclusive upper bound of finite bucket i: first_bound * 2^i.
+  double UpperBound(int i) const;
+
+  int num_buckets() const { return opts_.num_buckets; }
+  const HistogramOptions& options() const { return opts_; }
+
+  /// Aggregated per-bucket counts (size num_buckets + 1, last is +Inf),
+  /// total count and value sum. Coherent once writers quiesced.
+  void Collect(std::vector<uint64_t>* bucket_counts, uint64_t* count,
+               double* sum) const;
+
+ private:
+  struct alignas(64) Cell {
+    std::array<std::atomic<uint64_t>, kMaxBuckets + 1> buckets{};
+    std::atomic<double> sum{0.0};
+  };
+
+  static size_t CellIndex();
+
+  HistogramOptions opts_;
+  std::array<Cell, kStripes> cells_{};
+};
+
+/// Point-in-time copy of one histogram, with quantile estimation.
+struct HistogramData {
+  /// Ascending finite bucket upper bounds (size = num finite buckets).
+  std::vector<double> le;
+  /// Non-cumulative per-bucket counts; size le.size() + 1, the extra
+  /// trailing slot is the +Inf bucket.
+  std::vector<uint64_t> counts;
+  uint64_t count = 0;
+  double sum = 0.0;
+
+  /// Quantile estimate (q in [0, 1]) by linear interpolation inside the
+  /// covering bucket (Prometheus histogram_quantile semantics). Returns
+  /// 0 for an empty histogram; the last finite bound when the quantile
+  /// falls in the +Inf bucket.
+  double Quantile(double q) const;
+};
+
+/// One exported sample: a (name, labels) instrument and its value.
+struct MetricPoint {
+  std::string name;
+  MetricLabels labels;
+  MetricKind kind = MetricKind::kCounter;
+  double value = 0.0;       // counter / gauge value
+  HistogramData histogram;  // kind == kHistogram only
+};
+
+/// Point-in-time aggregation of a registry, sorted by (name, labels) so
+/// exports and tests are deterministic.
+struct MetricsSnapshot {
+  std::vector<MetricPoint> points;
+
+  /// First point with this name and exactly these labels (canonical
+  /// order not required from the caller), or nullptr.
+  const MetricPoint* Find(const std::string& name,
+                          const MetricLabels& labels = {}) const;
+  /// Find(...)->value, or `fallback` when absent.
+  double Value(const std::string& name, const MetricLabels& labels = {},
+               double fallback = 0.0) const;
+};
+
+/// Registry of named instruments. Get*() find-or-create under a mutex —
+/// strictly a setup-path cost; hot paths hold raw Counter*/Gauge*/
+/// Histogram* handles, whose addresses are stable for the registry's
+/// lifetime. Get*() with a (name, labels) pair that already exists
+/// returns the existing instrument (idempotent), so racing registrations
+/// of the same key are benign.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* GetCounter(const std::string& name, MetricLabels labels = {});
+  Gauge* GetGauge(const std::string& name, MetricLabels labels = {});
+  Histogram* GetHistogram(const std::string& name, MetricLabels labels = {},
+                          HistogramOptions opts = {});
+
+  /// Aggregates every instrument's stripes into a sorted snapshot.
+  /// Counter/histogram values are coherent once writer threads quiesced;
+  /// taken mid-stream they are a consistent-enough point-in-time read
+  /// (each instrument internally sums relaxed loads).
+  MetricsSnapshot Snapshot() const;
+
+ private:
+  struct Entry {
+    std::string name;
+    MetricLabels labels;
+    MetricKind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Entry* FindOrCreate(const std::string& name, MetricLabels labels,
+                      MetricKind kind, const HistogramOptions* opts);
+
+  mutable std::mutex mu_;
+  /// deque: stable Entry addresses across growth.
+  std::deque<Entry> entries_;
+  std::map<std::string, Entry*> index_;
+};
+
+/// Sorts labels by key — the canonical form used for registry keys and
+/// snapshot ordering.
+void CanonicalizeLabels(MetricLabels* labels);
+
+}  // namespace cepjoin
+
+#endif  // CEPJOIN_OBS_METRICS_H_

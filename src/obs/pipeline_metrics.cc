@@ -1,0 +1,95 @@
+#include "obs/pipeline_metrics.h"
+
+#include "runtime/output_profiler.h"
+
+namespace cepjoin {
+
+namespace {
+
+MetricLabels WithLabel(MetricLabels base, const std::string& key,
+                       const std::string& value) {
+  base.emplace_back(key, value);
+  return base;
+}
+
+}  // namespace
+
+QueryMetrics::QueryMetrics(MetricsRegistry* registry, MetricLabels base_labels)
+    : registry_(registry), base_labels_(std::move(base_labels)) {
+  CanonicalizeLabels(&base_labels_);
+  events_total = registry_->GetCounter(metric_names::kQueryEvents,
+                                       base_labels_);
+  matches_total = registry_->GetCounter(metric_names::kQueryMatches,
+                                        base_labels_);
+  ingest_to_match_seconds = registry_->GetHistogram(
+      metric_names::kIngestToMatchSeconds, base_labels_);
+  detection_seconds = registry_->GetHistogram(metric_names::kDetectionSeconds,
+                                              base_labels_);
+}
+
+Counter* QueryMetrics::LastPositionCounter(int pos) {
+  if (pos < 0 || pos >= kMaxTrackedPositions) return nullptr;
+  Counter* c = last_position_[pos].load(std::memory_order_acquire);
+  if (c == nullptr) {
+    c = registry_->GetCounter(
+        metric_names::kLastPositionMatches,
+        WithLabel(base_labels_, "position", std::to_string(pos)));
+    last_position_[pos].store(c, std::memory_order_release);
+  }
+  return c;
+}
+
+std::vector<uint64_t> QueryMetrics::LastPositionCounts() const {
+  std::vector<uint64_t> counts(kMaxTrackedPositions, 0);
+  for (int i = 0; i < kMaxTrackedPositions; ++i) {
+    Counter* c = last_position_[i].load(std::memory_order_acquire);
+    if (c != nullptr) counts[i] = c->Value();
+  }
+  return counts;
+}
+
+Gauge* QueryMetrics::MemoryGauge(uint32_t partition) {
+  return MemoryGaugeLabeled(std::to_string(partition));
+}
+
+Gauge* QueryMetrics::MemoryGaugeLabeled(const std::string& partition_label) {
+  return registry_->GetGauge(
+      metric_names::kQueryMemoryBytes,
+      WithLabel(base_labels_, "partition", partition_label));
+}
+
+ShardMetrics::ShardMetrics(MetricsRegistry* registry, size_t shard) {
+  MetricLabels labels = {{"shard", std::to_string(shard)}};
+  events_total = registry->GetCounter(metric_names::kShardEvents, labels);
+  batches_total = registry->GetCounter(metric_names::kShardBatches, labels);
+  queue_depth = registry->GetGauge(metric_names::kShardQueueDepth, labels);
+}
+
+void RecordMatchMetrics(QueryMetrics* metrics, const Match& match,
+                        std::chrono::steady_clock::time_point ingested_at) {
+  if (metrics == nullptr) return;
+  metrics->matches_total->Inc();
+  if (ingested_at.time_since_epoch().count() != 0) {
+    // Sampled: the clock read dominates the per-match metrics cost, and
+    // the latency distribution doesn't need every observation. Tick 0
+    // fires first so a thread's first match is always sampled.
+    static_assert((kIngestLatencySampleEvery &
+                   (kIngestLatencySampleEvery - 1)) == 0,
+                  "sample period must be a power of two");
+    thread_local uint32_t sample_tick = 0;
+    if ((sample_tick++ & (kIngestLatencySampleEvery - 1)) == 0) {
+      double seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        ingested_at)
+              .count();
+      metrics->ingest_to_match_seconds->Record(seconds);
+    }
+  }
+  metrics->detection_seconds->Record(match.latency_seconds);
+  if (Counter* c =
+          metrics->LastPositionCounter(OutputProfiler::LastPosition(match))) {
+    c->Inc();
+  }
+}
+
+}  // namespace cepjoin

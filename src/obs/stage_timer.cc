@@ -1,0 +1,19 @@
+#include "obs/stage_timer.h"
+
+namespace cepjoin {
+
+MetricsRegistry& DetailedMetricsRegistry() {
+  // Leaked on purpose: stage-timer call sites cache Histogram* in
+  // function-local statics, which must never dangle at exit.
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+HistogramOptions StageTimerHistogramOptions() {
+  HistogramOptions opts;
+  opts.first_bound = 1e-9;
+  opts.num_buckets = 44;
+  return opts;
+}
+
+}  // namespace cepjoin

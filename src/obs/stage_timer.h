@@ -1,0 +1,63 @@
+#ifndef CEPJOIN_OBS_STAGE_TIMER_H_
+#define CEPJOIN_OBS_STAGE_TIMER_H_
+
+#include <chrono>
+
+#include "obs/metrics.h"
+
+namespace cepjoin {
+
+/// Process-global registry backing the drill-down stage timers. Kept
+/// separate from any service-owned registry: stage timings are a
+/// profiling aid spanning every engine in the process, not part of a
+/// service's exported surface (CepService::MetricsSnapshot appends its
+/// points when the timers are compiled in).
+MetricsRegistry& DetailedMetricsRegistry();
+
+/// Histogram options suited to per-stage wall times: 1 ns first bucket,
+/// 44 doublings ≈ 17 s of range.
+HistogramOptions StageTimerHistogramOptions();
+
+/// RAII wall-clock timer recording seconds into a histogram on scope
+/// exit. Only instantiated by CEPJOIN_STAGE_TIMER below, which compiles
+/// to nothing unless CEPJOIN_DETAILED_METRICS is defined — the default
+/// build carries zero hot-loop cost.
+class ScopedStageTimer {
+ public:
+  explicit ScopedStageTimer(Histogram* hist)
+      : hist_(hist), start_(std::chrono::steady_clock::now()) {}
+  ~ScopedStageTimer() {
+    hist_->Record(std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - start_)
+                      .count());
+  }
+
+  ScopedStageTimer(const ScopedStageTimer&) = delete;
+  ScopedStageTimer& operator=(const ScopedStageTimer&) = delete;
+
+ private:
+  Histogram* hist_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace cepjoin
+
+/// Times the enclosing scope into cep_stage_seconds{stage="<name>"} of
+/// the detailed registry. One use per scope (fixed variable names). The
+/// histogram handle is resolved once per call site (function-local
+/// static), so the per-invocation cost is two clock reads and a striped
+/// histogram record — and exactly zero when compiled out.
+#ifdef CEPJOIN_DETAILED_METRICS
+#define CEPJOIN_STAGE_TIMER(stage_name)                                      \
+  static ::cepjoin::Histogram* const cepjoin_stage_hist_ =                   \
+      ::cepjoin::DetailedMetricsRegistry().GetHistogram(                     \
+          "cep_stage_seconds", {{"stage", (stage_name)}},                    \
+          ::cepjoin::StageTimerHistogramOptions());                          \
+  ::cepjoin::ScopedStageTimer cepjoin_stage_timer_(cepjoin_stage_hist_)
+#else
+#define CEPJOIN_STAGE_TIMER(stage_name) \
+  do {                                  \
+  } while (false)
+#endif
+
+#endif  // CEPJOIN_OBS_STAGE_TIMER_H_

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "obs/pipeline_metrics.h"
 
 namespace cepjoin {
 
@@ -14,6 +15,11 @@ void ConcurrentMatchSink::ShardSink::OnMatch(const Match& match) {
   entry.query = current_query_;
   entry.partition = current_partition_;
   entries_.push_back(std::move(entry));
+  // Striped counters/histograms: every shard records through the same
+  // per-query bundle without contention, and a snapshot merges the
+  // per-thread cells — the sharded equivalent of merging per-shard
+  // output profilers at drain time.
+  RecordMatchMetrics(current_metrics_, match, batch_ingested_at_);
 }
 
 ConcurrentMatchSink::ConcurrentMatchSink(size_t num_shards) {

@@ -1,6 +1,7 @@
 #ifndef CEPJOIN_PARALLEL_CONCURRENT_SINK_H_
 #define CEPJOIN_PARALLEL_CONCURRENT_SINK_H_
 
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
@@ -10,6 +11,8 @@
 #include "runtime/match.h"
 
 namespace cepjoin {
+
+class QueryMetrics;
 
 /// Collects matches from concurrently running shard workers and replays
 /// them into downstream (single-threaded) MatchSinks in a canonical,
@@ -45,9 +48,19 @@ class ConcurrentMatchSink {
     void set_current_partition(uint32_t partition) {
       current_partition_ = partition;
     }
-    void set_current(uint64_t query, uint32_t partition) {
+    void set_current(uint64_t query, uint32_t partition,
+                     QueryMetrics* metrics = nullptr) {
       current_query_ = query;
       current_partition_ = partition;
+      current_metrics_ = metrics;
+    }
+    /// Latency anchor of the batch being evaluated (its router-entry
+    /// time); matches recorded while it is set feed the owning query's
+    /// ingest-to-match histogram. A zero (epoch) time point — the
+    /// default, and what workers set before Finish-time flushes — skips
+    /// that histogram: end-of-stream matches have no ingest anchor.
+    void set_batch_ingest_time(std::chrono::steady_clock::time_point t) {
+      batch_ingested_at_ = t;
     }
 
    private:
@@ -60,6 +73,8 @@ class ConcurrentMatchSink {
     std::vector<Entry> entries_;
     uint64_t current_query_ = 0;
     uint32_t current_partition_ = 0;
+    QueryMetrics* current_metrics_ = nullptr;
+    std::chrono::steady_clock::time_point batch_ingested_at_{};
   };
 
   explicit ConcurrentMatchSink(size_t num_shards);

@@ -1,6 +1,7 @@
 #ifndef CEPJOIN_PARALLEL_EVENT_BATCH_H_
 #define CEPJOIN_PARALLEL_EVENT_BATCH_H_
 
+#include <chrono>
 #include <cstddef>
 #include <memory>
 #include <vector>
@@ -21,6 +22,11 @@ struct EventBatch {
   /// query_set.h). Null means "unchanged" — workers keep their current
   /// set; only the multi-query ShardedRuntime publishes snapshots.
   std::shared_ptr<const QuerySetSnapshot> queries;
+  /// When the batch's FIRST event entered the router — the anchor of the
+  /// per-query ingest-to-match latency histograms. One clock read per
+  /// batch, not per event; zero (epoch) when metrics are disabled, which
+  /// downstream recording treats as "no anchor".
+  std::chrono::steady_clock::time_point ingested_at{};
 
   bool empty() const { return events.empty(); }
   size_t size() const { return events.size(); }

@@ -8,6 +8,7 @@
 #include "common/check.h"
 #include "event/arena.h"
 #include "event/partition_sequencer.h"
+#include "obs/pipeline_metrics.h"
 
 namespace cepjoin {
 
@@ -34,9 +35,38 @@ IngestPipeline::IngestPipeline(
         std::make_unique<BoundedQueue<SourceChunk>>(options_.queue_capacity);
     groups_.push_back(std::move(group));
   }
+  if (options_.metrics != nullptr) {
+    MetricsRegistry* reg = options_.metrics;
+    source_watermark_.reserve(k);
+    source_lag_.reserve(k);
+    for (size_t i = 0; i < k; ++i) {
+      MetricLabels labels{{"source", std::to_string(i)}};
+      source_watermark_.push_back(
+          reg->GetGauge(metric_names::kSourceWatermark, labels));
+      source_lag_.push_back(
+          reg->GetGauge(metric_names::kSourceWatermarkLag, labels));
+    }
+    merged_watermark_ = reg->GetGauge(metric_names::kMergedWatermark);
+    ingest_events_ = reg->GetCounter(metric_names::kIngestEvents);
+    ingest_batches_ = reg->GetCounter(metric_names::kIngestBatches);
+  }
 }
 
 IngestPipeline::~IngestPipeline() { CloseAndJoin(); }
+
+void IngestPipeline::UpdateWatermarkLags() {
+  // Gauges start at 0, so a source that has not emitted yet reads as
+  // watermark 0 and its lag is the whole frontier — the honest answer
+  // for the non-negative timestamps the sources produce.
+  double max_watermark = 0.0;
+  for (Gauge* wm : source_watermark_) {
+    max_watermark = std::max(max_watermark, wm->Value());
+  }
+  for (size_t i = 0; i < source_watermark_.size(); ++i) {
+    double lag = max_watermark - source_watermark_[i]->Value();
+    source_lag_[i]->Set(lag < 0.0 ? 0.0 : lag);
+  }
+}
 
 void IngestPipeline::CloseAndJoin() {
   for (auto& group : groups_) group.queue->Close();
@@ -99,6 +129,13 @@ void IngestPipeline::IngestGroup(Group& group) {
     }
     if (best == k) break;  // every source exhausted
     chunk.events.push_back(std::move(heads[best]));
+    if (!source_watermark_.empty()) {
+      // The source's event-time frontier: every event it will still emit
+      // has ts >= this. One atomic store; the merge thread reads it to
+      // derive the lag gauges.
+      source_watermark_[group.first_source + best]->Set(
+          chunk.events.back().ts);
+    }
     if (!refill(best, chunk.events.back().ts)) return;
     if (chunk.events.size() >= options_.chunk_size) {
       if (!group.queue->Push(std::move(chunk))) return;  // merge aborted
@@ -147,6 +184,14 @@ IngestResult IngestPipeline::Run(const RunConsumer& consume) {
     if (run.empty()) return;
     consume(run.data(), run.size());
     result.events += run.size();
+    if (merged_watermark_ != nullptr) {
+      // The merge frontier: everything at or below this timestamp has
+      // been handed downstream. Updated per run, not per event.
+      merged_watermark_->Set(run.back()->ts);
+      ingest_events_->Inc(run.size());
+      ingest_batches_->Inc();
+      UpdateWatermarkLags();
+    }
     run.clear();
   };
 

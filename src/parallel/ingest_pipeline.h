@@ -11,6 +11,7 @@
 
 #include "event/event.h"
 #include "event/stream_source.h"
+#include "obs/metrics.h"
 #include "parallel/bounded_queue.h"
 #include "parallel/event_batch.h"
 
@@ -40,6 +41,15 @@ struct IngestOptions {
   /// Queue depth per ingestion thread, in chunks (back-pressure toward
   /// the sources when parsing outruns evaluation).
   size_t queue_capacity = 8;
+  /// Observability registry (not owned, may be null = metrics off).
+  /// When set, the pipeline exposes per-source event-time watermarks
+  /// (cep_source_watermark_seconds{source=i}: the last timestamp each
+  /// source emitted into its group merge), per-source watermark lag
+  /// (cep_source_watermark_lag_seconds{source=i}: how far the source's
+  /// watermark trails the most advanced source — the slack the k-way
+  /// merge is buffering on its behalf), the merged output watermark
+  /// (cep_merged_watermark_seconds), and ingest throughput counters.
+  MetricsRegistry* metrics = nullptr;
 };
 
 /// Outcome of one pipeline run.
@@ -113,6 +123,10 @@ class IngestPipeline {
 
   void IngestGroup(Group& group);
   void CloseAndJoin();
+  /// Refreshes the per-source lag gauges against the current maximum
+  /// source watermark. Called from the merge thread once per delivered
+  /// run; reads the watermark gauges the group threads write (atomic).
+  void UpdateWatermarkLags();
 
   std::vector<std::unique_ptr<StreamSource>> sources_;
   IngestOptions options_;
@@ -120,6 +134,12 @@ class IngestPipeline {
   size_t num_groups_ = 0;
   std::vector<std::thread> threads_;
   bool ran_ = false;
+  // Metrics handles, resolved once at construction (null = metrics off).
+  std::vector<Gauge*> source_watermark_;  // one per source
+  std::vector<Gauge*> source_lag_;        // one per source
+  Gauge* merged_watermark_ = nullptr;
+  Counter* ingest_events_ = nullptr;
+  Counter* ingest_batches_ = nullptr;
 };
 
 }  // namespace cepjoin

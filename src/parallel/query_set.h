@@ -7,6 +7,7 @@
 namespace cepjoin {
 
 class PartitionPlanner;
+class QueryMetrics;
 
 /// One registered keyed query as the shard workers see it: a stable id
 /// plus the immutable planner generating its per-partition plans. The
@@ -15,6 +16,11 @@ class PartitionPlanner;
 struct ShardQuery {
   uint64_t id = 0;
   const PartitionPlanner* planner = nullptr;
+  /// Shared per-query instrument bundle (obs/pipeline_metrics.h), owned
+  /// by the runtime alongside the planner; null when metrics are off.
+  /// All recording through it is striped/atomic, so every worker can
+  /// write through the same bundle.
+  QueryMetrics* metrics = nullptr;
 };
 
 /// An immutable snapshot of the active query set, in registration order.

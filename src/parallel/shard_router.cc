@@ -42,6 +42,9 @@ size_t ShardRouter::ShardOf(uint32_t partition) const {
 
 void ShardRouter::Route(const EventPtr& e) {
   size_t shard = ShardOf(e->partition);
+  if (stamp_ingest_time_ && pending_[shard].events.empty()) {
+    pending_[shard].ingested_at = std::chrono::steady_clock::now();
+  }
   pending_[shard].events.push_back(e);
   ++events_routed_;
   if (pending_[shard].events.size() >= batch_size_) Flush(shard);
@@ -56,6 +59,9 @@ void ShardRouter::RouteRun(const EventPtr* events, size_t n) {
   for (size_t i = 0; i < n; ++i) {
     CEPJOIN_CHECK_EQ(events[i]->partition, events[0]->partition)
         << "RouteRun requires a same-partition run";
+    if (stamp_ingest_time_ && pending.events.empty()) {
+      pending.ingested_at = std::chrono::steady_clock::now();
+    }
     pending.events.push_back(events[i]);
     if (pending.events.size() >= batch_size_) Flush(shard);
   }

@@ -53,6 +53,12 @@ class ShardRouter {
     snapshot_ = std::move(snapshot);
   }
 
+  /// Enables latency stamping: each pending batch records the wall time
+  /// its first event was routed (EventBatch::ingested_at), anchoring the
+  /// downstream ingest-to-match histograms. One steady_clock read per
+  /// batch; off by default so metric-less runtimes pay nothing.
+  void set_stamp_ingest_time(bool enabled) { stamp_ingest_time_ = enabled; }
+
   /// Flushes pending batches and closes every shard queue (signals
   /// end-of-stream to the workers). Idempotent.
   void CloseAll();
@@ -77,6 +83,7 @@ class ShardRouter {
   std::vector<EventBatch> pending_;
   std::shared_ptr<const QuerySetSnapshot> snapshot_;
   size_t batch_size_;
+  bool stamp_ingest_time_ = false;
   uint64_t events_routed_ = 0;
   uint64_t batches_flushed_ = 0;
   uint64_t events_dropped_ = 0;

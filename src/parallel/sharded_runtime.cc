@@ -19,13 +19,25 @@ size_t ResolveThreads(size_t requested) {
 }  // namespace
 
 ShardedRuntime::ShardedRuntime(const ShardedOptions& options)
-    : router_(ResolveThreads(options.num_threads), options.batch_size,
+    : metrics_(options.metrics),
+      router_(ResolveThreads(options.num_threads), options.batch_size,
               options.queue_capacity),
       concurrent_sink_(router_.num_shards()) {
+  if (metrics_ != nullptr) {
+    // Stamp each routed batch with its router-entry time: the anchor of
+    // the ingest-to-match latency histograms. One clock read per batch.
+    router_.set_stamp_ingest_time(true);
+    shard_metrics_.reserve(router_.num_shards());
+    for (size_t shard = 0; shard < router_.num_shards(); ++shard) {
+      shard_metrics_.push_back(
+          std::make_unique<ShardMetrics>(metrics_, shard));
+    }
+  }
   workers_.reserve(router_.num_shards());
   for (size_t shard = 0; shard < router_.num_shards(); ++shard) {
     workers_.push_back(std::make_unique<ShardWorker>(
-        &router_.queue(shard), concurrent_sink_.shard(shard)));
+        &router_.queue(shard), concurrent_sink_.shard(shard),
+        metrics_ != nullptr ? shard_metrics_[shard].get() : nullptr));
   }
   try {
     for (auto& worker : workers_) worker->Start();
@@ -63,6 +75,12 @@ ShardedRuntime::~ShardedRuntime() {
 
 StatusOr<uint64_t> ShardedRuntime::AddQuery(
     std::unique_ptr<PartitionPlanner> planner, MatchSink* sink) {
+  return AddQuery(std::move(planner), sink, nullptr);
+}
+
+StatusOr<uint64_t> ShardedRuntime::AddQuery(
+    std::unique_ptr<PartitionPlanner> planner, MatchSink* sink,
+    QueryMetrics* metrics) {
   CEPJOIN_CHECK(planner != nullptr);
   CEPJOIN_CHECK(sink != nullptr);
   if (finished_) {
@@ -73,6 +91,15 @@ StatusOr<uint64_t> ShardedRuntime::AddQuery(
   entry.planner = std::move(planner);
   entry.sink = sink;
   entry.active = true;
+  if (metrics_ != nullptr) {
+    if (metrics != nullptr) {
+      entry.metrics = metrics;
+    } else {
+      entry.owned_metrics = std::make_unique<QueryMetrics>(
+          metrics_, MetricLabels{{"query", std::to_string(id)}});
+      entry.metrics = entry.owned_metrics.get();
+    }
+  }
   queries_.emplace(id, std::move(entry));
   PublishSnapshot();
   return id;
@@ -107,6 +134,7 @@ void ShardedRuntime::PublishSnapshot() {
     ShardQuery q;
     q.id = id;
     q.planner = entry.planner.get();
+    q.metrics = entry.metrics;
     snapshot->queries.push_back(q);
   }
   router_.set_query_snapshot(std::move(snapshot));

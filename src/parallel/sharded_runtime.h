@@ -11,6 +11,8 @@
 #include "adaptive/partition_planner.h"
 #include "common/status.h"
 #include "event/stream.h"
+#include "obs/metrics.h"
+#include "obs/pipeline_metrics.h"
 #include "parallel/concurrent_sink.h"
 #include "parallel/event_batch.h"
 #include "parallel/query_set.h"
@@ -29,6 +31,14 @@ struct ShardedOptions {
   /// Queue depth per shard, in batches (bounds in-flight memory and
   /// applies back-pressure to the ingestion thread).
   size_t queue_capacity = ShardRouter::kDefaultQueueCapacity;
+  /// Observability registry (not owned, may be null = metrics off).
+  /// When set, the runtime registers per-shard throughput/queue-depth
+  /// instruments, stamps routed batches with their ingest time, and
+  /// gives each query a QueryMetrics bundle (labelled query=<id> unless
+  /// AddQuery supplies one) recording match counts, ingest-to-match and
+  /// detection latency histograms, per-partition memory gauges, and
+  /// per-last-position match counters.
+  MetricsRegistry* metrics = nullptr;
 };
 
 /// Multi-threaded scale-out of PartitionedRuntime (Sec. 6.2 partition
@@ -81,6 +91,15 @@ class ShardedRuntime {
   /// non-null; `sink` receives the query's matches at Finish().
   StatusOr<uint64_t> AddQuery(std::unique_ptr<PartitionPlanner> planner,
                               MatchSink* sink);
+
+  /// As above, but records the query's pipeline metrics through
+  /// `metrics` (not owned; must outlive the runtime) instead of a
+  /// runtime-owned bundle labelled by the numeric id — this is how
+  /// CepService shares ONE bundle between a query's inline and sharded
+  /// paths. Ignored (treated as the plain overload) when the runtime
+  /// was built without a registry.
+  StatusOr<uint64_t> AddQuery(std::unique_ptr<PartitionPlanner> planner,
+                              MatchSink* sink, QueryMetrics* metrics);
 
   /// Deregisters a query: events routed after this call do not feed it,
   /// its engines are finished (flushing trailing-negation matches) as
@@ -137,6 +156,12 @@ class ShardedRuntime {
     std::unique_ptr<PartitionPlanner> planner;
     MatchSink* sink = nullptr;
     bool active = false;
+    /// The query's shared metrics bundle: `metrics` points at either an
+    /// external bundle (AddQuery overload) or `owned_metrics`. Null when
+    /// the runtime has no registry. Kept alive until destruction — the
+    /// workers hold raw pointers through their snapshots.
+    QueryMetrics* metrics = nullptr;
+    std::unique_ptr<QueryMetrics> owned_metrics;
   };
 
   /// Flushes pending batches under the old snapshot, then publishes the
@@ -147,8 +172,11 @@ class ShardedRuntime {
   std::map<uint64_t, QueryEntry> queries_;  // id order == registration order
   uint64_t next_query_id_ = 0;
   uint64_t epoch_ = 0;
+  MetricsRegistry* metrics_;  // not owned, null = metrics off
   ShardRouter router_;
   ConcurrentMatchSink concurrent_sink_;
+  /// Per-shard instruments, address-stable (workers keep pointers).
+  std::vector<std::unique_ptr<ShardMetrics>> shard_metrics_;
   std::vector<std::unique_ptr<ShardWorker>> workers_;
   bool finished_ = false;
 };

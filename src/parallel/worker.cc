@@ -9,8 +9,9 @@
 namespace cepjoin {
 
 ShardWorker::ShardWorker(BoundedQueue<EventBatch>* queue,
-                         ConcurrentMatchSink::ShardSink* sink)
-    : queue_(queue), sink_(sink) {
+                         ConcurrentMatchSink::ShardSink* sink,
+                         const ShardMetrics* metrics)
+    : queue_(queue), sink_(sink), metrics_(metrics) {
   CEPJOIN_CHECK(queue_ != nullptr);
   CEPJOIN_CHECK(sink_ != nullptr);
 }
@@ -36,6 +37,7 @@ ShardWorker::QueryState& ShardWorker::QueryStateFor(const ShardQuery& query) {
   if (it != queries_.end()) return it->second;
   QueryState state;
   state.planner = query.planner;
+  state.metrics = query.metrics;
   return queries_.emplace(query.id, std::move(state)).first->second;
 }
 
@@ -46,6 +48,11 @@ ShardWorker::PartitionState& ShardWorker::StateFor(QueryState& query,
   PartitionState state;
   state.plan = query.planner->PlanFor(partition);
   state.engine = query.planner->BuildEngineFor(state.plan, sink_);
+  if (query.metrics != nullptr) {
+    // Registry mutex, but only on first sight of a (query, partition) —
+    // the per-run gauge update below goes through this cached handle.
+    state.memory = query.metrics->MemoryGauge(partition);
+  }
   return query.partitions.emplace(partition, std::move(state)).first->second;
 }
 
@@ -59,8 +66,13 @@ void ShardWorker::FinishQuery(uint64_t id, QueryState& state) {
     partitions.push_back(partition);
   }
   std::sort(partitions.begin(), partitions.end());
+  // Finish-time matches carry no ingest anchor (their "arrival" is the
+  // end of stream, not a routed batch): clear the batch time so the
+  // ingest-to-match histogram skips them while counts/detection still
+  // record.
+  sink_->set_batch_ingest_time({});
   for (uint32_t partition : partitions) {
-    sink_->set_current(id, partition);
+    sink_->set_current(id, partition, state.metrics);
     state.partitions.at(partition).engine->Finish();
   }
   EngineCounters total;
@@ -70,9 +82,13 @@ void ShardWorker::FinishQuery(uint64_t id, QueryState& state) {
   state.counters = total;
   state.finished = true;
   // Retired queries release their engines (and buffered windows) right
-  // here on the worker thread; the plans stay for PlanFor().
+  // here on the worker thread; the plans stay for PlanFor(). The memory
+  // gauges report the release: this (query, partition) is genuinely
+  // back to zero resident bytes.
   for (uint32_t partition : partitions) {
-    state.partitions.at(partition).engine.reset();
+    PartitionState& ps = state.partitions.at(partition);
+    ps.engine.reset();
+    if (ps.memory != nullptr) ps.memory->Set(0.0);
   }
 }
 
@@ -96,10 +112,18 @@ void ShardWorker::FinishQueriesRemovedBy(const QuerySetSnapshot& next) {
 void ShardWorker::Run() {
   EventBatch batch;
   while (queue_->Pop(batch)) {
+    if (metrics_ != nullptr) {
+      metrics_->events_total->Inc(batch.events.size());
+      metrics_->batches_total->Inc();
+      metrics_->queue_depth->Set(static_cast<double>(queue_->size()));
+    }
     if (batch.queries != nullptr && batch.queries != active_) {
       FinishQueriesRemovedBy(*batch.queries);
       active_ = batch.queries;
     }
+    // Every match recorded while this batch evaluates is anchored to
+    // the batch's router-entry time (zero when stamping is off).
+    sink_->set_batch_ingest_time(batch.ingested_at);
     if (active_ != nullptr && !active_->queries.empty()) {
       // Segment the batch into maximal runs of one partition and hand
       // each run to every active query's engine over its batched path:
@@ -113,8 +137,13 @@ void ShardWorker::Run() {
           [&](uint32_t partition, const EventPtr* run, size_t run_length) {
             for (const ShardQuery& q : active_->queries) {
               PartitionState& state = StateFor(QueryStateFor(q), partition);
-              sink_->set_current(q.id, partition);
+              sink_->set_current(q.id, partition, q.metrics);
               state.engine->OnBatch(run, run_length);
+              if (q.metrics != nullptr) {
+                q.metrics->events_total->Inc(run_length);
+                state.memory->Set(
+                    static_cast<double>(state.engine->counters().CurrentBytes()));
+              }
             }
           });
     }

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "adaptive/partition_planner.h"
+#include "obs/pipeline_metrics.h"
 #include "parallel/bounded_queue.h"
 #include "parallel/concurrent_sink.h"
 #include "parallel/event_batch.h"
@@ -37,8 +38,12 @@ namespace cepjoin {
 /// PartitionedRuntime.
 class ShardWorker {
  public:
+  /// `metrics` (owned by the runtime, may be null) carries this shard's
+  /// pipeline instruments: per-shard event/batch counters and the queue
+  /// depth gauge, updated once per popped batch.
   ShardWorker(BoundedQueue<EventBatch>* queue,
-              ConcurrentMatchSink::ShardSink* sink);
+              ConcurrentMatchSink::ShardSink* sink,
+              const ShardMetrics* metrics = nullptr);
   ~ShardWorker();
 
   ShardWorker(const ShardWorker&) = delete;
@@ -69,9 +74,16 @@ class ShardWorker {
   struct PartitionState {
     EnginePlan plan;
     std::unique_ptr<Engine> engine;
+    /// Exact cep_query_memory_bytes{query, partition} gauge, refreshed
+    /// from the engine's counters after every run this partition
+    /// evaluates and zeroed when the engine is released. Null when
+    /// metrics are off. The handle is cached here so the hot loop never
+    /// touches the registry mutex.
+    Gauge* memory = nullptr;
   };
   struct QueryState {
     const PartitionPlanner* planner = nullptr;
+    QueryMetrics* metrics = nullptr;
     std::unordered_map<uint32_t, PartitionState> partitions;
     bool finished = false;
     EngineCounters counters;  // aggregated when the query finishes
@@ -88,6 +100,7 @@ class ShardWorker {
 
   BoundedQueue<EventBatch>* queue_;
   ConcurrentMatchSink::ShardSink* sink_;
+  const ShardMetrics* metrics_;
   std::unordered_map<uint64_t, QueryState> queries_;
   std::shared_ptr<const QuerySetSnapshot> active_;
   std::thread thread_;

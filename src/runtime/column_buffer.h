@@ -83,6 +83,20 @@ class ColumnBuffer {
   bool regular() const { return regular_; }
   int num_attrs() const { return num_attrs_; }
 
+  /// Exact bytes this buffer's storage grows by when `e` is appended
+  /// (and shrinks by when it is evicted): the row handle, plus — with
+  /// column mirrors on — one lane in each scalar column and in each of
+  /// the event's attribute columns. A pure function of the event and the
+  /// buffer mode, so append-side and evict-side accounting always agree.
+  /// Amortized-growth slack (vector capacity, compaction headroom) is
+  /// deliberately excluded.
+  size_t RowMirrorBytes(const Event& e) const {
+    size_t bytes = sizeof(EventPtr);
+    if (!columns_enabled_) return bytes;
+    return bytes + sizeof(Timestamp) + 2 * sizeof(EventSerial) +
+           sizeof(uint32_t) + e.attrs.size() * sizeof(double);
+  }
+
  private:
   void MaybeCompact();
 
@@ -98,6 +112,14 @@ class ColumnBuffer {
   bool regular_ = true;
   bool columns_enabled_ = true;
 };
+
+/// Exact per-event window-buffer footprint: the event row itself
+/// (inline struct + AttrVec heap spill, its arena-block share) plus the
+/// buffer's mirror bytes for it. The engines feed this to
+/// EngineCounters::AddBuffered/RemoveBuffered.
+inline size_t BufferedEventBytes(const ColumnBuffer& buffer, const Event& e) {
+  return ApproxEventBytes(e) + buffer.RowMirrorBytes(e);
+}
 
 /// Fixed-size-friendly survivor bitmask over a candidate run: up to
 /// kInlineWords * 64 lanes live on the caller's stack, longer runs spill

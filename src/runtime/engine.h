@@ -26,6 +26,14 @@ struct EngineCounters {
   size_t buffered_events = 0;
   size_t peak_buffered_events = 0;
   size_t instance_bytes = 0;
+  /// Exact bytes of the window buffers: each buffered event contributes
+  /// its row footprint (sizeof(Event) + AttrVec heap spill) plus its
+  /// ColumnBuffer mirror share (handle + scalar/attr columns). Engines
+  /// pass the per-event value to AddBuffered/RemoveBuffered; because it
+  /// is a pure function of the event, add and remove always agree and
+  /// the total cannot drift. Replaces the old kApproxBufferedBytes
+  /// flat-rate estimate.
+  size_t buffered_bytes = 0;
   size_t peak_total_bytes = 0;
 
   void AddInstance(size_t bytes) {
@@ -38,29 +46,27 @@ struct EngineCounters {
   void RemoveInstance(size_t bytes) {
     // Saturate instead of wrapping: a remove without a matching add is an
     // accounting bug upstream, but it must not poison every later peak
-    // with a wrapped-around size_t.
+    // with a wrapped-around size_t. (Engines record the added size on the
+    // instance and remove exactly that, so this guard should never fire.)
     if (live_instances > 0) --live_instances;
     instance_bytes -= std::min(instance_bytes, bytes);
   }
-  void AddBuffered() {
+  void AddBuffered(size_t bytes) {
     ++buffered_events;
+    buffered_bytes += bytes;
     peak_buffered_events = std::max(peak_buffered_events, buffered_events);
     UpdatePeakBytes();
   }
-  void RemoveBuffered() {
+  void RemoveBuffered(size_t bytes) {
     if (buffered_events > 0) --buffered_events;
+    buffered_bytes -= std::min(buffered_bytes, bytes);
   }
   void UpdatePeakBytes() {
-    size_t total = instance_bytes + buffered_events * kApproxBufferedBytes;
-    peak_total_bytes = std::max(peak_total_bytes, total);
+    peak_total_bytes = std::max(peak_total_bytes, CurrentBytes());
   }
-
-  /// Rough per-buffered-event footprint: the inline-attribute Event row
-  /// (its arena-block share — the control block is amortized over a whole
-  /// block) + the EventPtr handle + the columnar mirror entry (scalar
-  /// columns and a few attribute columns). Replaces the old flat 96 that
-  /// assumed a heap std::vector payload per event.
-  static constexpr size_t kApproxBufferedBytes = sizeof(Event) + 64;
+  /// Current exact resident footprint: live partial matches + window
+  /// buffers. The value behind the per-(query, partition) memory gauges.
+  size_t CurrentBytes() const { return instance_bytes + buffered_bytes; }
 
   /// Merges counters of an engine that saw the SAME stream (DNF
   /// multi-engine aggregation): events_processed is the stream position,
@@ -111,6 +117,7 @@ inline void EngineCounters::MergeDisjoint(const EngineCounters& other) {
   peak_live_instances += other.peak_live_instances;
   buffered_events += other.buffered_events;
   peak_buffered_events += other.peak_buffered_events;
+  buffered_bytes += other.buffered_bytes;
   instance_bytes += other.instance_bytes;
   peak_total_bytes += other.peak_total_bytes;
 }

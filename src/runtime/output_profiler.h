@@ -12,12 +12,19 @@ namespace cepjoin {
 /// needs an estimate. The profiler observes emitted matches, records
 /// which pattern position arrived last, and reports the most frequent
 /// one. Wraps and forwards to an inner sink.
+///
+/// Not thread-safe: on the sharded path each shard owns its profiler (or
+/// records last positions into striped registry counters — see
+/// obs/pipeline_metrics.h) and the per-shard counts are combined with
+/// MergeFrom at drain time.
 class OutputProfiler : public MatchSink {
  public:
   OutputProfiler(MatchSink* inner, int num_positions)
       : inner_(inner), last_counts_(num_positions, 0) {}
 
-  void OnMatch(const Match& match) override {
+  /// Pattern position of the temporally last event of `match` (ties by
+  /// serial, matching the engines' ordering), or -1 for an empty match.
+  static int LastPosition(const Match& match) {
     int last_pos = -1;
     const Event* last = nullptr;
     for (size_t p = 0; p < match.slots.size(); ++p) {
@@ -29,20 +36,45 @@ class OutputProfiler : public MatchSink {
         }
       }
     }
+    return last_pos;
+  }
+
+  void OnMatch(const Match& match) override {
+    int last_pos = LastPosition(match);
     if (last_pos >= 0 && last_pos < static_cast<int>(last_counts_.size())) {
       ++last_counts_[last_pos];
     }
     if (inner_ != nullptr) inner_->OnMatch(match);
   }
 
+  /// Folds another profiler's observations into this one (sharded
+  /// aggregation). Positions past this profiler's pattern size extend
+  /// the count vector.
+  void MergeFrom(const OutputProfiler& other) {
+    if (other.last_counts_.size() > last_counts_.size()) {
+      last_counts_.resize(other.last_counts_.size(), 0);
+    }
+    for (size_t p = 0; p < other.last_counts_.size(); ++p) {
+      last_counts_[p] += other.last_counts_[p];
+    }
+  }
+
   /// Pattern position that most frequently holds the temporally last
-  /// event, or -1 before any match was seen.
+  /// event, or -1 before any match was seen. Ties go to the smallest
+  /// position (strictly-greater count wins).
   int MostFrequentLastPosition() const {
+    return MostFrequent(last_counts_);
+  }
+
+  /// MostFrequentLastPosition over an externally aggregated count vector
+  /// (same tie-breaking); used by the snapshot path, which accumulates
+  /// per-position counts in registry counters rather than a profiler.
+  static int MostFrequent(const std::vector<uint64_t>& counts) {
     int best = -1;
     uint64_t best_count = 0;
-    for (size_t p = 0; p < last_counts_.size(); ++p) {
-      if (last_counts_[p] > best_count) {
-        best_count = last_counts_[p];
+    for (size_t p = 0; p < counts.size(); ++p) {
+      if (counts[p] > best_count) {
+        best_count = counts[p];
         best = static_cast<int>(p);
       }
     }

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "obs/stage_timer.h"
 
 namespace cepjoin {
 
@@ -144,6 +145,7 @@ void TreeEngine::OnBatch(const EventPtr* events, size_t n) {
   // everything else is byte-identical to the per-event path, so matches
   // and counters are too.
   arrival_start_ = std::chrono::steady_clock::now();
+  CEPJOIN_STAGE_TIMER("tree_on_batch");
   for (size_t i = 0; i < n; ++i) ProcessEvent(events[i]);
 }
 
@@ -206,8 +208,8 @@ void TreeEngine::BufferNegated(const EventPtr& e) {
     if (!cp_.program().EvalUnary(pos, *e, &counters_.predicate_evals)) {
       continue;
     }
+    counters_.AddBuffered(BufferedEventBytes(neg_buffers_[pos], *e));
     neg_buffers_[pos].Append(e);
-    counters_.AddBuffered();
   }
 }
 
@@ -315,7 +317,8 @@ void TreeEngine::NewInstance(int node, Instance&& inst) {
     Complete(inst);
     return;
   }
-  counters_.AddInstance(inst.ApproxBytes());
+  inst.tracked_bytes = inst.ApproxBytes();
+  counters_.AddInstance(inst.tracked_bytes);
   node_buffers_[node].push_back(std::move(inst));
   if (leaf_mirrored_[node]) {
     // Lockstep columnar mirror of the leaf's anchors.
@@ -356,13 +359,13 @@ void TreeEngine::NewInstance(int node, Instance&& inst) {
         Instance& stored = node_buffers_[node].back();
         if (!stored.dead) {
           stored.dead = true;
-          counters_.RemoveInstance(stored.ApproxBytes());
+          counters_.RemoveInstance(stored.tracked_bytes);
         }
         NewInstance(parent, std::move(combined));
         return;
       }
       partners[idx].dead = true;
-      counters_.RemoveInstance(partners[idx].ApproxBytes());
+      counters_.RemoveInstance(partners[idx].tracked_bytes);
       NewInstance(parent, std::move(combined));
       continue;
     }
@@ -372,6 +375,7 @@ void TreeEngine::NewInstance(int node, Instance&& inst) {
 
 void TreeEngine::CombineWithLeafRun(const Instance& local, int sib,
                                     int parent, bool node_is_left) {
+  CEPJOIN_STAGE_TIMER("tree_combine_leaf_run");
   const ColumnBuffer& mirror = leaf_columns_[sib];
   const std::vector<Instance>& partners = node_buffers_[sib];
   CEPJOIN_CHECK_EQ(mirror.size(), partners.size());
@@ -476,12 +480,13 @@ void TreeEngine::EmitMatch(Match match) {
 }
 
 void TreeEngine::Sweep() {
+  CEPJOIN_STAGE_TIMER("tree_sweep");
   events_since_sweep_ = 0;
   Timestamp horizon = now_ - cp_.window();
   for (auto& buffer : neg_buffers_) {
     while (!buffer.empty() && buffer.front()->ts < horizon) {
+      counters_.RemoveBuffered(BufferedEventBytes(buffer, *buffer.front()));
       buffer.PopFront();
-      counters_.RemoveBuffered();
     }
   }
   std::vector<uint8_t> keep_rows;
@@ -494,7 +499,7 @@ void TreeEngine::Sweep() {
       Instance& inst = list[i];
       bool expired = inst.min_ts < horizon;
       if (inst.dead || expired) {
-        if (!inst.dead) counters_.RemoveInstance(inst.ApproxBytes());
+        if (!inst.dead) counters_.RemoveInstance(inst.tracked_bytes);
         continue;
       }
       if (mirrored) keep_rows[i] = 1;

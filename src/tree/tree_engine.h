@@ -47,6 +47,10 @@ class TreeEngine : public Engine {
     Timestamp max_ts = 0.0;
     EventSerial max_serial = 0;  // newest member; Kleene canonical order
     bool dead = false;
+    /// Bytes charged to counters_ when this instance was buffered; the
+    /// matching remove uses this (never a recomputed ApproxBytes), so
+    /// byte totals cannot drift even if capacities change in between.
+    size_t tracked_bytes = 0;
 
     size_t ApproxBytes() const {
       return sizeof(Instance) +

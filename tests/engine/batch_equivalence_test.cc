@@ -33,6 +33,7 @@ void ExpectCountersEqual(const EngineCounters& a, const EngineCounters& b) {
   EXPECT_EQ(a.buffered_events, b.buffered_events);
   EXPECT_EQ(a.peak_buffered_events, b.peak_buffered_events);
   EXPECT_EQ(a.instance_bytes, b.instance_bytes);
+  EXPECT_EQ(a.buffered_bytes, b.buffered_bytes);
   EXPECT_EQ(a.peak_total_bytes, b.peak_total_bytes);
 }
 

@@ -37,7 +37,11 @@ void ExpectCountersEqual(const EngineCounters& a, const EngineCounters& b) {
   EXPECT_EQ(a.buffered_events, b.buffered_events);
   EXPECT_EQ(a.peak_buffered_events, b.peak_buffered_events);
   EXPECT_EQ(a.instance_bytes, b.instance_bytes);
-  EXPECT_EQ(a.peak_total_bytes, b.peak_total_bytes);
+  // buffered_bytes / peak_total_bytes are deliberately NOT compared
+  // across modes: exact accounting charges the column mirrors, which
+  // only exist when the columnar path is on, so the scalar run's window
+  // buffers are genuinely smaller. batch_equivalence_test pins byte
+  // equality within a mode.
 }
 
 /// RAII toggle so a failing assertion cannot leave the process scalar.

@@ -1,0 +1,471 @@
+// Core observability primitives: striped counters/histograms summing
+// correctly across threads, log2 bucket boundary behavior, quantile
+// estimation, registry idempotence, and the Prometheus/JSON exports
+// round-tripping through format validation.
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/export.h"
+#include "obs/metrics.h"
+
+namespace cepjoin {
+namespace {
+
+// ---- counters and gauges ---------------------------------------------------
+
+TEST(CounterTest, SumsIncrementsAcrossManyThreads) {
+  Counter counter;
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (uint64_t i = 0; i < kPerThread; ++i) counter.Inc();
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(counter.Value(), kThreads * kPerThread);
+}
+
+TEST(CounterTest, IncByNAddsN) {
+  Counter counter;
+  counter.Inc(5);
+  counter.Inc();
+  counter.Inc(37);
+  EXPECT_EQ(counter.Value(), 43u);
+}
+
+TEST(GaugeTest, SetAndAdd) {
+  Gauge gauge;
+  EXPECT_EQ(gauge.Value(), 0.0);
+  gauge.Set(2.5);
+  EXPECT_EQ(gauge.Value(), 2.5);
+  gauge.Add(-1.0);
+  EXPECT_EQ(gauge.Value(), 1.5);
+}
+
+// ---- histogram bucket boundaries -------------------------------------------
+
+TEST(HistogramTest, BucketBoundariesAreInclusiveUpperBounds) {
+  HistogramOptions opts;
+  opts.first_bound = 1e-6;
+  opts.num_buckets = 36;
+  Histogram h(opts);
+  // Exact bound lands in its own bucket (inclusive upper bound).
+  for (int i = 0; i < opts.num_buckets; ++i) {
+    EXPECT_EQ(h.BucketIndex(h.UpperBound(i)), i) << "bound " << i;
+  }
+  // Just past a bound spills into the next bucket.
+  EXPECT_EQ(h.BucketIndex(h.UpperBound(0) * 1.0001), 1);
+  EXPECT_EQ(h.BucketIndex(h.UpperBound(5) * 1.0001), 6);
+  // At or below zero, and NaN, count into the first bucket rather than
+  // being dropped.
+  EXPECT_EQ(h.BucketIndex(0.0), 0);
+  EXPECT_EQ(h.BucketIndex(-1.0), 0);
+  EXPECT_EQ(h.BucketIndex(std::numeric_limits<double>::quiet_NaN()), 0);
+  // Past the last finite bound: the +Inf bucket.
+  EXPECT_EQ(h.BucketIndex(h.UpperBound(opts.num_buckets - 1) * 2.0),
+            opts.num_buckets);
+  EXPECT_EQ(h.BucketIndex(std::numeric_limits<double>::infinity()),
+            opts.num_buckets);
+}
+
+TEST(HistogramTest, CollectAggregatesCountsAndSum) {
+  HistogramOptions opts;
+  opts.first_bound = 1.0;
+  opts.num_buckets = 4;  // bounds 1, 2, 4, 8
+  Histogram h(opts);
+  h.Record(0.5);   // bucket 0
+  h.Record(1.0);   // bucket 0 (inclusive)
+  h.Record(2.0);   // bucket 1 (exact power)
+  h.Record(3.0);   // bucket 2
+  h.Record(100.0); // +Inf bucket
+  std::vector<uint64_t> counts;
+  uint64_t count = 0;
+  double sum = 0.0;
+  h.Collect(&counts, &count, &sum);
+  ASSERT_EQ(counts.size(), 5u);
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 1u);
+  EXPECT_EQ(counts[2], 1u);
+  EXPECT_EQ(counts[3], 0u);
+  EXPECT_EQ(counts[4], 1u);
+  EXPECT_EQ(count, 5u);
+  EXPECT_DOUBLE_EQ(sum, 106.5);
+}
+
+TEST(HistogramTest, ConcurrentRecordsSumAcrossStripes) {
+  Histogram h;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h.Record(1e-6 * static_cast<double>(1 + (t + i) % 7));
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  std::vector<uint64_t> counts;
+  uint64_t count = 0;
+  double sum = 0.0;
+  h.Collect(&counts, &count, &sum);
+  EXPECT_EQ(count, static_cast<uint64_t>(kThreads) * kPerThread);
+  uint64_t bucket_total = 0;
+  for (uint64_t c : counts) bucket_total += c;
+  EXPECT_EQ(bucket_total, count);
+  EXPECT_GT(sum, 0.0);
+}
+
+TEST(HistogramDataTest, QuantilesInterpolateWithinBuckets) {
+  MetricsRegistry registry;
+  HistogramOptions opts;
+  opts.first_bound = 1.0;
+  opts.num_buckets = 8;
+  Histogram* h = registry.GetHistogram("q", {}, opts);
+  // 100 values in (1, 2]: bucket 1 spans lower bound 1 to upper bound 2.
+  for (int i = 0; i < 100; ++i) h->Record(1.5);
+  MetricsSnapshot snap = registry.Snapshot();
+  const MetricPoint* point = snap.Find("q");
+  ASSERT_NE(point, nullptr);
+  const HistogramData& data = point->histogram;
+  EXPECT_EQ(data.count, 100u);
+  // All mass in bucket (1, 2]: quantiles interpolate across that bucket.
+  EXPECT_GE(data.Quantile(0.5), 1.0);
+  EXPECT_LE(data.Quantile(0.5), 2.0);
+  EXPECT_GE(data.Quantile(0.99), data.Quantile(0.5));
+  EXPECT_LE(data.Quantile(0.99), 2.0);
+  // Empty histogram: 0 by contract.
+  HistogramData empty;
+  EXPECT_EQ(empty.Quantile(0.5), 0.0);
+}
+
+// ---- registry --------------------------------------------------------------
+
+TEST(MetricsRegistryTest, GetIsIdempotentPerNameAndLabels) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("c", {{"x", "1"}});
+  Counter* b = registry.GetCounter("c", {{"x", "1"}});
+  Counter* c = registry.GetCounter("c", {{"x", "2"}});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  // Label order does not matter: canonicalized on registration.
+  Gauge* g1 = registry.GetGauge("g", {{"a", "1"}, {"b", "2"}});
+  Gauge* g2 = registry.GetGauge("g", {{"b", "2"}, {"a", "1"}});
+  EXPECT_EQ(g1, g2);
+}
+
+TEST(MetricsRegistryTest, SnapshotIsSortedAndFindable) {
+  MetricsRegistry registry;
+  registry.GetCounter("z_last")->Inc(3);
+  registry.GetGauge("a_first")->Set(1.5);
+  registry.GetCounter("m_mid", {{"k", "v"}})->Inc();
+  MetricsSnapshot snap = registry.Snapshot();
+  ASSERT_EQ(snap.points.size(), 3u);
+  EXPECT_EQ(snap.points[0].name, "a_first");
+  EXPECT_EQ(snap.points[1].name, "m_mid");
+  EXPECT_EQ(snap.points[2].name, "z_last");
+  EXPECT_EQ(snap.Value("z_last"), 3.0);
+  EXPECT_EQ(snap.Value("m_mid", {{"k", "v"}}), 1.0);
+  EXPECT_EQ(snap.Value("absent", {}, -7.0), -7.0);
+}
+
+// ---- Prometheus text exposition format -------------------------------------
+
+/// Splits exposition text into lines (no trailing empty line).
+std::vector<std::string> Lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+/// Validates one sample line: `name{labels} value` or `name value`, with
+/// a parseable numeric value. Returns the metric name.
+std::string ValidateSampleLine(const std::string& line) {
+  size_t name_end = line.find_first_of("{ ");
+  EXPECT_NE(name_end, std::string::npos) << line;
+  std::string name = line.substr(0, name_end);
+  EXPECT_FALSE(name.empty()) << line;
+  for (char ch : line.substr(0, name_end)) {
+    EXPECT_TRUE(std::isalnum(static_cast<unsigned char>(ch)) || ch == '_' ||
+                ch == ':')
+        << line;
+  }
+  size_t value_start;
+  if (line[name_end] == '{') {
+    size_t close = line.find('}', name_end);
+    EXPECT_NE(close, std::string::npos) << line;
+    EXPECT_EQ(line[close + 1], ' ') << line;
+    value_start = close + 2;
+  } else {
+    value_start = name_end + 1;
+  }
+  std::string value = line.substr(value_start);
+  EXPECT_FALSE(value.empty()) << line;
+  if (value != "+Inf") {
+    size_t parsed = 0;
+    (void)std::stod(value, &parsed);
+    EXPECT_EQ(parsed, value.size()) << line;
+  }
+  return name;
+}
+
+TEST(PrometheusExportTest, ExposesValidFormatWithOneTypeLinePerName) {
+  MetricsRegistry registry;
+  registry.GetCounter("cep_test_total", {{"query", "0"}})->Inc(4);
+  registry.GetCounter("cep_test_total", {{"query", "1"}})->Inc(9);
+  registry.GetGauge("cep_test_gauge")->Set(0.25);
+  HistogramOptions opts;
+  opts.first_bound = 1.0;
+  opts.num_buckets = 3;
+  Histogram* h = registry.GetHistogram("cep_test_seconds", {}, opts);
+  h->Record(0.5);
+  h->Record(3.0);
+  h->Record(50.0);
+
+  std::string text = ToPrometheusText(registry.Snapshot());
+  std::map<std::string, int> type_lines;
+  for (const std::string& line : Lines(text)) {
+    if (line.empty()) continue;
+    if (line.rfind("# TYPE ", 0) == 0) {
+      std::istringstream in(line.substr(7));
+      std::string name, kind;
+      in >> name >> kind;
+      EXPECT_TRUE(kind == "counter" || kind == "gauge" || kind == "histogram")
+          << line;
+      ++type_lines[name];
+      continue;
+    }
+    EXPECT_NE(line[0], '#') << "unknown comment line: " << line;
+    ValidateSampleLine(line);
+  }
+  // Exactly one TYPE line per metric name, even with multiple label sets.
+  EXPECT_EQ(type_lines["cep_test_total"], 1);
+  EXPECT_EQ(type_lines["cep_test_gauge"], 1);
+  EXPECT_EQ(type_lines["cep_test_seconds"], 1);
+}
+
+TEST(PrometheusExportTest, HistogramBucketsAreCumulativeAndEndAtInf) {
+  MetricsRegistry registry;
+  HistogramOptions opts;
+  opts.first_bound = 1.0;
+  opts.num_buckets = 3;  // bounds 1, 2, 4
+  Histogram* h = registry.GetHistogram("lat_seconds", {{"query", "0"}}, opts);
+  h->Record(0.5);
+  h->Record(1.5);
+  h->Record(3.0);
+  h->Record(99.0);
+
+  std::string text = ToPrometheusText(registry.Snapshot());
+  std::vector<double> bucket_values;
+  bool saw_inf = false;
+  double count_value = -1.0;
+  double sum_value = 0.0;
+  for (const std::string& line : Lines(text)) {
+    if (line.empty() || line[0] == '#') continue;
+    if (line.rfind("lat_seconds_bucket{", 0) == 0) {
+      EXPECT_NE(line.find("le=\""), std::string::npos) << line;
+      EXPECT_FALSE(saw_inf) << "+Inf must be the last bucket: " << line;
+      if (line.find("le=\"+Inf\"") != std::string::npos) saw_inf = true;
+      bucket_values.push_back(std::stod(line.substr(line.rfind(' ') + 1)));
+    } else if (line.rfind("lat_seconds_count", 0) == 0) {
+      count_value = std::stod(line.substr(line.rfind(' ') + 1));
+    } else if (line.rfind("lat_seconds_sum", 0) == 0) {
+      sum_value = std::stod(line.substr(line.rfind(' ') + 1));
+    }
+  }
+  ASSERT_EQ(bucket_values.size(), 4u);  // 3 finite bounds + Inf
+  EXPECT_TRUE(saw_inf);
+  for (size_t i = 1; i < bucket_values.size(); ++i) {
+    EXPECT_GE(bucket_values[i], bucket_values[i - 1]) << "not cumulative";
+  }
+  EXPECT_EQ(bucket_values.back(), 4.0);  // le="+Inf" == total count
+  EXPECT_EQ(count_value, 4.0);
+  EXPECT_DOUBLE_EQ(sum_value, 104.0);
+}
+
+TEST(PrometheusExportTest, EscapesLabelValues) {
+  MetricsRegistry registry;
+  registry.GetCounter("esc_total", {{"q", "a\"b\\c\nd"}})->Inc();
+  std::string text = ToPrometheusText(registry.Snapshot());
+  EXPECT_NE(text.find("q=\"a\\\"b\\\\c\\nd\""), std::string::npos) << text;
+}
+
+// ---- JSON round-trip -------------------------------------------------------
+
+/// Minimal JSON value/parser — just enough structure validation to
+/// round-trip the exporter's output (objects, arrays, strings, numbers).
+struct JsonValue {
+  enum class Kind { kObject, kArray, kString, kNumber } kind = Kind::kNumber;
+  std::map<std::string, JsonValue> object;
+  std::vector<JsonValue> array;
+  std::string string;
+  double number = 0.0;
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  bool Parse(JsonValue* out) {
+    bool ok = ParseValue(out);
+    SkipSpace();
+    return ok && pos_ == text_.size();
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ >= text_.size() || text_[pos_] != c) return false;
+    ++pos_;
+    return true;
+  }
+  bool ParseString(std::string* out) {
+    if (!Consume('"')) return false;
+    out->clear();
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return false;
+        char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case 'n': out->push_back('\n'); break;
+          case 't': out->push_back('\t'); break;
+          default: out->push_back(esc); break;
+        }
+      } else {
+        out->push_back(c);
+      }
+    }
+    return Consume('"');
+  }
+  bool ParseValue(JsonValue* out) {
+    SkipSpace();
+    if (pos_ >= text_.size()) return false;
+    char c = text_[pos_];
+    if (c == '{') {
+      ++pos_;
+      out->kind = JsonValue::Kind::kObject;
+      SkipSpace();
+      if (Consume('}')) return true;
+      while (true) {
+        std::string key;
+        if (!ParseString(&key) || !Consume(':')) return false;
+        JsonValue value;
+        if (!ParseValue(&value)) return false;
+        out->object.emplace(std::move(key), std::move(value));
+        if (Consume(',')) continue;
+        return Consume('}');
+      }
+    }
+    if (c == '[') {
+      ++pos_;
+      out->kind = JsonValue::Kind::kArray;
+      SkipSpace();
+      if (Consume(']')) return true;
+      while (true) {
+        JsonValue value;
+        if (!ParseValue(&value)) return false;
+        out->array.push_back(std::move(value));
+        if (Consume(',')) continue;
+        return Consume(']');
+      }
+    }
+    if (c == '"') {
+      out->kind = JsonValue::Kind::kString;
+      return ParseString(&out->string);
+    }
+    out->kind = JsonValue::Kind::kNumber;
+    size_t parsed = 0;
+    out->number = std::stod(text_.substr(pos_), &parsed);
+    if (parsed == 0) return false;
+    pos_ += parsed;
+    return true;
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+TEST(JsonExportTest, RoundTripsThroughAParser) {
+  MetricsRegistry registry;
+  registry.GetCounter("cep_events_total", {{"query", "0"}})->Inc(42);
+  registry.GetGauge("cep_mem_bytes", {{"partition", "all"}, {"query", "0"}})
+      ->Set(1234.5);
+  HistogramOptions opts;
+  opts.first_bound = 1.0;
+  opts.num_buckets = 3;
+  Histogram* h = registry.GetHistogram("cep_lat_seconds", {}, opts);
+  h->Record(0.5);
+  h->Record(3.0);
+
+  MetricsSnapshot snap = registry.Snapshot();
+  std::string json = ToJson(snap);
+  JsonValue root;
+  ASSERT_TRUE(JsonParser(json).Parse(&root)) << json;
+  ASSERT_EQ(root.kind, JsonValue::Kind::kArray);
+  ASSERT_EQ(root.array.size(), snap.points.size());
+
+  for (size_t i = 0; i < snap.points.size(); ++i) {
+    const MetricPoint& point = snap.points[i];
+    const JsonValue& obj = root.array[i];
+    ASSERT_EQ(obj.kind, JsonValue::Kind::kObject) << point.name;
+    ASSERT_EQ(obj.object.count("name"), 1u);
+    EXPECT_EQ(obj.object.at("name").string, point.name);
+    ASSERT_EQ(obj.object.count("labels"), 1u);
+    const JsonValue& labels = obj.object.at("labels");
+    ASSERT_EQ(labels.kind, JsonValue::Kind::kObject);
+    EXPECT_EQ(labels.object.size(), point.labels.size());
+    for (const auto& [key, value] : point.labels) {
+      ASSERT_EQ(labels.object.count(key), 1u) << point.name;
+      EXPECT_EQ(labels.object.at(key).string, value);
+    }
+    if (point.kind == MetricKind::kHistogram) {
+      ASSERT_EQ(obj.object.count("count"), 1u);
+      ASSERT_EQ(obj.object.count("sum"), 1u);
+      ASSERT_EQ(obj.object.count("le"), 1u);
+      ASSERT_EQ(obj.object.count("buckets"), 1u);
+      EXPECT_EQ(obj.object.at("count").number,
+                static_cast<double>(point.histogram.count));
+      EXPECT_DOUBLE_EQ(obj.object.at("sum").number, point.histogram.sum);
+      const JsonValue& le = obj.object.at("le");
+      const JsonValue& buckets = obj.object.at("buckets");
+      ASSERT_EQ(le.array.size(), point.histogram.le.size());
+      ASSERT_EQ(buckets.array.size(), le.array.size() + 1);
+      uint64_t total = 0;
+      for (size_t b = 0; b < buckets.array.size(); ++b) {
+        EXPECT_EQ(buckets.array[b].number,
+                  static_cast<double>(point.histogram.counts[b]));
+        total += point.histogram.counts[b];
+      }
+      EXPECT_EQ(total, point.histogram.count);
+    } else {
+      ASSERT_EQ(obj.object.count("value"), 1u) << point.name;
+      EXPECT_DOUBLE_EQ(obj.object.at("value").number, point.value);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cepjoin

@@ -31,11 +31,42 @@ TEST(EngineCountersTest, RemoveBuffersMoreBytesThanTrackedSaturates) {
 
 TEST(EngineCountersTest, RemoveBufferedWithoutAddSaturatesAtZero) {
   EngineCounters counters;
-  counters.RemoveBuffered();
+  counters.RemoveBuffered(64);
   EXPECT_EQ(counters.buffered_events, 0u);
-  counters.AddBuffered();
+  EXPECT_EQ(counters.buffered_bytes, 0u);
+  counters.AddBuffered(48);
   EXPECT_EQ(counters.buffered_events, 1u);
+  EXPECT_EQ(counters.buffered_bytes, 48u);
   EXPECT_EQ(counters.peak_buffered_events, 1u);
+  EXPECT_EQ(counters.peak_total_bytes, 48u);
+}
+
+TEST(EngineCountersTest, BufferedBytesAreExactAndCannotDriftNegative) {
+  EngineCounters counters;
+  counters.AddBuffered(100);
+  counters.AddBuffered(50);
+  EXPECT_EQ(counters.buffered_bytes, 150u);
+  EXPECT_EQ(counters.CurrentBytes(), 150u);
+  // An oversized remove saturates instead of wrapping; later accounting
+  // stays sane.
+  counters.RemoveBuffered(1000);
+  EXPECT_EQ(counters.buffered_events, 1u);
+  EXPECT_EQ(counters.buffered_bytes, 0u);
+  counters.AddBuffered(30);
+  EXPECT_EQ(counters.buffered_bytes, 30u);
+  EXPECT_EQ(counters.peak_total_bytes, 150u);
+}
+
+TEST(EngineCountersTest, CurrentBytesCombinesInstancesAndBuffers) {
+  EngineCounters counters;
+  counters.AddInstance(200);
+  counters.AddBuffered(100);
+  EXPECT_EQ(counters.CurrentBytes(), 300u);
+  EXPECT_EQ(counters.peak_total_bytes, 300u);
+  counters.RemoveInstance(200);
+  counters.RemoveBuffered(100);
+  EXPECT_EQ(counters.CurrentBytes(), 0u);
+  EXPECT_EQ(counters.peak_total_bytes, 300u);  // peak is sticky
 }
 
 EngineCounters SampleCounters(uint64_t events, uint64_t matches) {
@@ -46,6 +77,7 @@ EngineCounters SampleCounters(uint64_t events, uint64_t matches) {
   c.predicate_evals = 10 * matches;
   c.peak_live_instances = 5;
   c.peak_buffered_events = 7;
+  c.buffered_bytes = 100;
   c.peak_total_bytes = 1024;
   return c;
 }
@@ -73,6 +105,7 @@ TEST(EngineCountersTest, MergeDisjointSumsEverything) {
   EXPECT_EQ(total.predicate_evals, 70u);
   EXPECT_EQ(total.peak_live_instances, 10u);
   EXPECT_EQ(total.peak_buffered_events, 14u);
+  EXPECT_EQ(total.buffered_bytes, 200u);
   EXPECT_EQ(total.peak_total_bytes, 2048u);
 }
 

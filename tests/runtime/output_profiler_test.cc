@@ -1,0 +1,107 @@
+// Output profiler (Sec. 6.1): last-position attribution with timestamp
+// and serial tie-breaking, sharded MergeFrom aggregation, and the
+// MostFrequent tie rule the snapshot path reuses over externally
+// aggregated counts.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "runtime/match.h"
+#include "runtime/output_profiler.h"
+
+namespace cepjoin {
+namespace {
+
+EventPtr MakeEvent(double ts, EventSerial serial) {
+  auto e = std::make_shared<Event>();
+  e->ts = ts;
+  e->serial = serial;
+  return e;
+}
+
+Match MakeMatch(const std::vector<std::pair<double, EventSerial>>& slots) {
+  Match m;
+  for (const auto& [ts, serial] : slots) {
+    m.slots.push_back({MakeEvent(ts, serial)});
+  }
+  return m;
+}
+
+TEST(OutputProfilerTest, LastPositionPicksLatestTimestamp) {
+  // Slot 1 holds the temporally last event even though slot 2 exists.
+  Match m = MakeMatch({{1.0, 1}, {9.0, 2}, {3.0, 3}});
+  EXPECT_EQ(OutputProfiler::LastPosition(m), 1);
+}
+
+TEST(OutputProfilerTest, LastPositionBreaksTimestampTiesBySerial) {
+  Match m = MakeMatch({{5.0, 7}, {5.0, 9}, {5.0, 8}});
+  EXPECT_EQ(OutputProfiler::LastPosition(m), 1);  // serial 9 wins
+}
+
+TEST(OutputProfilerTest, LastPositionScansKleeneSlots) {
+  // A Kleene slot with several events: its latest one decides.
+  Match m;
+  m.slots.push_back({MakeEvent(1.0, 1)});
+  m.slots.push_back({MakeEvent(2.0, 2), MakeEvent(8.0, 5), MakeEvent(3.0, 3)});
+  m.slots.push_back({MakeEvent(7.0, 4)});
+  EXPECT_EQ(OutputProfiler::LastPosition(m), 1);
+}
+
+TEST(OutputProfilerTest, EmptyMatchHasNoLastPosition) {
+  Match empty;
+  EXPECT_EQ(OutputProfiler::LastPosition(empty), -1);
+  Match negated_only;
+  negated_only.slots.resize(2);  // all slots empty (negation)
+  EXPECT_EQ(OutputProfiler::LastPosition(negated_only), -1);
+}
+
+TEST(OutputProfilerTest, CountsMatchesAndForwardsToInnerSink) {
+  CollectingSink inner;
+  OutputProfiler profiler(&inner, 3);
+  EXPECT_EQ(profiler.MostFrequentLastPosition(), -1);  // no matches yet
+
+  profiler.OnMatch(MakeMatch({{1.0, 1}, {2.0, 2}, {3.0, 3}}));  // last = 2
+  profiler.OnMatch(MakeMatch({{1.0, 4}, {5.0, 5}, {3.0, 6}}));  // last = 1
+  profiler.OnMatch(MakeMatch({{1.0, 7}, {2.0, 8}, {9.0, 9}}));  // last = 2
+
+  EXPECT_EQ(inner.matches.size(), 3u);
+  EXPECT_EQ(profiler.MostFrequentLastPosition(), 2);
+  EXPECT_EQ(profiler.last_counts(), (std::vector<uint64_t>{0, 1, 2}));
+}
+
+TEST(OutputProfilerTest, MergeFromCombinesShardObservations) {
+  OutputProfiler a(nullptr, 3);
+  OutputProfiler b(nullptr, 3);
+  a.OnMatch(MakeMatch({{1.0, 1}, {9.0, 2}, {3.0, 3}}));  // last = 1
+  b.OnMatch(MakeMatch({{1.0, 4}, {2.0, 5}, {9.0, 6}}));  // last = 2
+  b.OnMatch(MakeMatch({{1.0, 7}, {2.0, 8}, {9.0, 9}}));  // last = 2
+
+  a.MergeFrom(b);
+  EXPECT_EQ(a.last_counts(), (std::vector<uint64_t>{0, 1, 2}));
+  EXPECT_EQ(a.MostFrequentLastPosition(), 2);
+  // b is untouched by the merge.
+  EXPECT_EQ(b.last_counts(), (std::vector<uint64_t>{0, 0, 2}));
+}
+
+TEST(OutputProfilerTest, MergeFromExtendsShorterCountVectors) {
+  OutputProfiler small(nullptr, 2);
+  OutputProfiler large(nullptr, 4);
+  small.OnMatch(MakeMatch({{9.0, 1}, {2.0, 2}}));                    // last=0
+  large.OnMatch(MakeMatch({{1.0, 3}, {2.0, 4}, {3.0, 5}, {9.0, 6}}));  // 3
+
+  small.MergeFrom(large);
+  EXPECT_EQ(small.last_counts(), (std::vector<uint64_t>{1, 0, 0, 1}));
+}
+
+TEST(OutputProfilerTest, MostFrequentTiesGoToTheSmallestPosition) {
+  EXPECT_EQ(OutputProfiler::MostFrequent({}), -1);
+  EXPECT_EQ(OutputProfiler::MostFrequent({0, 0, 0}), -1);  // all-zero: none
+  EXPECT_EQ(OutputProfiler::MostFrequent({0, 5, 5}), 1);   // tie: smallest
+  EXPECT_EQ(OutputProfiler::MostFrequent({2, 5, 7, 7}), 2);
+  EXPECT_EQ(OutputProfiler::MostFrequent({3}), 0);
+}
+
+}  // namespace
+}  // namespace cepjoin
