@@ -1,0 +1,252 @@
+// Instance×instance combine microbench: a bushy AND plan whose probe
+// side joins fresh (C,D) instances against a sibling buffer of N
+// pre-built (A,B) instances, timed at sibling sizes 64 / 1024 / 8192 in
+// both modes — the scalar TryCombine oracle and the columnar
+// InstanceStore kernels (window gate + masked cross-pair spans). The
+// setup phase (building the N sibling instances) is untimed; the timed
+// region is exactly the probe feed, so the rate is candidate store
+// lanes per second. Both modes must agree on match and predicate_evals
+// counts (bit-identical combine), and in Release runs with
+// CEPJOIN_BENCH_ASSERT=1 a columnar rate below the scalar rate at
+// N=1024 fails the process (0.95 noise allowance, one re-measure with a
+// longer budget first, mirroring bench_micro's self-check).
+//
+// Usage: bench_tree_combine [--json <path>]
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "harness.h"
+#include "pattern/pattern.h"
+#include "plan/tree_plan.h"
+#include "runtime/column_buffer.h"
+#include "runtime/match.h"
+#include "tree/tree_engine.h"
+
+namespace cepjoin {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr int kProbePairs = 256;  // (C,D) pairs fed per round
+
+/// RAII toggle so an early return cannot leave the process scalar.
+struct ColumnarSwitch {
+  explicit ColumnarSwitch(bool enabled) { SetColumnarKernelsEnabled(enabled); }
+  ~ColumnarSwitch() { SetColumnarKernelsEnabled(true); }
+};
+
+/// AND(a:A, b:B, c:C, d:D) with pair ids on attr 0 (so the N setup pairs
+/// produce exactly N (A,B) instances and each probe pair exactly one
+/// (C,D) instance) and random attr-1 values driving the cross-pair
+/// predicates the combine kernels evaluate: a ~50% gate, a ~95% gate,
+/// and a rare closing gate that keeps match emission off the critical
+/// path while still exercising multi-span survivor masking.
+SimplePattern CombinePattern() {
+  std::vector<EventSpec> events = {{/*type=*/0, "a", false, false},
+                                   {/*type=*/1, "b", false, false},
+                                   {/*type=*/2, "c", false, false},
+                                   {/*type=*/3, "d", false, false}};
+  std::vector<ConditionPtr> conditions = {
+      std::make_shared<AttrCompare>(0, 0, CmpOp::kEq, 1, 0),
+      std::make_shared<AttrCompare>(2, 0, CmpOp::kEq, 3, 0),
+      std::make_shared<AttrCompare>(0, 1, CmpOp::kLt, 2, 1),
+      std::make_shared<AttrCompare>(1, 1, CmpOp::kGe, 3, 1, -1.9),
+      std::make_shared<AttrCompare>(0, 1, CmpOp::kGt, 3, 1, 1.9),
+  };
+  return SimplePattern(OperatorKind::kAnd, std::move(events), conditions,
+                       /*window=*/1e9);
+}
+
+/// Bushy plan: root joins (A,B) against (C,D), so the (A,B) internal
+/// node's instance store is the probe target.
+TreePlan BushyPlan() {
+  TreePlan::Builder builder;
+  int a = builder.AddLeaf(0);
+  int b = builder.AddLeaf(1);
+  int c = builder.AddLeaf(2);
+  int d = builder.AddLeaf(3);
+  return builder.Build(builder.AddInternal(builder.AddInternal(a, b),
+                                           builder.AddInternal(c, d)));
+}
+
+EventPtr MakeEvent(TypeId type, EventSerial serial, double id, double r) {
+  Event e;
+  e.type = type;
+  e.serial = serial;
+  e.partition_seq = serial;
+  e.ts = static_cast<Timestamp>(serial) * 1e-6;
+  e.attrs = {id, r};
+  return std::make_shared<const Event>(std::move(e));
+}
+
+struct Workload {
+  std::vector<EventPtr> setup;  // N interleaved (A_i, B_i) pairs
+  std::vector<EventPtr> probe;  // kProbePairs interleaved (C_j, D_j) pairs
+};
+
+Workload MakeWorkload(size_t sibling_size) {
+  Workload w;
+  Rng rng(91 + sibling_size);
+  EventSerial serial = 0;
+  for (size_t i = 0; i < sibling_size; ++i) {
+    double id = static_cast<double>(i);
+    w.setup.push_back(MakeEvent(0, serial++, id, rng.UniformReal(-1.0, 1.0)));
+    w.setup.push_back(MakeEvent(1, serial++, id, rng.UniformReal(-1.0, 1.0)));
+  }
+  for (size_t j = 0; j < kProbePairs; ++j) {
+    double id = static_cast<double>(j);
+    w.probe.push_back(MakeEvent(2, serial++, id, rng.UniformReal(-1.0, 1.0)));
+    w.probe.push_back(MakeEvent(3, serial++, id, rng.UniformReal(-1.0, 1.0)));
+  }
+  return w;
+}
+
+struct RoundResult {
+  double probe_seconds = 0.0;
+  uint64_t matches = 0;
+  uint64_t predicate_evals = 0;
+  uint64_t kernel_lanes = 0;
+};
+
+/// One fresh engine: untimed setup feed, timed probe feed. The columnar
+/// toggle is latched at engine construction, so the switch wraps the
+/// whole round.
+RoundResult RunRound(const SimplePattern& pattern, const TreePlan& plan,
+                     const Workload& w, bool columnar) {
+  ColumnarSwitch guard(columnar);
+  CountingSink sink;
+  TreeEngine engine(pattern, plan, &sink);
+  engine.OnBatch(w.setup.data(), w.setup.size());
+  Clock::time_point start = Clock::now();
+  engine.OnBatch(w.probe.data(), w.probe.size());
+  RoundResult result;
+  result.probe_seconds =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  engine.Finish();
+  result.matches = sink.count;
+  result.predicate_evals = engine.counters().predicate_evals;
+  result.kernel_lanes = engine.counters().instance_kernel_lanes;
+  return result;
+}
+
+struct ModeResult {
+  double lanes_per_second = 0.0;
+  RoundResult last;
+};
+
+/// Warm-up round, then timed rounds until the probe-time budget is
+/// reached. Rate is candidate store lanes per second: each of the
+/// kProbePairs fresh (C,D) instances scans the full N-lane sibling
+/// store.
+ModeResult Measure(const SimplePattern& pattern, const TreePlan& plan,
+                   const Workload& w, size_t sibling_size, bool columnar,
+                   double min_seconds) {
+  ModeResult mode;
+  mode.last = RunRound(pattern, plan, w, columnar);  // warm-up
+  double seconds = 0.0;
+  uint64_t rounds = 0;
+  while (seconds < min_seconds) {
+    mode.last = RunRound(pattern, plan, w, columnar);
+    seconds += mode.last.probe_seconds;
+    ++rounds;
+  }
+  mode.lanes_per_second = static_cast<double>(rounds) *
+                          static_cast<double>(kProbePairs) *
+                          static_cast<double>(sibling_size) / seconds;
+  return mode;
+}
+
+bool RunBench(const std::string& json_path) {
+  SimplePattern pattern = CombinePattern();
+  TreePlan plan = BushyPlan();
+  std::printf(
+      "instance-combine microbench: bushy AND((A,B),(C,D)), %d probe "
+      "pairs per round, timed region = probe feed only\n\n",
+      kProbePairs);
+  std::printf("%10s %18s %18s %10s\n", "siblings", "scalar lanes/s",
+              "columnar lanes/s", "speedup");
+
+  bool ok = true;
+  for (size_t sibling_size : {size_t{64}, size_t{1024}, size_t{8192}}) {
+    Workload w = MakeWorkload(sibling_size);
+    ModeResult scalar = Measure(pattern, plan, w, sibling_size,
+                                /*columnar=*/false, 0.08);
+    ModeResult columnar = Measure(pattern, plan, w, sibling_size,
+                                  /*columnar=*/true, 0.08);
+    // Bit-identical combine: same matches, same predicate_evals; the
+    // kernel path must really have run (N lanes per probe instance).
+    if (columnar.last.matches != scalar.last.matches ||
+        columnar.last.predicate_evals != scalar.last.predicate_evals) {
+      std::fprintf(stderr,
+                   "EQUIVALENCE FAILURE at %zu siblings: scalar "
+                   "%llu matches / %llu evals, columnar %llu / %llu\n",
+                   sibling_size,
+                   static_cast<unsigned long long>(scalar.last.matches),
+                   static_cast<unsigned long long>(scalar.last.predicate_evals),
+                   static_cast<unsigned long long>(columnar.last.matches),
+                   static_cast<unsigned long long>(
+                       columnar.last.predicate_evals));
+      ok = false;
+    }
+    if (columnar.last.kernel_lanes <
+            static_cast<uint64_t>(kProbePairs) * sibling_size ||
+        scalar.last.kernel_lanes != 0) {
+      std::fprintf(stderr,
+                   "KERNEL PATH FAILURE at %zu siblings: columnar lanes "
+                   "%llu, scalar lanes %llu\n",
+                   sibling_size,
+                   static_cast<unsigned long long>(columnar.last.kernel_lanes),
+                   static_cast<unsigned long long>(scalar.last.kernel_lanes));
+      ok = false;
+    }
+
+    double ratio = scalar.lanes_per_second > 0
+                       ? columnar.lanes_per_second / scalar.lanes_per_second
+                       : 0.0;
+    if (ratio < 0.95 && sibling_size >= 1024) {
+      // Apparent regression: re-measure once with a longer budget before
+      // judging (shared-runner scheduler noise dominates short windows).
+      scalar = Measure(pattern, plan, w, sibling_size, false, 0.3);
+      columnar = Measure(pattern, plan, w, sibling_size, true, 0.3);
+      ratio = scalar.lanes_per_second > 0
+                  ? columnar.lanes_per_second / scalar.lanes_per_second
+                  : 0.0;
+    }
+    std::printf("%10zu %18.3g %18.3g %9.2fx\n", sibling_size,
+                scalar.lanes_per_second, columnar.lanes_per_second, ratio);
+    std::string suffix = "_n" + std::to_string(sibling_size);
+    bench::RecordJson("tree_combine", "scalar_lanes_per_sec" + suffix,
+                      scalar.lanes_per_second, "lanes/s");
+    bench::RecordJson("tree_combine", "columnar_lanes_per_sec" + suffix,
+                      columnar.lanes_per_second, "lanes/s");
+    bench::RecordJson("tree_combine", "speedup" + suffix, ratio, "x");
+
+    if (sibling_size >= 1024 && ratio < 0.95) {
+      std::fprintf(stderr,
+                   "VECTORIZATION REGRESSION: columnar instance combine is "
+                   "slower than the scalar oracle at %zu siblings "
+                   "(%.2fx)\n",
+                   sibling_size, ratio);
+#ifdef NDEBUG
+      const char* assert_env = std::getenv("CEPJOIN_BENCH_ASSERT");
+      if (assert_env != nullptr && assert_env[0] == '1') ok = false;
+#endif
+    }
+  }
+  if (!bench::WriteBenchJson(json_path)) ok = false;
+  return ok;
+}
+
+}  // namespace
+}  // namespace cepjoin
+
+int main(int argc, char** argv) {
+  return cepjoin::RunBench(cepjoin::bench::JsonPathFromArgs(argc, argv)) ? 0
+                                                                         : 1;
+}

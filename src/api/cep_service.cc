@@ -329,6 +329,27 @@ void CepService::RebuildInlineFeeds() {
   }
 }
 
+void CepService::SyncInlineKernelCounters(QueryState& state) {
+  if (state.metrics == nullptr) return;
+  EngineCounters current;
+  if (!state.keyed) {
+    // While the engine lives, read it; afterwards the final snapshot in
+    // state.counters keeps the totals exact.
+    current = state.engine != nullptr ? state.engine->counters()
+                                      : state.counters;
+  } else if (state.partitioned != nullptr) {
+    current = state.partitioned->TotalCounters();
+  } else {
+    return;  // sharded: the workers sync their own engines' deltas
+  }
+  SyncCounterDelta(state.metrics->instance_kernel_lanes,
+                   current.instance_kernel_lanes,
+                   &state.kernel_lanes_reported);
+  SyncCounterDelta(state.metrics->instance_kernel_blocks,
+                   current.instance_kernel_blocks,
+                   &state.kernel_blocks_reported);
+}
+
 void CepService::FinishInlineQuery(QueryState& state) {
   // Finish-time matches have no ingest anchor; zero it so the metrics
   // sink skips the ingest-to-match histogram for them.
@@ -351,6 +372,9 @@ void CepService::FinishInlineQuery(QueryState& state) {
       }
     }
   }
+  // Fold in kernel work since the last snapshot (TotalCounters serves
+  // the Finish-time snapshot for released partition engines).
+  SyncInlineKernelCounters(state);
 }
 
 Status CepService::Deregister(uint64_t query_id) {
@@ -482,6 +506,7 @@ cepjoin::MetricsSnapshot CepService::MetricsSnapshot() {
                 static_cast<double>(engine.counters().CurrentBytes()));
           });
     }
+    SyncInlineKernelCounters(state);
     int best = OutputProfiler::MostFrequent(state.metrics->LastPositionCounts());
     if (best >= 0) {
       metrics_registry_

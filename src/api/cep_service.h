@@ -250,6 +250,12 @@ class CepService {
     /// address-stable storage (std::map node), which must stay valid
     /// across Deregister()/Finish() like the legacy runtime's did.
     mutable EngineCounters counters;
+    /// Watermarks of the inline-fed hosts' instance-kernel counters
+    /// already folded into the registry (SyncCounterDelta): refreshed at
+    /// MetricsSnapshot() and finalized when the query finishes. Sharded
+    /// queries sync on the worker threads instead.
+    uint64_t kernel_lanes_reported = 0;
+    uint64_t kernel_blocks_reported = 0;
   };
 
   explicit CepService(const ServiceOptions& options);
@@ -268,6 +274,10 @@ class CepService {
   /// Finishes an inline-fed (unkeyed or single-threaded keyed) query;
   /// unkeyed engines are released after snapshotting their counters.
   void FinishInlineQuery(QueryState& state);
+  /// Folds an inline-fed query's instance-kernel counter growth into its
+  /// registry counters. No-op for sharded queries (their workers sync)
+  /// and when metrics are off.
+  void SyncInlineKernelCounters(QueryState& state);
   /// Recomputes the active inline-fed host list after a lifecycle
   /// change, so per-event ingest never scans retired queries.
   void RebuildInlineFeeds();

@@ -25,6 +25,10 @@ QueryMetrics::QueryMetrics(MetricsRegistry* registry, MetricLabels base_labels)
       metric_names::kIngestToMatchSeconds, base_labels_);
   detection_seconds = registry_->GetHistogram(metric_names::kDetectionSeconds,
                                               base_labels_);
+  instance_kernel_lanes = registry_->GetCounter(
+      metric_names::kInstanceKernelLanes, base_labels_);
+  instance_kernel_blocks = registry_->GetCounter(
+      metric_names::kInstanceKernelBlocks, base_labels_);
 }
 
 Counter* QueryMetrics::LastPositionCounter(int pos) {

@@ -31,6 +31,10 @@ inline constexpr char kIngestToMatchSeconds[] =
     "cep_query_ingest_to_match_seconds";
 inline constexpr char kDetectionSeconds[] = "cep_query_detection_seconds";
 inline constexpr char kQueryMemoryBytes[] = "cep_query_memory_bytes";
+inline constexpr char kInstanceKernelLanes[] =
+    "cep_query_instance_kernel_lanes_total";
+inline constexpr char kInstanceKernelBlocks[] =
+    "cep_query_instance_kernel_blocks_total";
 inline constexpr char kLastPositionMatches[] =
     "cep_query_last_position_matches_total";
 inline constexpr char kLastPosition[] = "cep_query_last_position";
@@ -59,6 +63,13 @@ class QueryMetrics {
   Counter* matches_total;
   Histogram* ingest_to_match_seconds;
   Histogram* detection_seconds;
+  /// Lanes / 64-lane blocks the vectorized instance×instance combine
+  /// kernels processed for this query (EngineCounters::
+  /// instance_kernel_lanes/_blocks, delta-synced by the feed paths).
+  /// Zero while the columnar path is off — the observable coverage of
+  /// the run-at-a-time combine.
+  Counter* instance_kernel_lanes;
+  Counter* instance_kernel_blocks;
 
   /// Per-last-position match counter, created lazily on first use. The
   /// init race is benign: GetCounter is idempotent, both racers cache
@@ -110,6 +121,19 @@ inline constexpr uint32_t kIngestLatencySampleEvery = 16;
 /// identical totals.
 void RecordMatchMetrics(QueryMetrics* metrics, const Match& match,
                         std::chrono::steady_clock::time_point ingested_at);
+
+/// Advances a registry counter mirroring a monotonic engine counter:
+/// adds the growth of `current` over `*reported` and records the new
+/// watermark. Engine counters only grow, so feeding the delta keeps the
+/// registry total exact across any number of sync points (per-batch
+/// refreshes, snapshots, query finish) without double counting. No-op
+/// when `counter` is null (metrics off).
+inline void SyncCounterDelta(Counter* counter, uint64_t current,
+                             uint64_t* reported) {
+  if (counter == nullptr || current <= *reported) return;
+  counter->Inc(current - *reported);
+  *reported = current;
+}
 
 }  // namespace cepjoin
 

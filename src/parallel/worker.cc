@@ -87,6 +87,17 @@ void ShardWorker::FinishQuery(uint64_t id, QueryState& state) {
   // back to zero resident bytes.
   for (uint32_t partition : partitions) {
     PartitionState& ps = state.partitions.at(partition);
+    // Finish() itself never grows the kernel counters today, but the
+    // final sync keeps the registry exact by construction either way.
+    if (state.metrics != nullptr) {
+      const EngineCounters& counters = ps.engine->counters();
+      SyncCounterDelta(state.metrics->instance_kernel_lanes,
+                       counters.instance_kernel_lanes,
+                       &ps.kernel_lanes_reported);
+      SyncCounterDelta(state.metrics->instance_kernel_blocks,
+                       counters.instance_kernel_blocks,
+                       &ps.kernel_blocks_reported);
+    }
     ps.engine.reset();
     if (ps.memory != nullptr) ps.memory->Set(0.0);
   }
@@ -140,9 +151,16 @@ void ShardWorker::Run() {
               sink_->set_current(q.id, partition, q.metrics);
               state.engine->OnBatch(run, run_length);
               if (q.metrics != nullptr) {
+                const EngineCounters& counters = state.engine->counters();
                 q.metrics->events_total->Inc(run_length);
                 state.memory->Set(
-                    static_cast<double>(state.engine->counters().CurrentBytes()));
+                    static_cast<double>(counters.CurrentBytes()));
+                SyncCounterDelta(q.metrics->instance_kernel_lanes,
+                                 counters.instance_kernel_lanes,
+                                 &state.kernel_lanes_reported);
+                SyncCounterDelta(q.metrics->instance_kernel_blocks,
+                                 counters.instance_kernel_blocks,
+                                 &state.kernel_blocks_reported);
               }
             }
           });

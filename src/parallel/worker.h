@@ -80,6 +80,12 @@ class ShardWorker {
     /// metrics are off. The handle is cached here so the hot loop never
     /// touches the registry mutex.
     Gauge* memory = nullptr;
+    /// Watermarks of this engine's instance-kernel counters already
+    /// folded into the query's registry totals (SyncCounterDelta): the
+    /// registry counter is shared across partitions and shards, so each
+    /// engine contributes growth deltas, synced per run and at finish.
+    uint64_t kernel_lanes_reported = 0;
+    uint64_t kernel_blocks_reported = 0;
   };
   struct QueryState {
     const PartitionPlanner* planner = nullptr;

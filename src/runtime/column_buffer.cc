@@ -22,6 +22,7 @@ void ColumnBuffer::Append(const EventPtr& e) {
   CEPJOIN_CHECK(e != nullptr);
   if (!columns_enabled_) {
     events_.push_back(e);
+    if (size() > compact_at_) compact_at_ = size();
     return;
   }
   if (num_attrs_ < 0) {
@@ -44,6 +45,9 @@ void ColumnBuffer::Append(const EventPtr& e) {
       attr_cols_[a].push_back(e->attrs[a]);
     }
   }
+  // Keep the member threshold covering the live range, so the copies of
+  // the next compaction are amortized against the pops that armed it.
+  if (size() > compact_at_) compact_at_ = size();
 }
 
 void ColumnBuffer::PopFront() {
@@ -71,6 +75,7 @@ void ColumnBuffer::Filter(const std::vector<uint8_t>& keep) {
   }
   begin_ = 0;
   events_.resize(out);
+  ResetCompactionThreshold();
   if (!columns_enabled_) return;
   ts_.resize(out);
   serials_.resize(out);
@@ -103,10 +108,15 @@ ColumnRun ColumnBuffer::Run() const {
 
 void ColumnBuffer::MaybeCompact() {
   // Amortized-O(1) front eviction: slide the live range down once the
-  // dead prefix dominates, so the columns stay dense without per-pop
-  // moves.
-  if (begin_ < 64 || begin_ * 2 < events_.size()) return;
+  // dead prefix reaches the member threshold. The threshold is re-armed
+  // to max(kMinCompactPrefix, live) after every compaction and only ever
+  // raised (to the live count) between them, so at compaction time
+  // copies == live <= compact_at_ <= begin_ == pops since the last
+  // compaction: evicting N rows costs O(N) copies total, regardless of
+  // how the pops are bursted.
+  if (begin_ < compact_at_) return;
   size_t live = size();
+  compaction_copies_ += live;
   for (size_t i = 0; i < live; ++i) {
     events_[i] = std::move(events_[begin_ + i]);
     if (!columns_enabled_) continue;
@@ -118,6 +128,7 @@ void ColumnBuffer::MaybeCompact() {
   }
   begin_ = 0;
   events_.resize(live);
+  ResetCompactionThreshold();
   if (!columns_enabled_) return;
   ts_.resize(live);
   serials_.resize(live);

@@ -1,6 +1,7 @@
 #ifndef CEPJOIN_RUNTIME_COLUMN_BUFFER_H_
 #define CEPJOIN_RUNTIME_COLUMN_BUFFER_H_
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -83,6 +84,14 @@ class ColumnBuffer {
   bool regular() const { return regular_; }
   int num_attrs() const { return num_attrs_; }
 
+  /// Total rows moved by front-eviction compactions over this buffer's
+  /// lifetime. The compaction threshold is maintained as a member
+  /// invariant (compact_at_ >= live rows), so every compaction's copy
+  /// count is covered by the evictions since the previous one: evicting
+  /// N rows costs O(N) copies total, which the regression test in
+  /// tests/runtime/instance_store_test.cc pins down.
+  uint64_t compaction_copies() const { return compaction_copies_; }
+
   /// Exact bytes this buffer's storage grows by when `e` is appended
   /// (and shrinks by when it is evicted): the row handle, plus — with
   /// column mirrors on — one lane in each scalar column and in each of
@@ -98,9 +107,21 @@ class ColumnBuffer {
   }
 
  private:
+  /// Dead prefixes shorter than this never trigger a compaction, so
+  /// small buffers are not compacted on every pop.
+  static constexpr size_t kMinCompactPrefix = 64;
+
   void MaybeCompact();
+  /// Re-arms the compaction trigger after a structural change: fire once
+  /// the dead prefix reaches max(kMinCompactPrefix, live rows), which
+  /// keeps copies-per-compaction <= evictions-since-last-compaction.
+  void ResetCompactionThreshold() {
+    compact_at_ = std::max(kMinCompactPrefix, size());
+  }
 
   size_t begin_ = 0;
+  size_t compact_at_ = kMinCompactPrefix;
+  uint64_t compaction_copies_ = 0;
   std::vector<EventPtr> events_;
   std::vector<Timestamp> ts_;
   std::vector<EventSerial> serials_;

@@ -20,6 +20,12 @@ struct EngineCounters {
   /// (runtime/predicate_program.h) — the measured counterpart of the
   /// cost model's predicate-work estimate.
   uint64_t predicate_evals = 0;
+  /// Candidate lanes / 64-lane mask blocks the vectorized instance×
+  /// instance combine kernels processed (tree/tree_engine.cc,
+  /// CombineWithInstanceRun). Zero on the scalar oracle path, so the
+  /// run-at-a-time coverage of a workload is directly observable.
+  uint64_t instance_kernel_lanes = 0;
+  uint64_t instance_kernel_blocks = 0;
 
   size_t live_instances = 0;
   size_t peak_live_instances = 0;
@@ -34,6 +40,14 @@ struct EngineCounters {
   /// the total cannot drift. Replaces the old kApproxBufferedBytes
   /// flat-rate estimate.
   size_t buffered_bytes = 0;
+  /// Exact bytes of the columnar instance stores (tree engines mirror
+  /// internal-node instances attr-major for the vectorized combine).
+  /// Like buffered_bytes the per-instance value is a pure function of
+  /// the instance's bound events, so add and remove always agree. Kept
+  /// separate from instance_bytes because the mirrors exist only on the
+  /// columnar path — the equivalence suites compare instance_bytes
+  /// across columnar/scalar runs, and the memory gauges want the total.
+  size_t store_bytes = 0;
   size_t peak_total_bytes = 0;
 
   void AddInstance(size_t bytes) {
@@ -61,12 +75,22 @@ struct EngineCounters {
     if (buffered_events > 0) --buffered_events;
     buffered_bytes -= std::min(buffered_bytes, bytes);
   }
+  void AddStoreBytes(size_t bytes) {
+    store_bytes += bytes;
+    UpdatePeakBytes();
+  }
+  void RemoveStoreBytes(size_t bytes) {
+    store_bytes -= std::min(store_bytes, bytes);
+  }
   void UpdatePeakBytes() {
     peak_total_bytes = std::max(peak_total_bytes, CurrentBytes());
   }
   /// Current exact resident footprint: live partial matches + window
-  /// buffers. The value behind the per-(query, partition) memory gauges.
-  size_t CurrentBytes() const { return instance_bytes + buffered_bytes; }
+  /// buffers + columnar instance-store mirrors. The value behind the
+  /// per-(query, partition) memory gauges.
+  size_t CurrentBytes() const {
+    return instance_bytes + buffered_bytes + store_bytes;
+  }
 
   /// Merges counters of an engine that saw the SAME stream (DNF
   /// multi-engine aggregation): events_processed is the stream position,
@@ -113,11 +137,14 @@ inline void EngineCounters::MergeDisjoint(const EngineCounters& other) {
   instances_created += other.instances_created;
   matches_emitted += other.matches_emitted;
   predicate_evals += other.predicate_evals;
+  instance_kernel_lanes += other.instance_kernel_lanes;
+  instance_kernel_blocks += other.instance_kernel_blocks;
   live_instances += other.live_instances;
   peak_live_instances += other.peak_live_instances;
   buffered_events += other.buffered_events;
   peak_buffered_events += other.peak_buffered_events;
   buffered_bytes += other.buffered_bytes;
+  store_bytes += other.store_bytes;
   instance_bytes += other.instance_bytes;
   peak_total_bytes += other.peak_total_bytes;
 }

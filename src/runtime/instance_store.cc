@@ -1,0 +1,62 @@
+#include "runtime/instance_store.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace cepjoin {
+
+void InstanceStore::Configure(std::vector<InstanceStoreColumn> columns) {
+  CEPJOIN_CHECK(!configured_) << "InstanceStore configured twice";
+  CEPJOIN_CHECK(empty()) << "Configure must precede the first Append";
+  columns_ = std::move(columns);
+  buffers_.resize(columns_.size());
+  configured_ = true;
+}
+
+void InstanceStore::Append(Timestamp min_ts, Timestamp max_ts,
+                           const std::vector<EventPtr>& by_slot) {
+  CEPJOIN_CHECK(configured_);
+  min_ts_.push_back(min_ts);
+  max_ts_.push_back(max_ts);
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    const EventPtr& e = by_slot[columns_[c].slot];
+    CEPJOIN_CHECK(e != nullptr)
+        << "instance bound no event at mirrored slot " << columns_[c].slot;
+    buffers_[c].Append(e);
+  }
+}
+
+void InstanceStore::Filter(const std::vector<uint8_t>& keep) {
+  CEPJOIN_CHECK_EQ(keep.size(), size());
+  size_t out = 0;
+  for (size_t i = 0; i < keep.size(); ++i) {
+    if (!keep[i]) continue;
+    size_t dst = out++;
+    if (dst == i) continue;
+    min_ts_[dst] = min_ts_[i];
+    max_ts_[dst] = max_ts_[i];
+  }
+  min_ts_.resize(out);
+  max_ts_.resize(out);
+  for (ColumnBuffer& buffer : buffers_) buffer.Filter(keep);
+}
+
+ColumnRun InstanceStore::RunFor(int key) const {
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    if (columns_[c].key == key) return buffers_[c].Run();
+  }
+  CEPJOIN_CHECK(false) << "no instance-store column for key " << key;
+  return {};
+}
+
+size_t InstanceStore::RowMirrorBytes(
+    const std::vector<EventPtr>& by_slot) const {
+  size_t bytes = 2 * sizeof(Timestamp);  // the extent lanes
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    bytes += buffers_[c].RowMirrorBytes(*by_slot[columns_[c].slot]);
+  }
+  return bytes;
+}
+
+}  // namespace cepjoin

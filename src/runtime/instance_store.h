@@ -1,0 +1,106 @@
+#ifndef CEPJOIN_RUNTIME_INSTANCE_STORE_H_
+#define CEPJOIN_RUNTIME_INSTANCE_STORE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "event/event.h"
+#include "runtime/column_buffer.h"
+
+namespace cepjoin {
+
+/// One column of an InstanceStore: the anchor events a caller-chosen
+/// pattern position (`key`) binds, taken from each appended instance's
+/// by-slot vector at index `slot`.
+struct InstanceStoreColumn {
+  int key = 0;
+  int slot = 0;
+};
+
+/// Columnar mirror of one tree node's buffered partial-match instances:
+/// the (min_ts, max_ts) window extents as two contiguous timestamp
+/// columns, plus one attr-major ColumnBuffer per pattern position the
+/// node's parent cross-pair predicates read on this side — the probe-side
+/// runs of the vectorized instance×instance combine. Lane k always
+/// describes the k-th live instance of the owning buffer: appends and
+/// Filter() run in lockstep with it, exactly like the leaf mirrors.
+///
+/// Each per-position ColumnBuffer keeps its row handles (EventPtr), so
+/// virtual-fallback predicates and irregular schemas degrade to the
+/// per-lane row path with scalar semantics preserved; the store itself
+/// never stores rows of the *instances* — survivors are materialized by
+/// lane index into the owning buffer.
+class InstanceStore {
+ public:
+  /// Fixes the mirrored columns. Call once, before the first Append.
+  void Configure(std::vector<InstanceStoreColumn> columns);
+  bool configured() const { return configured_; }
+  size_t num_columns() const { return columns_.size(); }
+
+  /// Appends one instance: its window extent and, per configured column,
+  /// its bound event at that column's slot (must be non-null).
+  void Append(Timestamp min_ts, Timestamp max_ts,
+              const std::vector<EventPtr>& by_slot);
+
+  /// Keeps exactly the lanes with keep[i] != 0; lockstep counterpart of
+  /// the owning buffer's compaction (TreeEngine::Sweep).
+  void Filter(const std::vector<uint8_t>& keep);
+
+  size_t size() const { return min_ts_.size(); }
+  bool empty() const { return min_ts_.empty(); }
+
+  /// Per-lane window extents, valid for size() lanes. Invalidated by any
+  /// mutation, like ColumnBuffer::Run().
+  const Timestamp* min_ts() const { return min_ts_.data(); }
+  const Timestamp* max_ts() const { return max_ts_.data(); }
+
+  /// The column run of the position registered under `key`; aborts if no
+  /// column was configured for it (the caller's eligibility analysis and
+  /// this store must agree).
+  ColumnRun RunFor(int key) const;
+
+  /// Exact bytes this store grows by when an instance with `by_slot` is
+  /// appended (and shrinks by when it is filtered out): two extent lanes
+  /// plus each column buffer's row-mirror share. A pure function of the
+  /// instance's bound events, so append- and evict-side accounting
+  /// always agree (EngineCounters::AddStoreBytes/RemoveStoreBytes).
+  size_t RowMirrorBytes(const std::vector<EventPtr>& by_slot) const;
+
+ private:
+  bool configured_ = false;
+  std::vector<InstanceStoreColumn> columns_;
+  std::vector<ColumnBuffer> buffers_;  // parallel to columns_
+  std::vector<Timestamp> min_ts_;
+  std::vector<Timestamp> max_ts_;
+};
+
+/// Clears lanes whose joint window span [min(min_ts, lane_min[k]),
+/// max(max_ts, lane_max[k])] exceeds `window` — the instance×instance
+/// window-feasibility gate, vectorized over the store's extent columns.
+/// No predicate counting: the scalar combine checks the window before
+/// any predicate runs.
+inline void WindowMaskInstanceLanes(Timestamp min_ts, Timestamp max_ts,
+                                    Timestamp window,
+                                    const Timestamp* lane_min,
+                                    const Timestamp* lane_max, size_t size,
+                                    uint64_t* alive) {
+  size_t words = (size + 63) / 64;
+  for (size_t w = 0; w < words; ++w) {
+    if (alive[w] == 0) continue;
+    size_t lane0 = w * 64;
+    size_t n = size - lane0 < 64 ? size - lane0 : 64;
+    uint64_t keep = 0;
+    const Timestamp* lmin = lane_min + lane0;
+    const Timestamp* lmax = lane_max + lane0;
+    for (size_t k = 0; k < n; ++k) {
+      Timestamp lo = lmin[k] < min_ts ? lmin[k] : min_ts;
+      Timestamp hi = lmax[k] > max_ts ? lmax[k] : max_ts;
+      keep |= static_cast<uint64_t>(hi - lo <= window) << k;
+    }
+    alive[w] &= keep;
+  }
+}
+
+}  // namespace cepjoin
+
+#endif  // CEPJOIN_RUNTIME_INSTANCE_STORE_H_

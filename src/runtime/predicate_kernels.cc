@@ -258,6 +258,56 @@ void GenericSpanColumns(const PredInstr* code, size_t n_instr,
   if (evals != nullptr) *evals += counted;
 }
 
+/// Masked instruction-major span loop: like GenericSpanColumns, but a
+/// partially-dead 64-lane block is evaluated in 8-lane groups, skipping
+/// the groups whose survivor byte is zero — the sub-block early-out the
+/// instance-combine path wants, because its blocks arrive pre-thinned by
+/// the window gate and earlier cross-pair spans. Verdicts of live lanes
+/// are computed by the same VerdictBlock writers, dead lanes are never
+/// counted, and each instruction adds popcount(live-before), so survivors
+/// and predicate_evals stay bit-identical to GenericSpanColumns and to
+/// per-lane scalar evaluation.
+void MaskedSpanColumns(const PredInstr* code, size_t n_instr,
+                       const Event* fixed, bool fixed_is_lo,
+                       const ColumnRun& run, uint64_t* alive,
+                       uint64_t* evals) {
+  const size_t words = (run.size + 63) / 64;
+  uint64_t counted = 0;
+  for (size_t w = 0; w < words; ++w) {
+    uint64_t m = alive[w];
+    if (m == 0) continue;
+    const size_t lane0 = w * 64;
+    const size_t n = std::min<size_t>(64, run.size - lane0);
+    const uint64_t full =
+        n == 64 ? ~uint64_t{0} : (~uint64_t{0} >> (64 - n));
+    uint8_t v[64];
+    for (size_t k = 0; k < n_instr; ++k) {
+      counted += static_cast<uint64_t>(__builtin_popcountll(m));
+      if (m == full) {
+        // Fully-live block: the dense column loop beats group dispatch.
+        VerdictBlock(code[k], fixed, fixed_is_lo, run, lane0, n, m, v);
+        m &= PackBits(v, n);
+      } else {
+        uint64_t keep = 0;
+        for (size_t g = 0; g * 8 < n; ++g) {
+          const uint64_t gm = m >> (g * 8) & 0xFF;
+          if (gm == 0) continue;  // dead 8-lane group: skip its columns
+          const size_t gl = g * 8;
+          const size_t gn = std::min<size_t>(8, n - gl);
+          VerdictBlock(code[k], fixed, fixed_is_lo, run, lane0 + gl, gn, gm,
+                       v + gl);
+          keep |= PackBits(v + gl, gn) << gl;
+        }
+        m &= keep;
+      }
+      if (m == 0) break;  // whole block failed: later instructions are
+                          // unreached on every lane, exactly like scalar
+    }
+    alive[w] = m;
+  }
+  if (evals != nullptr) *evals += counted;
+}
+
 // --- template-stamped span kernels ------------------------------------------
 
 /// The three opcodes worth stamping: every other opcode either cannot
@@ -508,6 +558,17 @@ void PredicateProgram::RunSpanColumns(const Span& span, const Event* fixed,
                      alive, evals);
 }
 
+void PredicateProgram::RunSpanColumnsMasked(const Span& span,
+                                            const Event* fixed,
+                                            bool fixed_is_lo,
+                                            const ColumnRun& run,
+                                            uint64_t* alive,
+                                            uint64_t* evals) const {
+  if (span.begin == span.end || run.size == 0) return;
+  MaskedSpanColumns(code_.data() + span.begin, span.end - span.begin, fixed,
+                    fixed_is_lo, run, alive, evals);
+}
+
 void PredicateProgram::EvalPairRun(int i, int j, const Event& ei,
                                    const ColumnRun& run_j, uint64_t* alive,
                                    uint64_t* evals) const {
@@ -524,6 +585,19 @@ void PredicateProgram::EvalUnaryRun(int i, const ColumnRun& run,
                                     uint64_t* alive, uint64_t* evals) const {
   RunSpanColumns(unary_spans_[i], /*fixed=*/nullptr, /*fixed_is_lo=*/false,
                  run, alive, evals);
+}
+
+void PredicateProgram::EvalInstanceRun(int i, int j, const Event& ei,
+                                       const ColumnRun& run_j,
+                                       uint64_t* alive,
+                                       uint64_t* evals) const {
+  if (i < j) {
+    RunSpanColumnsMasked(PairSpan(i, j), &ei, /*fixed_is_lo=*/true, run_j,
+                         alive, evals);
+  } else {
+    RunSpanColumnsMasked(PairSpan(j, i), &ei, /*fixed_is_lo=*/false, run_j,
+                         alive, evals);
+  }
 }
 
 }  // namespace cepjoin

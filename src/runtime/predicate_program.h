@@ -125,6 +125,16 @@ class PredicateProgram {
   void EvalUnaryRun(int i, const ColumnRun& run, uint64_t* alive,
                     uint64_t* evals) const;
 
+  /// EvalPairRun against a sibling node's *instance* column run (an
+  /// InstanceStore position column rather than a leaf window buffer).
+  /// Semantics and predicate_evals accounting are identical; the driver
+  /// differs: instance runs arrive pre-thinned by the window-overlap
+  /// gate and earlier cross-pair spans, so the kernel adds a masked
+  /// sub-block early-out that skips dead 8-lane groups below the 64-lane
+  /// block instead of the leaf path's stamped full-block kernels.
+  void EvalInstanceRun(int i, int j, const Event& ei, const ColumnRun& run_j,
+                       uint64_t* alive, uint64_t* evals) const;
+
   int num_positions() const { return n_; }
   size_t num_instructions() const { return code_.size(); }
   /// Instructions that trampoline to the virtual Condition::Eval.
@@ -167,6 +177,13 @@ class PredicateProgram {
   void RunSpanColumns(const Span& span, const Event* fixed, bool fixed_is_lo,
                       const ColumnRun& run, uint64_t* alive,
                       uint64_t* evals) const;
+
+  /// Masked variant (predicate_kernels.cc): the generic instruction-major
+  /// loop with an 8-lane-group early-out inside partially-dead blocks;
+  /// the EvalInstanceRun driver.
+  void RunSpanColumnsMasked(const Span& span, const Event* fixed,
+                            bool fixed_is_lo, const ColumnRun& run,
+                            uint64_t* alive, uint64_t* evals) const;
 
   /// Computes max_attr and selects spec kernels for every span; called
   /// once at the end of lowering (predicate_kernels.cc).

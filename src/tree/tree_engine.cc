@@ -108,6 +108,44 @@ TreeEngine::TreeEngine(const SimplePattern& pattern, const TreePlan& plan,
     }
   }
 
+  // Instance stores: mirror each eligible internal node's instances
+  // attr-major so a fresh sibling instance can probe them run-at-a-time.
+  // Eligibility mirrors the leaf rule: columnar path on, and no parent
+  // cross pair reads the Kleene position on the stored side (its subset
+  // members live in kleene_extra, which a single anchor column cannot
+  // represent). The root is never probed — it has no sibling.
+  instance_stores_.resize(plan_.num_nodes());
+  instance_mirrored_.assign(plan_.num_nodes(), 0);
+  if (use_columnar_) {
+    for (int id : plan_.internal_postorder()) {
+      if (id == plan_.root()) continue;
+      int parent = plan_.node(id).parent;
+      bool is_left = plan_.node(parent).left == id;
+      std::vector<InstanceStoreColumn> columns;
+      bool eligible = true;
+      for (const auto& [pa, pb] : cross_pairs_[parent]) {
+        int store_pos = is_left ? pa : pb;
+        if (store_pos == kleene_pos_) {
+          eligible = false;
+          break;
+        }
+        bool seen = false;
+        for (const InstanceStoreColumn& col : columns) {
+          if (col.key == store_pos) {
+            seen = true;
+            break;
+          }
+        }
+        if (!seen) {
+          columns.push_back({store_pos, cp_.pos_to_slot(store_pos)});
+        }
+      }
+      if (!eligible) continue;
+      instance_mirrored_[id] = 1;
+      instance_stores_[id].Configure(std::move(columns));
+    }
+  }
+
   // Attach negation checks to the lowest node covering all dependencies.
   for (const NegationSpec& neg : cp_.negations()) {
     if (neg.trailing) {
@@ -324,6 +362,15 @@ void TreeEngine::NewInstance(int node, Instance&& inst) {
     // Lockstep columnar mirror of the leaf's anchors.
     leaf_columns_[node].Append(
         node_buffers_[node].back().by_slot[plan_.node(node).leaf_item]);
+  } else if (instance_mirrored_[node]) {
+    // Lockstep columnar mirror of the internal node's instances: window
+    // extents + the anchor columns the parent's cross pairs probe.
+    Instance& stored = node_buffers_[node].back();
+    stored.store_bytes =
+        instance_stores_[node].RowMirrorBytes(stored.by_slot);
+    counters_.AddStoreBytes(stored.store_bytes);
+    instance_stores_[node].Append(stored.min_ts, stored.max_ts,
+                                  stored.by_slot);
   }
   // Stable copy: recursion never appends to this node's buffer, but a
   // reallocation elsewhere must not invalidate what we iterate with.
@@ -332,13 +379,18 @@ void TreeEngine::NewInstance(int node, Instance&& inst) {
   int sib = plan_.Sibling(node);
   int parent = plan_.node(node).parent;
   bool node_is_left = plan_.node(parent).left == node;
-  // The dominant join shape — a fresh partial probing a leaf's window
-  // buffer — runs through the columnar kernels. Internal-node siblings
-  // (instances, not rows), Kleene leaves, and skip-till-next (left-side
+  // Both join shapes run through the columnar kernels: a fresh partial
+  // probing a leaf's window buffer (event columns) and probing an
+  // internal sibling's instance store (partial-match columns). Kleene
+  // leaves, Kleene-anchored stores, and skip-till-next (left-side
   // first-success early exit) stay on the scalar partner loop, which is
   // also the correctness oracle.
   if (leaf_mirrored_[sib]) {  // implies use_columnar_ && !next_match_
     CombineWithLeafRun(local, sib, parent, node_is_left);
+    return;
+  }
+  if (instance_mirrored_[sib]) {  // implies use_columnar_ && !next_match_
+    CombineWithInstanceRun(local, sib, parent, node_is_left);
     return;
   }
   std::vector<Instance>& partners = node_buffers_[sib];
@@ -422,6 +474,58 @@ void TreeEngine::CombineWithLeafRun(const Instance& local, int sib,
   });
 }
 
+void TreeEngine::CombineWithInstanceRun(const Instance& local, int sib,
+                                        int parent, bool node_is_left) {
+  CEPJOIN_STAGE_TIMER("tree_combine_instance_run");
+  const InstanceStore& store = instance_stores_[sib];
+  const std::vector<Instance>& partners = node_buffers_[sib];
+  CEPJOIN_CHECK_EQ(store.size(), partners.size());
+  const size_t n = partners.size();
+  if (n == 0) return;
+  counters_.instance_kernel_lanes += n;
+  counters_.instance_kernel_blocks += (n + 63) / 64;
+  LaneMask mask(n);
+  uint64_t* alive = mask.words();
+  const PredicateProgram& program = cp_.program();
+  // TryCombine's gate order, lane-parallel: joint window feasibility
+  // first (uncounted), then the parent's cross pairs in order, each lane
+  // stopping at its first failing span — survivors and predicate_evals
+  // identical to the scalar partner loop. Unlike a leaf mirror, the lane
+  // extents are the stored instances' (min_ts, max_ts) columns; dead
+  // partners cannot exist outside skip-till-next, which this path
+  // excludes.
+  WindowMaskInstanceLanes(local.min_ts, local.max_ts, cp_.window(),
+                          store.min_ts(), store.max_ts(), n, alive);
+  for (const auto& [pa, pb] : cross_pairs_[parent]) {
+    // `local` holds one endpoint of every cross pair; the sibling's
+    // store mirrors the other endpoint's anchors as a column.
+    const int fixed_pos = node_is_left ? pa : pb;
+    const int run_pos = node_is_left ? pb : pa;
+    const ColumnRun run = store.RunFor(run_pos);
+    const EventPtr& anchor = local.by_slot[cp_.pos_to_slot(fixed_pos)];
+    program.EvalInstanceRun(fixed_pos, run_pos, *anchor, run, alive,
+                            &counters_.predicate_evals);
+    if (fixed_pos == kleene_pos_) {
+      for (const EventPtr& member : local.kleene_extra) {
+        program.EvalInstanceRun(fixed_pos, run_pos, *member, run, alive,
+                                &counters_.predicate_evals);
+      }
+    }
+  }
+  // Survivors combine in buffer order, exactly like the scalar loop. The
+  // mask lives on this frame; recursion appends only at `parent` and
+  // above, never to the sibling, so the store's runs stay valid.
+  mask.ForEachAlive([&](size_t k) {
+    Instance combined;
+    if (node_is_left) {
+      FillCombined(local, partners[k], &combined);
+    } else {
+      FillCombined(partners[k], local, &combined);
+    }
+    NewInstance(parent, std::move(combined));
+  });
+}
+
 void TreeEngine::Complete(const Instance& inst) {
   Match match;
   match.slots.resize(cp_.num_positions());
@@ -492,7 +596,9 @@ void TreeEngine::Sweep() {
   std::vector<uint8_t> keep_rows;
   for (size_t node = 0; node < node_buffers_.size(); ++node) {
     std::vector<Instance>& list = node_buffers_[node];
-    const bool mirrored = leaf_mirrored_[node] != 0;
+    const bool leaf_mirror = leaf_mirrored_[node] != 0;
+    const bool store_mirror = instance_mirrored_[node] != 0;
+    const bool mirrored = leaf_mirror || store_mirror;
     if (mirrored) keep_rows.assign(list.size(), 0);
     size_t keep = 0;
     for (size_t i = 0; i < list.size(); ++i) {
@@ -500,6 +606,7 @@ void TreeEngine::Sweep() {
       bool expired = inst.min_ts < horizon;
       if (inst.dead || expired) {
         if (!inst.dead) counters_.RemoveInstance(inst.tracked_bytes);
+        if (store_mirror) counters_.RemoveStoreBytes(inst.store_bytes);
         continue;
       }
       if (mirrored) keep_rows[i] = 1;
@@ -507,8 +614,9 @@ void TreeEngine::Sweep() {
       ++keep;
     }
     list.resize(keep);
-    // Leaf mirrors compact in lockstep so lane k stays partner k.
-    if (mirrored) leaf_columns_[node].Filter(keep_rows);
+    // Mirrors compact in lockstep so lane k stays partner k.
+    if (leaf_mirror) leaf_columns_[node].Filter(keep_rows);
+    if (store_mirror) instance_stores_[node].Filter(keep_rows);
   }
   counters_.UpdatePeakBytes();
 }

@@ -7,6 +7,7 @@
 #include "plan/tree_plan.h"
 #include "runtime/column_buffer.h"
 #include "runtime/compiled_pattern.h"
+#include "runtime/instance_store.h"
 #include "runtime/engine.h"
 #include "runtime/match.h"
 
@@ -51,6 +52,10 @@ class TreeEngine : public Engine {
     /// matching remove uses this (never a recomputed ApproxBytes), so
     /// byte totals cannot drift even if capacities change in between.
     size_t tracked_bytes = 0;
+    /// Bytes its node's columnar InstanceStore mirror charged for this
+    /// instance (0 when the node is not instance-mirrored). Same
+    /// record-the-added-size discipline as tracked_bytes.
+    size_t store_bytes = 0;
 
     size_t ApproxBytes() const {
       return sizeof(Instance) +
@@ -89,6 +94,15 @@ class TreeEngine : public Engine {
   /// mid-run).
   void CombineWithLeafRun(const Instance& local, int sib, int parent,
                           bool node_is_left);
+  /// Run-at-a-time combine against a mirrored *internal-node* sibling:
+  /// the instance×instance counterpart of CombineWithLeafRun. The
+  /// window-overlap gate runs vectorized over the store's (min_ts,
+  /// max_ts) extent columns, then each cross pair of the parent probes
+  /// the sibling's anchor column for its store-side position through the
+  /// masked EvalInstanceRun kernels. Matches and predicate_evals are
+  /// bit-identical to the scalar partner loop.
+  void CombineWithInstanceRun(const Instance& local, int sib, int parent,
+                              bool node_is_left);
   bool NodeNegationChecks(int node, const Instance& inst);
   void Complete(const Instance& inst);
   void EmitMatch(Match match);
@@ -117,6 +131,15 @@ class TreeEngine : public Engine {
   /// runs of the vectorized combine.
   std::vector<ColumnBuffer> leaf_columns_;
   std::vector<uint8_t> leaf_mirrored_;  // per node
+  /// Per eligible internal node: its buffered instances mirrored
+  /// attr-major — window extents plus the anchor columns of the
+  /// positions its parent's cross pairs read on this side — appended and
+  /// filtered in lockstep with node_buffers_. A node stays scalar
+  /// (rows-only) when the columnar path is off, when it is the root, or
+  /// when a parent cross pair reads the Kleene position on this side
+  /// (subset members live in kleene_extra, not in a single column).
+  std::vector<InstanceStore> instance_stores_;
+  std::vector<uint8_t> instance_mirrored_;  // per node
   std::vector<PendingMatch> pending_;
 
   Timestamp now_ = 0.0;

@@ -1,0 +1,300 @@
+// Instance-store columnar / scalar equivalence: the vectorized
+// instance×instance combine (TreeEngine::CombineWithInstanceRun over the
+// per-node InstanceStore mirrors) must reproduce the scalar oracle's
+// match sequences and counters — including predicate_evals and the
+// instance-byte accounting — across pattern families (conjunction,
+// nested disjunction, negation-adjacent), both selection strategies,
+// batch sizes 1/7/1024, and the sharded runtime at 1/2/4 threads. The
+// instance_kernel_lanes/blocks counters additionally pin which runs
+// actually took the kernel path: positive on columnar tree runs with
+// internal siblings, zero on every scalar run and under skip-till-next.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/engine_factory.h"
+#include "parallel/sharded_runtime.h"
+#include "runtime/column_buffer.h"
+#include "stats/collector.h"
+#include "workload/keyed_generator.h"
+#include "workload/pattern_generator.h"
+
+namespace cepjoin {
+namespace {
+
+struct FeedResult {
+  std::vector<std::string> emission_order;
+  EngineCounters counters;
+};
+
+void ExpectCountersEqual(const EngineCounters& a, const EngineCounters& b) {
+  EXPECT_EQ(a.events_processed, b.events_processed);
+  EXPECT_EQ(a.instances_created, b.instances_created);
+  EXPECT_EQ(a.matches_emitted, b.matches_emitted);
+  EXPECT_EQ(a.predicate_evals, b.predicate_evals);
+  EXPECT_EQ(a.live_instances, b.live_instances);
+  EXPECT_EQ(a.peak_live_instances, b.peak_live_instances);
+  EXPECT_EQ(a.buffered_events, b.buffered_events);
+  EXPECT_EQ(a.peak_buffered_events, b.peak_buffered_events);
+  EXPECT_EQ(a.instance_bytes, b.instance_bytes);
+  // store_bytes / buffered_bytes / peak_total_bytes are deliberately NOT
+  // compared across modes: the instance-store and leaf mirrors only
+  // exist when the columnar path is on, and exact accounting charges
+  // them, so the scalar run is genuinely smaller.
+  // instance_kernel_lanes/blocks differ by design (zero on the oracle);
+  // they get their own assertions below.
+}
+
+/// RAII toggle so a failing assertion cannot leave the process scalar.
+struct ColumnarSwitch {
+  explicit ColumnarSwitch(bool enabled) { SetColumnarKernelsEnabled(enabled); }
+  ~ColumnarSwitch() { SetColumnarKernelsEnabled(true); }
+};
+
+class InstanceColumnarEquivalenceTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    StockGeneratorConfig stock;
+    stock.num_symbols = 10;
+    stock.duration_seconds = 6.0;
+    universe_ = new StockUniverse(GenerateStockStream(stock));
+    collector_ =
+        new StatsCollector(universe_->stream, universe_->registry.size());
+  }
+  static void TearDownTestSuite() {
+    delete collector_;
+    collector_ = nullptr;
+    delete universe_;
+    universe_ = nullptr;
+  }
+
+  static FeedResult Drain(Engine* engine, CollectingSink* sink,
+                          size_t batch_size) {
+    const std::vector<EventPtr>& events = universe_->stream.events();
+    for (size_t i = 0; i < events.size(); i += batch_size) {
+      engine->OnBatch(events.data() + i,
+                      std::min(batch_size, events.size() - i));
+    }
+    engine->Finish();
+    FeedResult run;
+    for (const Match& m : sink->matches) {
+      run.emission_order.push_back(std::to_string(m.subpattern) + ":" +
+                                   m.Fingerprint());
+    }
+    run.counters = engine->counters();
+    return run;
+  }
+
+  static FeedResult Feed(const SimplePattern& pattern, const EnginePlan& plan,
+                         bool columnar, size_t batch_size) {
+    ColumnarSwitch guard(columnar);
+    CollectingSink sink;
+    std::unique_ptr<Engine> engine = BuildEngine(pattern, plan, &sink);
+    return Drain(engine.get(), &sink, batch_size);
+  }
+
+  enum class Kernel {
+    kRequired,   // columnar runs must report kernel lanes
+    kForbidden,  // kernel lanes must stay zero even in columnar mode
+    kEither,     // plan-dependent eligibility: only equivalence is pinned
+  };
+
+  /// Scalar tree baseline at batch 64, then columnar at batches
+  /// {1, 7, 1024}: identical emission and counters. `expect_kernel`
+  /// additionally pins whether the columnar runs really took the
+  /// instance-kernel path (the scalar one never does).
+  static void ExpectInstanceColumnarMatchesScalar(
+      const std::string& algorithm, PatternFamily family, int size,
+      uint64_t seed, double window = 1.0,
+      SelectionStrategy strategy = SelectionStrategy::kSkipTillAny,
+      Kernel expect_kernel = Kernel::kRequired) {
+    PatternGenConfig pg;
+    pg.family = family;
+    pg.size = size;
+    pg.window = window;
+    pg.seed = seed;
+    pg.strategy = strategy;
+    SimplePattern pattern = GeneratePattern(*universe_, pg)[0];
+    CostFunction cost =
+        MakeCostFunction(pattern, collector_->CollectForPattern(pattern), 0.0);
+    EnginePlan plan = MakePlan(algorithm, cost).value();
+
+    FeedResult scalar = Feed(pattern, plan, /*columnar=*/false, 64);
+    ASSERT_GT(scalar.counters.events_processed, 0u);
+    EXPECT_GT(scalar.counters.predicate_evals, 0u);
+    EXPECT_EQ(scalar.counters.instance_kernel_lanes, 0u);
+    EXPECT_EQ(scalar.counters.instance_kernel_blocks, 0u);
+    for (size_t batch_size : {1u, 7u, 1024u}) {
+      SCOPED_TRACE(algorithm + " batch_size=" + std::to_string(batch_size));
+      FeedResult columnar = Feed(pattern, plan, /*columnar=*/true, batch_size);
+      EXPECT_EQ(columnar.emission_order, scalar.emission_order);
+      ExpectCountersEqual(columnar.counters, scalar.counters);
+      if (expect_kernel == Kernel::kRequired) {
+        EXPECT_GT(columnar.counters.instance_kernel_lanes, 0u);
+        EXPECT_GT(columnar.counters.instance_kernel_blocks, 0u);
+        // One 64-lane block covers up to 64 candidate lanes.
+        EXPECT_LE(columnar.counters.instance_kernel_blocks,
+                  columnar.counters.instance_kernel_lanes);
+      } else if (expect_kernel == Kernel::kForbidden) {
+        EXPECT_EQ(columnar.counters.instance_kernel_lanes, 0u);
+        EXPECT_EQ(columnar.counters.instance_kernel_blocks, 0u);
+      }
+    }
+  }
+
+  static StockUniverse* universe_;
+  static StatsCollector* collector_;
+};
+
+StockUniverse* InstanceColumnarEquivalenceTest::universe_ = nullptr;
+StatsCollector* InstanceColumnarEquivalenceTest::collector_ = nullptr;
+
+TEST_F(InstanceColumnarEquivalenceTest, BushyConjunction) {
+  // AND under DP-B: bushy trees where both children of internal joins
+  // buffer instances — the instance-store's primary shape.
+  ExpectInstanceColumnarMatchesScalar("DP-B", PatternFamily::kConjunction, 4,
+                                      89, 0.3);
+}
+
+TEST_F(InstanceColumnarEquivalenceTest, BushyConjunctionLarge) {
+  ExpectInstanceColumnarMatchesScalar("DP-B", PatternFamily::kConjunction, 5,
+                                      189, 0.25);
+}
+
+TEST_F(InstanceColumnarEquivalenceTest, BushySequence) {
+  ExpectInstanceColumnarMatchesScalar("DP-B", PatternFamily::kSequence, 5, 87);
+}
+
+TEST_F(InstanceColumnarEquivalenceTest, LeftDeepSequenceZstream) {
+  // Left-deep: every fresh leaf instance probes an internal sibling's
+  // store, so ZSTREAM exercises the kernel from the leaf side.
+  ExpectInstanceColumnarMatchesScalar("ZSTREAM", PatternFamily::kSequence, 4,
+                                      83);
+}
+
+TEST_F(InstanceColumnarEquivalenceTest, NegationAdjacent) {
+  ExpectInstanceColumnarMatchesScalar("ZSTREAM", PatternFamily::kNegation, 4,
+                                      91);
+}
+
+TEST_F(InstanceColumnarEquivalenceTest, NegationAdjacentBushy) {
+  ExpectInstanceColumnarMatchesScalar("DP-B", PatternFamily::kNegation, 4,
+                                      191);
+}
+
+TEST_F(InstanceColumnarEquivalenceTest, KleeneStoreSideStaysExact) {
+  // Nodes whose parent cross pairs read the Kleene position on the store
+  // side are ineligible for mirroring; whether any eligible node remains
+  // depends on the plan, so only equivalence is pinned here.
+  ExpectInstanceColumnarMatchesScalar("DP-B", PatternFamily::kKleene, 3, 93,
+                                      0.6, SelectionStrategy::kSkipTillAny,
+                                      Kernel::kEither);
+}
+
+TEST_F(InstanceColumnarEquivalenceTest, SkipTillNextStaysScalar) {
+  // skip-till-next keeps the whole engine scalar (first-success early
+  // exit): the kernel counters must stay zero in columnar mode too.
+  ExpectInstanceColumnarMatchesScalar("ZSTREAM", PatternFamily::kSequence, 4,
+                                      95, 1.0, SelectionStrategy::kSkipTillNext,
+                                      Kernel::kForbidden);
+}
+
+TEST_F(InstanceColumnarEquivalenceTest, NestedDisjunctionDnf) {
+  // Disjunction lowers to a DNF multi-engine; every sub-engine gets its
+  // own tree plan and instance stores, all draining one shared sink.
+  PatternGenConfig pg;
+  pg.family = PatternFamily::kDisjunction;
+  pg.size = 3;
+  pg.window = 1.0;
+  pg.seed = 101;
+  std::vector<SimplePattern> subpatterns = GeneratePattern(*universe_, pg);
+  ASSERT_GT(subpatterns.size(), 1u);
+  std::vector<EnginePlan> plans;
+  for (const SimplePattern& sub : subpatterns) {
+    CostFunction cost =
+        MakeCostFunction(sub, collector_->CollectForPattern(sub), 0.0);
+    plans.push_back(MakePlan("DP-B", cost).value());
+  }
+
+  auto feed = [&](bool columnar, size_t batch_size) {
+    ColumnarSwitch guard(columnar);
+    CollectingSink sink;
+    std::unique_ptr<Engine> engine = BuildDnfEngine(subpatterns, plans, &sink);
+    return Drain(engine.get(), &sink, batch_size);
+  };
+
+  FeedResult scalar = feed(/*columnar=*/false, 64);
+  ASSERT_GT(scalar.emission_order.size(), 0u);
+  EXPECT_EQ(scalar.counters.instance_kernel_lanes, 0u);
+  for (size_t batch_size : {1u, 7u, 1024u}) {
+    SCOPED_TRACE("batch_size=" + std::to_string(batch_size));
+    FeedResult columnar = feed(/*columnar=*/true, batch_size);
+    EXPECT_EQ(columnar.emission_order, scalar.emission_order);
+    ExpectCountersEqual(columnar.counters, scalar.counters);
+    EXPECT_GT(columnar.counters.instance_kernel_lanes, 0u);
+  }
+}
+
+TEST_F(InstanceColumnarEquivalenceTest, ShardedRuntimeTreeEngines) {
+  // Tree engines behind the sharded runtime: the seed sequence is the
+  // scalar interpreter on one thread; every (columnar, threads, batch)
+  // combination must drain the identical match sequence with identical
+  // summed counters, and the summed kernel counters must be positive
+  // exactly on the columnar runs.
+  KeyedWorkload workload = MakeKeyedWorkload(8, 6.0, 11);
+
+  auto run = [&](bool columnar, size_t threads, size_t batch_size) {
+    ColumnarSwitch guard(columnar);
+    CollectingSink sink;
+    ShardedOptions options;
+    options.num_threads = threads;
+    options.batch_size = batch_size;
+    ShardedRuntime runtime(workload.pattern, workload.stream,
+                           workload.registry.size(), "DP-B", &sink, options);
+    runtime.ProcessStream(workload.stream);
+    runtime.Finish();
+    FeedResult result;
+    for (const Match& m : sink.matches) {
+      result.emission_order.push_back(m.Fingerprint());
+    }
+    result.counters = runtime.TotalCounters();
+    return result;
+  };
+
+  FeedResult scalar = run(/*columnar=*/false, 1, 64);
+  ASSERT_GT(scalar.emission_order.size(), 0u);
+  EXPECT_EQ(scalar.counters.instance_kernel_lanes, 0u);
+  for (size_t batch_size : {1u, 7u, 1024u}) {
+    uint64_t single_thread_lanes = 0;
+    for (size_t threads : {1u, 2u, 4u}) {
+      SCOPED_TRACE("threads=" + std::to_string(threads) +
+                   " batch=" + std::to_string(batch_size));
+      FeedResult columnar = run(/*columnar=*/true, threads, batch_size);
+      EXPECT_EQ(columnar.emission_order, scalar.emission_order);
+      EXPECT_EQ(columnar.counters.events_processed,
+                scalar.counters.events_processed);
+      EXPECT_EQ(columnar.counters.matches_emitted,
+                scalar.counters.matches_emitted);
+      EXPECT_EQ(columnar.counters.instances_created,
+                scalar.counters.instances_created);
+      EXPECT_EQ(columnar.counters.predicate_evals,
+                scalar.counters.predicate_evals);
+      EXPECT_GT(columnar.counters.instance_kernel_lanes, 0u);
+      // Partition sub-streams are disjoint, so lane totals are
+      // thread-count invariant in columnar mode.
+      if (threads == 1) {
+        single_thread_lanes = columnar.counters.instance_kernel_lanes;
+      } else {
+        EXPECT_EQ(columnar.counters.instance_kernel_lanes,
+                  single_thread_lanes);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cepjoin
