@@ -206,6 +206,15 @@ Status CepService::ValidateSpec(const QuerySpec& spec) const {
   }
   if (spec.simple().has_value()) {
     const SimplePattern& pattern = *spec.simple();
+    if (pattern.delta_input() &&
+        pattern.strategy() != SelectionStrategy::kSkipTillAny) {
+      return Status::InvalidArgument(
+          label + " sets WithDeltaInput under " +
+          SelectionStrategyName(pattern.strategy()) +
+          "; retractions are only defined for skip-till-any (pruning "
+          "strategies make the surviving match set depend on events that "
+          "may later be retracted)");
+    }
     if (options_.num_types > 0 &&
         MaxTypeId(pattern) >= static_cast<int64_t>(options_.num_types)) {
       return Status::InvalidArgument(
@@ -348,6 +357,9 @@ void CepService::SyncInlineKernelCounters(QueryState& state) {
   SyncCounterDelta(state.metrics->instance_kernel_blocks,
                    current.instance_kernel_blocks,
                    &state.kernel_blocks_reported);
+  SyncCounterDelta(state.metrics->retractions_total,
+                   current.retractions_processed,
+                   &state.retractions_reported);
 }
 
 void CepService::FinishInlineQuery(QueryState& state) {

@@ -256,6 +256,9 @@ class CepService {
     /// queries sync on the worker threads instead.
     uint64_t kernel_lanes_reported = 0;
     uint64_t kernel_blocks_reported = 0;
+    /// Watermark of retractions_processed already folded into
+    /// cep_query_retractions_total; same delta-sync discipline.
+    uint64_t retractions_reported = 0;
   };
 
   explicit CepService(const ServiceOptions& options);

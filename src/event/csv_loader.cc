@@ -15,6 +15,10 @@ namespace cepjoin {
 CsvLoadResult LoadCsvStream(std::istream& input, EventTypeRegistry* registry) {
   CsvLoadResult result;
   StreamingCsvSource source(&input, registry);
+  // A polarity-declaring header turns the stream into a delta stream;
+  // Append then resolves each (source-validated) retraction to the
+  // serial of the insertion it cancels.
+  if (source.declares_retractions()) result.stream.EnableRetractions();
   Event e;
   while (source.Next(&e)) {
     result.stream.Append(std::move(e));

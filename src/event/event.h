@@ -22,14 +22,29 @@ struct Event {
   EventSerial serial = 0;
   /// Partition this event belongs to (used by partition contiguity).
   uint32_t partition = 0;
+  /// Delta polarity: +1 inserts the event, -1 retracts a previously
+  /// inserted event of the same (type, partition) occurring at
+  /// `target_ts`. Insert-only streams never look at this field (it sits
+  /// in struct padding, so it is free to carry).
+  int8_t polarity = 1;
   /// Arrival position within the partition (0-based, per-partition dense).
   EventSerial partition_seq = 0;
-  /// Occurrence timestamp in seconds. Streams are ordered by `ts`.
+  /// Occurrence timestamp in seconds. Streams are ordered by `ts`. For a
+  /// retraction this is its *arrival* timestamp (>= target_ts); the
+  /// retracted occurrence is identified by `target_ts`.
   Timestamp ts = 0.0;
+  /// Retractions only: occurrence timestamp of the insertion being
+  /// retracted. Together with (type, partition) this keys the target.
+  Timestamp target_ts = 0.0;
+  /// Retractions only: serial of the retracted insertion, resolved by
+  /// the layer that assigns serials (EventStream::Append or the ingest
+  /// merge) via RetractionLedger. Zero until resolved.
+  EventSerial target_serial = 0;
   /// Attribute values, positionally matching the type's schema.
   AttrVec attrs;
 
   double Attr(AttrId id) const { return attrs[id]; }
+  bool IsRetraction() const { return polarity < 0; }
 };
 
 using EventPtr = std::shared_ptr<const Event>;

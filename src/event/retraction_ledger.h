@@ -1,0 +1,98 @@
+#ifndef CEPJOIN_EVENT_RETRACTION_LEDGER_H_
+#define CEPJOIN_EVENT_RETRACTION_LEDGER_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "event/event.h"
+
+namespace cepjoin {
+
+/// Tracks live insertions of a delta stream so a retraction can be
+/// resolved to the serial of the insertion it cancels. Owned by whoever
+/// assigns serials — EventStream::Append for materialized streams, the
+/// ingest merge for streamed sources — and, with dummy serials, by the
+/// CSV sources for input validation before serials exist.
+///
+/// A retraction identifies its target by (type, partition, target_ts);
+/// the ledger maps that key to the stack of still-live serials carrying
+/// it. Duplicate keys (two live insertions of the same type, partition
+/// and timestamp) resolve last-in-first-out, which is deterministic and
+/// matches the "retract the most recent occurrence" reading; real
+/// streams with real-valued timestamps essentially never hit this case.
+class RetractionLedger {
+ public:
+  /// Registers a live insertion. Call with every polarity=+1 event, in
+  /// stream order.
+  void RecordInsert(const Event& e) {
+    live_[Key(e.type, e.partition, e.ts)].push_back(e.serial);
+  }
+
+  /// Resolves a retraction against the live set: fills r->target_serial
+  /// with the serial of the (most recent) live insertion of
+  /// (r->type, r->partition, r->target_ts) and removes it from the
+  /// ledger. Fails if no such insertion is live — i.e. it was never
+  /// inserted, or was already retracted.
+  Status Resolve(Event* r) {
+    auto it = live_.find(Key(r->type, r->partition, r->target_ts));
+    if (it == live_.end() || it->second.empty()) {
+      return Status::InvalidArgument(
+          "retraction targets no live insertion (type " +
+          std::to_string(r->type) + ", partition " +
+          std::to_string(r->partition) + ", ts " +
+          std::to_string(r->target_ts) +
+          "): never inserted or already retracted");
+    }
+    r->target_serial = it->second.back();
+    it->second.pop_back();
+    if (it->second.empty()) live_.erase(it);
+    return Status::Ok();
+  }
+
+  size_t live_keys() const { return live_.size(); }
+
+ private:
+  /// Timestamps key by exact bit pattern — a retraction must quote the
+  /// insertion's timestamp verbatim, never a recomputed approximation.
+  static uint64_t TsBits(Timestamp ts) {
+    uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(ts), "Timestamp must be 64-bit");
+    std::memcpy(&bits, &ts, sizeof(bits));
+    return bits;
+  }
+  struct KeyT {
+    TypeId type;
+    uint32_t partition;
+    uint64_t ts_bits;
+    bool operator==(const KeyT& o) const {
+      return type == o.type && partition == o.partition &&
+             ts_bits == o.ts_bits;
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const KeyT& k) const {
+      uint64_t h = k.ts_bits;
+      h ^= (static_cast<uint64_t>(k.type) << 32) ^ k.partition;
+      // 64-bit mix (splitmix64 finalizer).
+      h ^= h >> 30;
+      h *= 0xbf58476d1ce4e5b9ULL;
+      h ^= h >> 27;
+      h *= 0x94d049bb133111ebULL;
+      h ^= h >> 31;
+      return static_cast<size_t>(h);
+    }
+  };
+  static KeyT Key(TypeId type, uint32_t partition, Timestamp ts) {
+    return KeyT{type, partition, TsBits(ts)};
+  }
+
+  std::unordered_map<KeyT, std::vector<EventSerial>, KeyHash> live_;
+};
+
+}  // namespace cepjoin
+
+#endif  // CEPJOIN_EVENT_RETRACTION_LEDGER_H_

@@ -12,12 +12,30 @@ void EventStream::Append(Event e) {
         << "streams must be appended in timestamp order";
   }
   e.serial = static_cast<EventSerial>(events_.size());
-  e.partition_seq = partition_seq_.Next(e.partition);
-  if (e.type >= type_counts_.size()) {
-    type_counts_.resize(e.type + 1, 0);
+  if (e.IsRetraction()) {
+    CEPJOIN_CHECK(retractions_enabled())
+        << "retraction appended to a stream without EnableRetractions()";
+    // A retraction is a command about an earlier insertion, not an
+    // occurrence: it takes a stream slot (serial) for deterministic
+    // ordering, but does not advance the partition sequencer or the
+    // type counts. Sources validate untrusted input first, so a
+    // resolution failure here is a programmer error.
+    e.partition_seq = 0;
+    Status resolved = ledger_->Resolve(&e);
+    CEPJOIN_CHECK(resolved.ok()) << resolved.message();
+  } else {
+    e.partition_seq = partition_seq_.Next(e.partition);
+    if (e.type >= type_counts_.size()) {
+      type_counts_.resize(e.type + 1, 0);
+    }
+    ++type_counts_[e.type];
+    if (ledger_ != nullptr) ledger_->RecordInsert(e);
   }
-  ++type_counts_[e.type];
   events_.push_back(arena_.Add(std::move(e)));
+}
+
+void EventStream::EnableRetractions() {
+  if (ledger_ == nullptr) ledger_ = std::make_unique<RetractionLedger>();
 }
 
 Timestamp EventStream::end_ts() const {

@@ -1,11 +1,13 @@
 #ifndef CEPJOIN_EVENT_STREAM_H_
 #define CEPJOIN_EVENT_STREAM_H_
 
+#include <memory>
 #include <vector>
 
 #include "event/arena.h"
 #include "event/event.h"
 #include "event/partition_sequencer.h"
+#include "event/retraction_ledger.h"
 
 namespace cepjoin {
 
@@ -19,8 +21,21 @@ class EventStream {
   EventStream() = default;
 
   /// Appends an event. `e.ts` must be >= the previous event's timestamp;
-  /// serial and per-partition sequence numbers are assigned here.
+  /// serial and per-partition sequence numbers are assigned here. With
+  /// retractions enabled, a polarity=-1 event has its target_serial
+  /// resolved here against the stream's own insertions; appending a
+  /// retraction that targets no live insertion is a programmer error
+  /// (CHECK) — sources validate untrusted input with Status before it
+  /// reaches the stream.
   void Append(Event e);
+
+  /// Opts this stream into ± delta semantics. Must be called before the
+  /// first retraction is appended; inserts appended earlier are NOT
+  /// retractable (the ledger only sees appends made after the call), so
+  /// call it before the first Append. Insert-only streams never pay for
+  /// the ledger.
+  void EnableRetractions();
+  bool retractions_enabled() const { return ledger_ != nullptr; }
 
   const std::vector<EventPtr>& events() const { return events_; }
   size_t size() const { return events_.size(); }
@@ -35,12 +50,16 @@ class EventStream {
   Timestamp Duration() const;
 
   /// Number of events of each type (indexed by TypeId; grows as needed).
+  /// Counts insertions only: a retraction is a command about an earlier
+  /// event, not an occurrence, so it must not skew type rates.
   const std::vector<size_t>& type_counts() const { return type_counts_; }
 
  private:
   std::vector<EventPtr> events_;
   std::vector<size_t> type_counts_;
   PartitionSequencer partition_seq_;
+  /// Present only after EnableRetractions().
+  std::unique_ptr<RetractionLedger> ledger_;
   /// Events are arena-allocated: contiguous blocks, one shared control
   /// block per EventArena block instead of one heap Event per append.
   EventArena arena_;

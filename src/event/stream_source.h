@@ -37,6 +37,13 @@ class StreamSource {
 
   /// Describes the failure when !ok(); empty otherwise.
   virtual std::string error() const = 0;
+
+  /// True iff this source may emit polarity=-1 events. The ingest merge
+  /// checks it once up front: any declaring source makes the merge
+  /// maintain a RetractionLedger over ALL merged insertions (retraction
+  /// targets are resolved against the recombined stream, so they may
+  /// cross sources). Insert-only pipelines skip the ledger entirely.
+  virtual bool declares_retractions() const { return false; }
 };
 
 /// Replays an in-memory EventStream (or an offset/stride slice of one)
@@ -65,14 +72,23 @@ class EventStreamSource : public StreamSource {
     // allocation; spilled schemas reuse `out`'s existing heap block
     // across Next() calls.
     out->attrs = e.attrs;
+    out->polarity = e.polarity;
+    out->target_ts = e.target_ts;
+    // The merge reassigns serials, so a replayed retraction's target
+    // must be re-resolved there from (type, partition, target_ts) — the
+    // materialized stream's target_serial is meaningless downstream.
     out->serial = 0;
     out->partition_seq = 0;
+    out->target_serial = 0;
     next_ += stride_;
     return true;
   }
 
   bool ok() const override { return true; }
   std::string error() const override { return {}; }
+  bool declares_retractions() const override {
+    return stream_->retractions_enabled();
+  }
 
  private:
   const EventStream* stream_;

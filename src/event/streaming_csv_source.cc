@@ -38,14 +38,21 @@ StreamingCsvSource::StreamingCsvSource(std::istream* input,
     : input_(input),
       registry_(registry),
       mutable_registry_(registry),
-      previous_ts_(-std::numeric_limits<double>::infinity()) {}
+      previous_ts_(-std::numeric_limits<double>::infinity()) {
+  // Eager: declares_retractions() must be answerable before the first
+  // Next() (the ingest merge decides up front whether to keep a
+  // ledger). A bad header simply fails the source at construction.
+  ParseHeader();
+}
 
 StreamingCsvSource::StreamingCsvSource(std::istream* input,
                                        const EventTypeRegistry* registry)
     : input_(input),
       registry_(registry),
       mutable_registry_(nullptr),
-      previous_ts_(-std::numeric_limits<double>::infinity()) {}
+      previous_ts_(-std::numeric_limits<double>::infinity()) {
+  ParseHeader();
+}
 
 bool StreamingCsvSource::Fail(const std::string& message) {
   ok_ = false;
@@ -99,7 +106,36 @@ bool StreamingCsvSource::ParseHeader() {
     return Fail("header must contain at least type,ts,partition");
   }
   header_cells_ = header.size();
-  attribute_names_.assign(header.begin() + 3, header.end());
+  attr_cells_end_ = header.size();
+  // The reserved delta columns are recognized at the tail of the header
+  // only: `...,polarity` or `...,polarity,retract_ts`.
+  if (header.back() == "retract_ts") {
+    if (header.size() < 5 || header[header.size() - 2] != "polarity") {
+      return Fail(
+          "a retract_ts column must directly follow a polarity column");
+    }
+    has_polarity_ = true;
+    has_retract_ts_ = true;
+    polarity_cell_ = header.size() - 2;
+    retract_ts_cell_ = header.size() - 1;
+    attr_cells_end_ = header.size() - 2;
+  } else if (header.back() == "polarity") {
+    has_polarity_ = true;
+    polarity_cell_ = header.size() - 1;
+    attr_cells_end_ = header.size() - 1;
+  }
+  for (size_t i = 3; i < attr_cells_end_; ++i) {
+    // Non-trailing occurrences would be ambiguous with attributes of
+    // the same name; strictness beats silently treating a delta column
+    // as a payload value.
+    if (header[i] == "polarity" || header[i] == "retract_ts") {
+      return Fail("reserved column '" + header[i] +
+                  "' must be the last header column (optionally followed "
+                  "by retract_ts)");
+    }
+  }
+  attribute_names_.assign(header.begin() + 3,
+                          header.begin() + attr_cells_end_);
   header_parsed_ = true;
   return true;
 }
@@ -139,15 +175,50 @@ bool StreamingCsvSource::Next(Event* out) {
     out->partition = static_cast<uint32_t>(partition);
     out->attrs.clear();
     out->attrs.reserve(attribute_names_.size());
-    for (size_t i = 3; i < cells.size(); ++i) {
+    for (size_t i = 3; i < attr_cells_end_; ++i) {
       double value = 0.0;
       if (!ParseDouble(cells[i], &value)) {
         return Fail("bad attribute value '" + cells[i] + "'");
       }
       out->attrs.push_back(value);
     }
+    out->polarity = 1;
+    out->target_ts = 0.0;
+    if (has_polarity_) {
+      const std::string& pol = cells[polarity_cell_];
+      if (pol == "1" || pol == "+1") {
+        out->polarity = 1;
+      } else if (pol == "-1") {
+        out->polarity = -1;
+      } else {
+        return Fail("bad polarity '" + pol + "' (must be +1, 1, or -1)");
+      }
+      if (out->polarity > 0) {
+        if (has_retract_ts_ && !cells[retract_ts_cell_].empty()) {
+          return Fail("insert rows must leave retract_ts empty, got '" +
+                      cells[retract_ts_cell_] + "'");
+        }
+        validation_ledger_.RecordInsert(*out);
+      } else {
+        out->target_ts = out->ts;
+        if (has_retract_ts_ && !cells[retract_ts_cell_].empty()) {
+          if (!ParseDouble(cells[retract_ts_cell_], &out->target_ts) ||
+              !std::isfinite(out->target_ts)) {
+            return Fail("bad retract_ts '" + cells[retract_ts_cell_] + "'");
+          }
+          if (out->target_ts > out->ts) {
+            return Fail("retract_ts must not exceed the row's own ts");
+          }
+        }
+        // Source-local key validation; the serial-assigning layer
+        // resolves the real target downstream.
+        Status resolved = validation_ledger_.Resolve(out);
+        if (!resolved.ok()) return Fail(resolved.message());
+      }
+    }
     out->serial = 0;
     out->partition_seq = 0;
+    out->target_serial = 0;
     return true;
   }
   done_ = true;

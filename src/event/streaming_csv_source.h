@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "event/event_type.h"
+#include "event/retraction_ledger.h"
 #include "event/stream_source.h"
 
 namespace cepjoin {
@@ -23,6 +24,24 @@ namespace cepjoin {
 /// Rows must have finite, non-decreasing timestamps and an integral
 /// partition id in [0, UINT32_MAX]; any violation ends the stream with
 /// ok() == false and an error naming the line.
+///
+/// Delta streams: the header may end with the reserved columns
+/// `polarity` and (optionally, directly after it) `retract_ts`:
+///
+///   type,ts,partition,attr1,polarity,retract_ts
+///   MSFT,0.125,0,101.5,+1,
+///   MSFT,2.5,0,0,-1,0.125
+///
+/// `polarity` must be +1/1 (insert) or -1 (retract); a retraction's
+/// `retract_ts` names the timestamp of the insertion being retracted
+/// (finite, <= the row's own ts; without a retract_ts column it
+/// defaults to the row's ts). Inserts must leave retract_ts empty.
+/// Validation is strict, mirroring the non-finite-timestamp hardening:
+/// any other polarity value, or a retraction of a (type, partition, ts)
+/// key this source never inserted (or already retracted), is a parse
+/// error naming the line — never undefined engine behavior. The header
+/// is parsed at construction so declares_retractions() is valid before
+/// the first Next().
 ///
 /// Registry modes:
 ///  - mutable registry: types are registered on first sight with the
@@ -49,6 +68,8 @@ class StreamingCsvSource : public StreamSource {
   bool Next(Event* out) override;
   bool ok() const override { return ok_; }
   std::string error() const override { return error_; }
+  /// True iff the header declares the reserved `polarity` column.
+  bool declares_retractions() const override { return has_polarity_; }
 
   /// Line the parser stopped on; names the offending line after a
   /// failure.
@@ -68,12 +89,23 @@ class StreamingCsvSource : public StreamSource {
   std::vector<std::string> attribute_names_;
   std::vector<char> schema_checked_;  // indexed by TypeId
   size_t header_cells_ = 0;
+  /// One past the last attribute cell: header_cells_ minus the reserved
+  /// polarity/retract_ts columns.
+  size_t attr_cells_end_ = 0;
+  size_t polarity_cell_ = 0;
+  size_t retract_ts_cell_ = 0;
   size_t line_number_ = 0;
   double previous_ts_;
+  bool has_polarity_ = false;
+  bool has_retract_ts_ = false;
   bool header_parsed_ = false;
   bool done_ = false;
   bool ok_ = true;
   std::string error_;
+  /// Source-local validation of retraction keys (dummy serials): bad
+  /// input fails here with a line number instead of reaching the
+  /// serial-assigning layer's CHECK. Empty for insert-only files.
+  RetractionLedger validation_ledger_;
 };
 
 namespace internal {

@@ -49,6 +49,11 @@ NfaEngine::NfaEngine(const SimplePattern& pattern, const OrderPlan& plan,
     checks_at_state_[ready].push_back(&neg);
   }
   next_match_ = cp_.strategy() == SelectionStrategy::kSkipTillNext;
+  track_deltas_ = cp_.delta_input();
+  CEPJOIN_CHECK(!track_deltas_ ||
+                cp_.strategy() == SelectionStrategy::kSkipTillAny)
+      << "delta input requires skip-till-any: retraction semantics under "
+         "skip-till-next/contiguity pruning are undefined";
   use_columnar_ = ColumnarKernelsEnabled() && !next_match_;
   // Column mirrors cost an append per field; keep them only where the
   // run kernels will read them — positive positions' creation scans.
@@ -131,6 +136,14 @@ void NfaEngine::ProcessEvent(const EventPtr& e) {
   now_ = e->ts;
   current_serial_ = e->serial;
   if (++events_since_sweep_ >= kSweepEvery) Sweep();
+  if (e->IsRetraction()) {
+    // A retraction advances time (matches whose trailing window closed
+    // before it are now final and revocable), but it is a command, not
+    // an occurrence: it never buffers, extends, or negates.
+    ProcessPendingDeadlines(*e);
+    ProcessRetraction(*e);
+    return;
+  }
   ProcessPending(*e);
   BufferEvent(e);
   ExtendWithArrival(e);
@@ -138,24 +151,29 @@ void NfaEngine::ProcessEvent(const EventPtr& e) {
 
 void NfaEngine::Finish() {
   for (PendingMatch& p : pending_) {
-    EmitMatch(std::move(p.match));
+    EmitMatch(std::move(p.match), p.max_ts);
   }
   pending_.clear();
 }
 
-void NfaEngine::ProcessPending(const Event& e) {
+void NfaEngine::ProcessPendingDeadlines(const Event& e) {
   if (pending_.empty()) return;
   // Emit matches whose trailing window closed strictly before `e`.
   size_t keep = 0;
   for (size_t i = 0; i < pending_.size(); ++i) {
     if (pending_[i].deadline < e.ts) {
-      EmitMatch(std::move(pending_[i].match));
+      EmitMatch(std::move(pending_[i].match), pending_[i].max_ts);
     } else {
       if (keep != i) pending_[keep] = std::move(pending_[i]);
       ++keep;
     }
   }
   pending_.resize(keep);
+}
+
+void NfaEngine::ProcessPending(const Event& e) {
+  if (pending_.empty()) return;
+  ProcessPendingDeadlines(e);
   // Kill survivors that `e` invalidates.
   for (const NegationSpec* neg : trailing_checks_) {
     if (cp_.pos_type(neg->neg_pos) != e.type) continue;
@@ -175,6 +193,83 @@ void NfaEngine::ProcessPending(const Event& e) {
     }
     pending_.resize(kept);
   }
+}
+
+void NfaEngine::RemoveFromBuffer(ColumnBuffer* buffer, EventSerial serial) {
+  const size_t n = buffer->size();
+  size_t hit = n;
+  for (size_t i = 0; i < n; ++i) {
+    if ((*buffer)[i]->serial == serial) {
+      hit = i;
+      break;  // serials are unique
+    }
+  }
+  if (hit == n) return;
+  counters_.RemoveBuffered(BufferedEventBytes(*buffer, *(*buffer)[hit]));
+  std::vector<uint8_t> keep(n, 1);
+  keep[hit] = 0;
+  buffer->Filter(keep);
+}
+
+void NfaEngine::ProcessRetraction(const Event& r) {
+  CEPJOIN_CHECK(track_deltas_)
+      << "retraction fed to an engine whose pattern lacks WithDeltaInput()";
+  ++counters_.retractions_processed;
+  const EventSerial target = r.target_serial;
+  // Window/negation buffers: the retracted event is buffered at every
+  // position of its type that its unary predicate admitted — the same
+  // set BufferEvent appended to. Exact byte refund, mirrors in lockstep.
+  for (int pos : cp_.positions_of_type(r.type)) {
+    RemoveFromBuffer(&buffers_[pos], target);
+  }
+  // Partial matches bound to the retracted event die. Husks stay for the
+  // next Sweep, exactly like skip-till-next's MarkDead — the NFA scans
+  // buffers, not instance lists, on its columnar path, so dead entries
+  // are safe to leave behind.
+  for (size_t s = 0; s < by_state_.size(); ++s) {
+    std::vector<Instance>& list = by_state_[s];
+    for (size_t i = 0; i < list.size(); ++i) {
+      const Instance& inst = list[i];
+      if (inst.dead) continue;
+      bool contains = false;
+      for (const EventPtr& used : inst.events) {
+        if (used->serial == target) {
+          contains = true;
+          break;
+        }
+      }
+      if (!contains) {
+        for (const EventPtr& used : inst.kleene_extra) {
+          if (used->serial == target) {
+            contains = true;
+            break;
+          }
+        }
+      }
+      if (contains) MarkDead(static_cast<int>(s), i);
+    }
+  }
+  // Pending (trailing-negation) matches containing the event were never
+  // emitted: discard silently, nothing to revoke.
+  size_t keep = 0;
+  for (size_t i = 0; i < pending_.size(); ++i) {
+    if (!MatchContainsSerial(pending_[i].match, target)) {
+      if (keep != i) pending_[keep] = std::move(pending_[i]);
+      ++keep;
+    }
+  }
+  pending_.resize(keep);
+  // Previously emitted matches revoke in their original emission order.
+  keep = 0;
+  for (size_t i = 0; i < emitted_.size(); ++i) {
+    if (MatchContainsSerial(emitted_[i].match, target)) {
+      EmitRevocation(std::move(emitted_[i].match));
+    } else {
+      if (keep != i) emitted_[keep] = std::move(emitted_[i]);
+      ++keep;
+    }
+  }
+  emitted_.resize(keep);
 }
 
 void NfaEngine::BufferEvent(const EventPtr& e) {
@@ -472,12 +567,32 @@ void NfaEngine::Complete(const Instance& inst) {
     pending_.push_back(std::move(pending));
     return;
   }
-  EmitMatch(std::move(match));
+  EmitMatch(std::move(match), inst.max_ts);
 }
 
-void NfaEngine::EmitMatch(Match match) {
+void NfaEngine::EmitMatch(Match match, Timestamp max_ts) {
   match.emit_serial = current_serial_;
   ++counters_.matches_emitted;
+  // The sink reads the match while it is hot, then the match moves into
+  // the revocation log (the engine is single-threaded, so a retraction
+  // can only arrive after OnMatch returns — log-after-emit is safe).
+  // No per-match allocations in delta mode beyond the log append.
+  sink_->OnMatch(match);
+  if (track_deltas_) emitted_.push_back(EmittedMatch{std::move(match), max_ts});
+}
+
+void NfaEngine::EmitRevocation(Match match) {
+  match.polarity = -1;
+  // The revocation's emit position is the retraction being processed;
+  // it is strictly greater than the original match's emit_serial, which
+  // is what lets the concurrent sink's (emit_serial, partition) sort
+  // drain revocations after their matches at any thread count.
+  match.emit_serial = current_serial_;
+  match.latency_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    arrival_start_)
+          .count();
+  ++counters_.matches_revoked;
   sink_->OnMatch(match);
 }
 
@@ -519,6 +634,22 @@ void NfaEngine::Sweep() {
       ++keep;
     }
     list.resize(keep);
+  }
+  if (track_deltas_ && emitted_.size() >= emitted_scan_threshold_) {
+    // Every event of a logged match has ts <= max_ts, so once max_ts
+    // leaves the window no in-window retraction can target the match:
+    // safe to forget. (Retracting an out-of-window event is a no-op by
+    // contract.) Scanning only after the log doubles keeps eviction
+    // amortized O(1) per match instead of O(log size) per sweep.
+    size_t keep = 0;
+    for (size_t i = 0; i < emitted_.size(); ++i) {
+      if (emitted_[i].max_ts >= horizon) {
+        if (keep != i) emitted_[keep] = std::move(emitted_[i]);
+        ++keep;
+      }
+    }
+    emitted_.resize(keep);
+    emitted_scan_threshold_ = std::max<size_t>(64, emitted_.size() * 2);
   }
   counters_.UpdatePeakBytes();
 }

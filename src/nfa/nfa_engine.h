@@ -83,6 +83,15 @@ class NfaEngine : public Engine {
     Timestamp deadline = 0.0;
   };
 
+  /// Delta input only: an emitted match kept revocable while any of its
+  /// events can still be retracted. Evicted once max_ts leaves the
+  /// window — every event of the match has ts <= max_ts, so an
+  /// in-window retraction target implies max_ts is in window too.
+  struct EmittedMatch {
+    Match match;
+    Timestamp max_ts = 0.0;
+  };
+
   // --- construction-time topology ---
   int NumSteps() const { return plan_.size(); }
   int StepPos(int step) const { return step_pos_[step]; }
@@ -91,6 +100,19 @@ class NfaEngine : public Engine {
   /// OnEvent minus the latency clock read (hoisted per batch by OnBatch).
   void ProcessEvent(const EventPtr& e);
   void ProcessPending(const Event& e);
+  /// The deadline-emission half of ProcessPending: emits pending matches
+  /// whose trailing window closed strictly before `e`. Retractions run
+  /// only this half — a retraction is a command, not a negation
+  /// candidate.
+  void ProcessPendingDeadlines(const Event& e);
+  /// Consumes one polarity=-1 event: drops the retracted event from the
+  /// window/negation buffers, kills every partial match bound to it,
+  /// discards pending (never-emitted) matches containing it, and emits
+  /// revocations for previously emitted matches that do.
+  void ProcessRetraction(const Event& r);
+  /// Removes the row with `serial` from `buffer` (columns in lockstep),
+  /// refunding its exact buffered bytes. No-op if absent.
+  void RemoveFromBuffer(ColumnBuffer* buffer, EventSerial serial);
   void BufferEvent(const EventPtr& e);
   void ExtendWithArrival(const EventPtr& e);
   /// Runs ready negation checks, stores the instance, performs creation
@@ -111,7 +133,10 @@ class NfaEngine : public Engine {
   void CreationScanColumnar(const Instance& parent, int state);
   bool RunNegationChecks(const Instance& inst, int state);
   void Complete(const Instance& inst);
-  void EmitMatch(Match match);
+  /// `max_ts` is the match's window upper edge, keyed by the revocation
+  /// log's eviction; unused (and uncopied) for insert-only patterns.
+  void EmitMatch(Match match, Timestamp max_ts);
+  void EmitRevocation(Match match);
   void Sweep();
 
   size_t StoreInstance(int state, Instance&& inst);
@@ -135,12 +160,21 @@ class NfaEngine : public Engine {
   std::vector<ColumnBuffer> buffers_;
   std::vector<std::vector<Instance>> by_state_;    // states 1..m (and m)
   std::vector<PendingMatch> pending_;
+  /// Revocation log, append-ordered; empty unless track_deltas_.
+  std::vector<EmittedMatch> emitted_;
+  /// Sweep evicts the log only once it grows past this (then re-arms at
+  /// 2x the surviving size), so eviction is amortized O(1) per match.
+  size_t emitted_scan_threshold_ = 64;
 
   Timestamp now_ = 0.0;
   EventSerial current_serial_ = 0;
   std::chrono::steady_clock::time_point arrival_start_{};
   uint64_t events_since_sweep_ = 0;
   bool next_match_ = false;
+  /// pattern.delta_input(): accept retractions and log emitted matches
+  /// for revocation. Off (the default) costs insert-only streams one
+  /// predictable branch per event.
+  bool track_deltas_ = false;
   /// ColumnarKernelsEnabled() && !skip-till-next, fixed at construction;
   /// also decides which buffers keep column mirrors at all.
   bool use_columnar_ = true;

@@ -21,6 +21,10 @@ QueryMetrics::QueryMetrics(MetricsRegistry* registry, MetricLabels base_labels)
                                        base_labels_);
   matches_total = registry_->GetCounter(metric_names::kQueryMatches,
                                         base_labels_);
+  retractions_total = registry_->GetCounter(metric_names::kQueryRetractions,
+                                            base_labels_);
+  revocations_total = registry_->GetCounter(metric_names::kQueryRevocations,
+                                            base_labels_);
   ingest_to_match_seconds = registry_->GetHistogram(
       metric_names::kIngestToMatchSeconds, base_labels_);
   detection_seconds = registry_->GetHistogram(metric_names::kDetectionSeconds,
@@ -72,6 +76,13 @@ ShardMetrics::ShardMetrics(MetricsRegistry* registry, size_t shard) {
 void RecordMatchMetrics(QueryMetrics* metrics, const Match& match,
                         std::chrono::steady_clock::time_point ingested_at) {
   if (metrics == nullptr) return;
+  if (match.IsRevocation()) {
+    // A revocation is counted but never contributes latency samples or
+    // last-position counts: those describe detections, and the detection
+    // it cancels already recorded them.
+    metrics->revocations_total->Inc();
+    return;
+  }
   metrics->matches_total->Inc();
   if (ingested_at.time_since_epoch().count() != 0) {
     // Sampled: the clock read dominates the per-match metrics cost, and

@@ -27,6 +27,8 @@ inline constexpr char kShardBatches[] = "cep_shard_batches_total";
 inline constexpr char kShardQueueDepth[] = "cep_shard_queue_depth";
 inline constexpr char kQueryEvents[] = "cep_query_events_total";
 inline constexpr char kQueryMatches[] = "cep_query_matches_total";
+inline constexpr char kQueryRetractions[] = "cep_query_retractions_total";
+inline constexpr char kQueryRevocations[] = "cep_query_revocations_total";
 inline constexpr char kIngestToMatchSeconds[] =
     "cep_query_ingest_to_match_seconds";
 inline constexpr char kDetectionSeconds[] = "cep_query_detection_seconds";
@@ -61,6 +63,12 @@ class QueryMetrics {
 
   Counter* events_total;
   Counter* matches_total;
+  /// Delta-input queries: retractions the engines consumed
+  /// (EngineCounters::retractions_processed, delta-synced) and match
+  /// revocations delivered to sinks. Net matches = matches_total -
+  /// revocations_total; both stay 0 on insert-only queries.
+  Counter* retractions_total;
+  Counter* revocations_total;
   Histogram* ingest_to_match_seconds;
   Histogram* detection_seconds;
   /// Lanes / 64-lane blocks the vectorized instance×instance combine

@@ -8,9 +8,26 @@
 #include "common/check.h"
 #include "event/arena.h"
 #include "event/partition_sequencer.h"
+#include "event/retraction_ledger.h"
 #include "obs/pipeline_metrics.h"
 
 namespace cepjoin {
+
+namespace {
+
+// Merge order of two heads with equal progress: earlier timestamp
+// first; at equal timestamps insertions merge before retractions (so a
+// retraction arriving at the exact timestamp of its insertion lands
+// after it and resolves); remaining ties fall to the caller's
+// ascending-index scan (lowest source/group index wins). Insert-only
+// streams have uniform polarity, so their order is bit-identical to the
+// pre-delta (ts, source index) rule.
+inline bool MergesBefore(const Event& a, const Event& b) {
+  if (a.ts != b.ts) return a.ts < b.ts;
+  return a.polarity > b.polarity;
+}
+
+}  // namespace
 
 IngestPipeline::IngestPipeline(
     std::vector<std::unique_ptr<StreamSource>> sources,
@@ -124,8 +141,11 @@ void IngestPipeline::IngestGroup(Group& group) {
   while (true) {
     size_t best = k;
     for (size_t i = 0; i < k; ++i) {
-      // Strict less-than: the lowest source index wins timestamp ties.
-      if (live[i] && (best == k || heads[i].ts < heads[best].ts)) best = i;
+      // Strict ordering: the lowest source index wins full ties (see
+      // MergesBefore for the timestamp/polarity rule).
+      if (live[i] && (best == k || MergesBefore(heads[i], heads[best]))) {
+        best = i;
+      }
     }
     if (best == k) break;  // every source exhausted
     chunk.events.push_back(std::move(heads[best]));
@@ -200,6 +220,17 @@ IngestResult IngestPipeline::Run(const RunConsumer& consume) {
   // Merged events are arena-built: the consumer's runs point into
   // contiguous blocks, same layout as a materialized EventStream.
   EventArena arena;
+  // Delta streams: retraction targets are resolved against the merged
+  // order (serials only exist here), so the merge owns the ledger. Any
+  // declaring source turns it on for the whole merge — targets may
+  // cross sources. Insert-only pipelines never touch it.
+  std::unique_ptr<RetractionLedger> ledger;
+  for (const auto& source : sources_) {
+    if (source->declares_retractions()) {
+      ledger = std::make_unique<RetractionLedger>();
+      break;
+    }
+  }
 
   try {
     while (!failed) {
@@ -224,7 +255,8 @@ IngestResult IngestPipeline::Run(const RunConsumer& consume) {
         }
         const Event& head = cursor.chunk.events[cursor.pos];
         if (best == num_groups_ ||
-            head.ts < cursors[best].chunk.events[cursors[best].pos].ts) {
+            MergesBefore(head,
+                         cursors[best].chunk.events[cursors[best].pos])) {
           best = g;
         }
       }
@@ -235,7 +267,28 @@ IngestResult IngestPipeline::Run(const RunConsumer& consume) {
       // Same serial/sequence assignment as EventStream::Append, so the
       // merged sequence is indistinguishable from a materialized stream.
       e.serial = next_serial++;
-      e.partition_seq = partition_seq.Next(e.partition);
+      if (e.IsRetraction()) {
+        if (ledger == nullptr) {
+          result.error =
+              "retraction from a source that does not declare retractions";
+          failed = true;
+          continue;
+        }
+        // Like EventStream::Append: a retraction holds a serial but no
+        // partition sequence slot and no type count.
+        e.partition_seq = 0;
+        Status resolved = ledger->Resolve(&e);
+        if (!resolved.ok()) {
+          // Same contract as a source failure: the valid merged prefix
+          // stays delivered, the offending event is dropped.
+          result.error = resolved.message();
+          failed = true;
+          continue;
+        }
+      } else {
+        e.partition_seq = partition_seq.Next(e.partition);
+        if (ledger != nullptr) ledger->RecordInsert(e);
+      }
       if (!run.empty() && (run.back()->partition != e.partition ||
                            run.size() >= options_.chunk_size)) {
         flush_run();

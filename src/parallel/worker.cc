@@ -97,6 +97,9 @@ void ShardWorker::FinishQuery(uint64_t id, QueryState& state) {
       SyncCounterDelta(state.metrics->instance_kernel_blocks,
                        counters.instance_kernel_blocks,
                        &ps.kernel_blocks_reported);
+      SyncCounterDelta(state.metrics->retractions_total,
+                       counters.retractions_processed,
+                       &ps.retractions_reported);
     }
     ps.engine.reset();
     if (ps.memory != nullptr) ps.memory->Set(0.0);
@@ -161,6 +164,9 @@ void ShardWorker::Run() {
                 SyncCounterDelta(q.metrics->instance_kernel_blocks,
                                  counters.instance_kernel_blocks,
                                  &state.kernel_blocks_reported);
+                SyncCounterDelta(q.metrics->retractions_total,
+                                 counters.retractions_processed,
+                                 &state.retractions_reported);
               }
             }
           });

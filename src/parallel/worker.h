@@ -86,6 +86,9 @@ class ShardWorker {
     /// engine contributes growth deltas, synced per run and at finish.
     uint64_t kernel_lanes_reported = 0;
     uint64_t kernel_blocks_reported = 0;
+    /// Watermark of EngineCounters::retractions_processed already folded
+    /// into cep_query_retractions_total; same delta-sync discipline.
+    uint64_t retractions_reported = 0;
   };
   struct QueryState {
     const PartitionPlanner* planner = nullptr;

@@ -72,7 +72,15 @@ SimplePattern::SimplePattern(OperatorKind op, std::vector<EventSpec> events,
 }
 
 SimplePattern SimplePattern::WithStrategy(SelectionStrategy s) const {
-  return SimplePattern(op_, events_, conditions_, window_, s);
+  SimplePattern copy(op_, events_, conditions_, window_, s);
+  copy.delta_input_ = delta_input_;
+  return copy;
+}
+
+SimplePattern SimplePattern::WithDeltaInput(bool delta_input) const {
+  SimplePattern copy = *this;
+  copy.delta_input_ = delta_input;
+  return copy;
 }
 
 std::string SimplePattern::Describe(const EventTypeRegistry* registry) const {
@@ -170,8 +178,14 @@ PatternBuilder& PatternBuilder::WithStrategy(SelectionStrategy strategy) {
   return *this;
 }
 
+PatternBuilder& PatternBuilder::WithDeltaInput(bool delta_input) {
+  delta_input_ = delta_input;
+  return *this;
+}
+
 SimplePattern PatternBuilder::Build() const {
-  return SimplePattern(op_, events_, conditions_, window_, strategy_);
+  return SimplePattern(op_, events_, conditions_, window_, strategy_)
+      .WithDeltaInput(delta_input_);
 }
 
 }  // namespace cepjoin

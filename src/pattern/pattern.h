@@ -72,10 +72,22 @@ class SimplePattern {
   bool is_pure() const { return pure_; }
   bool has_kleene() const { return kleene_count_ > 0; }
 
+  /// True iff the pattern evaluates a ± delta stream: engines then track
+  /// emitted matches so a retraction can revoke them, and accept
+  /// polarity=-1 events. Insert-only patterns (the default) skip all of
+  /// that bookkeeping. Only skip-till-any patterns support delta input
+  /// (retraction semantics under skip-till-next/contiguity pruning are
+  /// undefined); engines CHECK this, CepService rejects it with a
+  /// Status.
+  bool delta_input() const { return delta_input_; }
+
   std::string Describe(const EventTypeRegistry* registry = nullptr) const;
 
   /// Returns a copy with a different strategy (used by benches).
   SimplePattern WithStrategy(SelectionStrategy s) const;
+
+  /// Returns a copy that expects (or stops expecting) delta input.
+  SimplePattern WithDeltaInput(bool delta_input = true) const;
 
  private:
   OperatorKind op_;
@@ -87,6 +99,7 @@ class SimplePattern {
   std::vector<int> negated_positions_;
   int kleene_count_ = 0;
   bool pure_ = true;
+  bool delta_input_ = false;
 };
 
 /// Fluent builder for SimplePattern, the main user entry point:
@@ -119,6 +132,7 @@ class PatternBuilder {
 
   PatternBuilder& Within(Timestamp window);
   PatternBuilder& WithStrategy(SelectionStrategy strategy);
+  PatternBuilder& WithDeltaInput(bool delta_input = true);
 
   SimplePattern Build() const;
 
@@ -132,6 +146,7 @@ class PatternBuilder {
   std::vector<ConditionPtr> conditions_;
   Timestamp window_ = 0.0;
   SelectionStrategy strategy_ = SelectionStrategy::kSkipTillAny;
+  bool delta_input_ = false;
 };
 
 }  // namespace cepjoin

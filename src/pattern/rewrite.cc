@@ -15,7 +15,8 @@ SimplePattern SeqToAnd(const SimplePattern& pattern) {
   }
   return SimplePattern(OperatorKind::kAnd, pattern.events(),
                        std::move(conditions), pattern.window(),
-                       pattern.strategy());
+                       pattern.strategy())
+      .WithDeltaInput(pattern.delta_input());
 }
 
 SimplePattern AddContiguityConditions(const SimplePattern& pattern,
@@ -38,7 +39,8 @@ SimplePattern AddContiguityConditions(const SimplePattern& pattern,
     }
   }
   return SimplePattern(pattern.op(), pattern.events(), std::move(conditions),
-                       pattern.window(), pattern.strategy());
+                       pattern.window(), pattern.strategy())
+      .WithDeltaInput(pattern.delta_input());
 }
 
 SimplePattern RewriteForPlanning(const SimplePattern& pattern,

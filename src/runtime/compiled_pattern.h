@@ -58,6 +58,7 @@ class CompiledPattern {
   OperatorKind op() const { return original_.op(); }
   Timestamp window() const { return original_.window(); }
   SelectionStrategy strategy() const { return original_.strategy(); }
+  bool delta_input() const { return original_.delta_input(); }
 
   int num_positions() const { return original_.size(); }
   int num_slots() const { return static_cast<int>(slot_to_pos_.size()); }

@@ -26,6 +26,12 @@ struct EngineCounters {
   /// run-at-a-time coverage of a workload is directly observable.
   uint64_t instance_kernel_lanes = 0;
   uint64_t instance_kernel_blocks = 0;
+  /// Delta processing (retractions): retraction events consumed, and
+  /// previously emitted matches revoked because a contributing event was
+  /// retracted. matches_emitted counts gross emissions; the net match
+  /// count of a delta stream is matches_emitted - matches_revoked.
+  uint64_t retractions_processed = 0;
+  uint64_t matches_revoked = 0;
 
   size_t live_instances = 0;
   size_t peak_live_instances = 0;
@@ -139,6 +145,8 @@ inline void EngineCounters::MergeDisjoint(const EngineCounters& other) {
   predicate_evals += other.predicate_evals;
   instance_kernel_lanes += other.instance_kernel_lanes;
   instance_kernel_blocks += other.instance_kernel_blocks;
+  retractions_processed += other.retractions_processed;
+  matches_revoked += other.matches_revoked;
   live_instances += other.live_instances;
   peak_live_instances += other.peak_live_instances;
   buffered_events += other.buffered_events;

@@ -27,15 +27,34 @@ struct Match {
   double latency_seconds = 0.0;
   /// Which DNF subpattern produced the match (0 for simple patterns).
   int subpattern = 0;
+  /// Delta polarity: +1 is a match, -1 a revocation of a previously
+  /// emitted match (same slots/Fingerprint, emitted when a contributing
+  /// event is retracted). Insert-only pipelines only ever see +1.
+  int8_t polarity = 1;
 
   /// Canonical identity of the match: sorted event serials per slot.
   /// Used for union/dedup across engines and in correctness tests.
+  /// Polarity is deliberately excluded: a revocation carries the same
+  /// fingerprint as the match it cancels.
   std::string Fingerprint() const;
+
+  bool IsRevocation() const { return polarity < 0; }
 
   /// Detection latency in number of events processed between the last
   /// contributing event's arrival and emission.
   uint64_t LatencyEvents() const { return emit_serial - last_event_serial; }
 };
+
+/// True iff any slot of the match binds the event with `serial`; the
+/// membership test engines run when a retraction must revoke matches.
+inline bool MatchContainsSerial(const Match& match, EventSerial serial) {
+  for (const auto& slot : match.slots) {
+    for (const EventPtr& e : slot) {
+      if (e->serial == serial) return true;
+    }
+  }
+  return false;
+}
 
 /// Receiver of full matches.
 class MatchSink {
@@ -59,6 +78,10 @@ class CollectingSink : public MatchSink {
 class CountingSink : public MatchSink {
  public:
   void OnMatch(const Match& match) override {
+    if (match.IsRevocation()) {
+      ++revoked;
+      return;
+    }
     ++count;
     latency_events_total += match.LatencyEvents();
     latency_seconds_total += match.latency_seconds;
@@ -76,6 +99,7 @@ class CountingSink : public MatchSink {
   }
 
   uint64_t count = 0;
+  uint64_t revoked = 0;
   uint64_t latency_events_total = 0;
   double latency_seconds_total = 0.0;
 };

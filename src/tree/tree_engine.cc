@@ -74,6 +74,11 @@ TreeEngine::TreeEngine(const SimplePattern& pattern, const TreePlan& plan,
   // Negation buffers are only ever iterated row-wise.
   for (auto& buffer : neg_buffers_) buffer.DisableColumns();
   next_match_ = cp_.strategy() == SelectionStrategy::kSkipTillNext;
+  track_deltas_ = cp_.delta_input();
+  CEPJOIN_CHECK(!track_deltas_ ||
+                cp_.strategy() == SelectionStrategy::kSkipTillAny)
+      << "delta input requires skip-till-any: retraction semantics under "
+         "skip-till-next/contiguity pruning are undefined";
   use_columnar_ = ColumnarKernelsEnabled() && !next_match_;
   // Non-Kleene leaves mirror their instance anchors attr-major; a Kleene
   // leaf buffers subsets (anchor + members), which are not single rows.
@@ -193,6 +198,14 @@ void TreeEngine::ProcessEvent(const EventPtr& e) {
   now_ = e->ts;
   current_serial_ = e->serial;
   if (++events_since_sweep_ >= kSweepEvery) Sweep();
+  if (e->IsRetraction()) {
+    // A retraction advances time (matches whose trailing window closed
+    // before it are now final and revocable), but it is a command, not
+    // an occurrence: it never buffers, combines, or negates.
+    ProcessPendingDeadlines(*e);
+    ProcessRetraction(*e);
+    return;
+  }
   ProcessPending(*e);
   BufferNegated(e);
   auto it = leaves_of_type_.find(e->type);
@@ -203,23 +216,28 @@ void TreeEngine::ProcessEvent(const EventPtr& e) {
 
 void TreeEngine::Finish() {
   for (PendingMatch& p : pending_) {
-    EmitMatch(std::move(p.match));
+    EmitMatch(std::move(p.match), p.max_ts);
   }
   pending_.clear();
 }
 
-void TreeEngine::ProcessPending(const Event& e) {
+void TreeEngine::ProcessPendingDeadlines(const Event& e) {
   if (pending_.empty()) return;
   size_t keep = 0;
   for (size_t i = 0; i < pending_.size(); ++i) {
     if (pending_[i].deadline < e.ts) {
-      EmitMatch(std::move(pending_[i].match));
+      EmitMatch(std::move(pending_[i].match), pending_[i].max_ts);
     } else {
       if (keep != i) pending_[keep] = std::move(pending_[i]);
       ++keep;
     }
   }
   pending_.resize(keep);
+}
+
+void TreeEngine::ProcessPending(const Event& e) {
+  if (pending_.empty()) return;
+  ProcessPendingDeadlines(e);
   for (const NegationSpec* neg : trailing_checks_) {
     if (cp_.pos_type(neg->neg_pos) != e.type) continue;
     if (!cp_.program().EvalUnary(neg->neg_pos, e,
@@ -238,6 +256,102 @@ void TreeEngine::ProcessPending(const Event& e) {
     }
     pending_.resize(kept);
   }
+}
+
+void TreeEngine::RemoveFromBuffer(ColumnBuffer* buffer, EventSerial serial) {
+  const size_t n = buffer->size();
+  size_t hit = n;
+  for (size_t i = 0; i < n; ++i) {
+    if ((*buffer)[i]->serial == serial) {
+      hit = i;
+      break;  // serials are unique
+    }
+  }
+  if (hit == n) return;
+  counters_.RemoveBuffered(BufferedEventBytes(*buffer, *(*buffer)[hit]));
+  std::vector<uint8_t> keep(n, 1);
+  keep[hit] = 0;
+  buffer->Filter(keep);
+}
+
+void TreeEngine::ProcessRetraction(const Event& r) {
+  CEPJOIN_CHECK(track_deltas_)
+      << "retraction fed to an engine whose pattern lacks WithDeltaInput()";
+  ++counters_.retractions_processed;
+  const EventSerial target = r.target_serial;
+  // Negation buffers: the retracted event is buffered at every negated
+  // position of its type that its unary predicate admitted — the same
+  // set BufferNegated appended to. Exact byte refund.
+  for (int pos : cp_.positions_of_type(r.type)) {
+    if (cp_.pos_to_slot(pos) >= 0) continue;
+    RemoveFromBuffer(&neg_buffers_[pos], target);
+  }
+  // Node buffers: every instance bound to the retracted event is
+  // deleted NOW, rows and columnar mirrors compacted in lockstep — the
+  // vectorized combine kernels require lane k of a mirror to be live
+  // partner k, so (unlike the NFA) husks cannot wait for the next
+  // Sweep.
+  std::vector<uint8_t> keep_rows;
+  for (size_t node = 0; node < node_buffers_.size(); ++node) {
+    std::vector<Instance>& list = node_buffers_[node];
+    if (list.empty()) continue;
+    const bool leaf_mirror = leaf_mirrored_[node] != 0;
+    const bool store_mirror = instance_mirrored_[node] != 0;
+    const bool mirrored = leaf_mirror || store_mirror;
+    if (mirrored) keep_rows.assign(list.size(), 0);
+    size_t keep = 0;
+    for (size_t i = 0; i < list.size(); ++i) {
+      Instance& inst = list[i];
+      bool contains = false;
+      for (const EventPtr& used : inst.by_slot) {
+        if (used != nullptr && used->serial == target) {
+          contains = true;
+          break;
+        }
+      }
+      if (!contains) {
+        for (const EventPtr& used : inst.kleene_extra) {
+          if (used->serial == target) {
+            contains = true;
+            break;
+          }
+        }
+      }
+      if (contains) {
+        if (!inst.dead) counters_.RemoveInstance(inst.tracked_bytes);
+        if (store_mirror) counters_.RemoveStoreBytes(inst.store_bytes);
+        continue;
+      }
+      if (mirrored) keep_rows[i] = 1;
+      if (keep != i) list[keep] = std::move(list[i]);
+      ++keep;
+    }
+    if (keep == list.size()) continue;  // no hit: mirrors untouched
+    list.resize(keep);
+    if (leaf_mirror) leaf_columns_[node].Filter(keep_rows);
+    if (store_mirror) instance_stores_[node].Filter(keep_rows);
+  }
+  // Pending (trailing-negation) matches containing the event were never
+  // emitted: discard silently, nothing to revoke.
+  size_t keep = 0;
+  for (size_t i = 0; i < pending_.size(); ++i) {
+    if (!MatchContainsSerial(pending_[i].match, target)) {
+      if (keep != i) pending_[keep] = std::move(pending_[i]);
+      ++keep;
+    }
+  }
+  pending_.resize(keep);
+  // Previously emitted matches revoke in their original emission order.
+  keep = 0;
+  for (size_t i = 0; i < emitted_.size(); ++i) {
+    if (MatchContainsSerial(emitted_[i].match, target)) {
+      EmitRevocation(std::move(emitted_[i].match));
+    } else {
+      if (keep != i) emitted_[keep] = std::move(emitted_[i]);
+      ++keep;
+    }
+  }
+  emitted_.resize(keep);
 }
 
 void TreeEngine::BufferNegated(const EventPtr& e) {
@@ -574,12 +688,32 @@ void TreeEngine::Complete(const Instance& inst) {
     pending_.push_back(std::move(pending));
     return;
   }
-  EmitMatch(std::move(match));
+  EmitMatch(std::move(match), inst.max_ts);
 }
 
-void TreeEngine::EmitMatch(Match match) {
+void TreeEngine::EmitMatch(Match match, Timestamp max_ts) {
   match.emit_serial = current_serial_;
   ++counters_.matches_emitted;
+  // The sink reads the match while it is hot, then the match moves into
+  // the revocation log (the engine is single-threaded, so a retraction
+  // can only arrive after OnMatch returns — log-after-emit is safe).
+  // No per-match allocations in delta mode beyond the log append.
+  sink_->OnMatch(match);
+  if (track_deltas_) emitted_.push_back(EmittedMatch{std::move(match), max_ts});
+}
+
+void TreeEngine::EmitRevocation(Match match) {
+  match.polarity = -1;
+  // The revocation's emit position is the retraction being processed;
+  // it is strictly greater than the original match's emit_serial, which
+  // is what lets the concurrent sink's (emit_serial, partition) sort
+  // drain revocations after their matches at any thread count.
+  match.emit_serial = current_serial_;
+  match.latency_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    arrival_start_)
+          .count();
+  ++counters_.matches_revoked;
   sink_->OnMatch(match);
 }
 
@@ -617,6 +751,22 @@ void TreeEngine::Sweep() {
     // Mirrors compact in lockstep so lane k stays partner k.
     if (leaf_mirror) leaf_columns_[node].Filter(keep_rows);
     if (store_mirror) instance_stores_[node].Filter(keep_rows);
+  }
+  if (track_deltas_ && emitted_.size() >= emitted_scan_threshold_) {
+    // Every event of a logged match has ts <= max_ts, so once max_ts
+    // leaves the window no in-window retraction can target the match:
+    // safe to forget. (Retracting an out-of-window event is a no-op by
+    // contract.) Scanning only after the log doubles keeps eviction
+    // amortized O(1) per match instead of O(log size) per sweep.
+    size_t keep = 0;
+    for (size_t i = 0; i < emitted_.size(); ++i) {
+      if (emitted_[i].max_ts >= horizon) {
+        if (keep != i) emitted_[keep] = std::move(emitted_[i]);
+        ++keep;
+      }
+    }
+    emitted_.resize(keep);
+    emitted_scan_threshold_ = std::max<size_t>(64, emitted_.size() * 2);
   }
   counters_.UpdatePeakBytes();
 }

@@ -71,9 +71,33 @@ class TreeEngine : public Engine {
     Timestamp deadline = 0.0;
   };
 
+  /// Delta input only: an emitted match kept revocable while any of its
+  /// events can still be retracted. Evicted once max_ts leaves the
+  /// window — every event of the match has ts <= max_ts, so an
+  /// in-window retraction target implies max_ts is in window too.
+  struct EmittedMatch {
+    Match match;
+    Timestamp max_ts = 0.0;
+  };
+
   /// OnEvent minus the latency clock read (hoisted per batch by OnBatch).
   void ProcessEvent(const EventPtr& e);
   void ProcessPending(const Event& e);
+  /// The deadline-emission half of ProcessPending: emits pending matches
+  /// whose trailing window closed strictly before `e`. Retractions run
+  /// only this half — a retraction is a command, not a negation
+  /// candidate.
+  void ProcessPendingDeadlines(const Event& e);
+  /// Consumes one polarity=-1 event: drops the retracted event from the
+  /// negation buffers, deletes every node instance bound to it (rows and
+  /// columnar leaf/store mirrors compacted in lockstep, store_bytes
+  /// refunded exactly — the columnar combine requires mirrors congruent
+  /// with live instances), discards pending matches containing it, and
+  /// emits revocations for previously emitted matches that do.
+  void ProcessRetraction(const Event& r);
+  /// Removes the row with `serial` from `buffer`, refunding its exact
+  /// buffered bytes. No-op if absent.
+  void RemoveFromBuffer(ColumnBuffer* buffer, EventSerial serial);
   void BufferNegated(const EventPtr& e);
   void ArriveAtLeaf(int leaf_node, const EventPtr& e);
   /// Negation-checks, buffers, and cascades a freshly created instance.
@@ -105,7 +129,10 @@ class TreeEngine : public Engine {
                               bool node_is_left);
   bool NodeNegationChecks(int node, const Instance& inst);
   void Complete(const Instance& inst);
-  void EmitMatch(Match match);
+  /// `max_ts` is the match's window upper edge, keyed by the revocation
+  /// log's eviction; unused (and uncopied) for insert-only patterns.
+  void EmitMatch(Match match, Timestamp max_ts);
+  void EmitRevocation(Match match);
   void Sweep();
 
   CompiledPattern cp_;
@@ -141,12 +168,21 @@ class TreeEngine : public Engine {
   std::vector<InstanceStore> instance_stores_;
   std::vector<uint8_t> instance_mirrored_;  // per node
   std::vector<PendingMatch> pending_;
+  /// Revocation log, append-ordered; empty unless track_deltas_.
+  std::vector<EmittedMatch> emitted_;
+  /// Sweep evicts the log only once it grows past this (then re-arms at
+  /// 2x the surviving size), so eviction is amortized O(1) per match.
+  size_t emitted_scan_threshold_ = 64;
 
   Timestamp now_ = 0.0;
   EventSerial current_serial_ = 0;
   std::chrono::steady_clock::time_point arrival_start_{};
   uint64_t events_since_sweep_ = 0;
   bool next_match_ = false;
+  /// pattern.delta_input(): accept retractions and log emitted matches
+  /// for revocation. Off (the default) costs insert-only streams one
+  /// predictable branch per event.
+  bool track_deltas_ = false;
   /// ColumnarKernelsEnabled() && !skip-till-next, fixed at construction;
   /// leaf mirrors are only built when it holds.
   bool use_columnar_ = true;

@@ -148,6 +148,171 @@ TEST(CsvLoaderTest, RejectsEmptyAttributeCells) {
   EXPECT_EQ(result.error_line, 2u);
 }
 
+TEST(CsvLoaderTest, PolarityColumnLoadsDeltaStream) {
+  // A trailing `polarity` header column opts the file into ± semantics:
+  // the loader enables retractions on the stream and Append resolves
+  // each retraction to the serial of the insertion it cancels.
+  EventTypeRegistry registry;
+  // Without a retract_ts column a retraction targets the insertion at
+  // its OWN timestamp, so it must share ts with its target.
+  CsvLoadResult result = LoadCsvStreamFromString(
+      "type,ts,partition,price,polarity\n"
+      "MSFT,1.0,0,101.5,1\n"
+      "GOOG,1.5,1,730.0,+1\n"
+      "MSFT,1.75,0,99.0,1\n"
+      "MSFT,1.75,0,0,-1\n",
+      &registry);
+  ASSERT_TRUE(result.ok) << result.error;
+  ASSERT_EQ(result.stream.size(), 4u);
+  EXPECT_TRUE(result.stream.retractions_enabled());
+  // `polarity` is reserved, never an attribute.
+  EXPECT_EQ(registry.Info(result.stream[0]->type).attribute_names.size(), 1u);
+  const Event& retraction = *result.stream[3];
+  ASSERT_TRUE(retraction.IsRetraction());
+  EXPECT_DOUBLE_EQ(retraction.target_ts, 1.75);
+  EXPECT_EQ(retraction.target_serial, result.stream[2]->serial);
+  // Inserts count into type rates; retractions must not.
+  EXPECT_EQ(result.stream.type_counts()[result.stream[0]->type], 2u);
+}
+
+TEST(CsvLoaderTest, RetractTsResolvesTargetSerial) {
+  EventTypeRegistry registry;
+  CsvLoadResult result = LoadCsvStreamFromString(
+      "type,ts,partition,price,polarity,retract_ts\n"
+      "MSFT,1.0,0,101.5,1,\n"
+      "MSFT,1.5,0,99.0,1,\n"
+      "MSFT,2.0,0,0,-1,1.0\n",
+      &registry);
+  ASSERT_TRUE(result.ok) << result.error;
+  ASSERT_EQ(result.stream.size(), 3u);
+  const Event& retraction = *result.stream[2];
+  ASSERT_TRUE(retraction.IsRetraction());
+  EXPECT_DOUBLE_EQ(retraction.target_ts, 1.0);
+  EXPECT_EQ(retraction.target_serial, result.stream[0]->serial);
+  // Retractions hold a stream serial but no partition sequence slot.
+  EXPECT_EQ(retraction.serial, 2u);
+  EXPECT_EQ(retraction.partition_seq, 0u);
+  EXPECT_EQ(result.stream[1]->partition_seq, 1u);
+}
+
+TEST(CsvLoaderTest, DuplicateKeyRetractionResolvesLifo) {
+  // Two live insertions with an identical (type, partition, ts) key:
+  // the retraction cancels the most recent one.
+  EventTypeRegistry registry;
+  CsvLoadResult result = LoadCsvStreamFromString(
+      "type,ts,partition,price,polarity,retract_ts\n"
+      "A,1.0,0,1,1,\n"
+      "A,1.0,0,2,1,\n"
+      "A,2.0,0,0,-1,1.0\n",
+      &registry);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.stream[2]->target_serial, result.stream[1]->serial);
+}
+
+TEST(CsvLoaderTest, RejectsBadPolarityValues) {
+  for (const char* bad : {"0", "2", "-2", "+", "retract", "", "1.0"}) {
+    EventTypeRegistry registry;
+    CsvLoadResult result = LoadCsvStreamFromString(
+        std::string("type,ts,partition,v,polarity\nA,1,0,1,") + bad + "\n",
+        &registry);
+    EXPECT_FALSE(result.ok) << "polarity '" << bad << "' accepted";
+    EXPECT_NE(result.error.find("polarity"), std::string::npos) << bad;
+    EXPECT_EQ(result.error_line, 2u) << bad;
+  }
+}
+
+TEST(CsvLoaderTest, RejectsRetractionOfNeverInsertedKey) {
+  // The source layer rejects a retraction whose (type, partition, ts)
+  // key was never inserted — before it can reach (and abort in) the
+  // serial-assigning stream.
+  EventTypeRegistry registry;
+  CsvLoadResult result = LoadCsvStreamFromString(
+      "type,ts,partition,v,polarity,retract_ts\n"
+      "A,1.0,0,1,1,\n"
+      "A,2.0,1,0,-1,1.0\n",  // wrong partition: key never inserted
+      &registry);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("no live insertion"), std::string::npos);
+  EXPECT_EQ(result.error_line, 3u);
+  EXPECT_EQ(result.stream.size(), 1u);  // valid prefix kept
+}
+
+TEST(CsvLoaderTest, RejectsDoubleRetraction) {
+  EventTypeRegistry registry;
+  CsvLoadResult result = LoadCsvStreamFromString(
+      "type,ts,partition,v,polarity,retract_ts\n"
+      "A,1.0,0,1,1,\n"
+      "A,2.0,0,0,-1,1.0\n"
+      "A,3.0,0,0,-1,1.0\n",  // already retracted
+      &registry);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("already retracted"), std::string::npos);
+  EXPECT_EQ(result.error_line, 4u);
+}
+
+TEST(CsvLoaderTest, RejectsRetractTsAfterRowTs) {
+  EventTypeRegistry registry;
+  CsvLoadResult result = LoadCsvStreamFromString(
+      "type,ts,partition,v,polarity,retract_ts\n"
+      "A,1.0,0,1,1,\n"
+      "A,2.0,0,0,-1,3.0\n",
+      &registry);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("retract_ts"), std::string::npos);
+}
+
+TEST(CsvLoaderTest, RejectsNonFiniteRetractTs) {
+  for (const char* bad : {"nan", "inf", "-inf", "noon"}) {
+    EventTypeRegistry registry;
+    CsvLoadResult result = LoadCsvStreamFromString(
+        std::string("type,ts,partition,v,polarity,retract_ts\n"
+                    "A,1.0,0,1,1,\n"
+                    "A,2.0,0,0,-1,") +
+            bad + "\n",
+        &registry);
+    EXPECT_FALSE(result.ok) << "retract_ts '" << bad << "' accepted";
+    EXPECT_NE(result.error.find("retract_ts"), std::string::npos) << bad;
+  }
+}
+
+TEST(CsvLoaderTest, RejectsRetractTsOnInsertRow) {
+  EventTypeRegistry registry;
+  CsvLoadResult result = LoadCsvStreamFromString(
+      "type,ts,partition,v,polarity,retract_ts\n"
+      "A,1.0,0,1,1,1.0\n",
+      &registry);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("insert rows must leave retract_ts empty"),
+            std::string::npos);
+}
+
+TEST(CsvLoaderTest, RejectsRetractTsWithoutPolarity) {
+  EventTypeRegistry registry;
+  CsvLoadResult result = LoadCsvStreamFromString(
+      "type,ts,partition,v,retract_ts\nA,1.0,0,1,\n", &registry);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("polarity"), std::string::npos);
+}
+
+TEST(CsvLoaderTest, RejectsNonTrailingPolarityColumn) {
+  EventTypeRegistry registry;
+  CsvLoadResult result = LoadCsvStreamFromString(
+      "type,ts,partition,polarity,v\nA,1.0,0,1,2.0\n", &registry);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("last header column"), std::string::npos);
+}
+
+TEST(CsvLoaderTest, InsertOnlyFileWithoutPolarityColumnUnchanged) {
+  // No polarity column: no delta semantics, no ledger, identical to the
+  // pre-delta loader.
+  EventTypeRegistry registry;
+  CsvLoadResult result = LoadCsvStreamFromString(
+      "type,ts,partition,v\nA,1,0,1.0\n", &registry);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_FALSE(result.stream.retractions_enabled());
+  EXPECT_EQ(result.stream[0]->polarity, 1);
+}
+
 TEST(CsvLoaderTest, KeepsValidPrefixOnError) {
   // The loader reports the failing line and leaves the events parsed
   // before it in the stream — mirroring the async source semantics.

@@ -77,6 +77,73 @@ TEST(EventStreamTest, SparsePartitionIdsCostNoDenseMemory) {
   EXPECT_EQ(stream[2]->partition_seq, 0u);
 }
 
+Event MakeRetraction(TypeId type, Timestamp ts, Timestamp target_ts,
+                     uint32_t partition = 0) {
+  Event r;
+  r.type = type;
+  r.ts = ts;
+  r.partition = partition;
+  r.polarity = -1;
+  r.target_ts = target_ts;
+  return r;
+}
+
+TEST(EventStreamTest, RetractionResolvesToTargetSerial) {
+  EventStream stream;
+  stream.EnableRetractions();
+  stream.Append(MakeEvent(0, 1.0));
+  stream.Append(MakeEvent(0, 2.0));
+  stream.Append(MakeRetraction(0, 3.0, 1.0));
+  ASSERT_EQ(stream.size(), 3u);
+  const Event& r = *stream[2];
+  EXPECT_TRUE(r.IsRetraction());
+  EXPECT_EQ(r.serial, 2u);                       // holds a stream serial
+  EXPECT_EQ(r.target_serial, stream[0]->serial);  // resolved to its target
+}
+
+TEST(EventStreamTest, RetractionSkipsPartitionSeqAndTypeCounts) {
+  // A retraction is a command about an earlier event, not an
+  // occurrence: it must not advance the partition sequencer (contiguity
+  // strategies count occurrences) nor the type rates (statistics).
+  EventStream stream;
+  stream.EnableRetractions();
+  stream.Append(MakeEvent(0, 1.0, /*partition=*/3));
+  stream.Append(MakeRetraction(0, 2.0, 1.0, /*partition=*/3));
+  stream.Append(MakeEvent(0, 3.0, /*partition=*/3));
+  EXPECT_EQ(stream[1]->partition_seq, 0u);
+  EXPECT_EQ(stream[2]->partition_seq, 1u);  // second OCCURRENCE in 3
+  EXPECT_EQ(stream.type_counts()[0], 2u);   // inserts only
+}
+
+TEST(EventStreamTest, DuplicateKeyResolvesMostRecentInsertion) {
+  EventStream stream;
+  stream.EnableRetractions();
+  stream.Append(MakeEvent(0, 1.0));
+  stream.Append(MakeEvent(0, 1.0));  // same (type, partition, ts) key
+  stream.Append(MakeRetraction(0, 2.0, 1.0));
+  stream.Append(MakeRetraction(0, 3.0, 1.0));
+  EXPECT_EQ(stream[2]->target_serial, 1u);  // LIFO: newest first
+  EXPECT_EQ(stream[3]->target_serial, 0u);
+}
+
+TEST(EventStreamDeathTest, RetractionWithoutEnableAborts) {
+  EventStream stream;
+  stream.Append(MakeEvent(0, 1.0));
+  EXPECT_DEATH(stream.Append(MakeRetraction(0, 2.0, 1.0)),
+               "EnableRetractions");
+}
+
+TEST(EventStreamDeathTest, UnresolvableRetractionAborts) {
+  // Appending an unresolvable retraction is a programmer error at this
+  // layer; untrusted input is validated by the sources (Status) before
+  // it reaches the stream.
+  EventStream stream;
+  stream.EnableRetractions();
+  stream.Append(MakeEvent(0, 1.0));
+  EXPECT_DEATH(stream.Append(MakeRetraction(0, 2.0, 1.5)),
+               "no live insertion");
+}
+
 TEST(EventStreamDeathTest, OutOfOrderAppendAborts) {
   EventStream stream;
   stream.Append(MakeEvent(0, 1.0));

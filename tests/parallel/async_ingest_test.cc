@@ -368,5 +368,90 @@ TEST(AsyncIngestEquivalenceTest, ErrorLeavesRuntimeFinishable) {
   EXPECT_EQ(runtime.TotalCounters().events_processed, 1u);
 }
 
+// VectorSource that declares ± delta output (the merge then keeps a
+// ledger and resolves its retractions at serial-assignment time).
+class DeltaVectorSource : public VectorSource {
+ public:
+  using VectorSource::VectorSource;
+  bool declares_retractions() const override { return true; }
+};
+
+Event Retract(TypeId type, double ts, uint32_t partition, double target_ts) {
+  Event r;
+  r.type = type;
+  r.ts = ts;
+  r.partition = partition;
+  r.polarity = -1;
+  r.target_ts = target_ts;
+  return r;
+}
+
+TEST(IngestPipelineTest, RetractionMergesAfterInsertAtEqualTimestamp) {
+  // The specified tie-break: at equal timestamps inserts merge before
+  // retractions. The retracting source has the LOWER index here, so a
+  // plain (ts, source index) rule would emit the retraction first —
+  // only the polarity tie-break produces this order.
+  for (size_t threads : {1u, 2u}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    std::vector<std::unique_ptr<StreamSource>> copy;
+    copy.push_back(std::make_unique<DeltaVectorSource>(std::vector<Event>{
+        Ev(1, 0.5, 1, 1), Retract(1, 2.0, 1, 0.5)}));
+    copy.push_back(std::make_unique<VectorSource>(std::vector<Event>{
+        Ev(0, 1.0, 0, 2), Ev(0, 2.0, 0, 3)}));
+    IngestOptions options;
+    options.num_ingest_threads = threads;
+    IngestPipeline pipeline(std::move(copy), options);
+    std::vector<EventPtr> got;
+    IngestResult result = pipeline.Run([&](const EventPtr* run, size_t n) {
+      for (size_t i = 0; i < n; ++i) got.push_back(run[i]);
+    });
+    ASSERT_TRUE(result.ok) << result.error;
+    ASSERT_EQ(got.size(), 4u);
+    // B@0.5, A@1.0, A@2.0 (insert wins the ts-2.0 tie), retract-B@2.0.
+    EXPECT_EQ(got[0]->type, 1);
+    EXPECT_EQ(got[1]->type, 0);
+    EXPECT_EQ(got[2]->type, 0);
+    EXPECT_FALSE(got[2]->IsRetraction());
+    EXPECT_TRUE(got[3]->IsRetraction());
+    // Serials follow merged order; the retraction resolved to the B
+    // insert's serial and holds no partition sequence slot.
+    EXPECT_EQ(got[3]->serial, 3u);
+    EXPECT_EQ(got[3]->target_serial, got[0]->serial);
+    EXPECT_EQ(got[3]->partition_seq, 0u);
+    EXPECT_EQ(got[2]->partition_seq, 1u);
+  }
+}
+
+TEST(IngestPipelineTest, RetractionFromNonDeclaringSourceIsAnError) {
+  // A polarity=-1 event from a source that never declared retractions
+  // is a contract violation the merge reports, not a crash.
+  std::vector<std::unique_ptr<StreamSource>> sources;
+  sources.push_back(std::make_unique<VectorSource>(std::vector<Event>{
+      Ev(0, 1.0, 0, 1), Retract(0, 2.0, 0, 1.0)}));
+  IngestPipeline pipeline(std::move(sources));
+  std::vector<EventPtr> got;
+  IngestResult result = pipeline.Run([&](const EventPtr* run, size_t n) {
+    for (size_t i = 0; i < n; ++i) got.push_back(run[i]);
+  });
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("declare retractions"), std::string::npos);
+  // The valid prefix was delivered before the failure.
+  EXPECT_EQ(got.size(), 1u);
+}
+
+TEST(IngestPipelineTest, UnresolvableRetractionIsAnError) {
+  std::vector<std::unique_ptr<StreamSource>> sources;
+  sources.push_back(std::make_unique<DeltaVectorSource>(std::vector<Event>{
+      Ev(0, 1.0, 0, 1), Retract(0, 2.0, 0, 1.5)}));  // 1.5 never inserted
+  IngestPipeline pipeline(std::move(sources));
+  std::vector<EventPtr> got;
+  IngestResult result = pipeline.Run([&](const EventPtr* run, size_t n) {
+    for (size_t i = 0; i < n; ++i) got.push_back(run[i]);
+  });
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("no live insertion"), std::string::npos);
+  EXPECT_EQ(got.size(), 1u);
+}
+
 }  // namespace
 }  // namespace cepjoin

@@ -69,12 +69,51 @@ TEST(EngineCountersTest, CurrentBytesCombinesInstancesAndBuffers) {
   EXPECT_EQ(counters.peak_total_bytes, 300u);  // peak is sticky
 }
 
+TEST(EngineCountersTest, InsertThenRetractCycleBalancesToExactZero) {
+  // The delta contract: a full insert-then-retract cycle leaves every
+  // live gauge at exactly zero — not saturated-at-zero after an
+  // underflow, but zero because adds and removes paired exactly.
+  EngineCounters counters;
+  counters.AddBuffered(120);
+  counters.AddBuffered(80);
+  counters.AddInstance(300);
+  counters.AddStoreBytes(64);
+  EXPECT_EQ(counters.CurrentBytes(), 564u);
+  ++counters.retractions_processed;
+  counters.RemoveBuffered(120);
+  counters.RemoveInstance(300);
+  counters.RemoveStoreBytes(64);
+  ++counters.retractions_processed;
+  counters.RemoveBuffered(80);
+  EXPECT_EQ(counters.buffered_events, 0u);
+  EXPECT_EQ(counters.buffered_bytes, 0u);
+  EXPECT_EQ(counters.live_instances, 0u);
+  EXPECT_EQ(counters.instance_bytes, 0u);
+  EXPECT_EQ(counters.store_bytes, 0u);
+  EXPECT_EQ(counters.CurrentBytes(), 0u);
+  EXPECT_EQ(counters.retractions_processed, 2u);
+  // Peaks keep reporting the high-water mark of the cycle.
+  EXPECT_EQ(counters.peak_total_bytes, 564u);
+}
+
+TEST(EngineCountersTest, RemoveStoreBytesWithoutAddSaturatesAtZero) {
+  EngineCounters counters;
+  counters.RemoveStoreBytes(64);
+  EXPECT_EQ(counters.store_bytes, 0u);
+  counters.AddStoreBytes(32);
+  counters.RemoveStoreBytes(1000);  // oversized: saturate, don't wrap
+  EXPECT_EQ(counters.store_bytes, 0u);
+  EXPECT_LT(counters.peak_total_bytes, 1000u);
+}
+
 EngineCounters SampleCounters(uint64_t events, uint64_t matches) {
   EngineCounters c;
   c.events_processed = events;
   c.matches_emitted = matches;
   c.instances_created = 2 * matches;
   c.predicate_evals = 10 * matches;
+  c.retractions_processed = matches;
+  c.matches_revoked = matches / 2;
   c.peak_live_instances = 5;
   c.peak_buffered_events = 7;
   c.buffered_bytes = 100;
@@ -92,6 +131,8 @@ TEST(EngineCountersTest, MergeTakesMaxEventsForSameStream) {
   EXPECT_EQ(total.instances_created, 14u);
   EXPECT_EQ(total.predicate_evals, 70u);
   EXPECT_EQ(total.peak_live_instances, 10u);
+  EXPECT_EQ(total.retractions_processed, 7u);
+  EXPECT_EQ(total.matches_revoked, 3u);
 }
 
 TEST(EngineCountersTest, MergeDisjointSumsEverything) {
@@ -107,6 +148,8 @@ TEST(EngineCountersTest, MergeDisjointSumsEverything) {
   EXPECT_EQ(total.peak_buffered_events, 14u);
   EXPECT_EQ(total.buffered_bytes, 200u);
   EXPECT_EQ(total.peak_total_bytes, 2048u);
+  EXPECT_EQ(total.retractions_processed, 7u);
+  EXPECT_EQ(total.matches_revoked, 3u);
 }
 
 }  // namespace
