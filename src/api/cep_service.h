@@ -130,6 +130,14 @@ class QueryHandle {
 /// queries cost one routing pass. Every query's match sequence and
 /// counters are byte-identical to running it alone on the events
 /// ingested while it was registered, at every thread count.
+///
+/// Thread-safety: the service is a single-caller facade — Register,
+/// Remove, OnEvent/ProcessStream/ProcessSource*, and Finish must all be
+/// invoked from one thread (or be externally serialized). The service
+/// spawns threads internally (shard workers, ingest groups), but every
+/// cross-thread edge lives behind the annotated BoundedQueue and the
+/// registry's annotated mutex (obs/metrics.h); the service object
+/// itself holds no lock for the linter's no-raw-mutex rule to find.
 class CepService {
  public:
   /// Validates `options` (bad batch size, history without num_types)

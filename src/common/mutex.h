@@ -1,0 +1,77 @@
+#ifndef CEPJOIN_COMMON_MUTEX_H_
+#define CEPJOIN_COMMON_MUTEX_H_
+
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+namespace cepjoin {
+
+/// Annotated wrappers over std::mutex / std::condition_variable. The
+/// standard-library types carry no Clang thread-safety capability
+/// attributes under libstdc++, so guarded fields could never be proven
+/// protected through them; these wrappers are zero-cost (one inlined
+/// forwarding call) and make every acquisition visible to the analysis.
+/// Project rule (enforced by tools/cep_lint.py): src/ outside this file
+/// uses cepjoin::Mutex, never raw std::mutex.
+class CEPJOIN_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() CEPJOIN_ACQUIRE() { mu_.lock(); }
+  void Unlock() CEPJOIN_RELEASE() { mu_.unlock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// RAII lock of a Mutex for a scope (std::lock_guard shape).
+class CEPJOIN_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) CEPJOIN_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() CEPJOIN_RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable bound to cepjoin::Mutex. Wait() takes the Mutex the
+/// caller already holds — the analysis checks the requirement — and
+/// adopts it into the std::unique_lock shape std::condition_variable
+/// needs for the atomic unlock-sleep-relock, releasing ownership again
+/// before returning so the caller's MutexLock stays the sole owner.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu`, sleeps, and reacquires `mu` before
+  /// returning. Spurious wakeups are possible; callers loop on their
+  /// predicate (`while (!pred()) cv.Wait(mu);`), which keeps the
+  /// predicate's guarded reads inside the caller's locked scope where
+  /// the analysis can verify them (a wait-with-lambda would move them
+  /// into an unanalyzable closure).
+  void Wait(Mutex& mu) CEPJOIN_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();  // caller keeps ownership; our unique_lock was a loan
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace cepjoin
+
+#endif  // CEPJOIN_COMMON_MUTEX_H_

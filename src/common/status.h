@@ -28,7 +28,12 @@ const char* StatusCodeName(StatusCode code);
 
 /// A success-or-error result: either OK or a code plus a human-readable
 /// message. Cheap to copy on the OK path (empty message).
-class Status {
+///
+/// [[nodiscard]] on the class makes discarding ANY by-value Status —
+/// every factory's and every `Status F()` API's return — a compile error
+/// under -Werror, so an error can only be dropped by writing it down
+/// (assign it, check it, or CEPJOIN_CHECK_OK it).
+class [[nodiscard]] Status {
  public:
   Status() = default;
 
@@ -43,7 +48,7 @@ class Status {
     return Status(StatusCode::kFailedPrecondition, std::move(message));
   }
 
-  bool ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 
@@ -64,14 +69,14 @@ class Status {
 /// message — the moral equivalent of CEPJOIN_CHECK at the call sites
 /// that pass statically known-good inputs).
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   StatusOr(T value) : status_(Status::Ok()), value_(std::move(value)) {}
   StatusOr(Status status) : status_(std::move(status)) {
     CEPJOIN_CHECK(!status_.ok()) << "StatusOr constructed from OK status";
   }
 
-  bool ok() const { return status_.ok(); }
+  [[nodiscard]] bool ok() const { return status_.ok(); }
   const Status& status() const { return status_; }
 
   const T& value() const& {
@@ -109,6 +114,17 @@ class StatusOr {
   do {                                            \
     ::cepjoin::Status cepjoin_status_ = (expr);   \
     if (!cepjoin_status_.ok()) return cepjoin_status_; \
+  } while (0)
+
+/// Aborts (CEPJOIN_CHECK) unless the Status is OK, printing it. The
+/// sanctioned way to consume a [[nodiscard]] Status at call sites whose
+/// inputs are statically known good — tests, examples, teardown paths —
+/// where an error is a programmer bug, not a recoverable condition.
+#define CEPJOIN_CHECK_OK(expr)                                  \
+  do {                                                          \
+    ::cepjoin::Status cepjoin_check_ok_status_ = (expr);        \
+    CEPJOIN_CHECK(cepjoin_check_ok_status_.ok())                \
+        << "expected OK: " << cepjoin_check_ok_status_.ToString(); \
   } while (0)
 
 }  // namespace cepjoin

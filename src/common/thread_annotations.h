@@ -1,0 +1,73 @@
+#ifndef CEPJOIN_COMMON_THREAD_ANNOTATIONS_H_
+#define CEPJOIN_COMMON_THREAD_ANNOTATIONS_H_
+
+/// Clang Thread Safety Analysis annotations (-Wthread-safety), compiled
+/// to nothing on every other compiler. They turn the lock protocol of a
+/// class — which mutex guards which fields, which private helpers may
+/// only run with it held, which entry points must NOT hold it — into
+/// machine-checked contracts instead of comments. CI builds the whole
+/// tree with clang -Wthread-safety -Werror; tools/cep_lint.py separately
+/// enforces that every mutable field below a cepjoin::Mutex carries a
+/// CEPJOIN_GUARDED_BY (so deleting an annotation is itself a failure,
+/// not just the absence of a warning).
+///
+/// Use the cepjoin::Mutex / MutexLock / CondVar wrappers (common/mutex.h)
+/// rather than std::mutex directly: libstdc++'s std::mutex carries no
+/// capability attributes, so the analysis cannot see std::lock_guard
+/// acquisitions and every guarded access would be a false positive.
+
+#if defined(__clang__) && (!defined(SWIG))
+#define CEPJOIN_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define CEPJOIN_THREAD_ANNOTATION_(x)  // no-op off Clang
+#endif
+
+/// Declares a class to be a lockable capability ("mutex").
+#define CEPJOIN_CAPABILITY(x) CEPJOIN_THREAD_ANNOTATION_(capability(x))
+
+/// RAII classes that acquire in the constructor / release in the
+/// destructor (MutexLock).
+#define CEPJOIN_SCOPED_CAPABILITY CEPJOIN_THREAD_ANNOTATION_(scoped_lockable)
+
+/// Field is protected by the given mutex: every read/write requires it.
+#define CEPJOIN_GUARDED_BY(x) CEPJOIN_THREAD_ANNOTATION_(guarded_by(x))
+
+/// Pointer field whose *pointee* is protected by the given mutex.
+#define CEPJOIN_PT_GUARDED_BY(x) CEPJOIN_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// Function requires the capability held on entry (and does not release
+/// it): private helpers that touch guarded state.
+#define CEPJOIN_REQUIRES(...) \
+  CEPJOIN_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+/// Function acquires the capability and holds it past return.
+#define CEPJOIN_ACQUIRE(...) \
+  CEPJOIN_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+
+/// Function releases a held capability.
+#define CEPJOIN_RELEASE(...) \
+  CEPJOIN_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+/// Function must be called WITHOUT the capability held (it acquires it
+/// internally): public entry points, where holding the lock already
+/// would self-deadlock on the non-recursive std::mutex underneath.
+#define CEPJOIN_EXCLUDES(...) \
+  CEPJOIN_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Function returns a reference to the capability guarding its result.
+#define CEPJOIN_RETURN_CAPABILITY(x) \
+  CEPJOIN_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Lock-ordering declarations (deadlock prevention across capabilities).
+#define CEPJOIN_ACQUIRED_BEFORE(...) \
+  CEPJOIN_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+#define CEPJOIN_ACQUIRED_AFTER(...) \
+  CEPJOIN_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+
+/// Escape hatch for code the analysis cannot model (e.g. adopting a lock
+/// through std::unique_lock for a condition-variable wait). Every use
+/// must carry a comment explaining why the analysis is wrong.
+#define CEPJOIN_NO_THREAD_SAFETY_ANALYSIS \
+  CEPJOIN_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+#endif  // CEPJOIN_COMMON_THREAD_ANNOTATIONS_H_

@@ -28,8 +28,9 @@ class StreamSource {
   virtual ~StreamSource() = default;
 
   /// Pulls the next event into `*out`. Returns false at end-of-stream
-  /// or on failure; `*out` is unspecified in that case.
-  virtual bool Next(Event* out) = 0;
+  /// or on failure; `*out` is unspecified in that case — [[nodiscard]]:
+  /// consuming `*out` without checking reads indeterminate data.
+  [[nodiscard]] virtual bool Next(Event* out) = 0;
 
   /// Valid once Next() has returned false: true iff the source ended
   /// cleanly.

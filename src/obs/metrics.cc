@@ -136,7 +136,7 @@ MetricsRegistry::Entry* MetricsRegistry::FindOrCreate(
     const HistogramOptions* opts) {
   CanonicalizeLabels(&labels);
   std::string key = EntryKey(name, labels);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = index_.find(key);
   if (it != index_.end()) {
     CEPJOIN_CHECK(it->second->kind == kind);
@@ -185,7 +185,7 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name,
 MetricsSnapshot MetricsRegistry::Snapshot() const {
   MetricsSnapshot snap;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     snap.points.reserve(entries_.size());
     for (const Entry& entry : entries_) {
       MetricPoint point;

@@ -8,10 +8,11 @@
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "common/mutex.h"
 
 namespace cepjoin {
 
@@ -176,23 +177,28 @@ struct MetricsSnapshot {
 /// Histogram* handles, whose addresses are stable for the registry's
 /// lifetime. Get*() with a (name, labels) pair that already exists
 /// returns the existing instrument (idempotent), so racing registrations
-/// of the same key are benign.
+/// of the same key are benign. mu_ is the one lock on the metrics path;
+/// the annotations pin down exactly what it guards (the entry storage
+/// and its index — never the instruments themselves, which are striped
+/// atomics) and that every public method takes it internally.
 class MetricsRegistry {
  public:
   MetricsRegistry() = default;
   MetricsRegistry(const MetricsRegistry&) = delete;
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
 
-  Counter* GetCounter(const std::string& name, MetricLabels labels = {});
-  Gauge* GetGauge(const std::string& name, MetricLabels labels = {});
+  Counter* GetCounter(const std::string& name, MetricLabels labels = {})
+      CEPJOIN_EXCLUDES(mu_);
+  Gauge* GetGauge(const std::string& name, MetricLabels labels = {})
+      CEPJOIN_EXCLUDES(mu_);
   Histogram* GetHistogram(const std::string& name, MetricLabels labels = {},
-                          HistogramOptions opts = {});
+                          HistogramOptions opts = {}) CEPJOIN_EXCLUDES(mu_);
 
   /// Aggregates every instrument's stripes into a sorted snapshot.
   /// Counter/histogram values are coherent once writer threads quiesced;
   /// taken mid-stream they are a consistent-enough point-in-time read
   /// (each instrument internally sums relaxed loads).
-  MetricsSnapshot Snapshot() const;
+  MetricsSnapshot Snapshot() const CEPJOIN_EXCLUDES(mu_);
 
  private:
   struct Entry {
@@ -205,12 +211,15 @@ class MetricsRegistry {
   };
 
   Entry* FindOrCreate(const std::string& name, MetricLabels labels,
-                      MetricKind kind, const HistogramOptions* opts);
+                      MetricKind kind, const HistogramOptions* opts)
+      CEPJOIN_EXCLUDES(mu_);
 
-  mutable std::mutex mu_;
-  /// deque: stable Entry addresses across growth.
-  std::deque<Entry> entries_;
-  std::map<std::string, Entry*> index_;
+  mutable Mutex mu_;
+  /// deque: stable Entry addresses across growth. Guarded: only the
+  /// container, not the pointed-to instruments — handles returned by
+  /// Get*() are meant to be used lock-free.
+  std::deque<Entry> entries_ CEPJOIN_GUARDED_BY(mu_);
+  std::map<std::string, Entry*> index_ CEPJOIN_GUARDED_BY(mu_);
 };
 
 /// Sorts labels by key — the canonical form used for registry keys and

@@ -1,13 +1,12 @@
 #ifndef CEPJOIN_PARALLEL_BOUNDED_QUEUE_H_
 #define CEPJOIN_PARALLEL_BOUNDED_QUEUE_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
-#include <mutex>
 #include <utility>
 
 #include "common/check.h"
+#include "common/mutex.h"
 
 namespace cepjoin {
 
@@ -20,6 +19,9 @@ namespace cepjoin {
 /// batched items (EventBatch of ~256 events) the lock is taken a couple
 /// of thousand times per million events, so a lock-free ring would buy
 /// nothing measurable while costing ThreadSanitizer its visibility.
+/// The lock protocol is machine-checked (common/thread_annotations.h):
+/// mu_ guards the deque and the closed flag, and every entry point
+/// acquires it internally — callers must never hold it.
 template <typename T>
 class BoundedQueue {
  public:
@@ -31,61 +33,68 @@ class BoundedQueue {
   BoundedQueue& operator=(const BoundedQueue&) = delete;
 
   /// Blocks until there is room, then enqueues. Returns false (dropping
-  /// the item) if the queue was closed.
-  bool Push(T item) {
-    std::unique_lock<std::mutex> lock(mu_);
-    not_full_.wait(lock,
-                   [this] { return closed_ || items_.size() < capacity_; });
-    if (closed_) return false;
-    items_.push_back(std::move(item));
-    lock.unlock();
-    not_empty_.notify_one();
-    return true;
+  /// the item) if the queue was closed — [[nodiscard]]: ignoring that
+  /// silently loses the item.
+  [[nodiscard]] bool Push(T item) CEPJOIN_EXCLUDES(mu_) {
+    bool pushed = false;
+    {
+      MutexLock lock(mu_);
+      while (!closed_ && items_.size() >= capacity_) not_full_.Wait(mu_);
+      if (closed_) return false;
+      items_.push_back(std::move(item));
+      pushed = true;
+    }
+    // Notify outside the lock so the woken consumer never immediately
+    // blocks on mu_ (same shape as the pre-annotation code).
+    if (pushed) not_empty_.NotifyOne();
+    return pushed;
   }
 
   /// Blocks until an item is available or the queue is closed and
-  /// drained. Returns false only in the latter case.
-  bool Pop(T& out) {
-    std::unique_lock<std::mutex> lock(mu_);
-    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
-    if (items_.empty()) return false;  // closed and drained
-    out = std::move(items_.front());
-    items_.pop_front();
-    lock.unlock();
-    not_full_.notify_one();
+  /// drained. Returns false only in the latter case — [[nodiscard]]:
+  /// `out` is untouched then, so using it unchecked reads stale data.
+  [[nodiscard]] bool Pop(T& out) CEPJOIN_EXCLUDES(mu_) {
+    {
+      MutexLock lock(mu_);
+      while (!closed_ && items_.empty()) not_empty_.Wait(mu_);
+      if (items_.empty()) return false;  // closed and drained
+      out = std::move(items_.front());
+      items_.pop_front();
+    }
+    not_full_.NotifyOne();
     return true;
   }
 
   /// Marks the queue closed. Idempotent. Blocked producers give up;
   /// the consumer drains what is queued and then sees end-of-stream.
-  void Close() {
+  void Close() CEPJOIN_EXCLUDES(mu_) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       closed_ = true;
     }
-    not_empty_.notify_all();
-    not_full_.notify_all();
+    not_empty_.NotifyAll();
+    not_full_.NotifyAll();
   }
 
-  bool closed() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  bool closed() const CEPJOIN_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return closed_;
   }
 
-  size_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  size_t size() const CEPJOIN_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return items_.size();
   }
 
   size_t capacity() const { return capacity_; }
 
  private:
-  mutable std::mutex mu_;
-  std::condition_variable not_full_;
-  std::condition_variable not_empty_;
-  std::deque<T> items_;
+  mutable Mutex mu_;
+  CondVar not_full_;
+  CondVar not_empty_;
+  std::deque<T> items_ CEPJOIN_GUARDED_BY(mu_);
   const size_t capacity_;
-  bool closed_ = false;
+  bool closed_ CEPJOIN_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace cepjoin

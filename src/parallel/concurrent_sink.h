@@ -36,6 +36,15 @@ class QueryMetrics;
 ///
 /// The result: the drain forwards the same per-query match sequence
 /// whether the stream ran on 1 worker or 16.
+///
+/// Thread-safety: by confinement, not locking — there is deliberately no
+/// mutex here (the no-raw-mutex rule of tools/cep_lint.py holds the
+/// line). Each ShardSink is owned by exactly one worker thread for the
+/// workers' lifetime; total_matches()/DrainTo()/DrainPerQuery() read all
+/// buffers and are only legal after the workers have been JOINED — the
+/// join is the happens-before edge that publishes the buffers to the
+/// draining thread. Calling them while workers run is a data race (the
+/// full-suite TSan CI job would flag it).
 class ConcurrentMatchSink {
  public:
   /// Per-worker MatchSink facade. The owning worker must call

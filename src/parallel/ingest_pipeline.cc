@@ -112,7 +112,9 @@ void IngestPipeline::IngestGroup(Group& group) {
     // An empty message would make the sentinel look like a data chunk.
     sentinel.error = message.empty() ? "source failed" : message;
     sentinel.failed_source = group.first_source + local_source;
-    group.queue->Push(std::move(sentinel));
+    // A rejected push means the merge already failed on another group
+    // and closed every queue; its failure wins, ours is redundant.
+    if (!group.queue->Push(std::move(sentinel))) return;
     group.queue->Close();
   };
 
@@ -163,7 +165,12 @@ void IngestPipeline::IngestGroup(Group& group) {
       chunk.events.reserve(options_.chunk_size);
     }
   }
-  if (!chunk.events.empty()) group.queue->Push(std::move(chunk));
+  if (!chunk.events.empty()) {
+    // Rejected only when the merge failed elsewhere and closed the
+    // queues; the trailing chunk is then intentionally dropped (the
+    // merge stopped at the failure's valid prefix).
+    if (!group.queue->Push(std::move(chunk))) return;
+  }
   group.queue->Close();
 }
 

@@ -52,8 +52,10 @@ struct IngestOptions {
   MetricsRegistry* metrics = nullptr;
 };
 
-/// Outcome of one pipeline run.
-struct IngestResult {
+/// Outcome of one pipeline run. [[nodiscard]]: a dropped result swallows
+/// the first source failure — the merged prefix was still evaluated, so
+/// the caller would silently act on a truncated stream.
+struct [[nodiscard]] IngestResult {
   bool ok = false;
   /// First source failure observed by the merge (parse error, timestamp
   /// regression, non-finite timestamp).

@@ -66,7 +66,10 @@ struct ShardedOptions {
 /// routes, and registers/removes queries; workers evaluate; Finish()
 /// closes the queues, joins the workers, and drains matches into the
 /// per-query sinks on the caller's thread — so downstream MatchSinks
-/// need no synchronization.
+/// need no synchronization. All cross-thread hand-off funnels through
+/// the annotated BoundedQueue (parallel/bounded_queue.h) and the
+/// lock-free metric instruments; the runtime itself holds no mutex and
+/// its members are confined to the ingest thread.
 class ShardedRuntime {
  public:
   /// Multi-query runtime with no queries yet; use AddQuery().

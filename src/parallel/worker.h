@@ -36,6 +36,15 @@ namespace cepjoin {
 /// Plans come from each query's shared, immutable PartitionPlanner, so a
 /// partition gets the same plan here as it would in the single-threaded
 /// PartitionedRuntime.
+///
+/// Thread-safety: the ONLY synchronized state a worker touches is its
+/// BoundedQueue (whose lock protocol carries thread-safety annotations;
+/// see parallel/bounded_queue.h) and the striped-atomic metric
+/// instruments. Everything else — queries_, the engines, the ShardSink —
+/// is confined to the worker thread between Start() and Join();
+/// CountersOf()/NumPartitionsOf()/PlanFor() are caller-thread reads made
+/// safe by the Join() happens-before edge, hence "valid only after
+/// Join()".
 class ShardWorker {
  public:
   /// `metrics` (owned by the runtime, may be null) carries this shard's

@@ -29,8 +29,8 @@ TEST(BoundedQueueTest, FifoOrder) {
 
 TEST(BoundedQueueTest, CloseDrainsThenEndsStream) {
   BoundedQueue<int> queue(4);
-  queue.Push(7);
-  queue.Push(8);
+  ASSERT_TRUE(queue.Push(7));
+  ASSERT_TRUE(queue.Push(8));
   queue.Close();
   int out = 0;
   EXPECT_TRUE(queue.Pop(out));
@@ -54,8 +54,7 @@ TEST(BoundedQueueTest, BackPressureBlocksProducerUntilConsumed) {
   ASSERT_TRUE(queue.Push(1));
   std::atomic<bool> second_pushed{false};
   std::thread producer([&] {
-    queue.Push(2);  // blocks: queue is full
-    second_pushed = true;
+    second_pushed = queue.Push(2);  // blocks: queue is full
   });
   // The producer cannot complete until the consumer makes room.
   int out = 0;

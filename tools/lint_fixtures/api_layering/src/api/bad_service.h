@@ -1,0 +1,5 @@
+// Fixture: reaches into engine internals. The api-layering rule must
+// report both includes; the factory include is allowed.
+#include "engine/engine_factory.h"
+#include "nfa/nfa_engine.h"
+#include "tree/tree_engine.h"

@@ -1,0 +1,35 @@
+// Fixture: a field (forgotten_total) missing from MergeDisjoint() and a
+// byte field (forgotten_bytes) missing from CurrentBytes(). The
+// engine-counters-merge rule must report both.
+namespace cepjoin {
+
+struct EngineCounters {
+  uint64_t events_processed = 0;
+  uint64_t matches_emitted = 0;
+  uint64_t forgotten_total = 0;
+  size_t instance_bytes = 0;
+  size_t forgotten_bytes = 0;
+  size_t peak_total_bytes = 0;
+
+  void Merge(const EngineCounters& other);
+  void MergeDisjoint(const EngineCounters& other);
+  size_t CurrentBytes() const { return instance_bytes; }
+};
+
+inline void EngineCounters::MergeDisjoint(const EngineCounters& other) {
+  events_processed += other.events_processed;
+  matches_emitted += other.matches_emitted;
+  instance_bytes += other.instance_bytes;
+  forgotten_bytes += other.forgotten_bytes;
+  peak_total_bytes += other.peak_total_bytes;
+}
+
+inline void EngineCounters::Merge(const EngineCounters& other) {
+  uint64_t same_stream = events_processed > other.events_processed
+                             ? events_processed
+                             : other.events_processed;
+  MergeDisjoint(other);
+  events_processed = same_stream;
+}
+
+}  // namespace cepjoin

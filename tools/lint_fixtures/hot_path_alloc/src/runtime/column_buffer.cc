@@ -1,0 +1,11 @@
+// Fixture: only approved amortized member-column growth — the rule must
+// stay silent on this file.
+namespace cepjoin {
+
+void AppendFixture() {
+  events_.push_back(e);
+  ts_.push_back(e->ts);
+  for (auto& col : attr_cols_) col.resize(out);
+}
+
+}  // namespace cepjoin

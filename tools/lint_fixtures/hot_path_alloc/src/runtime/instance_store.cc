@@ -1,0 +1,11 @@
+// Fixture: approved extent-column growth plus one unapproved stray
+// growth (scratch_.reserve) the rule must report.
+namespace cepjoin {
+
+void AppendFixture() {
+  min_ts_.push_back(min_ts);
+  max_ts_.push_back(max_ts);
+  scratch_.reserve(64);  // NOT on the approved list
+}
+
+}  // namespace cepjoin

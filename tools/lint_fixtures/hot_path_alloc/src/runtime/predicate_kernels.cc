@@ -1,0 +1,15 @@
+// Fixture: four distinct forbidden allocation constructs in the one
+// hot-path file whose approved list is empty. The hot-path-alloc rule
+// must report each line. (A mention of new in a comment must NOT fire.)
+namespace cepjoin {
+
+void EvalFixture() {
+  std::vector<double> scratch;          // by-value container local
+  scratch.push_back(1.0);               // growing container call
+  double* block = new double[64];       // operator new
+  auto owned = std::make_unique<int>(7);  // make_unique
+  (void)block;
+  (void)owned;
+}
+
+}  // namespace cepjoin

@@ -1,0 +1,9 @@
+// Fixture: kUndocumented's value has no row in the fixture README.md.
+// The metric-names-readme rule must report it (and only it).
+namespace cepjoin {
+namespace metric_names {
+inline constexpr char kDocumented[] = "cep_fixture_documented_total";
+inline constexpr char kUndocumented[] =
+    "cep_fixture_undocumented_total";
+}  // namespace metric_names
+}  // namespace cepjoin

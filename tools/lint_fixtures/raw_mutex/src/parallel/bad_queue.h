@@ -1,0 +1,21 @@
+// Fixture: raw standard-library synchronization types outside
+// common/mutex.h. The raw-mutex rule must report the mutex member, the
+// condition variable, and the lock_guard use. (std::mutex named in this
+// comment must NOT fire.)
+#include <condition_variable>
+#include <mutex>
+
+namespace cepjoin {
+
+class BadQueue {
+ public:
+  void Push() {
+    std::lock_guard<std::mutex> lock(mu_);
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+};
+
+}  // namespace cepjoin

@@ -1,0 +1,12 @@
+// Fixture: fully annotated registry — the required-guards rule must
+// stay silent on this file.
+namespace cepjoin {
+
+class MetricsRegistry {
+ private:
+  mutable Mutex mu_;
+  std::deque<Entry> entries_ CEPJOIN_GUARDED_BY(mu_);
+  std::map<std::string, Entry*> index_ CEPJOIN_GUARDED_BY(mu_);
+};
+
+}  // namespace cepjoin

@@ -1,0 +1,13 @@
+// Fixture: items_ lost its CEPJOIN_GUARDED_BY while closed_ kept it.
+// The required-guards rule must report exactly the items_ deletion.
+namespace cepjoin {
+
+template <typename T>
+class BoundedQueue {
+ private:
+  mutable Mutex mu_;
+  std::deque<T> items_;
+  bool closed_ CEPJOIN_GUARDED_BY(mu_) = false;
+};
+
+}  // namespace cepjoin
