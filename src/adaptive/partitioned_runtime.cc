@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "durable/snapshot_codec.h"
 #include "event/partition_runs.h"
 
 namespace cepjoin {
@@ -62,6 +63,30 @@ void PartitionedRuntime::Finish() {
     final_counters_.MergeDisjoint(state.engine->counters());
     state.engine.reset();
   }
+}
+
+Status PartitionedRuntime::SaveStateTo(
+    std::vector<std::pair<uint32_t, std::string>>* out) const {
+  if (finished_) {
+    return Status::FailedPrecondition(
+        "SaveStateTo after Finish: the engines have been released");
+  }
+  for (uint32_t partition : Partitions()) {
+    EngineStateWriter w;
+    CEPJOIN_RETURN_IF_ERROR(engines_.at(partition).engine->SaveState(&w));
+    out->emplace_back(partition, w.Finish());
+  }
+  return Status::Ok();
+}
+
+Status PartitionedRuntime::LoadPartitionState(uint32_t partition,
+                                              const std::string& blob) {
+  if (finished_) {
+    return Status::FailedPrecondition("LoadPartitionState after Finish");
+  }
+  EngineStateReader reader(blob);
+  CEPJOIN_RETURN_IF_ERROR(reader.Init());
+  return StateFor(partition).engine->LoadState(&reader);
 }
 
 std::vector<uint32_t> PartitionedRuntime::Partitions() const {

@@ -4,9 +4,11 @@
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "adaptive/partition_planner.h"
+#include "common/status.h"
 #include "engine/engine_factory.h"
 #include "event/stream.h"
 #include "runtime/match.h"
@@ -67,6 +69,18 @@ class PartitionedRuntime {
   /// all totals, including events_processed, sum). After Finish() this
   /// serves the final snapshot taken before the engines were released.
   EngineCounters TotalCounters() const;
+
+  /// Checkpoint capture: serializes every live partition engine
+  /// (ascending partition order) as (partition, EngineStateWriter blob)
+  /// pairs. FailedPrecondition after Finish() — released engines have no
+  /// state left to save.
+  Status SaveStateTo(
+      std::vector<std::pair<uint32_t, std::string>>* out) const;
+
+  /// Checkpoint restore: builds the engine for `partition` (same shared
+  /// planner as capture, so same plan) and loads `blob` into it. Call on
+  /// a freshly constructed runtime, once per saved partition.
+  Status LoadPartitionState(uint32_t partition, const std::string& blob);
 
   /// Visits every live partition engine as fn(partition, engine). The
   /// observability layer uses this to read exact per-partition memory

@@ -108,6 +108,8 @@ CepService::CepService(const ServiceOptions& options) : options_(options) {
         metrics_registry_->GetCounter(metric_names::kIngestEvents);
     ingest_batches_ =
         metrics_registry_->GetCounter(metric_names::kIngestBatches);
+    restores_total_ =
+        metrics_registry_->GetCounter(metric_names::kRestoresTotal);
   }
 }
 
@@ -466,6 +468,8 @@ IngestResult CepService::ProcessSourceAsync(
   IngestOptions ingest;
   ingest.num_ingest_threads = options_.num_ingest_threads;
   ingest.chunk_size = options_.batch_size;
+  ingest.source_retry_limit = options_.source_retry_limit;
+  ingest.source_retry_backoff = options_.source_retry_backoff;
   // The pipeline owns the ingest throughput counters and watermark
   // gauges for this run (merged runs bypass OnBatch, so nothing double
   // counts).

@@ -3,6 +3,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <limits>
 #include <map>
 #include <memory>
 #include <string>
@@ -12,6 +13,9 @@
 #include "api/query_spec.h"
 #include "common/status.h"
 #include "engine/engine_factory.h"
+#include "event/arena.h"
+#include "event/partition_sequencer.h"
+#include "event/retraction_ledger.h"
 #include "event/stream.h"
 #include "event/stream_source.h"
 #include "obs/metrics.h"
@@ -23,6 +27,7 @@
 namespace cepjoin {
 
 class CepService;
+class EngineStateWriter;
 
 /// Construction-time configuration of a CepService. Validated by
 /// CepService::Create (returned errors, no aborts).
@@ -52,6 +57,15 @@ struct ServiceOptions {
   size_t num_ingest_threads = 0;
   /// Seed for randomized plan generators when a QuerySpec sets none.
   uint64_t default_seed = 7;
+  /// Transient-failure retries per StreamSource::Next call on the async
+  /// ingest path and PumpAttachedSources: a source failing with
+  /// StatusCode::kUnavailable (see StreamSource::error_code) is retried
+  /// up to this many times with exponential backoff before the failure
+  /// becomes final. 0 = fail fast (the pre-retry behavior). Retries are
+  /// counted by cep_ingest_source_retries_total.
+  size_t source_retry_limit = 0;
+  /// Initial backoff before the first retry; doubles per attempt.
+  std::chrono::milliseconds source_retry_backoff{10};
   /// Runtime observability (src/obs/): per-query match/latency/memory
   /// instruments, per-shard throughput, ingest watermarks — exported by
   /// MetricsSnapshot(). The instruments are striped relaxed atomics, so
@@ -177,6 +191,68 @@ class CepService {
       std::vector<std::unique_ptr<StreamSource>> sources);
   IngestResult ProcessSourceAsync(std::unique_ptr<StreamSource> source);
 
+  // ---- durable ingest: attached sources with replayable positions ----
+
+  /// Attaches a source to the service-owned ingest state (serial
+  /// assignment, per-partition sequencing, retraction resolution). The
+  /// attached sources are pulled by PumpAttachedSources on the caller's
+  /// thread — the checkpointable alternative to ProcessSourceAsync: the
+  /// per-source read positions are part of every checkpoint, and
+  /// RestoreFrom seeks positional sources (StreamSource::supports_
+  /// position) back to them, replaying exactly the un-checkpointed tail.
+  /// Attach every source before the first pump.
+  Status AttachSource(std::unique_ptr<StreamSource> source);
+  size_t num_attached_sources() const { return attached_.size(); }
+
+  /// Pulls up to `max_events` events from the attached sources, merged
+  /// across sources in (timestamp, inserts-first, attach-order) order —
+  /// the async pipeline's merge, run synchronously — and feeds them to
+  /// every active query. Returns the number of events fed; 0 means all
+  /// sources are exhausted. Source parse/validation failures surface as
+  /// InvalidArgument (or Unavailable for transient failures after
+  /// retries; see ServiceOptions::source_retry_limit) with the valid
+  /// prefix already evaluated.
+  StatusOr<size_t> PumpAttachedSources(
+      size_t max_events = std::numeric_limits<size_t>::max());
+
+  // ---- durability: checkpoint and restore ---------------------------
+
+  /// Serializes the full engine state — every active query's windows,
+  /// partial-match instances, counters, buffered sharded matches, and
+  /// the attached sources' merge/read positions — into `out` as one
+  /// deterministic payload (durable/snapshot_codec.h framing). The cut
+  /// is consistent: everything ingested before the call is inside,
+  /// nothing after. The service keeps running.
+  Status CaptureCheckpointBytes(std::string* out);
+
+  /// Captures (as CaptureCheckpointBytes) and publishes the result as
+  /// the next checkpoint in `dir` via the crash-safe two-phase manifest
+  /// protocol (durable/checkpoint_store.h). Creates `dir` if missing.
+  Status CheckpointTo(const std::string& dir);
+
+  struct RestoreReport {
+    /// Sequence number of the checkpoint that was restored.
+    uint64_t checkpoint_seq = 0;
+    /// True when the newest checkpoint was corrupt and recovery fell
+    /// back to the previous one; `detail` names the corruption. The
+    /// fallback loses only the work since that older cut — tail replay
+    /// from the restored source positions recovers the rest.
+    bool fell_back = false;
+    std::string detail;
+  };
+
+  /// Restores the newest valid checkpoint from `dir` into THIS service,
+  /// which must be freshly created with the same options shape (thread
+  /// class: 1 vs sharded) and the same queries registered in the same
+  /// order, with the same attached sources. Positional sources are
+  /// seeked to their recorded offsets so the next PumpAttachedSources
+  /// replays the un-checkpointed tail; drained match sequences are then
+  /// byte-identical to a run that never crashed. NotFound if `dir` or
+  /// its manifest does not exist; DataLoss if no stored checkpoint
+  /// verifies; FailedPrecondition if this service's registration
+  /// sequence disagrees with the checkpoint's.
+  StatusOr<RestoreReport> RestoreFrom(const std::string& dir);
+
   /// Ends the session: finishes every active query, joins the sharded
   /// workers, and drains each query's buffered matches to its sink.
   /// Idempotent. No ingest or registration is accepted afterwards.
@@ -292,6 +368,25 @@ class CepService {
   /// Recomputes the active inline-fed host list after a lifecycle
   /// change, so per-event ingest never scans retired queries.
   void RebuildInlineFeeds();
+  /// Refills one attached source's lookahead head, with transient-
+  /// failure retries per ServiceOptions::source_retry_limit.
+  Status RefillAttachedHead(size_t index);
+  /// Serializes one inline-hosted query's engine state section.
+  Status SaveQueryState(const QueryState& state, EngineStateWriter* w) const;
+
+  struct AttachedSource {
+    std::unique_ptr<StreamSource> source;
+    /// 1-event lookahead of the k-way merge.
+    Event head{};
+    bool has_head = false;
+    bool exhausted = false;
+    /// The source's position BEFORE `head` was pulled: re-reading from
+    /// here re-delivers `head` first, so checkpoints cut between pumps
+    /// never drop the buffered lookahead.
+    uint64_t head_position = 0;
+    /// Monotonicity baseline (per-source timestamp order check).
+    double last_ts = -std::numeric_limits<double>::infinity();
+  };
 
   ServiceOptions options_;
   std::unique_ptr<MetricsRegistry> metrics_registry_;  // null = metrics off
@@ -311,6 +406,15 @@ class CepService {
   std::vector<QueryState*> inline_feeds_;
   uint64_t next_id_ = 0;
   std::unique_ptr<ShardedRuntime> sharded_;
+  /// Durable ingest state (AttachSource/PumpAttachedSources): the
+  /// service-owned twin of the async pipeline's merge state, kept here
+  /// so checkpoints can carry it.
+  std::vector<AttachedSource> attached_;
+  uint64_t attached_next_serial_ = 0;
+  PartitionSequencer attached_seq_;
+  std::unique_ptr<RetractionLedger> attached_ledger_;
+  EventArena attached_arena_;
+  Counter* restores_total_ = nullptr;  // null = metrics off
   bool finished_ = false;
 };
 

@@ -72,6 +72,42 @@ class CondVar {
   std::condition_variable cv_;
 };
 
+/// One-shot latch: Notify() releases every current and future
+/// WaitForNotification(), with the mutex providing the happens-before
+/// edge that publishes the notifier's preceding writes to the waiters
+/// (the checkpoint control batches lean on exactly that edge).
+class Notification {
+ public:
+  Notification() = default;
+  Notification(const Notification&) = delete;
+  Notification& operator=(const Notification&) = delete;
+
+  void Notify() CEPJOIN_EXCLUDES(mu_) {
+    // NotifyAll stays under the mutex on purpose: waiters are stack
+    // owners (RunOnWorker) that destroy this object as soon as
+    // WaitForNotification returns, and they cannot return until this
+    // unlock — notifying after release would race the destructor.
+    MutexLock lock(mu_);
+    notified_ = true;
+    cv_.NotifyAll();
+  }
+
+  void WaitForNotification() CEPJOIN_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    while (!notified_) cv_.Wait(mu_);
+  }
+
+  bool HasBeenNotified() const CEPJOIN_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return notified_;
+  }
+
+ private:
+  mutable Mutex mu_;
+  CondVar cv_;
+  bool notified_ CEPJOIN_GUARDED_BY(mu_) = false;
+};
+
 }  // namespace cepjoin
 
 #endif  // CEPJOIN_COMMON_MUTEX_H_

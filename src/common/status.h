@@ -22,6 +22,16 @@ enum class StatusCode {
   /// The call is valid but not *yet* — e.g. reading sharded partition
   /// counts before Finish().
   kFailedPrecondition,
+  /// A transient condition: the operation may succeed if retried (a
+  /// stalled upstream feed, a momentarily unreachable source). The
+  /// ingest pipeline's bounded-retry loop keys off this code; every
+  /// other code is treated as fatal.
+  kUnavailable,
+  /// Unrecoverable data corruption or loss: a snapshot whose CRC does
+  /// not match, a truncated checkpoint with no valid predecessor.
+  /// Recovery surfaces what was lost through this code instead of
+  /// crashing or silently resuming from wrong state.
+  kDataLoss,
 };
 
 const char* StatusCodeName(StatusCode code);
@@ -46,6 +56,12 @@ class [[nodiscard]] Status {
   }
   static Status FailedPrecondition(std::string message) {
     return Status(StatusCode::kFailedPrecondition, std::move(message));
+  }
+  static Status Unavailable(std::string message) {
+    return Status(StatusCode::kUnavailable, std::move(message));
+  }
+  static Status DataLoss(std::string message) {
+    return Status(StatusCode::kDataLoss, std::move(message));
   }
 
   [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }

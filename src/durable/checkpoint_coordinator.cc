@@ -1,0 +1,152 @@
+#include "durable/checkpoint_coordinator.h"
+
+#include <chrono>
+#include <utility>
+
+#include "api/cep_service.h"
+#include "obs/pipeline_metrics.h"
+
+namespace cepjoin {
+
+CheckpointCoordinator::CheckpointCoordinator(CepService* service,
+                                             CheckpointOptions options)
+    : service_(service),
+      options_(std::move(options)),
+      store_(options_.dir) {
+  if (options_.metrics != nullptr) {
+    MetricsRegistry* reg = options_.metrics;
+    checkpoints_total_ = reg->GetCounter(metric_names::kCheckpointsTotal);
+    checkpoint_failures_ = reg->GetCounter(metric_names::kCheckpointFailures);
+    checkpoints_skipped_ = reg->GetCounter(metric_names::kCheckpointsSkipped);
+    stall_seconds_ = reg->GetHistogram(metric_names::kCheckpointStallSeconds);
+    checkpoint_bytes_ = reg->GetGauge(metric_names::kCheckpointBytes);
+    last_seq_ = reg->GetGauge(metric_names::kCheckpointLastSeq);
+  }
+}
+
+CheckpointCoordinator::~CheckpointCoordinator() {
+  Status ignored = Stop();
+  (void)ignored;
+}
+
+Status CheckpointCoordinator::Start() {
+  if (started_) {
+    return Status::FailedPrecondition("CheckpointCoordinator started twice");
+  }
+  if (service_ == nullptr) {
+    return Status::InvalidArgument("CheckpointCoordinator: service is null");
+  }
+  // Open on the caller's thread (adopts an existing chain, surfaces a
+  // corrupt manifest synchronously); after this the store is touched
+  // only by the writer thread.
+  CEPJOIN_RETURN_IF_ERROR(store_.Open());
+  started_ = true;
+  writer_ = std::thread([this] { WriterLoop(); });
+  return Status::Ok();
+}
+
+Status CheckpointCoordinator::CutLocked(double watermark) {
+  // Capture synchronously: the service is single-caller, so its state
+  // may only be observed from the thread driving ingest — which is the
+  // thread standing here. The stall histogram measures exactly this.
+  auto start = std::chrono::steady_clock::now();
+  std::string payload;
+  Status captured = service_->CaptureCheckpointBytes(&payload);
+  if (stall_seconds_ != nullptr) {
+    stall_seconds_->Record(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count());
+  }
+  if (!captured.ok()) {
+    if (checkpoint_failures_ != nullptr) checkpoint_failures_->Inc();
+    return captured;
+  }
+  pending_ = std::move(payload);
+  has_pending_ = true;
+  last_cut_watermark_ = watermark;
+  have_cut_ = true;
+  cv_.NotifyAll();
+  return Status::Ok();
+}
+
+StatusOr<bool> CheckpointCoordinator::MaybeCheckpoint(double watermark) {
+  if (!started_ || stopped_) {
+    return Status::FailedPrecondition("CheckpointCoordinator is not running");
+  }
+  MutexLock lock(mu_);
+  if (have_cut_ &&
+      watermark - last_cut_watermark_ < options_.min_watermark_advance) {
+    return false;  // policy: the watermark has not advanced enough
+  }
+  if (has_pending_) {
+    // The writer is still flushing the previous cut. Declining (rather
+    // than queueing) keeps at most one payload in memory and never
+    // publishes a cut older than an already-queued one.
+    if (checkpoints_skipped_ != nullptr) checkpoints_skipped_->Inc();
+    return false;
+  }
+  CEPJOIN_RETURN_IF_ERROR(CutLocked(watermark));
+  return true;
+}
+
+Status CheckpointCoordinator::CheckpointNow(double watermark) {
+  if (!started_ || stopped_) {
+    return Status::FailedPrecondition("CheckpointCoordinator is not running");
+  }
+  MutexLock lock(mu_);
+  while (has_pending_) cv_.Wait(mu_);
+  return CutLocked(watermark);
+}
+
+Status CheckpointCoordinator::Stop() {
+  if (!started_ || stopped_) return Status::Ok();
+  stopped_ = true;
+  {
+    MutexLock lock(mu_);
+    shutdown_ = true;
+    cv_.NotifyAll();
+  }
+  if (writer_.joinable()) writer_.join();
+  MutexLock lock(mu_);
+  return first_write_error_;
+}
+
+uint64_t CheckpointCoordinator::published() const {
+  MutexLock lock(mu_);
+  return published_;
+}
+
+void CheckpointCoordinator::WriterLoop() {
+  while (true) {
+    std::string payload;
+    {
+      MutexLock lock(mu_);
+      // Drain-before-exit: a payload queued by the final cut is still
+      // written after shutdown_ flips.
+      while (!has_pending_ && !shutdown_) cv_.Wait(mu_);
+      if (!has_pending_) return;  // shutdown with nothing queued
+      payload = std::move(pending_);
+      pending_.clear();
+    }
+    uint64_t seq = 0;
+    Status written = store_.WriteCheckpoint(payload, &seq);
+    {
+      MutexLock lock(mu_);
+      if (written.ok()) {
+        ++published_;
+        if (checkpoints_total_ != nullptr) checkpoints_total_->Inc();
+        if (checkpoint_bytes_ != nullptr) {
+          checkpoint_bytes_->Set(static_cast<double>(payload.size()));
+        }
+        if (last_seq_ != nullptr) last_seq_->Set(static_cast<double>(seq));
+      } else {
+        if (checkpoint_failures_ != nullptr) checkpoint_failures_->Inc();
+        if (first_write_error_.ok()) first_write_error_ = written;
+      }
+      has_pending_ = false;
+      cv_.NotifyAll();
+    }
+  }
+}
+
+}  // namespace cepjoin

@@ -1,0 +1,126 @@
+#ifndef CEPJOIN_DURABLE_CHECKPOINT_COORDINATOR_H_
+#define CEPJOIN_DURABLE_CHECKPOINT_COORDINATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <thread>
+
+#include "common/mutex.h"
+#include "common/status.h"
+#include "durable/checkpoint_store.h"
+#include "obs/metrics.h"
+
+namespace cepjoin {
+
+class CepService;
+
+/// Policy and wiring of periodic checkpoints.
+struct CheckpointOptions {
+  /// Checkpoint directory (created if missing).
+  std::string dir;
+  /// Minimum event-time advance of the ingest watermark between cuts:
+  /// MaybeCheckpoint(watermark) only captures once the watermark has
+  /// moved at least this far past the previous cut's. 0 cuts on every
+  /// eligible call.
+  double min_watermark_advance = 0.0;
+  /// Observability registry (not owned, may be null = metrics off).
+  /// Instruments: cep_checkpoints_total / _failures_total /
+  /// _skipped_total, cep_checkpoint_stall_seconds (capture stall on the
+  /// ingest thread), cep_checkpoint_bytes and cep_checkpoint_last_seq
+  /// gauges.
+  MetricsRegistry* metrics = nullptr;
+};
+
+/// Cuts watermark-aligned checkpoints of a CepService and writes them
+/// behind the ingest thread.
+///
+/// Split of work: the CAPTURE (CepService::CaptureCheckpointBytes) runs
+/// synchronously on the caller's thread — the service is single-caller,
+/// so only its thread may observe engine state, and the stall it pays is
+/// exactly the serialization cost (measured by
+/// cep_checkpoint_stall_seconds). The WRITE (CRC framing, atomic
+/// tmp+rename, manifest publish) runs on the coordinator's writer
+/// thread, overlapping ingest. At most one write is in flight; while the
+/// writer is busy, MaybeCheckpoint declines new cuts (counted by
+/// cep_checkpoints_skipped_total) instead of queueing stale payloads.
+///
+/// Usage, on the ingest thread:
+///
+///   CheckpointCoordinator coordinator(&service, {.dir = "ckpts"});
+///   CEPJOIN_CHECK_OK(coordinator.Start());
+///   while (auto fed = service.PumpAttachedSources(4096)) {
+///     if (fed.value() == 0) break;
+///     CEPJOIN_CHECK_OK(coordinator.MaybeCheckpoint(watermark).status());
+///   }
+///   CEPJOIN_CHECK_OK(coordinator.Stop());  // flush + first write error
+class CheckpointCoordinator {
+ public:
+  CheckpointCoordinator(CepService* service, CheckpointOptions options);
+  ~CheckpointCoordinator();
+
+  CheckpointCoordinator(const CheckpointCoordinator&) = delete;
+  CheckpointCoordinator& operator=(const CheckpointCoordinator&) = delete;
+
+  /// Opens the store (adopting any existing checkpoint chain, so
+  /// sequence numbers continue across restarts) and starts the writer
+  /// thread. Callable once.
+  Status Start();
+
+  /// Cuts a checkpoint if policy allows: the watermark must have
+  /// advanced min_watermark_advance past the previous cut's and the
+  /// writer must be idle. Returns true when a capture was handed to the
+  /// writer, false when the call was a policy skip; errors are capture
+  /// failures (the service's, surfaced synchronously).
+  StatusOr<bool> MaybeCheckpoint(double watermark);
+
+  /// Unconditional cut: waits for the writer to go idle, captures, and
+  /// hands off. Policy (watermark advance) is bypassed; the write itself
+  /// still completes asynchronously (Stop() to force it to disk).
+  Status CheckpointNow(double watermark);
+
+  /// Flushes the pending write, joins the writer thread, and returns the
+  /// first write error of the session (Ok if every publish landed).
+  /// Idempotent; the destructor calls it and discards the status.
+  Status Stop();
+
+  /// Checkpoints successfully published so far.
+  uint64_t published() const CEPJOIN_EXCLUDES(mu_);
+
+ private:
+  void WriterLoop();
+  /// Captures and enqueues; callers hold no lock. Requires idle writer.
+  Status CutLocked(double watermark) CEPJOIN_REQUIRES(mu_);
+
+  CepService* service_;  // not owned
+  CheckpointOptions options_;
+  CheckpointStore store_;  // writer-thread-confined after Start()
+  std::thread writer_;
+  bool started_ = false;
+  bool stopped_ = false;
+
+  // Metrics handles (null = metrics off), resolved at construction.
+  Counter* checkpoints_total_ = nullptr;
+  Counter* checkpoint_failures_ = nullptr;
+  Counter* checkpoints_skipped_ = nullptr;
+  Histogram* stall_seconds_ = nullptr;
+  Gauge* checkpoint_bytes_ = nullptr;
+  Gauge* last_seq_ = nullptr;
+
+  mutable Mutex mu_;
+  CondVar cv_;
+  /// Payload handed to the writer; meaningful while has_pending_.
+  std::string pending_ CEPJOIN_GUARDED_BY(mu_);
+  bool has_pending_ CEPJOIN_GUARDED_BY(mu_) = false;
+  bool shutdown_ CEPJOIN_GUARDED_BY(mu_) = false;
+  /// Watermark of the last accepted cut (policy baseline).
+  double last_cut_watermark_ CEPJOIN_GUARDED_BY(mu_) = 0.0;
+  bool have_cut_ CEPJOIN_GUARDED_BY(mu_) = false;
+  uint64_t published_ CEPJOIN_GUARDED_BY(mu_) = 0;
+  /// First write failure; later publishes still proceed (a transient
+  /// disk error must not end checkpointing), but Stop() reports it.
+  Status first_write_error_ CEPJOIN_GUARDED_BY(mu_) = Status::Ok();
+};
+
+}  // namespace cepjoin
+
+#endif  // CEPJOIN_DURABLE_CHECKPOINT_COORDINATOR_H_

@@ -1,0 +1,194 @@
+#include "durable/checkpoint_store.h"
+
+#include <cstring>
+#include <utility>
+
+#include "durable/fault_injector.h"
+#include "durable/snapshot_io.h"
+
+namespace cepjoin {
+namespace {
+
+constexpr char kSnapshotMagic[8] = {'C', 'E', 'P', 'J', 'S', 'N', 'A', 'P'};
+constexpr char kManifestMagic[8] = {'C', 'E', 'P', 'J', 'M', 'A', 'N', 'I'};
+constexpr char kManifestName[] = "MANIFEST";
+
+std::string ManifestPath(const std::string& dir) {
+  return dir + "/" + kManifestName;
+}
+
+std::string EncodeManifest(uint64_t current, uint64_t previous) {
+  SnapshotWriter w;
+  w.Raw(kManifestMagic, sizeof(kManifestMagic));
+  w.U32(kCheckpointContainerVersion);
+  w.U64(current);
+  w.U64(previous);
+  w.U32(Crc32(w.bytes().data(), w.size()));
+  return w.Take();
+}
+
+std::string EncodeSnapshot(const std::string& payload) {
+  SnapshotWriter w;
+  w.Raw(kSnapshotMagic, sizeof(kSnapshotMagic));
+  w.U32(kCheckpointContainerVersion);
+  w.U64(payload.size());
+  w.U32(Crc32(payload.data(), payload.size()));
+  w.Raw(payload.data(), payload.size());
+  return w.Take();
+}
+
+}  // namespace
+
+CheckpointStore::CheckpointStore(std::string dir) : dir_(std::move(dir)) {}
+
+std::string CheckpointStore::SnapshotPath(const std::string& dir,
+                                          uint64_t seq) {
+  return dir + "/snapshot-" + std::to_string(seq) + ".ckpt";
+}
+
+Status CheckpointStore::ReadManifest(uint64_t* current,
+                                     uint64_t* previous) const {
+  StatusOr<std::string> bytes = ReadFileToString(ManifestPath(dir_));
+  if (!bytes.ok()) return bytes.status();
+  const std::string& raw = *bytes;
+  SnapshotReader r(raw);
+  char magic[sizeof(kManifestMagic)];
+  for (char& c : magic) c = static_cast<char>(r.U8());
+  if (!r.ok() || std::memcmp(magic, kManifestMagic, sizeof(magic)) != 0) {
+    return Status::DataLoss("manifest '" + ManifestPath(dir_) +
+                            "' has wrong magic (not a checkpoint manifest, "
+                            "or its header was destroyed)");
+  }
+  uint32_t version = r.U32();
+  uint64_t cur = r.U64();
+  uint64_t prev = r.U64();
+  uint32_t stored_crc = r.U32();
+  if (!r.ok() || !r.AtEnd()) {
+    return Status::DataLoss("manifest '" + ManifestPath(dir_) +
+                            "' is truncated or has trailing bytes");
+  }
+  uint32_t actual_crc = Crc32(raw.data(), raw.size() - sizeof(uint32_t));
+  if (actual_crc != stored_crc) {
+    return Status::DataLoss("manifest '" + ManifestPath(dir_) +
+                            "' failed its CRC check");
+  }
+  if (version != kCheckpointContainerVersion) {
+    return Status::DataLoss("manifest '" + ManifestPath(dir_) +
+                            "' has unsupported container version " +
+                            std::to_string(version));
+  }
+  *current = cur;
+  *previous = prev;
+  return Status::Ok();
+}
+
+Status CheckpointStore::ReadSnapshot(uint64_t seq, std::string* payload) const {
+  const std::string path = SnapshotPath(dir_, seq);
+  StatusOr<std::string> bytes = ReadFileToString(path);
+  if (!bytes.ok()) return bytes.status();
+  const std::string& raw = *bytes;
+  SnapshotReader r(raw);
+  char magic[sizeof(kSnapshotMagic)];
+  for (char& c : magic) c = static_cast<char>(r.U8());
+  if (!r.ok() || std::memcmp(magic, kSnapshotMagic, sizeof(magic)) != 0) {
+    return Status::DataLoss("snapshot '" + path + "' has wrong magic");
+  }
+  uint32_t version = r.U32();
+  uint64_t payload_size = r.U64();
+  uint32_t stored_crc = r.U32();
+  if (!r.ok()) {
+    return Status::DataLoss("snapshot '" + path + "' header is truncated");
+  }
+  if (version != kCheckpointContainerVersion) {
+    return Status::DataLoss("snapshot '" + path +
+                            "' has unsupported container version " +
+                            std::to_string(version));
+  }
+  if (r.remaining() != payload_size) {
+    return Status::DataLoss(
+        "snapshot '" + path + "' is torn: header promises " +
+        std::to_string(payload_size) + " payload bytes, file carries " +
+        std::to_string(r.remaining()));
+  }
+  const char* body = raw.data() + (raw.size() - payload_size);
+  if (Crc32(body, payload_size) != stored_crc) {
+    return Status::DataLoss("snapshot '" + path + "' failed its CRC check");
+  }
+  payload->assign(body, payload_size);
+  return Status::Ok();
+}
+
+Status CheckpointStore::Open() {
+  CEPJOIN_RETURN_IF_ERROR(EnsureDirectory(dir_));
+  uint64_t current = 0;
+  uint64_t previous = 0;
+  Status manifest = ReadManifest(&current, &previous);
+  if (manifest.ok()) {
+    published_seq_ = current;
+    previous_seq_ = previous;
+    next_seq_ = current + 1;
+  }
+  // NotFound: fresh directory. DataLoss: the chain's pointers are gone;
+  // restart numbering after any stray snapshot files rather than failing
+  // the writer forever (LoadLatest still reports the corruption).
+  opened_ = true;
+  return Status::Ok();
+}
+
+Status CheckpointStore::WriteCheckpoint(const std::string& payload,
+                                        uint64_t* seq_out) {
+  if (!opened_) {
+    return Status::FailedPrecondition("CheckpointStore::Open() not called");
+  }
+  const uint64_t seq = next_seq_;
+  CEPJOIN_RETURN_IF_ERROR(WriteFileAtomic(SnapshotPath(dir_, seq),
+                                          EncodeSnapshot(payload), "snapshot"));
+  FaultInjector::Global().MaybeKill("snapshot-written");
+  // Phase two: atomically repoint the manifest. Until this rename lands,
+  // recovery still resolves the previous chain head.
+  CEPJOIN_RETURN_IF_ERROR(WriteFileAtomic(
+      ManifestPath(dir_), EncodeManifest(seq, published_seq_), "manifest"));
+  FaultInjector::Global().MaybeKill("manifest-published");
+  const uint64_t evicted = previous_seq_;
+  previous_seq_ = published_seq_;
+  published_seq_ = seq;
+  next_seq_ = seq + 1;
+  if (evicted != 0) RemoveFileIfExists(SnapshotPath(dir_, evicted));
+  if (seq_out != nullptr) *seq_out = seq;
+  return Status::Ok();
+}
+
+StatusOr<CheckpointStore::LoadedCheckpoint> CheckpointStore::LoadLatest()
+    const {
+  if (!DirectoryExists(dir_)) {
+    return Status::NotFound("no checkpoint directory at '" + dir_ + "'");
+  }
+  uint64_t current = 0;
+  uint64_t previous = 0;
+  Status manifest = ReadManifest(&current, &previous);
+  if (manifest.code() == StatusCode::kNotFound) {
+    return Status::NotFound("checkpoint directory '" + dir_ +
+                            "' has no manifest (no checkpoint was ever "
+                            "published here)");
+  }
+  CEPJOIN_RETURN_IF_ERROR(manifest);
+  LoadedCheckpoint loaded;
+  Status head = ReadSnapshot(current, &loaded.payload);
+  if (head.ok()) {
+    loaded.seq = current;
+    return loaded;
+  }
+  if (previous == 0) return head;
+  Status prev = ReadSnapshot(previous, &loaded.payload);
+  if (!prev.ok()) {
+    return Status::DataLoss("both checkpoints in '" + dir_ +
+                            "' are unreadable: current: " + head.message() +
+                            "; previous: " + prev.message());
+  }
+  loaded.seq = previous;
+  loaded.fell_back = true;
+  loaded.detail = head.message();
+  return loaded;
+}
+
+}  // namespace cepjoin

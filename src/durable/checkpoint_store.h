@@ -1,0 +1,102 @@
+#ifndef CEPJOIN_DURABLE_CHECKPOINT_STORE_H_
+#define CEPJOIN_DURABLE_CHECKPOINT_STORE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace cepjoin {
+
+/// Version of the checkpoint container (snapshot file + manifest)
+/// framing. Independent of kEngineStateFormatVersion: the container can
+/// evolve without touching the engine codec and vice versa.
+inline constexpr uint32_t kCheckpointContainerVersion = 1;
+
+/// On-disk checkpoint directory with crash-safe publication.
+///
+/// Layout:
+///   <dir>/snapshot-<seq>.ckpt   "CEPJSNAP" | u32 container version |
+///                               u64 payload size | u32 payload CRC-32 |
+///                               payload bytes
+///   <dir>/MANIFEST              "CEPJMANI" | u32 container version |
+///                               u64 current seq | u64 previous seq
+///                               (0 = none) | u32 CRC-32 of the bytes
+///                               before it
+///
+/// Publication is two-phase: the snapshot file is written atomically
+/// (tmp + fsync + rename, durable/snapshot_io.h), THEN the manifest is
+/// rewritten — also atomically — to point at it. A crash anywhere in
+/// between leaves the previous manifest intact, so recovery always finds
+/// a fully written checkpoint; the freshly renamed-but-unpublished
+/// snapshot is invisible garbage, collected by the next WriteCheckpoint.
+/// The manifest keeps the previous sequence number so a checkpoint whose
+/// bytes rotted after publication (torn sector, bit flip — caught by the
+/// CRC) still falls back one generation instead of losing everything.
+///
+/// Fault injection: the snapshot write passes kill points
+/// snapshot-{mid-write,before-rename,after-rename} and "snapshot-written"
+/// (snapshot durable, manifest untouched); the manifest write passes
+/// manifest-{mid-write,before-rename,after-rename} and
+/// "manifest-published". The crash matrix (tests/durable/) exercises all
+/// of them.
+///
+/// Single-caller like the service facade; LoadLatest() is const and
+/// touches no writer state.
+class CheckpointStore {
+ public:
+  explicit CheckpointStore(std::string dir);
+
+  /// Creates the directory if missing and adopts the sequence counter
+  /// from an existing manifest (so checkpointing into a reopened
+  /// directory continues the chain instead of overwriting it). A
+  /// corrupt manifest is treated as absent for writing: the chain
+  /// restarts, which is honest — its pointers were already lost.
+  Status Open();
+
+  /// Writes `payload` as the next checkpoint and publishes it through
+  /// the two-phase manifest update; on success `*seq_out` (if non-null)
+  /// receives its sequence number. Keeps the previous checkpoint file,
+  /// removes older ones.
+  Status WriteCheckpoint(const std::string& payload,
+                         uint64_t* seq_out = nullptr);
+
+  struct LoadedCheckpoint {
+    std::string payload;
+    uint64_t seq = 0;
+    /// True when the manifest's current snapshot failed verification and
+    /// recovery fell back to the previous one; `detail` says what was
+    /// wrong with the current.
+    bool fell_back = false;
+    std::string detail;
+  };
+
+  /// Loads the newest checkpoint that verifies: NotFound (naming the
+  /// path) when the directory or its manifest is missing, DataLoss when
+  /// the manifest or every referenced snapshot is corrupt — never a
+  /// crash, never silently wrong bytes (every byte is CRC-vouched).
+  StatusOr<LoadedCheckpoint> LoadLatest() const;
+
+  const std::string& dir() const { return dir_; }
+  /// Sequence of the last checkpoint this store published; 0 if none.
+  uint64_t published_seq() const { return published_seq_; }
+
+  static std::string SnapshotPath(const std::string& dir, uint64_t seq);
+
+ private:
+  /// Decodes + CRC-checks the manifest file. NotFound if absent,
+  /// DataLoss if malformed.
+  Status ReadManifest(uint64_t* current, uint64_t* previous) const;
+  /// Decodes + CRC-checks one snapshot file into `*payload`.
+  Status ReadSnapshot(uint64_t seq, std::string* payload) const;
+
+  std::string dir_;
+  bool opened_ = false;
+  uint64_t next_seq_ = 1;
+  uint64_t published_seq_ = 0;  // 0 = nothing published yet
+  uint64_t previous_seq_ = 0;
+};
+
+}  // namespace cepjoin
+
+#endif  // CEPJOIN_DURABLE_CHECKPOINT_STORE_H_

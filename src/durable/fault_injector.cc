@@ -1,0 +1,60 @@
+#include "durable/fault_injector.h"
+
+#include <unistd.h>
+
+#include <cstdlib>
+
+namespace cepjoin {
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector* injector = new FaultInjector();
+  return *injector;
+}
+
+FaultInjector::FaultInjector() {
+  const char* point = std::getenv("CEPJOIN_KILL_POINT");
+  if (point != nullptr && point[0] != '\0') {
+    const char* count = std::getenv("CEPJOIN_KILL_COUNT");
+    uint64_t n = 1;
+    if (count != nullptr) {
+      long long parsed = std::atoll(count);
+      if (parsed > 0) n = static_cast<uint64_t>(parsed);
+    }
+    ArmKillPoint(point, n);
+  }
+}
+
+void FaultInjector::ArmKillPoint(const std::string& point, uint64_t count) {
+  kill_armed_.store(false);
+  kill_point_ = point;
+  kill_count_.store(count == 0 ? 1 : count);
+  kill_armed_.store(true);
+}
+
+void FaultInjector::DisarmKillPoint() { kill_armed_.store(false); }
+
+bool FaultInjector::ShouldFailWrite() {
+  uint64_t at = fail_write_at_.load(std::memory_order_relaxed);
+  if (at == 0) return false;
+  // Count down; the write that brings the counter to zero fails.
+  at = fail_write_at_.fetch_sub(1) - 1;
+  return at == 0;
+}
+
+void FaultInjector::MaybeKill(const char* point) {
+  if (!kill_armed_.load(std::memory_order_relaxed)) return;
+  if (kill_point_ != point) return;
+  if (kill_count_.fetch_sub(1) - 1 > 0) return;
+  // A real crash takes no destructors and flushes nothing; _exit is the
+  // closest user-space equivalent to losing the process here.
+  _exit(kKillExitCode);
+}
+
+void FaultInjector::Reset() {
+  fail_write_at_.store(0);
+  truncate_next_.store(-1);
+  corrupt_next_.store(-1);
+  DisarmKillPoint();
+}
+
+}  // namespace cepjoin

@@ -1,0 +1,89 @@
+#ifndef CEPJOIN_DURABLE_FAULT_INJECTOR_H_
+#define CEPJOIN_DURABLE_FAULT_INJECTOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace cepjoin {
+
+/// Deterministic fault injection for the durability layer. Always
+/// compiled in (the disabled fast path is one relaxed atomic load), so
+/// the binaries CI ships are the binaries the crash matrix exercises —
+/// recovery code that only works in a special build proves nothing.
+///
+/// Two trigger surfaces:
+///  - programmatic: tests call the setters below before driving a
+///    checkpoint and assert on the resulting Status;
+///  - environment: the exec-self crash harness sets CEPJOIN_KILL_POINT
+///    (and optionally CEPJOIN_KILL_COUNT) in a child process, which then
+///    _exit(kKillExitCode)s the Nth time the named kill point is passed
+///    — a hard crash with no destructors, flushes, or atexit handlers,
+///    exactly like SIGKILL mid-operation.
+///
+/// Kill point names used by the checkpoint writer (durable/
+/// checkpoint_store.cc): WriteFileAtomic fires
+/// "<prefix>-mid-write" (after the first partial write of the tmp file),
+/// "<prefix>-before-rename" (tmp complete and fsynced, rename pending)
+/// and "<prefix>-after-rename" with prefix "snapshot" for the snapshot
+/// file and "manifest" for the manifest; the store additionally fires
+/// "snapshot-written" (snapshot durable, manifest untouched) and
+/// "manifest-published" (new checkpoint visible, old files not yet
+/// collected). A crash at ANY of them must leave the previous
+/// checkpoint restorable.
+class FaultInjector {
+ public:
+  /// Exit code of an injected kill; chosen to be distinguishable from
+  /// crashes (signals) and clean failures in the harness's waitpid.
+  static constexpr int kKillExitCode = 87;
+
+  /// Process-global injector, configured from the environment on first
+  /// use. All durable-layer I/O consults this instance.
+  static FaultInjector& Global();
+
+  /// Fails the Nth WriteOp from now (1 = the next one) with an injected
+  /// I/O error; 0 disables.
+  void FailNthWrite(uint64_t n) { fail_write_at_.store(n); }
+
+  /// Truncates the next written snapshot file to `bytes` after a
+  /// successful write (torn-write simulation); -1 disables.
+  void TruncateNextWrite(int64_t bytes) { truncate_next_.store(bytes); }
+
+  /// Flips one bit at `byte_offset` of the next written snapshot file
+  /// (silent-corruption simulation); -1 disables.
+  void CorruptNextWrite(int64_t byte_offset) {
+    corrupt_next_.store(byte_offset);
+  }
+
+  /// Arms a named kill point: the `count`th time MaybeKill(point) runs,
+  /// the process _exit()s immediately.
+  void ArmKillPoint(const std::string& point, uint64_t count = 1);
+  void DisarmKillPoint();
+
+  /// True if the caller's write should fail (consumes one trigger).
+  bool ShouldFailWrite();
+  /// Consumes and returns the pending truncation length, or -1.
+  int64_t TakeTruncation() { return truncate_next_.exchange(-1); }
+  /// Consumes and returns the pending bit-flip offset, or -1.
+  int64_t TakeCorruption() { return corrupt_next_.exchange(-1); }
+  /// _exit(kKillExitCode)s if `point` matches the armed kill point and
+  /// its countdown reaches zero. No-op (one atomic load) when disarmed.
+  void MaybeKill(const char* point);
+
+  /// Clears every armed fault (tests call this in SetUp/TearDown).
+  void Reset();
+
+ private:
+  FaultInjector();
+
+  std::atomic<uint64_t> fail_write_at_{0};
+  std::atomic<int64_t> truncate_next_{-1};
+  std::atomic<int64_t> corrupt_next_{-1};
+  std::atomic<uint64_t> kill_count_{0};
+  std::atomic<bool> kill_armed_{false};
+  std::string kill_point_;  // written only while disarmed
+};
+
+}  // namespace cepjoin
+
+#endif  // CEPJOIN_DURABLE_FAULT_INJECTOR_H_

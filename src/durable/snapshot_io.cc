@@ -1,0 +1,275 @@
+#include "durable/snapshot_io.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "durable/fault_injector.h"
+
+namespace cepjoin {
+
+namespace {
+
+/// IEEE 802.3 CRC-32 table, generated once.
+const uint32_t* Crc32Table() {
+  static uint32_t table[256];
+  static bool built = [] {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      table[i] = c;
+    }
+    return true;
+  }();
+  (void)built;
+  return table;
+}
+
+std::string Dirname(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+Status IoError(const std::string& what, const std::string& path) {
+  return Status::Unavailable(what + " failed for " + path + ": " +
+                             std::strerror(errno));
+}
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t n, uint32_t seed) {
+  const uint32_t* table = Crc32Table();
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (size_t i = 0; i < n; ++i) {
+    c = table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+void SnapshotWriter::U32(uint32_t v) {
+  char buf[4];
+  for (int i = 0; i < 4; ++i) buf[i] = static_cast<char>(v >> (8 * i));
+  bytes_.append(buf, 4);
+}
+
+void SnapshotWriter::U64(uint64_t v) {
+  char buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<char>(v >> (8 * i));
+  bytes_.append(buf, 8);
+}
+
+void SnapshotWriter::F64(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  U64(bits);
+}
+
+void SnapshotWriter::Str(const std::string& s) {
+  U64(s.size());
+  bytes_.append(s);
+}
+
+void SnapshotWriter::Raw(const void* data, size_t n) {
+  bytes_.append(static_cast<const char*>(data), n);
+}
+
+bool SnapshotReader::Need(size_t n) {
+  if (!status_.ok()) return false;
+  if (size_ - pos_ < n) {
+    status_ = Status::DataLoss("snapshot truncated: needed " +
+                               std::to_string(n) + " byte(s) at offset " +
+                               std::to_string(pos_) + " of " +
+                               std::to_string(size_));
+    return false;
+  }
+  return true;
+}
+
+uint8_t SnapshotReader::U8() {
+  if (!Need(1)) return 0;
+  return static_cast<uint8_t>(data_[pos_++]);
+}
+
+uint32_t SnapshotReader::U32() {
+  if (!Need(4)) return 0;
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<unsigned char>(data_[pos_ + i]))
+         << (8 * i);
+  }
+  pos_ += 4;
+  return v;
+}
+
+uint64_t SnapshotReader::U64() {
+  if (!Need(8)) return 0;
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<unsigned char>(data_[pos_ + i]))
+         << (8 * i);
+  }
+  pos_ += 8;
+  return v;
+}
+
+double SnapshotReader::F64() {
+  uint64_t bits = U64();
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+std::string SnapshotReader::Str() {
+  uint64_t n = U64();
+  if (!status_.ok()) return {};
+  if (n > size_ - pos_) {
+    Fail("string length " + std::to_string(n) + " exceeds remaining " +
+         std::to_string(size_ - pos_) + " byte(s)");
+    return {};
+  }
+  std::string s(data_ + pos_, static_cast<size_t>(n));
+  pos_ += static_cast<size_t>(n);
+  return s;
+}
+
+void SnapshotReader::Fail(const std::string& message) {
+  if (status_.ok()) {
+    status_ = Status::DataLoss("snapshot malformed at offset " +
+                               std::to_string(pos_) + ": " + message);
+  }
+}
+
+Status WriteFileAtomic(const std::string& path, const std::string& bytes,
+                       const char* kill_prefix) {
+  FaultInjector& faults = FaultInjector::Global();
+  const std::string tmp = path + ".tmp";
+  if (faults.ShouldFailWrite()) {
+    RemoveFileIfExists(tmp);
+    return Status::Unavailable("injected write failure for " + path);
+  }
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return IoError("open", tmp);
+  // Write in two halves with a kill point between them, so the crash
+  // matrix covers a genuinely torn file, not just a missing one.
+  size_t half = bytes.size() / 2;
+  const char* data = bytes.data();
+  size_t written = 0;
+  for (size_t target : {half, bytes.size()}) {
+    while (written < target) {
+      ssize_t n = ::write(fd, data + written, target - written);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        Status status = IoError("write", tmp);
+        ::close(fd);
+        RemoveFileIfExists(tmp);
+        return status;
+      }
+      written += static_cast<size_t>(n);
+    }
+    if (target == half) {
+      faults.MaybeKill((std::string(kill_prefix) + "-mid-write").c_str());
+    }
+  }
+  // Injected torn-write/corruption faults act on the durable bytes, i.e.
+  // before the fsync+rename publish — exactly where real storage bites.
+  int64_t truncate_to = faults.TakeTruncation();
+  if (truncate_to >= 0 &&
+      static_cast<uint64_t>(truncate_to) < bytes.size()) {
+    if (::ftruncate(fd, truncate_to) != 0) {
+      Status status = IoError("ftruncate", tmp);
+      ::close(fd);
+      return status;
+    }
+  }
+  int64_t corrupt_at = faults.TakeCorruption();
+  if (corrupt_at >= 0 && static_cast<uint64_t>(corrupt_at) < bytes.size()) {
+    char flipped = static_cast<char>(bytes[corrupt_at] ^ 0x40);
+    if (::pwrite(fd, &flipped, 1, corrupt_at) != 1) {
+      Status status = IoError("pwrite", tmp);
+      ::close(fd);
+      return status;
+    }
+  }
+  if (::fsync(fd) != 0) {
+    Status status = IoError("fsync", tmp);
+    ::close(fd);
+    return status;
+  }
+  if (::close(fd) != 0) return IoError("close", tmp);
+  faults.MaybeKill((std::string(kill_prefix) + "-before-rename").c_str());
+  if (::rename(tmp.c_str(), path.c_str()) != 0) return IoError("rename", tmp);
+  // Make the rename itself durable.
+  int dirfd = ::open(Dirname(path).c_str(), O_RDONLY | O_DIRECTORY);
+  if (dirfd >= 0) {
+    ::fsync(dirfd);
+    ::close(dirfd);
+  }
+  faults.MaybeKill((std::string(kill_prefix) + "-after-rename").c_str());
+  return Status::Ok();
+}
+
+StatusOr<std::string> ReadFileToString(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) {
+      return Status::NotFound("no such file: " + path);
+    }
+    return IoError("open", path);
+  }
+  std::string out;
+  char buf[1 << 16];
+  for (;;) {
+    ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      Status status = IoError("read", path);
+      ::close(fd);
+      return status;
+    }
+    if (n == 0) break;
+    out.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return out;
+}
+
+Status EnsureDirectory(const std::string& dir) {
+  if (dir.empty()) return Status::InvalidArgument("empty directory path");
+  std::string partial;
+  size_t i = 0;
+  while (i < dir.size()) {
+    size_t slash = dir.find('/', i + 1);
+    partial = dir.substr(0, slash == std::string::npos ? dir.size() : slash);
+    if (!partial.empty() && ::mkdir(partial.c_str(), 0755) != 0 &&
+        errno != EEXIST) {
+      return IoError("mkdir", partial);
+    }
+    if (slash == std::string::npos) break;
+    i = slash;
+  }
+  if (!DirectoryExists(dir)) {
+    return Status::InvalidArgument("not a directory: " + dir);
+  }
+  return Status::Ok();
+}
+
+bool DirectoryExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0 && S_ISDIR(st.st_mode);
+}
+
+void RemoveFileIfExists(const std::string& path) {
+  ::unlink(path.c_str());
+}
+
+}  // namespace cepjoin

@@ -1,0 +1,100 @@
+#ifndef CEPJOIN_DURABLE_SNAPSHOT_IO_H_
+#define CEPJOIN_DURABLE_SNAPSHOT_IO_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace cepjoin {
+
+/// CRC-32 (IEEE 802.3 polynomial) over a byte span. The integrity check
+/// of every snapshot payload and header: recovery trusts nothing a CRC
+/// has not vouched for.
+uint32_t Crc32(const void* data, size_t n, uint32_t seed = 0);
+
+/// Append-only byte encoder for snapshot payloads. Fixed-width
+/// little-endian integers and IEEE-754 bit patterns — byte-identical
+/// across runs for identical state, which is what lets tests compare
+/// snapshots and what makes the format a future wire format (ROADMAP:
+/// "one encoder, two consumers").
+class SnapshotWriter {
+ public:
+  void U8(uint8_t v) { bytes_.push_back(static_cast<char>(v)); }
+  void U32(uint32_t v);
+  void U64(uint64_t v);
+  void I8(int8_t v) { U8(static_cast<uint8_t>(v)); }
+  void F64(double v);
+  void Str(const std::string& s);
+  void Raw(const void* data, size_t n);
+
+  const std::string& bytes() const { return bytes_; }
+  std::string&& Take() { return std::move(bytes_); }
+  size_t size() const { return bytes_.size(); }
+
+ private:
+  std::string bytes_;
+};
+
+/// Bounds-checked decoder over a snapshot payload. Any overrun or
+/// malformed field latches a DataLoss status and makes every later read
+/// return zero values — so decode loops terminate cleanly on truncated
+/// or bit-flipped input and the caller checks status() once at the end.
+class SnapshotReader {
+ public:
+  SnapshotReader(const void* data, size_t n)
+      : data_(static_cast<const char*>(data)), size_(n) {}
+  explicit SnapshotReader(const std::string& bytes)
+      : SnapshotReader(bytes.data(), bytes.size()) {}
+
+  uint8_t U8();
+  uint32_t U32();
+  uint64_t U64();
+  int8_t I8() { return static_cast<int8_t>(U8()); }
+  double F64();
+  std::string Str();
+
+  /// Marks the payload malformed (a decoder found an impossible value —
+  /// e.g. a count larger than the remaining bytes could encode).
+  void Fail(const std::string& message);
+
+  [[nodiscard]] bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+  size_t remaining() const { return size_ - pos_; }
+  bool AtEnd() const { return pos_ == size_; }
+
+ private:
+  bool Need(size_t n);
+
+  const char* data_;
+  size_t size_;
+  size_t pos_ = 0;
+  Status status_ = Status::Ok();
+};
+
+/// Writes `bytes` to `path` atomically: write to `path + ".tmp"`, fsync,
+/// rename over `path`, fsync the directory. A crash at any point leaves
+/// either the old file or the new one, never a torn mix. Consults the
+/// global FaultInjector (injected write failures, post-write truncation
+/// or bit-flips, kill points named by `kill_prefix`).
+Status WriteFileAtomic(const std::string& path, const std::string& bytes,
+                       const char* kill_prefix);
+
+/// Reads a whole file. NotFound if it does not exist, DataLoss on a
+/// short read.
+StatusOr<std::string> ReadFileToString(const std::string& path);
+
+/// Creates `dir` (and parents) if missing.
+Status EnsureDirectory(const std::string& dir);
+
+/// True if `path` names an existing directory.
+bool DirectoryExists(const std::string& path);
+
+/// Removes a file, ignoring a missing target.
+void RemoveFileIfExists(const std::string& path);
+
+}  // namespace cepjoin
+
+#endif  // CEPJOIN_DURABLE_SNAPSHOT_IO_H_

@@ -1,8 +1,10 @@
 #include "engine/multi_engine.h"
 
+#include <string>
 #include <utility>
 
 #include "common/check.h"
+#include "durable/snapshot_codec.h"
 
 namespace cepjoin {
 
@@ -34,6 +36,30 @@ void MultiEngine::OnBatch(const EventPtr* events, size_t n) {
 void MultiEngine::Finish() {
   for (auto& engine : engines_) engine->Finish();
   RefreshCounters();
+}
+
+Status MultiEngine::SaveState(EngineStateWriter* w) const {
+  w->payload().U32(static_cast<uint32_t>(engines_.size()));
+  for (const auto& engine : engines_) {
+    CEPJOIN_RETURN_IF_ERROR(engine->SaveState(w));
+  }
+  return Status::Ok();
+}
+
+Status MultiEngine::LoadState(EngineStateReader* r) {
+  uint32_t n = r->payload().U32();
+  if (!r->payload().ok()) return r->payload().status();
+  if (n != engines_.size()) {
+    return Status::FailedPrecondition(
+        "snapshot holds " + std::to_string(n) +
+        " DNF sub-engine(s), this engine has " +
+        std::to_string(engines_.size()));
+  }
+  for (auto& engine : engines_) {
+    CEPJOIN_RETURN_IF_ERROR(engine->LoadState(r));
+  }
+  RefreshCounters();
+  return Status::Ok();
 }
 
 void MultiEngine::RefreshCounters() {

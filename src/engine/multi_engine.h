@@ -44,6 +44,11 @@ class MultiEngine : public Engine {
   void OnBatch(const EventPtr* events, size_t n) override;
   void Finish() override;
 
+  /// Checkpoint support: delegates to every sub-engine in subpattern
+  /// order, sharing one event dedup table across them.
+  [[nodiscard]] Status SaveState(EngineStateWriter* w) const override;
+  [[nodiscard]] Status LoadState(EngineStateReader* r) override;
+
   int num_subengines() const { return static_cast<int>(engines_.size()); }
   const Engine& subengine(int k) const { return *engines_[k]; }
 

@@ -1,11 +1,15 @@
 #ifndef CEPJOIN_EVENT_PARTITION_SEQUENCER_H_
 #define CEPJOIN_EVENT_PARTITION_SEQUENCER_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "common/status.h"
 #include "common/types.h"
+#include "durable/snapshot_io.h"
 
 namespace cepjoin {
 
@@ -33,6 +37,40 @@ class PartitionSequencer {
   /// Ids below this use the dense vector (at most 8 MiB); at or above
   /// it, the hash map.
   static constexpr uint32_t kDenseLimit = 1u << 20;
+
+  /// Checkpoint support: canonical encoding (trailing zero counters
+  /// trimmed, sparse entries sorted), so identical sequencer state
+  /// always serializes byte-identically.
+  void SaveTo(SnapshotWriter* w) const {
+    size_t n = dense_.size();
+    while (n > 0 && dense_[n - 1] == 0) --n;
+    w->U64(n);
+    for (size_t i = 0; i < n; ++i) w->U64(dense_[i]);
+    std::vector<std::pair<uint32_t, EventSerial>> sparse(sparse_.begin(),
+                                                         sparse_.end());
+    std::sort(sparse.begin(), sparse.end());
+    w->U64(sparse.size());
+    for (const auto& [partition, next] : sparse) {
+      w->U32(partition);
+      w->U64(next);
+    }
+  }
+
+  /// Replaces this sequencer's state with a SaveTo encoding. Malformed
+  /// input latches on the reader; check r->status() after.
+  void LoadFrom(SnapshotReader* r) {
+    dense_.clear();
+    sparse_.clear();
+    uint64_t n = r->U64();
+    // No reserve on an unvalidated count: the && r->ok() guard stops the
+    // loop at the first overrun of a truncated payload.
+    for (uint64_t i = 0; i < n && r->ok(); ++i) dense_.push_back(r->U64());
+    uint64_t m = r->U64();
+    for (uint64_t i = 0; i < m && r->ok(); ++i) {
+      uint32_t partition = r->U32();
+      sparse_[partition] = r->U64();
+    }
+  }
 
  private:
   std::vector<EventSerial> dense_;

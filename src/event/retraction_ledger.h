@@ -1,13 +1,16 @@
 #ifndef CEPJOIN_EVENT_RETRACTION_LEDGER_H_
 #define CEPJOIN_EVENT_RETRACTION_LEDGER_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <cstring>
 #include <string>
+#include <tuple>
 #include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
+#include "durable/snapshot_io.h"
 #include "event/event.h"
 
 namespace cepjoin {
@@ -54,6 +57,46 @@ class RetractionLedger {
   }
 
   size_t live_keys() const { return live_.size(); }
+
+  /// Checkpoint support: canonical encoding — keys sorted by (type,
+  /// partition, ts bits), each stack written bottom-to-top so reload
+  /// preserves the LIFO resolution order exactly.
+  void SaveTo(SnapshotWriter* w) const {
+    std::vector<const std::pair<const KeyT, std::vector<EventSerial>>*> items;
+    items.reserve(live_.size());
+    for (const auto& entry : live_) items.push_back(&entry);
+    std::sort(items.begin(), items.end(), [](const auto* a, const auto* b) {
+      return std::tie(a->first.type, a->first.partition, a->first.ts_bits) <
+             std::tie(b->first.type, b->first.partition, b->first.ts_bits);
+    });
+    w->U64(items.size());
+    for (const auto* item : items) {
+      w->U32(static_cast<uint32_t>(item->first.type));
+      w->U32(item->first.partition);
+      w->U64(item->first.ts_bits);
+      w->U64(item->second.size());
+      for (EventSerial serial : item->second) w->U64(serial);
+    }
+  }
+
+  /// Replaces this ledger's state with a SaveTo encoding. Malformed
+  /// input latches on the reader; check r->status() after.
+  void LoadFrom(SnapshotReader* r) {
+    live_.clear();
+    uint64_t n = r->U64();
+    for (uint64_t i = 0; i < n && r->ok(); ++i) {
+      KeyT key;
+      key.type = static_cast<TypeId>(r->U32());
+      key.partition = r->U32();
+      key.ts_bits = r->U64();
+      uint64_t depth = r->U64();
+      std::vector<EventSerial> stack;
+      for (uint64_t j = 0; j < depth && r->ok(); ++j) {
+        stack.push_back(r->U64());
+      }
+      if (r->ok()) live_.emplace(key, std::move(stack));
+    }
+  }
 
  private:
   /// Timestamps key by exact bit pattern — a retraction must quote the

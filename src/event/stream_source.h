@@ -2,9 +2,11 @@
 #define CEPJOIN_EVENT_STREAM_SOURCE_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 
 #include "common/check.h"
+#include "common/status.h"
 #include "event/stream.h"
 
 namespace cepjoin {
@@ -45,6 +47,31 @@ class StreamSource {
   /// targets are resolved against the recombined stream, so they may
   /// cross sources). Insert-only pipelines skip the ledger entirely.
   virtual bool declares_retractions() const { return false; }
+
+  /// Classifies the failure when !ok(). kUnavailable marks a transient
+  /// condition the ingest pipeline's bounded-retry loop may retry
+  /// (IngestOptions::source_retry_limit); every other code is fatal.
+  /// The built-in sources only produce data errors, hence the default.
+  virtual StatusCode error_code() const { return StatusCode::kInvalidArgument; }
+
+  // -- positional replay (durable checkpoints) -------------------------
+  //
+  // A positional source can report where its next un-consumed event
+  // begins (an index, a byte offset — any stable token) and resume from
+  // such a token later. Checkpoints record position() per attached
+  // source; crash recovery SeekTo()s it and re-reads the tail, which is
+  // what makes replay after RestoreFrom exact.
+
+  /// True iff position()/SeekTo() are meaningful for this source.
+  virtual bool supports_position() const { return false; }
+  /// Replay token of the next event Next() would produce.
+  virtual uint64_t position() const { return 0; }
+  /// Repositions the source at a token previously returned by
+  /// position(). InvalidArgument for non-positional sources.
+  [[nodiscard]] virtual Status SeekTo(uint64_t position) {
+    (void)position;
+    return Status::InvalidArgument("source does not support positioning");
+  }
 };
 
 /// Replays an in-memory EventStream (or an offset/stride slice of one)
@@ -89,6 +116,16 @@ class EventStreamSource : public StreamSource {
   std::string error() const override { return {}; }
   bool declares_retractions() const override {
     return stream_->retractions_enabled();
+  }
+
+  /// Position token: the index of the next replayed event. SeekTo past
+  /// the end is valid (an exhausted source), mirroring the constructor's
+  /// offset contract.
+  bool supports_position() const override { return true; }
+  uint64_t position() const override { return next_; }
+  Status SeekTo(uint64_t position) override {
+    next_ = static_cast<size_t>(position);
+    return Status::Ok();
   }
 
  private:

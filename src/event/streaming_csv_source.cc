@@ -137,7 +137,38 @@ bool StreamingCsvSource::ParseHeader() {
   attribute_names_.assign(header.begin() + 3,
                           header.begin() + attr_cells_end_);
   header_parsed_ = true;
+  RecordStreamPos();
   return true;
+}
+
+void StreamingCsvSource::RecordStreamPos() {
+  // tellg() fails (returns -1) once eofbit is set; keeping the last
+  // good offset makes position() stable at end-of-stream, where replay
+  // correctly re-reads zero rows (or rows appended since).
+  std::streampos pos = input_->tellg();
+  if (pos >= 0) stream_pos_ = static_cast<uint64_t>(pos);
+}
+
+Status StreamingCsvSource::SeekTo(uint64_t position) {
+  if (!header_parsed_) {
+    return Status::FailedPrecondition(
+        "cannot seek a CSV source whose header failed to parse");
+  }
+  input_->clear();
+  input_->seekg(static_cast<std::streamoff>(position));
+  if (input_->fail()) {
+    return Status::InvalidArgument("seek to byte offset " +
+                                   std::to_string(position) + " failed");
+  }
+  stream_pos_ = position;
+  done_ = false;
+  ok_ = true;
+  error_.clear();
+  // The rows before the offset were validated before the checkpoint;
+  // re-validation restarts from the resume point only.
+  previous_ts_ = -std::numeric_limits<double>::infinity();
+  lenient_validation_ = true;
+  return Status::Ok();
 }
 
 bool StreamingCsvSource::Next(Event* out) {
@@ -147,6 +178,7 @@ bool StreamingCsvSource::Next(Event* out) {
   std::string line;
   while (std::getline(*input_, line)) {
     ++line_number_;
+    RecordStreamPos();
     if (line.empty()) continue;
     std::vector<std::string> cells = SplitCsvLine(line);
     if (cells.size() != header_cells_) {
@@ -211,9 +243,14 @@ bool StreamingCsvSource::Next(Event* out) {
           }
         }
         // Source-local key validation; the serial-assigning layer
-        // resolves the real target downstream.
+        // resolves the real target downstream. After a SeekTo, a
+        // failed resolution may simply mean the target row precedes
+        // the resume point (validated before the checkpoint) — let
+        // the downstream ledger decide then.
         Status resolved = validation_ledger_.Resolve(out);
-        if (!resolved.ok()) return Fail(resolved.message());
+        if (!resolved.ok() && !lenient_validation_) {
+          return Fail(resolved.message());
+        }
       }
     }
     out->serial = 0;

@@ -75,9 +75,24 @@ class StreamingCsvSource : public StreamSource {
   /// failure.
   size_t line_number() const { return line_number_; }
 
+  /// Positional replay: the token is the byte offset of the next unread
+  /// row (tracked after every consumed line, so it stays valid at EOF
+  /// where tellg() fails). SeekTo() repositions the underlying stream at
+  /// such an offset and resumes parsing there: the monotone-timestamp
+  /// baseline resets to the resume point, and retraction-key validation
+  /// goes lenient for targets inserted before the seek (the rows before
+  /// the offset were already validated before the checkpoint was cut;
+  /// the serial-assigning layer still resolves — and rejects — bad
+  /// targets downstream). The header must have parsed successfully.
+  bool supports_position() const override { return true; }
+  uint64_t position() const override { return stream_pos_; }
+  Status SeekTo(uint64_t position) override;
+
  private:
   bool Fail(const std::string& message);
   bool ParseHeader();
+  /// Refreshes stream_pos_ after a consumed line (no-op at EOF).
+  void RecordStreamPos();
   /// Resolves a row's type name, validating the header schema against
   /// the type's registered schema on first sight. kInvalidTypeId means
   /// the source has failed.
@@ -95,8 +110,13 @@ class StreamingCsvSource : public StreamSource {
   size_t polarity_cell_ = 0;
   size_t retract_ts_cell_ = 0;
   size_t line_number_ = 0;
+  /// Byte offset of the next unread row (position()'s token).
+  uint64_t stream_pos_ = 0;
   double previous_ts_;
   bool has_polarity_ = false;
+  /// Set by SeekTo(): retractions whose targets predate the seek no
+  /// longer fail source-local validation (see SeekTo's contract).
+  bool lenient_validation_ = false;
   bool has_retract_ts_ = false;
   bool header_parsed_ = false;
   bool done_ = false;

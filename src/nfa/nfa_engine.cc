@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "durable/snapshot_codec.h"
 #include "obs/stage_timer.h"
 
 namespace cepjoin {
@@ -652,6 +653,129 @@ void NfaEngine::Sweep() {
     emitted_scan_threshold_ = std::max<size_t>(64, emitted_.size() * 2);
   }
   counters_.UpdatePeakBytes();
+}
+
+// --- snapshots --------------------------------------------------------------
+
+Status NfaEngine::SaveState(EngineStateWriter* w) const {
+  SnapshotWriter& p = w->payload();
+  // Configuration echo: LoadState verifies the restored engine was
+  // rebuilt with the same strategy/columnar mode before trusting the
+  // payload to line up with its topology.
+  p.U8(use_columnar_ ? 1 : 0);
+  p.U8(track_deltas_ ? 1 : 0);
+  p.U8(next_match_ ? 1 : 0);
+  p.U32(static_cast<uint32_t>(buffers_.size()));
+  p.U32(static_cast<uint32_t>(by_state_.size()));
+  for (const ColumnBuffer& buffer : buffers_) {
+    p.U64(buffer.size());
+    for (size_t i = 0; i < buffer.size(); ++i) w->EventRef(buffer[i]);
+  }
+  for (const std::vector<Instance>& list : by_state_) {
+    uint64_t live = 0;
+    for (const Instance& inst : list) live += inst.dead ? 0 : 1;
+    p.U64(live);
+    for (const Instance& inst : list) {
+      // Dead husks are invisible to matching and the next Sweep would
+      // drop them; their bytes were refunded at MarkDead, so skipping
+      // them keeps the restored run byte-identical.
+      if (inst.dead) continue;
+      w->EventList(inst.events);
+      w->EventList(inst.kleene_extra);
+      p.F64(inst.min_ts);
+      p.F64(inst.max_ts);
+      p.U64(inst.creation_serial);
+      p.U64(inst.max_kleene_serial);
+      p.U64(inst.tracked_bytes);
+    }
+  }
+  p.U64(pending_.size());
+  for (const PendingMatch& pm : pending_) {
+    w->WriteMatch(pm.match);
+    p.F64(pm.min_ts);
+    p.F64(pm.max_ts);
+    p.F64(pm.deadline);
+  }
+  p.U64(emitted_.size());
+  for (const EmittedMatch& em : emitted_) {
+    w->WriteMatch(em.match);
+    p.F64(em.max_ts);
+  }
+  p.U64(emitted_scan_threshold_);
+  p.F64(now_);
+  p.U64(current_serial_);
+  p.U64(events_since_sweep_);
+  w->WriteCounters(counters_);
+  return Status::Ok();
+}
+
+Status NfaEngine::LoadState(EngineStateReader* r) {
+  if (counters_.events_processed != 0 || current_serial_ != 0) {
+    return Status::FailedPrecondition(
+        "LoadState requires a freshly constructed engine");
+  }
+  SnapshotReader& p = r->payload();
+  bool use_columnar = p.U8() != 0;
+  bool track_deltas = p.U8() != 0;
+  bool next_match = p.U8() != 0;
+  uint32_t num_positions = p.U32();
+  uint32_t num_states = p.U32();
+  if (!p.ok()) return p.status();
+  if (use_columnar != use_columnar_ || track_deltas != track_deltas_ ||
+      next_match != next_match_ || num_positions != buffers_.size() ||
+      num_states != by_state_.size()) {
+    return Status::FailedPrecondition(
+        "snapshot was written by an NFA engine with a different "
+        "configuration (plan shape, columnar mode, or selection strategy)");
+  }
+  for (ColumnBuffer& buffer : buffers_) {
+    uint64_t n = p.U64();
+    for (uint64_t i = 0; i < n && p.ok(); ++i) {
+      EventPtr e = r->EventRef();
+      // Appends in saved order rebuild the column mirrors and re-latch
+      // the schema; byte accounting comes back with counters_ below.
+      if (e != nullptr) buffer.Append(e);
+    }
+  }
+  for (std::vector<Instance>& list : by_state_) {
+    uint64_t n = p.U64();
+    for (uint64_t i = 0; i < n && p.ok(); ++i) {
+      Instance inst;
+      inst.events = r->EventList();
+      inst.kleene_extra = r->EventList();
+      inst.min_ts = p.F64();
+      inst.max_ts = p.F64();
+      inst.creation_serial = p.U64();
+      inst.max_kleene_serial = p.U64();
+      inst.tracked_bytes = static_cast<size_t>(p.U64());
+      if (p.ok()) list.push_back(std::move(inst));
+    }
+  }
+  uint64_t num_pending = p.U64();
+  for (uint64_t i = 0; i < num_pending && p.ok(); ++i) {
+    PendingMatch pm;
+    pm.match = r->ReadMatch();
+    pm.min_ts = p.F64();
+    pm.max_ts = p.F64();
+    pm.deadline = p.F64();
+    if (p.ok()) pending_.push_back(std::move(pm));
+  }
+  uint64_t num_emitted = p.U64();
+  for (uint64_t i = 0; i < num_emitted && p.ok(); ++i) {
+    EmittedMatch em;
+    em.match = r->ReadMatch();
+    em.max_ts = p.F64();
+    if (p.ok()) emitted_.push_back(std::move(em));
+  }
+  emitted_scan_threshold_ = static_cast<size_t>(p.U64());
+  now_ = p.F64();
+  current_serial_ = p.U64();
+  events_since_sweep_ = p.U64();
+  EngineCounters restored;
+  r->ReadCounters(&restored);
+  if (!p.ok()) return p.status();
+  counters_ = restored;
+  return Status::Ok();
 }
 
 }  // namespace cepjoin

@@ -53,6 +53,11 @@ class NfaEngine : public Engine {
   void OnBatch(const EventPtr* events, size_t n) override;
   void Finish() override;
 
+  /// Checkpoint support. The serialized/rebuilt split of every member is
+  /// pinned in the CODEC MANIFEST (durable/snapshot_codec.cc).
+  [[nodiscard]] Status SaveState(EngineStateWriter* w) const override;
+  [[nodiscard]] Status LoadState(EngineStateReader* r) override;
+
   const CompiledPattern& compiled() const { return cp_; }
   const OrderPlan& plan() const { return plan_; }
 

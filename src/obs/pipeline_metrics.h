@@ -41,6 +41,16 @@ inline constexpr char kLastPositionMatches[] =
     "cep_query_last_position_matches_total";
 inline constexpr char kLastPosition[] = "cep_query_last_position";
 inline constexpr char kStageSeconds[] = "cep_stage_seconds";
+inline constexpr char kIngestSourceRetries[] =
+    "cep_ingest_source_retries_total";
+inline constexpr char kCheckpointsTotal[] = "cep_checkpoints_total";
+inline constexpr char kCheckpointFailures[] = "cep_checkpoint_failures_total";
+inline constexpr char kCheckpointsSkipped[] = "cep_checkpoints_skipped_total";
+inline constexpr char kCheckpointStallSeconds[] =
+    "cep_checkpoint_stall_seconds";
+inline constexpr char kCheckpointBytes[] = "cep_checkpoint_bytes";
+inline constexpr char kCheckpointLastSeq[] = "cep_checkpoint_last_seq";
+inline constexpr char kRestoresTotal[] = "cep_restores_total";
 }  // namespace metric_names
 
 /// The per-query instrument bundle, shared by the inline feed path

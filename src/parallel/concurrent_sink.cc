@@ -5,9 +5,45 @@
 #include <utility>
 
 #include "common/check.h"
+#include "durable/snapshot_codec.h"
 #include "obs/pipeline_metrics.h"
 
 namespace cepjoin {
+
+void ConcurrentMatchSink::ShardSink::SaveEntries(EngineStateWriter* w) const {
+  w->payload().U64(entries_.size());
+  for (const Entry& entry : entries_) {
+    w->WriteMatch(entry.match);
+    w->payload().U64(entry.query);
+    w->payload().U32(entry.partition);
+  }
+}
+
+Status ConcurrentMatchSink::ShardSink::LoadEntries(
+    EngineStateReader* r, size_t shard,
+    const std::function<size_t(uint32_t)>& shard_of,
+    const std::unordered_map<uint64_t, uint64_t>& query_remap) {
+  SnapshotReader& p = r->payload();
+  uint64_t n = p.U64();
+  for (uint64_t i = 0; i < n && p.ok(); ++i) {
+    Entry entry;
+    entry.match = r->ReadMatch();
+    entry.query = p.U64();
+    entry.partition = p.U32();
+    if (!p.ok()) break;
+    if (shard_of(entry.partition) != shard) continue;
+    auto it = query_remap.find(entry.query);
+    if (it == query_remap.end()) {
+      return Status::FailedPrecondition(
+          "buffered match references capture-time query id " +
+          std::to_string(entry.query) +
+          " with no restore-time counterpart");
+    }
+    entry.query = it->second;
+    entries_.push_back(std::move(entry));
+  }
+  return r->status();
+}
 
 void ConcurrentMatchSink::ShardSink::OnMatch(const Match& match) {
   Entry entry;

@@ -6,12 +6,16 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
+#include "common/status.h"
 #include "runtime/match.h"
 
 namespace cepjoin {
 
+class EngineStateReader;
+class EngineStateWriter;
 class QueryMetrics;
 
 /// Collects matches from concurrently running shard workers and replays
@@ -71,6 +75,25 @@ class ConcurrentMatchSink {
     void set_batch_ingest_time(std::chrono::steady_clock::time_point t) {
       batch_ingested_at_ = t;
     }
+
+    bool empty() const { return entries_.empty(); }
+
+    /// Checkpoint support: serializes the buffered entries (matches
+    /// tagged with runtime query id + partition) into `w`. Runs on the
+    /// owning worker thread via a control batch.
+    void SaveEntries(EngineStateWriter* w) const;
+
+    /// Restore counterpart: decodes a SaveEntries blob, keeps only the
+    /// entries whose partition `shard_of` maps to `shard`, and remaps
+    /// capture-time runtime query ids through `query_remap`. Every
+    /// capture-time shard blob is offered to every restore-time shard;
+    /// the filter re-partitions the union under the new shard map, and
+    /// the canonical (emit_serial, partition) drain order erases any
+    /// difference in which buffer an entry landed in.
+    Status LoadEntries(EngineStateReader* r, size_t shard,
+                       const std::function<size_t(uint32_t)>& shard_of,
+                       const std::unordered_map<uint64_t, uint64_t>&
+                           query_remap);
 
    private:
     friend class ConcurrentMatchSink;

@@ -3,6 +3,7 @@
 
 #include <chrono>
 #include <cstddef>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -11,6 +12,7 @@
 namespace cepjoin {
 
 struct QuerySetSnapshot;
+class ShardWorker;
 
 /// Unit of transfer between the router and a shard worker: a run of
 /// events, in global arrival order, all belonging to partitions owned by
@@ -27,6 +29,13 @@ struct EventBatch {
   /// batch, not per event; zero (epoch) when metrics are disabled, which
   /// downstream recording treats as "no anchor".
   std::chrono::steady_clock::time_point ingested_at{};
+  /// Control batch: when set, the worker runs this callback on its own
+  /// thread instead of processing events, giving callers (checkpoint
+  /// capture/restore, sharded_runtime.cc) ordered access to
+  /// thread-confined worker state without adding locks to the hot path.
+  /// The callback runs after all previously queued batches — queue order
+  /// IS the synchronization. Control batches carry no events.
+  std::shared_ptr<const std::function<void(ShardWorker*)>> control;
 
   bool empty() const { return events.empty(); }
   size_t size() const { return events.size(); }

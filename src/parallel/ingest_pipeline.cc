@@ -66,6 +66,7 @@ IngestPipeline::IngestPipeline(
     merged_watermark_ = reg->GetGauge(metric_names::kMergedWatermark);
     ingest_events_ = reg->GetCounter(metric_names::kIngestEvents);
     ingest_batches_ = reg->GetCounter(metric_names::kIngestBatches);
+    source_retries_ = reg->GetCounter(metric_names::kIngestSourceRetries);
   }
 }
 
@@ -120,21 +121,34 @@ void IngestPipeline::IngestGroup(Group& group) {
 
   auto refill = [&](size_t i, double min_ts) -> bool {
     StreamSource& source = *sources_[group.first_source + i];
-    if (source.Next(&heads[i])) {
-      if (!std::isfinite(heads[i].ts) || heads[i].ts < min_ts) {
-        fail(i, "source " + std::to_string(group.first_source + i) +
-                    ": timestamps must be finite and non-decreasing");
-        return false;
+    size_t attempts = 0;
+    std::chrono::milliseconds backoff = options_.source_retry_backoff;
+    while (true) {
+      if (source.Next(&heads[i])) {
+        if (!std::isfinite(heads[i].ts) || heads[i].ts < min_ts) {
+          fail(i, "source " + std::to_string(group.first_source + i) +
+                      ": timestamps must be finite and non-decreasing");
+          return false;
+        }
+        live[i] = 1;
+        return true;
       }
-      live[i] = 1;
-    } else {
       live[i] = 0;
-      if (!source.ok()) {
-        fail(i, source.error());
-        return false;
+      if (source.ok()) return true;  // cleanly exhausted
+      // Transient failure (kUnavailable): back off and re-poll. Fatal
+      // codes (parse errors) fall through immediately — re-reading
+      // malformed input cannot fix it.
+      if (source.error_code() == StatusCode::kUnavailable &&
+          attempts < options_.source_retry_limit) {
+        ++attempts;
+        if (source_retries_ != nullptr) source_retries_->Inc();
+        std::this_thread::sleep_for(backoff);
+        backoff *= 2;
+        continue;
       }
+      fail(i, source.error());
+      return false;
     }
-    return true;
   };
 
   for (size_t i = 0; i < k; ++i) {

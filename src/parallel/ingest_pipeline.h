@@ -1,6 +1,7 @@
 #ifndef CEPJOIN_PARALLEL_INGEST_PIPELINE_H_
 #define CEPJOIN_PARALLEL_INGEST_PIPELINE_H_
 
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
@@ -41,6 +42,14 @@ struct IngestOptions {
   /// Queue depth per ingestion thread, in chunks (back-pressure toward
   /// the sources when parsing outruns evaluation).
   size_t queue_capacity = 8;
+  /// Transient-failure retries per StreamSource::Next call: a source
+  /// failing with StatusCode::kUnavailable (StreamSource::error_code) is
+  /// re-polled up to this many times with exponential backoff before its
+  /// group fails. Parse/validation errors (kInvalidArgument) are never
+  /// retried — re-reading malformed input cannot fix it. 0 = fail fast.
+  size_t source_retry_limit = 0;
+  /// Initial backoff before the first retry; doubles per attempt.
+  std::chrono::milliseconds source_retry_backoff{10};
   /// Observability registry (not owned, may be null = metrics off).
   /// When set, the pipeline exposes per-source event-time watermarks
   /// (cep_source_watermark_seconds{source=i}: the last timestamp each
@@ -142,6 +151,7 @@ class IngestPipeline {
   Gauge* merged_watermark_ = nullptr;
   Counter* ingest_events_ = nullptr;
   Counter* ingest_batches_ = nullptr;
+  Counter* source_retries_ = nullptr;
 };
 
 }  // namespace cepjoin

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "common/mutex.h"
 
 namespace cepjoin {
 
@@ -137,7 +138,83 @@ void ShardedRuntime::PublishSnapshot() {
     q.metrics = entry.metrics;
     snapshot->queries.push_back(q);
   }
+  snapshot_ = snapshot;
   router_.set_query_snapshot(std::move(snapshot));
+}
+
+Status ShardedRuntime::RunOnWorker(
+    size_t shard, const std::function<void(ShardWorker*)>& fn) {
+  Notification done;
+  EventBatch batch;
+  batch.control = std::make_shared<const std::function<void(ShardWorker*)>>(
+      [&fn, &done](ShardWorker* worker) {
+        fn(worker);
+        done.Notify();
+      });
+  if (!router_.queue(shard).Push(std::move(batch))) {
+    return Status::FailedPrecondition("shard queue closed");
+  }
+  // The Notification's mutex publishes everything the callback wrote
+  // (the captured snapshot / restored engines) to this thread.
+  done.WaitForNotification();
+  return Status::Ok();
+}
+
+Status ShardedRuntime::CaptureCheckpoint(ShardedCheckpoint* out) {
+  CEPJOIN_CHECK(out != nullptr);
+  if (finished_) {
+    return Status::FailedPrecondition("CaptureCheckpoint after Finish");
+  }
+  // Events buffered in the router must be inside the cut: push them to
+  // the queues ahead of our control batches.
+  router_.FlushAll();
+  out->partitions.clear();
+  out->sink_blobs.clear();
+  out->sink_blobs.reserve(workers_.size());
+  Status capture = Status::Ok();
+  for (size_t shard = 0; shard < workers_.size(); ++shard) {
+    std::string sink_blob;
+    CEPJOIN_RETURN_IF_ERROR(RunOnWorker(shard, [&](ShardWorker* worker) {
+      Status s = worker->CaptureState(&out->partitions, &sink_blob);
+      if (capture.ok() && !s.ok()) capture = s;
+    }));
+    out->sink_blobs.push_back(std::move(sink_blob));
+  }
+  return capture;
+}
+
+Status ShardedRuntime::RestoreCheckpoint(
+    const ShardedCheckpoint& checkpoint,
+    const std::unordered_map<uint64_t, uint64_t>& query_remap) {
+  if (finished_) {
+    return Status::FailedPrecondition("RestoreCheckpoint after Finish");
+  }
+  if (router_.events_routed() != 0) {
+    return Status::FailedPrecondition(
+        "RestoreCheckpoint requires a runtime that has not routed events");
+  }
+  // Group the engine blobs by the shard owning each partition HERE —
+  // this is where a checkpoint cut at 4 threads redistributes onto 2.
+  std::vector<std::vector<const PartitionSnapshot*>> by_shard(workers_.size());
+  for (const PartitionSnapshot& snap : checkpoint.partitions) {
+    by_shard[router_.ShardOf(snap.partition)].push_back(&snap);
+  }
+  std::vector<const std::string*> sink_blobs;
+  sink_blobs.reserve(checkpoint.sink_blobs.size());
+  for (const std::string& blob : checkpoint.sink_blobs) {
+    sink_blobs.push_back(&blob);
+  }
+  const std::function<size_t(uint32_t)> shard_of =
+      [this](uint32_t partition) { return router_.ShardOf(partition); };
+  Status restore = Status::Ok();
+  for (size_t shard = 0; shard < workers_.size(); ++shard) {
+    CEPJOIN_RETURN_IF_ERROR(RunOnWorker(shard, [&, shard](ShardWorker* w) {
+      Status s = w->RestoreState(snapshot_, by_shard[shard], sink_blobs,
+                                 query_remap, shard, shard_of);
+      if (restore.ok() && !s.ok()) restore = s;
+    }));
+  }
+  return restore;
 }
 
 void ShardedRuntime::OnEvent(const EventPtr& e) {

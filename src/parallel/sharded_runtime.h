@@ -3,9 +3,11 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "adaptive/partition_planner.h"
@@ -16,6 +18,7 @@
 #include "parallel/concurrent_sink.h"
 #include "parallel/event_batch.h"
 #include "parallel/query_set.h"
+#include "parallel/shard_checkpoint.h"
 #include "parallel/shard_router.h"
 #include "parallel/worker.h"
 #include "runtime/match.h"
@@ -154,6 +157,31 @@ class ShardedRuntime {
   /// Events routed so far.
   uint64_t events_routed() const { return router_.events_routed(); }
 
+  /// The shard owning `partition` under this runtime's thread count.
+  size_t ShardOfPartition(uint32_t partition) const {
+    return router_.ShardOf(partition);
+  }
+
+  /// Checkpoint capture: flushes pending batches, then walks the shards
+  /// one at a time, each serializing its live engines and buffered sink
+  /// entries on its own worker thread (control batch; the caller blocks
+  /// until the shard reports done). The result is a consistent cut: all
+  /// events routed before this call are fully evaluated and inside the
+  /// snapshot, none routed after are. The runtime stays usable — this is
+  /// the online path CheckpointCoordinator drives between batches.
+  Status CaptureCheckpoint(ShardedCheckpoint* out);
+
+  /// Checkpoint restore into a freshly constructed runtime with the same
+  /// query set already re-registered (any thread count): re-routes each
+  /// partition blob to the shard owning it HERE, hands every capture-time
+  /// sink blob to every shard (each keeps the entries it now owns), and
+  /// remaps sink-entry query ids through `query_remap` (capture-time
+  /// runtime id -> this runtime's id). FailedPrecondition if events were
+  /// already routed.
+  Status RestoreCheckpoint(
+      const ShardedCheckpoint& checkpoint,
+      const std::unordered_map<uint64_t, uint64_t>& query_remap);
+
  private:
   struct QueryEntry {
     std::unique_ptr<PartitionPlanner> planner;
@@ -171,8 +199,16 @@ class ShardedRuntime {
   /// current active set as a new epoch.
   void PublishSnapshot();
   uint64_t SoleQueryId() const;
+  /// Runs `fn` on shard `shard`'s worker thread via a control batch and
+  /// blocks until it completes. FIFO queue order guarantees every batch
+  /// routed before this call is evaluated first.
+  Status RunOnWorker(size_t shard,
+                     const std::function<void(ShardWorker*)>& fn);
 
   std::map<uint64_t, QueryEntry> queries_;  // id order == registration order
+  /// The snapshot last published to the router; RestoreCheckpoint hands
+  /// it to the workers directly (they may not have seen a batch yet).
+  std::shared_ptr<const QuerySetSnapshot> snapshot_;
   uint64_t next_query_id_ = 0;
   uint64_t epoch_ = 0;
   MetricsRegistry* metrics_;  // not owned, null = metrics off

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "durable/snapshot_codec.h"
 #include "event/partition_runs.h"
 
 namespace cepjoin {
@@ -126,6 +127,15 @@ void ShardWorker::FinishQueriesRemovedBy(const QuerySetSnapshot& next) {
 void ShardWorker::Run() {
   EventBatch batch;
   while (queue_->Pop(batch)) {
+    if (batch.control != nullptr) {
+      // Checkpoint capture/restore runs here, on the worker thread, with
+      // every earlier batch fully evaluated (FIFO queue order is the
+      // synchronization; the caller blocks on a Notification inside the
+      // callback's closure).
+      (*batch.control)(this);
+      batch.control.reset();
+      continue;
+    }
     if (metrics_ != nullptr) {
       metrics_->events_total->Inc(batch.events.size());
       metrics_->batches_total->Inc();
@@ -182,6 +192,90 @@ void ShardWorker::Run() {
   }
   std::sort(remaining.begin(), remaining.end());
   for (uint64_t id : remaining) FinishQuery(id, queries_.at(id));
+}
+
+Status ShardWorker::CaptureState(std::vector<PartitionSnapshot>* partitions,
+                                 std::string* sink_entries) {
+  std::vector<uint64_t> ids;
+  for (const auto& [id, state] : queries_) {
+    if (!state.finished) ids.push_back(id);
+  }
+  std::sort(ids.begin(), ids.end());
+  for (uint64_t id : ids) {
+    QueryState& state = queries_.at(id);
+    std::vector<uint32_t> parts;
+    parts.reserve(state.partitions.size());
+    for (const auto& [partition, ps] : state.partitions) {
+      parts.push_back(partition);
+    }
+    std::sort(parts.begin(), parts.end());
+    for (uint32_t partition : parts) {
+      EngineStateWriter w;
+      CEPJOIN_RETURN_IF_ERROR(
+          state.partitions.at(partition).engine->SaveState(&w));
+      PartitionSnapshot snap;
+      snap.query = id;
+      snap.partition = partition;
+      snap.engine_state = w.Finish();
+      partitions->push_back(std::move(snap));
+    }
+  }
+  EngineStateWriter sw;
+  sink_->SaveEntries(&sw);
+  *sink_entries = sw.Finish();
+  return Status::Ok();
+}
+
+Status ShardWorker::RestoreState(
+    std::shared_ptr<const QuerySetSnapshot> snapshot,
+    const std::vector<const PartitionSnapshot*>& partitions,
+    const std::vector<const std::string*>& sink_blobs,
+    const std::unordered_map<uint64_t, uint64_t>& query_remap, size_t shard,
+    const std::function<size_t(uint32_t)>& shard_of) {
+  if (!queries_.empty()) {
+    return Status::FailedPrecondition(
+        "RestoreState requires a freshly started worker");
+  }
+  active_ = std::move(snapshot);
+  for (const PartitionSnapshot* snap : partitions) {
+    const ShardQuery* query = nullptr;
+    if (active_ != nullptr) {
+      for (const ShardQuery& q : active_->queries) {
+        if (q.id == snap->query) {
+          query = &q;
+          break;
+        }
+      }
+    }
+    if (query == nullptr) {
+      return Status::FailedPrecondition(
+          "checkpoint carries state for query id " +
+          std::to_string(snap->query) + " absent from the active query set");
+    }
+    PartitionState& state =
+        StateFor(QueryStateFor(*query), snap->partition);
+    EngineStateReader reader(snap->engine_state);
+    CEPJOIN_RETURN_IF_ERROR(reader.Init());
+    CEPJOIN_RETURN_IF_ERROR(state.engine->LoadState(&reader));
+    const EngineCounters& counters = state.engine->counters();
+    // The restored engine counters include pre-checkpoint work; start
+    // the delta-sync watermarks there so this process's registry
+    // counters report only work done after the restore (counters are
+    // process-local; a restart is a counter reset either way).
+    state.kernel_lanes_reported = counters.instance_kernel_lanes;
+    state.kernel_blocks_reported = counters.instance_kernel_blocks;
+    state.retractions_reported = counters.retractions_processed;
+    if (state.memory != nullptr) {
+      state.memory->Set(static_cast<double>(counters.CurrentBytes()));
+    }
+  }
+  for (const std::string* blob : sink_blobs) {
+    EngineStateReader reader(*blob);
+    CEPJOIN_RETURN_IF_ERROR(reader.Init());
+    CEPJOIN_RETURN_IF_ERROR(
+        sink_->LoadEntries(&reader, shard, shard_of, query_remap));
+  }
+  return Status::Ok();
 }
 
 EngineCounters ShardWorker::CountersOf(uint64_t query) const {

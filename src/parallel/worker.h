@@ -3,17 +3,21 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "adaptive/partition_planner.h"
+#include "common/status.h"
 #include "obs/pipeline_metrics.h"
 #include "parallel/bounded_queue.h"
 #include "parallel/concurrent_sink.h"
 #include "parallel/event_batch.h"
 #include "parallel/query_set.h"
+#include "parallel/shard_checkpoint.h"
 
 namespace cepjoin {
 
@@ -78,6 +82,29 @@ class ShardWorker {
   /// The plan serving `partition` under `query`, or nullptr if this
   /// worker never saw that combination. Valid only after Join().
   const EnginePlan* PlanFor(uint64_t query, uint32_t partition) const;
+
+  /// Checkpoint capture: serializes every live (unfinished) engine on
+  /// this shard into `partitions` (ascending query id, then ascending
+  /// partition) and the buffered sink entries into `sink_entries`. MUST
+  /// run on the worker thread — the runtime delivers it via a control
+  /// batch (EventBatch::control), which also guarantees every earlier
+  /// batch has been fully evaluated.
+  Status CaptureState(std::vector<PartitionSnapshot>* partitions,
+                      std::string* sink_entries);
+
+  /// Checkpoint restore into a freshly started worker: adopts `snapshot`
+  /// as the active query set, rebuilds an engine for each of this
+  /// shard's `partitions` entries and loads its state, then loads from
+  /// every capture-time `sink_blobs` entry the buffered matches whose
+  /// partition `shard_of` maps to `shard`, remapping their query ids
+  /// through `query_remap` (capture-time runtime id -> this runtime's
+  /// id). Same control-batch delivery contract as CaptureState.
+  Status RestoreState(std::shared_ptr<const QuerySetSnapshot> snapshot,
+                      const std::vector<const PartitionSnapshot*>& partitions,
+                      const std::vector<const std::string*>& sink_blobs,
+                      const std::unordered_map<uint64_t, uint64_t>& query_remap,
+                      size_t shard,
+                      const std::function<size_t(uint32_t)>& shard_of);
 
  private:
   struct PartitionState {

@@ -5,9 +5,13 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "common/status.h"
 #include "event/event.h"
 
 namespace cepjoin {
+
+class EngineStateWriter;  // durable/snapshot_codec.h
+class EngineStateReader;
 
 /// Resource counters every engine maintains. "Partial matches" are the
 /// paper's primary cost quantity (Sec. 3.1); peaks drive the memory
@@ -131,6 +135,29 @@ class Engine {
   /// Signals end-of-stream: flushes matches whose trailing-negation
   /// windows are still open.
   virtual void Finish() = 0;
+
+  /// Serializes the engine's complete mutable state — window buffers,
+  /// partial-match instances, pending/emitted match queues, stream
+  /// cursors, and counters — into `w` (durable/snapshot_codec.h). An
+  /// engine restored from the result via LoadState produces byte-
+  /// identical match sequences and counters to one that kept running.
+  /// Construction-derived topology (plans, compiled predicates, mirror
+  /// configuration) is NOT serialized: restore re-builds the engine from
+  /// the same (pattern, plan) first, then loads state into it.
+  [[nodiscard]] virtual Status SaveState(EngineStateWriter* w) const {
+    (void)w;
+    return Status::InvalidArgument("engine does not support state snapshots");
+  }
+
+  /// Restores state saved by SaveState into a freshly constructed engine
+  /// of the same configuration. FailedPrecondition if this engine has
+  /// already processed events or its configuration (plan shape, columnar
+  /// mode, selection strategy) disagrees with the snapshot; DataLoss if
+  /// the payload is truncated or malformed.
+  [[nodiscard]] virtual Status LoadState(EngineStateReader* r) {
+    (void)r;
+    return Status::InvalidArgument("engine does not support state snapshots");
+  }
 
   const EngineCounters& counters() const { return counters_; }
 

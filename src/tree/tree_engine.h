@@ -37,6 +37,13 @@ class TreeEngine : public Engine {
   void OnBatch(const EventPtr* events, size_t n) override;
   void Finish() override;
 
+  /// Checkpoint support. The serialized/rebuilt split of every member is
+  /// pinned in the CODEC MANIFEST (durable/snapshot_codec.cc); the
+  /// columnar leaf/instance mirrors are rebuilt at load by replaying the
+  /// NewInstance append path, preserving lane == instance congruence.
+  [[nodiscard]] Status SaveState(EngineStateWriter* w) const override;
+  [[nodiscard]] Status LoadState(EngineStateReader* r) override;
+
   const CompiledPattern& compiled() const { return cp_; }
   const TreePlan& plan() const { return plan_; }
 

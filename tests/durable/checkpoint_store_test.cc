@@ -1,0 +1,236 @@
+// CheckpointStore crash-safety: two-phase publication, previous-
+// generation fallback when the newest snapshot's bytes rot, and — the
+// adversarial part — fuzzing the on-disk files: truncating the current
+// snapshot at EVERY byte boundary and bit-flipping every byte of its
+// header must each either fall back to the previous checkpoint or
+// report DataLoss. Recovery never crashes and never returns bytes a CRC
+// has not vouched for.
+
+#include "durable/checkpoint_store.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "durable/fault_injector.h"
+#include "durable/snapshot_io.h"
+
+namespace cepjoin {
+namespace {
+
+class CheckpointStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    FaultInjector::Global().Reset();
+    dir_ = ::testing::TempDir() + "/ckpt_store_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir_);  // stale state from a prior run
+  }
+  void TearDown() override { FaultInjector::Global().Reset(); }
+
+  std::string ReadFile(const std::string& path) {
+    return ReadFileToString(path).value();
+  }
+
+  void OverwriteFile(const std::string& path, const std::string& bytes) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    ASSERT_TRUE(out.good());
+  }
+
+  std::string dir_;
+};
+
+TEST_F(CheckpointStoreTest, WriteThenLoadRoundtrip) {
+  CheckpointStore store(dir_);
+  ASSERT_TRUE(store.Open().ok());
+  uint64_t seq = 0;
+  ASSERT_TRUE(store.WriteCheckpoint("payload-1", &seq).ok());
+  EXPECT_EQ(seq, 1u);
+  EXPECT_EQ(store.published_seq(), 1u);
+
+  auto loaded = store.LoadLatest();
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->payload, "payload-1");
+  EXPECT_EQ(loaded->seq, 1u);
+  EXPECT_FALSE(loaded->fell_back);
+}
+
+TEST_F(CheckpointStoreTest, MissingDirectoryIsNotFoundNamingThePath) {
+  CheckpointStore store(dir_ + "/never_created");
+  auto loaded = store.LoadLatest();
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+  EXPECT_NE(loaded.status().message().find("never_created"),
+            std::string::npos);
+}
+
+TEST_F(CheckpointStoreTest, EmptyDirectoryIsNotFound) {
+  ASSERT_TRUE(EnsureDirectory(dir_).ok());
+  CheckpointStore store(dir_);
+  auto loaded = store.LoadLatest();
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(CheckpointStoreTest, ReopenedDirectoryContinuesTheChain) {
+  {
+    CheckpointStore store(dir_);
+    ASSERT_TRUE(store.Open().ok());
+    ASSERT_TRUE(store.WriteCheckpoint("gen-1").ok());
+    ASSERT_TRUE(store.WriteCheckpoint("gen-2").ok());
+  }
+  CheckpointStore reopened(dir_);
+  ASSERT_TRUE(reopened.Open().ok());
+  uint64_t seq = 0;
+  ASSERT_TRUE(reopened.WriteCheckpoint("gen-3", &seq).ok());
+  EXPECT_EQ(seq, 3u);
+  auto loaded = reopened.LoadLatest();
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->payload, "gen-3");
+}
+
+TEST_F(CheckpointStoreTest, KeepsCurrentAndPreviousOnly) {
+  CheckpointStore store(dir_);
+  ASSERT_TRUE(store.Open().ok());
+  for (int i = 1; i <= 4; ++i) {
+    ASSERT_TRUE(store.WriteCheckpoint("gen-" + std::to_string(i)).ok());
+  }
+  EXPECT_EQ(ReadFileToString(CheckpointStore::SnapshotPath(dir_, 1))
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(ReadFileToString(CheckpointStore::SnapshotPath(dir_, 2))
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+  EXPECT_TRUE(ReadFileToString(CheckpointStore::SnapshotPath(dir_, 3)).ok());
+  EXPECT_TRUE(ReadFileToString(CheckpointStore::SnapshotPath(dir_, 4)).ok());
+}
+
+TEST_F(CheckpointStoreTest, CorruptCurrentFallsBackToPrevious) {
+  CheckpointStore store(dir_);
+  ASSERT_TRUE(store.Open().ok());
+  ASSERT_TRUE(store.WriteCheckpoint("good-old").ok());
+  ASSERT_TRUE(store.WriteCheckpoint("bad-new").ok());
+
+  const std::string current = CheckpointStore::SnapshotPath(dir_, 2);
+  std::string bytes = ReadFile(current);
+  bytes[bytes.size() - 3] ^= 0x01;  // flip a payload bit
+  OverwriteFile(current, bytes);
+
+  auto loaded = store.LoadLatest();
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->payload, "good-old");
+  EXPECT_EQ(loaded->seq, 1u);
+  EXPECT_TRUE(loaded->fell_back);
+  EXPECT_FALSE(loaded->detail.empty());
+}
+
+TEST_F(CheckpointStoreTest, BothGenerationsCorruptIsDataLoss) {
+  CheckpointStore store(dir_);
+  ASSERT_TRUE(store.Open().ok());
+  ASSERT_TRUE(store.WriteCheckpoint("one").ok());
+  ASSERT_TRUE(store.WriteCheckpoint("two").ok());
+  for (uint64_t seq : {1u, 2u}) {
+    const std::string path = CheckpointStore::SnapshotPath(dir_, seq);
+    std::string bytes = ReadFile(path);
+    bytes[bytes.size() - 1] ^= 0x80;
+    OverwriteFile(path, bytes);
+  }
+  auto loaded = store.LoadLatest();
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kDataLoss);
+}
+
+TEST_F(CheckpointStoreTest, FuzzTruncateCurrentAtEveryByteBoundary) {
+  CheckpointStore store(dir_);
+  ASSERT_TRUE(store.Open().ok());
+  ASSERT_TRUE(store.WriteCheckpoint("previous-generation-payload").ok());
+  ASSERT_TRUE(store.WriteCheckpoint("current-generation-payload!").ok());
+  const std::string current = CheckpointStore::SnapshotPath(dir_, 2);
+  const std::string intact = ReadFile(current);
+
+  for (size_t cut = 0; cut < intact.size(); ++cut) {
+    OverwriteFile(current, intact.substr(0, cut));
+    auto loaded = store.LoadLatest();
+    // A torn current snapshot must always fall back to the intact
+    // previous generation — no cut length may crash, error, or leak
+    // unverified bytes through.
+    ASSERT_TRUE(loaded.ok()) << "cut=" << cut << ": "
+                             << loaded.status().ToString();
+    EXPECT_EQ(loaded->payload, "previous-generation-payload")
+        << "cut=" << cut;
+    EXPECT_TRUE(loaded->fell_back) << "cut=" << cut;
+  }
+  // Removing the file entirely behaves like the worst truncation.
+  RemoveFileIfExists(current);
+  auto loaded = store.LoadLatest();
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->payload, "previous-generation-payload");
+}
+
+TEST_F(CheckpointStoreTest, FuzzBitFlipEveryHeaderByteOfCurrent) {
+  CheckpointStore store(dir_);
+  ASSERT_TRUE(store.Open().ok());
+  ASSERT_TRUE(store.WriteCheckpoint("previous-generation-payload").ok());
+  ASSERT_TRUE(store.WriteCheckpoint("current-generation-payload!").ok());
+  const std::string current = CheckpointStore::SnapshotPath(dir_, 2);
+  const std::string intact = ReadFile(current);
+
+  // Flip one bit in every byte — magic, version, size, CRC, payload.
+  for (size_t i = 0; i < intact.size(); ++i) {
+    std::string bytes = intact;
+    bytes[i] ^= 0x10;
+    OverwriteFile(current, bytes);
+    auto loaded = store.LoadLatest();
+    ASSERT_TRUE(loaded.ok()) << "byte=" << i << ": "
+                             << loaded.status().ToString();
+    EXPECT_EQ(loaded->payload, "previous-generation-payload") << "byte=" << i;
+    EXPECT_TRUE(loaded->fell_back) << "byte=" << i;
+  }
+}
+
+TEST_F(CheckpointStoreTest, FuzzTruncateManifestAtEveryByteBoundary) {
+  CheckpointStore store(dir_);
+  ASSERT_TRUE(store.Open().ok());
+  ASSERT_TRUE(store.WriteCheckpoint("payload").ok());
+  const std::string manifest_path = dir_ + "/MANIFEST";
+  const std::string intact = ReadFile(manifest_path);
+
+  for (size_t cut = 0; cut < intact.size(); ++cut) {
+    OverwriteFile(manifest_path, intact.substr(0, cut));
+    auto loaded = store.LoadLatest();
+    // The manifest is the root of trust: with it torn there is nothing
+    // to fall back to, so the only acceptable outcome is an explicit
+    // DataLoss (an empty file reads as missing = NotFound).
+    ASSERT_FALSE(loaded.ok()) << "cut=" << cut;
+    EXPECT_TRUE(loaded.status().code() == StatusCode::kDataLoss ||
+                loaded.status().code() == StatusCode::kNotFound)
+        << "cut=" << cut << ": " << loaded.status().ToString();
+  }
+  OverwriteFile(manifest_path, intact);
+  EXPECT_TRUE(store.LoadLatest().ok());  // intact again -> loads again
+}
+
+TEST_F(CheckpointStoreTest, InjectedWriteFailureSurfacesAndChainSurvives) {
+  CheckpointStore store(dir_);
+  ASSERT_TRUE(store.Open().ok());
+  ASSERT_TRUE(store.WriteCheckpoint("stable").ok());
+
+  FaultInjector::Global().FailNthWrite(1);
+  EXPECT_FALSE(store.WriteCheckpoint("doomed").ok());
+
+  // The failed publication must not have moved the manifest.
+  auto loaded = store.LoadLatest();
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->payload, "stable");
+  // And the store keeps working afterwards.
+  ASSERT_TRUE(store.WriteCheckpoint("after-failure").ok());
+  EXPECT_EQ(store.LoadLatest()->payload, "after-failure");
+}
+
+}  // namespace
+}  // namespace cepjoin

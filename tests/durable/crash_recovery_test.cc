@@ -1,0 +1,167 @@
+// The crash matrix: a child process re-executed from /proc/self/exe
+// publishes checkpoint A, then attempts checkpoint B with an armed kill
+// point (CEPJOIN_KILL_POINT), dying mid-protocol with _exit(87) — no
+// destructors, no flushes, exactly like SIGKILL. The parent then runs
+// recovery on the survivor directory and asserts the two-phase manifest
+// protocol's promise at EVERY kill point: before the manifest rename
+// lands, recovery sees exactly A; after it, exactly B. Never a torn
+// in-between, never a crash.
+
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "durable/checkpoint_store.h"
+#include "durable/fault_injector.h"
+#include "durable/snapshot_io.h"
+
+namespace cepjoin {
+namespace {
+
+constexpr char kPayloadA[] = "checkpoint-A-payload";
+constexpr char kPayloadB[] = "checkpoint-B-payload";
+
+// Child role: driven entirely by environment variables so the SAME test
+// binary serves as the crash victim. Runs only when re-executed by
+// RunChild below; in a normal test run the env is absent and this is a
+// no-op pass.
+TEST(CrashRecoveryChild, WritesTwoCheckpoints) {
+  const char* dir = std::getenv("CEPJOIN_CRASH_TEST_DIR");
+  if (dir == nullptr) return;  // not in child mode
+  CheckpointStore store(dir);
+  ASSERT_TRUE(store.Open().ok());
+  ASSERT_TRUE(store.WriteCheckpoint(kPayloadA).ok());
+  // FaultInjector::Global() read CEPJOIN_KILL_POINT at first use (the
+  // Open above), so the armed point fires inside this write.
+  Status second = store.WriteCheckpoint(kPayloadB);
+  // Reaching this line at all means the kill point never fired — the
+  // parent asserts on exit code 87, so _exit(0) here fails it loudly.
+  (void)second;
+}
+
+struct ChildOutcome {
+  int exit_code = -1;
+  bool signaled = false;
+};
+
+ChildOutcome RunChild(const std::string& dir, const std::string& kill_point) {
+  pid_t pid = fork();
+  if (pid == 0) {
+    setenv("CEPJOIN_CRASH_TEST_DIR", dir.c_str(), 1);
+    setenv("CEPJOIN_KILL_POINT", kill_point.c_str(), 1);
+    // Every kill point is passed once per WriteCheckpoint; count 2 lets
+    // checkpoint A publish cleanly and fires inside checkpoint B.
+    setenv("CEPJOIN_KILL_COUNT", "2", 1);
+    execl("/proc/self/exe", "crash_recovery_test",
+          "--gtest_filter=CrashRecoveryChild.WritesTwoCheckpoints",
+          "--gtest_brief=1", static_cast<char*>(nullptr));
+    _exit(127);  // exec failed
+  }
+  ChildOutcome outcome;
+  int status = 0;
+  EXPECT_EQ(waitpid(pid, &status, 0), pid);
+  if (WIFEXITED(status)) {
+    outcome.exit_code = WEXITSTATUS(status);
+  } else if (WIFSIGNALED(status)) {
+    outcome.signaled = true;
+  }
+  return outcome;
+}
+
+class CrashRecoveryTest : public ::testing::Test {
+ protected:
+  void SetUp() override { FaultInjector::Global().Reset(); }
+  void TearDown() override { FaultInjector::Global().Reset(); }
+
+  std::string FreshDir(const std::string& tag) {
+    std::string dir =
+        ::testing::TempDir() + "/crash_" +
+        ::testing::UnitTest::GetInstance()->current_test_info()->name() + "_" +
+        tag;
+    std::filesystem::remove_all(dir);  // stale state from a prior run
+    return dir;
+  }
+};
+
+TEST_F(CrashRecoveryTest, EveryKillPointLeavesARestorableCheckpoint) {
+  struct Point {
+    const char* name;
+    // Which payload recovery must see after the crash. The manifest
+    // rename is the commit point of checkpoint B: every kill before it
+    // recovers A, every kill at or after it recovers B.
+    const char* expected_payload;
+  };
+  const std::vector<Point> kill_points = {
+      {"snapshot-mid-write", kPayloadA},
+      {"snapshot-before-rename", kPayloadA},
+      {"snapshot-after-rename", kPayloadA},
+      {"snapshot-written", kPayloadA},
+      {"manifest-mid-write", kPayloadA},
+      {"manifest-before-rename", kPayloadA},
+      {"manifest-after-rename", kPayloadB},
+      {"manifest-published", kPayloadB},
+  };
+
+  for (const Point& point : kill_points) {
+    SCOPED_TRACE(point.name);
+    const std::string dir = FreshDir(point.name);
+
+    ChildOutcome outcome = RunChild(dir, point.name);
+    ASSERT_FALSE(outcome.signaled);
+    ASSERT_EQ(outcome.exit_code, FaultInjector::kKillExitCode)
+        << "kill point never fired (or exec failed)";
+
+    CheckpointStore store(dir);
+    auto loaded = store.LoadLatest();
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    EXPECT_EQ(loaded->payload, point.expected_payload);
+    EXPECT_FALSE(loaded->fell_back);
+
+    // The survivor directory must also be writable again: reopening
+    // adopts the chain and publishes past the wreckage.
+    ASSERT_TRUE(store.Open().ok());
+    ASSERT_TRUE(store.WriteCheckpoint("post-crash").ok());
+    EXPECT_EQ(store.LoadLatest()->payload, "post-crash");
+  }
+}
+
+TEST_F(CrashRecoveryTest, KillDuringFirstEverCheckpointRecoversToEmpty) {
+  // Crashing before ANY manifest exists must come back as NotFound (a
+  // fresh directory), not DataLoss — the caller starts from scratch.
+  for (const char* point : {"snapshot-mid-write", "manifest-before-rename"}) {
+    SCOPED_TRACE(point);
+    const std::string dir = FreshDir(point);
+    pid_t pid = fork();
+    if (pid == 0) {
+      setenv("CEPJOIN_CRASH_TEST_DIR", dir.c_str(), 1);
+      setenv("CEPJOIN_KILL_POINT", point, 1);
+      setenv("CEPJOIN_KILL_COUNT", "1", 1);
+      execl("/proc/self/exe", "crash_recovery_test",
+            "--gtest_filter=CrashRecoveryChild.WritesTwoCheckpoints",
+            "--gtest_brief=1", static_cast<char*>(nullptr));
+      _exit(127);
+    }
+    int status = 0;
+    ASSERT_EQ(waitpid(pid, &status, 0), pid);
+    ASSERT_TRUE(WIFEXITED(status));
+    ASSERT_EQ(WEXITSTATUS(status), FaultInjector::kKillExitCode);
+
+    CheckpointStore store(dir);
+    auto loaded = store.LoadLatest();
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+    // And the directory is usable: the next incarnation just starts over.
+    ASSERT_TRUE(store.Open().ok());
+    ASSERT_TRUE(store.WriteCheckpoint("fresh-start").ok());
+    EXPECT_EQ(store.LoadLatest()->payload, "fresh-start");
+  }
+}
+
+}  // namespace
+}  // namespace cepjoin

@@ -1,0 +1,192 @@
+// Bounded retry of transient source failures: a source failing with
+// StatusCode::kUnavailable is re-polled with exponential backoff up to
+// IngestOptions::source_retry_limit times before the pipeline gives up,
+// while fatal (parse) errors keep failing fast. The retried run must be
+// indistinguishable from a run against a healthy source, and every
+// retry is counted by cep_ingest_source_retries_total.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/cep_service.h"
+#include "event/stream_source.h"
+#include "obs/metrics.h"
+#include "obs/pipeline_metrics.h"
+#include "parallel/ingest_pipeline.h"
+#include "workload/keyed_generator.h"
+
+namespace cepjoin {
+namespace {
+
+/// Wraps a source with injected transient failures: every `fail_every`th
+/// Next() call fails `burst` consecutive times with kUnavailable before
+/// the wrapped event is delivered. With `fatal` set, failures are
+/// permanent parse errors instead.
+class FlakySource : public StreamSource {
+ public:
+  FlakySource(std::unique_ptr<StreamSource> inner, int fail_every, int burst,
+              bool fatal = false)
+      : inner_(std::move(inner)), fail_every_(fail_every), burst_(burst),
+        fatal_(fatal) {}
+
+  bool Next(Event* out) override {
+    ++calls_;
+    if (calls_ % fail_every_ == 0 && pending_failures_ == 0) {
+      pending_failures_ = burst_;
+    }
+    if (pending_failures_ > 0) {
+      if (!fatal_) --pending_failures_;  // transient: heals after burst
+      failed_ = true;
+      return false;
+    }
+    failed_ = false;
+    return inner_->Next(out);
+  }
+
+  bool ok() const override { return !failed_ && inner_->ok(); }
+  std::string error() const override {
+    return failed_ ? (fatal_ ? "malformed row" : "connection reset")
+                   : inner_->error();
+  }
+  StatusCode error_code() const override {
+    return fatal_ ? StatusCode::kInvalidArgument : StatusCode::kUnavailable;
+  }
+  bool declares_retractions() const override {
+    return inner_->declares_retractions();
+  }
+
+ private:
+  std::unique_ptr<StreamSource> inner_;
+  int fail_every_;
+  int burst_;
+  bool fatal_;
+  int calls_ = 0;
+  int pending_failures_ = 0;
+  bool failed_ = false;
+};
+
+struct PipelineRun {
+  uint64_t events = 0;
+  bool ok = false;
+  std::string error;
+  uint64_t retries = 0;
+};
+
+PipelineRun RunPipeline(const EventStream& stream, int fail_every, int burst,
+                        size_t retry_limit, bool fatal = false) {
+  MetricsRegistry registry;
+  IngestOptions options;
+  options.source_retry_limit = retry_limit;
+  options.source_retry_backoff = std::chrono::milliseconds(1);
+  options.metrics = &registry;
+  std::vector<std::unique_ptr<StreamSource>> sources;
+  sources.push_back(std::make_unique<FlakySource>(
+      std::make_unique<EventStreamSource>(&stream), fail_every, burst, fatal));
+  IngestPipeline pipeline(std::move(sources), options);
+  PipelineRun run;
+  IngestResult result = pipeline.Run([&](const EventPtr*, size_t n) {
+    run.events += n;
+  });
+  run.ok = result.ok;
+  run.error = result.error;
+  run.retries =
+      registry.GetCounter(metric_names::kIngestSourceRetries)->Value();
+  return run;
+}
+
+TEST(IngestRetryTest, TransientFailuresAreRetriedToCompletion) {
+  KeyedWorkload workload = MakeKeyedWorkload(3, 0.5, 21);
+  PipelineRun run = RunPipeline(workload.stream, /*fail_every=*/25,
+                                /*burst=*/3, /*retry_limit=*/5);
+  EXPECT_TRUE(run.ok) << run.error;
+  EXPECT_EQ(run.events, workload.stream.size());
+  EXPECT_GT(run.retries, 0u);
+}
+
+TEST(IngestRetryTest, ZeroLimitFailsFast) {
+  KeyedWorkload workload = MakeKeyedWorkload(3, 0.5, 21);
+  PipelineRun run = RunPipeline(workload.stream, 25, 3, /*retry_limit=*/0);
+  EXPECT_FALSE(run.ok);
+  EXPECT_EQ(run.error, "connection reset");
+  EXPECT_EQ(run.retries, 0u);
+  EXPECT_LT(run.events, workload.stream.size());
+}
+
+TEST(IngestRetryTest, BurstLongerThanLimitFails) {
+  KeyedWorkload workload = MakeKeyedWorkload(3, 0.5, 21);
+  PipelineRun run = RunPipeline(workload.stream, 25, /*burst=*/6,
+                                /*retry_limit=*/2);
+  EXPECT_FALSE(run.ok);
+  EXPECT_GT(run.retries, 0u);  // it tried before giving up
+}
+
+TEST(IngestRetryTest, FatalErrorsAreNeverRetried) {
+  KeyedWorkload workload = MakeKeyedWorkload(3, 0.5, 21);
+  PipelineRun run = RunPipeline(workload.stream, 25, 1, /*retry_limit=*/10,
+                                /*fatal=*/true);
+  EXPECT_FALSE(run.ok);
+  EXPECT_EQ(run.error, "malformed row");
+  EXPECT_EQ(run.retries, 0u);
+}
+
+TEST(IngestRetryTest, PumpAttachedSourcesRetriesTransientFailures) {
+  KeyedWorkload workload = MakeKeyedWorkload(3, 0.5, 21);
+  ServiceOptions options;
+  options.history = &workload.stream;
+  options.num_types = workload.registry.size();
+  options.source_retry_limit = 5;
+  options.source_retry_backoff = std::chrono::milliseconds(1);
+  auto service = CepService::Create(options).value();
+  CollectingSink sink;
+  ASSERT_TRUE(service
+                  ->Register(QuerySpec::Simple(workload.pattern)
+                                 .Keyed()
+                                 .WithSink(&sink))
+                  .ok());
+  ASSERT_TRUE(service
+                  ->AttachSource(std::make_unique<FlakySource>(
+                      std::make_unique<EventStreamSource>(&workload.stream),
+                      /*fail_every=*/30, /*burst=*/2))
+                  .ok());
+  auto fed = service->PumpAttachedSources();
+  ASSERT_TRUE(fed.ok()) << fed.status().ToString();
+  EXPECT_EQ(fed.value(), workload.stream.size());
+  service->Finish();
+  EXPECT_GT(service->metrics_registry()
+                ->GetCounter(metric_names::kIngestSourceRetries)
+                ->Value(),
+            0u);
+}
+
+TEST(IngestRetryTest, PumpSurfacesUnavailableAfterExhaustedRetries) {
+  KeyedWorkload workload = MakeKeyedWorkload(3, 0.5, 21);
+  ServiceOptions options;
+  options.history = &workload.stream;
+  options.num_types = workload.registry.size();
+  options.source_retry_limit = 1;
+  options.source_retry_backoff = std::chrono::milliseconds(1);
+  auto service = CepService::Create(options).value();
+  CollectingSink sink;
+  ASSERT_TRUE(service
+                  ->Register(QuerySpec::Simple(workload.pattern)
+                                 .Keyed()
+                                 .WithSink(&sink))
+                  .ok());
+  ASSERT_TRUE(service
+                  ->AttachSource(std::make_unique<FlakySource>(
+                      std::make_unique<EventStreamSource>(&workload.stream),
+                      /*fail_every=*/10, /*burst=*/4))
+                  .ok());
+  auto fed = service->PumpAttachedSources();
+  ASSERT_FALSE(fed.ok());
+  EXPECT_EQ(fed.status().code(), StatusCode::kUnavailable);
+  EXPECT_NE(fed.status().message().find("connection reset"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace cepjoin

@@ -48,6 +48,15 @@ required-guards
     deleting one removes the compiler's checking silently (the clang
     build only warns about *annotated* fields), so this rule pins each
     one explicitly. Extend the table when annotating new classes.
+
+codec-manifest
+    The CODEC MANIFEST block in src/durable/snapshot_codec.cc lists,
+    for each checkpointed class, which data members are serialized and
+    which are rebuilt at construction. Every member of those classes
+    must appear on exactly one side, and every listed name must still
+    exist. A member added to an engine but missing from the manifest is
+    the durability bug no test stream is guaranteed to catch: state
+    silently absent from checkpoints.
 """
 
 import argparse
@@ -457,6 +466,158 @@ def check_required_guards(root):
 
 
 # --------------------------------------------------------------------------
+# Rule: codec-manifest
+
+CODEC_FILE = "src/durable/snapshot_codec.cc"
+
+# Class name -> (header declaring it, declaration keyword). The manifest
+# block must carry a `serialized` list for each; engines also carry a
+# `rebuilt` list. `counters_` lives in the Engine base class
+# (src/runtime/engine.h), so base members count as declared too.
+CODEC_CLASSES = {
+    "EngineCounters": ("src/runtime/engine.h", "struct"),
+    "NfaEngine": ("src/nfa/nfa_engine.h", "class"),
+    "TreeEngine": ("src/tree/tree_engine.h", "class"),
+}
+ENGINE_BASE_HEADER = "src/runtime/engine.h"
+
+
+def parse_codec_manifest(text):
+    """Returns {(class, side): [names]} from the CODEC MANIFEST comment
+    block, or None if the block is missing. A list entry starts at a
+    `codec-manifest: <Class> <side> = ...` line and continues over
+    indented comment lines containing only identifiers."""
+    m = re.search(r"=====\s*CODEC MANIFEST\s*=+(.*?)\n//\s*=====", text, re.S)
+    if m is None:
+        return None
+    entries = {}
+    current = None
+    for raw in m.group(1).splitlines():
+        line = re.sub(r"^\s*//", "", raw)
+        head = re.match(
+            r"\s*codec-manifest:\s*(\w+)\s+(serialized|rebuilt)\s*=\s*(.*)",
+            line,
+        )
+        if head:
+            current = (head.group(1), head.group(2))
+            entries[current] = re.findall(r"\w+", head.group(3))
+        elif current and line.strip() and re.fullmatch(r"[\w\s]+", line):
+            entries[current].extend(re.findall(r"\w+", line))
+        else:
+            current = None
+    return entries
+
+
+def _strip_nested_braces(body):
+    """Drops every brace-enclosed region (nested structs, inline method
+    bodies, brace initializers), leaving only class-scope declarations."""
+    out = []
+    depth = 0
+    for ch in body:
+        if ch == "{":
+            depth += 1
+        elif ch == "}":
+            depth -= 1
+        elif depth == 0:
+            out.append(ch)
+    return "".join(out)
+
+
+def _class_members(root, rel, kind, name):
+    text = read(root, rel)
+    if text is None:
+        return None
+    body = body_of(strip_comments(text), rf"{kind}\s+{name}\b[^;{{]*")
+    if body is None:
+        return None
+    top = _strip_nested_braces(body)
+    if name == "EngineCounters":
+        return re.findall(r"(?:uint64_t|size_t)\s+(\w+)\s*=", top)
+    return re.findall(r"\b([A-Za-z]\w*_)\s*(?:=[^;]*)?;", top)
+
+
+def check_codec_manifest(root):
+    findings = []
+    codec = read(root, CODEC_FILE)
+    if codec is None:
+        return [Finding("codec-manifest", CODEC_FILE, 0, "missing file")]
+    manifest = parse_codec_manifest(codec)
+    if manifest is None:
+        return [
+            Finding(
+                "codec-manifest",
+                CODEC_FILE,
+                0,
+                "CODEC MANIFEST block not found — the serialized/rebuilt "
+                "member lists are the checkpoint format's change detector",
+            )
+        ]
+    base_members = set(
+        _class_members(root, ENGINE_BASE_HEADER, "class", "Engine") or []
+    )
+    for cls, (rel, kind) in CODEC_CLASSES.items():
+        serialized = manifest.get((cls, "serialized"))
+        if serialized is None:
+            findings.append(
+                Finding(
+                    "codec-manifest",
+                    CODEC_FILE,
+                    0,
+                    f"manifest has no 'serialized' list for {cls}",
+                )
+            )
+            continue
+        rebuilt = manifest.get((cls, "rebuilt"), [])
+        listed = serialized + rebuilt
+        members = _class_members(root, rel, kind, cls)
+        if members is None:
+            findings.append(
+                Finding(
+                    "codec-manifest", rel, 0, f"{kind} {cls} not found"
+                )
+            )
+            continue
+        for member in members:
+            count = listed.count(member)
+            if count == 0:
+                findings.append(
+                    Finding(
+                        "codec-manifest",
+                        rel,
+                        0,
+                        f"member '{member}' of {cls} is on neither side of "
+                        f"the codec manifest ({CODEC_FILE}) — declare it "
+                        "serialized (and encode it, bumping "
+                        "kEngineStateFormatVersion) or rebuilt, else it is "
+                        "silently absent from checkpoints",
+                    )
+                )
+            elif count > 1:
+                findings.append(
+                    Finding(
+                        "codec-manifest",
+                        CODEC_FILE,
+                        0,
+                        f"'{member}' of {cls} appears {count} times across "
+                        "the manifest lists — it must be on exactly one side",
+                    )
+                )
+        declared = set(members) | base_members
+        for name in listed:
+            if name not in declared:
+                findings.append(
+                    Finding(
+                        "codec-manifest",
+                        CODEC_FILE,
+                        0,
+                        f"manifest lists '{name}' for {cls} but no such "
+                        f"member exists in {rel} — remove the stale entry",
+                    )
+                )
+    return findings
+
+
+# --------------------------------------------------------------------------
 
 ALL_RULES = [
     ("engine-counters-merge", check_engine_counters),
@@ -465,6 +626,7 @@ ALL_RULES = [
     ("hot-path-alloc", check_hot_path_alloc),
     ("raw-mutex", check_raw_mutex),
     ("required-guards", check_required_guards),
+    ("codec-manifest", check_codec_manifest),
 ]
 
 

@@ -106,6 +106,31 @@ class RequiredGuardsTest(unittest.TestCase):
         self.assertEqual(messages(cep_lint.check_required_guards(REPO)), [])
 
 
+class CodecManifestTest(unittest.TestCase):
+    def test_fires_on_fixture(self):
+        findings = cep_lint.check_codec_manifest(FIXTURES / "codec_manifest")
+        found = " ".join(messages(findings))
+        self.assertEqual(len(findings), 3, messages(findings))
+        # Member added without touching the manifest.
+        self.assertIn("forgotten_state_", found)
+        self.assertIn("neither side", found)
+        # Same member on both sides.
+        self.assertIn("'now_'", found)
+        self.assertIn("exactly one side", found)
+        # Listed name with no surviving declaration.
+        self.assertIn("stale_gone_", found)
+        self.assertIn("stale entry", found)
+
+    def test_base_class_members_count_as_declared(self):
+        # counters_ lives in the Engine base, not the engine classes; the
+        # fixture lists it for both engines and must not be flagged stale.
+        findings = cep_lint.check_codec_manifest(FIXTURES / "codec_manifest")
+        self.assertNotIn("counters_", " ".join(messages(findings)))
+
+    def test_clean_on_repo(self):
+        self.assertEqual(messages(cep_lint.check_codec_manifest(REPO)), [])
+
+
 class CliTest(unittest.TestCase):
     def test_main_ok_on_repo(self):
         self.assertEqual(cep_lint.main(["--root", str(REPO)]), 0)

@@ -1,0 +1,15 @@
+// Fixture: NfaEngine's forgotten_state_ is on neither side, NfaEngine's
+// now_ is listed on both sides, and TreeEngine lists stale_gone_ which
+// no longer exists.
+
+// ===== CODEC MANIFEST ====================================================
+// codec-manifest: EngineCounters serialized = events_processed
+//   matches_emitted
+//
+// codec-manifest: NfaEngine serialized = buffers_ now_ counters_
+// codec-manifest: NfaEngine rebuilt = cp_ sink_ now_
+//
+// codec-manifest: TreeEngine serialized = node_buffers_ counters_
+//   stale_gone_
+// codec-manifest: TreeEngine rebuilt = cp_ sink_
+// =========================================================================

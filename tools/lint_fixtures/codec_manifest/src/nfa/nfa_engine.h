@@ -1,0 +1,21 @@
+#include <vector>
+
+#include "runtime/engine.h"
+
+namespace cepjoin {
+
+class NfaEngine : public Engine {
+ private:
+  struct Instance {
+    double min_ts = 0.0;  // nested-struct fields are not class members
+  };
+
+  int cp_ = 0;
+  void* sink_ = nullptr;
+  std::vector<int> buffers_;
+  double now_ = 0.0;
+  // Added without touching the manifest: the rule must flag this.
+  std::vector<int> forgotten_state_;
+};
+
+}  // namespace cepjoin

@@ -1,0 +1,18 @@
+#include <cstdint>
+
+namespace cepjoin {
+
+struct EngineCounters {
+  uint64_t events_processed = 0;
+  uint64_t matches_emitted = 0;
+};
+
+class Engine {
+ public:
+  virtual ~Engine() = default;
+
+ protected:
+  EngineCounters counters_;
+};
+
+}  // namespace cepjoin

@@ -1,0 +1,14 @@
+#include <vector>
+
+#include "runtime/engine.h"
+
+namespace cepjoin {
+
+class TreeEngine : public Engine {
+ private:
+  int cp_ = 0;
+  void* sink_ = nullptr;
+  std::vector<int> node_buffers_;
+};
+
+}  // namespace cepjoin
